@@ -1,0 +1,38 @@
+//! E2 bench: overhead of ABFT checksummed kernels vs. unprotected ones.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use resilience::skeptical::encode_spmv;
+use resilient_linalg::{checksummed_gemm, poisson2d, DenseMatrix};
+use std::time::Duration;
+
+fn bench_abft(c: &mut Criterion) {
+    use rand::SeedableRng;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2);
+    let mut group = c.benchmark_group("abft_gemm");
+    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_millis(800)).sample_size(10);
+    for &n in &[64usize, 96] {
+        let a = DenseMatrix::random(n, n, &mut rng);
+        let b_m = DenseMatrix::random(n, n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("plain", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(a.gemm(&b_m)))
+        });
+        group.bench_with_input(BenchmarkId::new("checksummed", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(checksummed_gemm(&a, &b_m)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("abft_spmv");
+    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_millis(800)).sample_size(10);
+    let m = poisson2d(48, 48);
+    let enc = encode_spmv(&m);
+    let x = vec![1.0; m.nrows()];
+    group.bench_function("plain", |b| b.iter(|| std::hint::black_box(m.spmv(&x))));
+    group.bench_function("checksummed", |b| {
+        b.iter(|| std::hint::black_box(enc.spmv_checked(&x, 1e-12)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_abft);
+criterion_main!(benches);

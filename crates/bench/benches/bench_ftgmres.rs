@@ -1,0 +1,40 @@
+//! E6 bench: FT-GMRES vs plain GMRES (fault-free overhead of the inner-outer
+//! structure, and behaviour under a moderate fault rate).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use resilience::prelude::*;
+use resilient_linalg::poisson2d;
+use std::time::Duration;
+
+fn bench_ftgmres(c: &mut Criterion) {
+    let a = poisson2d(12, 12);
+    let b = vec![1.0; a.nrows()];
+    let mut group = c.benchmark_group("ftgmres");
+    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1)).sample_size(10);
+    group.bench_function("plain_gmres", |bch| {
+        bch.iter(|| {
+            std::hint::black_box(gmres(
+                &a,
+                &b,
+                None,
+                &SolveOptions::default().with_tol(1e-8).with_max_iters(400).with_restart(30),
+            ))
+        })
+    });
+    for &rate in &[0.0, 1e-4] {
+        group.bench_function(format!("ft_gmres_rate_{rate:e}"), |bch| {
+            bch.iter(|| {
+                let cfg = FtGmresConfig {
+                    outer: SolveOptions::default().with_tol(1e-8).with_max_iters(40).with_restart(20),
+                    fault_rate: rate,
+                    ..FtGmresConfig::default()
+                };
+                std::hint::black_box(ft_gmres(&a, &b, &cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ftgmres);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Baseline SpMV / GEMM throughput of the linear-algebra substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use resilient_linalg::{poisson2d, DenseMatrix};
+use std::time::Duration;
+
+fn bench_spmv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmv");
+    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_millis(800)).sample_size(10);
+    for &n in &[32usize, 64] {
+        let a = poisson2d(n, n);
+        let x = vec![1.0; a.nrows()];
+        group.bench_with_input(BenchmarkId::new("poisson2d", n * n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(a.spmv(&x)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("gemm");
+    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_millis(800)).sample_size(10);
+    use rand::SeedableRng;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+    for &n in &[64usize, 96] {
+        let a = DenseMatrix::random(n, n, &mut rng);
+        let b_m = DenseMatrix::random(n, n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("dense", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(a.gemm(&b_m)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmv);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! E7 bench: raw cost of TMR-protected SpMV vs a single application.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use resilience::srp::{tmr_apply, UnreliableOperator};
+use resilient_faults::tmr::TmrStats;
+use resilient_linalg::poisson2d;
+use std::time::Duration;
+
+fn bench_tmr(c: &mut Criterion) {
+    let a = poisson2d(24, 24);
+    let x = vec![1.0; a.nrows()];
+    let mut group = c.benchmark_group("tmr_spmv");
+    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_millis(800)).sample_size(10);
+    group.bench_function("single", |b| b.iter(|| std::hint::black_box(a.spmv(&x))));
+    group.bench_function("tmr_vote", |b| {
+        let op = UnreliableOperator::new(&a, 1e-4, 9);
+        let mut stats = TmrStats::default();
+        b.iter(|| std::hint::black_box(tmr_apply(&op, &x, 1e-12, &mut stats)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tmr);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Experiment E3 — latency-tolerant Krylov solvers (RBSP, §III-B): classic
+//! vs. pipelined CG and GMRES under sweeps of rank count and collective
+//! latency, with and without per-rank noise.
+
+use resilience::prelude::*;
+use resilient_bench::{fmt_g, fmt_ratio, Table};
+use resilient_linalg::poisson2d;
+use resilient_runtime::{LatencyModel, NoiseConfig, Runtime, RuntimeConfig};
+
+fn solve_times(ranks: usize, alpha: f64, noise: bool) -> (f64, f64, f64, f64) {
+    let mut cfg = RuntimeConfig::fast().with_seed(11);
+    cfg.latency = LatencyModel { alpha, beta: 1e-9, gamma: 1e-9 };
+    cfg.seconds_per_flop = 1e-9;
+    if noise {
+        cfg.noise = NoiseConfig::exponential(2000.0, 2.0e-4);
+    }
+    let rt = Runtime::new(cfg);
+    let result = rt.run(ranks, move |comm| {
+        let a = poisson2d(24, 24);
+        let n = a.nrows();
+        let da = DistCsr::from_global(comm, &a)?;
+        let b = DistVector::from_fn(comm, n, |i| 1.0 + (i % 3) as f64);
+        let mut opts = DistSolveOptions::default().with_tol(1e-7).with_max_iters(250);
+        opts.restart = 40;
+        opts.extra_work_per_iter = 5.0e-5;
+        let t0 = comm.now();
+        let c = dist_cg(comm, &da, &b, &opts)?;
+        let t1 = comm.now();
+        let p = pipelined_cg(comm, &da, &b, &opts)?;
+        let t2 = comm.now();
+        let g = dist_gmres(comm, &da, &b, &opts)?;
+        let t3 = comm.now();
+        let pg = pipelined_gmres(comm, &da, &b, &opts)?;
+        let t4 = comm.now();
+        assert!(c.converged && p.converged && g.converged && pg.converged);
+        Ok((t1 - t0, t2 - t1, t3 - t2, t4 - t3))
+    });
+    let per_rank = result.unwrap_all();
+    let max = |f: &dyn Fn(&(f64, f64, f64, f64)) -> f64| {
+        per_rank.iter().map(f).fold(0.0f64, f64::max)
+    };
+    (max(&|r| r.0), max(&|r| r.1), max(&|r| r.2), max(&|r| r.3))
+}
+
+fn main() {
+    let mut table = Table::new(
+        "E3: time-to-solution (virtual s), classic vs pipelined, 2-D Poisson n=576",
+        &["ranks", "alpha", "noise", "CG", "pipelined CG", "CG speedup", "GMRES", "p(1)-GMRES", "GMRES speedup"],
+    );
+    for &ranks in &[4usize, 8, 16, 32] {
+        for &alpha in &[2.0e-6, 1.0e-4, 5.0e-4] {
+            for &noise in &[false, true] {
+                let (cg_t, pcg_t, g_t, pg_t) = solve_times(ranks, alpha, noise);
+                table.row(vec![
+                    ranks.to_string(),
+                    format!("{alpha:.0e}"),
+                    if noise { "yes".into() } else { "no".into() },
+                    fmt_g(cg_t),
+                    fmt_g(pcg_t),
+                    fmt_ratio(cg_t / pcg_t.max(1e-12)),
+                    fmt_g(g_t),
+                    fmt_g(pg_t),
+                    fmt_ratio(g_t / pg_t.max(1e-12)),
+                ]);
+            }
+        }
+    }
+    table.emit("e3_latency");
+}

@@ -1,0 +1,66 @@
+//! Experiment E8 — noise amplification by blocking collectives (RBSP,
+//! §II-B): a bulk-synchronous compute+allreduce step versus the same step
+//! with the reduction overlapped, as the rank count grows.
+
+use resilient_bench::{fmt_g, fmt_ratio, Table};
+use resilient_runtime::{
+    LatencyModel, NoiseConfig, ReduceOp, Runtime, RuntimeConfig,
+};
+
+fn step_times(ranks: usize, noise_amp: f64, steps: usize) -> (f64, f64, f64) {
+    let work = 1.0e-3;
+    let mut cfg = RuntimeConfig::fast().with_seed(5);
+    cfg.latency = LatencyModel { alpha: 1.0e-6, beta: 0.0, gamma: 0.0 };
+    if noise_amp > 0.0 {
+        cfg.noise = NoiseConfig::exponential(200.0, noise_amp);
+    }
+    let rt = Runtime::new(cfg);
+    let result = rt.run(ranks, move |comm| {
+        // Bulk-synchronous: compute then blocking allreduce.
+        let t0 = comm.now();
+        for _ in 0..steps {
+            comm.advance(work);
+            comm.allreduce_scalar(ReduceOp::Sum, 1.0)?;
+        }
+        let bulk = comm.now() - t0;
+        // Relaxed: post the reduction, overlap the next compute block, wait.
+        let t1 = comm.now();
+        let mut pending = comm.iallreduce_scalar(ReduceOp::Sum, 1.0)?;
+        for _ in 0..steps {
+            comm.advance(work);
+            let next = comm.iallreduce_scalar(ReduceOp::Sum, 1.0)?;
+            pending.wait_scalar(comm)?;
+            pending = next;
+        }
+        pending.wait_scalar(comm)?;
+        let relaxed = comm.now() - t1;
+        Ok((bulk, relaxed))
+    });
+    let per_rank = result.unwrap_all();
+    let bulk = per_rank.iter().map(|r| r.0).fold(0.0f64, f64::max);
+    let relaxed = per_rank.iter().map(|r| r.1).fold(0.0f64, f64::max);
+    let ideal = steps as f64 * work;
+    (bulk, relaxed, ideal)
+}
+
+fn main() {
+    let steps = 150;
+    let mut table = Table::new(
+        "E8: noise amplification of a compute+allreduce step (150 steps, 1 ms work/step)",
+        &["ranks", "noise/step", "bulk-sync", "relaxed", "bulk slowdown", "relaxed slowdown"],
+    );
+    for &ranks in &[4usize, 16, 64, 128] {
+        for &amp in &[0.0, 1.0e-4, 5.0e-4] {
+            let (bulk, relaxed, ideal) = step_times(ranks, amp, steps);
+            table.row(vec![
+                ranks.to_string(),
+                format!("{amp:.0e}"),
+                fmt_g(bulk),
+                fmt_g(relaxed),
+                fmt_ratio(bulk / ideal),
+                fmt_ratio(relaxed / ideal),
+            ]);
+        }
+    }
+    table.emit("e8_noise_amplification");
+}

@@ -1,0 +1,352 @@
+//! Distributed vectors and sparse matrices over the simulated runtime.
+//!
+//! Data is distributed by contiguous row blocks
+//! ([`BlockDistribution`](resilient_runtime::BlockDistribution)). Vector dot
+//! products and norms are global collectives (the operations the RBSP
+//! experiments target); the sparse matrix-vector product communicates only
+//! with the ranks that own referenced columns (neighborhood communication).
+
+use std::collections::BTreeMap;
+
+use resilient_linalg::{CooMatrix, CsrMatrix};
+use resilient_runtime::{BlockDistribution, Comm, Result};
+
+/// Tag space used by the SpMV ghost exchange.
+const GHOST_TAG: i32 = 1 << 18;
+
+/// A block-row distributed vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistVector {
+    /// Locally owned entries.
+    pub local: Vec<f64>,
+    dist: BlockDistribution,
+    rank: usize,
+}
+
+impl DistVector {
+    /// Create this rank's part of a global vector of length `n`, filled by
+    /// `f(global_index)`.
+    pub fn from_fn(comm: &Comm, n: usize, f: impl Fn(usize) -> f64) -> Self {
+        let dist = BlockDistribution::new(n, comm.size());
+        let rank = comm.rank();
+        let local = dist.range(rank).map(f).collect();
+        Self { local, dist, rank }
+    }
+
+    /// This rank's part of a globally replicated slice.
+    pub fn from_global(comm: &Comm, global: &[f64]) -> Self {
+        Self::from_fn(comm, global.len(), |i| global[i])
+    }
+
+    /// A distributed zero vector of global length `n`.
+    pub fn zeros(comm: &Comm, n: usize) -> Self {
+        Self::from_fn(comm, n, |_| 0.0)
+    }
+
+    /// Global length.
+    pub fn global_len(&self) -> usize {
+        self.dist.n
+    }
+
+    /// Locally owned length.
+    pub fn local_len(&self) -> usize {
+        self.local.len()
+    }
+
+    /// The block distribution.
+    pub fn distribution(&self) -> BlockDistribution {
+        self.dist
+    }
+
+    /// Local partial dot product (no communication).
+    pub fn local_dot(&self, other: &DistVector) -> f64 {
+        resilient_linalg::vector::dot(&self.local, &other.local)
+    }
+
+    /// Global dot product (one allreduce).
+    pub fn dot(&self, comm: &mut Comm, other: &DistVector) -> Result<f64> {
+        comm.charge_flops(2 * self.local.len());
+        comm.global_dot(self.local_dot(other))
+    }
+
+    /// Global 2-norm (one allreduce).
+    pub fn norm(&self, comm: &mut Comm) -> Result<f64> {
+        Ok(self.dot(comm, self)?.max(0.0).sqrt())
+    }
+
+    /// `self ← self + alpha · other` (local only).
+    pub fn axpy(&mut self, alpha: f64, other: &DistVector) {
+        resilient_linalg::vector::axpy(alpha, &other.local, &mut self.local);
+    }
+
+    /// `self ← alpha · self` (local only).
+    pub fn scale(&mut self, alpha: f64) {
+        resilient_linalg::vector::scale(alpha, &mut self.local);
+    }
+
+    /// Gather the full global vector on every rank (one allgather); intended
+    /// for verification and small problems.
+    pub fn gather_global(&self, comm: &mut Comm) -> Result<Vec<f64>> {
+        let parts = comm.allgather(&self.local)?;
+        Ok(parts.into_iter().flatten().collect())
+    }
+}
+
+/// A block-row distributed CSR matrix with precomputed ghost-exchange lists.
+#[derive(Debug, Clone)]
+pub struct DistCsr {
+    /// Local rows, with columns renumbered: `0..n_local` are the locally
+    /// owned columns (same order as the owned global range), `n_local..`
+    /// are ghost columns in the order of `ghost_globals`.
+    local: CsrMatrix,
+    dist: BlockDistribution,
+    n_local: usize,
+    /// Global indices of ghost columns, sorted ascending.
+    ghost_globals: Vec<usize>,
+    /// Ranks this rank exchanges with during SpMV (symmetric list).
+    neighbors: Vec<usize>,
+    /// For each neighbor (same order as `neighbors`): local indices of owned
+    /// entries that must be sent to it.
+    send_lists: Vec<Vec<usize>>,
+    /// For each neighbor: positions in the ghost array that its data fills.
+    recv_lists: Vec<Vec<usize>>,
+    /// FLOPs per local SpMV.
+    flops: usize,
+}
+
+impl DistCsr {
+    /// Build the local part of `global` for this rank and negotiate the
+    /// ghost-exchange pattern with the other ranks (collective call: every
+    /// rank must call it with the same matrix).
+    pub fn from_global(comm: &mut Comm, global: &CsrMatrix) -> Result<Self> {
+        let n = global.nrows();
+        assert_eq!(global.ncols(), n, "distributed matrices must be square");
+        let dist = BlockDistribution::new(n, comm.size());
+        let rank = comm.rank();
+        let my_range = dist.range(rank);
+        let n_local = my_range.len();
+
+        // Collect ghost (externally owned) column indices referenced by my rows.
+        let mut ghost_set: BTreeMap<usize, usize> = BTreeMap::new();
+        for i in my_range.clone() {
+            let (cols, _) = global.row(i);
+            for &j in cols {
+                if !my_range.contains(&j) {
+                    ghost_set.entry(j).or_insert(0);
+                }
+            }
+        }
+        let ghost_globals: Vec<usize> = ghost_set.keys().copied().collect();
+        for (pos, g) in ghost_globals.iter().enumerate() {
+            ghost_set.insert(*g, pos);
+        }
+
+        // Build the local matrix with renumbered columns.
+        let mut coo = CooMatrix::new(n_local, n_local + ghost_globals.len());
+        for (local_i, i) in my_range.clone().enumerate() {
+            let (cols, vals) = global.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                let local_j = if my_range.contains(&j) {
+                    j - my_range.start
+                } else {
+                    n_local + ghost_set[&j]
+                };
+                coo.push(local_i, local_j, v);
+            }
+        }
+        let local = coo.to_csr();
+        let flops = local.spmv_flops();
+
+        // Tell every rank which global indices we need (allgather of index
+        // lists encoded as f64; exact for indices < 2^53).
+        let needed_enc: Vec<f64> = ghost_globals.iter().map(|&g| g as f64).collect();
+        let all_needs = comm.allgather(&needed_enc)?;
+
+        // Work out, per peer, what I must send and what I will receive.
+        let mut neighbors = Vec::new();
+        let mut send_lists = Vec::new();
+        let mut recv_lists = Vec::new();
+        for peer in 0..comm.size() {
+            if peer == rank {
+                continue;
+            }
+            // What peer needs from me:
+            let send: Vec<usize> = all_needs[peer]
+                .iter()
+                .map(|&g| g as usize)
+                .filter(|g| my_range.contains(g))
+                .map(|g| g - my_range.start)
+                .collect();
+            // What I need from peer:
+            let peer_range = dist.range(peer);
+            let recv: Vec<usize> = ghost_globals
+                .iter()
+                .enumerate()
+                .filter(|(_, &g)| peer_range.contains(&g))
+                .map(|(pos, _)| pos)
+                .collect();
+            if !send.is_empty() || !recv.is_empty() {
+                neighbors.push(peer);
+                send_lists.push(send);
+                recv_lists.push(recv);
+            }
+        }
+
+        Ok(Self { local, dist, n_local, ghost_globals, neighbors, send_lists, recv_lists, flops })
+    }
+
+    /// Number of locally owned rows.
+    pub fn local_rows(&self) -> usize {
+        self.n_local
+    }
+
+    /// Global dimension.
+    pub fn global_dim(&self) -> usize {
+        self.dist.n
+    }
+
+    /// Number of ghost entries exchanged per SpMV.
+    pub fn ghost_count(&self) -> usize {
+        self.ghost_globals.len()
+    }
+
+    /// Ranks this rank communicates with during SpMV.
+    pub fn neighbors(&self) -> &[usize] {
+        &self.neighbors
+    }
+
+    /// FLOPs per SpMV application (local part).
+    pub fn flops_per_apply(&self) -> usize {
+        self.flops
+    }
+
+    /// Exchange ghost values of `x` with the neighbours and return the full
+    /// local input vector (owned entries followed by ghosts).
+    fn assemble_input(&self, comm: &mut Comm, x: &DistVector) -> Result<Vec<f64>> {
+        let mut full = Vec::with_capacity(self.n_local + self.ghost_globals.len());
+        full.extend_from_slice(&x.local);
+        full.resize(self.n_local + self.ghost_globals.len(), 0.0);
+        // Post all sends, then receive (tagged by sender to match order).
+        let my_rank = comm.rank();
+        for (idx, &peer) in self.neighbors.iter().enumerate() {
+            let payload: Vec<f64> = self.send_lists[idx].iter().map(|&i| x.local[i]).collect();
+            comm.send_f64(peer, GHOST_TAG + my_rank as i32, &payload)?;
+        }
+        for (idx, &peer) in self.neighbors.iter().enumerate() {
+            let (_, data) = comm.recv_f64(peer, GHOST_TAG + peer as i32)?;
+            debug_assert_eq!(data.len(), self.recv_lists[idx].len());
+            for (&pos, &v) in self.recv_lists[idx].iter().zip(&data) {
+                full[self.n_local + pos] = v;
+            }
+        }
+        Ok(full)
+    }
+
+    /// Distributed SpMV: `y = A·x`, with ghost exchange and virtual-time
+    /// accounting for the local arithmetic.
+    pub fn apply(&self, comm: &mut Comm, x: &DistVector) -> Result<DistVector> {
+        assert_eq!(x.global_len(), self.global_dim(), "spmv: dimension mismatch");
+        let full = self.assemble_input(comm, x)?;
+        comm.charge_flops(self.flops);
+        let y_local = self.local.spmv(&full);
+        Ok(DistVector { local: y_local, dist: self.dist, rank: comm.rank() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resilient_linalg::{poisson1d, poisson2d};
+    use resilient_runtime::{Runtime, RuntimeConfig};
+
+    #[test]
+    fn dist_vector_dot_and_norm_match_serial() {
+        let rt = Runtime::new(RuntimeConfig::fast());
+        let n = 37;
+        let result = rt.run(4, move |comm| {
+            let x = DistVector::from_fn(comm, n, |i| (i + 1) as f64);
+            let y = DistVector::from_fn(comm, n, |_| 2.0);
+            let d = x.dot(comm, &y)?;
+            let nx = x.norm(comm)?;
+            Ok((d, nx))
+        });
+        let serial_dot: f64 = (1..=n).map(|i| 2.0 * i as f64).sum();
+        let serial_norm: f64 = ((1..=n).map(|i| (i * i) as f64).sum::<f64>()).sqrt();
+        for (d, nx) in result.unwrap_all() {
+            assert!((d - serial_dot).abs() < 1e-9);
+            assert!((nx - serial_norm).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dist_vector_axpy_and_gather() {
+        let rt = Runtime::new(RuntimeConfig::fast());
+        let n = 11;
+        let result = rt.run(3, move |comm| {
+            let mut x = DistVector::from_fn(comm, n, |i| i as f64);
+            let y = DistVector::from_fn(comm, n, |_| 1.0);
+            x.axpy(10.0, &y);
+            x.scale(0.5);
+            x.gather_global(comm)
+        });
+        for g in result.unwrap_all() {
+            let expected: Vec<f64> = (0..n).map(|i| 0.5 * (i as f64 + 10.0)).collect();
+            assert_eq!(g, expected);
+        }
+    }
+
+    #[test]
+    fn dist_spmv_matches_serial_poisson1d() {
+        let rt = Runtime::new(RuntimeConfig::fast());
+        let result = rt.run(4, move |comm| {
+            let a = poisson1d(23);
+            let da = DistCsr::from_global(comm, &a)?;
+            let x = DistVector::from_fn(comm, 23, |i| (i as f64 * 0.37).sin());
+            let y = da.apply(comm, &x)?;
+            Ok((y.gather_global(comm)?, da.ghost_count(), da.neighbors().len()))
+        });
+        let a = poisson1d(23);
+        let x: Vec<f64> = (0..23).map(|i| (i as f64 * 0.37).sin()).collect();
+        let expected = a.spmv(&x);
+        for (got, ghosts, neighbors) in result.unwrap_all() {
+            for (g, e) in got.iter().zip(&expected) {
+                assert!((g - e).abs() < 1e-12);
+            }
+            // 1-D Laplacian: interior ranks have 2 ghosts / 2 neighbours.
+            assert!(ghosts <= 2);
+            assert!(neighbors <= 2);
+        }
+    }
+
+    #[test]
+    fn dist_spmv_matches_serial_poisson2d_uneven_ranks() {
+        let rt = Runtime::new(RuntimeConfig::fast());
+        let result = rt.run(5, move |comm| {
+            let a = poisson2d(9, 7);
+            let n = a.nrows();
+            let da = DistCsr::from_global(comm, &a)?;
+            let x = DistVector::from_fn(comm, n, |i| 1.0 + (i % 4) as f64);
+            let y = da.apply(comm, &x)?;
+            y.gather_global(comm)
+        });
+        let a = poisson2d(9, 7);
+        let x: Vec<f64> = (0..a.nrows()).map(|i| 1.0 + (i % 4) as f64).collect();
+        let expected = a.spmv(&x);
+        for got in result.unwrap_all() {
+            for (g, e) in got.iter().zip(&expected) {
+                assert!((g - e).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_has_no_neighbors() {
+        let rt = Runtime::new(RuntimeConfig::fast());
+        let result = rt.run(1, move |comm| {
+            let a = poisson2d(5, 5);
+            let da = DistCsr::from_global(comm, &a)?;
+            Ok((da.ghost_count(), da.neighbors().len(), da.local_rows(), da.global_dim()))
+        });
+        assert_eq!(result.unwrap_all(), vec![(0, 0, 25, 25)]);
+    }
+}

@@ -1,0 +1,74 @@
+//! # resilience
+//!
+//! Resilient algorithms and the four resilience-enabling programming models
+//! of Heroux, *"Toward Resilient Algorithms and Applications"* (HPDC 2013):
+//!
+//! * [`skeptical`] — **SkP**, Skeptical Programming: invariant checks,
+//!   Huang–Abraham ABFT kernels, and a bit-flip-resilient GMRES.
+//! * [`rbsp`] — **RBSP**, Relaxed Bulk-Synchronous Programming:
+//!   latency-tolerant pipelined CG and p(1)-GMRES built on nonblocking
+//!   collectives, with their bulk-synchronous counterparts for comparison.
+//! * [`lflr`] — **LFLR**, Local-Failure Local-Recovery: a step-loop driver
+//!   over the runtime's ULFM-style recovery and persistent store, plus the
+//!   global checkpoint/restart baseline.
+//! * [`srp`] — **SRP**, Selective Reliability Programming: reliable /
+//!   unreliable execution tiers, FT-GMRES and TMR ablations.
+//!
+//! Supporting modules: [`solvers`] (serial CG/GMRES/FGMRES), [`distributed`]
+//! (block-distributed vectors and sparse matrices over the simulated
+//! runtime), and [`models`] (the programming-model taxonomy).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use resilience::prelude::*;
+//! use resilient_linalg::poisson2d;
+//!
+//! // Solve a 2-D Poisson problem with GMRES while injecting a bit flip into
+//! // one matrix-vector product, and let the skeptical checks recover.
+//! let a = poisson2d(10, 10);
+//! let b = vec![1.0; a.nrows()];
+//! let plan = InjectionPlan { at_application: 5, target: FaultTarget::RandomElement, bit: Some(61) };
+//! let faulty = FaultyOperator::new(&a, Some(plan), 42);
+//! let (outcome, report) = skeptical_gmres(
+//!     &faulty, &b, None,
+//!     &SolveOptions::default().with_tol(1e-8).with_max_iters(500),
+//!     &SkepticalConfig::default(),
+//! );
+//! assert!(outcome.converged());
+//! assert!(report.detections >= 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod distributed;
+pub mod lflr;
+pub mod models;
+pub mod rbsp;
+pub mod skeptical;
+pub mod solvers;
+pub mod srp;
+
+/// Convenient glob import of the most frequently used types.
+pub mod prelude {
+    pub use crate::distributed::{DistCsr, DistVector};
+    pub use crate::lflr::{run_cpr, run_lflr, CprApp, CprConfig, CprReport, LflrApp, LflrReport};
+    pub use crate::models::ProgrammingModel;
+    pub use crate::rbsp::{
+        cg::{dist_cg, pipelined_cg},
+        gmres::{dist_gmres, pipelined_gmres},
+        DistSolveOptions, DistSolveOutcome,
+    };
+    pub use crate::skeptical::{
+        skeptical_gmres, FaultTarget, FaultyOperator, InjectionPlan, SkepticalConfig,
+        SkepticalReport, SkepticalResponse,
+    };
+    pub use crate::solvers::{
+        cg, fgmres, gmres, pcg, true_relative_residual, IdentityPreconditioner,
+        JacobiPreconditioner, Operator, Preconditioner, SolveOptions, SolveOutcome, StopReason,
+    };
+    pub use crate::srp::{
+        compare_tmr_strategies, ft_gmres, reliable_gmres, unreliable_gmres, FtGmresConfig,
+        FtGmresReport, SrpCostLedger, UnreliableOperator,
+    };
+}

@@ -1,0 +1,97 @@
+//! The four resilience-enabling programming models (§II of the paper) and
+//! where each one lives in this crate.
+//!
+//! | Model | Paper section | Implemented by |
+//! |---|---|---|
+//! | Skeptical Programming (SkP) | §II-A | [`crate::skeptical`] — invariant checks, ABFT kernels, bit-flip-resilient GMRES |
+//! | Relaxed Bulk-Synchronous Programming (RBSP) | §II-B | [`crate::rbsp`] — pipelined CG / p(1)-GMRES over nonblocking collectives |
+//! | Local-Failure Local-Recovery (LFLR) | §II-C | [`crate::lflr`] — LFLR step driver, persistent store protocol, CPR baseline |
+//! | Selective Reliability Programming (SRP) | §II-D | [`crate::srp`] — reliable/unreliable tiers, FT-GMRES, TMR ablation |
+
+use serde::{Deserialize, Serialize};
+
+/// The four programming models, as an enumeration usable in experiment
+/// records and reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProgrammingModel {
+    /// Skeptical Programming: cheap invariant checks against silent data
+    /// corruption. "Requires nothing more than a change in attitude on the
+    /// part of the programmer."
+    Skeptical,
+    /// Relaxed Bulk-Synchronous Programming: asynchronous collectives and
+    /// latency-tolerant algorithm variants. "Already possible with the
+    /// introduction of MPI 3.0."
+    RelaxedBulkSynchronous,
+    /// Local-Failure Local-Recovery: persistent local state, registered
+    /// recovery, replacement processes. "Requires more support from the
+    /// underlying system layers" (ULFM is one approach).
+    LocalFailureLocalRecovery,
+    /// Selective Reliability: reliable and unreliable data/compute tiers.
+    /// "The most challenging model, but also firmly addresses … silent
+    /// errors."
+    SelectiveReliability,
+}
+
+impl ProgrammingModel {
+    /// All four models, in the paper's order (easiest to hardest to deploy).
+    pub const ALL: [ProgrammingModel; 4] = [
+        ProgrammingModel::Skeptical,
+        ProgrammingModel::RelaxedBulkSynchronous,
+        ProgrammingModel::LocalFailureLocalRecovery,
+        ProgrammingModel::SelectiveReliability,
+    ];
+
+    /// The abbreviation used in the paper.
+    pub fn abbreviation(&self) -> &'static str {
+        match self {
+            ProgrammingModel::Skeptical => "SkP",
+            ProgrammingModel::RelaxedBulkSynchronous => "RBSP",
+            ProgrammingModel::LocalFailureLocalRecovery => "LFLR",
+            ProgrammingModel::SelectiveReliability => "SRP",
+        }
+    }
+
+    /// The failure class the model primarily addresses.
+    pub fn addresses(&self) -> &'static str {
+        match self {
+            ProgrammingModel::Skeptical => "silent data corruption (detection)",
+            ProgrammingModel::RelaxedBulkSynchronous => "performance variability / latency",
+            ProgrammingModel::LocalFailureLocalRecovery => "process (node) loss",
+            ProgrammingModel::SelectiveReliability => "silent data corruption (containment)",
+        }
+    }
+
+    /// Relative deployment difficulty per the paper's ordering (1 = easiest).
+    pub fn difficulty_rank(&self) -> u8 {
+        match self {
+            ProgrammingModel::Skeptical => 1,
+            ProgrammingModel::RelaxedBulkSynchronous => 2,
+            ProgrammingModel::LocalFailureLocalRecovery => 3,
+            ProgrammingModel::SelectiveReliability => 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abbreviations_match_paper() {
+        let abbrs: Vec<&str> = ProgrammingModel::ALL.iter().map(|m| m.abbreviation()).collect();
+        assert_eq!(abbrs, vec!["SkP", "RBSP", "LFLR", "SRP"]);
+    }
+
+    #[test]
+    fn difficulty_is_strictly_increasing_in_paper_order() {
+        let d: Vec<u8> = ProgrammingModel::ALL.iter().map(|m| m.difficulty_rank()).collect();
+        assert!(d.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn every_model_addresses_something() {
+        for m in ProgrammingModel::ALL {
+            assert!(!m.addresses().is_empty());
+        }
+    }
+}

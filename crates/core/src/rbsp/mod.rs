@@ -1,0 +1,77 @@
+//! Relaxed bulk-synchronous programming (RBSP): latency-tolerant Krylov
+//! solvers built on the runtime's asynchronous collectives (§II-B, §III-B).
+//!
+//! Two families are provided, each in a classical (blocking-collective) and
+//! a pipelined (latency-hiding) variant:
+//!
+//! * conjugate gradients — [`dist_cg`](cg::dist_cg) vs.
+//!   [`pipelined_cg`](cg::pipelined_cg) (Ghysels–Vanroose single-reduction
+//!   formulation);
+//! * GMRES — [`dist_gmres`](gmres::dist_gmres) vs.
+//!   [`pipelined_gmres`](gmres::pipelined_gmres) (the p(1) pipelining of
+//!   Ghysels, Ashby, Meerbergen & Vanroose cited by the paper).
+//!
+//! The pipelined variants do *the same arithmetic* (up to roundoff and the
+//! usual stability caveats) but post their global reductions as nonblocking
+//! collectives and overlap them with the next sparse matrix-vector product,
+//! so per-rank noise and collective latency are hidden rather than
+//! amplified.
+
+pub mod cg;
+pub mod gmres;
+
+use crate::distributed::DistVector;
+
+/// Outcome of a distributed solve (per rank; the solution is distributed).
+#[derive(Debug, Clone)]
+pub struct DistSolveOutcome {
+    /// This rank's part of the solution.
+    pub x: DistVector,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final relative residual (recurrence estimate).
+    pub relative_residual: f64,
+    /// Whether the tolerance was met.
+    pub converged: bool,
+    /// Relative residual history.
+    pub history: Vec<f64>,
+}
+
+/// Options shared by the distributed solvers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistSolveOptions {
+    /// Relative residual tolerance.
+    pub tol: f64,
+    /// Maximum iterations.
+    pub max_iters: usize,
+    /// Restart length (GMRES only).
+    pub restart: usize,
+    /// Virtual seconds of local work charged per iteration *in addition to*
+    /// the solver's own arithmetic; models the application work (e.g. a
+    /// nonlinear residual evaluation) that latency hiding can overlap.
+    pub extra_work_per_iter: f64,
+}
+
+impl Default for DistSolveOptions {
+    fn default() -> Self {
+        Self { tol: 1e-8, max_iters: 500, restart: 30, extra_work_per_iter: 0.0 }
+    }
+}
+
+impl DistSolveOptions {
+    /// Builder-style tolerance.
+    pub fn with_tol(mut self, tol: f64) -> Self {
+        self.tol = tol;
+        self
+    }
+    /// Builder-style iteration cap.
+    pub fn with_max_iters(mut self, max_iters: usize) -> Self {
+        self.max_iters = max_iters;
+        self
+    }
+    /// Builder-style restart length.
+    pub fn with_restart(mut self, restart: usize) -> Self {
+        self.restart = restart;
+        self
+    }
+}

@@ -1,0 +1,11 @@
+//! Skeptical Programming (SkP, §II-A / §III-A): cheap mathematical checks
+//! that detect silent data corruption, plus ABFT checksum kernels and a
+//! bit-flip-resilient GMRES.
+
+pub mod abft;
+pub mod faulty;
+pub mod sdc_gmres;
+
+pub use abft::{abft_gemm_trial, abft_spmv_trial, encode_spmv, AbftOutcome, AbftStats};
+pub use faulty::{FaultTarget, FaultyOperator, InjectionDone, InjectionPlan};
+pub use sdc_gmres::{skeptical_gmres, SkepticalConfig, SkepticalReport, SkepticalResponse};

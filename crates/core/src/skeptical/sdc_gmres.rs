@@ -1,0 +1,426 @@
+//! Skeptical GMRES: GMRES with cheap invariant checks that detect (and
+//! optionally recover from) silent data corruption — the algorithm family of
+//! §III-A, in the style of Elliott & Hoemmen's bit-flip-resilient GMRES.
+//!
+//! The checks used, all O(n) or cheaper per iteration:
+//!
+//! 1. **Finiteness** of every new Krylov vector (catches NaN/Inf-producing
+//!    exponent flips immediately).
+//! 2. **Norm bound**: for a unit Arnoldi vector `v`, `‖A·v‖ ≤ ‖A‖∞·√n`
+//!    (with a safety factor); a high-exponent-bit flip violates this by many
+//!    orders of magnitude.
+//! 3. **Orthogonality** of the newest basis vector against the previous one
+//!    (Gram–Schmidt should make them orthogonal to machine precision).
+//! 4. **Residual-consistency** check every `check_interval` iterations: the
+//!    recurrence residual estimate is compared against the explicitly
+//!    computed true residual; corruption that slipped past the local checks
+//!    shows up as a mismatch.
+//!
+//! On detection the solver either restarts the Arnoldi cycle from the
+//! current (still valid) iterate — cheap local recovery — or aborts,
+//! according to [`SkepticalResponse`].
+
+use resilient_faults::detection::orthogonality_check;
+use resilient_linalg::vector::{has_non_finite, nrm2};
+
+use crate::solvers::common::{Operator, SolveOptions, SolveOutcome, StopReason, true_relative_residual};
+use crate::solvers::gmres::ArnoldiProcess;
+
+/// What to do when a skeptical check fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkepticalResponse {
+    /// Record the detection and keep iterating (useful to measure pure
+    /// detection coverage).
+    RecordOnly,
+    /// Discard the current Arnoldi cycle and restart from the current
+    /// iterate (local rollback — the recommended response).
+    Restart,
+    /// Stop the solve with [`StopReason::CorruptionDetected`].
+    Abort,
+}
+
+/// Configuration of the skeptical checks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkepticalConfig {
+    /// Enable the per-iteration finiteness / norm-bound / orthogonality
+    /// checks.
+    pub local_checks: bool,
+    /// Recompute the true residual every this many iterations and compare
+    /// with the recurrence estimate (0 disables the check).
+    pub residual_check_interval: usize,
+    /// Allowed overshoot of the true residual relative to the recurrence
+    /// estimate: a detection fires when
+    /// `true > estimate * (1 + residual_mismatch_tol) + 10·tol`.
+    pub residual_mismatch_tol: f64,
+    /// Safety factor on the norm bound ‖A·v‖ ≤ factor·‖A‖∞·‖v‖.
+    pub norm_bound_factor: f64,
+    /// Orthogonality tolerance for the newest basis pair.
+    pub orthogonality_tol: f64,
+    /// Response on detection.
+    pub response: SkepticalResponse,
+}
+
+impl Default for SkepticalConfig {
+    fn default() -> Self {
+        Self {
+            local_checks: true,
+            residual_check_interval: 10,
+            residual_mismatch_tol: 10.0,
+            norm_bound_factor: 4.0,
+            orthogonality_tol: 1e-8,
+            response: SkepticalResponse::Restart,
+        }
+    }
+}
+
+impl SkepticalConfig {
+    /// A configuration with every check disabled (the "trusting" baseline).
+    pub fn trusting() -> Self {
+        Self {
+            local_checks: false,
+            residual_check_interval: 0,
+            ..Self::default()
+        }
+    }
+}
+
+/// What the skeptical machinery observed during a solve.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SkepticalReport {
+    /// Number of per-iteration local checks executed.
+    pub local_checks_run: usize,
+    /// Number of residual-consistency checks executed.
+    pub residual_checks_run: usize,
+    /// Number of detections (any check).
+    pub detections: usize,
+    /// Number of Arnoldi-cycle restarts triggered by detections.
+    pub corrective_restarts: usize,
+    /// Extra floating-point work spent on checks (FLOPs).
+    pub check_flops: usize,
+}
+
+/// GMRES with skeptical checks. Returns the solver outcome plus the
+/// skeptical report.
+pub fn skeptical_gmres<O: Operator + ?Sized>(
+    a: &O,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    opts: &SolveOptions,
+    skeptic: &SkepticalConfig,
+) -> (SolveOutcome, SkepticalReport) {
+    let n = a.dim();
+    assert_eq!(b.len(), n, "rhs dimension mismatch");
+    let mut x = x0.map(|v| v.to_vec()).unwrap_or_else(|| vec![0.0; n]);
+    let bn = nrm2(b).max(f64::MIN_POSITIVE);
+    let restart = opts.restart.max(1);
+    let norm_a = a.norm_estimate();
+    let mut history = Vec::new();
+    let mut total_iters = 0usize;
+    let mut flops = 0usize;
+    let mut report = SkepticalReport::default();
+
+    'outer: loop {
+        let ax = a.apply(&x);
+        flops += a.flops_per_apply();
+        let r0: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
+        let mut relres = nrm2(&r0) / bn;
+        if history.is_empty() {
+            history.push(relres);
+        }
+        if relres <= opts.tol {
+            return (
+                SolveOutcome {
+                    x,
+                    iterations: total_iters,
+                    relative_residual: relres,
+                    reason: StopReason::Converged,
+                    history,
+                    flops,
+                },
+                report,
+            );
+        }
+        if has_non_finite(&x) || !relres.is_finite() {
+            return (
+                SolveOutcome {
+                    x,
+                    iterations: total_iters,
+                    relative_residual: relres,
+                    reason: StopReason::Diverged,
+                    history,
+                    flops,
+                },
+                report,
+            );
+        }
+
+        let mut arnoldi = ArnoldiProcess::new(r0, restart);
+        let mut breakdown = false;
+
+        for _inner in 0..restart {
+            if total_iters >= opts.max_iters {
+                break;
+            }
+            let v = arnoldi.basis.last().expect("basis never empty").clone();
+            let w = a.apply(&v);
+            flops += a.flops_per_apply() + 4 * n * (arnoldi.steps() + 1);
+
+            // --- Skeptical local checks on the raw product -----------------
+            let mut detected = false;
+            if skeptic.local_checks {
+                report.local_checks_run += 1;
+                report.check_flops += 4 * n;
+                let wn = nrm2(&w);
+                if has_non_finite(&w) {
+                    detected = true;
+                } else if norm_a.is_finite()
+                    && wn > skeptic.norm_bound_factor * norm_a * nrm2(&v).max(1.0)
+                {
+                    detected = true;
+                }
+            }
+
+            let mut res_est = None;
+            if !detected {
+                res_est = arnoldi.extend(w);
+                total_iters += 1;
+                relres = arnoldi.residual_norm() / bn;
+                history.push(relres);
+
+                if relres <= opts.tol {
+                    // Converged according to the recurrence: stop checking.
+                    // Once the residual is at rounding level the newest basis
+                    // vector is dominated by roundoff and the orthogonality
+                    // test would false-positive; the cycle-final *true*
+                    // residual check below still guards against a lying
+                    // recurrence.
+                    break;
+                }
+
+                if skeptic.local_checks && arnoldi.basis.len() >= 2 {
+                    report.local_checks_run += 1;
+                    report.check_flops += 2 * n;
+                    let last = arnoldi.basis.len() - 1;
+                    if orthogonality_check(
+                        &arnoldi.basis[last],
+                        &arnoldi.basis[last - 1],
+                        skeptic.orthogonality_tol,
+                    )
+                    .is_suspicious()
+                    {
+                        detected = true;
+                    }
+                }
+
+                // --- Periodic residual-consistency check --------------------
+                if !detected
+                    && skeptic.residual_check_interval > 0
+                    && total_iters % skeptic.residual_check_interval == 0
+                {
+                    report.residual_checks_run += 1;
+                    report.check_flops += a.flops_per_apply() + 4 * n;
+                    let mut x_trial = x.clone();
+                    arnoldi.update_solution(&mut x_trial);
+                    let true_rr = true_relative_residual(a, b, &x_trial);
+                    flops += a.flops_per_apply();
+                    // Corruption makes the recurrence estimate lie *low*: the
+                    // Hessenberg data claims progress the true residual does
+                    // not show. Flag only a large one-sided discrepancy so
+                    // that ordinary rounding noise near the tolerance never
+                    // triggers a false positive.
+                    let allowed = relres * (1.0 + skeptic.residual_mismatch_tol) + 10.0 * opts.tol;
+                    if !true_rr.is_finite() || true_rr > allowed {
+                        detected = true;
+                    }
+                }
+            }
+
+            if detected {
+                report.detections += 1;
+                match skeptic.response {
+                    SkepticalResponse::RecordOnly => {
+                        // If the product itself was rejected before extending,
+                        // we still must extend to make progress.
+                        if res_est.is_none() && arnoldi.steps() == 0 {
+                            // re-apply cleanly not possible (operator may be
+                            // inherently faulty); extend with the possibly
+                            // corrupted vector to keep going.
+                        }
+                    }
+                    SkepticalResponse::Restart => {
+                        report.corrective_restarts += 1;
+                        // Keep whatever progress preceded the corrupted step:
+                        // the current cycle is discarded and the outer loop
+                        // recomputes the residual from x (which has only been
+                        // updated at cycle boundaries, so it is uncorrupted).
+                        continue 'outer;
+                    }
+                    SkepticalResponse::Abort => {
+                        arnoldi.update_solution(&mut x);
+                        let rr = true_relative_residual(a, b, &x);
+                        return (
+                            SolveOutcome {
+                                x,
+                                iterations: total_iters,
+                                relative_residual: rr,
+                                reason: StopReason::CorruptionDetected,
+                                history,
+                                flops,
+                            },
+                            report,
+                        );
+                    }
+                }
+            }
+
+            if res_est.is_none() && !detected {
+                breakdown = true;
+                break;
+            }
+            if relres <= opts.tol {
+                break;
+            }
+        }
+
+        arnoldi.update_solution(&mut x);
+        let true_relres = true_relative_residual(a, b, &x);
+        flops += a.flops_per_apply();
+        if true_relres <= opts.tol {
+            return (
+                SolveOutcome {
+                    x,
+                    iterations: total_iters,
+                    relative_residual: true_relres,
+                    reason: StopReason::Converged,
+                    history,
+                    flops,
+                },
+                report,
+            );
+        }
+        if breakdown || total_iters >= opts.max_iters {
+            return (
+                SolveOutcome {
+                    x,
+                    iterations: total_iters,
+                    relative_residual: true_relres,
+                    reason: if breakdown { StopReason::Breakdown } else { StopReason::MaxIterations },
+                    history,
+                    flops,
+                },
+                report,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skeptical::faulty::{FaultTarget, FaultyOperator, InjectionPlan};
+    use resilient_linalg::poisson2d;
+
+    fn opts() -> SolveOptions {
+        SolveOptions::default().with_tol(1e-9).with_max_iters(600).with_restart(30)
+    }
+
+    #[test]
+    fn clean_run_matches_plain_gmres_and_costs_little_extra() {
+        let a = poisson2d(10, 10);
+        let b = vec![1.0; a.nrows()];
+        let (out, report) = skeptical_gmres(&a, &b, None, &opts(), &SkepticalConfig::default());
+        assert!(out.converged());
+        assert_eq!(report.detections, 0, "no false positives on a clean run");
+        assert!(report.local_checks_run > 0);
+        // Check overhead is a small fraction of the solver's arithmetic.
+        assert!(
+            (report.check_flops as f64) < 0.35 * out.flops as f64,
+            "check flops {} vs solver flops {}",
+            report.check_flops,
+            out.flops
+        );
+    }
+
+    #[test]
+    fn severe_bit_flip_is_detected_and_survived() {
+        let a = poisson2d(10, 10);
+        let n = a.nrows();
+        let b = vec![1.0; n];
+        // Flip a high exponent bit in the SpMV output of the 7th application.
+        let plan = InjectionPlan {
+            at_application: 7,
+            target: FaultTarget::Element(n / 2),
+            bit: Some(62),
+        };
+        let faulty = FaultyOperator::new(&a, Some(plan), 3);
+        let (out, report) = skeptical_gmres(&faulty, &b, None, &opts(), &SkepticalConfig::default());
+        assert!(faulty.injection().is_some(), "the fault must actually have been injected");
+        assert!(report.detections >= 1, "the severe flip must be detected");
+        assert!(out.converged(), "the solver must still converge after recovery");
+        assert!(
+            true_relative_residual(&a, &b, &out.x) < 1e-8,
+            "the returned solution must be correct w.r.t. the clean operator"
+        );
+    }
+
+    #[test]
+    fn trusting_solver_is_hurt_by_the_same_flip() {
+        let a = poisson2d(10, 10);
+        let n = a.nrows();
+        let b = vec![1.0; n];
+        let plan = InjectionPlan {
+            at_application: 7,
+            target: FaultTarget::Element(n / 2),
+            bit: Some(62),
+        };
+        let skeptical_faulty = FaultyOperator::new(&a, Some(plan), 3);
+        let trusting_faulty = FaultyOperator::new(&a, Some(plan), 3);
+        let (skeptical_out, _) =
+            skeptical_gmres(&skeptical_faulty, &b, None, &opts(), &SkepticalConfig::default());
+        let (trusting_out, trusting_report) =
+            skeptical_gmres(&trusting_faulty, &b, None, &opts(), &SkepticalConfig::trusting());
+        assert_eq!(trusting_report.detections, 0);
+        // The trusting run either needs (strictly) more iterations or ends
+        // further from the truth; the skeptical run converges cleanly.
+        let skeptical_err = true_relative_residual(&a, &b, &skeptical_out.x);
+        let trusting_err = true_relative_residual(&a, &b, &trusting_out.x);
+        assert!(skeptical_out.converged());
+        assert!(
+            trusting_out.iterations > skeptical_out.iterations
+                || !trusting_err.is_finite()
+                || trusting_err > skeptical_err,
+            "trusting: iters={} err={trusting_err}, skeptical: iters={} err={skeptical_err}",
+            trusting_out.iterations,
+            skeptical_out.iterations,
+        );
+    }
+
+    #[test]
+    fn abort_response_stops_early() {
+        let a = poisson2d(8, 8);
+        let n = a.nrows();
+        let b = vec![1.0; n];
+        let plan =
+            InjectionPlan { at_application: 3, target: FaultTarget::Element(0), bit: Some(63) };
+        let faulty = FaultyOperator::new(&a, Some(plan), 5);
+        let cfg = SkepticalConfig { response: SkepticalResponse::Abort, ..SkepticalConfig::default() };
+        let (out, report) = skeptical_gmres(&faulty, &b, None, &opts(), &cfg);
+        if report.detections > 0 {
+            assert_eq!(out.reason, StopReason::CorruptionDetected);
+        }
+    }
+
+    #[test]
+    fn low_mantissa_flip_is_harmless_even_if_undetected() {
+        let a = poisson2d(8, 8);
+        let n = a.nrows();
+        let b = vec![1.0; n];
+        let plan =
+            InjectionPlan { at_application: 5, target: FaultTarget::Element(1), bit: Some(0) };
+        let faulty = FaultyOperator::new(&a, Some(plan), 5);
+        let (out, _report) = skeptical_gmres(&faulty, &b, None, &opts(), &SkepticalConfig::default());
+        assert!(out.converged(), "a last-mantissa-bit flip must not prevent convergence");
+        assert!(true_relative_residual(&a, &b, &out.x) < 1e-8);
+    }
+}
+

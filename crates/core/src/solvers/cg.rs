@@ -1,0 +1,201 @@
+//! The (preconditioned) conjugate gradient method for SPD systems.
+
+use resilient_linalg::vector::{axpy, dot, has_non_finite, nrm2};
+
+use super::common::{
+    IdentityPreconditioner, Operator, Preconditioner, SolveOptions, SolveOutcome, StopReason,
+};
+
+/// Solve `A·x = b` with CG starting from `x0` (zero vector if `None`).
+pub fn cg<O: Operator + ?Sized>(
+    a: &O,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    opts: &SolveOptions,
+) -> SolveOutcome {
+    pcg(a, &IdentityPreconditioner, b, x0, opts)
+}
+
+/// Preconditioned conjugate gradients.
+pub fn pcg<O: Operator + ?Sized, M: Preconditioner + ?Sized>(
+    a: &O,
+    m: &M,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    opts: &SolveOptions,
+) -> SolveOutcome {
+    let n = a.dim();
+    assert_eq!(b.len(), n, "rhs dimension mismatch");
+    let mut x = x0.map(|v| v.to_vec()).unwrap_or_else(|| vec![0.0; n]);
+    let bn = nrm2(b).max(f64::MIN_POSITIVE);
+    let mut flops = 0usize;
+
+    // r = b - A x
+    let ax = a.apply(&x);
+    flops += a.flops_per_apply();
+    let mut r: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
+    let mut z = m.apply(&r);
+    let mut p = z.clone();
+    let mut rz = dot(&r, &z);
+    let mut history = Vec::new();
+    let mut relres = nrm2(&r) / bn;
+    history.push(relres);
+    if relres <= opts.tol {
+        return SolveOutcome {
+            x,
+            iterations: 0,
+            relative_residual: relres,
+            reason: StopReason::Converged,
+            history,
+            flops,
+        };
+    }
+
+    for k in 0..opts.max_iters {
+        let ap = a.apply(&p);
+        flops += a.flops_per_apply() + 10 * n;
+        let pap = dot(&p, &ap);
+        if pap <= 0.0 || !pap.is_finite() {
+            return SolveOutcome {
+                x,
+                iterations: k,
+                relative_residual: relres,
+                reason: if pap.is_finite() { StopReason::Breakdown } else { StopReason::Diverged },
+                history,
+                flops,
+            };
+        }
+        let alpha = rz / pap;
+        axpy(alpha, &p, &mut x);
+        axpy(-alpha, &ap, &mut r);
+        relres = nrm2(&r) / bn;
+        history.push(relres);
+        if has_non_finite(&r) {
+            return SolveOutcome {
+                x,
+                iterations: k + 1,
+                relative_residual: relres,
+                reason: StopReason::Diverged,
+                history,
+                flops,
+            };
+        }
+        if relres <= opts.tol {
+            return SolveOutcome {
+                x,
+                iterations: k + 1,
+                relative_residual: relres,
+                reason: StopReason::Converged,
+                history,
+                flops,
+            };
+        }
+        z = m.apply(&r);
+        let rz_new = dot(&r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+    }
+    SolveOutcome {
+        x,
+        iterations: opts.max_iters,
+        relative_residual: relres,
+        reason: StopReason::MaxIterations,
+        history,
+        flops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solvers::common::{true_relative_residual, JacobiPreconditioner};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use resilient_linalg::{poisson1d, poisson2d, random_vector, spd_random};
+
+    #[test]
+    fn solves_poisson1d_exactly_in_n_iterations() {
+        let a = poisson1d(10);
+        let x_true = vec![1.0; 10];
+        let b = a.spmv(&x_true);
+        let out = cg(&a, &b, None, &SolveOptions::default().with_tol(1e-12));
+        assert!(out.converged());
+        assert!(out.iterations <= 10, "CG must converge within n steps, took {}", out.iterations);
+        assert!(true_relative_residual(&a, &b, &out.x) < 1e-10);
+    }
+
+    #[test]
+    fn solves_poisson2d() {
+        let a = poisson2d(12, 12);
+        let n = a.nrows();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let x_true = random_vector(n, &mut rng);
+        let b = a.spmv(&x_true);
+        let out = cg(&a, &b, None, &SolveOptions::default().with_tol(1e-10).with_max_iters(500));
+        assert!(out.converged(), "reason {:?}", out.reason);
+        let err: f64 = out
+            .x
+            .iter()
+            .zip(&x_true)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(err < 1e-6, "solution error {err}");
+        assert!(out.flops > 0);
+    }
+
+    #[test]
+    fn jacobi_preconditioning_does_not_hurt_poisson() {
+        let a = poisson2d(10, 10);
+        let b = vec![1.0; a.nrows()];
+        let plain = cg(&a, &b, None, &SolveOptions::default().with_tol(1e-10).with_max_iters(500));
+        let m = JacobiPreconditioner::from_matrix(&a);
+        let pre =
+            pcg(&a, &m, &b, None, &SolveOptions::default().with_tol(1e-10).with_max_iters(500));
+        assert!(plain.converged() && pre.converged());
+        // Constant-diagonal matrix: Jacobi is a scalar scaling, same iteration count.
+        assert_eq!(plain.iterations, pre.iterations);
+    }
+
+    #[test]
+    fn respects_initial_guess() {
+        let a = poisson1d(8);
+        let x_true = vec![2.0; 8];
+        let b = a.spmv(&x_true);
+        let out = cg(&a, &b, Some(&x_true), &SolveOptions::default());
+        assert_eq!(out.iterations, 0, "exact initial guess converges immediately");
+        assert!(out.converged());
+    }
+
+    #[test]
+    fn random_spd_system() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let a = spd_random(20, &mut rng);
+        let b = random_vector(20, &mut rng);
+        let out = cg(&a, &b, None, &SolveOptions::default().with_tol(1e-10).with_max_iters(200));
+        assert!(out.converged());
+        assert!(true_relative_residual(&a, &b, &out.x) < 1e-8);
+    }
+
+    #[test]
+    fn iteration_cap_is_respected() {
+        let a = poisson2d(16, 16);
+        let b = vec![1.0; a.nrows()];
+        let out = cg(&a, &b, None, &SolveOptions::default().with_tol(1e-14).with_max_iters(3));
+        assert_eq!(out.reason, StopReason::MaxIterations);
+        assert_eq!(out.iterations, 3);
+        assert_eq!(out.history.len(), 4);
+    }
+
+    #[test]
+    fn residual_history_is_monotone_enough() {
+        let a = poisson2d(8, 8);
+        let b = vec![1.0; a.nrows()];
+        let out = cg(&a, &b, None, &SolveOptions::default().with_tol(1e-10).with_max_iters(300));
+        // CG residuals are not strictly monotone, but the last is far below the first.
+        assert!(out.history.last().unwrap() < &(out.history[0] * 1e-8));
+    }
+}

@@ -1,0 +1,234 @@
+//! Shared solver abstractions: linear operators, preconditioners, options
+//! and outcomes.
+
+use resilient_linalg::{CsrMatrix, DenseMatrix};
+
+/// A linear operator `y = A·x` on `R^n`.
+///
+/// The solvers are generic over this trait so that the same GMRES/CG code
+/// runs on a plain sparse matrix, on a fault-injecting wrapper (skeptical
+/// programming experiments), or on an operator stored in unreliable memory
+/// (selective reliability experiments).
+pub trait Operator {
+    /// Dimension `n` of the (square) operator.
+    fn dim(&self) -> usize;
+    /// Apply the operator: returns `A·x`.
+    fn apply(&self, x: &[f64]) -> Vec<f64>;
+    /// Floating-point operations per application (used for cost accounting).
+    fn flops_per_apply(&self) -> usize {
+        2 * self.dim()
+    }
+    /// An estimate of an upper bound on the operator's ∞-norm, used by
+    /// skeptical norm-bound checks. The default derives nothing and returns
+    /// infinity (no bound available).
+    fn norm_estimate(&self) -> f64 {
+        f64::INFINITY
+    }
+}
+
+impl Operator for CsrMatrix {
+    fn dim(&self) -> usize {
+        self.nrows()
+    }
+    fn apply(&self, x: &[f64]) -> Vec<f64> {
+        self.spmv(x)
+    }
+    fn flops_per_apply(&self) -> usize {
+        self.spmv_flops()
+    }
+    fn norm_estimate(&self) -> f64 {
+        // ∞-norm = max row sum of absolute values.
+        (0..self.nrows())
+            .map(|i| self.row(i).1.iter().map(|v| v.abs()).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl Operator for DenseMatrix {
+    fn dim(&self) -> usize {
+        self.nrows()
+    }
+    fn apply(&self, x: &[f64]) -> Vec<f64> {
+        self.gemv(x)
+    }
+    fn flops_per_apply(&self) -> usize {
+        2 * self.nrows() * self.ncols()
+    }
+    fn norm_estimate(&self) -> f64 {
+        (0..self.nrows()).map(|i| self.row(i).iter().map(|v| v.abs()).sum::<f64>()).fold(0.0, f64::max)
+    }
+}
+
+/// A preconditioner `z = M⁻¹·r`.
+pub trait Preconditioner {
+    /// Apply the preconditioner.
+    fn apply(&self, r: &[f64]) -> Vec<f64>;
+}
+
+/// The identity preconditioner (no preconditioning).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdentityPreconditioner;
+
+impl Preconditioner for IdentityPreconditioner {
+    fn apply(&self, r: &[f64]) -> Vec<f64> {
+        r.to_vec()
+    }
+}
+
+/// Jacobi (diagonal) preconditioner.
+#[derive(Debug, Clone)]
+pub struct JacobiPreconditioner {
+    inv_diag: Vec<f64>,
+}
+
+impl JacobiPreconditioner {
+    /// Build from a sparse matrix's diagonal. Zero diagonal entries are
+    /// treated as one (no scaling) so the preconditioner is always defined.
+    pub fn from_matrix(a: &CsrMatrix) -> Self {
+        let inv_diag =
+            a.diagonal().iter().map(|&d| if d.abs() > 0.0 { 1.0 / d } else { 1.0 }).collect();
+        Self { inv_diag }
+    }
+}
+
+impl Preconditioner for JacobiPreconditioner {
+    fn apply(&self, r: &[f64]) -> Vec<f64> {
+        r.iter().zip(&self.inv_diag).map(|(x, d)| x * d).collect()
+    }
+}
+
+/// Solver configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveOptions {
+    /// Relative residual tolerance: stop when ‖r‖ ≤ tol·‖b‖.
+    pub tol: f64,
+    /// Maximum total iterations.
+    pub max_iters: usize,
+    /// Restart length for restarted GMRES (ignored by CG).
+    pub restart: usize,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        Self { tol: 1e-8, max_iters: 1000, restart: 50 }
+    }
+}
+
+impl SolveOptions {
+    /// Builder-style tolerance.
+    pub fn with_tol(mut self, tol: f64) -> Self {
+        self.tol = tol;
+        self
+    }
+    /// Builder-style iteration cap.
+    pub fn with_max_iters(mut self, max_iters: usize) -> Self {
+        self.max_iters = max_iters;
+        self
+    }
+    /// Builder-style restart length.
+    pub fn with_restart(mut self, restart: usize) -> Self {
+        self.restart = restart;
+        self
+    }
+}
+
+/// Why a solve stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The residual tolerance was met.
+    Converged,
+    /// The iteration limit was reached.
+    MaxIterations,
+    /// A breakdown occurred (zero denominator / happy breakdown handled
+    /// separately by GMRES).
+    Breakdown,
+    /// The iteration produced NaN/Inf values.
+    Diverged,
+    /// A skeptical check detected corruption and the solver chose to stop.
+    CorruptionDetected,
+}
+
+/// Result of a linear solve.
+#[derive(Debug, Clone)]
+pub struct SolveOutcome {
+    /// Final iterate.
+    pub x: Vec<f64>,
+    /// Iterations performed (total, across restarts).
+    pub iterations: usize,
+    /// Final (true or estimated) relative residual norm ‖b − A·x‖ / ‖b‖.
+    pub relative_residual: f64,
+    /// Why the solver stopped.
+    pub reason: StopReason,
+    /// Relative residual after each iteration.
+    pub history: Vec<f64>,
+    /// Total floating-point operations charged.
+    pub flops: usize,
+}
+
+impl SolveOutcome {
+    /// Did the solve converge to tolerance?
+    pub fn converged(&self) -> bool {
+        self.reason == StopReason::Converged
+    }
+}
+
+/// Compute the true relative residual ‖b − A·x‖₂ / ‖b‖₂.
+pub fn true_relative_residual<O: Operator + ?Sized>(a: &O, b: &[f64], x: &[f64]) -> f64 {
+    let ax = a.apply(x);
+    let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
+    let bn = resilient_linalg::vector::nrm2(b);
+    if bn == 0.0 {
+        resilient_linalg::vector::nrm2(&r)
+    } else {
+        resilient_linalg::vector::nrm2(&r) / bn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resilient_linalg::poisson1d;
+
+    #[test]
+    fn csr_operator_impl() {
+        let a = poisson1d(4);
+        assert_eq!(Operator::dim(&a), 4);
+        assert_eq!(a.apply(&[1.0, 0.0, 0.0, 0.0]), vec![2.0, -1.0, 0.0, 0.0]);
+        assert_eq!(Operator::flops_per_apply(&a), 2 * a.nnz());
+        assert_eq!(a.norm_estimate(), 4.0);
+    }
+
+    #[test]
+    fn dense_operator_impl() {
+        let d = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(Operator::dim(&d), 2);
+        assert_eq!(d.apply(&[1.0, 1.0]), vec![3.0, 7.0]);
+        assert_eq!(d.norm_estimate(), 7.0);
+    }
+
+    #[test]
+    fn jacobi_preconditioner_scales_by_diagonal() {
+        let a = poisson1d(3); // diag = 2
+        let m = JacobiPreconditioner::from_matrix(&a);
+        assert_eq!(m.apply(&[2.0, 4.0, 6.0]), vec![1.0, 2.0, 3.0]);
+        let id = IdentityPreconditioner;
+        assert_eq!(id.apply(&[1.0, 2.0]), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn options_builders() {
+        let o = SolveOptions::default().with_tol(1e-6).with_max_iters(10).with_restart(5);
+        assert_eq!(o.tol, 1e-6);
+        assert_eq!(o.max_iters, 10);
+        assert_eq!(o.restart, 5);
+    }
+
+    #[test]
+    fn true_residual_of_exact_solution_is_zero() {
+        let a = poisson1d(5);
+        let x = vec![1.0, 2.0, 3.0, 2.0, 1.0];
+        let b = a.spmv(&x);
+        assert!(true_relative_residual(&a, &b, &x) < 1e-15);
+        assert!(true_relative_residual(&a, &b, &vec![0.0; 5]) > 0.9);
+    }
+}

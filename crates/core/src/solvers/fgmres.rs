@@ -1,0 +1,286 @@
+//! Flexible GMRES (FGMRES): the reliable *outer* iteration of the paper's
+//! §III-D "reliable outer iterations" pattern.
+//!
+//! FGMRES allows the preconditioner to change from iteration to iteration —
+//! which is exactly what is needed when the "preconditioner" is an entire
+//! inner solve executed in unreliable (cheap) mode: whatever the inner solve
+//! returns, correct or corrupted, is treated as just another subspace vector
+//! by the outer iteration, which is what makes the combination robust.
+
+use resilient_linalg::vector::{dot, nrm2, scale};
+use resilient_linalg::HessenbergLsq;
+
+use super::common::{Operator, SolveOptions, SolveOutcome, StopReason};
+
+/// A possibly nonlinear, possibly *unreliable* preconditioner application
+/// `z ≈ A⁻¹·v` that may differ on every call. The flexible outer iteration
+/// only requires that the returned vector is finite to make progress; even
+/// that is checked skeptically by [`fgmres`].
+pub trait FlexiblePreconditioner {
+    /// Apply the (inner) solver to `v`.
+    fn apply(&mut self, v: &[f64]) -> Vec<f64>;
+    /// Name for reporting.
+    fn name(&self) -> &'static str {
+        "flexible-preconditioner"
+    }
+}
+
+/// The trivial flexible preconditioner: identity (turns FGMRES into GMRES).
+pub struct IdentityFlexible;
+
+impl FlexiblePreconditioner for IdentityFlexible {
+    fn apply(&mut self, v: &[f64]) -> Vec<f64> {
+        v.to_vec()
+    }
+    fn name(&self) -> &'static str {
+        "identity"
+    }
+}
+
+/// Statistics of one FGMRES run beyond the generic outcome.
+#[derive(Debug, Clone, Default)]
+pub struct FgmresReport {
+    /// Number of inner (preconditioner) applications.
+    pub inner_applications: usize,
+    /// Number of inner applications whose result was rejected by the outer
+    /// skeptical check (non-finite values) and replaced by the unpreconditioned
+    /// residual direction.
+    pub rejected_inner_results: usize,
+}
+
+/// Flexible GMRES with restart, applying `m` as a (possibly varying,
+/// possibly unreliable) right preconditioner.
+pub fn fgmres<O: Operator + ?Sized, M: FlexiblePreconditioner + ?Sized>(
+    a: &O,
+    m: &mut M,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    opts: &SolveOptions,
+) -> (SolveOutcome, FgmresReport) {
+    let n = a.dim();
+    assert_eq!(b.len(), n, "rhs dimension mismatch");
+    let mut x = x0.map(|v| v.to_vec()).unwrap_or_else(|| vec![0.0; n]);
+    let bn = nrm2(b).max(f64::MIN_POSITIVE);
+    let restart = opts.restart.max(1);
+    let mut history = Vec::new();
+    let mut total_iters = 0usize;
+    let mut flops = 0usize;
+    let mut report = FgmresReport::default();
+
+    loop {
+        let ax = a.apply(&x);
+        flops += a.flops_per_apply();
+        let r0: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
+        let beta = nrm2(&r0);
+        let mut relres = beta / bn;
+        if history.is_empty() {
+            history.push(relres);
+        }
+        if relres <= opts.tol {
+            return (
+                SolveOutcome {
+                    x,
+                    iterations: total_iters,
+                    relative_residual: relres,
+                    reason: StopReason::Converged,
+                    history,
+                    flops,
+                },
+                report,
+            );
+        }
+
+        // Outer Arnoldi with flexible preconditioning: store both the
+        // orthonormal basis V and the preconditioned vectors Z.
+        let mut v0 = r0;
+        scale(1.0 / beta, &mut v0);
+        let mut v_basis = vec![v0];
+        let mut z_basis: Vec<Vec<f64>> = Vec::new();
+        let mut lsq = HessenbergLsq::new(restart, beta);
+        let mut breakdown = false;
+
+        for _ in 0..restart {
+            if total_iters >= opts.max_iters {
+                break;
+            }
+            let vj = v_basis.last().expect("basis never empty").clone();
+            // Inner (unreliable) solve. The outer iteration is the reliable
+            // part: it validates the result before using it.
+            let mut z = m.apply(&vj);
+            report.inner_applications += 1;
+            if z.len() != n || z.iter().any(|v| !v.is_finite()) {
+                // Skeptical outer iteration: discard garbage inner results and
+                // fall back to the unpreconditioned direction; the subspace
+                // still grows and convergence degrades gracefully instead of
+                // being destroyed.
+                report.rejected_inner_results += 1;
+                z = vj.clone();
+            }
+            let mut w = a.apply(&z);
+            flops += a.flops_per_apply() + 4 * n * (v_basis.len() + 1);
+            // Modified Gram–Schmidt.
+            let mut h = Vec::with_capacity(v_basis.len() + 1);
+            for v in &v_basis {
+                let hij = dot(v, &w);
+                for (wi, vi) in w.iter_mut().zip(v) {
+                    *wi -= hij * vi;
+                }
+                h.push(hij);
+            }
+            let h_next = nrm2(&w);
+            h.push(h_next);
+            let res_est = lsq.push_column(&h);
+            z_basis.push(z);
+            total_iters += 1;
+            relres = res_est / bn;
+            history.push(relres);
+            if h_next <= f64::EPSILON * beta.max(1.0) {
+                breakdown = true;
+                break;
+            }
+            scale(1.0 / h_next, &mut w);
+            v_basis.push(w);
+            if relres <= opts.tol {
+                break;
+            }
+        }
+
+        // x += Z_k · y_k
+        if !z_basis.is_empty() {
+            let y = lsq.solve();
+            for (j, yj) in y.iter().enumerate() {
+                for (xi, zi) in x.iter_mut().zip(&z_basis[j]) {
+                    *xi += yj * zi;
+                }
+            }
+        }
+        let ax = a.apply(&x);
+        flops += a.flops_per_apply();
+        let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
+        let true_relres = nrm2(&r) / bn;
+        if true_relres <= opts.tol {
+            return (
+                SolveOutcome {
+                    x,
+                    iterations: total_iters,
+                    relative_residual: true_relres,
+                    reason: StopReason::Converged,
+                    history,
+                    flops,
+                },
+                report,
+            );
+        }
+        if breakdown || total_iters >= opts.max_iters {
+            return (
+                SolveOutcome {
+                    x,
+                    iterations: total_iters,
+                    relative_residual: true_relres,
+                    reason: if breakdown { StopReason::Breakdown } else { StopReason::MaxIterations },
+                    history,
+                    flops,
+                },
+                report,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solvers::cg::cg;
+    use crate::solvers::common::true_relative_residual;
+    use resilient_linalg::{poisson2d, CsrMatrix};
+
+    #[test]
+    fn identity_preconditioner_reduces_to_gmres() {
+        let a = poisson2d(8, 8);
+        let b = vec![1.0; a.nrows()];
+        let (out, report) = fgmres(
+            &a,
+            &mut IdentityFlexible,
+            &b,
+            None,
+            &SolveOptions::default().with_tol(1e-9).with_max_iters(400),
+        );
+        assert!(out.converged());
+        assert!(report.inner_applications >= out.iterations);
+        assert_eq!(report.rejected_inner_results, 0);
+        assert!(true_relative_residual(&a, &b, &out.x) < 1e-8);
+    }
+
+    /// An inner preconditioner that runs a few CG iterations — a realistic
+    /// inner-outer configuration.
+    struct InnerCg {
+        a: CsrMatrix,
+        iters: usize,
+    }
+    impl FlexiblePreconditioner for InnerCg {
+        fn apply(&mut self, v: &[f64]) -> Vec<f64> {
+            cg(&self.a, v, None, &SolveOptions::default().with_tol(1e-2).with_max_iters(self.iters))
+                .x
+        }
+    }
+
+    #[test]
+    fn inner_solver_accelerates_outer() {
+        let a = poisson2d(10, 10);
+        let b = vec![1.0; a.nrows()];
+        let opts = SolveOptions::default().with_tol(1e-9).with_max_iters(300).with_restart(30);
+        let (plain, _) = fgmres(&a, &mut IdentityFlexible, &b, None, &opts);
+        let mut inner = InnerCg { a: a.clone(), iters: 8 };
+        let (accel, report) = fgmres(&a, &mut inner, &b, None, &opts);
+        assert!(plain.converged() && accel.converged());
+        assert!(
+            accel.iterations < plain.iterations,
+            "inner CG must reduce outer iterations: {} vs {}",
+            accel.iterations,
+            plain.iterations
+        );
+        assert_eq!(report.rejected_inner_results, 0);
+    }
+
+    /// An inner "solver" that sometimes returns garbage (NaNs) — the outer
+    /// iteration must survive it.
+    struct FlakyInner {
+        calls: usize,
+    }
+    impl FlexiblePreconditioner for FlakyInner {
+        fn apply(&mut self, v: &[f64]) -> Vec<f64> {
+            self.calls += 1;
+            if self.calls % 3 == 0 {
+                vec![f64::NAN; v.len()]
+            } else {
+                v.to_vec()
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_inner_results_are_rejected_not_fatal() {
+        let a = poisson2d(7, 7);
+        let b = vec![1.0; a.nrows()];
+        let (out, report) = fgmres(
+            &a,
+            &mut FlakyInner { calls: 0 },
+            &b,
+            None,
+            &SolveOptions::default().with_tol(1e-8).with_max_iters(400),
+        );
+        assert!(out.converged(), "outer iteration must absorb garbage inner results");
+        assert!(report.rejected_inner_results > 0);
+        assert!(true_relative_residual(&a, &b, &out.x) < 1e-7);
+    }
+
+    #[test]
+    fn exact_guess_short_circuits() {
+        let a = poisson2d(5, 5);
+        let x_true = vec![1.5; a.nrows()];
+        let b = a.spmv(&x_true);
+        let (out, _) = fgmres(&a, &mut IdentityFlexible, &b, Some(&x_true), &SolveOptions::default());
+        assert_eq!(out.iterations, 0);
+        assert!(out.converged());
+    }
+}

@@ -1,0 +1,303 @@
+//! Restarted GMRES and the Arnoldi process.
+
+use resilient_linalg::vector::{dot, nrm2, scale};
+use resilient_linalg::HessenbergLsq;
+
+use super::common::{Operator, SolveOptions, SolveOutcome, StopReason};
+
+/// One Arnoldi/GMRES cycle's worth of basis vectors and machinery, exposed so
+/// the skeptical and pipelined variants can reuse it.
+pub struct ArnoldiProcess {
+    /// Orthonormal basis vectors v₀ … v_k.
+    pub basis: Vec<Vec<f64>>,
+    /// Hessenberg columns (column j has j+2 entries).
+    pub h_columns: Vec<Vec<f64>>,
+    lsq: HessenbergLsq,
+    beta: f64,
+}
+
+impl ArnoldiProcess {
+    /// Start the process from residual `r0` (must be nonzero).
+    pub fn new(r0: Vec<f64>, max_dim: usize) -> Self {
+        let beta = nrm2(&r0);
+        let mut v0 = r0;
+        if beta > 0.0 {
+            scale(1.0 / beta, &mut v0);
+        }
+        Self { basis: vec![v0], h_columns: Vec::new(), lsq: HessenbergLsq::new(max_dim, beta), beta }
+    }
+
+    /// Initial residual norm β.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Number of completed Arnoldi steps.
+    pub fn steps(&self) -> usize {
+        self.h_columns.len()
+    }
+
+    /// Perform one Arnoldi step using the preconditioned operator
+    /// application `w = A·v_k` provided by the caller (the caller computes
+    /// it so that fault injection and cost accounting can wrap the product).
+    /// Returns the new least-squares residual norm estimate, or `None` on
+    /// happy breakdown (the subspace became invariant).
+    pub fn extend(&mut self, mut w: Vec<f64>) -> Option<f64> {
+        let k = self.steps();
+        // Modified Gram–Schmidt orthogonalisation against the existing basis.
+        let mut h = Vec::with_capacity(k + 2);
+        for v in &self.basis {
+            let hij = dot(v, &w);
+            for (wi, vi) in w.iter_mut().zip(v) {
+                *wi -= hij * vi;
+            }
+            h.push(hij);
+        }
+        let h_next = nrm2(&w);
+        h.push(h_next);
+        let residual = self.lsq_push(&h);
+        if h_next <= f64::EPSILON * self.beta.max(1.0) {
+            // Happy breakdown: exact solution lives in the current subspace.
+            self.h_columns.push(h);
+            return None;
+        }
+        scale(1.0 / h_next, &mut w);
+        self.basis.push(w);
+        self.h_columns.push(h);
+        Some(residual)
+    }
+
+    fn lsq_push(&mut self, h: &[f64]) -> f64 {
+        self.lsq.push_column(h)
+    }
+
+    /// Current least-squares residual norm (absolute, not relative).
+    pub fn residual_norm(&self) -> f64 {
+        self.lsq.residual_norm()
+    }
+
+    /// Assemble the current iterate correction `V_k · y_k` and add it to
+    /// `x`.
+    pub fn update_solution(&self, x: &mut [f64]) {
+        if self.steps() == 0 {
+            return;
+        }
+        let y = self.lsq.solve();
+        for (j, yj) in y.iter().enumerate() {
+            for (xi, vi) in x.iter_mut().zip(&self.basis[j]) {
+                *xi += yj * vi;
+            }
+        }
+    }
+}
+
+/// Restarted GMRES(m): solve `A·x = b` with restart length `opts.restart`.
+pub fn gmres<O: Operator + ?Sized>(
+    a: &O,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    opts: &SolveOptions,
+) -> SolveOutcome {
+    let n = a.dim();
+    assert_eq!(b.len(), n, "rhs dimension mismatch");
+    let mut x = x0.map(|v| v.to_vec()).unwrap_or_else(|| vec![0.0; n]);
+    let bn = nrm2(b).max(f64::MIN_POSITIVE);
+    let restart = opts.restart.max(1);
+    let mut history = Vec::new();
+    let mut total_iters = 0usize;
+    let mut flops = 0usize;
+
+    loop {
+        let ax = a.apply(&x);
+        flops += a.flops_per_apply();
+        let r0: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
+        let mut relres = nrm2(&r0) / bn;
+        if history.is_empty() {
+            history.push(relres);
+        }
+        if relres <= opts.tol {
+            return SolveOutcome {
+                x,
+                iterations: total_iters,
+                relative_residual: relres,
+                reason: StopReason::Converged,
+                history,
+                flops,
+            };
+        }
+        let mut arnoldi = ArnoldiProcess::new(r0, restart);
+        let mut breakdown = false;
+        for _ in 0..restart {
+            if total_iters >= opts.max_iters {
+                break;
+            }
+            let v = arnoldi.basis.last().expect("basis is never empty").clone();
+            let w = a.apply(&v);
+            flops += a.flops_per_apply() + 4 * n * (arnoldi.steps() + 1);
+            let res = arnoldi.extend(w);
+            total_iters += 1;
+            relres = arnoldi.residual_norm() / bn;
+            history.push(relres);
+            if !relres.is_finite() {
+                arnoldi.update_solution(&mut x);
+                return SolveOutcome {
+                    x,
+                    iterations: total_iters,
+                    relative_residual: relres,
+                    reason: StopReason::Diverged,
+                    history,
+                    flops,
+                };
+            }
+            if res.is_none() {
+                breakdown = true;
+                break;
+            }
+            if relres <= opts.tol {
+                break;
+            }
+        }
+        arnoldi.update_solution(&mut x);
+        let true_relres = {
+            let ax = a.apply(&x);
+            flops += a.flops_per_apply();
+            let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
+            nrm2(&r) / bn
+        };
+        if true_relres <= opts.tol || breakdown {
+            return SolveOutcome {
+                x,
+                iterations: total_iters,
+                relative_residual: true_relres,
+                reason: if true_relres <= opts.tol {
+                    StopReason::Converged
+                } else {
+                    StopReason::Breakdown
+                },
+                history,
+                flops,
+            };
+        }
+        if total_iters >= opts.max_iters {
+            return SolveOutcome {
+                x,
+                iterations: total_iters,
+                relative_residual: true_relres,
+                reason: StopReason::MaxIterations,
+                history,
+                flops,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solvers::common::true_relative_residual;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use resilient_linalg::{diag_dominant_random, poisson1d, poisson2d, random_vector};
+
+    #[test]
+    fn solves_spd_poisson() {
+        let a = poisson2d(10, 10);
+        let b = vec![1.0; a.nrows()];
+        let out = gmres(&a, &b, None, &SolveOptions::default().with_tol(1e-10).with_max_iters(500));
+        assert!(out.converged(), "{:?}", out.reason);
+        assert!(true_relative_residual(&a, &b, &out.x) < 1e-9);
+    }
+
+    #[test]
+    fn solves_nonsymmetric_system() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let a = diag_dominant_random(60, 5, &mut rng);
+        let x_true = random_vector(60, &mut rng);
+        let b = a.spmv(&x_true);
+        let out = gmres(&a, &b, None, &SolveOptions::default().with_tol(1e-10).with_max_iters(300));
+        assert!(out.converged());
+        let err: f64 =
+            out.x.iter().zip(&x_true).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt();
+        assert!(err < 1e-7, "error {err}");
+    }
+
+    #[test]
+    fn restart_still_converges() {
+        let a = poisson2d(8, 8);
+        let b = vec![1.0; a.nrows()];
+        let short = SolveOptions::default().with_tol(1e-8).with_restart(5).with_max_iters(2000);
+        let long = SolveOptions::default().with_tol(1e-8).with_restart(100).with_max_iters(2000);
+        let out_short = gmres(&a, &b, None, &short);
+        let out_long = gmres(&a, &b, None, &long);
+        assert!(out_short.converged());
+        assert!(out_long.converged());
+        assert!(
+            out_short.iterations >= out_long.iterations,
+            "restarting cannot accelerate convergence"
+        );
+    }
+
+    #[test]
+    fn exact_initial_guess_converges_immediately() {
+        let a = poisson1d(12);
+        let x_true = vec![3.0; 12];
+        let b = a.spmv(&x_true);
+        let out = gmres(&a, &b, Some(&x_true), &SolveOptions::default());
+        assert_eq!(out.iterations, 0);
+        assert!(out.converged());
+    }
+
+    #[test]
+    fn identity_system_one_step() {
+        use resilient_linalg::CsrMatrix;
+        let a = CsrMatrix::identity(20);
+        let b: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let out = gmres(&a, &b, None, &SolveOptions::default().with_tol(1e-12));
+        assert!(out.converged());
+        assert!(out.iterations <= 1);
+        assert!(true_relative_residual(&a, &b, &out.x) < 1e-12);
+    }
+
+    #[test]
+    fn iteration_cap() {
+        let a = poisson2d(12, 12);
+        let b = vec![1.0; a.nrows()];
+        let out = gmres(&a, &b, None, &SolveOptions::default().with_tol(1e-14).with_max_iters(5));
+        assert_eq!(out.reason, StopReason::MaxIterations);
+        assert_eq!(out.iterations, 5);
+    }
+
+    #[test]
+    fn arnoldi_basis_is_orthonormal() {
+        let a = poisson2d(6, 6);
+        let n = a.nrows();
+        let r0: Vec<f64> = (0..n).map(|i| (i as f64 + 1.0).sin()).collect();
+        let mut arnoldi = ArnoldiProcess::new(r0, 10);
+        for _ in 0..10 {
+            let v = arnoldi.basis.last().unwrap().clone();
+            if arnoldi.extend(a.spmv(&v)).is_none() {
+                break;
+            }
+        }
+        for i in 0..arnoldi.basis.len() {
+            for j in 0..arnoldi.basis.len() {
+                let d = dot(&arnoldi.basis[i], &arnoldi.basis[j]);
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((d - expected).abs() < 1e-8, "V[{i}]·V[{j}] = {d}");
+            }
+        }
+        // Residual estimate decreases monotonically.
+        assert!(arnoldi.residual_norm() <= arnoldi.beta());
+    }
+
+    #[test]
+    fn arnoldi_residual_matches_true_residual() {
+        let a = poisson2d(5, 5);
+        let n = a.nrows();
+        let b = vec![1.0; n];
+        let out = gmres(&a, &b, None, &SolveOptions::default().with_tol(1e-9).with_restart(100));
+        // The recurrence-estimated final residual should match the true one.
+        let true_res = true_relative_residual(&a, &b, &out.x);
+        assert!((true_res - out.relative_residual).abs() < 1e-7);
+    }
+}

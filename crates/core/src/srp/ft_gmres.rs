@@ -1,0 +1,231 @@
+//! FT-GMRES: fault-tolerant GMRES via selective reliability (§III-D),
+//! following Bridges, Ferreira, Heroux & Hoemmen, "Fault-tolerant linear
+//! solvers via selective reliability" (2012).
+//!
+//! Structure:
+//!
+//! * the **outer** iteration is a flexible GMRES run entirely in *reliable*
+//!   mode (its SpMVs, orthogonalisation and bookkeeping are never corrupted,
+//!   and are charged the reliable cost factor);
+//! * the **inner** "preconditioner" is a whole GMRES solve executed against
+//!   an operator living in *unreliable* mode — most of the arithmetic, and
+//!   therefore most of the cost, is spent here at the cheap rate;
+//! * whatever the inner solve returns is validated and, if finite, used as a
+//!   flexible subspace vector. A corrupted inner result costs outer
+//!   iterations, never correctness.
+
+use resilient_faults::memory::{Reliability, ReliabilityModel};
+
+use super::reliability::{SrpCostLedger, UnreliableOperator};
+use crate::solvers::common::{Operator, SolveOptions, SolveOutcome};
+use crate::solvers::fgmres::{fgmres, FgmresReport, FlexiblePreconditioner};
+use crate::solvers::gmres::gmres;
+
+/// Configuration of the FT-GMRES inner/outer split.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FtGmresConfig {
+    /// Outer (reliable) solve options: tolerance is the solve tolerance.
+    pub outer: SolveOptions,
+    /// Inner (unreliable) iterations per outer step.
+    pub inner_iters: usize,
+    /// Inner relative-residual tolerance (usually loose, e.g. 1e-2).
+    pub inner_tol: f64,
+    /// Per-element corruption probability while executing in unreliable mode.
+    pub fault_rate: f64,
+    /// Cost model for the reliable tier.
+    pub reliability: ReliabilityModel,
+    /// RNG seed for the unreliable-mode corruption stream.
+    pub seed: u64,
+}
+
+impl Default for FtGmresConfig {
+    fn default() -> Self {
+        Self {
+            outer: SolveOptions::default().with_restart(30).with_max_iters(60),
+            inner_iters: 20,
+            inner_tol: 1e-2,
+            fault_rate: 0.0,
+            reliability: ReliabilityModel::default(),
+            seed: 0xF7,
+        }
+    }
+}
+
+/// Report of an FT-GMRES run.
+#[derive(Debug, Clone, Default)]
+pub struct FtGmresReport {
+    /// Flexible-GMRES level report (inner applications, rejected results).
+    pub outer: FgmresReport,
+    /// Cost ledger split by reliability tier.
+    pub ledger: SrpCostLedger,
+    /// Corrupted elements produced by the unreliable tier.
+    pub corruptions: u64,
+    /// Total inner iterations across all inner solves.
+    pub inner_iterations: usize,
+}
+
+struct UnreliableInner<'a, O: Operator + ?Sized> {
+    op: UnreliableOperator<'a, O>,
+    opts: SolveOptions,
+    ledger: SrpCostLedger,
+    inner_iterations: usize,
+}
+
+impl<'a, O: Operator + ?Sized> FlexiblePreconditioner for UnreliableInner<'a, O> {
+    fn apply(&mut self, v: &[f64]) -> Vec<f64> {
+        let out = gmres(&self.op, v, None, &self.opts);
+        self.ledger.charge(Reliability::Unreliable, out.flops);
+        self.inner_iterations += out.iterations;
+        out.x
+    }
+    fn name(&self) -> &'static str {
+        "unreliable-inner-gmres"
+    }
+}
+
+/// Solve `A·x = b` with FT-GMRES. The *clean* operator `a` is used for the
+/// reliable outer iteration; the inner solves run against an unreliable view
+/// of the same operator with the configured fault rate.
+pub fn ft_gmres<O: Operator + ?Sized>(
+    a: &O,
+    b: &[f64],
+    cfg: &FtGmresConfig,
+) -> (SolveOutcome, FtGmresReport) {
+    let inner_opts = SolveOptions::default()
+        .with_tol(cfg.inner_tol)
+        .with_max_iters(cfg.inner_iters)
+        .with_restart(cfg.inner_iters.max(1));
+    let mut inner = UnreliableInner {
+        op: UnreliableOperator::new(a, cfg.fault_rate, cfg.seed),
+        opts: inner_opts,
+        ledger: SrpCostLedger::default(),
+        inner_iterations: 0,
+    };
+    let (out, outer_report) = fgmres(a, &mut inner, b, None, &cfg.outer);
+    let mut ledger = inner.ledger.clone();
+    // The outer iteration's own arithmetic ran in reliable mode.
+    ledger.charge(Reliability::Reliable, out.flops);
+    let report = FtGmresReport {
+        outer: outer_report,
+        corruptions: inner.op.corruptions(),
+        inner_iterations: inner.inner_iterations,
+        ledger,
+    };
+    (out, report)
+}
+
+/// The all-unreliable baseline: plain GMRES run directly against the
+/// unreliable operator (what an application does today if the machine stops
+/// guaranteeing reliable execution). Returns the outcome, the cost ledger
+/// and the number of corruptions.
+pub fn unreliable_gmres<O: Operator + ?Sized>(
+    a: &O,
+    b: &[f64],
+    opts: &SolveOptions,
+    fault_rate: f64,
+    seed: u64,
+) -> (SolveOutcome, SrpCostLedger, u64) {
+    let op = UnreliableOperator::new(a, fault_rate, seed);
+    let out = gmres(&op, b, None, opts);
+    let mut ledger = SrpCostLedger::default();
+    ledger.charge(Reliability::Unreliable, out.flops);
+    let corruptions = op.corruptions();
+    (out, ledger, corruptions)
+}
+
+/// The all-reliable baseline: plain GMRES on the clean operator, every FLOP
+/// charged at the reliable rate.
+pub fn reliable_gmres<O: Operator + ?Sized>(
+    a: &O,
+    b: &[f64],
+    opts: &SolveOptions,
+) -> (SolveOutcome, SrpCostLedger) {
+    let out = gmres(a, b, opts_x0_none(), opts);
+    let mut ledger = SrpCostLedger::default();
+    ledger.charge(Reliability::Reliable, out.flops);
+    (out, ledger)
+}
+
+fn opts_x0_none() -> Option<&'static [f64]> {
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solvers::common::true_relative_residual;
+    use resilient_linalg::poisson2d;
+
+    #[test]
+    fn fault_free_ft_gmres_converges() {
+        let a = poisson2d(8, 8);
+        let b = vec![1.0; a.nrows()];
+        let cfg = FtGmresConfig {
+            outer: SolveOptions::default().with_tol(1e-8).with_max_iters(40),
+            ..FtGmresConfig::default()
+        };
+        let (out, report) = ft_gmres(&a, &b, &cfg);
+        assert!(out.converged());
+        assert_eq!(report.corruptions, 0);
+        assert!(report.inner_iterations > 0);
+        // Most raw FLOPs must be in the cheap tier — that is the whole point.
+        assert!(
+            report.ledger.reliable_fraction() < 0.5,
+            "reliable fraction {}",
+            report.ledger.reliable_fraction()
+        );
+    }
+
+    #[test]
+    fn ft_gmres_survives_high_fault_rate() {
+        let a = poisson2d(8, 8);
+        let b = vec![1.0; a.nrows()];
+        let cfg = FtGmresConfig {
+            outer: SolveOptions::default().with_tol(1e-8).with_max_iters(80).with_restart(40),
+            fault_rate: 2e-3,
+            ..FtGmresConfig::default()
+        };
+        let (out, report) = ft_gmres(&a, &b, &cfg);
+        assert!(report.corruptions > 0, "faults must actually have been injected");
+        assert!(out.converged(), "FT-GMRES must converge despite inner corruption");
+        assert!(true_relative_residual(&a, &b, &out.x) < 1e-7);
+    }
+
+    #[test]
+    fn unreliable_baseline_struggles_at_the_same_rate() {
+        let a = poisson2d(8, 8);
+        let b = vec![1.0; a.nrows()];
+        let opts = SolveOptions::default().with_tol(1e-8).with_max_iters(600).with_restart(40);
+        let (out, _ledger, corruptions) = unreliable_gmres(&a, &b, &opts, 2e-3, 0xF7);
+        // At this corruption rate an unprotected GMRES usually fails to reach
+        // the tolerance or returns a wrong answer; either way the *verified*
+        // residual must be worse than what FT-GMRES achieves.
+        let cfg = FtGmresConfig {
+            outer: SolveOptions::default().with_tol(1e-8).with_max_iters(80).with_restart(40),
+            fault_rate: 2e-3,
+            ..FtGmresConfig::default()
+        };
+        let (ft_out, _) = ft_gmres(&a, &b, &cfg);
+        let unreliable_err = true_relative_residual(&a, &b, &out.x);
+        let ft_err = true_relative_residual(&a, &b, &ft_out.x);
+        assert!(corruptions > 0);
+        assert!(
+            !unreliable_err.is_finite() || unreliable_err > ft_err || out.iterations > ft_out.iterations,
+            "unreliable: err={unreliable_err} iters={}; ft: err={ft_err} iters={}",
+            out.iterations,
+            ft_out.iterations
+        );
+    }
+
+    #[test]
+    fn reliable_baseline_costs_more_per_flop() {
+        let a = poisson2d(6, 6);
+        let b = vec![1.0; a.nrows()];
+        let opts = SolveOptions::default().with_tol(1e-8).with_max_iters(200);
+        let (out, ledger) = reliable_gmres(&a, &b, &opts);
+        assert!(out.converged());
+        assert_eq!(ledger.unreliable_flops, 0);
+        let model = ReliabilityModel { reliable_cost_factor: 2.0, ..ReliabilityModel::default() };
+        assert!(ledger.weighted_cost(&model) > out.flops as f64 * 1.99);
+    }
+}

@@ -1,0 +1,11 @@
+//! Selective Reliability Programming (SRP, §II-D / §III-D): reliable and
+//! unreliable execution tiers, FT-GMRES (reliable outer, unreliable inner)
+//! and the TMR cost ablation.
+
+pub mod ft_gmres;
+pub mod reliability;
+pub mod tmr_solve;
+
+pub use ft_gmres::{ft_gmres, reliable_gmres, unreliable_gmres, FtGmresConfig, FtGmresReport};
+pub use reliability::{SrpCostLedger, UnreliableOperator};
+pub use tmr_solve::{compare_tmr_strategies, tmr_apply, TmrApplyResult, TmrCostComparison};

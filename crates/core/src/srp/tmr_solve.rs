@@ -1,0 +1,184 @@
+//! TMR-protected kernels: the "even TMR can win" ablation of §II-D (E7).
+//!
+//! Executes an unreliable kernel three times and majority-votes the result.
+//! Compared against (a) executing once reliably at the reliable cost factor
+//! and (b) executing once unreliably and hoping — the experiment sweeps the
+//! fault rate to find where each strategy is cheapest *per correct answer*.
+
+use resilient_faults::memory::{Reliability, ReliabilityModel};
+use resilient_faults::tmr::{tmr_vote_vectors, TmrStats};
+
+use super::reliability::{SrpCostLedger, UnreliableOperator};
+use crate::solvers::common::Operator;
+
+/// Result of one TMR-protected operator application.
+#[derive(Debug, Clone)]
+pub struct TmrApplyResult {
+    /// The voted output (None if all three replicas disagreed).
+    pub value: Option<Vec<f64>>,
+    /// Cost ledger for the three unreliable applications.
+    pub ledger: SrpCostLedger,
+}
+
+/// Apply `op` (an unreliable operator) to `x` three times and vote.
+pub fn tmr_apply<O: Operator + ?Sized>(
+    op: &UnreliableOperator<'_, O>,
+    x: &[f64],
+    rel_tol: f64,
+    stats: &mut TmrStats,
+) -> TmrApplyResult {
+    let a = op.apply(x);
+    let b = op.apply(x);
+    let c = op.apply(x);
+    let mut ledger = SrpCostLedger::default();
+    ledger.charge(Reliability::Unreliable, 3 * op.flops_per_apply());
+    let voted = tmr_vote_vectors(&a, &b, &c, rel_tol);
+    // Record the outcome in TMR statistics terms.
+    let outcome = match &voted {
+        Some(v) => {
+            let close = |p: &[f64], q: &[f64]| {
+                p.iter().zip(q).all(|(x, y)| {
+                    let scale = x.abs().max(y.abs()).max(1.0);
+                    (x - y).abs() <= rel_tol * scale
+                })
+            };
+            let unanimous = close(&a, &b) && close(&a, &c);
+            resilient_faults::tmr::TmrOutcome::Agreed { value: v.clone(), masked_error: !unanimous }
+        }
+        None => resilient_faults::tmr::TmrOutcome::NoMajority {
+            replicas: [a.clone(), b.clone(), c.clone()],
+        },
+    };
+    stats.record(&outcome);
+    TmrApplyResult { value: voted, ledger }
+}
+
+/// Cost (in unreliable-FLOP equivalents) per *correct* SpMV under three
+/// strategies, at the given per-element fault rate. Used by experiment E7.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TmrCostComparison {
+    /// Single unreliable execution, re-done until a reference check passes.
+    pub unreliable_retry_cost: f64,
+    /// TMR execution (with retries when the vote fails).
+    pub tmr_cost: f64,
+    /// Single reliable execution.
+    pub reliable_cost: f64,
+    /// Fraction of single unreliable executions that were correct.
+    pub unreliable_success_rate: f64,
+    /// Fraction of TMR votes that succeeded.
+    pub tmr_success_rate: f64,
+}
+
+/// Run the three strategies `trials` times against a clean reference and
+/// report cost per correct answer.
+pub fn compare_tmr_strategies<O: Operator + ?Sized>(
+    a: &O,
+    x: &[f64],
+    fault_rate: f64,
+    model: &ReliabilityModel,
+    trials: usize,
+    seed: u64,
+) -> TmrCostComparison {
+    let reference = a.apply(x);
+    let flops = a.flops_per_apply() as f64;
+    let close = |p: &[f64]| {
+        p.iter().zip(&reference).all(|(u, v)| {
+            let scale = u.abs().max(v.abs()).max(1.0);
+            (u - v).abs() <= 1e-9 * scale
+        })
+    };
+
+    let unreliable = UnreliableOperator::new(a, fault_rate, seed);
+    let mut single_successes = 0usize;
+    for _ in 0..trials {
+        if close(&unreliable.apply(x)) {
+            single_successes += 1;
+        }
+    }
+    let single_rate = single_successes as f64 / trials.max(1) as f64;
+    // Expected executions until success = 1 / p (geometric); infinite cost if
+    // the success rate is zero.
+    let unreliable_retry_cost =
+        if single_rate > 0.0 { flops / single_rate } else { f64::INFINITY };
+
+    let tmr_op = UnreliableOperator::new(a, fault_rate, seed ^ 0x5555);
+    let mut tmr_stats = TmrStats::default();
+    let mut tmr_correct = 0usize;
+    for _ in 0..trials {
+        let r = tmr_apply(&tmr_op, x, 1e-12, &mut tmr_stats);
+        if let Some(v) = r.value {
+            if close(&v) {
+                tmr_correct += 1;
+            }
+        }
+    }
+    let tmr_rate = tmr_correct as f64 / trials.max(1) as f64;
+    let tmr_cost = if tmr_rate > 0.0 { 3.0 * flops / tmr_rate } else { f64::INFINITY };
+
+    TmrCostComparison {
+        unreliable_retry_cost,
+        tmr_cost,
+        reliable_cost: flops * model.reliable_cost_factor,
+        unreliable_success_rate: single_rate,
+        tmr_success_rate: tmr_rate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resilient_linalg::poisson2d;
+
+    #[test]
+    fn tmr_apply_masks_single_replica_errors() {
+        let a = poisson2d(6, 6);
+        let n = a.nrows();
+        // Moderate rate: most triples have at most one corrupted replica.
+        let op = UnreliableOperator::new(&a, 0.002, 1);
+        let x = vec![1.0; n];
+        let clean = a.spmv(&x);
+        let mut stats = TmrStats::default();
+        let mut correct = 0;
+        for _ in 0..50 {
+            if let Some(v) = tmr_apply(&op, &x, 1e-12, &mut stats).value {
+                if v.iter().zip(&clean).all(|(a, b)| (a - b).abs() < 1e-9) {
+                    correct += 1;
+                }
+            }
+        }
+        assert_eq!(stats.executions, 50);
+        assert!(correct >= 45, "TMR should produce the correct answer almost always: {correct}");
+    }
+
+    #[test]
+    fn zero_fault_rate_is_always_unanimous() {
+        let a = poisson2d(4, 4);
+        let op = UnreliableOperator::new(&a, 0.0, 2);
+        let x = vec![1.0; a.nrows()];
+        let mut stats = TmrStats::default();
+        let r = tmr_apply(&op, &x, 1e-12, &mut stats);
+        assert_eq!(r.value.unwrap(), a.spmv(&x));
+        assert_eq!(stats.unanimous, 1);
+        assert_eq!(r.ledger.unreliable_flops, 3 * a.spmv_flops());
+    }
+
+    #[test]
+    fn strategy_comparison_orders_sensibly() {
+        let a = poisson2d(6, 6);
+        let x = vec![1.0; a.nrows()];
+        let model = ReliabilityModel { reliable_cost_factor: 3.0, ..ReliabilityModel::default() };
+        // At zero fault rate, a single unreliable execution is the cheapest.
+        let at_zero = compare_tmr_strategies(&a, &x, 0.0, &model, 20, 1);
+        assert_eq!(at_zero.unreliable_success_rate, 1.0);
+        assert!(at_zero.unreliable_retry_cost < at_zero.tmr_cost);
+        assert!(at_zero.unreliable_retry_cost < at_zero.reliable_cost);
+        // At a high fault rate, the single unreliable execution almost never
+        // succeeds, so its retry cost blows past TMR's.
+        let at_high = compare_tmr_strategies(&a, &x, 0.15, &model, 40, 2);
+        assert!(at_high.unreliable_success_rate < 0.5);
+        assert!(
+            at_high.unreliable_retry_cost > at_high.reliable_cost,
+            "retrying unprotected work must become more expensive than reliable execution"
+        );
+    }
+}

@@ -1,0 +1,205 @@
+//! Error detectors — the "skepticism" of skeptical programming.
+//!
+//! §II-A: "algorithm developers … can develop very simple and inexpensive
+//! validation tests based on their understanding of the mathematical
+//! properties of their algorithms." A [`Detector`] is such a test: it looks
+//! at a vector of values (an SpMV result, an Arnoldi column, a conserved
+//! quantity) and decides whether it is plausible.
+
+use resilient_linalg::vector::{dot, has_non_finite, nrm2};
+
+/// Outcome of running a detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Detection {
+    /// The data passed the check.
+    Clean,
+    /// The data failed the check: a corruption (or a genuinely anomalous
+    /// numerical event) was detected.
+    Suspicious,
+}
+
+impl Detection {
+    /// Was a problem detected?
+    pub fn is_suspicious(&self) -> bool {
+        matches!(self, Detection::Suspicious)
+    }
+}
+
+/// A cheap validity check over a slice of values.
+pub trait Detector {
+    /// Run the check.
+    fn check(&self, data: &[f64]) -> Detection;
+    /// Short human-readable name, used in experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+/// Flags NaNs and infinities — the cheapest possible skepticism.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FiniteDetector;
+
+impl Detector for FiniteDetector {
+    fn check(&self, data: &[f64]) -> Detection {
+        if has_non_finite(data) {
+            Detection::Suspicious
+        } else {
+            Detection::Clean
+        }
+    }
+    fn name(&self) -> &'static str {
+        "finite"
+    }
+}
+
+/// Flags vectors whose 2-norm exceeds a bound (e.g. ‖A x‖ ≤ ‖A‖‖x‖ with a
+/// safety factor). The bound is supplied at construction.
+#[derive(Debug, Clone, Copy)]
+pub struct NormBoundDetector {
+    /// Largest acceptable 2-norm.
+    pub bound: f64,
+}
+
+impl Detector for NormBoundDetector {
+    fn check(&self, data: &[f64]) -> Detection {
+        let n = nrm2(data);
+        if !n.is_finite() || n > self.bound {
+            Detection::Suspicious
+        } else {
+            Detection::Clean
+        }
+    }
+    fn name(&self) -> &'static str {
+        "norm-bound"
+    }
+}
+
+/// Flags a value that jumps by more than `factor` relative to a running
+/// reference magnitude — useful for residual histories, which should be
+/// non-increasing in well-behaved Krylov solvers.
+#[derive(Debug, Clone)]
+pub struct RelativeJumpDetector {
+    /// Allowed growth factor between consecutive observations.
+    pub factor: f64,
+    previous: std::cell::Cell<Option<f64>>,
+}
+
+impl RelativeJumpDetector {
+    /// A detector allowing per-step growth up to `factor`.
+    pub fn new(factor: f64) -> Self {
+        Self { factor, previous: std::cell::Cell::new(None) }
+    }
+
+    /// Observe a scalar (e.g. the residual norm at this iteration).
+    pub fn observe(&self, value: f64) -> Detection {
+        let verdict = match self.previous.get() {
+            Some(prev) if value.is_finite() && value <= prev * self.factor => Detection::Clean,
+            None if value.is_finite() => Detection::Clean,
+            _ => Detection::Suspicious,
+        };
+        if verdict == Detection::Clean {
+            self.previous.set(Some(value));
+        }
+        verdict
+    }
+}
+
+impl Detector for RelativeJumpDetector {
+    fn check(&self, data: &[f64]) -> Detection {
+        for &v in data {
+            if self.observe(v).is_suspicious() {
+                return Detection::Suspicious;
+            }
+        }
+        Detection::Clean
+    }
+    fn name(&self) -> &'static str {
+        "relative-jump"
+    }
+}
+
+/// Checks that two vectors that should be orthogonal actually are, up to a
+/// tolerance scaled by their norms — the Arnoldi/Gram–Schmidt invariant the
+/// bit-flip-resilient GMRES of §III-A uses.
+pub fn orthogonality_check(u: &[f64], v: &[f64], tol: f64) -> Detection {
+    let inner = dot(u, v).abs();
+    let scale = nrm2(u) * nrm2(v);
+    if !inner.is_finite() || inner > tol * scale.max(f64::MIN_POSITIVE) {
+        Detection::Suspicious
+    } else {
+        Detection::Clean
+    }
+}
+
+/// Checks conservation of a quantity (mass, energy): the relative drift of
+/// `current` from `reference` must stay below `tol`.
+pub fn conservation_check(reference: f64, current: f64, tol: f64) -> Detection {
+    let scale = reference.abs().max(f64::MIN_POSITIVE);
+    if !current.is_finite() || ((current - reference) / scale).abs() > tol {
+        Detection::Suspicious
+    } else {
+        Detection::Clean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finite_detector() {
+        let d = FiniteDetector;
+        assert_eq!(d.check(&[1.0, 2.0]), Detection::Clean);
+        assert_eq!(d.check(&[1.0, f64::NAN]), Detection::Suspicious);
+        assert_eq!(d.check(&[f64::NEG_INFINITY]), Detection::Suspicious);
+        assert_eq!(d.name(), "finite");
+        assert!(!Detection::Clean.is_suspicious());
+    }
+
+    #[test]
+    fn norm_bound_detector() {
+        let d = NormBoundDetector { bound: 10.0 };
+        assert_eq!(d.check(&[3.0, 4.0]), Detection::Clean);
+        assert_eq!(d.check(&[30.0, 40.0]), Detection::Suspicious);
+        assert_eq!(d.check(&[f64::INFINITY]), Detection::Suspicious);
+        assert_eq!(d.name(), "norm-bound");
+    }
+
+    #[test]
+    fn relative_jump_detector_tracks_history() {
+        let d = RelativeJumpDetector::new(2.0);
+        assert_eq!(d.observe(1.0), Detection::Clean);
+        assert_eq!(d.observe(1.5), Detection::Clean);
+        assert_eq!(d.observe(10.0), Detection::Suspicious, "a 6x jump must be flagged");
+        // A rejected observation does not poison the reference.
+        assert_eq!(d.observe(2.0), Detection::Clean);
+        assert_eq!(d.observe(f64::NAN), Detection::Suspicious);
+        assert_eq!(d.name(), "relative-jump");
+    }
+
+    #[test]
+    fn relative_jump_detector_as_detector_trait() {
+        let d = RelativeJumpDetector::new(1.5);
+        assert_eq!(d.check(&[1.0, 1.2, 1.4]), Detection::Clean);
+        let d = RelativeJumpDetector::new(1.5);
+        assert_eq!(d.check(&[1.0, 5.0]), Detection::Suspicious);
+    }
+
+    #[test]
+    fn orthogonality() {
+        assert_eq!(orthogonality_check(&[1.0, 0.0], &[0.0, 1.0], 1e-12), Detection::Clean);
+        assert_eq!(orthogonality_check(&[1.0, 0.0], &[1.0, 0.0], 1e-12), Detection::Suspicious);
+        // Nearly orthogonal within tolerance.
+        assert_eq!(orthogonality_check(&[1.0, 1e-14], &[0.0, 1.0], 1e-12), Detection::Clean);
+        assert_eq!(
+            orthogonality_check(&[f64::NAN, 0.0], &[0.0, 1.0], 1e-12),
+            Detection::Suspicious
+        );
+    }
+
+    #[test]
+    fn conservation() {
+        assert_eq!(conservation_check(100.0, 100.0 + 1e-10, 1e-9), Detection::Clean);
+        assert_eq!(conservation_check(100.0, 101.0, 1e-9), Detection::Suspicious);
+        assert_eq!(conservation_check(100.0, f64::NAN, 1e-9), Detection::Suspicious);
+        assert_eq!(conservation_check(0.0, 1e-300, 1e-9), Detection::Suspicious);
+    }
+}

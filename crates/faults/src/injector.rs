@@ -1,0 +1,246 @@
+//! Fault-injection campaigns: reproducible sequences of corruption events
+//! driven by a [`FaultProcess`], plus the bookkeeping of what each injected
+//! fault did to the computation.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::bitflip::{classify_flip, flip_random_element, FlipSeverity};
+use crate::process::{FaultClock, FaultProcess};
+
+/// What ultimately happened to a computation subjected to one injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SdcOutcome {
+    /// The fault was detected by a skeptical check (and possibly corrected).
+    Detected,
+    /// The fault was not detected but the final answer was still correct
+    /// (within tolerance): a benign fault.
+    Benign,
+    /// The fault was not detected and the final answer was wrong: true
+    /// silent data corruption — the outcome resilient algorithms must avoid.
+    SilentCorruption,
+    /// The computation failed loudly (diverged, NaN, iteration limit): not
+    /// silent, but not productive either.
+    LoudFailure,
+}
+
+/// Record of one injected fault.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InjectionRecord {
+    /// Campaign trial index.
+    pub trial: usize,
+    /// Index of the corrupted element within the target buffer.
+    pub index: usize,
+    /// Which bit was flipped.
+    pub bit: u32,
+    /// Value before the flip.
+    pub old_value: f64,
+    /// Numerical severity classification of the flip.
+    pub severity: FlipSeverity,
+    /// What the computation did about it.
+    pub outcome: SdcOutcome,
+}
+
+/// Aggregated campaign statistics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CampaignStats {
+    /// Total trials with an injected fault.
+    pub injected: u64,
+    /// Faults detected by a check.
+    pub detected: u64,
+    /// Undetected but benign.
+    pub benign: u64,
+    /// Undetected and harmful (true SDC).
+    pub silent_corruptions: u64,
+    /// Loud failures.
+    pub loud_failures: u64,
+}
+
+impl CampaignStats {
+    /// Record one outcome.
+    pub fn record(&mut self, outcome: SdcOutcome) {
+        self.injected += 1;
+        match outcome {
+            SdcOutcome::Detected => self.detected += 1,
+            SdcOutcome::Benign => self.benign += 1,
+            SdcOutcome::SilentCorruption => self.silent_corruptions += 1,
+            SdcOutcome::LoudFailure => self.loud_failures += 1,
+        }
+    }
+
+    /// Fraction of *harmful* faults (those that were not benign) that were
+    /// detected. Benign faults that go undetected do not count against the
+    /// detector — the paper explicitly allows "continuing execution if the
+    /// error will be damped".
+    pub fn harmful_detection_rate(&self) -> f64 {
+        let harmful = self.detected + self.silent_corruptions + self.loud_failures;
+        if harmful == 0 {
+            1.0
+        } else {
+            self.detected as f64 / harmful as f64
+        }
+    }
+
+    /// Fraction of all trials that ended in silent corruption.
+    pub fn sdc_rate(&self) -> f64 {
+        if self.injected == 0 {
+            0.0
+        } else {
+            self.silent_corruptions as f64 / self.injected as f64
+        }
+    }
+}
+
+/// A reproducible fault injector bound to a fault process and a seed.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    rng: ChaCha8Rng,
+    clock: FaultClock,
+    records: Vec<InjectionRecord>,
+    trial: usize,
+}
+
+impl FaultInjector {
+    /// Create an injector with the given arrival process and seed.
+    pub fn new(process: FaultProcess, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let clock = FaultClock::new(process, &mut rng);
+        Self { rng, clock, records: Vec::new(), trial: 0 }
+    }
+
+    /// Advance the exposure axis by `delta` (seconds, FLOPs, iterations —
+    /// whatever unit the process was configured in) and, if a fault strikes,
+    /// corrupt one random element of `target`. Returns the record of the
+    /// injected fault, if any.
+    pub fn expose(&mut self, delta: f64, target: &mut [f64]) -> Option<InjectionRecord> {
+        let strikes = self.clock.advance(delta, &mut self.rng);
+        if strikes == 0 {
+            return None;
+        }
+        let (index, bit, old_value) = flip_random_element(target, &mut self.rng)?;
+        let record = InjectionRecord {
+            trial: self.trial,
+            index,
+            bit,
+            old_value,
+            severity: classify_flip(old_value, target[index]),
+            outcome: SdcOutcome::Benign, // provisional; caller classifies later
+        };
+        self.records.push(record.clone());
+        Some(record)
+    }
+
+    /// Unconditionally corrupt one random element of `target` (used by
+    /// campaigns that inject exactly one fault per trial at a chosen moment).
+    pub fn inject_now(&mut self, target: &mut [f64]) -> Option<InjectionRecord> {
+        let (index, bit, old_value) = flip_random_element(target, &mut self.rng)?;
+        let record = InjectionRecord {
+            trial: self.trial,
+            index,
+            bit,
+            old_value,
+            severity: classify_flip(old_value, target[index]),
+            outcome: SdcOutcome::Benign,
+        };
+        self.records.push(record.clone());
+        Some(record)
+    }
+
+    /// Begin a new trial (affects only the trial index recorded with
+    /// subsequent injections).
+    pub fn next_trial(&mut self) {
+        self.trial += 1;
+    }
+
+    /// Records of every injection performed so far.
+    pub fn records(&self) -> &[InjectionRecord] {
+        &self.records
+    }
+
+    /// Borrow the injector's RNG (for callers that need auxiliary random
+    /// choices tied to the same reproducible stream).
+    pub fn rng(&mut self) -> &mut ChaCha8Rng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_process_never_injects() {
+        let mut inj = FaultInjector::new(FaultProcess::Never, 1);
+        let mut data = vec![1.0; 8];
+        for _ in 0..100 {
+            assert!(inj.expose(1.0, &mut data).is_none());
+        }
+        assert_eq!(data, vec![1.0; 8]);
+        assert!(inj.records().is_empty());
+    }
+
+    #[test]
+    fn inject_now_always_corrupts() {
+        let mut inj = FaultInjector::new(FaultProcess::Never, 2);
+        let mut data = vec![1.0; 4];
+        let rec = inj.inject_now(&mut data).unwrap();
+        assert!(rec.index < 4);
+        assert_eq!(rec.old_value, 1.0);
+        assert_ne!(data[rec.index].to_bits(), 1.0f64.to_bits());
+        assert_eq!(inj.records().len(), 1);
+    }
+
+    #[test]
+    fn poisson_process_injects_at_expected_rate() {
+        let mut inj = FaultInjector::new(FaultProcess::Poisson { rate: 0.01 }, 3);
+        let mut data = vec![1.0; 16];
+        let mut hits = 0;
+        for _ in 0..10_000 {
+            if inj.expose(1.0, &mut data).is_some() {
+                hits += 1;
+                data = vec![1.0; 16]; // reset so later flips have a clean target
+            }
+        }
+        assert!((50..200).contains(&hits), "expected ≈100 injections, got {hits}");
+    }
+
+    #[test]
+    fn trial_index_is_recorded() {
+        let mut inj = FaultInjector::new(FaultProcess::Never, 4);
+        let mut data = vec![2.0; 2];
+        inj.inject_now(&mut data);
+        inj.next_trial();
+        inj.inject_now(&mut data);
+        assert_eq!(inj.records()[0].trial, 0);
+        assert_eq!(inj.records()[1].trial, 1);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let run = |seed| {
+            let mut inj = FaultInjector::new(FaultProcess::Never, seed);
+            let mut data = vec![1.0, 2.0, 3.0];
+            let r = inj.inject_now(&mut data).unwrap();
+            (r.index, r.bit)
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn campaign_stats_classification() {
+        let mut stats = CampaignStats::default();
+        stats.record(SdcOutcome::Detected);
+        stats.record(SdcOutcome::Detected);
+        stats.record(SdcOutcome::Benign);
+        stats.record(SdcOutcome::SilentCorruption);
+        stats.record(SdcOutcome::LoudFailure);
+        assert_eq!(stats.injected, 5);
+        assert!((stats.harmful_detection_rate() - 0.5).abs() < 1e-12);
+        assert!((stats.sdc_rate() - 0.2).abs() < 1e-12);
+        let empty = CampaignStats::default();
+        assert_eq!(empty.harmful_detection_rate(), 1.0);
+        assert_eq!(empty.sdc_rate(), 0.0);
+    }
+}

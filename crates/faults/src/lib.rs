@@ -1,0 +1,34 @@
+//! # resilient-faults
+//!
+//! Fault models and injection machinery for the resilience suite:
+//!
+//! * [`bitflip`] — single-event-upset bit flips in floating-point data and a
+//!   severity classification of their numerical effect;
+//! * [`process`] — fault arrival processes (Bernoulli, Poisson, Weibull,
+//!   deterministic schedules);
+//! * [`injector`] — reproducible fault-injection campaigns and their
+//!   statistics (detected / benign / silent-corruption / loud-failure);
+//! * [`memory`] — unreliable memory regions and the two-tier reliability
+//!   cost model used by Selective Reliability Programming;
+//! * [`tmr`] — triple modular redundancy execution and voting;
+//! * [`detection`] — cheap "skeptical" validity checks (finiteness, norm
+//!   bounds, orthogonality, conservation, relative jumps).
+
+#![warn(missing_docs)]
+
+pub mod bitflip;
+pub mod detection;
+pub mod injector;
+pub mod memory;
+pub mod process;
+pub mod tmr;
+
+pub use bitflip::{classify_flip, flip_bit_f64, flip_random_bit_f64, flip_random_element, FlipSeverity};
+pub use detection::{
+    conservation_check, orthogonality_check, Detection, Detector, FiniteDetector,
+    NormBoundDetector, RelativeJumpDetector,
+};
+pub use injector::{CampaignStats, FaultInjector, InjectionRecord, SdcOutcome};
+pub use memory::{Reliability, ReliabilityModel, UnreliableRegion};
+pub use process::{FaultClock, FaultProcess};
+pub use tmr::{tmr_execute, tmr_vote_vectors, TmrOutcome, TmrStats};

@@ -1,0 +1,285 @@
+//! Fault arrival processes: *when* faults happen.
+//!
+//! Used both for silent-data-corruption campaigns (events per operation) and
+//! for process-failure modelling in the system-cost experiment (E9).
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A stochastic (or deterministic) process deciding when fault events occur.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultProcess {
+    /// No faults, ever.
+    Never,
+    /// A fault occurs independently with probability `p` at every
+    /// opportunity (every call to [`FaultClock::strike`]).
+    Bernoulli {
+        /// Per-opportunity fault probability.
+        p: f64,
+    },
+    /// Faults arrive as a Poisson process with the given rate (events per
+    /// unit of "exposure": seconds, FLOPs, iterations — whatever the caller
+    /// advances the clock by).
+    Poisson {
+        /// Events per unit exposure.
+        rate: f64,
+    },
+    /// Weibull inter-arrival times with scale `lambda` and shape `k` — the
+    /// distribution commonly fitted to HPC node-failure logs (`k < 1` gives
+    /// the infant-mortality behaviour real systems show).
+    Weibull {
+        /// Scale parameter (characteristic life).
+        lambda: f64,
+        /// Shape parameter.
+        k: f64,
+    },
+    /// Deterministic: exactly one fault at each listed exposure value.
+    At {
+        /// Exposure values at which faults occur.
+        times: Vec<f64>,
+    },
+}
+
+impl FaultProcess {
+    /// Mean number of events per unit exposure (∞ is never returned; `Never`
+    /// gives 0).
+    pub fn mean_rate(&self) -> f64 {
+        match self {
+            FaultProcess::Never => 0.0,
+            FaultProcess::Bernoulli { p } => *p,
+            FaultProcess::Poisson { rate } => *rate,
+            FaultProcess::Weibull { lambda, k } => {
+                if *lambda <= 0.0 {
+                    0.0
+                } else {
+                    // 1 / E[T] where E[T] = λ Γ(1 + 1/k); Γ approximated via
+                    // Stirling-free lanczos is overkill here — use the exact
+                    // value for k = 1 and a simple numeric quadrature
+                    // otherwise.
+                    1.0 / (lambda * gamma_1p(1.0 / k))
+                }
+            }
+            FaultProcess::At { times } => {
+                if times.is_empty() {
+                    0.0
+                } else {
+                    let span = times.iter().cloned().fold(f64::MIN, f64::max).max(1.0);
+                    times.len() as f64 / span
+                }
+            }
+        }
+    }
+}
+
+/// Γ(1 + x) for x in (0, 2], via the Lanczos approximation (sufficient
+/// accuracy for rate conversions).
+fn gamma_1p(x: f64) -> f64 {
+    // Lanczos coefficients (g = 7, n = 9).
+    const G: f64 = 7.0;
+    const C: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    let z = x; // computing Γ(z + 1) = z Γ(z); use reflection-free region z > 0
+    let mut acc = C[0];
+    for (i, &c) in C.iter().enumerate().skip(1) {
+        acc += c / (z + i as f64);
+    }
+    let t = z + G + 0.5;
+    let sqrt_two_pi = (2.0 * std::f64::consts::PI).sqrt();
+    sqrt_two_pi * t.powf(z + 0.5) * (-t).exp() * acc
+}
+
+/// Stateful sampler that walks a [`FaultProcess`] along an exposure axis and
+/// reports how many faults strike in each interval.
+#[derive(Debug, Clone)]
+pub struct FaultClock {
+    process: FaultProcess,
+    exposure: f64,
+    /// Next pending arrival for renewal-process variants.
+    next_arrival: Option<f64>,
+    /// Index into the deterministic schedule.
+    schedule_pos: usize,
+    total_strikes: u64,
+}
+
+impl FaultClock {
+    /// Create a clock at exposure 0.
+    pub fn new(process: FaultProcess, rng: &mut ChaCha8Rng) -> Self {
+        let mut clock = Self {
+            process,
+            exposure: 0.0,
+            next_arrival: None,
+            schedule_pos: 0,
+            total_strikes: 0,
+        };
+        clock.next_arrival = clock.draw_next(0.0, rng);
+        clock
+    }
+
+    fn draw_next(&self, from: f64, rng: &mut ChaCha8Rng) -> Option<f64> {
+        match &self.process {
+            FaultProcess::Poisson { rate } if *rate > 0.0 => {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                Some(from - u.ln() / rate)
+            }
+            FaultProcess::Weibull { lambda, k } if *lambda > 0.0 && *k > 0.0 => {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                Some(from + lambda * (-u.ln()).powf(1.0 / k))
+            }
+            _ => None,
+        }
+    }
+
+    /// Advance the exposure by `delta` and return the number of faults that
+    /// strike during the interval.
+    pub fn advance(&mut self, delta: f64, rng: &mut ChaCha8Rng) -> u64 {
+        if delta <= 0.0 {
+            return 0;
+        }
+        let end = self.exposure + delta;
+        let mut strikes = 0;
+        match &self.process {
+            FaultProcess::Never => {}
+            FaultProcess::Bernoulli { p } => {
+                // One opportunity per whole unit of exposure in the interval,
+                // at least one opportunity per call.
+                let opportunities = delta.ceil().max(1.0) as u64;
+                for _ in 0..opportunities {
+                    if rng.gen::<f64>() < *p {
+                        strikes += 1;
+                    }
+                }
+            }
+            FaultProcess::Poisson { .. } | FaultProcess::Weibull { .. } => {
+                while let Some(t) = self.next_arrival {
+                    if t > end {
+                        break;
+                    }
+                    strikes += 1;
+                    self.next_arrival = self.draw_next(t, rng);
+                }
+            }
+            FaultProcess::At { times } => {
+                while self.schedule_pos < times.len() && times[self.schedule_pos] <= end {
+                    if times[self.schedule_pos] > self.exposure {
+                        strikes += 1;
+                    }
+                    self.schedule_pos += 1;
+                }
+            }
+        }
+        self.exposure = end;
+        self.total_strikes += strikes;
+        strikes
+    }
+
+    /// Convenience: does at least one fault strike in the next `delta` of
+    /// exposure?
+    pub fn strike(&mut self, delta: f64, rng: &mut ChaCha8Rng) -> bool {
+        self.advance(delta, rng) > 0
+    }
+
+    /// Total exposure consumed so far.
+    pub fn exposure(&self) -> f64 {
+        self.exposure
+    }
+
+    /// Total number of strikes so far.
+    pub fn total_strikes(&self) -> u64 {
+        self.total_strikes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn never_never_strikes() {
+        let mut r = rng(1);
+        let mut c = FaultClock::new(FaultProcess::Never, &mut r);
+        assert_eq!(c.advance(1e9, &mut r), 0);
+        assert_eq!(c.total_strikes(), 0);
+        assert_eq!(FaultProcess::Never.mean_rate(), 0.0);
+    }
+
+    #[test]
+    fn deterministic_schedule_fires_exactly_once_each() {
+        let mut r = rng(1);
+        let mut c = FaultClock::new(FaultProcess::At { times: vec![1.0, 2.5, 2.6] }, &mut r);
+        assert_eq!(c.advance(0.5, &mut r), 0);
+        assert_eq!(c.advance(1.0, &mut r), 1); // covers 1.0
+        assert_eq!(c.advance(2.0, &mut r), 2); // covers 2.5, 2.6
+        assert_eq!(c.advance(10.0, &mut r), 0);
+        assert_eq!(c.total_strikes(), 3);
+    }
+
+    #[test]
+    fn poisson_rate_is_respected() {
+        let mut r = rng(42);
+        let mut c = FaultClock::new(FaultProcess::Poisson { rate: 0.5 }, &mut r);
+        let strikes = c.advance(10_000.0, &mut r);
+        let observed_rate = strikes as f64 / 10_000.0;
+        assert!((observed_rate - 0.5).abs() < 0.05, "observed {observed_rate}");
+        assert!((c.exposure() - 10_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bernoulli_probability_is_respected() {
+        let mut r = rng(7);
+        let mut c = FaultClock::new(FaultProcess::Bernoulli { p: 0.3 }, &mut r);
+        let mut strikes = 0u64;
+        for _ in 0..10_000 {
+            strikes += c.advance(1.0, &mut r);
+        }
+        let rate = strikes as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.03, "observed {rate}");
+    }
+
+    #[test]
+    fn weibull_with_shape_one_matches_exponential_mean() {
+        let mut r = rng(3);
+        let mut c =
+            FaultClock::new(FaultProcess::Weibull { lambda: 2.0, k: 1.0 }, &mut r);
+        let strikes = c.advance(20_000.0, &mut r);
+        let observed_rate = strikes as f64 / 20_000.0;
+        assert!((observed_rate - 0.5).abs() < 0.05, "observed {observed_rate}");
+    }
+
+    #[test]
+    fn mean_rate_calculations() {
+        assert_eq!(FaultProcess::Bernoulli { p: 0.25 }.mean_rate(), 0.25);
+        assert_eq!(FaultProcess::Poisson { rate: 3.0 }.mean_rate(), 3.0);
+        // Weibull k=1: mean = λ, rate = 1/λ (Γ(2) = 1).
+        let rate = FaultProcess::Weibull { lambda: 4.0, k: 1.0 }.mean_rate();
+        assert!((rate - 0.25).abs() < 1e-6, "got {rate}");
+        // Γ(1.5) = √π/2 ≈ 0.8862: rate = 1 / (λ·0.8862).
+        let rate = FaultProcess::Weibull { lambda: 1.0, k: 2.0 }.mean_rate();
+        assert!((rate - 1.0 / 0.886_226_925_452_758).abs() < 1e-4, "got {rate}");
+        assert_eq!(FaultProcess::At { times: vec![] }.mean_rate(), 0.0);
+        assert!(FaultProcess::At { times: vec![1.0, 2.0] }.mean_rate() > 0.0);
+    }
+
+    #[test]
+    fn zero_or_negative_delta_is_noop() {
+        let mut r = rng(1);
+        let mut c = FaultClock::new(FaultProcess::Poisson { rate: 100.0 }, &mut r);
+        assert_eq!(c.advance(0.0, &mut r), 0);
+        assert_eq!(c.advance(-5.0, &mut r), 0);
+        assert_eq!(c.exposure(), 0.0);
+    }
+}

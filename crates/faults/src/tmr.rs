@@ -1,0 +1,193 @@
+//! Triple modular redundancy (TMR).
+//!
+//! §II-D notes that "even very expensive approaches such as triple modular
+//! redundancy can still be much faster than a fully unreliable approach".
+//! [`tmr_execute`] runs a fallible computation three times and majority-votes
+//! the results; [`TmrStats`] keeps the bookkeeping the E7 ablation reports.
+
+/// Outcome of a TMR-protected execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TmrOutcome<T> {
+    /// At least two replicas agreed.
+    Agreed {
+        /// The agreed value.
+        value: T,
+        /// True if one replica disagreed (an error was masked).
+        masked_error: bool,
+    },
+    /// All three replicas disagreed: the error is detected but cannot be
+    /// masked.
+    NoMajority {
+        /// The three replica outputs, for diagnostics.
+        replicas: [T; 3],
+    },
+}
+
+impl<T> TmrOutcome<T> {
+    /// The agreed value, if any.
+    pub fn value(self) -> Option<T> {
+        match self {
+            TmrOutcome::Agreed { value, .. } => Some(value),
+            TmrOutcome::NoMajority { .. } => None,
+        }
+    }
+
+    /// Did the vote succeed?
+    pub fn is_agreed(&self) -> bool {
+        matches!(self, TmrOutcome::Agreed { .. })
+    }
+}
+
+/// Execute `f` three times and majority-vote the results using `eq` as the
+/// agreement predicate (exact equality is usually wrong for floating point;
+/// pass a tolerance-aware closure).
+pub fn tmr_execute<T, F, E>(mut f: F, eq: E) -> TmrOutcome<T>
+where
+    F: FnMut(usize) -> T,
+    E: Fn(&T, &T) -> bool,
+    T: Clone,
+{
+    let a = f(0);
+    let b = f(1);
+    let c = f(2);
+    if eq(&a, &b) || eq(&a, &c) {
+        let masked = !(eq(&a, &b) && eq(&a, &c));
+        TmrOutcome::Agreed { value: a, masked_error: masked }
+    } else if eq(&b, &c) {
+        TmrOutcome::Agreed { value: b, masked_error: true }
+    } else {
+        TmrOutcome::NoMajority { replicas: [a, b, c] }
+    }
+}
+
+/// Vote over three `f64` vectors element-wise with a relative tolerance.
+/// Returns the element-wise majority (or `None` where all three disagree,
+/// in which case the whole vote fails).
+pub fn tmr_vote_vectors(a: &[f64], b: &[f64], c: &[f64], rel_tol: f64) -> Option<Vec<f64>> {
+    if a.len() != b.len() || a.len() != c.len() {
+        return None;
+    }
+    let close = |x: f64, y: f64| {
+        let scale = x.abs().max(y.abs()).max(1.0);
+        (x - y).abs() <= rel_tol * scale
+    };
+    let mut out = Vec::with_capacity(a.len());
+    for i in 0..a.len() {
+        let v = if close(a[i], b[i]) || close(a[i], c[i]) {
+            a[i]
+        } else if close(b[i], c[i]) {
+            b[i]
+        } else {
+            return None;
+        };
+        out.push(v);
+    }
+    Some(out)
+}
+
+/// Aggregate statistics of a TMR campaign.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TmrStats {
+    /// Total protected executions.
+    pub executions: u64,
+    /// Executions where all replicas agreed (no error present or all
+    /// corrupted identically, which is vanishingly unlikely).
+    pub unanimous: u64,
+    /// Executions where one replica was out-voted (error masked).
+    pub masked: u64,
+    /// Executions with no majority (error detected, not masked).
+    pub failed: u64,
+}
+
+impl TmrStats {
+    /// Record one outcome.
+    pub fn record<T>(&mut self, outcome: &TmrOutcome<T>) {
+        self.executions += 1;
+        match outcome {
+            TmrOutcome::Agreed { masked_error: false, .. } => self.unanimous += 1,
+            TmrOutcome::Agreed { masked_error: true, .. } => self.masked += 1,
+            TmrOutcome::NoMajority { .. } => self.failed += 1,
+        }
+    }
+
+    /// Fraction of executions whose error was masked or absent.
+    pub fn success_rate(&self) -> f64 {
+        if self.executions == 0 {
+            return 1.0;
+        }
+        (self.unanimous + self.masked) as f64 / self.executions as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unanimous_agreement() {
+        let out = tmr_execute(|_| 42, |a, b| a == b);
+        assert_eq!(out, TmrOutcome::Agreed { value: 42, masked_error: false });
+        assert!(out.is_agreed());
+    }
+
+    #[test]
+    fn single_disagreement_is_masked() {
+        // Replica 1 is corrupted.
+        let out = tmr_execute(|i| if i == 1 { 99 } else { 7 }, |a, b| a == b);
+        assert_eq!(out, TmrOutcome::Agreed { value: 7, masked_error: true });
+        // Replica 0 corrupted: majority is still found via b == c.
+        let out = tmr_execute(|i| if i == 0 { 99 } else { 7 }, |a, b| a == b);
+        assert_eq!(out.clone().value(), Some(7));
+        match out {
+            TmrOutcome::Agreed { masked_error, .. } => assert!(masked_error),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn total_disagreement_fails() {
+        let out = tmr_execute(|i| i as i64 * 10, |a, b| a == b);
+        assert!(!out.is_agreed());
+        assert_eq!(out.value(), None);
+    }
+
+    #[test]
+    fn vector_vote_masks_elementwise() {
+        let clean = vec![1.0, 2.0, 3.0];
+        let mut corrupted = clean.clone();
+        corrupted[1] = 100.0;
+        let voted = tmr_vote_vectors(&clean, &corrupted, &clean, 1e-12).unwrap();
+        assert_eq!(voted, clean);
+        let voted = tmr_vote_vectors(&corrupted, &clean, &clean, 1e-12).unwrap();
+        assert_eq!(voted, clean);
+    }
+
+    #[test]
+    fn vector_vote_fails_on_three_way_disagreement() {
+        assert!(tmr_vote_vectors(&[1.0], &[2.0], &[3.0], 1e-12).is_none());
+        assert!(tmr_vote_vectors(&[1.0], &[1.0, 2.0], &[1.0], 1e-12).is_none());
+    }
+
+    #[test]
+    fn vector_vote_respects_tolerance() {
+        let a = [1.0, 2.0];
+        let b = [1.0 + 1e-14, 2.0];
+        let c = [5.0, 2.0 - 1e-14];
+        let voted = tmr_vote_vectors(&a, &b, &c, 1e-12).unwrap();
+        assert_eq!(voted, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut stats = TmrStats::default();
+        stats.record(&tmr_execute(|_| 1, |a, b| a == b));
+        stats.record(&tmr_execute(|i| if i == 2 { 0 } else { 1 }, |a, b| a == b));
+        stats.record(&tmr_execute(|i| i, |a, b| a == b));
+        assert_eq!(stats.executions, 3);
+        assert_eq!(stats.unanimous, 1);
+        assert_eq!(stats.masked, 1);
+        assert_eq!(stats.failed, 1);
+        assert!((stats.success_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(TmrStats::default().success_rate(), 1.0);
+    }
+}

@@ -1,0 +1,284 @@
+//! Algorithm-based fault tolerance (ABFT) checksum encodings in the style of
+//! Huang & Abraham, "Algorithm-Based Fault Tolerance for Matrix Operations"
+//! (IEEE ToC 1984) — the classical reference the paper cites for ABFT.
+//!
+//! The idea: augment a matrix with an extra checksum row (column sums) and/or
+//! checksum column (row sums). Linear operations preserve the checksum
+//! relationship, so after the operation the checksums can be recomputed and
+//! compared; a mismatch localises (and for a single error, corrects) a
+//! corrupted element.
+
+use crate::dense::DenseMatrix;
+use crate::sparse::CsrMatrix;
+
+/// Result of verifying a checksummed object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChecksumVerdict {
+    /// All checksums agree within tolerance.
+    Clean,
+    /// A single inconsistency was found and localised (and can be corrected
+    /// for full checksum encodings).
+    SingleError {
+        /// Row of the suspect element.
+        row: usize,
+        /// Column of the suspect element.
+        col: usize,
+        /// Estimated magnitude of the error (new − correct).
+        magnitude: f64,
+    },
+    /// More than one inconsistency: detected but not correctable.
+    MultipleErrors {
+        /// Number of inconsistent rows.
+        bad_rows: usize,
+        /// Number of inconsistent columns.
+        bad_cols: usize,
+    },
+}
+
+impl ChecksumVerdict {
+    /// Was any error detected?
+    pub fn detected(&self) -> bool {
+        !matches!(self, ChecksumVerdict::Clean)
+    }
+}
+
+/// A dense matrix augmented with a checksum row and a checksum column
+/// (the "full checksum matrix" of Huang & Abraham).
+#[derive(Debug, Clone)]
+pub struct ChecksummedMatrix {
+    /// The data matrix (unaugmented dimensions).
+    pub data: DenseMatrix,
+    /// Column sums: `row_checksum[j] = Σ_i data(i, j)`.
+    pub col_checksum: Vec<f64>,
+    /// Row sums: `row_checksum[i] = Σ_j data(i, j)`.
+    pub row_checksum: Vec<f64>,
+}
+
+impl ChecksummedMatrix {
+    /// Encode a matrix by computing its checksum row and column.
+    pub fn encode(data: &DenseMatrix) -> Self {
+        let col_checksum =
+            (0..data.ncols()).map(|j| data.col(j).iter().sum()).collect::<Vec<f64>>();
+        let row_checksum =
+            (0..data.nrows()).map(|i| (0..data.ncols()).map(|j| data.get(i, j)).sum()).collect();
+        Self { data: data.clone(), col_checksum, row_checksum }
+    }
+
+    /// Verify the checksums with a relative tolerance `tol` (scaled by the
+    /// matrix magnitude). For exactly one inconsistent row *and* one
+    /// inconsistent column the error is localised to their intersection.
+    pub fn verify(&self, tol: f64) -> ChecksumVerdict {
+        let scale = self.data.norm_max().max(1.0) * self.data.nrows().max(self.data.ncols()) as f64;
+        let threshold = tol * scale;
+        let mut bad_rows = Vec::new();
+        for i in 0..self.data.nrows() {
+            let actual: f64 = (0..self.data.ncols()).map(|j| self.data.get(i, j)).sum();
+            let delta = actual - self.row_checksum[i];
+            if delta.abs() > threshold {
+                bad_rows.push((i, delta));
+            }
+        }
+        let mut bad_cols = Vec::new();
+        for j in 0..self.data.ncols() {
+            let actual: f64 = self.data.col(j).iter().sum();
+            let delta = actual - self.col_checksum[j];
+            if delta.abs() > threshold {
+                bad_cols.push((j, delta));
+            }
+        }
+        match (bad_rows.len(), bad_cols.len()) {
+            (0, 0) => ChecksumVerdict::Clean,
+            (1, 1) => ChecksumVerdict::SingleError {
+                row: bad_rows[0].0,
+                col: bad_cols[0].0,
+                magnitude: bad_rows[0].1,
+            },
+            (r, c) => ChecksumVerdict::MultipleErrors { bad_rows: r, bad_cols: c },
+        }
+    }
+
+    /// Attempt to correct a single corrupted element in place. Returns `true`
+    /// if a correction was applied.
+    pub fn correct(&mut self, tol: f64) -> bool {
+        if let ChecksumVerdict::SingleError { row, col, magnitude } = self.verify(tol) {
+            let current = self.data.get(row, col);
+            self.data.set(row, col, current - magnitude);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Checksummed GEMM: `C = A·B` with the product's checksums *predicted* from
+/// the operands, so that errors during the multiplication itself are caught.
+///
+/// The column-checksum vector of `C` equals `(eᵀA)·B` and the row-checksum
+/// vector equals `A·(B·e)`, both computed with O(n²) extra work — the cheap
+/// metadata the paper's §III-A refers to.
+pub fn checksummed_gemm(a: &DenseMatrix, b: &DenseMatrix) -> ChecksummedMatrix {
+    let c = a.gemm(b);
+    // eᵀ·A (column sums of A), then multiplied by B.
+    let col_sums_a: Vec<f64> = (0..a.ncols()).map(|j| a.col(j).iter().sum()).collect();
+    let col_checksum = b.gemv_t(&col_sums_a);
+    // B·e (row sums of B), then multiplied by A.
+    let row_sums_b: Vec<f64> =
+        (0..b.nrows()).map(|i| (0..b.ncols()).map(|j| b.get(i, j)).sum()).collect();
+    let row_checksum = a.gemv(&row_sums_b);
+    ChecksummedMatrix { data: c, col_checksum, row_checksum }
+}
+
+/// A sparse matrix paired with its row-sum vector `A·e`, enabling a cheap
+/// end-to-end check of SpMV results: for any `x`, `Σ_i (A·x)_i` must equal
+/// `(eᵀA)·x`, and per-row checks catch localised corruption.
+#[derive(Debug, Clone)]
+pub struct ChecksummedCsr {
+    /// The matrix.
+    pub matrix: CsrMatrix,
+    /// Column-sum vector `eᵀA` (length = ncols).
+    pub col_sums: Vec<f64>,
+}
+
+impl ChecksummedCsr {
+    /// Encode a CSR matrix.
+    pub fn encode(matrix: CsrMatrix) -> Self {
+        let mut col_sums = vec![0.0; matrix.ncols()];
+        for i in 0..matrix.nrows() {
+            let (cols, vals) = matrix.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                col_sums[j] += v;
+            }
+        }
+        Self { matrix, col_sums }
+    }
+
+    /// Compute `y = A·x` and verify the aggregate checksum
+    /// `Σ_i y_i == (eᵀA)·x`. Returns the product and whether the check
+    /// passed.
+    pub fn spmv_checked(&self, x: &[f64], tol: f64) -> (Vec<f64>, bool) {
+        let y = self.matrix.spmv(x);
+        let sum_y: f64 = y.iter().sum();
+        let expected: f64 = self.col_sums.iter().zip(x).map(|(a, b)| a * b).sum();
+        let scale = self.matrix.norm_fro().max(1.0)
+            * x.iter().fold(1.0f64, |m, v| m.max(v.abs()))
+            * self.matrix.nrows() as f64;
+        let ok = (sum_y - expected).abs() <= tol * scale;
+        (y, ok)
+    }
+
+    /// Verify an SpMV result produced elsewhere (possibly corrupted in
+    /// transit or by a bit flip in memory).
+    pub fn verify_product(&self, x: &[f64], y: &[f64], tol: f64) -> bool {
+        let sum_y: f64 = y.iter().sum();
+        let expected: f64 = self.col_sums.iter().zip(x).map(|(a, b)| a * b).sum();
+        let scale = self.matrix.norm_fro().max(1.0)
+            * x.iter().fold(1.0f64, |m, v| m.max(v.abs()))
+            * self.matrix.nrows() as f64;
+        (sum_y - expected).abs() <= tol * scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::poisson2d;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn clean_matrix_verifies() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let a = DenseMatrix::random(6, 4, &mut rng);
+        let cm = ChecksummedMatrix::encode(&a);
+        assert_eq!(cm.verify(TOL), ChecksumVerdict::Clean);
+        assert!(!cm.verify(TOL).detected());
+    }
+
+    #[test]
+    fn single_corruption_is_localised_and_corrected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let a = DenseMatrix::random(5, 5, &mut rng);
+        let mut cm = ChecksummedMatrix::encode(&a);
+        let original = cm.data.get(2, 3);
+        cm.data.set(2, 3, original + 10.0);
+        match cm.verify(TOL) {
+            ChecksumVerdict::SingleError { row, col, magnitude } => {
+                assert_eq!((row, col), (2, 3));
+                assert!((magnitude - 10.0).abs() < 1e-9);
+            }
+            other => panic!("expected SingleError, got {other:?}"),
+        }
+        assert!(cm.correct(TOL));
+        assert!((cm.data.get(2, 3) - original).abs() < 1e-9);
+        assert_eq!(cm.verify(TOL), ChecksumVerdict::Clean);
+    }
+
+    #[test]
+    fn multiple_corruptions_detected_not_corrected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let a = DenseMatrix::random(5, 5, &mut rng);
+        let mut cm = ChecksummedMatrix::encode(&a);
+        cm.data.add_to(0, 0, 5.0);
+        cm.data.add_to(3, 4, -7.0);
+        match cm.verify(TOL) {
+            ChecksumVerdict::MultipleErrors { bad_rows, bad_cols } => {
+                assert_eq!(bad_rows, 2);
+                assert_eq!(bad_cols, 2);
+            }
+            other => panic!("expected MultipleErrors, got {other:?}"),
+        }
+        assert!(!cm.correct(TOL));
+    }
+
+    #[test]
+    fn checksummed_gemm_clean_product_verifies() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let a = DenseMatrix::random(6, 5, &mut rng);
+        let b = DenseMatrix::random(5, 7, &mut rng);
+        let cm = checksummed_gemm(&a, &b);
+        assert_eq!(cm.verify(1e-10), ChecksumVerdict::Clean);
+        // The data must equal the plain product.
+        assert!(cm.data.sub(&a.gemm(&b)).norm_max() < 1e-14);
+    }
+
+    #[test]
+    fn checksummed_gemm_catches_injected_error() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let a = DenseMatrix::random(4, 4, &mut rng);
+        let b = DenseMatrix::random(4, 4, &mut rng);
+        let mut cm = checksummed_gemm(&a, &b);
+        cm.data.add_to(1, 2, 3.0);
+        let verdict = cm.verify(1e-10);
+        assert!(matches!(verdict, ChecksumVerdict::SingleError { row: 1, col: 2, .. }));
+        assert!(cm.correct(1e-10));
+        assert!(cm.data.sub(&a.gemm(&b)).norm_max() < 1e-9);
+    }
+
+    #[test]
+    fn checksummed_spmv_clean_and_corrupted() {
+        let a = poisson2d(6, 6);
+        let n = a.nrows();
+        let cs = ChecksummedCsr::encode(a);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let (y, ok) = cs.spmv_checked(&x, 1e-12);
+        assert!(ok);
+        assert!(cs.verify_product(&x, &y, 1e-12));
+        // Corrupt one entry of the product.
+        let mut y_bad = y.clone();
+        y_bad[n / 2] += 1.0;
+        assert!(!cs.verify_product(&x, &y_bad, 1e-12));
+    }
+
+    #[test]
+    fn small_perturbations_below_tolerance_pass() {
+        let a = poisson2d(4, 4);
+        let n = a.nrows();
+        let cs = ChecksummedCsr::encode(a);
+        let x = vec![1.0; n];
+        let mut y = cs.matrix.spmv(&x);
+        y[0] += 1e-15; // rounding-level perturbation
+        assert!(cs.verify_product(&x, &y, 1e-12), "tolerance must absorb rounding noise");
+    }
+}

@@ -1,0 +1,285 @@
+//! Dense matrices (column-major) with the level-2/3 kernels the resilient
+//! algorithms need: GEMV, GEMM, small QR-style helpers.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// A dense column-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    nrows: usize,
+    ncols: usize,
+    /// Column-major storage: element (i, j) lives at `data[j * nrows + i]`.
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Zero matrix of the given shape.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Self { nrows, ncols, data: vec![0.0; nrows * ncols] }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Build from a row-major nested slice (convenient in tests).
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let nrows = rows.len();
+        let ncols = rows.first().map(Vec::len).unwrap_or(0);
+        let mut m = Self::zeros(nrows, ncols);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), ncols, "ragged rows");
+            for (j, &v) in row.iter().enumerate() {
+                m.set(i, j, v);
+            }
+        }
+        m
+    }
+
+    /// Matrix with entries drawn uniformly from `[-1, 1]`.
+    pub fn random(nrows: usize, ncols: usize, rng: &mut ChaCha8Rng) -> Self {
+        let data = (0..nrows * ncols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        Self { nrows, ncols, data }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Element (i, j).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        self.data[j * self.nrows + i]
+    }
+
+    /// Set element (i, j).
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        self.data[j * self.nrows + i] = v;
+    }
+
+    /// Add `v` to element (i, j).
+    #[inline]
+    pub fn add_to(&mut self, i: usize, j: usize, v: f64) {
+        self.data[j * self.nrows + i] += v;
+    }
+
+    /// Borrow column `j` as a slice.
+    pub fn col(&self, j: usize) -> &[f64] {
+        &self.data[j * self.nrows..(j + 1) * self.nrows]
+    }
+
+    /// Borrow column `j` mutably.
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        &mut self.data[j * self.nrows..(j + 1) * self.nrows]
+    }
+
+    /// Copy of row `i`.
+    pub fn row(&self, i: usize) -> Vec<f64> {
+        (0..self.ncols).map(|j| self.get(i, j)).collect()
+    }
+
+    /// Raw column-major data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Raw column-major data, mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// y = A·x.
+    pub fn gemv(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.ncols, "gemv: dimension mismatch");
+        let mut y = vec![0.0; self.nrows];
+        for j in 0..self.ncols {
+            let xj = x[j];
+            if xj == 0.0 {
+                continue;
+            }
+            let col = self.col(j);
+            for i in 0..self.nrows {
+                y[i] += col[i] * xj;
+            }
+        }
+        y
+    }
+
+    /// y = Aᵀ·x.
+    pub fn gemv_t(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.nrows, "gemv_t: dimension mismatch");
+        (0..self.ncols).map(|j| self.col(j).iter().zip(x).map(|(a, b)| a * b).sum()).collect()
+    }
+
+    /// C = A·B.
+    pub fn gemm(&self, b: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.ncols, b.nrows, "gemm: inner dimension mismatch");
+        let mut c = DenseMatrix::zeros(self.nrows, b.ncols);
+        for j in 0..b.ncols {
+            for k in 0..self.ncols {
+                let bkj = b.get(k, j);
+                if bkj == 0.0 {
+                    continue;
+                }
+                let a_col = self.col(k);
+                let c_col = c.col_mut(j);
+                for i in 0..self.nrows {
+                    c_col[i] += a_col[i] * bkj;
+                }
+            }
+        }
+        c
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut t = DenseMatrix::zeros(self.ncols, self.nrows);
+        for j in 0..self.ncols {
+            for i in 0..self.nrows {
+                t.set(j, i, self.get(i, j));
+            }
+        }
+        t
+    }
+
+    /// Frobenius norm.
+    pub fn norm_fro(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute entry.
+    pub fn norm_max(&self) -> f64 {
+        self.data.iter().fold(0.0, |m: f64, v| m.max(v.abs()))
+    }
+
+    /// Element-wise difference `self - other`.
+    pub fn sub(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.nrows, other.nrows);
+        assert_eq!(self.ncols, other.ncols);
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
+        Self { nrows: self.nrows, ncols: self.ncols, data }
+    }
+
+    /// Solve the upper-triangular system `R·x = b` for `x` by back
+    /// substitution, using the leading `n × n` block of `self`.
+    ///
+    /// # Panics
+    /// Panics if a diagonal entry is exactly zero.
+    pub fn solve_upper_triangular(&self, b: &[f64], n: usize) -> Vec<f64> {
+        assert!(n <= self.nrows && n <= self.ncols && n <= b.len());
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = b[i];
+            for j in (i + 1)..n {
+                sum -= self.get(i, j) * x[j];
+            }
+            let d = self.get(i, i);
+            assert!(d != 0.0, "singular triangular factor at row {i}");
+            x[i] = sum / d;
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_and_access() {
+        let mut m = DenseMatrix::zeros(2, 3);
+        assert_eq!(m.nrows(), 2);
+        assert_eq!(m.ncols(), 3);
+        m.set(1, 2, 5.0);
+        assert_eq!(m.get(1, 2), 5.0);
+        m.add_to(1, 2, 1.0);
+        assert_eq!(m.get(1, 2), 6.0);
+        assert_eq!(m.row(1), vec![0.0, 0.0, 6.0]);
+        assert_eq!(m.col(2), &[0.0, 6.0]);
+    }
+
+    #[test]
+    fn identity_gemv_is_identity() {
+        let i3 = DenseMatrix::identity(3);
+        let x = [1.0, -2.0, 3.0];
+        assert_eq!(i3.gemv(&x), vec![1.0, -2.0, 3.0]);
+    }
+
+    #[test]
+    fn from_rows_and_gemv() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        assert_eq!(a.gemv(&[1.0, 1.0]), vec![3.0, 7.0, 11.0]);
+        assert_eq!(a.gemv_t(&[1.0, 0.0, 1.0]), vec![6.0, 8.0]);
+    }
+
+    #[test]
+    fn gemm_matches_manual() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = DenseMatrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.gemm(&b);
+        assert_eq!(c.get(0, 0), 19.0);
+        assert_eq!(c.get(0, 1), 22.0);
+        assert_eq!(c.get(1, 0), 43.0);
+        assert_eq!(c.get(1, 1), 50.0);
+    }
+
+    #[test]
+    fn gemm_identity_is_noop() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let a = DenseMatrix::random(4, 4, &mut rng);
+        let c = a.gemm(&DenseMatrix::identity(4));
+        assert!(a.sub(&c).norm_max() < 1e-15);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let a = DenseMatrix::random(3, 5, &mut rng);
+        let att = a.transpose().transpose();
+        assert!(a.sub(&att).norm_max() == 0.0);
+        assert_eq!(a.transpose().nrows(), 5);
+    }
+
+    #[test]
+    fn norms() {
+        let a = DenseMatrix::from_rows(&[vec![3.0, 0.0], vec![0.0, -4.0]]);
+        assert_eq!(a.norm_fro(), 5.0);
+        assert_eq!(a.norm_max(), 4.0);
+    }
+
+    #[test]
+    fn upper_triangular_solve() {
+        let r = DenseMatrix::from_rows(&[vec![2.0, 1.0], vec![0.0, 4.0]]);
+        let x = r.solve_upper_triangular(&[4.0, 8.0], 2);
+        assert_eq!(x, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn singular_triangular_panics() {
+        let r = DenseMatrix::from_rows(&[vec![0.0]]);
+        r.solve_upper_triangular(&[1.0], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn gemv_dimension_mismatch_panics() {
+        DenseMatrix::zeros(2, 2).gemv(&[1.0]);
+    }
+}

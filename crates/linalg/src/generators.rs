@@ -1,0 +1,233 @@
+//! Model-problem generators.
+//!
+//! The resilient-solver experiments all run on the standard model problems
+//! of the papers the position paper cites: finite-difference Laplacians in
+//! one, two and three dimensions, plus random diagonally dominant and SPD
+//! matrices for stress tests.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::sparse::{CooMatrix, CsrMatrix};
+
+/// 1-D Poisson (tridiagonal) matrix of order `n`: 2 on the diagonal, −1 on
+/// the off-diagonals. Symmetric positive definite.
+pub fn poisson1d(n: usize) -> CsrMatrix {
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        coo.push(i, i, 2.0);
+        if i > 0 {
+            coo.push(i, i - 1, -1.0);
+        }
+        if i + 1 < n {
+            coo.push(i, i + 1, -1.0);
+        }
+    }
+    coo.to_csr()
+}
+
+/// 2-D Poisson matrix for an `nx × ny` grid with the 5-point stencil
+/// (Dirichlet boundary): order `nx·ny`, 4 on the diagonal, −1 couplings.
+/// Symmetric positive definite.
+pub fn poisson2d(nx: usize, ny: usize) -> CsrMatrix {
+    let n = nx * ny;
+    let idx = |i: usize, j: usize| i * ny + j;
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..nx {
+        for j in 0..ny {
+            let row = idx(i, j);
+            coo.push(row, row, 4.0);
+            if i > 0 {
+                coo.push(row, idx(i - 1, j), -1.0);
+            }
+            if i + 1 < nx {
+                coo.push(row, idx(i + 1, j), -1.0);
+            }
+            if j > 0 {
+                coo.push(row, idx(i, j - 1), -1.0);
+            }
+            if j + 1 < ny {
+                coo.push(row, idx(i, j + 1), -1.0);
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// 3-D Poisson matrix for an `nx × ny × nz` grid with the 7-point stencil
+/// (Dirichlet boundary). Symmetric positive definite.
+pub fn poisson3d(nx: usize, ny: usize, nz: usize) -> CsrMatrix {
+    let n = nx * ny * nz;
+    let idx = |i: usize, j: usize, k: usize| (i * ny + j) * nz + k;
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..nx {
+        for j in 0..ny {
+            for k in 0..nz {
+                let row = idx(i, j, k);
+                coo.push(row, row, 6.0);
+                if i > 0 {
+                    coo.push(row, idx(i - 1, j, k), -1.0);
+                }
+                if i + 1 < nx {
+                    coo.push(row, idx(i + 1, j, k), -1.0);
+                }
+                if j > 0 {
+                    coo.push(row, idx(i, j - 1, k), -1.0);
+                }
+                if j + 1 < ny {
+                    coo.push(row, idx(i, j + 1, k), -1.0);
+                }
+                if k > 0 {
+                    coo.push(row, idx(i, j, k - 1), -1.0);
+                }
+                if k + 1 < nz {
+                    coo.push(row, idx(i, j, k + 1), -1.0);
+                }
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Random sparse, strictly diagonally dominant (hence non-singular) matrix
+/// of order `n` with roughly `nnz_per_row` off-diagonal entries per row.
+/// Not symmetric — used to exercise GMRES on a non-SPD problem.
+pub fn diag_dominant_random(n: usize, nnz_per_row: usize, rng: &mut ChaCha8Rng) -> CsrMatrix {
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        let mut off_sum = 0.0;
+        for _ in 0..nnz_per_row {
+            let j = rng.gen_range(0..n);
+            if j == i {
+                continue;
+            }
+            let v: f64 = rng.gen_range(-1.0..1.0);
+            off_sum += v.abs();
+            coo.push(i, j, v);
+        }
+        coo.push(i, i, off_sum + 1.0 + rng.gen_range(0.0..1.0));
+    }
+    coo.to_csr()
+}
+
+/// Random symmetric positive-definite matrix `AᵀA + n·I` of order `n`
+/// (dense pattern, small orders only). Used by property tests for CG.
+pub fn spd_random(n: usize, rng: &mut ChaCha8Rng) -> CsrMatrix {
+    let a: Vec<Vec<f64>> =
+        (0..n).map(|_| (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            let mut v = 0.0;
+            for (k, row) in a.iter().enumerate() {
+                v += row[i] * a[k][j];
+            }
+            if i == j {
+                v += n as f64;
+            }
+            coo.push(i, j, v);
+        }
+    }
+    coo.to_csr()
+}
+
+/// A right-hand side vector with entries all equal to one (the canonical
+/// model-problem forcing term).
+pub fn ones(n: usize) -> Vec<f64> {
+    vec![1.0; n]
+}
+
+/// A random vector with entries in `[-1, 1]`.
+pub fn random_vector(n: usize, rng: &mut ChaCha8Rng) -> Vec<f64> {
+    (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::{dot, nrm2};
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson1d_structure() {
+        let a = poisson1d(5);
+        assert_eq!(a.nrows(), 5);
+        assert_eq!(a.nnz(), 13);
+        assert_eq!(a.diagonal(), vec![2.0; 5]);
+        // Row sums are zero in the interior, one at the boundary rows.
+        assert_eq!(a.row_sums(), vec![1.0, 0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn poisson2d_structure() {
+        let a = poisson2d(3, 4);
+        assert_eq!(a.nrows(), 12);
+        assert_eq!(a.diagonal(), vec![4.0; 12]);
+        // 5-point stencil nnz: 5*interior + boundary adjustments = 12*5 - 2*(3+4)
+        assert_eq!(a.nnz(), 12 * 5 - 2 * (3 + 4));
+        // Symmetry.
+        assert_eq!(a.to_dense(), a.transpose().to_dense());
+    }
+
+    #[test]
+    fn poisson3d_structure() {
+        let a = poisson3d(2, 3, 2);
+        assert_eq!(a.nrows(), 12);
+        assert_eq!(a.diagonal(), vec![6.0; 12]);
+        assert_eq!(a.to_dense(), a.transpose().to_dense());
+    }
+
+    #[test]
+    fn poisson_matrices_are_positive_definite_on_samples() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for a in [poisson1d(10), poisson2d(4, 4), poisson3d(2, 2, 3)] {
+            for _ in 0..5 {
+                let x = random_vector(a.nrows(), &mut rng);
+                if nrm2(&x) < 1e-12 {
+                    continue;
+                }
+                let quad = dot(&x, &a.spmv(&x));
+                assert!(quad > 0.0, "xᵀAx must be positive for SPD A");
+            }
+        }
+    }
+
+    #[test]
+    fn diag_dominant_is_dominant() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let a = diag_dominant_random(50, 6, &mut rng);
+        for i in 0..50 {
+            let (cols, vals) = a.row(i);
+            let mut diag = 0.0;
+            let mut off = 0.0;
+            for (&j, &v) in cols.iter().zip(vals) {
+                if j == i {
+                    diag = v.abs();
+                } else {
+                    off += v.abs();
+                }
+            }
+            assert!(diag > off, "row {i} not diagonally dominant");
+        }
+    }
+
+    #[test]
+    fn spd_random_is_symmetric_positive_definite() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let a = spd_random(8, &mut rng);
+        assert_eq!(a.to_dense(), a.transpose().to_dense());
+        for _ in 0..5 {
+            let x = random_vector(8, &mut rng);
+            assert!(dot(&x, &a.spmv(&x)) > 0.0);
+        }
+    }
+
+    #[test]
+    fn vector_helpers() {
+        assert_eq!(ones(3), vec![1.0, 1.0, 1.0]);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let v = random_vector(10, &mut rng);
+        assert_eq!(v.len(), 10);
+        assert!(v.iter().all(|x| (-1.0..1.0).contains(x)));
+    }
+}

@@ -1,0 +1,25 @@
+//! # resilient-linalg
+//!
+//! The dense and sparse linear-algebra substrate for the resilience suite:
+//! level-1 vector kernels, dense matrices (GEMV/GEMM), CSR sparse matrices
+//! (SpMV), model-problem generators (1-D/2-D/3-D Poisson, random SPD and
+//! diagonally dominant matrices), Givens rotations with the progressive
+//! Hessenberg least-squares solve used by GMRES, and the Huang–Abraham ABFT
+//! checksum encodings used by the skeptical-programming kernels.
+
+#![warn(missing_docs)]
+
+pub mod checksum;
+pub mod dense;
+pub mod generators;
+pub mod givens;
+pub mod sparse;
+pub mod vector;
+
+pub use checksum::{checksummed_gemm, ChecksumVerdict, ChecksummedCsr, ChecksummedMatrix};
+pub use dense::DenseMatrix;
+pub use generators::{
+    diag_dominant_random, ones, poisson1d, poisson2d, poisson3d, random_vector, spd_random,
+};
+pub use givens::{Givens, HessenbergLsq};
+pub use sparse::{CooMatrix, CsrMatrix};

@@ -1,0 +1,140 @@
+//! Dense vector kernels (level-1 BLAS style), written over plain slices so
+//! they compose with the distributed vectors of the core crate and with the
+//! unreliable-memory regions of the faults crate.
+
+/// Dot product of two equally sized slices.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Euclidean norm ‖x‖₂.
+pub fn nrm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Infinity norm ‖x‖∞.
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0, |m, v| m.max(v.abs()))
+}
+
+/// One norm ‖x‖₁.
+pub fn norm1(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// y ← a·x + y.
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// w ← a·x + b·y (write into a fresh vector).
+pub fn waxpby(a: f64, x: &[f64], b: f64, y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "waxpby: length mismatch");
+    x.iter().zip(y).map(|(xi, yi)| a * xi + b * yi).collect()
+}
+
+/// x ← a·x.
+pub fn scale(a: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= a;
+    }
+}
+
+/// Copy `src` into `dst`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn copy(src: &[f64], dst: &mut [f64]) {
+    assert_eq!(src.len(), dst.len(), "copy: length mismatch");
+    dst.copy_from_slice(src);
+}
+
+/// Sum of all elements.
+pub fn asum(x: &[f64]) -> f64 {
+    x.iter().sum()
+}
+
+/// Element-wise subtraction `x - y` into a fresh vector.
+pub fn sub(x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "sub: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a - b).collect()
+}
+
+/// Relative difference ‖x − y‖₂ / max(‖y‖₂, ε): a scale-free error measure
+/// used throughout the experiment harness.
+pub fn rel_diff(x: &[f64], y: &[f64]) -> f64 {
+    let denom = nrm2(y).max(f64::EPSILON);
+    nrm2(&sub(x, y)) / denom
+}
+
+/// Does the vector contain any NaN or infinite entry?
+pub fn has_non_finite(x: &[f64]) -> bool {
+    x.iter().any(|v| !v.is_finite())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms() {
+        let x = [1.0, 2.0, 2.0];
+        assert_eq!(dot(&x, &x), 9.0);
+        assert_eq!(nrm2(&x), 3.0);
+        assert_eq!(norm_inf(&[-5.0, 3.0]), 5.0);
+        assert_eq!(norm1(&[-1.0, 2.0, -3.0]), 6.0);
+        assert_eq!(asum(&[1.0, -1.0, 4.0]), 4.0);
+    }
+
+    #[test]
+    fn axpy_waxpby_scale() {
+        let x = [1.0, 2.0];
+        let mut y = vec![10.0, 20.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, vec![12.0, 24.0]);
+        let w = waxpby(1.0, &x, -1.0, &[1.0, 1.0]);
+        assert_eq!(w, vec![0.0, 1.0]);
+        let mut z = vec![3.0, -6.0];
+        scale(0.5, &mut z);
+        assert_eq!(z, vec![1.5, -3.0]);
+    }
+
+    #[test]
+    fn copy_and_sub() {
+        let mut dst = vec![0.0; 3];
+        copy(&[1.0, 2.0, 3.0], &mut dst);
+        assert_eq!(dst, vec![1.0, 2.0, 3.0]);
+        assert_eq!(sub(&[3.0, 2.0], &[1.0, 5.0]), vec![2.0, -3.0]);
+    }
+
+    #[test]
+    fn rel_diff_scale_free() {
+        let x = [1.0, 1.0];
+        let y = [1.0, 1.0];
+        assert_eq!(rel_diff(&x, &y), 0.0);
+        let x2 = [1.0e6, 0.0];
+        let y2 = [1.0e6 * (1.0 + 1e-8), 0.0];
+        assert!(rel_diff(&x2, &y2) < 1e-7);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        assert!(!has_non_finite(&[1.0, -2.0]));
+        assert!(has_non_finite(&[1.0, f64::NAN]));
+        assert!(has_non_finite(&[f64::INFINITY]));
+        assert!(!has_non_finite(&[]));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}

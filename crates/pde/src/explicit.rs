@@ -1,0 +1,267 @@
+//! Distributed explicit heat equation with LFLR and CPR recovery drivers
+//! (§III-C "Explicit methods: … can be easily implemented to recover
+//! locally, given the LFLR features").
+
+use resilience::lflr::{CprApp, LflrApp};
+use resilient_runtime::{BlockDistribution, CartTopology, Comm, Result, Stored};
+
+use crate::heat1d::HeatProblem;
+
+/// The distributed explicit heat application: implements both the LFLR and
+/// the CPR application contracts so the two recovery models run *exactly the
+/// same numerics* and differ only in how they survive failures.
+#[derive(Debug, Clone)]
+pub struct ExplicitHeat {
+    /// The global problem.
+    pub problem: HeatProblem,
+    /// Number of time steps to run.
+    pub steps: usize,
+    /// Persist / checkpoint every this many steps.
+    pub persist_interval: usize,
+    /// Extra virtual seconds of application work charged per step per rank
+    /// (models the rest of a real multi-physics step; lets experiments scale
+    /// the cost of lost work independently of the grid size).
+    pub work_per_step: f64,
+}
+
+/// Per-rank state: the locally owned slice of the temperature field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalField {
+    /// Locally owned interior values.
+    pub u: Vec<f64>,
+    /// Global step this state corresponds to.
+    pub step: usize,
+}
+
+impl ExplicitHeat {
+    fn distribution(&self, comm: &Comm) -> BlockDistribution {
+        BlockDistribution::new(self.problem.n, comm.size())
+    }
+
+    fn topology(&self, comm: &Comm) -> CartTopology {
+        CartTopology::line(comm.size(), false)
+    }
+
+    /// Build the local initial condition.
+    pub fn local_initial(&self, comm: &Comm) -> LocalField {
+        let dist = self.distribution(comm);
+        let u = dist.range(comm.rank()).map(|i| {
+            (std::f64::consts::PI * self.problem.x(i)).sin()
+        }).collect();
+        LocalField { u, step: 0 }
+    }
+
+    /// One distributed explicit step: halo exchange with the left/right
+    /// neighbours, then the local stencil update. Charged `work_per_step` of
+    /// extra virtual time plus the stencil FLOPs.
+    pub fn local_step(&self, comm: &mut Comm, field: &mut LocalField) -> Result<()> {
+        let topo = self.topology(comm);
+        let n_local = field.u.len();
+        let left_value = field.u.first().copied().unwrap_or(0.0);
+        let right_value = field.u.last().copied().unwrap_or(0.0);
+        if self.work_per_step > 0.0 {
+            comm.advance(self.work_per_step);
+        }
+        let (from_left, from_right) =
+            comm.exchange_boundaries_1d(&topo, &[left_value], &[right_value])?;
+        let left_ghost = from_left.and_then(|v| v.first().copied()).unwrap_or(0.0);
+        let right_ghost = from_right.and_then(|v| v.first().copied()).unwrap_or(0.0);
+        let r = self.problem.courant();
+        let mut next = vec![0.0; n_local];
+        for i in 0..n_local {
+            let left = if i > 0 { field.u[i - 1] } else { left_ghost };
+            let right = if i + 1 < n_local { field.u[i + 1] } else { right_ghost };
+            next[i] = field.u[i] + r * (left - 2.0 * field.u[i] + right);
+        }
+        comm.charge_flops(5 * n_local);
+        field.u = next;
+        field.step += 1;
+        Ok(())
+    }
+
+    /// Gather the global field on every rank (verification only).
+    pub fn gather(&self, comm: &mut Comm, field: &LocalField) -> Result<Vec<f64>> {
+        let parts = comm.allgather(&field.u)?;
+        Ok(parts.into_iter().flatten().collect())
+    }
+}
+
+impl LflrApp for ExplicitHeat {
+    type State = LocalField;
+
+    fn init(&self, comm: &mut Comm) -> Result<LocalField> {
+        Ok(self.local_initial(comm))
+    }
+
+    fn step(&self, comm: &mut Comm, state: &mut LocalField, _step: usize) -> Result<()> {
+        self.local_step(comm, state)
+    }
+
+    fn persist(&self, comm: &mut Comm, state: &LocalField, step: usize) -> Result<()> {
+        comm.persist("heat/u", state.u.clone())?;
+        comm.persist("heat/step", step as f64)?;
+        Ok(())
+    }
+
+    fn recover(&self, comm: &mut Comm, step: usize) -> Result<LocalField> {
+        let me = comm.rank();
+        if comm.persisted(me, "heat/u") {
+            let u = comm.restore(me, "heat/u")?.into_f64()?;
+            let persisted_step = comm.restore(me, "heat/step")?.into_scalar()? as usize;
+            if persisted_step == step {
+                return Ok(LocalField { u, step });
+            }
+        }
+        // No usable persistent data (e.g. the failure predates the first
+        // persist): fall back to re-initialising; the driver will have agreed
+        // on step 0 in that case.
+        let mut field = self.local_initial(comm);
+        field.step = step;
+        Ok(field)
+    }
+
+    fn n_steps(&self) -> usize {
+        self.steps
+    }
+
+    fn persist_interval(&self) -> usize {
+        self.persist_interval
+    }
+}
+
+impl CprApp for ExplicitHeat {
+    type State = LocalField;
+
+    fn init(&self, comm: &mut Comm) -> Result<LocalField> {
+        Ok(self.local_initial(comm))
+    }
+
+    fn step(&self, comm: &mut Comm, state: &mut LocalField, _step: usize) -> Result<()> {
+        self.local_step(comm, state)
+    }
+
+    fn checkpoint(&self, comm: &mut Comm, state: &LocalField, step: usize) -> Result<()> {
+        comm.checkpoint(&format!("heat/u@{step}"), Stored::F64(state.u.clone()))?;
+        Ok(())
+    }
+
+    fn restore(&self, comm: &mut Comm, step: usize) -> Result<LocalField> {
+        match comm.restore_checkpoint(&format!("heat/u@{step}")) {
+            Some(v) => Ok(LocalField { u: v.into_f64()?, step }),
+            None => {
+                let mut field = self.local_initial(comm);
+                field.step = step;
+                Ok(field)
+            }
+        }
+    }
+
+    fn n_steps(&self) -> usize {
+        self.steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resilience::lflr::{run_cpr, run_lflr, CprConfig};
+    use resilient_runtime::{FailureConfig, FailurePolicy, Runtime, RuntimeConfig};
+    use std::sync::Arc;
+
+    fn app(steps: usize) -> ExplicitHeat {
+        ExplicitHeat {
+            problem: HeatProblem::stable(48, 1.0),
+            steps,
+            persist_interval: 5,
+            work_per_step: 0.01,
+        }
+    }
+
+    #[test]
+    fn distributed_explicit_matches_serial() {
+        let rt = Runtime::new(RuntimeConfig::fast());
+        let steps = 60;
+        let fields = rt
+            .run(4, move |comm| {
+                let app = app(steps);
+                let mut field = app.local_initial(comm);
+                for _ in 0..steps {
+                    app.local_step(comm, &mut field)?;
+                }
+                app.gather(comm, &field)
+            })
+            .unwrap_all();
+        let serial = HeatProblem::stable(48, 1.0).run_explicit(steps);
+        for f in fields {
+            for (a, b) in f.iter().zip(&serial) {
+                assert!((a - b).abs() < 1e-12, "distributed and serial stepping must agree");
+            }
+        }
+    }
+
+    #[test]
+    fn lflr_run_with_failure_matches_failure_free_solution() {
+        let steps = 40;
+        // Failure-free reference.
+        let serial = HeatProblem::stable(48, 1.0).run_explicit(steps);
+
+        let cfg = RuntimeConfig::fast().with_failures(FailureConfig::scheduled(
+            FailurePolicy::ReplaceRank,
+            vec![(1, 0.22)],
+        ));
+        let rt = Runtime::new(cfg);
+        let r = rt.run(4, move |comm| {
+            let app = app(steps);
+            let (report, field) = run_lflr(comm, &app)?;
+            Ok((report, app.gather(comm, &field)?))
+        });
+        assert!(r.all_ok(), "errors: {:?}", r.errors);
+        assert_eq!(r.failures.len(), 1);
+        for (report, field) in r.unwrap_all() {
+            assert_eq!(report.steps_completed, steps);
+            for (a, b) in field.iter().zip(&serial) {
+                assert!(
+                    (a - b).abs() < 1e-12,
+                    "LFLR-recovered solution must equal the failure-free one"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cpr_run_with_failure_completes_and_costs_more() {
+        let steps = 40;
+        let base = RuntimeConfig::fast();
+        // Failure-free cost.
+        let clean = run_cpr(
+            &base,
+            4,
+            Arc::new(app(steps)),
+            &CprConfig { checkpoint_interval: 5, max_restarts: 4 },
+        );
+        assert!(clean.completed);
+        assert_eq!(clean.attempts, 1);
+
+        let faulty_cfg = base.with_failures(FailureConfig {
+            enabled: true,
+            policy: FailurePolicy::AbortJob,
+            mtbf_per_rank: f64::INFINITY,
+            scheduled: vec![(2, 0.31)],
+            max_failures: 1,
+        });
+        let faulty = run_cpr(
+            &faulty_cfg,
+            4,
+            Arc::new(app(steps)),
+            &CprConfig { checkpoint_interval: 5, max_restarts: 4 },
+        );
+        assert!(faulty.completed, "{faulty:?}");
+        assert_eq!(faulty.attempts, 2);
+        assert!(
+            faulty.total_virtual_time > clean.total_virtual_time,
+            "a failure must cost time under CPR: {} vs {}",
+            faulty.total_virtual_time,
+            clean.total_virtual_time
+        );
+    }
+}

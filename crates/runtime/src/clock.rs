@@ -1,0 +1,186 @@
+//! Per-rank virtual clocks.
+//!
+//! The runtime does not measure wall-clock time for its performance model
+//! (wall time on an oversubscribed test machine tells us nothing about a
+//! million-rank machine). Instead every rank owns a [`VirtualClock`] whose
+//! value advances when the application *charges* work to it:
+//!
+//! * explicit compute cost via [`VirtualClock::advance`], usually through
+//!   [`Comm::advance`](crate::comm::Comm::advance) or
+//!   [`Comm::charge_flops`](crate::comm::Comm::charge_flops);
+//! * communication cost, charged by the point-to-point and collective
+//!   implementations according to the configured
+//!   [`LatencyModel`](crate::config::LatencyModel);
+//! * performance-variability noise injected by the
+//!   [`NoiseModel`](crate::noise::NoiseModel).
+//!
+//! Virtual time is the quantity reported by all latency-tolerance and
+//! recovery experiments (E3, E4, E8, E9 in DESIGN.md).
+
+/// A monotonically non-decreasing virtual clock, measured in seconds.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    now: f64,
+    /// Total time attributed to local computation.
+    compute: f64,
+    /// Total time attributed to waiting on communication (latency that was
+    /// *not* hidden by local work).
+    comm_wait: f64,
+    /// Total time attributed to injected noise events.
+    noise: f64,
+    /// Total time attributed to recovery work after failures.
+    recovery: f64,
+}
+
+impl VirtualClock {
+    /// A clock starting at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time in seconds.
+    #[inline]
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Advance the clock by `dt` seconds of computation. Negative or
+    /// non-finite increments are ignored.
+    #[inline]
+    pub fn advance(&mut self, dt: f64) {
+        if dt.is_finite() && dt > 0.0 {
+            self.now += dt;
+            self.compute += dt;
+        }
+    }
+
+    /// Advance the clock by `dt` seconds of injected noise.
+    #[inline]
+    pub fn advance_noise(&mut self, dt: f64) {
+        if dt.is_finite() && dt > 0.0 {
+            self.now += dt;
+            self.noise += dt;
+        }
+    }
+
+    /// Advance the clock by `dt` seconds of recovery work.
+    #[inline]
+    pub fn advance_recovery(&mut self, dt: f64) {
+        if dt.is_finite() && dt > 0.0 {
+            self.now += dt;
+            self.recovery += dt;
+        }
+    }
+
+    /// Move the clock forward to `t` (if `t` is in the future), attributing
+    /// the gap to communication wait. Returns the amount of time waited.
+    #[inline]
+    pub fn wait_until(&mut self, t: f64) -> f64 {
+        if t > self.now {
+            let waited = t - self.now;
+            self.comm_wait += waited;
+            self.now = t;
+            waited
+        } else {
+            0.0
+        }
+    }
+
+    /// Force the clock to at least `t` without attributing the gap to any
+    /// category (used when a replacement rank inherits the failure time of
+    /// its predecessor).
+    #[inline]
+    pub fn fast_forward(&mut self, t: f64) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Seconds spent in local computation.
+    pub fn compute_time(&self) -> f64 {
+        self.compute
+    }
+
+    /// Seconds spent waiting on communication.
+    pub fn comm_wait_time(&self) -> f64 {
+        self.comm_wait
+    }
+
+    /// Seconds added by noise injection.
+    pub fn noise_time(&self) -> f64 {
+        self.noise
+    }
+
+    /// Seconds spent in recovery.
+    pub fn recovery_time(&self) -> f64 {
+        self.recovery
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now(), 0.0);
+        assert_eq!(c.compute_time(), 0.0);
+    }
+
+    #[test]
+    fn advance_accumulates_compute() {
+        let mut c = VirtualClock::new();
+        c.advance(1.5);
+        c.advance(0.5);
+        assert!((c.now() - 2.0).abs() < 1e-15);
+        assert!((c.compute_time() - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ignores_negative_and_nan() {
+        let mut c = VirtualClock::new();
+        c.advance(-1.0);
+        c.advance(f64::NAN);
+        c.advance(f64::INFINITY);
+        assert_eq!(c.now(), 0.0);
+    }
+
+    #[test]
+    fn wait_until_only_moves_forward() {
+        let mut c = VirtualClock::new();
+        c.advance(5.0);
+        let waited = c.wait_until(3.0);
+        assert_eq!(waited, 0.0);
+        assert_eq!(c.now(), 5.0);
+        let waited = c.wait_until(8.0);
+        assert!((waited - 3.0).abs() < 1e-15);
+        assert!((c.comm_wait_time() - 3.0).abs() < 1e-15);
+        assert_eq!(c.now(), 8.0);
+    }
+
+    #[test]
+    fn categories_are_separate() {
+        let mut c = VirtualClock::new();
+        c.advance(1.0);
+        c.advance_noise(2.0);
+        c.advance_recovery(3.0);
+        c.wait_until(7.0);
+        assert!((c.compute_time() - 1.0).abs() < 1e-15);
+        assert!((c.noise_time() - 2.0).abs() < 1e-15);
+        assert!((c.recovery_time() - 3.0).abs() < 1e-15);
+        assert!((c.comm_wait_time() - 1.0).abs() < 1e-15);
+        assert!((c.now() - 7.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fast_forward_does_not_attribute() {
+        let mut c = VirtualClock::new();
+        c.fast_forward(10.0);
+        assert_eq!(c.now(), 10.0);
+        assert_eq!(c.comm_wait_time(), 0.0);
+        assert_eq!(c.compute_time(), 0.0);
+        c.fast_forward(5.0);
+        assert_eq!(c.now(), 10.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Blocking collective operations.
+//!
+//! These are the "classic" bulk-synchronous collectives whose poor scaling
+//! under performance variability motivates the paper's RBSP model (§II-B).
+//! Every blocking collective synchronises the participants in virtual time:
+//! all ranks leave at the same completion time, which is how noise on one
+//! rank delays everyone.
+
+use crate::comm::Comm;
+use crate::engine::{CollectiveResult, SlotKey, SlotKind};
+use crate::error::Result;
+
+/// Element-wise reduction operators for reduce/allreduce/scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Element-wise sum.
+    Sum,
+    /// Element-wise minimum.
+    Min,
+    /// Element-wise maximum.
+    Max,
+    /// Element-wise product.
+    Prod,
+}
+
+impl ReduceOp {
+    /// Combine `b` into `a` element-wise.
+    pub fn fold_into(self, a: &mut [f64], b: &[f64]) {
+        debug_assert_eq!(a.len(), b.len());
+        match self {
+            ReduceOp::Sum => a.iter_mut().zip(b).for_each(|(x, y)| *x += *y),
+            ReduceOp::Min => a.iter_mut().zip(b).for_each(|(x, y)| *x = x.min(*y)),
+            ReduceOp::Max => a.iter_mut().zip(b).for_each(|(x, y)| *x = x.max(*y)),
+            ReduceOp::Prod => a.iter_mut().zip(b).for_each(|(x, y)| *x *= *y),
+        }
+    }
+
+    /// Reduce a list of equally sized contributions into a single vector.
+    pub fn reduce_all(self, contributions: &[Vec<f64>]) -> Vec<f64> {
+        let mut iter = contributions.iter().filter(|c| !c.is_empty());
+        let first = match iter.next() {
+            Some(f) => f.clone(),
+            None => return Vec::new(),
+        };
+        iter.fold(first, |mut acc, c| {
+            self.fold_into(&mut acc, c);
+            acc
+        })
+    }
+}
+
+impl Comm {
+    /// Post a collective contribution and wait for completion: the shared
+    /// primitive behind every blocking collective.
+    pub(crate) fn collective_exchange(
+        &mut self,
+        contribution: Vec<f64>,
+        reduce_elems: usize,
+    ) -> Result<CollectiveResult> {
+        self.failure_point()?;
+        let key = SlotKey {
+            epoch: self.epoch,
+            comm_id: self.comm_id,
+            kind: SlotKind::Collective,
+            seq: self.seq,
+        };
+        self.seq += 1;
+        let expected = self.size();
+        let bytes = contribution.len() * std::mem::size_of::<f64>();
+        let cost = self.world.config.latency.collective_cost(expected, bytes, reduce_elems);
+        let index = self.rank();
+        self.world.engine.post(key, index, expected, contribution, self.clock.now(), cost)?;
+        let result = self.world.engine.wait(key, &self.world.health, self.acked_generation)?;
+        self.clock.wait_until(result.completion_time);
+        self.collectives += 1;
+        Ok(result)
+    }
+
+    /// Synchronise all ranks of the communicator (no data exchanged).
+    pub fn barrier(&mut self) -> Result<()> {
+        self.collective_exchange(Vec::new(), 0).map(|_| ())
+    }
+
+    /// All-reduce: combine `data` element-wise across all ranks with `op`;
+    /// every rank receives the combined vector.
+    pub fn allreduce(&mut self, op: ReduceOp, data: &[f64]) -> Result<Vec<f64>> {
+        let r = self.collective_exchange(data.to_vec(), data.len())?;
+        Ok(op.reduce_all(&r.contributions))
+    }
+
+    /// All-reduce of a single scalar.
+    pub fn allreduce_scalar(&mut self, op: ReduceOp, value: f64) -> Result<f64> {
+        Ok(self.allreduce(op, &[value])?[0])
+    }
+
+    /// Reduce to `root`: `root` receives the combined vector, other ranks
+    /// receive `None`.
+    pub fn reduce(&mut self, root: usize, op: ReduceOp, data: &[f64]) -> Result<Option<Vec<f64>>> {
+        let r = self.collective_exchange(data.to_vec(), data.len())?;
+        if self.rank() == root {
+            Ok(Some(op.reduce_all(&r.contributions)))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Broadcast `data` from `root` to all ranks. Non-root ranks pass their
+    /// (ignored) local buffer, typically empty.
+    pub fn broadcast(&mut self, root: usize, data: &[f64]) -> Result<Vec<f64>> {
+        let contribution = if self.rank() == root { data.to_vec() } else { Vec::new() };
+        let r = self.collective_exchange(contribution, 0)?;
+        Ok(r.contributions.get(root).cloned().unwrap_or_default())
+    }
+
+    /// Gather every rank's `data` to all ranks, ordered by rank.
+    pub fn allgather(&mut self, data: &[f64]) -> Result<Vec<Vec<f64>>> {
+        let r = self.collective_exchange(data.to_vec(), 0)?;
+        Ok(r.contributions)
+    }
+
+    /// Gather every rank's `data` to `root` only.
+    pub fn gather(&mut self, root: usize, data: &[f64]) -> Result<Option<Vec<Vec<f64>>>> {
+        let r = self.collective_exchange(data.to_vec(), 0)?;
+        if self.rank() == root {
+            Ok(Some(r.contributions))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Inclusive prefix scan: rank `i` receives the combination of the
+    /// contributions of ranks `0..=i`.
+    pub fn scan(&mut self, op: ReduceOp, data: &[f64]) -> Result<Vec<f64>> {
+        let r = self.collective_exchange(data.to_vec(), data.len())?;
+        let me = self.rank();
+        Ok(op.reduce_all(&r.contributions[..=me]))
+    }
+
+    /// Distributed dot product helper: contributes the local partial dot
+    /// product and returns the global sum. This is the collective at the
+    /// heart of every Krylov iteration and the one the RBSP experiments
+    /// target.
+    pub fn global_dot(&mut self, local_partial: f64) -> Result<f64> {
+        self.allreduce_scalar(ReduceOp::Sum, local_partial)
+    }
+
+    /// ULFM-style agreement: all alive ranks agree on the minimum of their
+    /// proposed values.
+    pub fn agree(&mut self, value: f64) -> Result<f64> {
+        self.allreduce_scalar(ReduceOp::Min, value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_op_sum_min_max_prod() {
+        let mut a = vec![1.0, 5.0, 2.0];
+        ReduceOp::Sum.fold_into(&mut a, &[1.0, 1.0, 1.0]);
+        assert_eq!(a, vec![2.0, 6.0, 3.0]);
+        let mut a = vec![1.0, 5.0];
+        ReduceOp::Min.fold_into(&mut a, &[0.5, 9.0]);
+        assert_eq!(a, vec![0.5, 5.0]);
+        let mut a = vec![1.0, 5.0];
+        ReduceOp::Max.fold_into(&mut a, &[0.5, 9.0]);
+        assert_eq!(a, vec![1.0, 9.0]);
+        let mut a = vec![2.0, 3.0];
+        ReduceOp::Prod.fold_into(&mut a, &[4.0, 0.5]);
+        assert_eq!(a, vec![8.0, 1.5]);
+    }
+
+    #[test]
+    fn reduce_all_skips_empty_contributions() {
+        let out = ReduceOp::Sum.reduce_all(&[vec![], vec![1.0, 2.0], vec![3.0, 4.0], vec![]]);
+        assert_eq!(out, vec![4.0, 6.0]);
+        assert!(ReduceOp::Sum.reduce_all(&[vec![], vec![]]).is_empty());
+    }
+}

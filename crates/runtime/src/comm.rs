@@ -1,0 +1,617 @@
+//! The per-rank communicator handle.
+//!
+//! A [`Comm`] is the single object an SPMD "rank function" receives. It
+//! bundles:
+//!
+//! * the rank's identity (rank, size, incarnation),
+//! * its [`VirtualClock`] and noise/failure injection state,
+//! * point-to-point messaging ([`send_f64`](Comm::send_f64) etc.),
+//! * blocking and nonblocking collectives (see the [`collective`](crate::collective)
+//!   and [`nonblocking`](crate::nonblocking) modules),
+//! * ULFM-style recovery ([`recovery_rendezvous`](Comm::recovery_rendezvous),
+//!   [`shrink`](Comm::shrink) in the [`ulfm`](crate::ulfm) module),
+//! * access to the persistent per-rank store (LFLR) and the stable store
+//!   (checkpoint/restart).
+
+use std::panic;
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::clock::VirtualClock;
+use crate::error::{Result, RuntimeError};
+use crate::failure::FailureSchedule;
+use crate::mailbox::PollOutcome;
+use crate::message::{Message, Payload, ANY_SOURCE};
+use crate::noise::NoiseModel;
+use crate::persistent::{StableStore, Stored};
+use crate::stats::RankStats;
+use crate::world::World;
+
+/// Panic payload used to terminate a rank thread when failure injection
+/// kills it. The launcher recognises this payload, treats the thread as a
+/// failed process, and (under the `ReplaceRank` policy) spawns a
+/// replacement.
+#[derive(Debug, Clone, Copy)]
+pub struct RankKilled {
+    /// Rank that was killed.
+    pub rank: usize,
+    /// Incarnation that was killed.
+    pub incarnation: u64,
+    /// Virtual time of death.
+    pub time: f64,
+    /// Failure generation assigned to the event.
+    pub generation: u64,
+}
+
+/// How long a blocked receive sleeps between polls. Purely a real-time
+/// implementation detail; virtual time is unaffected.
+const WAIT_SLICE: Duration = Duration::from_millis(10);
+
+/// The communicator handle owned by one rank incarnation.
+pub struct Comm {
+    pub(crate) world: Arc<World>,
+    /// World rank (position in the original job).
+    pub(crate) world_rank: usize,
+    pub(crate) incarnation: u64,
+    pub(crate) clock: VirtualClock,
+    pub(crate) rng: ChaCha8Rng,
+    pub(crate) noise: NoiseModel,
+    pub(crate) failure_schedule: FailureSchedule,
+    /// Collective sequence counter (reset at each recovery).
+    pub(crate) seq: u64,
+    /// Communication epoch this rank has acknowledged.
+    pub(crate) epoch: u64,
+    /// Failure generation this rank has acknowledged (recovered from).
+    pub(crate) acked_generation: u64,
+    /// Communicator id (0 = the world communicator; shrunk communicators get
+    /// fresh ids derived from the failure generation).
+    pub(crate) comm_id: u64,
+    /// For shrunk communicators: mapping from group rank to world rank.
+    /// `None` means the identity mapping over all world ranks.
+    pub(crate) group: Option<Vec<usize>>,
+    // -- statistics --
+    pub(crate) messages_sent: u64,
+    pub(crate) bytes_sent: u64,
+    pub(crate) collectives: u64,
+    pub(crate) recoveries: u64,
+    pub(crate) checkpoint_bytes: u64,
+}
+
+impl Comm {
+    /// Create the communicator for `rank` (incarnation `incarnation`),
+    /// starting its virtual clock at `start_time`.
+    pub(crate) fn new(world: Arc<World>, rank: usize, incarnation: u64, start_time: f64) -> Self {
+        let mut seed_rng = ChaCha8Rng::seed_from_u64(
+            world.config.seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ incarnation.wrapping_mul(0xD1B5_4A32_D192_ED03),
+        );
+        let failure_schedule =
+            FailureSchedule::for_rank(&world.config.failures, rank, start_time, &mut seed_rng);
+        let mut clock = VirtualClock::new();
+        clock.fast_forward(start_time);
+        let epoch = world.health.epoch();
+        let acked_generation = world.health.generation();
+        Self {
+            noise: NoiseModel::new(world.config.noise),
+            rng: seed_rng,
+            clock,
+            failure_schedule,
+            seq: 0,
+            epoch,
+            acked_generation,
+            comm_id: 0,
+            group: None,
+            messages_sent: 0,
+            bytes_sent: 0,
+            collectives: 0,
+            recoveries: 0,
+            checkpoint_bytes: 0,
+            world,
+            world_rank: rank,
+            incarnation,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Identity
+    // ------------------------------------------------------------------
+
+    /// Rank within the current communicator (group rank after a shrink).
+    pub fn rank(&self) -> usize {
+        match &self.group {
+            None => self.world_rank,
+            Some(g) => g.iter().position(|&r| r == self.world_rank).unwrap_or(usize::MAX),
+        }
+    }
+
+    /// Size of the current communicator (group size after a shrink).
+    pub fn size(&self) -> usize {
+        match &self.group {
+            None => self.world.size,
+            Some(g) => g.len(),
+        }
+    }
+
+    /// Rank within the original (world) job, regardless of shrinks.
+    pub fn world_rank(&self) -> usize {
+        self.world_rank
+    }
+
+    /// Size of the original (world) job.
+    pub fn world_size(&self) -> usize {
+        self.world.size
+    }
+
+    /// Incarnation number: 0 for the original process, >0 for replacements
+    /// spawned after failures. LFLR applications branch on this to decide
+    /// whether to initialise fresh state or run their recovery function.
+    pub fn incarnation(&self) -> u64 {
+        self.incarnation
+    }
+
+    /// Is this rank a replacement spawned after a failure?
+    pub fn is_replacement(&self) -> bool {
+        self.incarnation > 0
+    }
+
+    /// Map a group rank to a world rank.
+    pub(crate) fn to_world(&self, rank: usize) -> Result<usize> {
+        if rank == ANY_SOURCE {
+            return Ok(ANY_SOURCE);
+        }
+        match &self.group {
+            None => {
+                if rank < self.world.size {
+                    Ok(rank)
+                } else {
+                    Err(RuntimeError::InvalidRank { rank, size: self.world.size })
+                }
+            }
+            Some(g) => {
+                g.get(rank).copied().ok_or(RuntimeError::InvalidRank { rank, size: g.len() })
+            }
+        }
+    }
+
+    /// Map a world rank back to a group rank (world rank itself for the
+    /// world communicator).
+    pub(crate) fn to_group(&self, world_rank: usize) -> usize {
+        match &self.group {
+            None => world_rank,
+            Some(g) => g.iter().position(|&r| r == world_rank).unwrap_or(usize::MAX),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Virtual time, noise and failure points
+    // ------------------------------------------------------------------
+
+    /// Current virtual time of this rank, in seconds.
+    pub fn now(&self) -> f64 {
+        self.clock.now()
+    }
+
+    /// Charge `seconds` of local computation to the virtual clock. Noise
+    /// events are sampled over the interval and failure injection is
+    /// checked afterwards; this is therefore also a failure point.
+    pub fn advance(&mut self, seconds: f64) {
+        self.clock.advance(seconds);
+        let extra = self.noise.sample(seconds, &mut self.rng);
+        if extra > 0.0 {
+            self.clock.advance_noise(extra);
+        }
+        self.maybe_die();
+    }
+
+    /// Charge the cost of `flops` floating-point operations (using the
+    /// configured `seconds_per_flop`).
+    pub fn charge_flops(&mut self, flops: usize) {
+        let dt = self.world.config.seconds_per_flop * flops as f64;
+        self.advance(dt);
+    }
+
+    /// An explicit failure point: checks whether this rank is scheduled to
+    /// die now and whether the job has been interrupted. Resilient drivers
+    /// call this at step boundaries.
+    pub fn failure_point(&mut self) -> Result<()> {
+        self.maybe_die();
+        self.check_health()
+    }
+
+    /// Access this rank's deterministic random-number generator (useful for
+    /// applications that want reproducible rank-decorrelated randomness).
+    pub fn rng(&mut self) -> &mut ChaCha8Rng {
+        &mut self.rng
+    }
+
+    /// Check the health board: returns an error if the job aborted or if a
+    /// failure this rank has not yet recovered from has been detected.
+    pub fn check_health(&self) -> Result<()> {
+        self.world.health.check(self.acked_generation)
+    }
+
+    /// If the failure schedule says this rank should die now, terminate the
+    /// rank thread (never returns in that case).
+    fn maybe_die(&mut self) {
+        if !self.failure_schedule.enabled() {
+            return;
+        }
+        if self.world.health.failure_count() >= self.world.config.failures.max_failures {
+            return;
+        }
+        let now = self.clock.now();
+        if let Some(t) = self.failure_schedule.due(now, &mut self.rng) {
+            self.die(t.max(0.0));
+        }
+    }
+
+    /// Kill this rank: record the failure, stash partial statistics, wake all
+    /// waiters and unwind the thread with a [`RankKilled`] payload.
+    fn die(&mut self, time: f64) -> ! {
+        self.clock.fast_forward(time);
+        let generation =
+            self.world.health.record_failure(self.world_rank, self.incarnation, self.clock.now());
+        self.world.lost_stats.lock().push(self.snapshot_stats());
+        self.world.interrupt_all();
+        panic::panic_any(RankKilled {
+            rank: self.world_rank,
+            incarnation: self.incarnation,
+            time: self.clock.now(),
+            generation,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Point-to-point messaging
+    // ------------------------------------------------------------------
+
+    fn send_payload(&mut self, dest: usize, tag: i32, payload: Payload) -> Result<()> {
+        self.maybe_die();
+        self.check_health()?;
+        let dest_world = self.to_world(dest)?;
+        if !self.world.health.is_alive(dest_world) {
+            return Err(RuntimeError::ProcFailed {
+                rank: dest_world,
+                generation: self.world.health.generation(),
+            });
+        }
+        let bytes = payload.byte_len();
+        let msg = Message {
+            source: self.world_rank,
+            dest: dest_world,
+            tag,
+            epoch: self.epoch,
+            sent_at: self.clock.now(),
+            payload,
+        };
+        self.world.mailboxes[dest_world].deposit(msg);
+        self.messages_sent += 1;
+        self.bytes_sent += bytes as u64;
+        Ok(())
+    }
+
+    fn recv_payload(&mut self, source: usize, tag: i32) -> Result<(usize, Payload)> {
+        self.maybe_die();
+        let source_world = self.to_world(source)?;
+        loop {
+            self.check_health()?;
+            match self.world.mailboxes[self.world_rank].poll(source_world, tag, self.epoch) {
+                PollOutcome::Found(msg) => {
+                    let arrival =
+                        msg.sent_at + self.world.config.latency.p2p_cost(msg.byte_len());
+                    self.clock.wait_until(arrival);
+                    return Ok((self.to_group(msg.source), msg.payload));
+                }
+                PollOutcome::Empty => {
+                    if source_world != ANY_SOURCE && !self.world.health.is_alive(source_world) {
+                        return Err(RuntimeError::ProcFailed {
+                            rank: source_world,
+                            generation: self.world.health.generation(),
+                        });
+                    }
+                    self.world.mailboxes[self.world_rank].wait(WAIT_SLICE);
+                }
+            }
+        }
+    }
+
+    /// Send a slice of `f64` values to `dest` with the given tag.
+    pub fn send_f64(&mut self, dest: usize, tag: i32, data: &[f64]) -> Result<()> {
+        self.send_payload(dest, tag, Payload::F64(data.to_vec()))
+    }
+
+    /// Receive an `f64` vector from `source` (or [`ANY_SOURCE`]) with the
+    /// given tag (or [`ANY_TAG`]). Returns `(source_rank, data)`.
+    pub fn recv_f64(&mut self, source: usize, tag: i32) -> Result<(usize, Vec<f64>)> {
+        let (src, payload) = self.recv_payload(source, tag)?;
+        Ok((src, payload.into_f64()?))
+    }
+
+    /// Send a slice of `u64` values.
+    pub fn send_u64(&mut self, dest: usize, tag: i32, data: &[u64]) -> Result<()> {
+        self.send_payload(dest, tag, Payload::U64(data.to_vec()))
+    }
+
+    /// Receive a `u64` vector.
+    pub fn recv_u64(&mut self, source: usize, tag: i32) -> Result<(usize, Vec<u64>)> {
+        let (src, payload) = self.recv_payload(source, tag)?;
+        Ok((src, payload.into_u64()?))
+    }
+
+    /// Send raw bytes.
+    pub fn send_bytes(&mut self, dest: usize, tag: i32, data: &[u8]) -> Result<()> {
+        self.send_payload(dest, tag, Payload::Bytes(data.to_vec()))
+    }
+
+    /// Receive raw bytes.
+    pub fn recv_bytes(&mut self, source: usize, tag: i32) -> Result<(usize, Vec<u8>)> {
+        let (src, payload) = self.recv_payload(source, tag)?;
+        Ok((src, payload.into_bytes()?))
+    }
+
+    /// Send an empty (synchronisation-only) message.
+    pub fn send_empty(&mut self, dest: usize, tag: i32) -> Result<()> {
+        self.send_payload(dest, tag, Payload::Empty)
+    }
+
+    /// Receive an empty message (any payload is accepted and discarded).
+    pub fn recv_empty(&mut self, source: usize, tag: i32) -> Result<usize> {
+        let (src, _) = self.recv_payload(source, tag)?;
+        Ok(src)
+    }
+
+    /// Combined send to `dest` and receive from `source` of `f64` data,
+    /// ordered to avoid deadlock regardless of rank ordering.
+    pub fn sendrecv_f64(
+        &mut self,
+        dest: usize,
+        source: usize,
+        tag: i32,
+        data: &[f64],
+    ) -> Result<Vec<f64>> {
+        self.send_f64(dest, tag, data)?;
+        let (_, received) = self.recv_f64(source, tag)?;
+        Ok(received)
+    }
+
+    // ------------------------------------------------------------------
+    // Persistent store (LFLR) and stable store (checkpoint/restart)
+    // ------------------------------------------------------------------
+
+    /// Store a value in this rank's persistent partition. The data survives
+    /// the failure of this rank and can be read by its replacement and by
+    /// neighbouring ranks assisting in recovery. The write is charged
+    /// virtual time at the configured checkpoint bandwidth.
+    pub fn persist(&mut self, key: &str, value: impl Into<Stored>) -> Result<()> {
+        let value = value.into();
+        let bytes = value.byte_len();
+        self.world.persistent.put(self.world_rank, key, value)?;
+        self.clock.advance(self.world.config.checkpoint_seconds_per_byte * bytes as f64);
+        Ok(())
+    }
+
+    /// Read a value from `rank`'s persistent partition (a rank may read its
+    /// own entries or a neighbour's during recovery). `rank` is a rank of
+    /// the current communicator.
+    pub fn restore(&mut self, rank: usize, key: &str) -> Result<Stored> {
+        let world_rank = self.to_world(rank)?;
+        let value = self.world.persistent.get(world_rank, key)?;
+        self.clock.advance(self.world.config.checkpoint_seconds_per_byte * value.byte_len() as f64);
+        Ok(value)
+    }
+
+    /// Does `rank`'s persistent partition contain `key`?
+    pub fn persisted(&self, rank: usize, key: &str) -> bool {
+        match self.to_world(rank) {
+            Ok(world_rank) => self.world.persistent.contains(world_rank, key),
+            Err(_) => false,
+        }
+    }
+
+    /// Write a checkpoint record for this rank to the job-global stable
+    /// store (the simulated parallel file system). Charged at the configured
+    /// checkpoint bandwidth; the bytes are also counted in the rank's
+    /// statistics.
+    pub fn checkpoint(&mut self, key: &str, value: impl Into<Stored>) -> Result<()> {
+        self.check_health()?;
+        let value = value.into();
+        let bytes = self.world.stable.put(&format!("r{}/{}", self.world_rank, key), value);
+        self.clock.advance(self.world.config.checkpoint_seconds_per_byte * bytes as f64);
+        self.checkpoint_bytes += bytes as u64;
+        Ok(())
+    }
+
+    /// Read this rank's checkpoint record from the stable store, if present.
+    pub fn restore_checkpoint(&mut self, key: &str) -> Option<Stored> {
+        let value = self.world.stable.get(&format!("r{}/{}", self.world_rank, key));
+        if let Some(v) = &value {
+            self.clock
+                .advance(self.world.config.checkpoint_seconds_per_byte * v.byte_len() as f64);
+        }
+        value
+    }
+
+    /// Direct access to the stable store (drivers use this for job-level
+    /// metadata such as the last completed checkpoint index).
+    pub fn stable_store(&self) -> &StableStore {
+        &self.world.stable
+    }
+
+    /// The runtime configuration this job runs under.
+    pub fn config(&self) -> &crate::config::RuntimeConfig {
+        &self.world.config
+    }
+
+    // ------------------------------------------------------------------
+    // Statistics
+    // ------------------------------------------------------------------
+
+    /// Snapshot of this rank's statistics.
+    pub fn snapshot_stats(&self) -> RankStats {
+        RankStats {
+            rank: self.world_rank,
+            incarnation: self.incarnation,
+            virtual_time: self.clock.now(),
+            compute_time: self.clock.compute_time(),
+            comm_wait_time: self.clock.comm_wait_time(),
+            noise_time: self.clock.noise_time(),
+            recovery_time: self.clock.recovery_time(),
+            messages_sent: self.messages_sent,
+            bytes_sent: self.bytes_sent,
+            collectives: self.collectives,
+            recoveries: self.recoveries,
+            checkpoint_bytes: self.checkpoint_bytes,
+        }
+    }
+}
+
+/// Re-export of the wildcard constants for convenience.
+pub use crate::message::{ANY_SOURCE as ANY_SRC, ANY_TAG as ANY};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{NoiseConfig, RuntimeConfig};
+    use crate::persistent::StableStore;
+
+    fn solo_comm(config: RuntimeConfig) -> Comm {
+        let world = World::new(config, 1, StableStore::new());
+        Comm::new(world, 0, 0, 0.0)
+    }
+
+    #[test]
+    fn identity_accessors() {
+        let c = solo_comm(RuntimeConfig::fast());
+        assert_eq!(c.rank(), 0);
+        assert_eq!(c.size(), 1);
+        assert_eq!(c.world_rank(), 0);
+        assert_eq!(c.world_size(), 1);
+        assert_eq!(c.incarnation(), 0);
+        assert!(!c.is_replacement());
+    }
+
+    #[test]
+    fn advance_and_charge_flops() {
+        let mut cfg = RuntimeConfig::fast();
+        cfg.seconds_per_flop = 1e-6;
+        let mut c = solo_comm(cfg);
+        c.advance(1.0);
+        c.charge_flops(1000);
+        assert!((c.now() - 1.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_adds_time() {
+        let cfg = RuntimeConfig::fast().with_noise(NoiseConfig::fixed(1000.0, 0.01));
+        let mut c = solo_comm(cfg);
+        c.advance(1.0);
+        assert!(c.now() > 1.0, "noise should add to the clock");
+        let stats = c.snapshot_stats();
+        assert!(stats.noise_time > 0.0);
+        assert!((stats.compute_time - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_send_recv_roundtrip() {
+        let mut c = solo_comm(RuntimeConfig::fast());
+        c.send_f64(0, 7, &[1.0, 2.0, 3.0]).unwrap();
+        let (src, data) = c.recv_f64(0, 7).unwrap();
+        assert_eq!(src, 0);
+        assert_eq!(data, vec![1.0, 2.0, 3.0]);
+        let s = c.snapshot_stats();
+        assert_eq!(s.messages_sent, 1);
+        assert_eq!(s.bytes_sent, 24);
+    }
+
+    #[test]
+    fn typed_send_recv_u64_bytes_empty() {
+        let mut c = solo_comm(RuntimeConfig::fast());
+        c.send_u64(0, 1, &[9, 8]).unwrap();
+        assert_eq!(c.recv_u64(0, 1).unwrap().1, vec![9, 8]);
+        c.send_bytes(0, 2, &[1, 2, 3]).unwrap();
+        assert_eq!(c.recv_bytes(0, 2).unwrap().1, vec![1, 2, 3]);
+        c.send_empty(0, 3).unwrap();
+        assert_eq!(c.recv_empty(0, 3).unwrap(), 0);
+    }
+
+    #[test]
+    fn recv_charges_latency() {
+        let mut cfg = RuntimeConfig::default();
+        cfg.latency.alpha = 1.0;
+        cfg.latency.beta = 0.0;
+        let mut c = solo_comm(cfg);
+        c.send_f64(0, 0, &[5.0]).unwrap();
+        let _ = c.recv_f64(0, 0).unwrap();
+        assert!((c.now() - 1.0).abs() < 1e-12, "receiver should pay alpha");
+        assert!(c.snapshot_stats().comm_wait_time > 0.0);
+    }
+
+    #[test]
+    fn invalid_rank_errors() {
+        let mut c = solo_comm(RuntimeConfig::fast());
+        assert!(matches!(
+            c.send_f64(3, 0, &[1.0]),
+            Err(RuntimeError::InvalidRank { rank: 3, size: 1 })
+        ));
+        assert!(c.recv_f64(9, 0).is_err());
+    }
+
+    #[test]
+    fn type_mismatch_on_recv() {
+        let mut c = solo_comm(RuntimeConfig::fast());
+        c.send_u64(0, 0, &[1]).unwrap();
+        assert!(matches!(c.recv_f64(0, 0), Err(RuntimeError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn persist_and_restore() {
+        let mut c = solo_comm(RuntimeConfig::fast());
+        c.persist("state", vec![1.0, 2.0]).unwrap();
+        assert!(c.persisted(0, "state"));
+        assert!(!c.persisted(0, "other"));
+        let v = c.restore(0, "state").unwrap().into_f64().unwrap();
+        assert_eq!(v, vec![1.0, 2.0]);
+        assert!(matches!(
+            c.restore(0, "missing"),
+            Err(RuntimeError::MissingPersistentKey { .. })
+        ));
+    }
+
+    #[test]
+    fn checkpoint_restore_roundtrip_and_cost() {
+        let mut cfg = RuntimeConfig::fast();
+        cfg.checkpoint_seconds_per_byte = 0.5;
+        let mut c = solo_comm(cfg);
+        c.checkpoint("u", vec![1.0, 2.0]).unwrap(); // 16 bytes -> 8 s
+        assert!((c.now() - 8.0).abs() < 1e-12);
+        let v = c.restore_checkpoint("u").unwrap().into_f64().unwrap();
+        assert_eq!(v, vec![1.0, 2.0]);
+        assert!(c.restore_checkpoint("missing").is_none());
+        assert_eq!(c.snapshot_stats().checkpoint_bytes, 16);
+    }
+
+    #[test]
+    fn rng_is_reproducible_per_rank() {
+        use rand::Rng;
+        let w1 = World::new(RuntimeConfig::fast().with_seed(7), 2, StableStore::new());
+        let w2 = World::new(RuntimeConfig::fast().with_seed(7), 2, StableStore::new());
+        let mut a = Comm::new(w1.clone(), 0, 0, 0.0);
+        let mut b = Comm::new(w2.clone(), 0, 0, 0.0);
+        let mut c = Comm::new(w1, 1, 0, 0.0);
+        let x: f64 = a.rng().gen();
+        let y: f64 = b.rng().gen();
+        let z: f64 = c.rng().gen();
+        assert_eq!(x, y, "same rank + seed must reproduce");
+        assert_ne!(x, z, "different ranks should be decorrelated");
+    }
+
+    #[test]
+    fn sendrecv_self() {
+        let mut c = solo_comm(RuntimeConfig::fast());
+        let got = c.sendrecv_f64(0, 0, 4, &[2.5]).unwrap();
+        assert_eq!(got, vec![2.5]);
+    }
+}

@@ -1,0 +1,313 @@
+//! The collective rendezvous engine.
+//!
+//! All collective operations — blocking, nonblocking, and the recovery
+//! rendezvous — are built on a single primitive: a keyed *slot* that every
+//! participating rank posts a contribution into. When the last participant
+//! arrives the slot computes a completion time in virtual time (the maximum
+//! of the participants' entry times plus the collective's communication
+//! cost); each participant then retrieves the full contribution list and the
+//! completion time and computes its own result locally.
+//!
+//! Keeping the engine dumb (it never interprets the data) keeps one code path
+//! for allreduce, broadcast, gather, scan, barrier and the recovery
+//! agreement, which is exactly the set MPI-3 exposes and the paper's RBSP
+//! model relies on.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::time::Duration;
+
+use crate::error::{Result, RuntimeError};
+use crate::health::HealthBoard;
+
+/// Kind discriminator for slot keys, separating the ordinary collective
+/// sequence space from recovery rendezvous and shrink agreements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SlotKind {
+    /// Ordinary collective posted by application code.
+    Collective,
+    /// Recovery rendezvous after a failure (keyed by generation).
+    Recovery,
+    /// Shrink agreement (keyed by generation).
+    Shrink,
+}
+
+/// Unique identifier of one collective instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SlotKey {
+    /// Communication epoch the collective belongs to.
+    pub epoch: u64,
+    /// Communicator id (0 = world; shrunk/split communicators get fresh ids).
+    pub comm_id: u64,
+    /// Kind of slot.
+    pub kind: SlotKind,
+    /// Sequence number within (epoch, comm_id, kind).
+    pub seq: u64,
+}
+
+/// A completed or in-progress collective instance.
+struct Slot {
+    expected: usize,
+    contributions: Vec<Option<Vec<f64>>>,
+    entry_times: Vec<f64>,
+    /// Completion virtual time, set when the last participant posts.
+    completion: Option<f64>,
+    /// Extra cost (already folded into `completion`).
+    cost: f64,
+    /// Number of participants that have retrieved the result.
+    retrieved: usize,
+}
+
+impl Slot {
+    fn new(expected: usize) -> Self {
+        Self {
+            expected,
+            contributions: vec![None; expected],
+            entry_times: Vec::with_capacity(expected),
+            completion: None,
+            cost: 0.0,
+            retrieved: 0,
+        }
+    }
+
+    fn arrived(&self) -> usize {
+        self.entry_times.len()
+    }
+}
+
+/// Result of a completed collective, as seen by one participant.
+#[derive(Debug, Clone)]
+pub struct CollectiveResult {
+    /// Contributions of every participant, indexed by participant index
+    /// (rank index within the participating group).
+    pub contributions: Vec<Vec<f64>>,
+    /// Virtual time at which the collective completes.
+    pub completion_time: f64,
+}
+
+/// The shared engine holding in-flight collective slots for a job.
+pub struct CollectiveEngine {
+    slots: Mutex<HashMap<SlotKey, Slot>>,
+    signal: Condvar,
+}
+
+impl Default for CollectiveEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CollectiveEngine {
+    /// Create an empty engine.
+    pub fn new() -> Self {
+        Self { slots: Mutex::new(HashMap::new()), signal: Condvar::new() }
+    }
+
+    /// Post a contribution to the slot identified by `key`.
+    ///
+    /// * `index` — the caller's participant index (0-based within the group).
+    /// * `expected` — total number of participants.
+    /// * `entry_time` — caller's virtual time at the post.
+    /// * `cost` — communication cost to fold into the completion time; the
+    ///   value provided by the *last* arriving participant wins, which is
+    ///   fine because all participants compute it from the same model.
+    ///
+    /// Posting is nonblocking; completion is observed via [`wait`](Self::wait).
+    pub fn post(
+        &self,
+        key: SlotKey,
+        index: usize,
+        expected: usize,
+        contribution: Vec<f64>,
+        entry_time: f64,
+        cost: f64,
+    ) -> Result<()> {
+        let mut slots = self.slots.lock();
+        let slot = slots.entry(key).or_insert_with(|| Slot::new(expected));
+        if slot.expected != expected {
+            return Err(RuntimeError::CollectiveMismatch {
+                detail: format!(
+                    "slot {key:?}: expected {} participants, caller believes {}",
+                    slot.expected, expected
+                ),
+            });
+        }
+        if index >= slot.expected {
+            return Err(RuntimeError::InvalidRank { rank: index, size: slot.expected });
+        }
+        if slot.contributions[index].is_some() {
+            return Err(RuntimeError::CollectiveMismatch {
+                detail: format!("slot {key:?}: participant {index} posted twice"),
+            });
+        }
+        slot.contributions[index] = Some(contribution);
+        slot.entry_times.push(entry_time);
+        slot.cost = cost;
+        if slot.arrived() == slot.expected {
+            let max_entry = slot.entry_times.iter().copied().fold(0.0, f64::max);
+            slot.completion = Some(max_entry + slot.cost);
+            drop(slots);
+            self.signal.notify_all();
+        }
+        Ok(())
+    }
+
+    /// Has the slot completed (all participants posted)?
+    pub fn is_complete(&self, key: &SlotKey) -> bool {
+        self.slots.lock().get(key).map(|s| s.completion.is_some()).unwrap_or(false)
+    }
+
+    /// Block until the slot completes, a failure interrupts the wait, or the
+    /// health check fails. On success returns the full contribution list and
+    /// the completion time. Each participant must call this exactly once; the
+    /// slot is freed when the last participant has retrieved it.
+    ///
+    /// `acked_generation` is the failure generation the caller has already
+    /// recovered from; newer failures interrupt the wait with
+    /// [`RuntimeError::Revoked`].
+    pub fn wait(
+        &self,
+        key: SlotKey,
+        health: &HealthBoard,
+        acked_generation: u64,
+    ) -> Result<CollectiveResult> {
+        let mut slots = self.slots.lock();
+        loop {
+            health.check(acked_generation)?;
+            if let Some(slot) = slots.get_mut(&key) {
+                if let Some(completion) = slot.completion {
+                    let contributions: Vec<Vec<f64>> =
+                        slot.contributions.iter().map(|c| c.clone().unwrap_or_default()).collect();
+                    slot.retrieved += 1;
+                    if slot.retrieved >= slot.expected {
+                        slots.remove(&key);
+                    }
+                    return Ok(CollectiveResult { contributions, completion_time: completion });
+                }
+            }
+            self.signal.wait_for(&mut slots, Duration::from_millis(20));
+        }
+    }
+
+    /// Wake every waiter so they can re-check health (called on failure).
+    pub fn interrupt(&self) {
+        self.signal.notify_all();
+    }
+
+    /// Drop every slot belonging to an epoch older than `epoch` (called at
+    /// the end of a recovery rendezvous so stale collectives cannot leak).
+    pub fn purge_older_than(&self, epoch: u64) {
+        self.slots.lock().retain(|k, _| k.epoch >= epoch || k.kind != SlotKind::Collective);
+    }
+
+    /// Number of in-flight slots (diagnostics / tests).
+    pub fn in_flight(&self) -> usize {
+        self.slots.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FailurePolicy;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn key(seq: u64) -> SlotKey {
+        SlotKey { epoch: 0, comm_id: 0, kind: SlotKind::Collective, seq }
+    }
+
+    #[test]
+    fn single_participant_completes_immediately() {
+        let engine = CollectiveEngine::new();
+        let health = HealthBoard::new(1, FailurePolicy::AbortJob);
+        engine.post(key(0), 0, 1, vec![3.0], 1.0, 0.5).unwrap();
+        let r = engine.wait(key(0), &health, 0).unwrap();
+        assert_eq!(r.contributions, vec![vec![3.0]]);
+        assert!((r.completion_time - 1.5).abs() < 1e-15);
+        assert_eq!(engine.in_flight(), 0, "slot must be freed after retrieval");
+    }
+
+    #[test]
+    fn completion_time_is_max_entry_plus_cost() {
+        let engine = Arc::new(CollectiveEngine::new());
+        let health = Arc::new(HealthBoard::new(3, FailurePolicy::AbortJob));
+        let mut handles = Vec::new();
+        for rank in 0..3usize {
+            let engine = Arc::clone(&engine);
+            let health = Arc::clone(&health);
+            handles.push(thread::spawn(move || {
+                let entry = 1.0 + rank as f64; // entries 1.0, 2.0, 3.0
+                engine.post(key(7), rank, 3, vec![rank as f64], entry, 0.25).unwrap();
+                engine.wait(key(7), &health, 0).unwrap()
+            }));
+        }
+        for h in handles {
+            let r = h.join().unwrap();
+            assert!((r.completion_time - 3.25).abs() < 1e-12);
+            assert_eq!(r.contributions.len(), 3);
+            assert_eq!(r.contributions[2], vec![2.0]);
+        }
+        assert_eq!(engine.in_flight(), 0);
+    }
+
+    #[test]
+    fn mismatched_expected_count_is_error() {
+        let engine = CollectiveEngine::new();
+        engine.post(key(1), 0, 2, vec![], 0.0, 0.0).unwrap();
+        let err = engine.post(key(1), 1, 3, vec![], 0.0, 0.0).unwrap_err();
+        assert!(matches!(err, RuntimeError::CollectiveMismatch { .. }));
+    }
+
+    #[test]
+    fn double_post_is_error() {
+        let engine = CollectiveEngine::new();
+        engine.post(key(2), 0, 2, vec![], 0.0, 0.0).unwrap();
+        let err = engine.post(key(2), 0, 2, vec![], 0.0, 0.0).unwrap_err();
+        assert!(matches!(err, RuntimeError::CollectiveMismatch { .. }));
+    }
+
+    #[test]
+    fn out_of_range_index_is_error() {
+        let engine = CollectiveEngine::new();
+        let err = engine.post(key(3), 5, 2, vec![], 0.0, 0.0).unwrap_err();
+        assert!(matches!(err, RuntimeError::InvalidRank { rank: 5, size: 2 }));
+    }
+
+    #[test]
+    fn wait_interrupted_by_failure() {
+        let engine = Arc::new(CollectiveEngine::new());
+        let health = Arc::new(HealthBoard::new(2, FailurePolicy::ReplaceRank));
+        engine.post(key(4), 0, 2, vec![], 0.0, 0.0).unwrap();
+        let e2 = Arc::clone(&engine);
+        let h2 = Arc::clone(&health);
+        let waiter = thread::spawn(move || e2.wait(key(4), &h2, 0));
+        thread::sleep(Duration::from_millis(30));
+        // Rank 1 fails instead of posting; the waiter must be released with a
+        // Revoked error.
+        health.record_failure(1, 0, 5.0);
+        engine.interrupt();
+        let res = waiter.join().unwrap();
+        assert!(matches!(res, Err(RuntimeError::Revoked { .. })));
+    }
+
+    #[test]
+    fn purge_keeps_recovery_slots() {
+        let engine = CollectiveEngine::new();
+        engine.post(key(0), 0, 2, vec![], 0.0, 0.0).unwrap();
+        let rkey = SlotKey { epoch: 0, comm_id: 0, kind: SlotKind::Recovery, seq: 1 };
+        engine.post(rkey, 0, 2, vec![], 0.0, 0.0).unwrap();
+        engine.purge_older_than(1);
+        assert_eq!(engine.in_flight(), 1, "collective slot purged, recovery slot kept");
+    }
+
+    #[test]
+    fn is_complete_tracks_state() {
+        let engine = CollectiveEngine::new();
+        assert!(!engine.is_complete(&key(9)));
+        engine.post(key(9), 0, 2, vec![], 0.0, 0.0).unwrap();
+        assert!(!engine.is_complete(&key(9)));
+        engine.post(key(9), 1, 2, vec![], 0.0, 0.0).unwrap();
+        assert!(engine.is_complete(&key(9)));
+    }
+}

@@ -1,0 +1,305 @@
+//! The shared health board: which ranks are alive, failure generations and
+//! communication epochs.
+//!
+//! This is the runtime's analogue of the failure-detection service that ULFM
+//! layers over MPI. Every communication operation consults it; failure
+//! injection updates it; the recovery rendezvous advances the epoch stored
+//! here.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::config::FailurePolicy;
+use crate::error::{Result, RuntimeError};
+
+/// A recorded process-failure event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureEvent {
+    /// Rank that failed.
+    pub rank: usize,
+    /// Incarnation of the rank that failed (0 = original process).
+    pub incarnation: u64,
+    /// Virtual time at which the failure occurred.
+    pub time: f64,
+    /// Failure generation assigned to this event (1-based).
+    pub generation: u64,
+}
+
+#[derive(Debug)]
+struct HealthState {
+    alive: Vec<bool>,
+    incarnation: Vec<u64>,
+    /// Number of failures observed so far; doubles as the current generation.
+    generation: u64,
+    /// Current communication epoch; bumped by recovery rendezvous / shrink.
+    epoch: u64,
+    /// Whether the whole job has been aborted (AbortJob policy).
+    aborted: bool,
+    /// Whether the communicator is currently revoked (a failure happened and
+    /// recovery has not completed yet).
+    revoked: bool,
+    events: Vec<FailureEvent>,
+    /// Virtual time of the most recent failure (used to start replacements).
+    last_failure_time: f64,
+}
+
+/// Shared, thread-safe health board for one job.
+#[derive(Debug)]
+pub struct HealthBoard {
+    state: Mutex<HealthState>,
+    policy: FailurePolicy,
+    size: usize,
+}
+
+impl HealthBoard {
+    /// Create a health board for `size` ranks under the given failure policy.
+    pub fn new(size: usize, policy: FailurePolicy) -> Self {
+        Self {
+            state: Mutex::new(HealthState {
+                alive: vec![true; size],
+                incarnation: vec![0; size],
+                generation: 0,
+                epoch: 0,
+                aborted: false,
+                revoked: false,
+                events: Vec::new(),
+                last_failure_time: 0.0,
+            }),
+            policy,
+            size,
+        }
+    }
+
+    /// Number of ranks in the job.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The configured failure policy.
+    pub fn policy(&self) -> FailurePolicy {
+        self.policy
+    }
+
+    /// Record the failure of `rank` (incarnation `incarnation`) at virtual
+    /// time `time`. Returns the generation assigned to the event.
+    ///
+    /// Under [`FailurePolicy::AbortJob`] this also marks the job aborted;
+    /// under the resilient policies it revokes the communicator so pending
+    /// operations are interrupted and survivors learn about the failure.
+    pub fn record_failure(&self, rank: usize, incarnation: u64, time: f64) -> u64 {
+        let mut s = self.state.lock();
+        s.generation += 1;
+        let generation = s.generation;
+        if rank < s.alive.len() {
+            s.alive[rank] = false;
+        }
+        s.last_failure_time = s.last_failure_time.max(time);
+        s.events.push(FailureEvent { rank, incarnation, time, generation });
+        match self.policy {
+            FailurePolicy::AbortJob => s.aborted = true,
+            FailurePolicy::ReplaceRank | FailurePolicy::Shrink => s.revoked = true,
+        }
+        generation
+    }
+
+    /// Mark `rank` alive again with a new incarnation number (replacement
+    /// spawned). Returns the new incarnation.
+    pub fn record_replacement(&self, rank: usize) -> u64 {
+        let mut s = self.state.lock();
+        if rank < s.alive.len() {
+            s.alive[rank] = true;
+            s.incarnation[rank] += 1;
+            s.incarnation[rank]
+        } else {
+            0
+        }
+    }
+
+    /// Complete a recovery: bump the communication epoch and clear the
+    /// revoked flag. Returns the new epoch. Idempotent per generation: the
+    /// caller passes the generation it recovered from, and the epoch is only
+    /// bumped if it has not already been bumped for that generation.
+    pub fn complete_recovery(&self, generation: u64) -> u64 {
+        let mut s = self.state.lock();
+        if s.epoch < generation {
+            s.epoch = generation;
+        }
+        s.revoked = false;
+        s.epoch
+    }
+
+    /// Current communication epoch.
+    pub fn epoch(&self) -> u64 {
+        self.state.lock().epoch
+    }
+
+    /// Current failure generation (number of failures so far).
+    pub fn generation(&self) -> u64 {
+        self.state.lock().generation
+    }
+
+    /// Is the given rank currently alive?
+    pub fn is_alive(&self, rank: usize) -> bool {
+        let s = self.state.lock();
+        rank < s.alive.len() && s.alive[rank]
+    }
+
+    /// Ranks currently alive, in ascending order.
+    pub fn alive_ranks(&self) -> Vec<usize> {
+        let s = self.state.lock();
+        (0..s.alive.len()).filter(|&r| s.alive[r]).collect()
+    }
+
+    /// Ranks that have ever failed (deduplicated, ascending).
+    pub fn failed_ranks(&self) -> Vec<usize> {
+        let s = self.state.lock();
+        let mut out: Vec<usize> = s.events.iter().map(|e| e.rank).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Has the job been aborted?
+    pub fn is_aborted(&self) -> bool {
+        self.state.lock().aborted
+    }
+
+    /// Abort the job explicitly (used by drivers that decide to give up).
+    pub fn abort(&self) {
+        self.state.lock().aborted = true;
+    }
+
+    /// Is the communicator currently revoked?
+    pub fn is_revoked(&self) -> bool {
+        self.state.lock().revoked
+    }
+
+    /// Total number of failure events recorded.
+    pub fn failure_count(&self) -> usize {
+        self.state.lock().events.len()
+    }
+
+    /// Copy of the failure-event log.
+    pub fn events(&self) -> Vec<FailureEvent> {
+        self.state.lock().events.clone()
+    }
+
+    /// Virtual time of the most recent failure.
+    pub fn last_failure_time(&self) -> f64 {
+        self.state.lock().last_failure_time
+    }
+
+    /// Current incarnation number of `rank`.
+    pub fn incarnation(&self, rank: usize) -> u64 {
+        let s = self.state.lock();
+        s.incarnation.get(rank).copied().unwrap_or(0)
+    }
+
+    /// Health check used by communication operations of the rank that has
+    /// acknowledged failures up to `acked_generation`.
+    ///
+    /// * If the job is aborted: [`RuntimeError::JobAborted`].
+    /// * If a failure newer than `acked_generation` exists (resilient
+    ///   policies): [`RuntimeError::Revoked`] so the caller drops into its
+    ///   recovery path.
+    /// * Otherwise `Ok(())`.
+    pub fn check(&self, acked_generation: u64) -> Result<()> {
+        let s = self.state.lock();
+        if s.aborted {
+            return Err(RuntimeError::JobAborted { generation: s.generation });
+        }
+        match self.policy {
+            FailurePolicy::AbortJob => Ok(()),
+            FailurePolicy::ReplaceRank | FailurePolicy::Shrink => {
+                if s.generation > acked_generation {
+                    Err(RuntimeError::Revoked { generation: s.generation })
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_state_all_alive() {
+        let h = HealthBoard::new(4, FailurePolicy::ReplaceRank);
+        assert_eq!(h.alive_ranks(), vec![0, 1, 2, 3]);
+        assert_eq!(h.generation(), 0);
+        assert_eq!(h.epoch(), 0);
+        assert!(!h.is_aborted());
+        assert!(!h.is_revoked());
+        assert!(h.check(0).is_ok());
+    }
+
+    #[test]
+    fn abort_policy_aborts_job() {
+        let h = HealthBoard::new(4, FailurePolicy::AbortJob);
+        let generation = h.record_failure(2, 0, 1.5);
+        assert_eq!(generation, 1);
+        assert!(h.is_aborted());
+        assert!(matches!(h.check(0), Err(RuntimeError::JobAborted { generation: 1 })));
+        assert_eq!(h.failed_ranks(), vec![2]);
+        assert!(!h.is_alive(2));
+        assert!(h.is_alive(1));
+    }
+
+    #[test]
+    fn replace_policy_revokes_until_recovery() {
+        let h = HealthBoard::new(4, FailurePolicy::ReplaceRank);
+        let generation = h.record_failure(1, 0, 2.0);
+        assert!(h.is_revoked());
+        assert!(matches!(h.check(0), Err(RuntimeError::Revoked { generation: 1 })));
+        // A rank that has acknowledged the failure proceeds.
+        assert!(h.check(generation).is_ok());
+        let inc = h.record_replacement(1);
+        assert_eq!(inc, 1);
+        assert!(h.is_alive(1));
+        let epoch = h.complete_recovery(generation);
+        assert_eq!(epoch, 1);
+        assert!(!h.is_revoked());
+        assert!(h.check(1).is_ok());
+    }
+
+    #[test]
+    fn recovery_epoch_is_idempotent() {
+        let h = HealthBoard::new(2, FailurePolicy::ReplaceRank);
+        let g = h.record_failure(0, 0, 1.0);
+        assert_eq!(h.complete_recovery(g), 1);
+        assert_eq!(h.complete_recovery(g), 1, "second completion must not bump epoch again");
+    }
+
+    #[test]
+    fn multiple_failures_increase_generation() {
+        let h = HealthBoard::new(8, FailurePolicy::Shrink);
+        assert_eq!(h.record_failure(3, 0, 1.0), 1);
+        assert_eq!(h.record_failure(5, 0, 2.0), 2);
+        assert_eq!(h.failure_count(), 2);
+        assert_eq!(h.failed_ranks(), vec![3, 5]);
+        assert_eq!(h.alive_ranks(), vec![0, 1, 2, 4, 6, 7]);
+        assert!((h.last_failure_time() - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn events_carry_incarnation() {
+        let h = HealthBoard::new(2, FailurePolicy::ReplaceRank);
+        h.record_failure(1, 0, 1.0);
+        h.record_replacement(1);
+        h.record_failure(1, 1, 3.0);
+        let ev = h.events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[1].incarnation, 1);
+        assert_eq!(h.incarnation(1), 1);
+    }
+
+    #[test]
+    fn explicit_abort() {
+        let h = HealthBoard::new(2, FailurePolicy::ReplaceRank);
+        h.abort();
+        assert!(h.check(0).is_err());
+    }
+}

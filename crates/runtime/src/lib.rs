@@ -1,0 +1,78 @@
+//! # resilient-runtime
+//!
+//! A simulated SPMD message-passing runtime providing the system support the
+//! four resilience-enabling programming models of Heroux, *"Toward Resilient
+//! Algorithms and Applications"* (HPDC 2013), require:
+//!
+//! * **Relaxed bulk-synchronous programming (RBSP)** — blocking *and*
+//!   nonblocking (MPI-3 style) collectives, neighborhood collectives, and a
+//!   per-rank performance-variability (noise) model, all accounted in
+//!   *virtual time* with an α–β latency model so that latency-hiding
+//!   algorithms can be evaluated deterministically on a laptop.
+//! * **Local-failure local-recovery (LFLR)** — fail-stop process-failure
+//!   injection, ULFM-style failure notification (`ProcFailed` / `Revoked`
+//!   errors instead of hangs), replacement-rank spawning, a recovery
+//!   rendezvous, communicator shrinking, and a persistent per-rank store
+//!   that survives rank death.
+//! * **Checkpoint/restart (the baseline)** — a job-global stable store with
+//!   a bandwidth cost model and an abort-the-whole-job failure policy, so
+//!   CPR can be compared quantitatively against LFLR.
+//!
+//! Ranks are OS threads; messages travel over in-process mailboxes. The
+//! performance model is *virtual*: computation is charged explicitly
+//! ([`Comm::advance`], [`Comm::charge_flops`]) and communication costs come
+//! from the configured [`LatencyModel`], so results do not depend on the
+//! host machine's core count.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use resilient_runtime::{ReduceOp, Runtime, RuntimeConfig};
+//!
+//! let runtime = Runtime::new(RuntimeConfig::fast());
+//! let job = runtime.run(8, |comm| {
+//!     // SPMD code: every rank executes this closure.
+//!     let local = (comm.rank() + 1) as f64;
+//!     let total = comm.allreduce_scalar(ReduceOp::Sum, local)?;
+//!     Ok(total)
+//! });
+//! assert_eq!(job.unwrap_all(), vec![36.0; 8]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod collective;
+pub mod comm;
+pub mod config;
+pub mod engine;
+pub mod error;
+pub mod failure;
+pub mod health;
+pub mod launcher;
+pub mod mailbox;
+pub mod message;
+pub mod neighborhood;
+pub mod noise;
+pub mod nonblocking;
+pub mod persistent;
+pub mod stats;
+pub mod topology;
+pub mod ulfm;
+pub mod world;
+
+pub use clock::VirtualClock;
+pub use collective::ReduceOp;
+pub use comm::{Comm, RankKilled};
+pub use config::{
+    FailureConfig, FailurePolicy, LatencyModel, NoiseConfig, NoiseDistribution, RuntimeConfig,
+};
+pub use error::{Result, RuntimeError};
+pub use health::FailureEvent;
+pub use launcher::{JobResult, Runtime};
+pub use message::{ANY_SOURCE, ANY_TAG};
+pub use nonblocking::{CollectiveOutcome, PendingCollective};
+pub use persistent::{PersistentStore, StableStore, Stored};
+pub use stats::{JobStats, RankStats};
+pub use topology::{BlockDistribution, CartTopology};
+pub use ulfm::{RecoveryInfo, ShrinkInfo};

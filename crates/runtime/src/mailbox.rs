@@ -1,0 +1,196 @@
+//! Per-rank mailboxes with tag matching.
+//!
+//! Each rank owns one [`Mailbox`]. Sends append to the destination mailbox;
+//! receives scan the mailbox for the first message matching `(source, tag,
+//! epoch)` and block on a condition variable until one arrives, a peer
+//! failure interrupts the wait, or the job aborts.
+
+use parking_lot::{Condvar, Mutex};
+use std::time::Duration;
+
+use crate::message::Message;
+
+/// Outcome of a single poll of the mailbox.
+pub enum PollOutcome {
+    /// A matching message was found and removed.
+    Found(Box<Message>),
+    /// No matching message is currently queued.
+    Empty,
+}
+
+/// A mailbox holding undelivered messages for one rank.
+#[derive(Default)]
+pub struct Mailbox {
+    queue: Mutex<Vec<Message>>,
+    signal: Condvar,
+}
+
+impl Mailbox {
+    /// Create an empty mailbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deposit a message and wake any waiting receiver.
+    pub fn deposit(&self, msg: Message) {
+        let mut q = self.queue.lock();
+        q.push(msg);
+        drop(q);
+        self.signal.notify_all();
+    }
+
+    /// Remove and return the first message matching `(source, tag, epoch)`,
+    /// if any. Messages from *older* epochs that are scanned along the way
+    /// are discarded: they belong to a communication epoch that ended with a
+    /// recovery rendezvous and must not satisfy post-recovery receives.
+    pub fn poll(&self, source: usize, tag: i32, epoch: u64) -> PollOutcome {
+        let mut q = self.queue.lock();
+        // Drop stale messages first so the queue cannot grow without bound
+        // across many recoveries.
+        q.retain(|m| m.epoch >= epoch);
+        if let Some(pos) = q.iter().position(|m| m.matches(source, tag, epoch)) {
+            PollOutcome::Found(Box::new(q.remove(pos)))
+        } else {
+            PollOutcome::Empty
+        }
+    }
+
+    /// Block until [`deposit`](Self::deposit) or [`interrupt`](Self::interrupt)
+    /// is called, or `timeout` elapses. The caller re-polls afterwards; this
+    /// is a pure wakeup mechanism and makes no promise about message
+    /// availability.
+    pub fn wait(&self, timeout: Duration) {
+        let mut q = self.queue.lock();
+        // The queue may already hold a matching message deposited between the
+        // caller's poll and this wait; waiting with a timeout (rather than
+        // indefinitely) bounds the cost of that race, and the condvar wakeup
+        // covers the common case.
+        self.signal.wait_for(&mut q, timeout);
+    }
+
+    /// Wake all waiters without depositing a message (used when a failure or
+    /// revocation must interrupt blocked receives).
+    pub fn interrupt(&self) {
+        self.signal.notify_all();
+    }
+
+    /// Number of queued messages (diagnostics / tests).
+    pub fn len(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// True if no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Discard every queued message from an epoch earlier than `epoch`.
+    pub fn purge_older_than(&self, epoch: u64) {
+        self.queue.lock().retain(|m| m.epoch >= epoch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{Payload, ANY_SOURCE, ANY_TAG};
+    use std::sync::Arc;
+    use std::thread;
+
+    fn msg(source: usize, tag: i32, epoch: u64, val: f64) -> Message {
+        Message { source, dest: 0, tag, epoch, sent_at: 0.0, payload: Payload::F64(vec![val]) }
+    }
+
+    #[test]
+    fn deposit_then_poll() {
+        let mb = Mailbox::new();
+        mb.deposit(msg(1, 5, 0, 1.0));
+        match mb.poll(1, 5, 0) {
+            PollOutcome::Found(m) => assert_eq!(m.payload, Payload::F64(vec![1.0])),
+            PollOutcome::Empty => panic!("expected a message"),
+        }
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn poll_respects_source_and_tag() {
+        let mb = Mailbox::new();
+        mb.deposit(msg(1, 5, 0, 1.0));
+        assert!(matches!(mb.poll(2, 5, 0), PollOutcome::Empty));
+        assert!(matches!(mb.poll(1, 6, 0), PollOutcome::Empty));
+        assert!(matches!(mb.poll(ANY_SOURCE, ANY_TAG, 0), PollOutcome::Found(_)));
+    }
+
+    #[test]
+    fn fifo_within_matches() {
+        let mb = Mailbox::new();
+        mb.deposit(msg(1, 5, 0, 1.0));
+        mb.deposit(msg(1, 5, 0, 2.0));
+        if let PollOutcome::Found(m) = mb.poll(1, 5, 0) {
+            assert_eq!(m.payload, Payload::F64(vec![1.0]));
+        } else {
+            panic!();
+        }
+        if let PollOutcome::Found(m) = mb.poll(1, 5, 0) {
+            assert_eq!(m.payload, Payload::F64(vec![2.0]));
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn stale_epochs_are_dropped() {
+        let mb = Mailbox::new();
+        mb.deposit(msg(1, 5, 0, 1.0));
+        mb.deposit(msg(1, 5, 1, 2.0));
+        // Polling at epoch 1 must not return the epoch-0 message, and must
+        // discard it.
+        if let PollOutcome::Found(m) = mb.poll(1, 5, 1) {
+            assert_eq!(m.payload, Payload::F64(vec![2.0]));
+        } else {
+            panic!();
+        }
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn purge_removes_old_epochs_only() {
+        let mb = Mailbox::new();
+        mb.deposit(msg(0, 0, 0, 1.0));
+        mb.deposit(msg(0, 0, 3, 2.0));
+        mb.purge_older_than(2);
+        assert_eq!(mb.len(), 1);
+    }
+
+    #[test]
+    fn waiters_are_woken_by_deposit() {
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = Arc::clone(&mb);
+        let handle = thread::spawn(move || {
+            for _ in 0..200 {
+                if let PollOutcome::Found(m) = mb2.poll(ANY_SOURCE, ANY_TAG, 0) {
+                    return m.payload.into_f64().unwrap()[0];
+                }
+                mb2.wait(Duration::from_millis(10));
+            }
+            panic!("never received");
+        });
+        thread::sleep(Duration::from_millis(20));
+        mb.deposit(msg(3, 9, 0, 42.0));
+        assert_eq!(handle.join().unwrap(), 42.0);
+    }
+
+    #[test]
+    fn interrupt_wakes_without_message() {
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = Arc::clone(&mb);
+        let handle = thread::spawn(move || {
+            mb2.wait(Duration::from_secs(5));
+            true
+        });
+        thread::sleep(Duration::from_millis(20));
+        mb.interrupt();
+        assert!(handle.join().unwrap());
+        assert!(mb.is_empty());
+    }
+}

@@ -1,0 +1,191 @@
+//! Nonblocking (asynchronous) collectives — the MPI-3 capability that makes
+//! the paper's Relaxed Bulk-Synchronous Programming model possible.
+//!
+//! A nonblocking collective is *posted* immediately (contributing the
+//! caller's data and entry time to the rendezvous slot) and completed later
+//! with [`wait`](PendingCollective::wait). The completion time is the
+//! maximum of the participants' *post* times plus the collective cost — so
+//! any local work the caller performs between post and wait overlaps the
+//! collective's latency. If the caller arrives at `wait` later than the
+//! completion time, the collective costs it nothing: the latency has been
+//! hidden. This is exactly the mechanism pipelined Krylov methods (§III-B)
+//! exploit.
+
+use crate::collective::ReduceOp;
+use crate::comm::Comm;
+use crate::engine::{SlotKey, SlotKind};
+use crate::error::Result;
+
+/// What kind of collective a pending request represents, and what its result
+/// should look like.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PendingKind {
+    AllReduce(ReduceOp),
+    Barrier,
+    Broadcast { root: usize },
+    AllGather,
+}
+
+/// A posted, not-yet-completed nonblocking collective.
+///
+/// Must be completed with [`wait`](Self::wait) (or discarded explicitly with
+/// [`cancel`](Self::cancel), which still participates in the rendezvous so
+/// that peers are not left hanging — matching MPI semantics where a posted
+/// collective must complete on all ranks).
+#[must_use = "a posted nonblocking collective must be completed with wait()"]
+#[derive(Debug)]
+pub struct PendingCollective {
+    key: SlotKey,
+    kind: PendingKind,
+    /// Virtual time at which the operation was posted.
+    posted_at: f64,
+}
+
+/// Result of a completed nonblocking collective.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CollectiveOutcome {
+    /// Result of an all-reduce or broadcast: one vector.
+    Vector(Vec<f64>),
+    /// Result of an allgather: one vector per rank.
+    PerRank(Vec<Vec<f64>>),
+    /// Barrier: no data.
+    Done,
+}
+
+impl CollectiveOutcome {
+    /// Extract the single-vector result (allreduce / broadcast).
+    pub fn into_vector(self) -> Vec<f64> {
+        match self {
+            CollectiveOutcome::Vector(v) => v,
+            CollectiveOutcome::PerRank(mut v) => v.pop().unwrap_or_default(),
+            CollectiveOutcome::Done => Vec::new(),
+        }
+    }
+
+    /// Extract the per-rank result (allgather).
+    pub fn into_per_rank(self) -> Vec<Vec<f64>> {
+        match self {
+            CollectiveOutcome::PerRank(v) => v,
+            CollectiveOutcome::Vector(v) => vec![v],
+            CollectiveOutcome::Done => Vec::new(),
+        }
+    }
+}
+
+impl Comm {
+    fn post_nonblocking(
+        &mut self,
+        contribution: Vec<f64>,
+        reduce_elems: usize,
+        kind: PendingKind,
+    ) -> Result<PendingCollective> {
+        self.failure_point()?;
+        let key = SlotKey {
+            epoch: self.epoch,
+            comm_id: self.comm_id,
+            kind: SlotKind::Collective,
+            seq: self.seq,
+        };
+        self.seq += 1;
+        let expected = self.size();
+        let bytes = contribution.len() * std::mem::size_of::<f64>();
+        let cost = self.world.config.latency.collective_cost(expected, bytes, reduce_elems);
+        let index = self.rank();
+        self.world.engine.post(key, index, expected, contribution, self.clock.now(), cost)?;
+        Ok(PendingCollective { key, kind, posted_at: self.clock.now() })
+    }
+
+    /// Post a nonblocking all-reduce.
+    pub fn iallreduce(&mut self, op: ReduceOp, data: &[f64]) -> Result<PendingCollective> {
+        self.post_nonblocking(data.to_vec(), data.len(), PendingKind::AllReduce(op))
+    }
+
+    /// Post a nonblocking all-reduce of a single scalar.
+    pub fn iallreduce_scalar(&mut self, op: ReduceOp, value: f64) -> Result<PendingCollective> {
+        self.iallreduce(op, &[value])
+    }
+
+    /// Post a nonblocking barrier.
+    pub fn ibarrier(&mut self) -> Result<PendingCollective> {
+        self.post_nonblocking(Vec::new(), 0, PendingKind::Barrier)
+    }
+
+    /// Post a nonblocking broadcast from `root`.
+    pub fn ibroadcast(&mut self, root: usize, data: &[f64]) -> Result<PendingCollective> {
+        let contribution = if self.rank() == root { data.to_vec() } else { Vec::new() };
+        self.post_nonblocking(contribution, 0, PendingKind::Broadcast { root })
+    }
+
+    /// Post a nonblocking allgather.
+    pub fn iallgather(&mut self, data: &[f64]) -> Result<PendingCollective> {
+        self.post_nonblocking(data.to_vec(), 0, PendingKind::AllGather)
+    }
+}
+
+impl PendingCollective {
+    /// Has the collective completed (all ranks posted)? Never blocks and
+    /// never advances the clock; equivalent to `MPI_Test` without freeing
+    /// the request.
+    pub fn test(&self, comm: &Comm) -> bool {
+        comm.world.engine.is_complete(&self.key)
+    }
+
+    /// Virtual time at which this rank posted the operation.
+    pub fn posted_at(&self) -> f64 {
+        self.posted_at
+    }
+
+    /// Complete the collective: blocks until every rank has posted, advances
+    /// the caller's virtual clock to the completion time (if it is not
+    /// already past it — the latency-hiding case) and returns the result.
+    pub fn wait(self, comm: &mut Comm) -> Result<CollectiveOutcome> {
+        let result = comm.world.engine.wait(self.key, &comm.world.health, comm.acked_generation)?;
+        comm.clock.wait_until(result.completion_time);
+        comm.collectives += 1;
+        let outcome = match self.kind {
+            PendingKind::AllReduce(op) => {
+                CollectiveOutcome::Vector(op.reduce_all(&result.contributions))
+            }
+            PendingKind::Barrier => CollectiveOutcome::Done,
+            PendingKind::Broadcast { root } => CollectiveOutcome::Vector(
+                result.contributions.get(root).cloned().unwrap_or_default(),
+            ),
+            PendingKind::AllGather => CollectiveOutcome::PerRank(result.contributions),
+        };
+        Ok(outcome)
+    }
+
+    /// Complete an allreduce/broadcast request and return its vector result.
+    pub fn wait_vector(self, comm: &mut Comm) -> Result<Vec<f64>> {
+        Ok(self.wait(comm)?.into_vector())
+    }
+
+    /// Complete an allreduce-scalar request and return its scalar result.
+    pub fn wait_scalar(self, comm: &mut Comm) -> Result<f64> {
+        let v = self.wait_vector(comm)?;
+        Ok(v.first().copied().unwrap_or(0.0))
+    }
+
+    /// Participate in the rendezvous but discard the result.
+    pub fn cancel(self, comm: &mut Comm) -> Result<()> {
+        self.wait(comm).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_conversions() {
+        assert_eq!(CollectiveOutcome::Vector(vec![1.0]).into_vector(), vec![1.0]);
+        assert_eq!(CollectiveOutcome::Done.into_vector(), Vec::<f64>::new());
+        assert_eq!(
+            CollectiveOutcome::PerRank(vec![vec![1.0], vec![2.0]]).into_per_rank(),
+            vec![vec![1.0], vec![2.0]]
+        );
+        assert_eq!(CollectiveOutcome::Vector(vec![3.0]).into_per_rank(), vec![vec![3.0]]);
+        assert_eq!(CollectiveOutcome::PerRank(vec![vec![9.0]]).into_vector(), vec![9.0]);
+        assert!(CollectiveOutcome::Done.into_per_rank().is_empty());
+    }
+}

@@ -1,0 +1,86 @@
+//! The shared state of one simulated job ("world").
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::config::RuntimeConfig;
+use crate::engine::CollectiveEngine;
+use crate::health::HealthBoard;
+use crate::mailbox::Mailbox;
+use crate::persistent::{PersistentStore, StableStore};
+use crate::stats::RankStats;
+
+/// Shared, reference-counted state of a running job. One `World` is created
+/// per [`Runtime::run`](crate::launcher::Runtime::run) invocation and shared
+/// by every rank thread (original and replacement incarnations).
+pub struct World {
+    /// Job configuration.
+    pub config: RuntimeConfig,
+    /// Number of ranks.
+    pub size: usize,
+    /// One mailbox per rank.
+    pub mailboxes: Vec<Mailbox>,
+    /// Collective rendezvous engine.
+    pub engine: CollectiveEngine,
+    /// Failure/health board.
+    pub health: HealthBoard,
+    /// Per-rank persistent store (survives rank failure, not job abort).
+    pub persistent: PersistentStore,
+    /// Job-global stable store (survives job aborts; shared across restarts
+    /// by the checkpoint/restart driver).
+    pub stable: StableStore,
+    /// Statistics of incarnations that terminated by failure (their threads
+    /// cannot return stats through the normal path).
+    pub lost_stats: Mutex<Vec<RankStats>>,
+}
+
+impl World {
+    /// Create the shared state for a job of `size` ranks.
+    pub fn new(config: RuntimeConfig, size: usize, stable: StableStore) -> Arc<Self> {
+        let policy = config.failures.policy;
+        Arc::new(Self {
+            size,
+            mailboxes: (0..size).map(|_| Mailbox::new()).collect(),
+            engine: CollectiveEngine::new(),
+            health: HealthBoard::new(size, policy),
+            persistent: PersistentStore::new(size),
+            stable,
+            lost_stats: Mutex::new(Vec::new()),
+            config,
+        })
+    }
+
+    /// Wake every blocked receiver and collective waiter so they observe a
+    /// failure or abort promptly.
+    pub fn interrupt_all(&self) {
+        for mb in &self.mailboxes {
+            mb.interrupt();
+        }
+        self.engine.interrupt();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{FailureConfig, FailurePolicy};
+
+    #[test]
+    fn world_construction() {
+        let cfg = RuntimeConfig::fast()
+            .with_failures(FailureConfig::scheduled(FailurePolicy::ReplaceRank, vec![]));
+        let w = World::new(cfg, 4, StableStore::new());
+        assert_eq!(w.size, 4);
+        assert_eq!(w.mailboxes.len(), 4);
+        assert_eq!(w.persistent.size(), 4);
+        assert_eq!(w.health.policy(), FailurePolicy::ReplaceRank);
+        assert_eq!(w.health.alive_ranks().len(), 4);
+    }
+
+    #[test]
+    fn interrupt_all_is_safe_when_idle() {
+        let w = World::new(RuntimeConfig::fast(), 2, StableStore::new());
+        w.interrupt_all();
+    }
+}

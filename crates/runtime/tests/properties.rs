@@ -1,0 +1,87 @@
+//! Property-based tests for the runtime's data-distribution primitives and
+//! collective semantics.
+
+use proptest::prelude::*;
+use resilient_runtime::{BlockDistribution, CartTopology, ReduceOp, Runtime, RuntimeConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Block distributions partition the index range exactly: counts sum to
+    /// n, ranges are contiguous, and ownership is consistent with ranges.
+    #[test]
+    fn block_distribution_partitions_exactly(n in 0usize..500, p in 1usize..33) {
+        let d = BlockDistribution::new(n, p);
+        let total: usize = (0..p).map(|i| d.count(i)).sum();
+        prop_assert_eq!(total, n);
+        let mut next = 0;
+        for part in 0..p {
+            prop_assert_eq!(d.start(part), next);
+            next += d.count(part);
+        }
+        for i in (0..n).step_by((n / 17).max(1)) {
+            let owner = d.owner(i);
+            prop_assert!(d.range(owner).contains(&i));
+            let (part, local) = d.to_local(i);
+            prop_assert_eq!(part, owner);
+            prop_assert_eq!(d.start(part) + local, i);
+        }
+    }
+
+    /// Cartesian neighbour relations are symmetric: if a lists b, b lists a.
+    #[test]
+    fn topology_neighbours_are_symmetric(px in 1usize..6, py in 1usize..6, periodic in any::<bool>()) {
+        let t = CartTopology::grid2d(px, py, periodic);
+        for r in 0..t.size() {
+            for &nbr in &t.neighbors(r) {
+                prop_assert!(
+                    t.neighbors(nbr).contains(&r),
+                    "rank {} lists {} but not vice versa", r, nbr
+                );
+            }
+            prop_assert_eq!(t.rank_of(&t.coords(r)), r);
+        }
+    }
+
+    /// Allreduce over the simulated runtime equals the serial reduction for
+    /// arbitrary per-rank contributions, for every reduction operator.
+    #[test]
+    fn allreduce_matches_serial_reduction(
+        ranks in 1usize..7,
+        values in prop::collection::vec(-100.0f64..100.0, 7),
+    ) {
+        let rt = Runtime::new(RuntimeConfig::fast());
+        let vals = values.clone();
+        let results = rt.run(ranks, move |comm| {
+            let mine = vals[comm.rank()];
+            let sum = comm.allreduce_scalar(ReduceOp::Sum, mine)?;
+            let min = comm.allreduce_scalar(ReduceOp::Min, mine)?;
+            let max = comm.allreduce_scalar(ReduceOp::Max, mine)?;
+            Ok((sum, min, max))
+        }).unwrap_all();
+        let expected_sum: f64 = values[..ranks].iter().sum();
+        let expected_min = values[..ranks].iter().cloned().fold(f64::INFINITY, f64::min);
+        let expected_max = values[..ranks].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for (sum, min, max) in results {
+            prop_assert!((sum - expected_sum).abs() < 1e-9);
+            prop_assert_eq!(min, expected_min);
+            prop_assert_eq!(max, expected_max);
+        }
+    }
+
+    /// A scan (inclusive prefix reduction) on rank i equals the serial prefix
+    /// sum of contributions 0..=i.
+    #[test]
+    fn scan_matches_prefix_sums(ranks in 1usize..6, values in prop::collection::vec(-10.0f64..10.0, 6)) {
+        let rt = Runtime::new(RuntimeConfig::fast());
+        let vals = values.clone();
+        let results = rt.run(ranks, move |comm| {
+            let mine = vals[comm.rank()];
+            Ok((comm.rank(), comm.scan(ReduceOp::Sum, &[mine])?[0]))
+        }).unwrap_all();
+        for (rank, scanned) in results {
+            let expected: f64 = values[..=rank].iter().sum();
+            prop_assert!((scanned - expected).abs() < 1e-9);
+        }
+    }
+}

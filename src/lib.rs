@@ -1,0 +1,6 @@
+//! Workspace root crate: re-exports the suite for examples and integration tests.
+pub use resilience as core;
+pub use resilient_faults as faults;
+pub use resilient_linalg as linalg;
+pub use resilient_pde as pde;
+pub use resilient_runtime as runtime;
