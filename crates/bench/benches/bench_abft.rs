@@ -9,7 +9,10 @@ fn bench_abft(c: &mut Criterion) {
     use rand::SeedableRng;
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2);
     let mut group = c.benchmark_group("abft_gemm");
-    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_millis(800)).sample_size(10);
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(10);
     for &n in &[64usize, 96] {
         let a = DenseMatrix::random(n, n, &mut rng);
         let b_m = DenseMatrix::random(n, n, &mut rng);
@@ -23,7 +26,10 @@ fn bench_abft(c: &mut Criterion) {
     group.finish();
 
     let mut group = c.benchmark_group("abft_spmv");
-    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_millis(800)).sample_size(10);
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(10);
     let m = poisson2d(48, 48);
     let enc = encode_spmv(&m);
     let x = vec![1.0; m.nrows()];

@@ -26,7 +26,10 @@ fn run_steps(ranks: usize, blocking: bool) -> f64 {
 
 fn bench_collectives(c: &mut Criterion) {
     let mut group = c.benchmark_group("collectives_sim");
-    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1)).sample_size(10);
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10);
     for &ranks in &[4usize, 8] {
         group.bench_with_input(BenchmarkId::new("blocking", ranks), &ranks, |b, &r| {
             b.iter(|| std::hint::black_box(run_steps(r, true)))

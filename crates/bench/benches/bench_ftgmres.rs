@@ -10,14 +10,20 @@ fn bench_ftgmres(c: &mut Criterion) {
     let a = poisson2d(12, 12);
     let b = vec![1.0; a.nrows()];
     let mut group = c.benchmark_group("ftgmres");
-    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1)).sample_size(10);
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10);
     group.bench_function("plain_gmres", |bch| {
         bch.iter(|| {
             std::hint::black_box(gmres(
                 &a,
                 &b,
                 None,
-                &SolveOptions::default().with_tol(1e-8).with_max_iters(400).with_restart(30),
+                &SolveOptions::default()
+                    .with_tol(1e-8)
+                    .with_max_iters(400)
+                    .with_restart(30),
             ))
         })
     });
@@ -25,7 +31,10 @@ fn bench_ftgmres(c: &mut Criterion) {
         group.bench_function(format!("ft_gmres_rate_{rate:e}"), |bch| {
             bch.iter(|| {
                 let cfg = FtGmresConfig {
-                    outer: SolveOptions::default().with_tol(1e-8).with_max_iters(40).with_restart(20),
+                    outer: SolveOptions::default()
+                        .with_tol(1e-8)
+                        .with_max_iters(40)
+                        .with_restart(20),
                     fault_rate: rate,
                     ..FtGmresConfig::default()
                 };

@@ -26,7 +26,9 @@ fn lflr(with_failure: bool) -> f64 {
     };
     let rt = Runtime::new(RuntimeConfig::fast().with_failures(failures));
     let app = heat();
-    let r = rt.run(4, move |comm| run_lflr(comm, &app).map(|(rep, _)| rep.finished_at));
+    let r = rt.run(4, move |comm| {
+        run_lflr(comm, &app).map(|(rep, _)| rep.finished_at)
+    });
     r.job.makespan
 }
 
@@ -41,17 +43,34 @@ fn cpr(with_failure: bool) -> f64 {
             max_failures: 1,
         };
     }
-    run_cpr(&cfg, 4, Arc::new(heat()), &CprConfig { checkpoint_interval: 5, max_restarts: 4 })
-        .total_virtual_time
+    run_cpr(
+        &cfg,
+        4,
+        Arc::new(heat()),
+        &CprConfig {
+            checkpoint_interval: 5,
+            max_restarts: 4,
+        },
+    )
+    .total_virtual_time
 }
 
 fn bench_lflr(c: &mut Criterion) {
     let mut group = c.benchmark_group("recovery_drivers_sim");
-    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1)).sample_size(10);
-    group.bench_function("lflr_clean", |b| b.iter(|| std::hint::black_box(lflr(false))));
-    group.bench_function("lflr_one_failure", |b| b.iter(|| std::hint::black_box(lflr(true))));
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10);
+    group.bench_function("lflr_clean", |b| {
+        b.iter(|| std::hint::black_box(lflr(false)))
+    });
+    group.bench_function("lflr_one_failure", |b| {
+        b.iter(|| std::hint::black_box(lflr(true)))
+    });
     group.bench_function("cpr_clean", |b| b.iter(|| std::hint::black_box(cpr(false))));
-    group.bench_function("cpr_one_failure", |b| b.iter(|| std::hint::black_box(cpr(true))));
+    group.bench_function("cpr_one_failure", |b| {
+        b.iter(|| std::hint::black_box(cpr(true)))
+    });
     group.finish();
 }
 

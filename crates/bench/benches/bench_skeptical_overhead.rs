@@ -8,20 +8,38 @@ use std::time::Duration;
 fn bench_skeptical(c: &mut Criterion) {
     let a = poisson2d(16, 16);
     let b = vec![1.0; a.nrows()];
-    let opts = SolveOptions::default().with_tol(1e-8).with_max_iters(400).with_restart(30);
+    let opts = SolveOptions::default()
+        .with_tol(1e-8)
+        .with_max_iters(400)
+        .with_restart(30);
     let mut group = c.benchmark_group("gmres_fault_free");
-    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1)).sample_size(10);
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10);
     group.bench_function("plain", |bch| {
         bch.iter(|| std::hint::black_box(gmres(&a, &b, None, &opts)))
     });
     group.bench_function("skeptical", |bch| {
         bch.iter(|| {
-            std::hint::black_box(skeptical_gmres(&a, &b, None, &opts, &SkepticalConfig::default()))
+            std::hint::black_box(skeptical_gmres(
+                &a,
+                &b,
+                None,
+                &opts,
+                &SkepticalConfig::default(),
+            ))
         })
     });
     group.bench_function("trusting_config", |bch| {
         bch.iter(|| {
-            std::hint::black_box(skeptical_gmres(&a, &b, None, &opts, &SkepticalConfig::trusting()))
+            std::hint::black_box(skeptical_gmres(
+                &a,
+                &b,
+                None,
+                &opts,
+                &SkepticalConfig::trusting(),
+            ))
         })
     });
     group.finish();

@@ -6,7 +6,10 @@ use std::time::Duration;
 
 fn bench_spmv(c: &mut Criterion) {
     let mut group = c.benchmark_group("spmv");
-    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_millis(800)).sample_size(10);
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(10);
     for &n in &[32usize, 64] {
         let a = poisson2d(n, n);
         let x = vec![1.0; a.nrows()];
@@ -17,7 +20,10 @@ fn bench_spmv(c: &mut Criterion) {
     group.finish();
 
     let mut group = c.benchmark_group("gemm");
-    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_millis(800)).sample_size(10);
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(10);
     use rand::SeedableRng;
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
     for &n in &[64usize, 96] {

@@ -10,7 +10,10 @@ fn bench_tmr(c: &mut Criterion) {
     let a = poisson2d(24, 24);
     let x = vec![1.0; a.nrows()];
     let mut group = c.benchmark_group("tmr_spmv");
-    group.warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_millis(800)).sample_size(10);
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(10);
     group.bench_function("single", |b| b.iter(|| std::hint::black_box(a.spmv(&x))));
     group.bench_function("tmr_vote", |b| {
         let op = UnreliableOperator::new(&a, 1e-4, 9);

@@ -3,7 +3,9 @@
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use resilience::skeptical::{abft_gemm_trial, abft_spmv_trial, encode_spmv, AbftOutcome, AbftStats};
+use resilience::skeptical::{
+    abft_gemm_trial, abft_spmv_trial, encode_spmv, AbftOutcome, AbftStats,
+};
 use resilient_bench::{fmt_ratio, Table};
 use resilient_linalg::{checksummed_gemm, poisson2d, DenseMatrix};
 use std::time::Instant;
@@ -11,14 +13,23 @@ use std::time::Instant;
 fn main() {
     let mut table = Table::new(
         "E2: ABFT checksum coverage (one random bit flip per trial)",
-        &["kernel", "bit class", "trials", "corrected%", "detected%", "missed-harmful%"],
+        &[
+            "kernel",
+            "bit class",
+            "trials",
+            "corrected%",
+            "detected%",
+            "missed-harmful%",
+        ],
     );
     let mut rng = ChaCha8Rng::seed_from_u64(7);
     let a = DenseMatrix::random(48, 48, &mut rng);
     let b = DenseMatrix::random(48, 48, &mut rng);
     let spmv_matrix = poisson2d(24, 24);
     let encoded = encode_spmv(&spmv_matrix);
-    let x: Vec<f64> = (0..spmv_matrix.nrows()).map(|i| 1.0 + (i % 7) as f64 * 0.3).collect();
+    let x: Vec<f64> = (0..spmv_matrix.nrows())
+        .map(|i| 1.0 + (i % 7) as f64 * 0.3)
+        .collect();
 
     let classes: Vec<(&str, Vec<u32>)> = vec![
         ("mantissa-low", vec![0, 8, 16, 24]),
@@ -31,9 +42,22 @@ fn main() {
         let mut spmv_stats = AbftStats::default();
         for &bit in bits {
             for s in 0..10u64 {
-                gemm_stats.record(abft_gemm_trial(&a, &b, true, bit, 1e-10, s * 64 + bit as u64));
-                spmv_stats
-                    .record(abft_spmv_trial(&encoded, &x, true, bit, 1e-9, s * 64 + bit as u64));
+                gemm_stats.record(abft_gemm_trial(
+                    &a,
+                    &b,
+                    true,
+                    bit,
+                    1e-10,
+                    s * 64 + bit as u64,
+                ));
+                spmv_stats.record(abft_spmv_trial(
+                    &encoded,
+                    &x,
+                    true,
+                    bit,
+                    1e-9,
+                    s * 64 + bit as u64,
+                ));
             }
         }
         for (kernel, stats) in [("GEMM", &gemm_stats), ("SpMV", &spmv_stats)] {

@@ -13,7 +13,10 @@ fn main() {
     let b = vec![1.0; n];
     let tol = 1e-8;
     let trials = 5u64;
-    let model = ReliabilityModel { reliable_cost_factor: 2.0, ..ReliabilityModel::default() };
+    let model = ReliabilityModel {
+        reliable_cost_factor: 2.0,
+        ..ReliabilityModel::default()
+    };
 
     let mut table = Table::new(
         "E6: FT-GMRES vs baselines, 2-D Poisson n=256 (5 trials/rate, cost in unreliable-FLOP equivalents)",
@@ -22,7 +25,10 @@ fn main() {
     let (rel_out, rel_ledger) = reliable_gmres(
         &a,
         &b,
-        &SolveOptions::default().with_tol(tol).with_max_iters(600).with_restart(40),
+        &SolveOptions::default()
+            .with_tol(tol)
+            .with_max_iters(600)
+            .with_restart(40),
     );
     assert!(rel_out.converged());
     let reliable_cost = rel_ledger.weighted_cost(&model);
@@ -35,7 +41,10 @@ fn main() {
         let mut un_cost = 0.0;
         for t in 0..trials {
             let cfg = FtGmresConfig {
-                outer: SolveOptions::default().with_tol(tol).with_max_iters(60).with_restart(30),
+                outer: SolveOptions::default()
+                    .with_tol(tol)
+                    .with_max_iters(60)
+                    .with_restart(30),
                 inner_iters: 20,
                 inner_tol: 1e-2,
                 fault_rate: rate,
@@ -53,7 +62,10 @@ fn main() {
             let (uout, uledger, _) = unreliable_gmres(
                 &a,
                 &b,
-                &SolveOptions::default().with_tol(tol).with_max_iters(600).with_restart(40),
+                &SolveOptions::default()
+                    .with_tol(tol)
+                    .with_max_iters(600)
+                    .with_restart(40),
                 rate,
                 200 + t,
             );

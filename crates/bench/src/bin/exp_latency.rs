@@ -7,9 +7,16 @@ use resilient_bench::{fmt_g, fmt_ratio, Table};
 use resilient_linalg::poisson2d;
 use resilient_runtime::{LatencyModel, NoiseConfig, Runtime, RuntimeConfig};
 
-fn solve_times(ranks: usize, alpha: f64, noise: bool) -> (f64, f64, f64, f64) {
+/// Virtual solve times for (CG, pipelined CG, GMRES, pipelined GMRES).
+type SolveTimes = (f64, f64, f64, f64);
+
+fn solve_times(ranks: usize, alpha: f64, noise: bool) -> SolveTimes {
     let mut cfg = RuntimeConfig::fast().with_seed(11);
-    cfg.latency = LatencyModel { alpha, beta: 1e-9, gamma: 1e-9 };
+    cfg.latency = LatencyModel {
+        alpha,
+        beta: 1e-9,
+        gamma: 1e-9,
+    };
     cfg.seconds_per_flop = 1e-9;
     if noise {
         cfg.noise = NoiseConfig::exponential(2000.0, 2.0e-4);
@@ -20,7 +27,9 @@ fn solve_times(ranks: usize, alpha: f64, noise: bool) -> (f64, f64, f64, f64) {
         let n = a.nrows();
         let da = DistCsr::from_global(comm, &a)?;
         let b = DistVector::from_fn(comm, n, |i| 1.0 + (i % 3) as f64);
-        let mut opts = DistSolveOptions::default().with_tol(1e-7).with_max_iters(250);
+        let mut opts = DistSolveOptions::default()
+            .with_tol(1e-7)
+            .with_max_iters(250);
         opts.restart = 40;
         opts.extra_work_per_iter = 5.0e-5;
         let t0 = comm.now();
@@ -36,16 +45,24 @@ fn solve_times(ranks: usize, alpha: f64, noise: bool) -> (f64, f64, f64, f64) {
         Ok((t1 - t0, t2 - t1, t3 - t2, t4 - t3))
     });
     let per_rank = result.unwrap_all();
-    let max = |f: &dyn Fn(&(f64, f64, f64, f64)) -> f64| {
-        per_rank.iter().map(f).fold(0.0f64, f64::max)
-    };
+    let max = |f: &dyn Fn(&SolveTimes) -> f64| per_rank.iter().map(f).fold(0.0f64, f64::max);
     (max(&|r| r.0), max(&|r| r.1), max(&|r| r.2), max(&|r| r.3))
 }
 
 fn main() {
     let mut table = Table::new(
         "E3: time-to-solution (virtual s), classic vs pipelined, 2-D Poisson n=576",
-        &["ranks", "alpha", "noise", "CG", "pipelined CG", "CG speedup", "GMRES", "p(1)-GMRES", "GMRES speedup"],
+        &[
+            "ranks",
+            "alpha",
+            "noise",
+            "CG",
+            "pipelined CG",
+            "CG speedup",
+            "GMRES",
+            "p(1)-GMRES",
+            "GMRES speedup",
+        ],
     );
     for &ranks in &[4usize, 8, 16, 32] {
         for &alpha in &[2.0e-6, 1.0e-4, 5.0e-4] {

@@ -6,9 +6,7 @@
 use resilience::lflr::{run_cpr, run_lflr, CprConfig};
 use resilient_bench::{fmt_g, fmt_ratio, Table};
 use resilient_pde::{ExplicitHeat, HeatProblem};
-use resilient_runtime::{
-    FailureConfig, FailurePolicy, LatencyModel, Runtime, RuntimeConfig,
-};
+use resilient_runtime::{FailureConfig, FailurePolicy, LatencyModel, Runtime, RuntimeConfig};
 use std::sync::Arc;
 
 fn app(n: usize, steps: usize) -> ExplicitHeat {
@@ -22,7 +20,11 @@ fn app(n: usize, steps: usize) -> ExplicitHeat {
 
 fn base_config(checkpoint_cost: f64) -> RuntimeConfig {
     let mut cfg = RuntimeConfig::fast().with_seed(21);
-    cfg.latency = LatencyModel { alpha: 5.0e-6, beta: 1e-9, gamma: 1e-9 };
+    cfg.latency = LatencyModel {
+        alpha: 5.0e-6,
+        beta: 1e-9,
+        gamma: 1e-9,
+    };
     cfg.checkpoint_seconds_per_byte = checkpoint_cost;
     cfg.restart_cost = 2.0;
     cfg.replacement_cost = 0.05;
@@ -30,8 +32,10 @@ fn base_config(checkpoint_cost: f64) -> RuntimeConfig {
 }
 
 fn lflr_time(ranks: usize, n: usize, steps: usize, failures: Vec<(usize, f64)>) -> (f64, usize) {
-    let cfg = base_config(2.0e-8)
-        .with_failures(FailureConfig::scheduled(FailurePolicy::ReplaceRank, failures));
+    let cfg = base_config(2.0e-8).with_failures(FailureConfig::scheduled(
+        FailurePolicy::ReplaceRank,
+        failures,
+    ));
     let rt = Runtime::new(cfg);
     let heat = app(n, steps);
     let r = rt.run(ranks, move |comm| {
@@ -55,7 +59,10 @@ fn cpr_time(ranks: usize, n: usize, steps: usize, failures: Vec<(usize, f64)>) -
         &cfg,
         ranks,
         Arc::new(app(n, steps)),
-        &CprConfig { checkpoint_interval: 5, max_restarts: 8 },
+        &CprConfig {
+            checkpoint_interval: 5,
+            max_restarts: 8,
+        },
     );
     assert!(report.completed, "CPR run did not complete: {report:?}");
     (report.total_virtual_time, report.failures)
@@ -66,7 +73,15 @@ fn main() {
     let per_rank_points = 64; // weak scaling: grid grows with the rank count
     let mut table = Table::new(
         "E4: explicit heat, one rank failure mid-run — LFLR vs global CPR (virtual s)",
-        &["ranks", "grid n", "failure-free", "LFLR w/ failure", "CPR w/ failure", "LFLR overhead", "CPR overhead"],
+        &[
+            "ranks",
+            "grid n",
+            "failure-free",
+            "LFLR w/ failure",
+            "CPR w/ failure",
+            "LFLR overhead",
+            "CPR overhead",
+        ],
     );
     for &ranks in &[4usize, 8, 16, 32] {
         let n = per_rank_points * ranks;

@@ -3,14 +3,16 @@
 //! with the reduction overlapped, as the rank count grows.
 
 use resilient_bench::{fmt_g, fmt_ratio, Table};
-use resilient_runtime::{
-    LatencyModel, NoiseConfig, ReduceOp, Runtime, RuntimeConfig,
-};
+use resilient_runtime::{LatencyModel, NoiseConfig, ReduceOp, Runtime, RuntimeConfig};
 
 fn step_times(ranks: usize, noise_amp: f64, steps: usize) -> (f64, f64, f64) {
     let work = 1.0e-3;
     let mut cfg = RuntimeConfig::fast().with_seed(5);
-    cfg.latency = LatencyModel { alpha: 1.0e-6, beta: 0.0, gamma: 0.0 };
+    cfg.latency = LatencyModel {
+        alpha: 1.0e-6,
+        beta: 0.0,
+        gamma: 0.0,
+    };
     if noise_amp > 0.0 {
         cfg.noise = NoiseConfig::exponential(200.0, noise_amp);
     }
@@ -47,7 +49,14 @@ fn main() {
     let steps = 150;
     let mut table = Table::new(
         "E8: noise amplification of a compute+allreduce step (150 steps, 1 ms work/step)",
-        &["ranks", "noise/step", "bulk-sync", "relaxed", "bulk slowdown", "relaxed slowdown"],
+        &[
+            "ranks",
+            "noise/step",
+            "bulk-sync",
+            "relaxed",
+            "bulk slowdown",
+            "relaxed slowdown",
+        ],
     );
     for &ranks in &[4usize, 16, 64, 128] {
         for &amp in &[0.0, 1.0e-4, 5.0e-4] {

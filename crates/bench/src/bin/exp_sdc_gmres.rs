@@ -24,7 +24,10 @@ fn main() {
     let a = poisson2d(20, 20);
     let n = a.nrows();
     let b = vec![1.0; n];
-    let opts = SolveOptions::default().with_tol(1e-8).with_max_iters(800).with_restart(40);
+    let opts = SolveOptions::default()
+        .with_tol(1e-8)
+        .with_max_iters(800)
+        .with_restart(40);
     let trials_per_bit = 6;
     let bit_groups: Vec<(&str, Vec<u32>)> = vec![
         ("mantissa-low (0..26)", (0..27).step_by(9).collect()),
@@ -35,7 +38,14 @@ fn main() {
 
     let mut table = Table::new(
         "E1: single bit flip in one SpMV of GMRES(40), 2-D Poisson n=400",
-        &["bit class", "trials", "skeptical detect%", "skeptical correct%", "trusting correct%", "check overhead"],
+        &[
+            "bit class",
+            "trials",
+            "skeptical detect%",
+            "skeptical correct%",
+            "trusting correct%",
+            "check overhead",
+        ],
     );
 
     for (label, bits) in &bit_groups {

@@ -20,7 +20,11 @@ fn app(steps: usize) -> ExplicitHeat {
 
 fn machine(mtbf_per_rank: f64, policy: FailurePolicy) -> RuntimeConfig {
     let mut cfg = RuntimeConfig::fast().with_seed(31);
-    cfg.latency = LatencyModel { alpha: 5.0e-6, beta: 1e-9, gamma: 1e-9 };
+    cfg.latency = LatencyModel {
+        alpha: 5.0e-6,
+        beta: 1e-9,
+        gamma: 1e-9,
+    };
     cfg.checkpoint_seconds_per_byte = 2.0e-8;
     cfg.restart_cost = 1.0;
     cfg.replacement_cost = 0.05;
@@ -37,7 +41,14 @@ fn main() {
     let steps = 80;
     let mut table = Table::new(
         "E9: total time to solution on machines of decreasing reliability (8 ranks, 80 steps)",
-        &["per-rank MTBF (s)", "CPR time", "CPR restarts", "LFLR time", "LFLR recoveries", "LFLR advantage"],
+        &[
+            "per-rank MTBF (s)",
+            "CPR time",
+            "CPR restarts",
+            "LFLR time",
+            "LFLR recoveries",
+            "LFLR advantage",
+        ],
     );
     for &mtbf in &[f64::INFINITY, 8.0, 4.0, 2.0, 1.0] {
         // CPR-only application.
@@ -45,7 +56,10 @@ fn main() {
             &machine(mtbf, FailurePolicy::AbortJob),
             ranks,
             Arc::new(app(steps)),
-            &CprConfig { checkpoint_interval: 5, max_restarts: 20 },
+            &CprConfig {
+                checkpoint_interval: 5,
+                max_restarts: 20,
+            },
         );
         // LFLR application.
         let heat = app(steps);
@@ -57,12 +71,24 @@ fn main() {
         let lflr_ok = lflr.all_ok();
         let lflr_time = lflr.job.makespan;
         let recoveries = lflr.failures.len();
-        let cpr_time = if cpr_report.completed { cpr_report.total_virtual_time } else { f64::INFINITY };
+        let cpr_time = if cpr_report.completed {
+            cpr_report.total_virtual_time
+        } else {
+            f64::INFINITY
+        };
         table.row(vec![
-            if mtbf.is_finite() { format!("{mtbf}") } else { "∞".into() },
+            if mtbf.is_finite() {
+                format!("{mtbf}")
+            } else {
+                "∞".into()
+            },
             fmt_g(cpr_time),
             (cpr_report.attempts - 1).to_string(),
-            if lflr_ok { fmt_g(lflr_time) } else { "failed".into() },
+            if lflr_ok {
+                fmt_g(lflr_time)
+            } else {
+                "failed".into()
+            },
             recoveries.to_string(),
             fmt_ratio(cpr_time / lflr_time.max(1e-12)),
         ]);

@@ -11,10 +11,20 @@ use resilient_linalg::poisson2d;
 fn main() {
     let a = poisson2d(16, 16);
     let x: Vec<f64> = (0..a.nrows()).map(|i| 1.0 + (i % 5) as f64 * 0.2).collect();
-    let model = ReliabilityModel { reliable_cost_factor: 3.0, ..ReliabilityModel::default() };
+    let model = ReliabilityModel {
+        reliable_cost_factor: 3.0,
+        ..ReliabilityModel::default()
+    };
     let mut table = Table::new(
         "E7: cost per correct SpMV (unreliable-FLOP equivalents), n=256, reliable cost factor 3x",
-        &["fault rate/elem", "unreliable+retry", "TMR", "reliable", "single success%", "TMR success%"],
+        &[
+            "fault rate/elem",
+            "unreliable+retry",
+            "TMR",
+            "reliable",
+            "single success%",
+            "TMR success%",
+        ],
     );
     for &rate in &[0.0, 1e-4, 1e-3, 1e-2, 5e-2, 1e-1] {
         let cmp = compare_tmr_strategies(&a, &x, rate, &model, 60, 7);

@@ -166,12 +166,12 @@ impl DistCsr {
         let mut neighbors = Vec::new();
         let mut send_lists = Vec::new();
         let mut recv_lists = Vec::new();
-        for peer in 0..comm.size() {
+        for (peer, peer_needs) in all_needs.iter().enumerate() {
             if peer == rank {
                 continue;
             }
             // What peer needs from me:
-            let send: Vec<usize> = all_needs[peer]
+            let send: Vec<usize> = peer_needs
                 .iter()
                 .map(|&g| g as usize)
                 .filter(|g| my_range.contains(g))
@@ -192,7 +192,16 @@ impl DistCsr {
             }
         }
 
-        Ok(Self { local, dist, n_local, ghost_globals, neighbors, send_lists, recv_lists, flops })
+        Ok(Self {
+            local,
+            dist,
+            n_local,
+            ghost_globals,
+            neighbors,
+            send_lists,
+            recv_lists,
+            flops,
+        })
     }
 
     /// Number of locally owned rows.
@@ -245,11 +254,19 @@ impl DistCsr {
     /// Distributed SpMV: `y = A·x`, with ghost exchange and virtual-time
     /// accounting for the local arithmetic.
     pub fn apply(&self, comm: &mut Comm, x: &DistVector) -> Result<DistVector> {
-        assert_eq!(x.global_len(), self.global_dim(), "spmv: dimension mismatch");
+        assert_eq!(
+            x.global_len(),
+            self.global_dim(),
+            "spmv: dimension mismatch"
+        );
         let full = self.assemble_input(comm, x)?;
         comm.charge_flops(self.flops);
         let y_local = self.local.spmv(&full);
-        Ok(DistVector { local: y_local, dist: self.dist, rank: comm.rank() })
+        Ok(DistVector {
+            local: y_local,
+            dist: self.dist,
+            rank: comm.rank(),
+        })
     }
 }
 
@@ -303,7 +320,11 @@ mod tests {
             let da = DistCsr::from_global(comm, &a)?;
             let x = DistVector::from_fn(comm, 23, |i| (i as f64 * 0.37).sin());
             let y = da.apply(comm, &x)?;
-            Ok((y.gather_global(comm)?, da.ghost_count(), da.neighbors().len()))
+            Ok((
+                y.gather_global(comm)?,
+                da.ghost_count(),
+                da.neighbors().len(),
+            ))
         });
         let a = poisson1d(23);
         let x: Vec<f64> = (0..23).map(|i| (i as f64 * 0.37).sin()).collect();
@@ -345,7 +366,12 @@ mod tests {
         let result = rt.run(1, move |comm| {
             let a = poisson2d(5, 5);
             let da = DistCsr::from_global(comm, &a)?;
-            Ok((da.ghost_count(), da.neighbors().len(), da.local_rows(), da.global_dim()))
+            Ok((
+                da.ghost_count(),
+                da.neighbors().len(),
+                da.local_rows(),
+                da.global_dim(),
+            ))
         });
         assert_eq!(result.unwrap_all(), vec![(0, 0, 25, 25)]);
     }

@@ -39,7 +39,10 @@ pub struct CprConfig {
 
 impl Default for CprConfig {
     fn default() -> Self {
-        Self { checkpoint_interval: 10, max_restarts: 64 }
+        Self {
+            checkpoint_interval: 10,
+            max_restarts: 64,
+        }
     }
 }
 
@@ -69,7 +72,12 @@ const LAST_CHECKPOINT_KEY: &str = "cpr/last_checkpoint_step";
 /// `config` supplies the machine model and the failure injection; its
 /// failure policy is forced to [`FailurePolicy::AbortJob`]. Returns the
 /// campaign report.
-pub fn run_cpr<A: CprApp>(config: &RuntimeConfig, size: usize, app: Arc<A>, cpr: &CprConfig) -> CprReport {
+pub fn run_cpr<A: CprApp>(
+    config: &RuntimeConfig,
+    size: usize,
+    app: Arc<A>,
+    cpr: &CprConfig,
+) -> CprReport {
     let mut config = config.clone();
     config.failures.policy = FailurePolicy::AbortJob;
     let base_max_failures = config.failures.max_failures;
@@ -120,7 +128,8 @@ pub fn run_cpr<A: CprApp>(config: &RuntimeConfig, size: usize, app: Arc<A>, cpr:
                     // it; the barrier models the coordinated checkpoint.
                     comm.barrier()?;
                     if comm.rank() == 0 {
-                        comm.stable_store().put(LAST_CHECKPOINT_KEY, Stored::Scalar(step as f64));
+                        comm.stable_store()
+                            .put(LAST_CHECKPOINT_KEY, Stored::Scalar(step as f64));
                     }
                 }
             }
@@ -202,8 +211,14 @@ mod tests {
         let report = run_cpr(
             &config,
             4,
-            Arc::new(Accumulator { steps: 12, work_per_step: 0.01 }),
-            &CprConfig { checkpoint_interval: 4, max_restarts: 3 },
+            Arc::new(Accumulator {
+                steps: 12,
+                work_per_step: 0.01,
+            }),
+            &CprConfig {
+                checkpoint_interval: 4,
+                max_restarts: 3,
+            },
         );
         assert!(report.completed);
         assert_eq!(report.attempts, 1);
@@ -225,13 +240,22 @@ mod tests {
         let report = run_cpr(
             &config,
             4,
-            Arc::new(Accumulator { steps: 20, work_per_step: 0.1 }),
-            &CprConfig { checkpoint_interval: 5, max_restarts: 5 },
+            Arc::new(Accumulator {
+                steps: 20,
+                work_per_step: 0.1,
+            }),
+            &CprConfig {
+                checkpoint_interval: 5,
+                max_restarts: 5,
+            },
         );
         assert!(report.completed, "{report:?}");
         assert_eq!(report.attempts, 2, "exactly one restart");
         assert_eq!(report.failures, 1);
-        assert!(report.steps_reexecuted > 0, "work past the last checkpoint is redone");
+        assert!(
+            report.steps_reexecuted > 0,
+            "work past the last checkpoint is redone"
+        );
         // Total time exceeds the failure-free time of 20 * 0.1.
         assert!(report.total_virtual_time > 2.0);
     }
@@ -250,8 +274,14 @@ mod tests {
         let report = run_cpr(
             &config,
             2,
-            Arc::new(Accumulator { steps: 50, work_per_step: 0.1 }),
-            &CprConfig { checkpoint_interval: 10, max_restarts: 3 },
+            Arc::new(Accumulator {
+                steps: 50,
+                work_per_step: 0.1,
+            }),
+            &CprConfig {
+                checkpoint_interval: 10,
+                max_restarts: 3,
+            },
         );
         assert!(!report.completed);
         assert_eq!(report.attempts, 4, "initial attempt + 3 restarts");

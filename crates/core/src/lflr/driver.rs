@@ -26,6 +26,16 @@ pub trait LflrApp {
     /// back to the agreed step.
     fn recover(&self, comm: &mut Comm, step: usize) -> Result<Self::State>;
 
+    /// The newest step this rank could recover from its (possibly inherited)
+    /// persistent store, or `None` if the application cannot tell. A
+    /// replacement rank proposes this at the recovery rendezvous so the
+    /// agreed rollback step is never newer than what the dead incarnation
+    /// actually persisted; the default (`None`) proposes "anything", letting
+    /// the survivors' persist state decide.
+    fn last_recoverable(&self, _comm: &mut Comm) -> Option<usize> {
+        None
+    }
+
     /// Total number of steps to run.
     fn n_steps(&self) -> usize;
 
@@ -59,12 +69,22 @@ pub fn run_lflr<A: LflrApp>(comm: &mut Comm, app: &A) -> Result<(LflrReport, A::
     let mut steps_reexecuted = 0usize;
 
     // A replacement rank has no state at all: it first joins the recovery
-    // rendezvous (proposing "anything", i.e. +inf, so the survivors' last
-    // persisted step wins), then rebuilds its state from persistent data.
+    // rendezvous — proposing the newest step recoverable from the inherited
+    // persistent store (or +inf when the application cannot tell, so the
+    // survivors' last persisted step wins) — then rebuilds its state from
+    // persistent data.
     let (mut state, mut step, mut last_persisted) = if comm.is_replacement() {
-        let info = comm.recovery_rendezvous(f64::INFINITY)?;
+        let proposal = app
+            .last_recoverable(comm)
+            .map(|s| s as f64)
+            .unwrap_or(f64::INFINITY);
+        let info = comm.recovery_rendezvous(proposal)?;
         recoveries += 1;
-        let resume = if info.agreed.is_finite() { info.agreed.max(0.0) as usize } else { 0 };
+        let resume = if info.agreed.is_finite() {
+            info.agreed.max(0.0) as usize
+        } else {
+            0
+        };
         let state = app.recover(comm, resume)?;
         (state, resume, resume)
     } else {
@@ -138,9 +158,7 @@ pub fn run_lflr<A: LflrApp>(comm: &mut Comm, app: &A) -> Result<(LflrReport, A::
 #[cfg(test)]
 mod tests {
     use super::*;
-    use resilient_runtime::{
-        FailureConfig, FailurePolicy, Runtime, RuntimeConfig, Stored,
-    };
+    use resilient_runtime::{FailureConfig, FailurePolicy, Runtime, RuntimeConfig, Stored};
 
     /// A toy LFLR application: each rank accumulates `step_value` once per
     /// step and persists its accumulator. Communication per step: a barrier,
@@ -195,7 +213,10 @@ mod tests {
         let rt = Runtime::new(RuntimeConfig::fast());
         let results = rt
             .run(4, |comm| {
-                let app = Accumulator { steps: 12, work_per_step: 0.01 };
+                let app = Accumulator {
+                    steps: 12,
+                    work_per_step: 0.01,
+                };
                 let (report, state) = run_lflr(comm, &app)?;
                 Ok((report, state))
             })
@@ -216,7 +237,10 @@ mod tests {
         ));
         let rt = Runtime::new(cfg);
         let r = rt.run(4, |comm| {
-            let app = Accumulator { steps: 15, work_per_step: 0.1 };
+            let app = Accumulator {
+                steps: 15,
+                work_per_step: 0.1,
+            };
             let (report, state) = run_lflr(comm, &app)?;
             Ok((comm.rank(), comm.incarnation(), report, state))
         });
@@ -242,7 +266,10 @@ mod tests {
         ));
         let rt = Runtime::new(cfg);
         let r = rt.run(4, |comm| {
-            let app = Accumulator { steps: 14, work_per_step: 0.1 };
+            let app = Accumulator {
+                steps: 14,
+                work_per_step: 0.1,
+            };
             let (report, state) = run_lflr(comm, &app)?;
             Ok((report.steps_completed, state, comm.incarnation()))
         });
@@ -267,7 +294,10 @@ mod tests {
             if !comm.is_replacement() {
                 comm.persist("sentinel", vec![comm.rank() as f64 + 7.0])?;
             }
-            let app = Accumulator { steps: 10, work_per_step: 0.1 };
+            let app = Accumulator {
+                steps: 10,
+                work_per_step: 0.1,
+            };
             let (_report, _state) = run_lflr(comm, &app)?;
             // After the run, every incarnation can see the original sentinel.
             let v = comm.restore(comm.rank(), "sentinel")?.into_f64()?;

@@ -78,13 +78,19 @@ mod tests {
 
     #[test]
     fn abbreviations_match_paper() {
-        let abbrs: Vec<&str> = ProgrammingModel::ALL.iter().map(|m| m.abbreviation()).collect();
+        let abbrs: Vec<&str> = ProgrammingModel::ALL
+            .iter()
+            .map(|m| m.abbreviation())
+            .collect();
         assert_eq!(abbrs, vec!["SkP", "RBSP", "LFLR", "SRP"]);
     }
 
     #[test]
     fn difficulty_is_strictly_increasing_in_paper_order() {
-        let d: Vec<u8> = ProgrammingModel::ALL.iter().map(|m| m.difficulty_rank()).collect();
+        let d: Vec<u8> = ProgrammingModel::ALL
+            .iter()
+            .map(|m| m.difficulty_rank())
+            .collect();
         assert!(d.windows(2).all(|w| w[0] < w[1]));
     }
 

@@ -166,7 +166,9 @@ mod tests {
             let n = a.nrows();
             let da = DistCsr::from_global(comm, &a)?;
             let b = DistVector::from_fn(comm, n, |i| 1.0 + (i % 3) as f64);
-            let opts = DistSolveOptions::default().with_tol(1e-9).with_max_iters(400);
+            let opts = DistSolveOptions::default()
+                .with_tol(1e-9)
+                .with_max_iters(400);
             let classic = dist_cg(comm, &da, &b, &opts)?;
             let pipelined = pipelined_cg(comm, &da, &b, &opts)?;
             assert!(classic.converged, "classic CG must converge");
@@ -205,7 +207,11 @@ mod tests {
         // With substantial collective latency and overlap-able work, the
         // pipelined variant must finish in less virtual time.
         let mut cfg = RuntimeConfig::fast();
-        cfg.latency = LatencyModel { alpha: 5.0e-4, beta: 0.0, gamma: 0.0 };
+        cfg.latency = LatencyModel {
+            alpha: 5.0e-4,
+            beta: 0.0,
+            gamma: 0.0,
+        };
         cfg.seconds_per_flop = 1.0e-9;
         let rt = Runtime::new(cfg);
         let times = rt
@@ -214,7 +220,9 @@ mod tests {
                 let n = a.nrows();
                 let da = DistCsr::from_global(comm, &a)?;
                 let b = DistVector::from_fn(comm, n, |i| (i as f64 * 0.1).cos());
-                let opts = DistSolveOptions::default().with_tol(1e-8).with_max_iters(200);
+                let opts = DistSolveOptions::default()
+                    .with_tol(1e-8)
+                    .with_max_iters(200);
                 let t0 = comm.now();
                 let classic = dist_cg(comm, &da, &b, &opts)?;
                 let t1 = comm.now();

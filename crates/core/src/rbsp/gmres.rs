@@ -158,7 +158,8 @@ pub fn pipelined_gmres(
             let zz = zz[0];
             // ‖z_j − Σ h_i v_i‖² = (z_j,z_j) − Σ h_i² by orthonormality of V.
             let h_next_sq = zz - h_proj.iter().map(|h| h * h).sum::<f64>();
-            if !(h_next_sq > f64::EPSILON * zz.max(1.0)) {
+            // NaN must take this branch too, hence no plain `<=` comparison.
+            if h_next_sq.is_nan() || h_next_sq <= f64::EPSILON * zz.max(1.0) {
                 // Breakdown (or roundoff made the pipelined norm unusable):
                 // fall back to closing the cycle here; the outer loop
                 // recomputes the true residual and restarts if needed.
@@ -228,8 +229,10 @@ mod tests {
                 let n = a.nrows();
                 let da = DistCsr::from_global(comm, &a)?;
                 let b = DistVector::from_fn(comm, n, |i| 1.0 + (i % 2) as f64);
-                let opts =
-                    DistSolveOptions::default().with_tol(1e-8).with_max_iters(300).with_restart(40);
+                let opts = DistSolveOptions::default()
+                    .with_tol(1e-8)
+                    .with_max_iters(300)
+                    .with_restart(40);
                 let classic = dist_gmres(comm, &da, &b, &opts)?;
                 let pipelined = pipelined_gmres(comm, &da, &b, &opts)?;
                 Ok((
@@ -258,7 +261,11 @@ mod tests {
     #[test]
     fn pipelined_gmres_hides_collective_latency() {
         let mut cfg = RuntimeConfig::fast();
-        cfg.latency = LatencyModel { alpha: 5.0e-4, beta: 0.0, gamma: 0.0 };
+        cfg.latency = LatencyModel {
+            alpha: 5.0e-4,
+            beta: 0.0,
+            gamma: 0.0,
+        };
         let rt = Runtime::new(cfg);
         let times = rt
             .run(8, move |comm| {
@@ -266,8 +273,10 @@ mod tests {
                 let n = a.nrows();
                 let da = DistCsr::from_global(comm, &a)?;
                 let b = DistVector::from_fn(comm, n, |i| (i as f64 * 0.05).sin() + 1.0);
-                let opts =
-                    DistSolveOptions::default().with_tol(1e-7).with_max_iters(120).with_restart(40);
+                let opts = DistSolveOptions::default()
+                    .with_tol(1e-7)
+                    .with_max_iters(120)
+                    .with_restart(40);
                 let t0 = comm.now();
                 let classic = dist_gmres(comm, &da, &b, &opts)?;
                 let t1 = comm.now();

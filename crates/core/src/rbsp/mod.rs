@@ -54,7 +54,12 @@ pub struct DistSolveOptions {
 
 impl Default for DistSolveOptions {
     fn default() -> Self {
-        Self { tol: 1e-8, max_iters: 500, restart: 30, extra_work_per_iter: 0.0 }
+        Self {
+            tol: 1e-8,
+            max_iters: 500,
+            restart: 30,
+            extra_work_per_iter: 0.0,
+        }
     }
 }
 

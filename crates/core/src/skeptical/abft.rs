@@ -91,7 +91,9 @@ pub fn abft_gemm_trial(
                 // Either the flip did not change the value, or it is below
                 // the detection threshold; both count as a miss only if the
                 // result is actually wrong beyond tolerance.
-                if !changed || protected.data.sub(&clean).norm_max() <= tol * clean.norm_max().max(1.0) {
+                if !changed
+                    || protected.data.sub(&clean).norm_max() <= tol * clean.norm_max().max(1.0)
+                {
                     AbftOutcome::CleanPass
                 } else {
                     AbftOutcome::Missed
@@ -132,8 +134,8 @@ pub fn abft_spmv_trial(
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let i = rng.gen_range(0..y.len());
         y[i] = flip_bit_f64(y[i], bit);
-        let harmful = (y[i] - clean[i]).abs()
-            > tol * clean.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        let harmful =
+            (y[i] - clean[i]).abs() > tol * clean.iter().fold(1.0f64, |m, v| m.max(v.abs()));
         let detected = !encoded.verify_product(x, &y, tol);
         match (detected, harmful) {
             (true, _) => AbftOutcome::DetectedOnly,
@@ -180,8 +182,14 @@ mod tests {
         for s in 0..30 {
             stats.record(abft_gemm_trial(&a, &b, true, 55, 1e-10, s));
         }
-        assert_eq!(stats.missed, 0, "a 2^3-scale relative error must never be missed");
-        assert!(stats.corrected >= 25, "most single errors must be corrected: {stats:?}");
+        assert_eq!(
+            stats.missed, 0,
+            "a 2^3-scale relative error must never be missed"
+        );
+        assert!(
+            stats.corrected >= 25,
+            "most single errors must be corrected: {stats:?}"
+        );
     }
 
     #[test]
@@ -208,7 +216,10 @@ mod tests {
         for s in 0..30 {
             stats.record(abft_spmv_trial(&encoded, &x, true, 60, 1e-9, s));
         }
-        assert_eq!(stats.missed, 0, "exponent-bit flips must be detected: {stats:?}");
+        assert_eq!(
+            stats.missed, 0,
+            "exponent-bit flips must be detected: {stats:?}"
+        );
         let mut clean_stats = AbftStats::default();
         for s in 0..10 {
             clean_stats.record(abft_spmv_trial(&encoded, &x, false, 0, 1e-9, s));

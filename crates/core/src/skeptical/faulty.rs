@@ -4,8 +4,8 @@
 use std::cell::RefCell;
 
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use resilient_faults::bitflip::flip_bit_f64;
 
 use crate::solvers::common::Operator;
@@ -108,8 +108,13 @@ impl<'a, O: Operator + ?Sized> Operator for FaultyOperator<'a, O> {
                     let old_value = y[element];
                     let new_value = flip_bit_f64(old_value, bit);
                     y[element] = new_value;
-                    st.done =
-                        Some(InjectionDone { application: app, element, bit, old_value, new_value });
+                    st.done = Some(InjectionDone {
+                        application: app,
+                        element,
+                        bit,
+                        old_value,
+                        new_value,
+                    });
                 }
             }
         }
@@ -156,7 +161,11 @@ mod tests {
         assert_eq!(f.apply(&x), clean, "application 0 is clean");
         assert_eq!(f.apply(&x), clean, "application 1 is clean");
         let corrupted = f.apply(&x);
-        assert_ne!(corrupted[3].to_bits(), clean[3].to_bits(), "application 2 is corrupted");
+        assert_ne!(
+            corrupted[3].to_bits(),
+            clean[3].to_bits(),
+            "application 2 is corrupted"
+        );
         let done = f.injection().expect("injection recorded");
         assert_eq!(done.application, 2);
         assert_eq!(done.element, 3);
@@ -170,8 +179,11 @@ mod tests {
     #[test]
     fn random_target_stays_in_bounds() {
         let a = poisson1d(5);
-        let plan =
-            InjectionPlan { at_application: 0, target: FaultTarget::RandomElement, bit: None };
+        let plan = InjectionPlan {
+            at_application: 0,
+            target: FaultTarget::RandomElement,
+            bit: None,
+        };
         let f = FaultyOperator::new(&a, Some(plan), 99);
         let _ = f.apply(&[1.0; 5]);
         let done = f.injection().unwrap();

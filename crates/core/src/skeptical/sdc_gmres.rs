@@ -23,7 +23,9 @@
 use resilient_faults::detection::orthogonality_check;
 use resilient_linalg::vector::{has_non_finite, nrm2};
 
-use crate::solvers::common::{Operator, SolveOptions, SolveOutcome, StopReason, true_relative_residual};
+use crate::solvers::common::{
+    true_relative_residual, Operator, SolveOptions, SolveOutcome, StopReason,
+};
 use crate::solvers::gmres::ArnoldiProcess;
 
 /// What to do when a skeptical check fires.
@@ -171,10 +173,9 @@ pub fn skeptical_gmres<O: Operator + ?Sized>(
                 report.local_checks_run += 1;
                 report.check_flops += 4 * n;
                 let wn = nrm2(&w);
-                if has_non_finite(&w) {
-                    detected = true;
-                } else if norm_a.is_finite()
-                    && wn > skeptic.norm_bound_factor * norm_a * nrm2(&v).max(1.0)
+                if has_non_finite(&w)
+                    || (norm_a.is_finite()
+                        && wn > skeptic.norm_bound_factor * norm_a * nrm2(&v).max(1.0))
                 {
                     detected = true;
                 }
@@ -304,7 +305,11 @@ pub fn skeptical_gmres<O: Operator + ?Sized>(
                     x,
                     iterations: total_iters,
                     relative_residual: true_relres,
-                    reason: if breakdown { StopReason::Breakdown } else { StopReason::MaxIterations },
+                    reason: if breakdown {
+                        StopReason::Breakdown
+                    } else {
+                        StopReason::MaxIterations
+                    },
                     history,
                     flops,
                 },
@@ -321,7 +326,10 @@ mod tests {
     use resilient_linalg::poisson2d;
 
     fn opts() -> SolveOptions {
-        SolveOptions::default().with_tol(1e-9).with_max_iters(600).with_restart(30)
+        SolveOptions::default()
+            .with_tol(1e-9)
+            .with_max_iters(600)
+            .with_restart(30)
     }
 
     #[test]
@@ -353,10 +361,17 @@ mod tests {
             bit: Some(62),
         };
         let faulty = FaultyOperator::new(&a, Some(plan), 3);
-        let (out, report) = skeptical_gmres(&faulty, &b, None, &opts(), &SkepticalConfig::default());
-        assert!(faulty.injection().is_some(), "the fault must actually have been injected");
+        let (out, report) =
+            skeptical_gmres(&faulty, &b, None, &opts(), &SkepticalConfig::default());
+        assert!(
+            faulty.injection().is_some(),
+            "the fault must actually have been injected"
+        );
         assert!(report.detections >= 1, "the severe flip must be detected");
-        assert!(out.converged(), "the solver must still converge after recovery");
+        assert!(
+            out.converged(),
+            "the solver must still converge after recovery"
+        );
         assert!(
             true_relative_residual(&a, &b, &out.x) < 1e-8,
             "the returned solution must be correct w.r.t. the clean operator"
@@ -375,10 +390,20 @@ mod tests {
         };
         let skeptical_faulty = FaultyOperator::new(&a, Some(plan), 3);
         let trusting_faulty = FaultyOperator::new(&a, Some(plan), 3);
-        let (skeptical_out, _) =
-            skeptical_gmres(&skeptical_faulty, &b, None, &opts(), &SkepticalConfig::default());
-        let (trusting_out, trusting_report) =
-            skeptical_gmres(&trusting_faulty, &b, None, &opts(), &SkepticalConfig::trusting());
+        let (skeptical_out, _) = skeptical_gmres(
+            &skeptical_faulty,
+            &b,
+            None,
+            &opts(),
+            &SkepticalConfig::default(),
+        );
+        let (trusting_out, trusting_report) = skeptical_gmres(
+            &trusting_faulty,
+            &b,
+            None,
+            &opts(),
+            &SkepticalConfig::trusting(),
+        );
         assert_eq!(trusting_report.detections, 0);
         // The trusting run either needs (strictly) more iterations or ends
         // further from the truth; the skeptical run converges cleanly.
@@ -400,10 +425,16 @@ mod tests {
         let a = poisson2d(8, 8);
         let n = a.nrows();
         let b = vec![1.0; n];
-        let plan =
-            InjectionPlan { at_application: 3, target: FaultTarget::Element(0), bit: Some(63) };
+        let plan = InjectionPlan {
+            at_application: 3,
+            target: FaultTarget::Element(0),
+            bit: Some(63),
+        };
         let faulty = FaultyOperator::new(&a, Some(plan), 5);
-        let cfg = SkepticalConfig { response: SkepticalResponse::Abort, ..SkepticalConfig::default() };
+        let cfg = SkepticalConfig {
+            response: SkepticalResponse::Abort,
+            ..SkepticalConfig::default()
+        };
         let (out, report) = skeptical_gmres(&faulty, &b, None, &opts(), &cfg);
         if report.detections > 0 {
             assert_eq!(out.reason, StopReason::CorruptionDetected);
@@ -415,12 +446,18 @@ mod tests {
         let a = poisson2d(8, 8);
         let n = a.nrows();
         let b = vec![1.0; n];
-        let plan =
-            InjectionPlan { at_application: 5, target: FaultTarget::Element(1), bit: Some(0) };
+        let plan = InjectionPlan {
+            at_application: 5,
+            target: FaultTarget::Element(1),
+            bit: Some(0),
+        };
         let faulty = FaultyOperator::new(&a, Some(plan), 5);
-        let (out, _report) = skeptical_gmres(&faulty, &b, None, &opts(), &SkepticalConfig::default());
-        assert!(out.converged(), "a last-mantissa-bit flip must not prevent convergence");
+        let (out, _report) =
+            skeptical_gmres(&faulty, &b, None, &opts(), &SkepticalConfig::default());
+        assert!(
+            out.converged(),
+            "a last-mantissa-bit flip must not prevent convergence"
+        );
         assert!(true_relative_residual(&a, &b, &out.x) < 1e-8);
     }
 }
-

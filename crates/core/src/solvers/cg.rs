@@ -60,7 +60,11 @@ pub fn pcg<O: Operator + ?Sized, M: Preconditioner + ?Sized>(
                 x,
                 iterations: k,
                 relative_residual: relres,
-                reason: if pap.is_finite() { StopReason::Breakdown } else { StopReason::Diverged },
+                reason: if pap.is_finite() {
+                    StopReason::Breakdown
+                } else {
+                    StopReason::Diverged
+                },
                 history,
                 flops,
             };
@@ -123,7 +127,11 @@ mod tests {
         let b = a.spmv(&x_true);
         let out = cg(&a, &b, None, &SolveOptions::default().with_tol(1e-12));
         assert!(out.converged());
-        assert!(out.iterations <= 10, "CG must converge within n steps, took {}", out.iterations);
+        assert!(
+            out.iterations <= 10,
+            "CG must converge within n steps, took {}",
+            out.iterations
+        );
         assert!(true_relative_residual(&a, &b, &out.x) < 1e-10);
     }
 
@@ -134,7 +142,12 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let x_true = random_vector(n, &mut rng);
         let b = a.spmv(&x_true);
-        let out = cg(&a, &b, None, &SolveOptions::default().with_tol(1e-10).with_max_iters(500));
+        let out = cg(
+            &a,
+            &b,
+            None,
+            &SolveOptions::default().with_tol(1e-10).with_max_iters(500),
+        );
         assert!(out.converged(), "reason {:?}", out.reason);
         let err: f64 = out
             .x
@@ -151,10 +164,20 @@ mod tests {
     fn jacobi_preconditioning_does_not_hurt_poisson() {
         let a = poisson2d(10, 10);
         let b = vec![1.0; a.nrows()];
-        let plain = cg(&a, &b, None, &SolveOptions::default().with_tol(1e-10).with_max_iters(500));
+        let plain = cg(
+            &a,
+            &b,
+            None,
+            &SolveOptions::default().with_tol(1e-10).with_max_iters(500),
+        );
         let m = JacobiPreconditioner::from_matrix(&a);
-        let pre =
-            pcg(&a, &m, &b, None, &SolveOptions::default().with_tol(1e-10).with_max_iters(500));
+        let pre = pcg(
+            &a,
+            &m,
+            &b,
+            None,
+            &SolveOptions::default().with_tol(1e-10).with_max_iters(500),
+        );
         assert!(plain.converged() && pre.converged());
         // Constant-diagonal matrix: Jacobi is a scalar scaling, same iteration count.
         assert_eq!(plain.iterations, pre.iterations);
@@ -166,7 +189,10 @@ mod tests {
         let x_true = vec![2.0; 8];
         let b = a.spmv(&x_true);
         let out = cg(&a, &b, Some(&x_true), &SolveOptions::default());
-        assert_eq!(out.iterations, 0, "exact initial guess converges immediately");
+        assert_eq!(
+            out.iterations, 0,
+            "exact initial guess converges immediately"
+        );
         assert!(out.converged());
     }
 
@@ -175,7 +201,12 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let a = spd_random(20, &mut rng);
         let b = random_vector(20, &mut rng);
-        let out = cg(&a, &b, None, &SolveOptions::default().with_tol(1e-10).with_max_iters(200));
+        let out = cg(
+            &a,
+            &b,
+            None,
+            &SolveOptions::default().with_tol(1e-10).with_max_iters(200),
+        );
         assert!(out.converged());
         assert!(true_relative_residual(&a, &b, &out.x) < 1e-8);
     }
@@ -184,7 +215,12 @@ mod tests {
     fn iteration_cap_is_respected() {
         let a = poisson2d(16, 16);
         let b = vec![1.0; a.nrows()];
-        let out = cg(&a, &b, None, &SolveOptions::default().with_tol(1e-14).with_max_iters(3));
+        let out = cg(
+            &a,
+            &b,
+            None,
+            &SolveOptions::default().with_tol(1e-14).with_max_iters(3),
+        );
         assert_eq!(out.reason, StopReason::MaxIterations);
         assert_eq!(out.iterations, 3);
         assert_eq!(out.history.len(), 4);
@@ -194,7 +230,12 @@ mod tests {
     fn residual_history_is_monotone_enough() {
         let a = poisson2d(8, 8);
         let b = vec![1.0; a.nrows()];
-        let out = cg(&a, &b, None, &SolveOptions::default().with_tol(1e-10).with_max_iters(300));
+        let out = cg(
+            &a,
+            &b,
+            None,
+            &SolveOptions::default().with_tol(1e-10).with_max_iters(300),
+        );
         // CG residuals are not strictly monotone, but the last is far below the first.
         assert!(out.history.last().unwrap() < &(out.history[0] * 1e-8));
     }

@@ -55,7 +55,9 @@ impl Operator for DenseMatrix {
         2 * self.nrows() * self.ncols()
     }
     fn norm_estimate(&self) -> f64 {
-        (0..self.nrows()).map(|i| self.row(i).iter().map(|v| v.abs()).sum::<f64>()).fold(0.0, f64::max)
+        (0..self.nrows())
+            .map(|i| self.row(i).iter().map(|v| v.abs()).sum::<f64>())
+            .fold(0.0, f64::max)
     }
 }
 
@@ -85,8 +87,11 @@ impl JacobiPreconditioner {
     /// Build from a sparse matrix's diagonal. Zero diagonal entries are
     /// treated as one (no scaling) so the preconditioner is always defined.
     pub fn from_matrix(a: &CsrMatrix) -> Self {
-        let inv_diag =
-            a.diagonal().iter().map(|&d| if d.abs() > 0.0 { 1.0 / d } else { 1.0 }).collect();
+        let inv_diag = a
+            .diagonal()
+            .iter()
+            .map(|&d| if d.abs() > 0.0 { 1.0 / d } else { 1.0 })
+            .collect();
         Self { inv_diag }
     }
 }
@@ -110,7 +115,11 @@ pub struct SolveOptions {
 
 impl Default for SolveOptions {
     fn default() -> Self {
-        Self { tol: 1e-8, max_iters: 1000, restart: 50 }
+        Self {
+            tol: 1e-8,
+            max_iters: 1000,
+            restart: 50,
+        }
     }
 }
 
@@ -217,7 +226,10 @@ mod tests {
 
     #[test]
     fn options_builders() {
-        let o = SolveOptions::default().with_tol(1e-6).with_max_iters(10).with_restart(5);
+        let o = SolveOptions::default()
+            .with_tol(1e-6)
+            .with_max_iters(10)
+            .with_restart(5);
         assert_eq!(o.tol, 1e-6);
         assert_eq!(o.max_iters, 10);
         assert_eq!(o.restart, 5);
@@ -229,6 +241,6 @@ mod tests {
         let x = vec![1.0, 2.0, 3.0, 2.0, 1.0];
         let b = a.spmv(&x);
         assert!(true_relative_residual(&a, &b, &x) < 1e-15);
-        assert!(true_relative_residual(&a, &b, &vec![0.0; 5]) > 0.9);
+        assert!(true_relative_residual(&a, &b, &[0.0; 5]) > 0.9);
     }
 }

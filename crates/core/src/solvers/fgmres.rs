@@ -177,7 +177,11 @@ pub fn fgmres<O: Operator + ?Sized, M: FlexiblePreconditioner + ?Sized>(
                     x,
                     iterations: total_iters,
                     relative_residual: true_relres,
-                    reason: if breakdown { StopReason::Breakdown } else { StopReason::MaxIterations },
+                    reason: if breakdown {
+                        StopReason::Breakdown
+                    } else {
+                        StopReason::MaxIterations
+                    },
                     history,
                     flops,
                 },
@@ -219,8 +223,15 @@ mod tests {
     }
     impl FlexiblePreconditioner for InnerCg {
         fn apply(&mut self, v: &[f64]) -> Vec<f64> {
-            cg(&self.a, v, None, &SolveOptions::default().with_tol(1e-2).with_max_iters(self.iters))
-                .x
+            cg(
+                &self.a,
+                v,
+                None,
+                &SolveOptions::default()
+                    .with_tol(1e-2)
+                    .with_max_iters(self.iters),
+            )
+            .x
         }
     }
 
@@ -228,9 +239,15 @@ mod tests {
     fn inner_solver_accelerates_outer() {
         let a = poisson2d(10, 10);
         let b = vec![1.0; a.nrows()];
-        let opts = SolveOptions::default().with_tol(1e-9).with_max_iters(300).with_restart(30);
+        let opts = SolveOptions::default()
+            .with_tol(1e-9)
+            .with_max_iters(300)
+            .with_restart(30);
         let (plain, _) = fgmres(&a, &mut IdentityFlexible, &b, None, &opts);
-        let mut inner = InnerCg { a: a.clone(), iters: 8 };
+        let mut inner = InnerCg {
+            a: a.clone(),
+            iters: 8,
+        };
         let (accel, report) = fgmres(&a, &mut inner, &b, None, &opts);
         assert!(plain.converged() && accel.converged());
         assert!(
@@ -269,7 +286,10 @@ mod tests {
             None,
             &SolveOptions::default().with_tol(1e-8).with_max_iters(400),
         );
-        assert!(out.converged(), "outer iteration must absorb garbage inner results");
+        assert!(
+            out.converged(),
+            "outer iteration must absorb garbage inner results"
+        );
         assert!(report.rejected_inner_results > 0);
         assert!(true_relative_residual(&a, &b, &out.x) < 1e-7);
     }
@@ -279,7 +299,13 @@ mod tests {
         let a = poisson2d(5, 5);
         let x_true = vec![1.5; a.nrows()];
         let b = a.spmv(&x_true);
-        let (out, _) = fgmres(&a, &mut IdentityFlexible, &b, Some(&x_true), &SolveOptions::default());
+        let (out, _) = fgmres(
+            &a,
+            &mut IdentityFlexible,
+            &b,
+            Some(&x_true),
+            &SolveOptions::default(),
+        );
         assert_eq!(out.iterations, 0);
         assert!(out.converged());
     }

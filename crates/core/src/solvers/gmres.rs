@@ -24,7 +24,12 @@ impl ArnoldiProcess {
         if beta > 0.0 {
             scale(1.0 / beta, &mut v0);
         }
-        Self { basis: vec![v0], h_columns: Vec::new(), lsq: HessenbergLsq::new(max_dim, beta), beta }
+        Self {
+            basis: vec![v0],
+            h_columns: Vec::new(),
+            lsq: HessenbergLsq::new(max_dim, beta),
+            beta,
+        }
     }
 
     /// Initial residual norm β.
@@ -203,7 +208,12 @@ mod tests {
     fn solves_spd_poisson() {
         let a = poisson2d(10, 10);
         let b = vec![1.0; a.nrows()];
-        let out = gmres(&a, &b, None, &SolveOptions::default().with_tol(1e-10).with_max_iters(500));
+        let out = gmres(
+            &a,
+            &b,
+            None,
+            &SolveOptions::default().with_tol(1e-10).with_max_iters(500),
+        );
         assert!(out.converged(), "{:?}", out.reason);
         assert!(true_relative_residual(&a, &b, &out.x) < 1e-9);
     }
@@ -214,10 +224,20 @@ mod tests {
         let a = diag_dominant_random(60, 5, &mut rng);
         let x_true = random_vector(60, &mut rng);
         let b = a.spmv(&x_true);
-        let out = gmres(&a, &b, None, &SolveOptions::default().with_tol(1e-10).with_max_iters(300));
+        let out = gmres(
+            &a,
+            &b,
+            None,
+            &SolveOptions::default().with_tol(1e-10).with_max_iters(300),
+        );
         assert!(out.converged());
-        let err: f64 =
-            out.x.iter().zip(&x_true).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt();
+        let err: f64 = out
+            .x
+            .iter()
+            .zip(&x_true)
+            .map(|(p, q)| (p - q) * (p - q))
+            .sum::<f64>()
+            .sqrt();
         assert!(err < 1e-7, "error {err}");
     }
 
@@ -225,8 +245,14 @@ mod tests {
     fn restart_still_converges() {
         let a = poisson2d(8, 8);
         let b = vec![1.0; a.nrows()];
-        let short = SolveOptions::default().with_tol(1e-8).with_restart(5).with_max_iters(2000);
-        let long = SolveOptions::default().with_tol(1e-8).with_restart(100).with_max_iters(2000);
+        let short = SolveOptions::default()
+            .with_tol(1e-8)
+            .with_restart(5)
+            .with_max_iters(2000);
+        let long = SolveOptions::default()
+            .with_tol(1e-8)
+            .with_restart(100)
+            .with_max_iters(2000);
         let out_short = gmres(&a, &b, None, &short);
         let out_long = gmres(&a, &b, None, &long);
         assert!(out_short.converged());
@@ -262,7 +288,12 @@ mod tests {
     fn iteration_cap() {
         let a = poisson2d(12, 12);
         let b = vec![1.0; a.nrows()];
-        let out = gmres(&a, &b, None, &SolveOptions::default().with_tol(1e-14).with_max_iters(5));
+        let out = gmres(
+            &a,
+            &b,
+            None,
+            &SolveOptions::default().with_tol(1e-14).with_max_iters(5),
+        );
         assert_eq!(out.reason, StopReason::MaxIterations);
         assert_eq!(out.iterations, 5);
     }
@@ -295,7 +326,12 @@ mod tests {
         let a = poisson2d(5, 5);
         let n = a.nrows();
         let b = vec![1.0; n];
-        let out = gmres(&a, &b, None, &SolveOptions::default().with_tol(1e-9).with_restart(100));
+        let out = gmres(
+            &a,
+            &b,
+            None,
+            &SolveOptions::default().with_tol(1e-9).with_restart(100),
+        );
         // The recurrence-estimated final residual should match the true one.
         let true_res = true_relative_residual(&a, &b, &out.x);
         assert!((true_res - out.relative_residual).abs() < 1e-7);

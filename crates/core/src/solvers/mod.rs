@@ -8,8 +8,8 @@ pub mod gmres;
 
 pub use cg::{cg, pcg};
 pub use common::{
-    true_relative_residual, IdentityPreconditioner, JacobiPreconditioner, Operator,
-    Preconditioner, SolveOptions, SolveOutcome, StopReason,
+    true_relative_residual, IdentityPreconditioner, JacobiPreconditioner, Operator, Preconditioner,
+    SolveOptions, SolveOutcome, StopReason,
 };
 pub use fgmres::{fgmres, FgmresReport, FlexiblePreconditioner, IdentityFlexible};
 pub use gmres::{gmres, ArnoldiProcess};

@@ -181,13 +181,22 @@ mod tests {
         let a = poisson2d(8, 8);
         let b = vec![1.0; a.nrows()];
         let cfg = FtGmresConfig {
-            outer: SolveOptions::default().with_tol(1e-8).with_max_iters(80).with_restart(40),
+            outer: SolveOptions::default()
+                .with_tol(1e-8)
+                .with_max_iters(80)
+                .with_restart(40),
             fault_rate: 2e-3,
             ..FtGmresConfig::default()
         };
         let (out, report) = ft_gmres(&a, &b, &cfg);
-        assert!(report.corruptions > 0, "faults must actually have been injected");
-        assert!(out.converged(), "FT-GMRES must converge despite inner corruption");
+        assert!(
+            report.corruptions > 0,
+            "faults must actually have been injected"
+        );
+        assert!(
+            out.converged(),
+            "FT-GMRES must converge despite inner corruption"
+        );
         assert!(true_relative_residual(&a, &b, &out.x) < 1e-7);
     }
 
@@ -195,13 +204,19 @@ mod tests {
     fn unreliable_baseline_struggles_at_the_same_rate() {
         let a = poisson2d(8, 8);
         let b = vec![1.0; a.nrows()];
-        let opts = SolveOptions::default().with_tol(1e-8).with_max_iters(600).with_restart(40);
+        let opts = SolveOptions::default()
+            .with_tol(1e-8)
+            .with_max_iters(600)
+            .with_restart(40);
         let (out, _ledger, corruptions) = unreliable_gmres(&a, &b, &opts, 2e-3, 0xF7);
         // At this corruption rate an unprotected GMRES usually fails to reach
         // the tolerance or returns a wrong answer; either way the *verified*
         // residual must be worse than what FT-GMRES achieves.
         let cfg = FtGmresConfig {
-            outer: SolveOptions::default().with_tol(1e-8).with_max_iters(80).with_restart(40),
+            outer: SolveOptions::default()
+                .with_tol(1e-8)
+                .with_max_iters(80)
+                .with_restart(40),
             fault_rate: 2e-3,
             ..FtGmresConfig::default()
         };
@@ -210,7 +225,9 @@ mod tests {
         let ft_err = true_relative_residual(&a, &b, &ft_out.x);
         assert!(corruptions > 0);
         assert!(
-            !unreliable_err.is_finite() || unreliable_err > ft_err || out.iterations > ft_out.iterations,
+            !unreliable_err.is_finite()
+                || unreliable_err > ft_err
+                || out.iterations > ft_out.iterations,
             "unreliable: err={unreliable_err} iters={}; ft: err={ft_err} iters={}",
             out.iterations,
             ft_out.iterations
@@ -225,7 +242,10 @@ mod tests {
         let (out, ledger) = reliable_gmres(&a, &b, &opts);
         assert!(out.converged());
         assert_eq!(ledger.unreliable_flops, 0);
-        let model = ReliabilityModel { reliable_cost_factor: 2.0, ..ReliabilityModel::default() };
+        let model = ReliabilityModel {
+            reliable_cost_factor: 2.0,
+            ..ReliabilityModel::default()
+        };
         assert!(ledger.weighted_cost(&model) > out.flops as f64 * 1.99);
     }
 }

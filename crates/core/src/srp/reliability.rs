@@ -33,8 +33,7 @@ impl SrpCostLedger {
 
     /// Total cost in unreliable-FLOP equivalents under the given model.
     pub fn weighted_cost(&self, model: &ReliabilityModel) -> f64 {
-        self.unreliable_flops as f64
-            + self.reliable_flops as f64 * model.reliable_cost_factor
+        self.unreliable_flops as f64 + self.reliable_flops as f64 * model.reliable_cost_factor
     }
 
     /// Fraction of raw FLOPs executed in reliable mode.
@@ -136,7 +135,10 @@ mod tests {
         let mut ledger = SrpCostLedger::default();
         ledger.charge(Reliability::Unreliable, 100);
         ledger.charge(Reliability::Reliable, 10);
-        let model = ReliabilityModel { reliable_cost_factor: 3.0, ..ReliabilityModel::default() };
+        let model = ReliabilityModel {
+            reliable_cost_factor: 3.0,
+            ..ReliabilityModel::default()
+        };
         assert_eq!(ledger.weighted_cost(&model), 130.0);
         assert!((ledger.reliable_fraction() - 10.0 / 110.0).abs() < 1e-12);
         let mut other = SrpCostLedger::default();
@@ -178,7 +180,7 @@ mod tests {
         let a = poisson1d(20);
         let run = |seed| {
             let u = UnreliableOperator::new(&a, 0.5, seed);
-            u.apply(&vec![1.0; 20])
+            u.apply(&[1.0; 20])
         };
         assert_eq!(run(3), run(3));
         assert_ne!(run(3), run(4));

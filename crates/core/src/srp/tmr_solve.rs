@@ -43,14 +43,20 @@ pub fn tmr_apply<O: Operator + ?Sized>(
                 })
             };
             let unanimous = close(&a, &b) && close(&a, &c);
-            resilient_faults::tmr::TmrOutcome::Agreed { value: v.clone(), masked_error: !unanimous }
+            resilient_faults::tmr::TmrOutcome::Agreed {
+                value: v.clone(),
+                masked_error: !unanimous,
+            }
         }
         None => resilient_faults::tmr::TmrOutcome::NoMajority {
             replicas: [a.clone(), b.clone(), c.clone()],
         },
     };
     stats.record(&outcome);
-    TmrApplyResult { value: voted, ledger }
+    TmrApplyResult {
+        value: voted,
+        ledger,
+    }
 }
 
 /// Cost (in unreliable-FLOP equivalents) per *correct* SpMV under three
@@ -98,8 +104,11 @@ pub fn compare_tmr_strategies<O: Operator + ?Sized>(
     let single_rate = single_successes as f64 / trials.max(1) as f64;
     // Expected executions until success = 1 / p (geometric); infinite cost if
     // the success rate is zero.
-    let unreliable_retry_cost =
-        if single_rate > 0.0 { flops / single_rate } else { f64::INFINITY };
+    let unreliable_retry_cost = if single_rate > 0.0 {
+        flops / single_rate
+    } else {
+        f64::INFINITY
+    };
 
     let tmr_op = UnreliableOperator::new(a, fault_rate, seed ^ 0x5555);
     let mut tmr_stats = TmrStats::default();
@@ -113,7 +122,11 @@ pub fn compare_tmr_strategies<O: Operator + ?Sized>(
         }
     }
     let tmr_rate = tmr_correct as f64 / trials.max(1) as f64;
-    let tmr_cost = if tmr_rate > 0.0 { 3.0 * flops / tmr_rate } else { f64::INFINITY };
+    let tmr_cost = if tmr_rate > 0.0 {
+        3.0 * flops / tmr_rate
+    } else {
+        f64::INFINITY
+    };
 
     TmrCostComparison {
         unreliable_retry_cost,
@@ -147,7 +160,10 @@ mod tests {
             }
         }
         assert_eq!(stats.executions, 50);
-        assert!(correct >= 45, "TMR should produce the correct answer almost always: {correct}");
+        assert!(
+            correct >= 45,
+            "TMR should produce the correct answer almost always: {correct}"
+        );
     }
 
     #[test]
@@ -166,7 +182,10 @@ mod tests {
     fn strategy_comparison_orders_sensibly() {
         let a = poisson2d(6, 6);
         let x = vec![1.0; a.nrows()];
-        let model = ReliabilityModel { reliable_cost_factor: 3.0, ..ReliabilityModel::default() };
+        let model = ReliabilityModel {
+            reliable_cost_factor: 3.0,
+            ..ReliabilityModel::default()
+        };
         // At zero fault rate, a single unreliable execution is the cheapest.
         let at_zero = compare_tmr_strategies(&a, &x, 0.0, &model, 20, 1);
         assert_eq!(at_zero.unreliable_success_rate, 1.0);

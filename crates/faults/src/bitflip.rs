@@ -92,7 +92,11 @@ mod tests {
                 assert_eq!(flip_bit_f64(flipped, bit).to_bits(), v.to_bits());
                 if v != 0.0 || bit != 63 {
                     // (sign flip of +0.0 gives -0.0 which compares equal)
-                    assert_ne!(flipped.to_bits(), v.to_bits(), "bit {bit} must change the bits");
+                    assert_ne!(
+                        flipped.to_bits(),
+                        v.to_bits(),
+                        "bit {bit} must change the bits"
+                    );
                 }
             }
         }
@@ -116,7 +120,10 @@ mod tests {
     fn high_exponent_bit_is_severe_or_nonfinite() {
         let v = 1.0;
         let f = flip_bit_f64(v, 62);
-        assert!(matches!(classify_flip(v, f), FlipSeverity::Severe | FlipSeverity::NonFinite));
+        assert!(matches!(
+            classify_flip(v, f),
+            FlipSeverity::Severe | FlipSeverity::NonFinite
+        ));
     }
 
     #[test]

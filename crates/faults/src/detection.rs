@@ -85,7 +85,10 @@ pub struct RelativeJumpDetector {
 impl RelativeJumpDetector {
     /// A detector allowing per-step growth up to `factor`.
     pub fn new(factor: f64) -> Self {
-        Self { factor, previous: std::cell::Cell::new(None) }
+        Self {
+            factor,
+            previous: std::cell::Cell::new(None),
+        }
     }
 
     /// Observe a scalar (e.g. the residual norm at this iteration).
@@ -168,7 +171,11 @@ mod tests {
         let d = RelativeJumpDetector::new(2.0);
         assert_eq!(d.observe(1.0), Detection::Clean);
         assert_eq!(d.observe(1.5), Detection::Clean);
-        assert_eq!(d.observe(10.0), Detection::Suspicious, "a 6x jump must be flagged");
+        assert_eq!(
+            d.observe(10.0),
+            Detection::Suspicious,
+            "a 6x jump must be flagged"
+        );
         // A rejected observation does not poison the reference.
         assert_eq!(d.observe(2.0), Detection::Clean);
         assert_eq!(d.observe(f64::NAN), Detection::Suspicious);
@@ -185,10 +192,19 @@ mod tests {
 
     #[test]
     fn orthogonality() {
-        assert_eq!(orthogonality_check(&[1.0, 0.0], &[0.0, 1.0], 1e-12), Detection::Clean);
-        assert_eq!(orthogonality_check(&[1.0, 0.0], &[1.0, 0.0], 1e-12), Detection::Suspicious);
+        assert_eq!(
+            orthogonality_check(&[1.0, 0.0], &[0.0, 1.0], 1e-12),
+            Detection::Clean
+        );
+        assert_eq!(
+            orthogonality_check(&[1.0, 0.0], &[1.0, 0.0], 1e-12),
+            Detection::Suspicious
+        );
         // Nearly orthogonal within tolerance.
-        assert_eq!(orthogonality_check(&[1.0, 1e-14], &[0.0, 1.0], 1e-12), Detection::Clean);
+        assert_eq!(
+            orthogonality_check(&[1.0, 1e-14], &[0.0, 1.0], 1e-12),
+            Detection::Clean
+        );
         assert_eq!(
             orthogonality_check(&[f64::NAN, 0.0], &[0.0, 1.0], 1e-12),
             Detection::Suspicious
@@ -197,9 +213,18 @@ mod tests {
 
     #[test]
     fn conservation() {
-        assert_eq!(conservation_check(100.0, 100.0 + 1e-10, 1e-9), Detection::Clean);
-        assert_eq!(conservation_check(100.0, 101.0, 1e-9), Detection::Suspicious);
-        assert_eq!(conservation_check(100.0, f64::NAN, 1e-9), Detection::Suspicious);
+        assert_eq!(
+            conservation_check(100.0, 100.0 + 1e-10, 1e-9),
+            Detection::Clean
+        );
+        assert_eq!(
+            conservation_check(100.0, 101.0, 1e-9),
+            Detection::Suspicious
+        );
+        assert_eq!(
+            conservation_check(100.0, f64::NAN, 1e-9),
+            Detection::Suspicious
+        );
         assert_eq!(conservation_check(0.0, 1e-300, 1e-9), Detection::Suspicious);
     }
 }

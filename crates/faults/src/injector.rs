@@ -106,7 +106,12 @@ impl FaultInjector {
     pub fn new(process: FaultProcess, seed: u64) -> Self {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let clock = FaultClock::new(process, &mut rng);
-        Self { rng, clock, records: Vec::new(), trial: 0 }
+        Self {
+            rng,
+            clock,
+            records: Vec::new(),
+            trial: 0,
+        }
     }
 
     /// Advance the exposure axis by `delta` (seconds, FLOPs, iterations —
@@ -202,7 +207,10 @@ mod tests {
                 data = vec![1.0; 16]; // reset so later flips have a clean target
             }
         }
-        assert!((50..200).contains(&hits), "expected ≈100 injections, got {hits}");
+        assert!(
+            (50..200).contains(&hits),
+            "expected ≈100 injections, got {hits}"
+        );
     }
 
     #[test]

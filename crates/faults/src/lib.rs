@@ -23,7 +23,9 @@ pub mod memory;
 pub mod process;
 pub mod tmr;
 
-pub use bitflip::{classify_flip, flip_bit_f64, flip_random_bit_f64, flip_random_element, FlipSeverity};
+pub use bitflip::{
+    classify_flip, flip_bit_f64, flip_random_bit_f64, flip_random_element, FlipSeverity,
+};
 pub use detection::{
     conservation_check, orthogonality_check, Detection, Detector, FiniteDetector,
     NormBoundDetector, RelativeJumpDetector,

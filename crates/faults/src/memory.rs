@@ -38,7 +38,11 @@ pub struct ReliabilityModel {
 
 impl Default for ReliabilityModel {
     fn default() -> Self {
-        Self { read_corruption_prob: 0.0, write_corruption_prob: 0.0, reliable_cost_factor: 2.0 }
+        Self {
+            read_corruption_prob: 0.0,
+            write_corruption_prob: 0.0,
+            reliable_cost_factor: 2.0,
+        }
     }
 }
 
@@ -46,7 +50,10 @@ impl ReliabilityModel {
     /// A model with the given per-read corruption probability and default
     /// costs.
     pub fn with_read_rate(rate: f64) -> Self {
-        Self { read_corruption_prob: rate, ..Self::default() }
+        Self {
+            read_corruption_prob: rate,
+            ..Self::default()
+        }
     }
 
     /// Cost multiplier for the given reliability class.
@@ -73,7 +80,11 @@ pub struct UnreliableRegion {
 impl UnreliableRegion {
     /// Wrap a vector in an unreliable region.
     pub fn new(data: Vec<f64>, model: ReliabilityModel) -> Self {
-        Self { data, model, corruptions: 0 }
+        Self {
+            data,
+            model,
+            corruptions: 0,
+        }
     }
 
     /// Number of elements.
@@ -204,7 +215,11 @@ mod tests {
         let stored = region.scrub().to_vec();
         // Every stored value differs from what was written (bit flip).
         let clean: [f64; 4] = [1.0, 2.0, 3.0, 4.0];
-        let diffs = stored.iter().zip(clean.iter()).filter(|&(a, b)| a.to_bits() != b.to_bits()).count();
+        let diffs = stored
+            .iter()
+            .zip(clean.iter())
+            .filter(|&(a, b)| a.to_bits() != b.to_bits())
+            .count();
         assert_eq!(diffs, 4);
     }
 

@@ -78,10 +78,10 @@ fn gamma_1p(x: f64) -> f64 {
     // Lanczos coefficients (g = 7, n = 9).
     const G: f64 = 7.0;
     const C: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,
@@ -220,7 +220,12 @@ mod tests {
     #[test]
     fn deterministic_schedule_fires_exactly_once_each() {
         let mut r = rng(1);
-        let mut c = FaultClock::new(FaultProcess::At { times: vec![1.0, 2.5, 2.6] }, &mut r);
+        let mut c = FaultClock::new(
+            FaultProcess::At {
+                times: vec![1.0, 2.5, 2.6],
+            },
+            &mut r,
+        );
         assert_eq!(c.advance(0.5, &mut r), 0);
         assert_eq!(c.advance(1.0, &mut r), 1); // covers 1.0
         assert_eq!(c.advance(2.0, &mut r), 2); // covers 2.5, 2.6
@@ -234,7 +239,10 @@ mod tests {
         let mut c = FaultClock::new(FaultProcess::Poisson { rate: 0.5 }, &mut r);
         let strikes = c.advance(10_000.0, &mut r);
         let observed_rate = strikes as f64 / 10_000.0;
-        assert!((observed_rate - 0.5).abs() < 0.05, "observed {observed_rate}");
+        assert!(
+            (observed_rate - 0.5).abs() < 0.05,
+            "observed {observed_rate}"
+        );
         assert!((c.exposure() - 10_000.0).abs() < 1e-9);
     }
 
@@ -253,11 +261,19 @@ mod tests {
     #[test]
     fn weibull_with_shape_one_matches_exponential_mean() {
         let mut r = rng(3);
-        let mut c =
-            FaultClock::new(FaultProcess::Weibull { lambda: 2.0, k: 1.0 }, &mut r);
+        let mut c = FaultClock::new(
+            FaultProcess::Weibull {
+                lambda: 2.0,
+                k: 1.0,
+            },
+            &mut r,
+        );
         let strikes = c.advance(20_000.0, &mut r);
         let observed_rate = strikes as f64 / 20_000.0;
-        assert!((observed_rate - 0.5).abs() < 0.05, "observed {observed_rate}");
+        assert!(
+            (observed_rate - 0.5).abs() < 0.05,
+            "observed {observed_rate}"
+        );
     }
 
     #[test]
@@ -265,13 +281,30 @@ mod tests {
         assert_eq!(FaultProcess::Bernoulli { p: 0.25 }.mean_rate(), 0.25);
         assert_eq!(FaultProcess::Poisson { rate: 3.0 }.mean_rate(), 3.0);
         // Weibull k=1: mean = λ, rate = 1/λ (Γ(2) = 1).
-        let rate = FaultProcess::Weibull { lambda: 4.0, k: 1.0 }.mean_rate();
+        let rate = FaultProcess::Weibull {
+            lambda: 4.0,
+            k: 1.0,
+        }
+        .mean_rate();
         assert!((rate - 0.25).abs() < 1e-6, "got {rate}");
         // Γ(1.5) = √π/2 ≈ 0.8862: rate = 1 / (λ·0.8862).
-        let rate = FaultProcess::Weibull { lambda: 1.0, k: 2.0 }.mean_rate();
-        assert!((rate - 1.0 / 0.886_226_925_452_758).abs() < 1e-4, "got {rate}");
+        let rate = FaultProcess::Weibull {
+            lambda: 1.0,
+            k: 2.0,
+        }
+        .mean_rate();
+        assert!(
+            (rate - 1.0 / 0.886_226_925_452_758).abs() < 1e-4,
+            "got {rate}"
+        );
         assert_eq!(FaultProcess::At { times: vec![] }.mean_rate(), 0.0);
-        assert!(FaultProcess::At { times: vec![1.0, 2.0] }.mean_rate() > 0.0);
+        assert!(
+            FaultProcess::At {
+                times: vec![1.0, 2.0]
+            }
+            .mean_rate()
+                > 0.0
+        );
     }
 
     #[test]

@@ -52,11 +52,19 @@ where
     let c = f(2);
     if eq(&a, &b) || eq(&a, &c) {
         let masked = !(eq(&a, &b) && eq(&a, &c));
-        TmrOutcome::Agreed { value: a, masked_error: masked }
+        TmrOutcome::Agreed {
+            value: a,
+            masked_error: masked,
+        }
     } else if eq(&b, &c) {
-        TmrOutcome::Agreed { value: b, masked_error: true }
+        TmrOutcome::Agreed {
+            value: b,
+            masked_error: true,
+        }
     } else {
-        TmrOutcome::NoMajority { replicas: [a, b, c] }
+        TmrOutcome::NoMajority {
+            replicas: [a, b, c],
+        }
     }
 }
 
@@ -104,8 +112,13 @@ impl TmrStats {
     pub fn record<T>(&mut self, outcome: &TmrOutcome<T>) {
         self.executions += 1;
         match outcome {
-            TmrOutcome::Agreed { masked_error: false, .. } => self.unanimous += 1,
-            TmrOutcome::Agreed { masked_error: true, .. } => self.masked += 1,
+            TmrOutcome::Agreed {
+                masked_error: false,
+                ..
+            } => self.unanimous += 1,
+            TmrOutcome::Agreed {
+                masked_error: true, ..
+            } => self.masked += 1,
             TmrOutcome::NoMajority { .. } => self.failed += 1,
         }
     }
@@ -126,7 +139,13 @@ mod tests {
     #[test]
     fn unanimous_agreement() {
         let out = tmr_execute(|_| 42, |a, b| a == b);
-        assert_eq!(out, TmrOutcome::Agreed { value: 42, masked_error: false });
+        assert_eq!(
+            out,
+            TmrOutcome::Agreed {
+                value: 42,
+                masked_error: false
+            }
+        );
         assert!(out.is_agreed());
     }
 
@@ -134,7 +153,13 @@ mod tests {
     fn single_disagreement_is_masked() {
         // Replica 1 is corrupted.
         let out = tmr_execute(|i| if i == 1 { 99 } else { 7 }, |a, b| a == b);
-        assert_eq!(out, TmrOutcome::Agreed { value: 7, masked_error: true });
+        assert_eq!(
+            out,
+            TmrOutcome::Agreed {
+                value: 7,
+                masked_error: true
+            }
+        );
         // Replica 0 corrupted: majority is still found via b == c.
         let out = tmr_execute(|i| if i == 0 { 99 } else { 7 }, |a, b| a == b);
         assert_eq!(out.clone().value(), Some(7));

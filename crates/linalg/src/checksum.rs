@@ -57,11 +57,17 @@ pub struct ChecksummedMatrix {
 impl ChecksummedMatrix {
     /// Encode a matrix by computing its checksum row and column.
     pub fn encode(data: &DenseMatrix) -> Self {
-        let col_checksum =
-            (0..data.ncols()).map(|j| data.col(j).iter().sum()).collect::<Vec<f64>>();
-        let row_checksum =
-            (0..data.nrows()).map(|i| (0..data.ncols()).map(|j| data.get(i, j)).sum()).collect();
-        Self { data: data.clone(), col_checksum, row_checksum }
+        let col_checksum = (0..data.ncols())
+            .map(|j| data.col(j).iter().sum())
+            .collect::<Vec<f64>>();
+        let row_checksum = (0..data.nrows())
+            .map(|i| (0..data.ncols()).map(|j| data.get(i, j)).sum())
+            .collect();
+        Self {
+            data: data.clone(),
+            col_checksum,
+            row_checksum,
+        }
     }
 
     /// Verify the checksums with a relative tolerance `tol` (scaled by the
@@ -93,14 +99,22 @@ impl ChecksummedMatrix {
                 col: bad_cols[0].0,
                 magnitude: bad_rows[0].1,
             },
-            (r, c) => ChecksumVerdict::MultipleErrors { bad_rows: r, bad_cols: c },
+            (r, c) => ChecksumVerdict::MultipleErrors {
+                bad_rows: r,
+                bad_cols: c,
+            },
         }
     }
 
     /// Attempt to correct a single corrupted element in place. Returns `true`
     /// if a correction was applied.
     pub fn correct(&mut self, tol: f64) -> bool {
-        if let ChecksumVerdict::SingleError { row, col, magnitude } = self.verify(tol) {
+        if let ChecksumVerdict::SingleError {
+            row,
+            col,
+            magnitude,
+        } = self.verify(tol)
+        {
             let current = self.data.get(row, col);
             self.data.set(row, col, current - magnitude);
             true
@@ -122,10 +136,15 @@ pub fn checksummed_gemm(a: &DenseMatrix, b: &DenseMatrix) -> ChecksummedMatrix {
     let col_sums_a: Vec<f64> = (0..a.ncols()).map(|j| a.col(j).iter().sum()).collect();
     let col_checksum = b.gemv_t(&col_sums_a);
     // B·e (row sums of B), then multiplied by A.
-    let row_sums_b: Vec<f64> =
-        (0..b.nrows()).map(|i| (0..b.ncols()).map(|j| b.get(i, j)).sum()).collect();
+    let row_sums_b: Vec<f64> = (0..b.nrows())
+        .map(|i| (0..b.ncols()).map(|j| b.get(i, j)).sum())
+        .collect();
     let row_checksum = a.gemv(&row_sums_b);
-    ChecksummedMatrix { data: c, col_checksum, row_checksum }
+    ChecksummedMatrix {
+        data: c,
+        col_checksum,
+        row_checksum,
+    }
 }
 
 /// A sparse matrix paired with its row-sum vector `A·e`, enabling a cheap
@@ -204,7 +223,11 @@ mod tests {
         let original = cm.data.get(2, 3);
         cm.data.set(2, 3, original + 10.0);
         match cm.verify(TOL) {
-            ChecksumVerdict::SingleError { row, col, magnitude } => {
+            ChecksumVerdict::SingleError {
+                row,
+                col,
+                magnitude,
+            } => {
                 assert_eq!((row, col), (2, 3));
                 assert!((magnitude - 10.0).abs() < 1e-9);
             }
@@ -251,7 +274,10 @@ mod tests {
         let mut cm = checksummed_gemm(&a, &b);
         cm.data.add_to(1, 2, 3.0);
         let verdict = cm.verify(1e-10);
-        assert!(matches!(verdict, ChecksumVerdict::SingleError { row: 1, col: 2, .. }));
+        assert!(matches!(
+            verdict,
+            ChecksumVerdict::SingleError { row: 1, col: 2, .. }
+        ));
         assert!(cm.correct(1e-10));
         assert!(cm.data.sub(&a.gemm(&b)).norm_max() < 1e-9);
     }
@@ -279,6 +305,9 @@ mod tests {
         let x = vec![1.0; n];
         let mut y = cs.matrix.spmv(&x);
         y[0] += 1e-15; // rounding-level perturbation
-        assert!(cs.verify_product(&x, &y, 1e-12), "tolerance must absorb rounding noise");
+        assert!(
+            cs.verify_product(&x, &y, 1e-12),
+            "tolerance must absorb rounding noise"
+        );
     }
 }

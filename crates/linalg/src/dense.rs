@@ -16,7 +16,11 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// Zero matrix of the given shape.
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
-        Self { nrows, ncols, data: vec![0.0; nrows * ncols] }
+        Self {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
     }
 
     /// Identity matrix of order `n`.
@@ -44,7 +48,9 @@ impl DenseMatrix {
 
     /// Matrix with entries drawn uniformly from `[-1, 1]`.
     pub fn random(nrows: usize, ncols: usize, rng: &mut ChaCha8Rng) -> Self {
-        let data = (0..nrows * ncols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let data = (0..nrows * ncols)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
         Self { nrows, ncols, data }
     }
 
@@ -107,8 +113,7 @@ impl DenseMatrix {
     pub fn gemv(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.ncols, "gemv: dimension mismatch");
         let mut y = vec![0.0; self.nrows];
-        for j in 0..self.ncols {
-            let xj = x[j];
+        for (j, &xj) in x.iter().enumerate() {
             if xj == 0.0 {
                 continue;
             }
@@ -123,7 +128,9 @@ impl DenseMatrix {
     /// y = Aᵀ·x.
     pub fn gemv_t(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.nrows, "gemv_t: dimension mismatch");
-        (0..self.ncols).map(|j| self.col(j).iter().zip(x).map(|(a, b)| a * b).sum()).collect()
+        (0..self.ncols)
+            .map(|j| self.col(j).iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
     }
 
     /// C = A·B.
@@ -171,8 +178,17 @@ impl DenseMatrix {
     pub fn sub(&self, other: &DenseMatrix) -> DenseMatrix {
         assert_eq!(self.nrows, other.nrows);
         assert_eq!(self.ncols, other.ncols);
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
-        Self { nrows: self.nrows, ncols: self.ncols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Self {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            data,
+        }
     }
 
     /// Solve the upper-triangular system `R·x = b` for `x` by back
@@ -185,8 +201,8 @@ impl DenseMatrix {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut sum = b[i];
-            for j in (i + 1)..n {
-                sum -= self.get(i, j) * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                sum -= self.get(i, j) * xj;
             }
             let d = self.get(i, i);
             assert!(d != 0.0, "singular triangular factor at row {i}");

@@ -113,8 +113,9 @@ pub fn diag_dominant_random(n: usize, nnz_per_row: usize, rng: &mut ChaCha8Rng) 
 /// Random symmetric positive-definite matrix `AᵀA + n·I` of order `n`
 /// (dense pattern, small orders only). Used by property tests for CG.
 pub fn spd_random(n: usize, rng: &mut ChaCha8Rng) -> CsrMatrix {
-    let a: Vec<Vec<f64>> =
-        (0..n).map(|_| (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+    let a: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
     let mut coo = CooMatrix::new(n, n);
     for i in 0..n {
         for j in 0..n {

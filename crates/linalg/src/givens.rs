@@ -94,8 +94,8 @@ impl HessenbergLsq {
         self.g[k] = gk;
         self.g[k + 1] = gk1;
         self.rotations.push(rot);
-        for i in 0..=k {
-            self.r.set(i, k, col[i]);
+        for (i, &c) in col.iter().enumerate().take(k + 1) {
+            self.r.set(i, k, c);
         }
         self.k += 1;
         self.residual_norm()
@@ -134,7 +134,10 @@ mod tests {
             let g = Givens::compute(a, b);
             let (r, zero) = g.apply(a, b);
             assert!(zero.abs() < 1e-12, "second component must vanish");
-            assert!((r.abs() - (a.hypot(b))).abs() < 1e-12, "first component must be ±hypot");
+            assert!(
+                (r.abs() - (a.hypot(b))).abs() < 1e-12,
+                "first component must be ±hypot"
+            );
             // Rotation preserves the 2-norm.
             let (x, y) = g.apply(0.7, -0.3);
             assert!((x.hypot(y) - 0.7f64.hypot(-0.3)).abs() < 1e-12);
@@ -164,17 +167,16 @@ mod tests {
         assert_eq!(lsq.len(), 2);
         let y = lsq.solve();
         // Verify against the normal equations residual computed directly.
-        let h = DenseMatrix::from_rows(&[
-            vec![2.0, 1.0],
-            vec![1.0, 3.0],
-            vec![0.0, 0.5],
-        ]);
+        let h = DenseMatrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0], vec![0.0, 0.5]]);
         let hy = h.gemv(&y);
         let residual = [beta - hy[0], -hy[1], -hy[2]];
         assert!((nrm2(&residual) - lsq.residual_norm()).abs() < 1e-10);
         // The gradient Hᵀ r must vanish at the least-squares solution.
         let grad = h.gemv_t(&residual);
-        assert!(nrm2(&grad) < 1e-10, "normal equations not satisfied: {grad:?}");
+        assert!(
+            nrm2(&grad) < 1e-10,
+            "normal equations not satisfied: {grad:?}"
+        );
     }
 
     #[test]

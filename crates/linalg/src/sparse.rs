@@ -16,7 +16,11 @@ pub struct CooMatrix {
 impl CooMatrix {
     /// Empty builder of the given shape.
     pub fn new(nrows: usize, ncols: usize) -> Self {
-        Self { nrows, ncols, entries: Vec::new() }
+        Self {
+            nrows,
+            ncols,
+            entries: Vec::new(),
+        }
     }
 
     /// Add `v` at (i, j).
@@ -53,7 +57,13 @@ impl CooMatrix {
         }
         let col_idx = merged.iter().map(|e| e.1).collect();
         let values = merged.iter().map(|e| e.2).collect();
-        CsrMatrix { nrows: self.nrows, ncols: self.ncols, row_ptr, col_idx, values }
+        CsrMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 }
 
@@ -79,12 +89,36 @@ impl CsrMatrix {
         col_idx: Vec<usize>,
         values: Vec<f64>,
     ) -> Self {
-        assert_eq!(row_ptr.len(), nrows + 1, "row_ptr must have nrows+1 entries");
-        assert_eq!(col_idx.len(), values.len(), "col_idx/values length mismatch");
-        assert_eq!(*row_ptr.last().unwrap(), col_idx.len(), "row_ptr must end at nnz");
-        assert!(row_ptr.windows(2).all(|w| w[0] <= w[1]), "row_ptr must be non-decreasing");
-        assert!(col_idx.iter().all(|&j| j < ncols), "column index out of bounds");
-        Self { nrows, ncols, row_ptr, col_idx, values }
+        assert_eq!(
+            row_ptr.len(),
+            nrows + 1,
+            "row_ptr must have nrows+1 entries"
+        );
+        assert_eq!(
+            col_idx.len(),
+            values.len(),
+            "col_idx/values length mismatch"
+        );
+        assert_eq!(
+            *row_ptr.last().unwrap(),
+            col_idx.len(),
+            "row_ptr must end at nnz"
+        );
+        assert!(
+            row_ptr.windows(2).all(|w| w[0] <= w[1]),
+            "row_ptr must be non-decreasing"
+        );
+        assert!(
+            col_idx.iter().all(|&j| j < ncols),
+            "column index out of bounds"
+        );
+        Self {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Identity matrix of order `n`.
@@ -148,13 +182,13 @@ impl CsrMatrix {
     pub fn spmv_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols, "spmv: dimension mismatch");
         assert_eq!(y.len(), self.nrows, "spmv: output dimension mismatch");
-        for i in 0..self.nrows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let (cols, vals) = self.row(i);
             let mut sum = 0.0;
             for (&j, &v) in cols.iter().zip(vals) {
                 sum += v * x[j];
             }
-            y[i] = sum;
+            *yi = sum;
         }
     }
 
@@ -169,7 +203,11 @@ impl CsrMatrix {
         (0..self.nrows)
             .map(|i| {
                 let (cols, vals) = self.row(i);
-                cols.iter().zip(vals).find(|(&j, _)| j == i).map(|(_, &v)| v).unwrap_or(0.0)
+                cols.iter()
+                    .zip(vals)
+                    .find(|(&j, _)| j == i)
+                    .map(|(_, &v)| v)
+                    .unwrap_or(0.0)
             })
             .collect()
     }
@@ -214,7 +252,9 @@ impl CsrMatrix {
 
     /// Row sums (used by ABFT checksum encodings).
     pub fn row_sums(&self) -> Vec<f64> {
-        (0..self.nrows).map(|i| self.row(i).1.iter().sum()).collect()
+        (0..self.nrows)
+            .map(|i| self.row(i).1.iter().sum())
+            .collect()
     }
 
     /// Frobenius norm of the stored values.

@@ -13,7 +13,9 @@
 /// adjacent values (the last group may be shorter).
 pub fn restrict(fine: &[f64], factor: usize) -> Vec<f64> {
     assert!(factor >= 1, "coarsening factor must be at least 1");
-    fine.chunks(factor).map(|c| c.iter().sum::<f64>() / c.len() as f64).collect()
+    fine.chunks(factor)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect()
 }
 
 /// Prolongate a coarse field back to `fine_len` values by piecewise-linear
@@ -92,7 +94,10 @@ mod tests {
         let e2 = round_trip_error(&fine, 2);
         let e4 = round_trip_error(&fine, 4);
         let e8 = round_trip_error(&fine, 8);
-        assert!(e2 < e4 && e4 < e8, "coarser models recover less accurately: {e2} {e4} {e8}");
+        assert!(
+            e2 < e4 && e4 < e8,
+            "coarser models recover less accurately: {e2} {e4} {e8}"
+        );
         assert!(e8 < 0.05, "even 8x coarsening recovers a smooth field well");
     }
 

@@ -45,9 +45,10 @@ impl ExplicitHeat {
     /// Build the local initial condition.
     pub fn local_initial(&self, comm: &Comm) -> LocalField {
         let dist = self.distribution(comm);
-        let u = dist.range(comm.rank()).map(|i| {
-            (std::f64::consts::PI * self.problem.x(i)).sin()
-        }).collect();
+        let u = dist
+            .range(comm.rank())
+            .map(|i| (std::f64::consts::PI * self.problem.x(i)).sin())
+            .collect();
         LocalField { u, step: 0 }
     }
 
@@ -68,10 +69,14 @@ impl ExplicitHeat {
         let right_ghost = from_right.and_then(|v| v.first().copied()).unwrap_or(0.0);
         let r = self.problem.courant();
         let mut next = vec![0.0; n_local];
-        for i in 0..n_local {
+        for (i, nx) in next.iter_mut().enumerate() {
             let left = if i > 0 { field.u[i - 1] } else { left_ghost };
-            let right = if i + 1 < n_local { field.u[i + 1] } else { right_ghost };
-            next[i] = field.u[i] + r * (left - 2.0 * field.u[i] + right);
+            let right = if i + 1 < n_local {
+                field.u[i + 1]
+            } else {
+                right_ghost
+            };
+            *nx = field.u[i] + r * (left - 2.0 * field.u[i] + right);
         }
         comm.charge_flops(5 * n_local);
         field.u = next;
@@ -98,26 +103,56 @@ impl LflrApp for ExplicitHeat {
     }
 
     fn persist(&self, comm: &mut Comm, state: &LocalField, step: usize) -> Result<()> {
-        comm.persist("heat/u", state.u.clone())?;
-        comm.persist("heat/step", step as f64)?;
+        // Step-keyed history rather than a single overwritten slot: ranks
+        // progress asynchronously (halo exchange only loosely couples
+        // neighbours), so the agreed rollback step can be older than this
+        // rank's newest persist. Keeping a *window* of persist points lets
+        // any rank roll back to any globally agreed step exactly without the
+        // store growing for the whole run.
+        comm.persist(&format!("heat/u@{step}"), state.u.clone())?;
+        comm.persist("heat/last", step as f64)?;
+        // Prune history outside the window that recovery can ever ask for.
+        // Halo exchange keeps adjacent ranks within one step of each other,
+        // so global progress skew is at most `size - 1` steps; with the
+        // laggard's last persist floor-rounded to the interval, the agreed
+        // (minimum) rollback step can trail this rank's newest persist by up
+        // to `ceil((size-1)/interval)` intervals. The window below is
+        // exactly minimal — the worst case lands on the *oldest retained*
+        // key with zero slack — so do not shrink it, and widen it if any
+        // extra step of skew is ever introduced (e.g. persisting before the
+        // halo exchange, or a periodic topology).
+        let interval = self.persist_interval.max(1);
+        let window = ((comm.size() - 1).div_ceil(interval) + 1) * interval;
+        if step >= window {
+            comm.unpersist(&format!("heat/u@{}", step - window));
+        }
         Ok(())
     }
 
     fn recover(&self, comm: &mut Comm, step: usize) -> Result<LocalField> {
         let me = comm.rank();
-        if comm.persisted(me, "heat/u") {
-            let u = comm.restore(me, "heat/u")?.into_f64()?;
-            let persisted_step = comm.restore(me, "heat/step")?.into_scalar()? as usize;
-            if persisted_step == step {
-                return Ok(LocalField { u, step });
-            }
+        // The recovery protocol agrees on the *minimum* recoverable step
+        // across every rank (replacements propose from the inherited store
+        // via `last_recoverable`), so missing data can only mean the failure
+        // predates the very first persist; silently re-initialising at any
+        // later step would corrupt the solution, so propagate the miss.
+        match comm.restore(me, &format!("heat/u@{step}")) {
+            Ok(v) => Ok(LocalField {
+                u: v.into_f64()?,
+                step,
+            }),
+            Err(_) if step == 0 => Ok(self.local_initial(comm)),
+            Err(e) => Err(e),
         }
-        // No usable persistent data (e.g. the failure predates the first
-        // persist): fall back to re-initialising; the driver will have agreed
-        // on step 0 in that case.
-        let mut field = self.local_initial(comm);
-        field.step = step;
-        Ok(field)
+    }
+
+    fn last_recoverable(&self, comm: &mut Comm) -> Option<usize> {
+        let me = comm.rank();
+        if comm.persisted(me, "heat/last") {
+            let step = comm.restore(me, "heat/last").ok()?.into_scalar().ok()? as usize;
+            return Some(step);
+        }
+        None
     }
 
     fn n_steps(&self) -> usize {
@@ -147,7 +182,10 @@ impl CprApp for ExplicitHeat {
 
     fn restore(&self, comm: &mut Comm, step: usize) -> Result<LocalField> {
         match comm.restore_checkpoint(&format!("heat/u@{step}")) {
-            Some(v) => Ok(LocalField { u: v.into_f64()?, step }),
+            Some(v) => Ok(LocalField {
+                u: v.into_f64()?,
+                step,
+            }),
             None => {
                 let mut field = self.local_initial(comm);
                 field.step = step;
@@ -194,7 +232,10 @@ mod tests {
         let serial = HeatProblem::stable(48, 1.0).run_explicit(steps);
         for f in fields {
             for (a, b) in f.iter().zip(&serial) {
-                assert!((a - b).abs() < 1e-12, "distributed and serial stepping must agree");
+                assert!(
+                    (a - b).abs() < 1e-12,
+                    "distributed and serial stepping must agree"
+                );
             }
         }
     }
@@ -229,6 +270,32 @@ mod tests {
     }
 
     #[test]
+    fn persist_history_stays_bounded() {
+        let rt = Runtime::new(RuntimeConfig::fast());
+        let steps = 60;
+        let r = rt.run(4, move |comm| {
+            let app = app(steps); // persist_interval = 5
+            let (_report, _field) = run_lflr(comm, &app)?;
+            // 4 ranks, interval 5 -> window = (ceil(3/5) + 1) * 5 = 10 steps:
+            // only the newest two persist points survive pruning.
+            let me = comm.rank();
+            Ok((
+                comm.persisted(me, "heat/u@60"),
+                comm.persisted(me, "heat/u@55"),
+                comm.persisted(me, "heat/u@50"),
+                comm.persisted(me, "heat/u@5"),
+            ))
+        });
+        for (newest, prev, pruned, ancient) in r.unwrap_all() {
+            assert!(newest && prev, "the recovery window must be retained");
+            assert!(
+                !pruned && !ancient,
+                "history outside the window must be pruned"
+            );
+        }
+    }
+
+    #[test]
     fn cpr_run_with_failure_completes_and_costs_more() {
         let steps = 40;
         let base = RuntimeConfig::fast();
@@ -237,7 +304,10 @@ mod tests {
             &base,
             4,
             Arc::new(app(steps)),
-            &CprConfig { checkpoint_interval: 5, max_restarts: 4 },
+            &CprConfig {
+                checkpoint_interval: 5,
+                max_restarts: 4,
+            },
         );
         assert!(clean.completed);
         assert_eq!(clean.attempts, 1);
@@ -253,7 +323,10 @@ mod tests {
             &faulty_cfg,
             4,
             Arc::new(app(steps)),
-            &CprConfig { checkpoint_interval: 5, max_restarts: 4 },
+            &CprConfig {
+                checkpoint_interval: 5,
+                max_restarts: 4,
+            },
         );
         assert!(faulty.completed, "{faulty:?}");
         assert_eq!(faulty.attempts, 2);

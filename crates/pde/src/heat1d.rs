@@ -22,7 +22,11 @@ impl HeatProblem {
     /// to 40 % of the stability limit.
     pub fn stable(n: usize, kappa: f64) -> Self {
         let dx = 1.0 / (n as f64 + 1.0);
-        Self { n, kappa, dt: 0.4 * dx * dx / kappa }
+        Self {
+            n,
+            kappa,
+            dt: 0.4 * dx * dx / kappa,
+        }
     }
 
     /// Grid spacing.
@@ -37,14 +41,18 @@ impl HeatProblem {
 
     /// Initial condition sampled on the interior grid.
     pub fn initial(&self) -> Vec<f64> {
-        (0..self.n).map(|i| (std::f64::consts::PI * self.x(i)).sin()).collect()
+        (0..self.n)
+            .map(|i| (std::f64::consts::PI * self.x(i)).sin())
+            .collect()
     }
 
     /// Exact solution at time `t` on the interior grid.
     pub fn exact(&self, t: f64) -> Vec<f64> {
         let pi = std::f64::consts::PI;
         let decay = (-self.kappa * pi * pi * t).exp();
-        (0..self.n).map(|i| decay * (pi * self.x(i)).sin()).collect()
+        (0..self.n)
+            .map(|i| decay * (pi * self.x(i)).sin())
+            .collect()
     }
 
     /// Courant number `κ·dt/dx²` (explicit stepping is stable for ≤ 0.5).
@@ -80,7 +88,11 @@ impl HeatProblem {
     pub fn l2_error(&self, u: &[f64], t: f64) -> f64 {
         let exact = self.exact(t);
         let dx = self.dx();
-        u.iter().zip(&exact).map(|(a, b)| (a - b) * (a - b) * dx).sum::<f64>().sqrt()
+        u.iter()
+            .zip(&exact)
+            .map(|(a, b)| (a - b) * (a - b) * dx)
+            .sum::<f64>()
+            .sqrt()
     }
 
     /// Total heat content (the conserved-ish quantity used by the skeptical
@@ -125,7 +137,10 @@ mod tests {
         let steps2 = (t / p2.dt).round() as usize;
         let u2 = p2.run_explicit(steps2);
         let err2 = p2.l2_error(&u2, steps2 as f64 * p2.dt);
-        assert!(err2 < err, "refinement must reduce the error: {err2} vs {err}");
+        assert!(
+            err2 < err,
+            "refinement must reduce the error: {err2} vs {err}"
+        );
     }
 
     #[test]

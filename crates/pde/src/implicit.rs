@@ -59,13 +59,10 @@ impl ImplicitHeat {
     /// Advance `u` (distributed) by one backward-Euler step: solve
     /// `(I + r·L)·u_{k+1} = u_k` with distributed CG. Returns the CG
     /// iteration count.
-    pub fn step(
-        &self,
-        comm: &mut Comm,
-        a: &DistCsr,
-        u: &mut DistVector,
-    ) -> Result<usize> {
-        let opts = DistSolveOptions::default().with_tol(self.cg_tol).with_max_iters(400);
+    pub fn step(&self, comm: &mut Comm, a: &DistCsr, u: &mut DistVector) -> Result<usize> {
+        let opts = DistSolveOptions::default()
+            .with_tol(self.cg_tol)
+            .with_max_iters(400);
         let out = dist_cg(comm, a, u, &opts)?;
         *u = out.x;
         Ok(out.iterations)
@@ -144,7 +141,11 @@ pub fn lost_state_recovery_error(
         u.local = solver.recover_local(comm, u.local.len())?;
     }
     let recovered = u.gather_global(comm)?;
-    let num: f64 = reference.iter().zip(&recovered).map(|(a, b)| (a - b) * (a - b)).sum();
+    let num: f64 = reference
+        .iter()
+        .zip(&recovered)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum();
     let den: f64 = reference.iter().map(|a| a * a).sum();
     Ok((num / den.max(f64::MIN_POSITIVE)).sqrt())
 }
@@ -166,11 +167,15 @@ mod tests {
         let a = backward_euler_matrix(&problem());
         assert_eq!(a.nrows(), 96);
         let d = a.diagonal();
-        for i in 0..96 {
+        for (i, &di) in d.iter().enumerate() {
             let (cols, vals) = a.row(i);
-            let off: f64 =
-                cols.iter().zip(vals).filter(|(&j, _)| j != i).map(|(_, v)| v.abs()).sum();
-            assert!(d[i] > off, "row {i} must be diagonally dominant");
+            let off: f64 = cols
+                .iter()
+                .zip(vals)
+                .filter(|(&j, _)| j != i)
+                .map(|(_, v)| v.abs())
+                .sum();
+            assert!(di > off, "row {i} must be diagonally dominant");
         }
     }
 
@@ -180,8 +185,11 @@ mod tests {
         let errs = rt
             .run(3, move |comm| {
                 let p = problem();
-                let solver =
-                    ImplicitHeat { problem: p, recovery: ImplicitRecovery::FullCopy, cg_tol: 1e-10 };
+                let solver = ImplicitHeat {
+                    problem: p,
+                    recovery: ImplicitRecovery::FullCopy,
+                    cg_tol: 1e-10,
+                };
                 let a_global = backward_euler_matrix(&p);
                 let a = DistCsr::from_global(comm, &a_global)?;
                 let init = p.initial();
@@ -206,7 +214,11 @@ mod tests {
             .run(4, move |comm| {
                 let p = problem();
                 let run = |comm: &mut Comm, recovery| {
-                    let solver = ImplicitHeat { problem: p, recovery, cg_tol: 1e-10 };
+                    let solver = ImplicitHeat {
+                        problem: p,
+                        recovery,
+                        cg_tol: 1e-10,
+                    };
                     lost_state_recovery_error(comm, &solver, 10, 2)
                 };
                 let full = run(comm, ImplicitRecovery::FullCopy)?;
@@ -217,22 +229,39 @@ mod tests {
             .unwrap_all();
         for (full, coarse, zero) in results {
             assert!(full < 1e-12, "full copy recovers exactly: {full}");
-            assert!(coarse < zero, "coarse model must beat zero reset: {coarse} vs {zero}");
-            assert!(coarse < 0.05, "coarse recovery error should be at truncation level: {coarse}");
-            assert!(zero > 0.1, "losing a quarter of the field is a big error: {zero}");
+            assert!(
+                coarse < zero,
+                "coarse model must beat zero reset: {coarse} vs {zero}"
+            );
+            assert!(
+                coarse < 0.05,
+                "coarse recovery error should be at truncation level: {coarse}"
+            );
+            assert!(
+                zero > 0.1,
+                "losing a quarter of the field is a big error: {zero}"
+            );
         }
     }
 
     #[test]
     fn redundant_storage_cost_ordering() {
         let p = problem();
-        let full = ImplicitHeat { problem: p, recovery: ImplicitRecovery::FullCopy, cg_tol: 1e-8 };
+        let full = ImplicitHeat {
+            problem: p,
+            recovery: ImplicitRecovery::FullCopy,
+            cg_tol: 1e-8,
+        };
         let coarse = ImplicitHeat {
             problem: p,
             recovery: ImplicitRecovery::CoarseModel { factor: 4 },
             cg_tol: 1e-8,
         };
-        let zero = ImplicitHeat { problem: p, recovery: ImplicitRecovery::ZeroReset, cg_tol: 1e-8 };
+        let zero = ImplicitHeat {
+            problem: p,
+            recovery: ImplicitRecovery::ZeroReset,
+            cg_tol: 1e-8,
+        };
         assert!(coarse.redundant_bytes(100) < full.redundant_bytes(100));
         assert_eq!(zero.redundant_bytes(100), 0);
         assert_eq!(coarse.redundant_bytes(100), 25 * 8);

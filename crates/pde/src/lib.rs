@@ -22,4 +22,6 @@ pub mod implicit;
 pub use coarse::{prolongate, restrict, round_trip_error};
 pub use explicit::{ExplicitHeat, LocalField};
 pub use heat1d::HeatProblem;
-pub use implicit::{backward_euler_matrix, ImplicitHeat, ImplicitRecovery, lost_state_recovery_error};
+pub use implicit::{
+    backward_euler_matrix, lost_state_recovery_error, ImplicitHeat, ImplicitRecovery,
+};

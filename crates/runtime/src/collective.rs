@@ -67,10 +67,19 @@ impl Comm {
         self.seq += 1;
         let expected = self.size();
         let bytes = contribution.len() * std::mem::size_of::<f64>();
-        let cost = self.world.config.latency.collective_cost(expected, bytes, reduce_elems);
+        let cost = self
+            .world
+            .config
+            .latency
+            .collective_cost(expected, bytes, reduce_elems);
         let index = self.rank();
-        self.world.engine.post(key, index, expected, contribution, self.clock.now(), cost)?;
-        let result = self.world.engine.wait(key, &self.world.health, self.acked_generation)?;
+        self.world
+            .engine
+            .post(key, index, expected, contribution, self.clock.now(), cost)?;
+        let result = self
+            .world
+            .engine
+            .wait(key, &self.world.health, self.acked_generation)?;
         self.clock.wait_until(result.completion_time);
         self.collectives += 1;
         Ok(result)
@@ -107,7 +116,11 @@ impl Comm {
     /// Broadcast `data` from `root` to all ranks. Non-root ranks pass their
     /// (ignored) local buffer, typically empty.
     pub fn broadcast(&mut self, root: usize, data: &[f64]) -> Result<Vec<f64>> {
-        let contribution = if self.rank() == root { data.to_vec() } else { Vec::new() };
+        let contribution = if self.rank() == root {
+            data.to_vec()
+        } else {
+            Vec::new()
+        };
         let r = self.collective_exchange(contribution, 0)?;
         Ok(r.contributions.get(root).cloned().unwrap_or_default())
     }

@@ -85,7 +85,8 @@ impl Comm {
     /// starting its virtual clock at `start_time`.
     pub(crate) fn new(world: Arc<World>, rank: usize, incarnation: u64, start_time: f64) -> Self {
         let mut seed_rng = ChaCha8Rng::seed_from_u64(
-            world.config.seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            world.config.seed
+                ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 ^ incarnation.wrapping_mul(0xD1B5_4A32_D192_ED03),
         );
         let failure_schedule =
@@ -123,7 +124,10 @@ impl Comm {
     pub fn rank(&self) -> usize {
         match &self.group {
             None => self.world_rank,
-            Some(g) => g.iter().position(|&r| r == self.world_rank).unwrap_or(usize::MAX),
+            Some(g) => g
+                .iter()
+                .position(|&r| r == self.world_rank)
+                .unwrap_or(usize::MAX),
         }
     }
 
@@ -167,12 +171,16 @@ impl Comm {
                 if rank < self.world.size {
                     Ok(rank)
                 } else {
-                    Err(RuntimeError::InvalidRank { rank, size: self.world.size })
+                    Err(RuntimeError::InvalidRank {
+                        rank,
+                        size: self.world.size,
+                    })
                 }
             }
-            Some(g) => {
-                g.get(rank).copied().ok_or(RuntimeError::InvalidRank { rank, size: g.len() })
-            }
+            Some(g) => g.get(rank).copied().ok_or(RuntimeError::InvalidRank {
+                rank,
+                size: g.len(),
+            }),
         }
     }
 
@@ -181,7 +189,10 @@ impl Comm {
     pub(crate) fn to_group(&self, world_rank: usize) -> usize {
         match &self.group {
             None => world_rank,
-            Some(g) => g.iter().position(|&r| r == world_rank).unwrap_or(usize::MAX),
+            Some(g) => g
+                .iter()
+                .position(|&r| r == world_rank)
+                .unwrap_or(usize::MAX),
         }
     }
 
@@ -253,7 +264,9 @@ impl Comm {
     fn die(&mut self, time: f64) -> ! {
         self.clock.fast_forward(time);
         let generation =
-            self.world.health.record_failure(self.world_rank, self.incarnation, self.clock.now());
+            self.world
+                .health
+                .record_failure(self.world_rank, self.incarnation, self.clock.now());
         self.world.lost_stats.lock().push(self.snapshot_stats());
         self.world.interrupt_all();
         panic::panic_any(RankKilled {
@@ -300,8 +313,7 @@ impl Comm {
             self.check_health()?;
             match self.world.mailboxes[self.world_rank].poll(source_world, tag, self.epoch) {
                 PollOutcome::Found(msg) => {
-                    let arrival =
-                        msg.sent_at + self.world.config.latency.p2p_cost(msg.byte_len());
+                    let arrival = msg.sent_at + self.world.config.latency.p2p_cost(msg.byte_len());
                     self.clock.wait_until(arrival);
                     return Ok((self.to_group(msg.source), msg.payload));
                 }
@@ -389,7 +401,8 @@ impl Comm {
         let value = value.into();
         let bytes = value.byte_len();
         self.world.persistent.put(self.world_rank, key, value)?;
-        self.clock.advance(self.world.config.checkpoint_seconds_per_byte * bytes as f64);
+        self.clock
+            .advance(self.world.config.checkpoint_seconds_per_byte * bytes as f64);
         Ok(())
     }
 
@@ -399,8 +412,17 @@ impl Comm {
     pub fn restore(&mut self, rank: usize, key: &str) -> Result<Stored> {
         let world_rank = self.to_world(rank)?;
         let value = self.world.persistent.get(world_rank, key)?;
-        self.clock.advance(self.world.config.checkpoint_seconds_per_byte * value.byte_len() as f64);
+        self.clock
+            .advance(self.world.config.checkpoint_seconds_per_byte * value.byte_len() as f64);
         Ok(value)
+    }
+
+    /// Remove a key from this rank's persistent partition (no-op if absent).
+    /// Lets applications that keep a history of persisted states (e.g.
+    /// step-keyed LFLR snapshots) bound the store's footprint. Deletion is a
+    /// metadata operation and is charged no virtual time.
+    pub fn unpersist(&mut self, key: &str) {
+        self.world.persistent.remove(self.world_rank, key);
     }
 
     /// Does `rank`'s persistent partition contain `key`?
@@ -418,15 +440,22 @@ impl Comm {
     pub fn checkpoint(&mut self, key: &str, value: impl Into<Stored>) -> Result<()> {
         self.check_health()?;
         let value = value.into();
-        let bytes = self.world.stable.put(&format!("r{}/{}", self.world_rank, key), value);
-        self.clock.advance(self.world.config.checkpoint_seconds_per_byte * bytes as f64);
+        let bytes = self
+            .world
+            .stable
+            .put(&format!("r{}/{}", self.world_rank, key), value);
+        self.clock
+            .advance(self.world.config.checkpoint_seconds_per_byte * bytes as f64);
         self.checkpoint_bytes += bytes as u64;
         Ok(())
     }
 
     /// Read this rank's checkpoint record from the stable store, if present.
     pub fn restore_checkpoint(&mut self, key: &str) -> Option<Stored> {
-        let value = self.world.stable.get(&format!("r{}/{}", self.world_rank, key));
+        let value = self
+            .world
+            .stable
+            .get(&format!("r{}/{}", self.world_rank, key));
         if let Some(v) = &value {
             self.clock
                 .advance(self.world.config.checkpoint_seconds_per_byte * v.byte_len() as f64);
@@ -563,7 +592,10 @@ mod tests {
     fn type_mismatch_on_recv() {
         let mut c = solo_comm(RuntimeConfig::fast());
         c.send_u64(0, 0, &[1]).unwrap();
-        assert!(matches!(c.recv_f64(0, 0), Err(RuntimeError::TypeMismatch { .. })));
+        assert!(matches!(
+            c.recv_f64(0, 0),
+            Err(RuntimeError::TypeMismatch { .. })
+        ));
     }
 
     #[test]

@@ -26,7 +26,11 @@ pub struct LatencyModel {
 
 impl Default for LatencyModel {
     fn default() -> Self {
-        Self { alpha: 2.0e-6, beta: 1.0e-9, gamma: 1.0e-9 }
+        Self {
+            alpha: 2.0e-6,
+            beta: 1.0e-9,
+            gamma: 1.0e-9,
+        }
     }
 }
 
@@ -34,7 +38,11 @@ impl LatencyModel {
     /// A model with zero communication cost (useful in unit tests where only
     /// message ordering matters).
     pub fn zero() -> Self {
-        Self { alpha: 0.0, beta: 0.0, gamma: 0.0 }
+        Self {
+            alpha: 0.0,
+            beta: 0.0,
+            gamma: 0.0,
+        }
     }
 
     /// Cost of a point-to-point message of `bytes` bytes.
@@ -86,7 +94,11 @@ pub struct NoiseConfig {
 
 impl Default for NoiseConfig {
     fn default() -> Self {
-        Self { enabled: false, rate_hz: 0.0, duration: NoiseDistribution::Fixed(0.0) }
+        Self {
+            enabled: false,
+            rate_hz: 0.0,
+            duration: NoiseDistribution::Fixed(0.0),
+        }
     }
 }
 
@@ -99,12 +111,20 @@ impl NoiseConfig {
     /// Exponentially distributed events: `rate_hz` events per virtual second,
     /// each with the given mean duration in seconds.
     pub fn exponential(rate_hz: f64, mean_duration: f64) -> Self {
-        Self { enabled: true, rate_hz, duration: NoiseDistribution::Exponential(mean_duration) }
+        Self {
+            enabled: true,
+            rate_hz,
+            duration: NoiseDistribution::Exponential(mean_duration),
+        }
     }
 
     /// Fixed-duration events.
     pub fn fixed(rate_hz: f64, duration: f64) -> Self {
-        Self { enabled: true, rate_hz, duration: NoiseDistribution::Fixed(duration) }
+        Self {
+            enabled: true,
+            rate_hz,
+            duration: NoiseDistribution::Fixed(duration),
+        }
     }
 }
 
@@ -169,12 +189,23 @@ impl FailureConfig {
     /// Deterministic schedule of `(rank, virtual_time)` failures with the
     /// given policy.
     pub fn scheduled(policy: FailurePolicy, schedule: Vec<(usize, f64)>) -> Self {
-        Self { enabled: true, policy, scheduled: schedule, ..Self::default() }
+        Self {
+            enabled: true,
+            policy,
+            scheduled: schedule,
+            ..Self::default()
+        }
     }
 
     /// Random failures with exponential inter-arrival per rank.
     pub fn random(policy: FailurePolicy, mtbf_per_rank: f64, max_failures: usize) -> Self {
-        Self { enabled: true, policy, mtbf_per_rank, max_failures, ..Self::default() }
+        Self {
+            enabled: true,
+            policy,
+            mtbf_per_rank,
+            max_failures,
+            ..Self::default()
+        }
     }
 }
 
@@ -227,7 +258,10 @@ impl RuntimeConfig {
     /// the runtime then behaves as a deterministic message-passing library,
     /// which is what most unit tests want.
     pub fn fast() -> Self {
-        Self { latency: LatencyModel::zero(), ..Self::default() }
+        Self {
+            latency: LatencyModel::zero(),
+            ..Self::default()
+        }
     }
 
     /// Builder-style: set the latency model.
@@ -273,14 +307,22 @@ mod tests {
 
     #[test]
     fn p2p_cost_is_affine_in_bytes() {
-        let m = LatencyModel { alpha: 1.0, beta: 0.5, gamma: 0.0 };
+        let m = LatencyModel {
+            alpha: 1.0,
+            beta: 0.5,
+            gamma: 0.0,
+        };
         assert!((m.p2p_cost(0) - 1.0).abs() < 1e-15);
         assert!((m.p2p_cost(10) - 6.0).abs() < 1e-15);
     }
 
     #[test]
     fn collective_cost_grows_logarithmically() {
-        let m = LatencyModel { alpha: 1.0, beta: 0.0, gamma: 0.0 };
+        let m = LatencyModel {
+            alpha: 1.0,
+            beta: 0.0,
+            gamma: 0.0,
+        };
         let c4 = m.collective_cost(4, 8, 1);
         let c16 = m.collective_cost(16, 8, 1);
         let c256 = m.collective_cost(256, 8, 1);
@@ -310,7 +352,10 @@ mod tests {
         let c = RuntimeConfig::fast()
             .with_seed(42)
             .with_noise(NoiseConfig::fixed(10.0, 0.001))
-            .with_failures(FailureConfig::scheduled(FailurePolicy::ReplaceRank, vec![(1, 0.5)]));
+            .with_failures(FailureConfig::scheduled(
+                FailurePolicy::ReplaceRank,
+                vec![(1, 0.5)],
+            ));
         assert_eq!(c.seed, 42);
         assert!(c.noise.enabled);
         assert!(c.failures.enabled);

@@ -100,7 +100,10 @@ impl Default for CollectiveEngine {
 impl CollectiveEngine {
     /// Create an empty engine.
     pub fn new() -> Self {
-        Self { slots: Mutex::new(HashMap::new()), signal: Condvar::new() }
+        Self {
+            slots: Mutex::new(HashMap::new()),
+            signal: Condvar::new(),
+        }
     }
 
     /// Post a contribution to the slot identified by `key`.
@@ -133,7 +136,10 @@ impl CollectiveEngine {
             });
         }
         if index >= slot.expected {
-            return Err(RuntimeError::InvalidRank { rank: index, size: slot.expected });
+            return Err(RuntimeError::InvalidRank {
+                rank: index,
+                size: slot.expected,
+            });
         }
         if slot.contributions[index].is_some() {
             return Err(RuntimeError::CollectiveMismatch {
@@ -154,7 +160,11 @@ impl CollectiveEngine {
 
     /// Has the slot completed (all participants posted)?
     pub fn is_complete(&self, key: &SlotKey) -> bool {
-        self.slots.lock().get(key).map(|s| s.completion.is_some()).unwrap_or(false)
+        self.slots
+            .lock()
+            .get(key)
+            .map(|s| s.completion.is_some())
+            .unwrap_or(false)
     }
 
     /// Block until the slot completes, a failure interrupts the wait, or the
@@ -176,13 +186,19 @@ impl CollectiveEngine {
             health.check(acked_generation)?;
             if let Some(slot) = slots.get_mut(&key) {
                 if let Some(completion) = slot.completion {
-                    let contributions: Vec<Vec<f64>> =
-                        slot.contributions.iter().map(|c| c.clone().unwrap_or_default()).collect();
+                    let contributions: Vec<Vec<f64>> = slot
+                        .contributions
+                        .iter()
+                        .map(|c| c.clone().unwrap_or_default())
+                        .collect();
                     slot.retrieved += 1;
                     if slot.retrieved >= slot.expected {
                         slots.remove(&key);
                     }
-                    return Ok(CollectiveResult { contributions, completion_time: completion });
+                    return Ok(CollectiveResult {
+                        contributions,
+                        completion_time: completion,
+                    });
                 }
             }
             self.signal.wait_for(&mut slots, Duration::from_millis(20));
@@ -197,7 +213,9 @@ impl CollectiveEngine {
     /// Drop every slot belonging to an epoch older than `epoch` (called at
     /// the end of a recovery rendezvous so stale collectives cannot leak).
     pub fn purge_older_than(&self, epoch: u64) {
-        self.slots.lock().retain(|k, _| k.epoch >= epoch || k.kind != SlotKind::Collective);
+        self.slots
+            .lock()
+            .retain(|k, _| k.epoch >= epoch || k.kind != SlotKind::Collective);
     }
 
     /// Number of in-flight slots (diagnostics / tests).
@@ -214,7 +232,12 @@ mod tests {
     use std::thread;
 
     fn key(seq: u64) -> SlotKey {
-        SlotKey { epoch: 0, comm_id: 0, kind: SlotKind::Collective, seq }
+        SlotKey {
+            epoch: 0,
+            comm_id: 0,
+            kind: SlotKind::Collective,
+            seq,
+        }
     }
 
     #[test]
@@ -238,7 +261,9 @@ mod tests {
             let health = Arc::clone(&health);
             handles.push(thread::spawn(move || {
                 let entry = 1.0 + rank as f64; // entries 1.0, 2.0, 3.0
-                engine.post(key(7), rank, 3, vec![rank as f64], entry, 0.25).unwrap();
+                engine
+                    .post(key(7), rank, 3, vec![rank as f64], entry, 0.25)
+                    .unwrap();
                 engine.wait(key(7), &health, 0).unwrap()
             }));
         }
@@ -271,7 +296,10 @@ mod tests {
     fn out_of_range_index_is_error() {
         let engine = CollectiveEngine::new();
         let err = engine.post(key(3), 5, 2, vec![], 0.0, 0.0).unwrap_err();
-        assert!(matches!(err, RuntimeError::InvalidRank { rank: 5, size: 2 }));
+        assert!(matches!(
+            err,
+            RuntimeError::InvalidRank { rank: 5, size: 2 }
+        ));
     }
 
     #[test]
@@ -295,10 +323,19 @@ mod tests {
     fn purge_keeps_recovery_slots() {
         let engine = CollectiveEngine::new();
         engine.post(key(0), 0, 2, vec![], 0.0, 0.0).unwrap();
-        let rkey = SlotKey { epoch: 0, comm_id: 0, kind: SlotKind::Recovery, seq: 1 };
+        let rkey = SlotKey {
+            epoch: 0,
+            comm_id: 0,
+            kind: SlotKind::Recovery,
+            seq: 1,
+        };
         engine.post(rkey, 0, 2, vec![], 0.0, 0.0).unwrap();
         engine.purge_older_than(1);
-        assert_eq!(engine.in_flight(), 1, "collective slot purged, recovery slot kept");
+        assert_eq!(
+            engine.in_flight(),
+            1,
+            "collective slot purged, recovery slot kept"
+        );
     }
 
     #[test]

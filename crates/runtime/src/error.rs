@@ -90,7 +90,10 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::SelfFailed { rank } => write!(f, "rank {rank} scheduled to fail here"),
             RuntimeError::TypeMismatch { expected, found } => {
-                write!(f, "payload type mismatch: expected {expected}, found {found}")
+                write!(
+                    f,
+                    "payload type mismatch: expected {expected}, found {found}"
+                )
             }
             RuntimeError::InvalidRank { rank, size } => {
                 write!(f, "invalid rank {rank} for communicator of size {size}")
@@ -145,23 +148,37 @@ mod tests {
 
     #[test]
     fn display_contains_rank() {
-        let e = RuntimeError::ProcFailed { rank: 3, generation: 2 };
+        let e = RuntimeError::ProcFailed {
+            rank: 3,
+            generation: 2,
+        };
         assert!(e.to_string().contains("rank 3"));
         assert!(e.to_string().contains("generation 2"));
     }
 
     #[test]
     fn failure_classification() {
-        assert!(RuntimeError::ProcFailed { rank: 0, generation: 1 }.is_failure());
+        assert!(RuntimeError::ProcFailed {
+            rank: 0,
+            generation: 1
+        }
+        .is_failure());
         assert!(RuntimeError::Revoked { generation: 1 }.is_failure());
         assert!(RuntimeError::JobAborted { generation: 1 }.is_failure());
         assert!(!RuntimeError::InvalidArgument("x".into()).is_failure());
-        assert!(!RuntimeError::TypeMismatch { expected: "f64", found: "u64" }.is_failure());
+        assert!(!RuntimeError::TypeMismatch {
+            expected: "f64",
+            found: "u64"
+        }
+        .is_failure());
     }
 
     #[test]
     fn generation_extraction() {
-        assert_eq!(RuntimeError::Revoked { generation: 7 }.generation(), Some(7));
+        assert_eq!(
+            RuntimeError::Revoked { generation: 7 }.generation(),
+            Some(7)
+        );
         assert_eq!(RuntimeError::InvalidArgument("x".into()).generation(), None);
     }
 }

@@ -32,7 +32,12 @@ impl FailureSchedule {
     /// incarnation.
     pub fn for_rank(config: &FailureConfig, rank: usize, start: f64, rng: &mut ChaCha8Rng) -> Self {
         if !config.enabled {
-            return Self { enabled: false, scheduled: Vec::new(), next_random: None, mtbf: f64::INFINITY };
+            return Self {
+                enabled: false,
+                scheduled: Vec::new(),
+                next_random: None,
+                mtbf: f64::INFINITY,
+            };
         }
         let mut scheduled: Vec<f64> = config
             .scheduled
@@ -42,12 +47,22 @@ impl FailureSchedule {
             .collect();
         scheduled.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let next_random = draw_exponential_after(config.mtbf_per_rank, start, rng);
-        Self { enabled: true, scheduled, next_random, mtbf: config.mtbf_per_rank }
+        Self {
+            enabled: true,
+            scheduled,
+            next_random,
+            mtbf: config.mtbf_per_rank,
+        }
     }
 
     /// A schedule that never fails.
     pub fn never() -> Self {
-        Self { enabled: false, scheduled: Vec::new(), next_random: None, mtbf: f64::INFINITY }
+        Self {
+            enabled: false,
+            scheduled: Vec::new(),
+            next_random: None,
+            mtbf: f64::INFINITY,
+        }
     }
 
     /// Should the rank fail now, given its current virtual time? If so,
@@ -124,7 +139,10 @@ mod tests {
         let mut s = FailureSchedule::for_rank(&cfg, 2, 0.0, &mut r);
         assert!(s.due(4.9, &mut r).is_none());
         assert_eq!(s.due(5.1, &mut r), Some(5.0));
-        assert!(s.due(100.0, &mut r).is_none(), "a scheduled failure fires only once");
+        assert!(
+            s.due(100.0, &mut r).is_none(),
+            "a scheduled failure fires only once"
+        );
     }
 
     #[test]
@@ -143,8 +161,10 @@ mod tests {
 
     #[test]
     fn multiple_scheduled_failures_fire_in_order() {
-        let cfg =
-            FailureConfig::scheduled(FailurePolicy::ReplaceRank, vec![(0, 2.0), (0, 1.0), (0, 3.0)]);
+        let cfg = FailureConfig::scheduled(
+            FailurePolicy::ReplaceRank,
+            vec![(0, 2.0), (0, 1.0), (0, 3.0)],
+        );
         let mut r = rng(1);
         let mut s = FailureSchedule::for_rank(&cfg, 0, 0.0, &mut r);
         assert_eq!(s.due(10.0, &mut r), Some(1.0));
@@ -164,7 +184,10 @@ mod tests {
             total += s.next_pending().expect("random failure must be armed");
         }
         let mean = total / n as f64;
-        assert!((mean - 100.0).abs() < 10.0, "mean inter-failure time {mean} not near MTBF 100");
+        assert!(
+            (mean - 100.0).abs() < 10.0,
+            "mean inter-failure time {mean} not near MTBF 100"
+        );
     }
 
     #[test]

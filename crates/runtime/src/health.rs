@@ -94,7 +94,12 @@ impl HealthBoard {
             s.alive[rank] = false;
         }
         s.last_failure_time = s.last_failure_time.max(time);
-        s.events.push(FailureEvent { rank, incarnation, time, generation });
+        s.events.push(FailureEvent {
+            rank,
+            incarnation,
+            time,
+            generation,
+        });
         match self.policy {
             FailurePolicy::AbortJob => s.aborted = true,
             FailurePolicy::ReplaceRank | FailurePolicy::Shrink => s.revoked = true,
@@ -206,13 +211,17 @@ impl HealthBoard {
     pub fn check(&self, acked_generation: u64) -> Result<()> {
         let s = self.state.lock();
         if s.aborted {
-            return Err(RuntimeError::JobAborted { generation: s.generation });
+            return Err(RuntimeError::JobAborted {
+                generation: s.generation,
+            });
         }
         match self.policy {
             FailurePolicy::AbortJob => Ok(()),
             FailurePolicy::ReplaceRank | FailurePolicy::Shrink => {
                 if s.generation > acked_generation {
-                    Err(RuntimeError::Revoked { generation: s.generation })
+                    Err(RuntimeError::Revoked {
+                        generation: s.generation,
+                    })
                 } else {
                     Ok(())
                 }
@@ -242,7 +251,10 @@ mod tests {
         let generation = h.record_failure(2, 0, 1.5);
         assert_eq!(generation, 1);
         assert!(h.is_aborted());
-        assert!(matches!(h.check(0), Err(RuntimeError::JobAborted { generation: 1 })));
+        assert!(matches!(
+            h.check(0),
+            Err(RuntimeError::JobAborted { generation: 1 })
+        ));
         assert_eq!(h.failed_ranks(), vec![2]);
         assert!(!h.is_alive(2));
         assert!(h.is_alive(1));
@@ -253,7 +265,10 @@ mod tests {
         let h = HealthBoard::new(4, FailurePolicy::ReplaceRank);
         let generation = h.record_failure(1, 0, 2.0);
         assert!(h.is_revoked());
-        assert!(matches!(h.check(0), Err(RuntimeError::Revoked { generation: 1 })));
+        assert!(matches!(
+            h.check(0),
+            Err(RuntimeError::Revoked { generation: 1 })
+        ));
         // A rank that has acknowledged the failure proceeds.
         assert!(h.check(generation).is_ok());
         let inc = h.record_replacement(1);
@@ -270,7 +285,11 @@ mod tests {
         let h = HealthBoard::new(2, FailurePolicy::ReplaceRank);
         let g = h.record_failure(0, 0, 1.0);
         assert_eq!(h.complete_recovery(g), 1);
-        assert_eq!(h.complete_recovery(g), 1, "second completion must not bump epoch again");
+        assert_eq!(
+            h.complete_recovery(g),
+            1,
+            "second completion must not bump epoch again"
+        );
     }
 
     #[test]

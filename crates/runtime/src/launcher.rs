@@ -66,14 +66,25 @@ impl<R> JobResult<R> {
 
     /// The result of rank 0, panicking if it failed.
     pub fn rank0(self) -> R {
-        self.results.into_iter().next().flatten().expect("rank 0 did not produce a result")
+        self.results
+            .into_iter()
+            .next()
+            .flatten()
+            .expect("rank 0 did not produce a result")
     }
 }
 
 enum RankExit<R> {
-    Done { rank: usize, result: Result<R>, stats: RankStats },
+    Done {
+        rank: usize,
+        result: Result<R>,
+        stats: RankStats,
+    },
     Killed(RankKilled),
-    Panicked { rank: usize, message: String },
+    Panicked {
+        rank: usize,
+        message: String,
+    },
 }
 
 /// The simulated-job launcher.
@@ -128,20 +139,34 @@ impl Runtime {
 
         let mut handles = Vec::new();
         for rank in 0..size {
-            handles.push(spawn_rank(Arc::clone(&world), Arc::clone(&f), tx.clone(), rank, 0, 0.0));
+            handles.push(spawn_rank(
+                Arc::clone(&world),
+                Arc::clone(&f),
+                tx.clone(),
+                rank,
+                0,
+                0.0,
+            ));
         }
 
         let mut results: Vec<Option<R>> = (0..size).map(|_| None).collect();
         let mut errors: Vec<Option<RuntimeError>> = (0..size).map(|_| None).collect();
         let mut final_stats: Vec<RankStats> = (0..size)
-            .map(|rank| RankStats { rank, ..RankStats::default() })
+            .map(|rank| RankStats {
+                rank,
+                ..RankStats::default()
+            })
             .collect();
         let mut incarnations = vec![0u64; size];
         let mut remaining = size;
 
         while remaining > 0 {
             match rx.recv().expect("rank threads cannot all disappear") {
-                RankExit::Done { rank, result, stats } => {
+                RankExit::Done {
+                    rank,
+                    result,
+                    stats,
+                } => {
                     final_stats[rank] = stats;
                     match result {
                         Ok(v) => results[rank] = Some(v),
@@ -173,8 +198,9 @@ impl Runtime {
                     }
                 }
                 RankExit::Panicked { rank, message } => {
-                    errors[rank] =
-                        Some(RuntimeError::InvalidArgument(format!("rank {rank} panicked: {message}")));
+                    errors[rank] = Some(RuntimeError::InvalidArgument(format!(
+                        "rank {rank} panicked: {message}"
+                    )));
                     remaining -= 1;
                 }
             }
@@ -189,7 +215,15 @@ impl Runtime {
         let mut all_stats = world.lost_stats.lock().clone();
         all_stats.extend(final_stats.iter().cloned());
         let job = JobStats::aggregate(&final_stats, failures.len());
-        JobResult { results, errors, stats: final_stats, all_stats, failures, aborted, job }
+        JobResult {
+            results,
+            errors,
+            stats: final_stats,
+            all_stats,
+            failures,
+            aborted,
+            job,
+        }
     }
 }
 
@@ -211,7 +245,11 @@ where
             let mut comm = Comm::new(world, rank, incarnation, start_time);
             let outcome = panic::catch_unwind(AssertUnwindSafe(|| f(&mut comm)));
             let exit = match outcome {
-                Ok(result) => RankExit::Done { rank, result, stats: comm.snapshot_stats() },
+                Ok(result) => RankExit::Done {
+                    rank,
+                    result,
+                    stats: comm.snapshot_stats(),
+                },
                 Err(payload) => match payload.downcast_ref::<RankKilled>() {
                     Some(info) => RankExit::Killed(*info),
                     None => {
@@ -262,7 +300,9 @@ mod tests {
     #[test]
     fn allreduce_across_ranks() {
         let rt = Runtime::new(RuntimeConfig::fast());
-        let r = rt.run(6, |comm| comm.allreduce_scalar(ReduceOp::Sum, (comm.rank() + 1) as f64));
+        let r = rt.run(6, |comm| {
+            comm.allreduce_scalar(ReduceOp::Sum, (comm.rank() + 1) as f64)
+        });
         assert_eq!(r.unwrap_all(), vec![21.0; 6]);
     }
 
@@ -313,7 +353,11 @@ mod tests {
     #[test]
     fn collective_synchronises_virtual_time() {
         let mut cfg = RuntimeConfig::fast();
-        cfg.latency = LatencyModel { alpha: 0.5, beta: 0.0, gamma: 0.0 };
+        cfg.latency = LatencyModel {
+            alpha: 0.5,
+            beta: 0.0,
+            gamma: 0.0,
+        };
         let rt = Runtime::new(cfg);
         let r = rt.run(4, |comm| {
             // Unequal local work before the barrier.
@@ -324,14 +368,21 @@ mod tests {
         let times = r.unwrap_all();
         let expected = 3.0 + 0.5 * 2.0; // slowest rank + 2 tree stages * alpha
         for t in times {
-            assert!((t - expected).abs() < 1e-9, "all ranks leave the barrier together: {t}");
+            assert!(
+                (t - expected).abs() < 1e-9,
+                "all ranks leave the barrier together: {t}"
+            );
         }
     }
 
     #[test]
     fn nonblocking_allreduce_hides_latency() {
         let mut cfg = RuntimeConfig::fast();
-        cfg.latency = LatencyModel { alpha: 1.0, beta: 0.0, gamma: 0.0 };
+        cfg.latency = LatencyModel {
+            alpha: 1.0,
+            beta: 0.0,
+            gamma: 0.0,
+        };
         let rt = Runtime::new(cfg);
         let r = rt.run(4, |comm| {
             // Blocking version: dot + dependent work.
@@ -353,17 +404,24 @@ mod tests {
                 overlapped < blocking - 1.0,
                 "overlap should hide the 2-stage collective latency: blocking={blocking}, overlapped={overlapped}"
             );
-            assert!((overlapped - 5.0).abs() < 1e-9, "latency fully hidden by 5 s of work");
+            assert!(
+                (overlapped - 5.0).abs() < 1e-9,
+                "latency fully hidden by 5 s of work"
+            );
         }
     }
 
     #[test]
     fn noise_slows_down_bulk_synchronous_steps() {
         let quiet = Runtime::new(
-            RuntimeConfig::default().with_seed(3).with_noise(NoiseConfig::off()),
+            RuntimeConfig::default()
+                .with_seed(3)
+                .with_noise(NoiseConfig::off()),
         );
         let noisy = Runtime::new(
-            RuntimeConfig::default().with_seed(3).with_noise(NoiseConfig::exponential(50.0, 0.01)),
+            RuntimeConfig::default()
+                .with_seed(3)
+                .with_noise(NoiseConfig::exponential(50.0, 0.01)),
         );
         let run = |rt: &Runtime| -> f64 {
             let r = rt.run(8, |comm| {
@@ -453,17 +511,26 @@ mod tests {
         });
         assert!(!r.aborted);
         assert_eq!(r.failures.len(), 1);
-        assert!(r.all_ok(), "all ranks (incl. replacement) must finish: {:?}", r.errors);
+        assert!(
+            r.all_ok(),
+            "all ranks (incl. replacement) must finish: {:?}",
+            r.errors
+        );
         let results = r.unwrap_all();
         assert_eq!(results.len(), 4);
         for (rank, step, _recoveries, incarnation) in &results {
             assert_eq!(*step, 10);
             if *rank == 2 {
-                assert_eq!(*incarnation, 1, "rank 2 must be the replacement incarnation");
+                assert_eq!(
+                    *incarnation, 1,
+                    "rank 2 must be the replacement incarnation"
+                );
             }
         }
         // Survivors saw exactly one recovery.
-        assert!(results.iter().any(|(rank, _, rec, _)| *rank != 2 && *rec == 1));
+        assert!(results
+            .iter()
+            .any(|(rank, _, rec, _)| *rank != 2 && *rec == 1));
     }
 
     #[test]
@@ -492,7 +559,7 @@ mod tests {
         // Rank 0 died and is never replaced under Shrink.
         assert!(r.results[0].is_none());
         for rank in 1..3 {
-            let (new_rank, new_size, sum) = r.results[rank].clone().expect("survivor finishes");
+            let (new_rank, new_size, sum) = r.results[rank].expect("survivor finishes");
             assert_eq!(new_size, 2);
             assert!(new_rank < 2);
             assert_eq!(sum, 2.0, "post-shrink allreduce spans 2 ranks");

@@ -98,7 +98,14 @@ mod tests {
     use std::thread;
 
     fn msg(source: usize, tag: i32, epoch: u64, val: f64) -> Message {
-        Message { source, dest: 0, tag, epoch, sent_at: 0.0, payload: Payload::F64(vec![val]) }
+        Message {
+            source,
+            dest: 0,
+            tag,
+            epoch,
+            sent_at: 0.0,
+            payload: Payload::F64(vec![val]),
+        }
     }
 
     #[test]
@@ -118,7 +125,10 @@ mod tests {
         mb.deposit(msg(1, 5, 0, 1.0));
         assert!(matches!(mb.poll(2, 5, 0), PollOutcome::Empty));
         assert!(matches!(mb.poll(1, 6, 0), PollOutcome::Empty));
-        assert!(matches!(mb.poll(ANY_SOURCE, ANY_TAG, 0), PollOutcome::Found(_)));
+        assert!(matches!(
+            mb.poll(ANY_SOURCE, ANY_TAG, 0),
+            PollOutcome::Found(_)
+        ));
     }
 
     #[test]

@@ -50,7 +50,10 @@ impl Payload {
     pub fn into_f64(self) -> Result<Vec<f64>> {
         match self {
             Payload::F64(v) => Ok(v),
-            other => Err(RuntimeError::TypeMismatch { expected: "f64", found: other.type_name() }),
+            other => Err(RuntimeError::TypeMismatch {
+                expected: "f64",
+                found: other.type_name(),
+            }),
         }
     }
 
@@ -58,7 +61,10 @@ impl Payload {
     pub fn into_u64(self) -> Result<Vec<u64>> {
         match self {
             Payload::U64(v) => Ok(v),
-            other => Err(RuntimeError::TypeMismatch { expected: "u64", found: other.type_name() }),
+            other => Err(RuntimeError::TypeMismatch {
+                expected: "u64",
+                found: other.type_name(),
+            }),
         }
     }
 
@@ -66,9 +72,10 @@ impl Payload {
     pub fn into_bytes(self) -> Result<Vec<u8>> {
         match self {
             Payload::Bytes(v) => Ok(v),
-            other => {
-                Err(RuntimeError::TypeMismatch { expected: "bytes", found: other.type_name() })
-            }
+            other => Err(RuntimeError::TypeMismatch {
+                expected: "bytes",
+                found: other.type_name(),
+            }),
         }
     }
 }
@@ -135,7 +142,14 @@ mod tests {
     use super::*;
 
     fn msg(source: usize, tag: i32, epoch: u64) -> Message {
-        Message { source, dest: 0, tag, epoch, sent_at: 0.0, payload: Payload::Empty }
+        Message {
+            source,
+            dest: 0,
+            tag,
+            epoch,
+            sent_at: 0.0,
+            payload: Payload::Empty,
+        }
     }
 
     #[test]
@@ -148,9 +162,18 @@ mod tests {
 
     #[test]
     fn into_f64_type_checks() {
-        assert_eq!(Payload::F64(vec![1.0, 2.0]).into_f64().unwrap(), vec![1.0, 2.0]);
+        assert_eq!(
+            Payload::F64(vec![1.0, 2.0]).into_f64().unwrap(),
+            vec![1.0, 2.0]
+        );
         let err = Payload::U64(vec![1]).into_f64().unwrap_err();
-        assert!(matches!(err, RuntimeError::TypeMismatch { expected: "f64", .. }));
+        assert!(matches!(
+            err,
+            RuntimeError::TypeMismatch {
+                expected: "f64",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -15,6 +15,15 @@ use crate::topology::CartTopology;
 /// application point-to-point tags.
 const HALO_TAG_BASE: i32 = 1 << 20;
 
+// The halo tag must not collide with small application tags, and
+// `HALO_TAG_BASE + rank` must not overflow, for any plausible rank count.
+const _: () = assert!(HALO_TAG_BASE > 1_000_000 / 2);
+const _: () = assert!(HALO_TAG_BASE.checked_add(1_000_000).is_some());
+
+/// `(from_left, from_right)` halo values returned by
+/// [`Comm::exchange_boundaries_1d`]; `None` at a non-periodic boundary.
+pub type BoundaryPair = (Option<Vec<f64>>, Option<Vec<f64>>);
+
 impl Comm {
     /// Exchange one `f64` vector with each neighbour: sends `sends[i]` to
     /// `neighbors[i]` and returns the vector received from each neighbour,
@@ -45,7 +54,10 @@ impl Comm {
             let (_, data) = self.recv_f64(nbr, HALO_TAG_BASE + nbr as i32)?;
             received.insert(nbr, data);
         }
-        Ok(neighbors.iter().map(|n| received.remove(n).unwrap_or_default()).collect())
+        Ok(neighbors
+            .iter()
+            .map(|n| received.remove(n).unwrap_or_default())
+            .collect())
     }
 
     /// Halo exchange on a Cartesian topology: sends `sends[i]` to the `i`-th
@@ -68,7 +80,7 @@ impl Comm {
         topology: &CartTopology,
         left_value: &[f64],
         right_value: &[f64],
-    ) -> Result<(Option<Vec<f64>>, Option<Vec<f64>>)> {
+    ) -> Result<BoundaryPair> {
         let rank = self.rank();
         let left = topology.shift(rank, 0, -1);
         let right = topology.shift(rank, 0, 1);
@@ -93,18 +105,5 @@ impl Comm {
             }
         }
         Ok((from_left, from_right))
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn halo_tag_base_leaves_room_for_ranks() {
-        // The halo tag must not collide with small application tags for any
-        // plausible rank count.
-        assert!(HALO_TAG_BASE > 1_000_000 / 2);
-        assert!(HALO_TAG_BASE + 1_000_000 > 0, "no overflow for a million ranks");
     }
 }

@@ -26,7 +26,11 @@ pub struct NoiseModel {
 impl NoiseModel {
     /// Create a noise model from a configuration.
     pub fn new(config: NoiseConfig) -> Self {
-        Self { config, total_injected: 0.0, events: 0 }
+        Self {
+            config,
+            total_injected: 0.0,
+            events: 0,
+        }
     }
 
     /// Amount of noise (virtual seconds) to add to a compute interval of
@@ -164,7 +168,10 @@ mod tests {
         let n = 4000;
         let total: u64 = (0..n).map(|_| sample_poisson(lambda, &mut r)).sum();
         let mean = total as f64 / n as f64;
-        assert!((mean - lambda).abs() < 0.2, "mean {mean} too far from {lambda}");
+        assert!(
+            (mean - lambda).abs() < 0.2,
+            "mean {mean} too far from {lambda}"
+        );
     }
 
     #[test]
@@ -174,7 +181,10 @@ mod tests {
         let n = 2000;
         let total: u64 = (0..n).map(|_| sample_poisson(lambda, &mut r)).sum();
         let mean = total as f64 / n as f64;
-        assert!((mean - lambda).abs() < 5.0, "mean {mean} too far from {lambda}");
+        assert!(
+            (mean - lambda).abs() < 5.0,
+            "mean {mean} too far from {lambda}"
+        );
     }
 
     #[test]
@@ -186,7 +196,10 @@ mod tests {
             total += m.sample(1.0, &mut r);
         }
         // Expected total ≈ 200 s of compute * 100 events/s * 0.01 s/event = 200 s.
-        assert!(total > 100.0 && total < 350.0, "total {total} outside plausible range");
+        assert!(
+            total > 100.0 && total < 350.0,
+            "total {total} outside plausible range"
+        );
         assert!((m.total_injected() - total).abs() < 1e-9);
     }
 

@@ -89,10 +89,20 @@ impl Comm {
         self.seq += 1;
         let expected = self.size();
         let bytes = contribution.len() * std::mem::size_of::<f64>();
-        let cost = self.world.config.latency.collective_cost(expected, bytes, reduce_elems);
+        let cost = self
+            .world
+            .config
+            .latency
+            .collective_cost(expected, bytes, reduce_elems);
         let index = self.rank();
-        self.world.engine.post(key, index, expected, contribution, self.clock.now(), cost)?;
-        Ok(PendingCollective { key, kind, posted_at: self.clock.now() })
+        self.world
+            .engine
+            .post(key, index, expected, contribution, self.clock.now(), cost)?;
+        Ok(PendingCollective {
+            key,
+            kind,
+            posted_at: self.clock.now(),
+        })
     }
 
     /// Post a nonblocking all-reduce.
@@ -112,7 +122,11 @@ impl Comm {
 
     /// Post a nonblocking broadcast from `root`.
     pub fn ibroadcast(&mut self, root: usize, data: &[f64]) -> Result<PendingCollective> {
-        let contribution = if self.rank() == root { data.to_vec() } else { Vec::new() };
+        let contribution = if self.rank() == root {
+            data.to_vec()
+        } else {
+            Vec::new()
+        };
         self.post_nonblocking(contribution, 0, PendingKind::Broadcast { root })
     }
 
@@ -139,7 +153,10 @@ impl PendingCollective {
     /// the caller's virtual clock to the completion time (if it is not
     /// already past it — the latency-hiding case) and returns the result.
     pub fn wait(self, comm: &mut Comm) -> Result<CollectiveOutcome> {
-        let result = comm.world.engine.wait(self.key, &comm.world.health, comm.acked_generation)?;
+        let result = comm
+            .world
+            .engine
+            .wait(self.key, &comm.world.health, comm.acked_generation)?;
         comm.clock.wait_until(result.completion_time);
         comm.collectives += 1;
         let outcome = match self.kind {
@@ -178,14 +195,23 @@ mod tests {
 
     #[test]
     fn outcome_conversions() {
-        assert_eq!(CollectiveOutcome::Vector(vec![1.0]).into_vector(), vec![1.0]);
+        assert_eq!(
+            CollectiveOutcome::Vector(vec![1.0]).into_vector(),
+            vec![1.0]
+        );
         assert_eq!(CollectiveOutcome::Done.into_vector(), Vec::<f64>::new());
         assert_eq!(
             CollectiveOutcome::PerRank(vec![vec![1.0], vec![2.0]]).into_per_rank(),
             vec![vec![1.0], vec![2.0]]
         );
-        assert_eq!(CollectiveOutcome::Vector(vec![3.0]).into_per_rank(), vec![vec![3.0]]);
-        assert_eq!(CollectiveOutcome::PerRank(vec![vec![9.0]]).into_vector(), vec![9.0]);
+        assert_eq!(
+            CollectiveOutcome::Vector(vec![3.0]).into_per_rank(),
+            vec![vec![3.0]]
+        );
+        assert_eq!(
+            CollectiveOutcome::PerRank(vec![vec![9.0]]).into_vector(),
+            vec![9.0]
+        );
         assert!(CollectiveOutcome::Done.into_per_rank().is_empty());
     }
 }

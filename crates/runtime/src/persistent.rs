@@ -54,7 +54,10 @@ impl Stored {
     pub fn into_f64(self) -> Result<Vec<f64>> {
         match self {
             Stored::F64(v) => Ok(v),
-            other => Err(RuntimeError::TypeMismatch { expected: "f64", found: other.type_name() }),
+            other => Err(RuntimeError::TypeMismatch {
+                expected: "f64",
+                found: other.type_name(),
+            }),
         }
     }
 
@@ -62,7 +65,10 @@ impl Stored {
     pub fn into_u64(self) -> Result<Vec<u64>> {
         match self {
             Stored::U64(v) => Ok(v),
-            other => Err(RuntimeError::TypeMismatch { expected: "u64", found: other.type_name() }),
+            other => Err(RuntimeError::TypeMismatch {
+                expected: "u64",
+                found: other.type_name(),
+            }),
         }
     }
 
@@ -70,9 +76,10 @@ impl Stored {
     pub fn into_scalar(self) -> Result<f64> {
         match self {
             Stored::Scalar(v) => Ok(v),
-            other => {
-                Err(RuntimeError::TypeMismatch { expected: "scalar", found: other.type_name() })
-            }
+            other => Err(RuntimeError::TypeMismatch {
+                expected: "scalar",
+                found: other.type_name(),
+            }),
         }
     }
 
@@ -80,9 +87,10 @@ impl Stored {
     pub fn into_bytes(self) -> Result<Vec<u8>> {
         match self {
             Stored::Bytes(v) => Ok(v),
-            other => {
-                Err(RuntimeError::TypeMismatch { expected: "bytes", found: other.type_name() })
-            }
+            other => Err(RuntimeError::TypeMismatch {
+                expected: "bytes",
+                found: other.type_name(),
+            }),
         }
     }
 
@@ -126,7 +134,9 @@ pub struct PersistentStore {
 impl PersistentStore {
     /// Create a store with one partition per rank.
     pub fn new(size: usize) -> Self {
-        Self { partitions: (0..size).map(|_| RwLock::new(HashMap::new())).collect() }
+        Self {
+            partitions: (0..size).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
     }
 
     /// Number of rank partitions.
@@ -144,20 +154,27 @@ impl PersistentStore {
     /// Fetch a copy of the value stored under `key` in `rank`'s partition.
     pub fn get(&self, rank: usize, key: &str) -> Result<Stored> {
         let part = self.partition(rank)?;
-        part.read().get(key).cloned().ok_or_else(|| RuntimeError::MissingPersistentKey {
-            rank,
-            key: key.to_string(),
-        })
+        part.read()
+            .get(key)
+            .cloned()
+            .ok_or_else(|| RuntimeError::MissingPersistentKey {
+                rank,
+                key: key.to_string(),
+            })
     }
 
     /// Does `rank`'s partition contain `key`?
     pub fn contains(&self, rank: usize, key: &str) -> bool {
-        self.partition(rank).map(|p| p.read().contains_key(key)).unwrap_or(false)
+        self.partition(rank)
+            .map(|p| p.read().contains_key(key))
+            .unwrap_or(false)
     }
 
     /// Remove `key` from `rank`'s partition, returning the previous value.
     pub fn remove(&self, rank: usize, key: &str) -> Option<Stored> {
-        self.partition(rank).ok().and_then(|p| p.write().remove(key))
+        self.partition(rank)
+            .ok()
+            .and_then(|p| p.write().remove(key))
     }
 
     /// Keys stored for `rank`, sorted.
@@ -174,7 +191,9 @@ impl PersistentStore {
 
     /// Total bytes stored for `rank` (models NVRAM footprint).
     pub fn bytes_for(&self, rank: usize) -> usize {
-        self.partition(rank).map(|p| p.read().values().map(Stored::byte_len).sum()).unwrap_or(0)
+        self.partition(rank)
+            .map(|p| p.read().values().map(Stored::byte_len).sum())
+            .unwrap_or(0)
     }
 
     /// Clear every partition (used between job restarts, since node-local
@@ -186,9 +205,10 @@ impl PersistentStore {
     }
 
     fn partition(&self, rank: usize) -> Result<&RwLock<HashMap<String, Stored>>> {
-        self.partitions
-            .get(rank)
-            .ok_or(RuntimeError::InvalidRank { rank, size: self.partitions.len() })
+        self.partitions.get(rank).ok_or(RuntimeError::InvalidRank {
+            rank,
+            size: self.partitions.len(),
+        })
     }
 }
 
@@ -284,7 +304,10 @@ mod tests {
     fn persistent_missing_key_is_error() {
         let store = PersistentStore::new(2);
         let err = store.get(0, "nope").unwrap_err();
-        assert!(matches!(err, RuntimeError::MissingPersistentKey { rank: 0, .. }));
+        assert!(matches!(
+            err,
+            RuntimeError::MissingPersistentKey { rank: 0, .. }
+        ));
     }
 
     #[test]

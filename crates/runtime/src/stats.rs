@@ -67,7 +67,10 @@ impl JobStats {
     /// Aggregate per-rank statistics (one entry per surviving incarnation).
     pub fn aggregate(per_rank: &[RankStats], failures: usize) -> Self {
         if per_rank.is_empty() {
-            return Self { failures, ..Self::default() };
+            return Self {
+                failures,
+                ..Self::default()
+            };
         }
         let n = per_rank.len() as f64;
         let makespan = per_rank.iter().map(|s| s.virtual_time).fold(0.0, f64::max);

@@ -20,12 +20,18 @@ pub struct CartTopology {
 impl CartTopology {
     /// A 1-D line (or ring, if `periodic`) of `p` ranks.
     pub fn line(p: usize, periodic: bool) -> Self {
-        Self { dims: vec![p], periodic: vec![periodic] }
+        Self {
+            dims: vec![p],
+            periodic: vec![periodic],
+        }
     }
 
     /// A 2-D grid of `px` × `py` ranks.
     pub fn grid2d(px: usize, py: usize, periodic: bool) -> Self {
-        Self { dims: vec![px, py], periodic: vec![periodic, periodic] }
+        Self {
+            dims: vec![px, py],
+            periodic: vec![periodic, periodic],
+        }
     }
 
     /// Choose a near-square 2-D factorization of `p` ranks (like
@@ -62,11 +68,10 @@ impl CartTopology {
 
     /// Rank at the given coordinates.
     pub fn rank_of(&self, coords: &[usize]) -> usize {
-        let mut r = 0;
-        for d in 0..self.dims.len() {
-            r = r * self.dims[d] + coords[d];
-        }
-        r
+        self.dims
+            .iter()
+            .zip(coords)
+            .fold(0, |r, (&dim, &c)| r * dim + c)
     }
 
     /// Neighbour of `rank` at displacement `disp` (±1) along dimension `dim`,
@@ -151,7 +156,7 @@ impl BlockDistribution {
         // Binary search over the monotone `start` function.
         let (mut lo, mut hi) = (0usize, self.p - 1);
         while lo < hi {
-            let mid = (lo + hi + 1) / 2;
+            let mid = (lo + hi).div_ceil(2);
             if self.start(mid) <= i {
                 lo = mid;
             } else {

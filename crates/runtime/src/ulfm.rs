@@ -76,7 +76,12 @@ impl Comm {
         let generation = self.world.health.generation();
         self.acked_generation = generation;
         let expected = self.world.size;
-        let key = SlotKey { epoch: 0, comm_id: 0, kind: SlotKind::Recovery, seq: generation };
+        let key = SlotKey {
+            epoch: 0,
+            comm_id: 0,
+            kind: SlotKind::Recovery,
+            seq: generation,
+        };
         let cost = self.world.config.latency.collective_cost(expected, 16, 2)
             + self.world.config.replacement_cost;
         self.world.engine.post(
@@ -87,7 +92,10 @@ impl Comm {
             self.clock.now(),
             cost,
         )?;
-        let result = self.world.engine.wait(key, &self.world.health, generation)?;
+        let result = self
+            .world
+            .engine
+            .wait(key, &self.world.health, generation)?;
         let waited = result.completion_time - self.clock.now();
         if waited > 0.0 {
             self.clock.advance_recovery(waited);
@@ -128,10 +136,24 @@ impl Comm {
             .iter()
             .position(|&r| r == self.world_rank)
             .expect("a dead rank cannot call shrink");
-        let key = SlotKey { epoch: 0, comm_id: self.comm_id, kind: SlotKind::Shrink, seq: generation };
-        let cost = self.world.config.latency.collective_cost(expected.max(1), 16, 1);
-        self.world.engine.post(key, my_index, expected, Vec::new(), self.clock.now(), cost)?;
-        let result = self.world.engine.wait(key, &self.world.health, generation)?;
+        let key = SlotKey {
+            epoch: 0,
+            comm_id: self.comm_id,
+            kind: SlotKind::Shrink,
+            seq: generation,
+        };
+        let cost = self
+            .world
+            .config
+            .latency
+            .collective_cost(expected.max(1), 16, 1);
+        self.world
+            .engine
+            .post(key, my_index, expected, Vec::new(), self.clock.now(), cost)?;
+        let result = self
+            .world
+            .engine
+            .wait(key, &self.world.health, generation)?;
         let waited = result.completion_time - self.clock.now();
         if waited > 0.0 {
             self.clock.advance_recovery(waited);
@@ -162,7 +184,9 @@ impl Comm {
         // bump the generation so peers observe Revoked, but keep everyone
         // alive. We model this by recording a failure of an out-of-range
         // rank, which marks nobody dead.
-        self.world.health.record_failure(usize::MAX, self.incarnation, self.clock.now());
+        self.world
+            .health
+            .record_failure(usize::MAX, self.incarnation, self.clock.now());
         self.world.interrupt_all();
     }
 

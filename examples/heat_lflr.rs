@@ -37,7 +37,12 @@ fn main() {
         Ok((report, global))
     });
     println!("LFLR run: {} failure(s) injected", job.failures.len());
-    let (report, field) = job.results.into_iter().next().flatten().expect("rank 0 result");
+    let (report, field) = job
+        .results
+        .into_iter()
+        .next()
+        .flatten()
+        .expect("rank 0 result");
     let max_diff = field
         .iter()
         .zip(&serial)
@@ -60,7 +65,10 @@ fn main() {
         &cpr_cfg,
         ranks,
         Arc::new(heat(steps)),
-        &CprConfig { checkpoint_interval: 5, max_restarts: 4 },
+        &CprConfig {
+            checkpoint_interval: 5,
+            max_restarts: 4,
+        },
     );
     println!(
         "\nCPR baseline: completed={}, job launches={}, total virtual time={:.3} s (vs LFLR {:.3} s)",

@@ -20,8 +20,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- SkP: solve a Poisson problem while a bit flip hits one SpMV -------
     let a = poisson2d(12, 12);
     let b = vec![1.0; a.nrows()];
-    let plan =
-        InjectionPlan { at_application: 4, target: FaultTarget::RandomElement, bit: Some(61) };
+    let plan = InjectionPlan {
+        at_application: 4,
+        target: FaultTarget::RandomElement,
+        bit: Some(61),
+    };
     let faulty = FaultyOperator::new(&a, Some(plan), 7);
     let opts = SolveOptions::default().with_tol(1e-8).with_max_iters(400);
     let (out, report) = skeptical_gmres(&faulty, &b, None, &opts, &SkepticalConfig::default());
@@ -33,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- SRP: FT-GMRES with an unreliable inner solver ----------------------
-    let cfg = FtGmresConfig { fault_rate: 1e-4, ..FtGmresConfig::default() };
+    let cfg = FtGmresConfig {
+        fault_rate: 1e-4,
+        ..FtGmresConfig::default()
+    };
     let (ft_out, ft_report) = ft_gmres(&a, &b, &cfg);
     println!(
         "[SRP ] FT-GMRES: converged={}, corruptions absorbed={}, reliable-flop fraction={:.2}",
@@ -53,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         comm.persist("state", vec![sum])?;
         Ok(sum)
     });
-    println!("[RBSP] overlapped allreduce on 4 simulated ranks -> {:?}", job.unwrap_all());
+    println!(
+        "[RBSP] overlapped allreduce on 4 simulated ranks -> {:?}",
+        job.unwrap_all()
+    );
     println!("[LFLR] per-rank persistent state written; see the heat_lflr example for recovery");
     Ok(())
 }

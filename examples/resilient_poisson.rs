@@ -10,16 +10,26 @@ fn main() {
     let a = poisson2d(24, 24);
     let n = a.nrows();
     let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64 * 0.1).collect();
-    let opts = SolveOptions::default().with_tol(1e-8).with_max_iters(800).with_restart(40);
+    let opts = SolveOptions::default()
+        .with_tol(1e-8)
+        .with_max_iters(800)
+        .with_restart(40);
     println!("2-D Poisson, n = {n}: GMRES under a single injected bit flip\n");
-    println!("{:<28} {:>10} {:>8} {:>14}", "solver", "converged", "iters", "true rel. res.");
+    println!(
+        "{:<28} {:>10} {:>8} {:>14}",
+        "solver", "converged", "iters", "true rel. res."
+    );
 
     for bit in [1u32, 40, 58, 63] {
-        let plan =
-            InjectionPlan { at_application: 6, target: FaultTarget::RandomElement, bit: Some(bit) };
+        let plan = InjectionPlan {
+            at_application: 6,
+            target: FaultTarget::RandomElement,
+            bit: Some(bit),
+        };
 
         let trusting_op = FaultyOperator::new(&a, Some(plan), 11);
-        let (t_out, _) = skeptical_gmres(&trusting_op, &b, None, &opts, &SkepticalConfig::trusting());
+        let (t_out, _) =
+            skeptical_gmres(&trusting_op, &b, None, &opts, &SkepticalConfig::trusting());
         let skeptical_op = FaultyOperator::new(&a, Some(plan), 11);
         let (s_out, s_rep) =
             skeptical_gmres(&skeptical_op, &b, None, &opts, &SkepticalConfig::default());
@@ -44,7 +54,10 @@ fn main() {
     println!("\nFT-GMRES with an unreliable inner solver (fault-rate sweep):");
     for rate in [0.0, 1e-5, 1e-4, 1e-3] {
         let cfg = FtGmresConfig {
-            outer: SolveOptions::default().with_tol(1e-8).with_max_iters(60).with_restart(30),
+            outer: SolveOptions::default()
+                .with_tol(1e-8)
+                .with_max_iters(60)
+                .with_restart(30),
             fault_rate: rate,
             ..FtGmresConfig::default()
         };

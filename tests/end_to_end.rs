@@ -16,7 +16,10 @@ use std::sync::Arc;
 fn skeptical_gmres_never_returns_a_silently_wrong_answer() {
     let a = poisson2d(12, 12);
     let b = vec![1.0; a.nrows()];
-    let opts = SolveOptions::default().with_tol(1e-8).with_max_iters(600).with_restart(30);
+    let opts = SolveOptions::default()
+        .with_tol(1e-8)
+        .with_max_iters(600)
+        .with_restart(30);
     for bit in [0u32, 20, 45, 55, 60, 63] {
         for trial in 0..3u64 {
             let plan = InjectionPlan {
@@ -31,7 +34,10 @@ fn skeptical_gmres_never_returns_a_silently_wrong_answer() {
             // The contract: if the solver *claims* convergence, the answer is
             // actually right (verified against the clean operator).
             if out.converged() {
-                assert!(err < 1e-6, "bit {bit}, trial {trial}: claimed convergence but err={err}");
+                assert!(
+                    err < 1e-6,
+                    "bit {bit}, trial {trial}: claimed convergence but err={err}"
+                );
             }
         }
     }
@@ -45,7 +51,10 @@ fn ft_gmres_beats_unreliable_baseline_at_high_fault_rate() {
     let b = vec![1.0; a.nrows()];
     let rate = 5e-3;
     let cfg = FtGmresConfig {
-        outer: SolveOptions::default().with_tol(1e-8).with_max_iters(80).with_restart(40),
+        outer: SolveOptions::default()
+            .with_tol(1e-8)
+            .with_max_iters(80)
+            .with_restart(40),
         fault_rate: rate,
         ..FtGmresConfig::default()
     };
@@ -58,7 +67,10 @@ fn ft_gmres_beats_unreliable_baseline_at_high_fault_rate() {
     let (un_out, _, _) = unreliable_gmres(
         &a,
         &b,
-        &SolveOptions::default().with_tol(1e-8).with_max_iters(400).with_restart(40),
+        &SolveOptions::default()
+            .with_tol(1e-8)
+            .with_max_iters(400)
+            .with_restart(40),
         rate,
         1,
     );
@@ -74,7 +86,11 @@ fn ft_gmres_beats_unreliable_baseline_at_high_fault_rate() {
 #[test]
 fn pipelined_solvers_hide_latency_and_match_solutions() {
     let mut cfg = RuntimeConfig::fast().with_seed(17);
-    cfg.latency = LatencyModel { alpha: 3.0e-4, beta: 0.0, gamma: 0.0 };
+    cfg.latency = LatencyModel {
+        alpha: 3.0e-4,
+        beta: 0.0,
+        gamma: 0.0,
+    };
     cfg.noise = NoiseConfig::exponential(500.0, 5.0e-5);
     let rt = Runtime::new(cfg);
     let rows = rt
@@ -82,7 +98,9 @@ fn pipelined_solvers_hide_latency_and_match_solutions() {
             let a = poisson2d(14, 14);
             let da = DistCsr::from_global(comm, &a)?;
             let b = DistVector::from_fn(comm, a.nrows(), |i| (i % 4) as f64 + 1.0);
-            let opts = DistSolveOptions::default().with_tol(1e-7).with_max_iters(250);
+            let opts = DistSolveOptions::default()
+                .with_tol(1e-7)
+                .with_max_iters(250);
             let t0 = comm.now();
             let classic = dist_cg(comm, &da, &b, &opts)?;
             let t1 = comm.now();
@@ -101,7 +119,10 @@ fn pipelined_solvers_hide_latency_and_match_solutions() {
     let b: Vec<f64> = (0..a.nrows()).map(|i| (i % 4) as f64 + 1.0).collect();
     for (classic_t, pipelined_t, cx, px, converged) in rows {
         assert!(converged);
-        assert!(pipelined_t < classic_t, "pipelined {pipelined_t} vs classic {classic_t}");
+        assert!(
+            pipelined_t < classic_t,
+            "pipelined {pipelined_t} vs classic {classic_t}"
+        );
         assert!(true_relative_residual(&a, &b, &cx) < 1e-6);
         assert!(true_relative_residual(&a, &b, &px) < 1e-6);
     }
@@ -151,7 +172,10 @@ fn heat_equation_survives_failures_under_lflr_and_cpr() {
         &cpr_cfg,
         4,
         Arc::new(app),
-        &CprConfig { checkpoint_interval: 3, max_restarts: 5 },
+        &CprConfig {
+            checkpoint_interval: 3,
+            max_restarts: 5,
+        },
     );
     assert!(report.completed);
     assert_eq!(report.attempts, 2);

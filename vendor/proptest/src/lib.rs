@@ -1,0 +1,441 @@
+//! Offline vendored mini property-testing harness.
+//!
+//! Implements the subset of the `proptest` API this workspace's
+//! `tests/properties.rs` files use: the [`proptest!`] macro with
+//! `#![proptest_config(...)]`, range/tuple/collection/sample strategies,
+//! `any::<T>()`, and the `prop_assert*` macros. Unlike the real proptest
+//! there is **no shrinking**: a failing case panics immediately and prints
+//! the case number and the generated inputs are reproducible from the fixed
+//! per-case seed.
+
+pub mod strategy {
+    //! The [`Strategy`] trait: a recipe for generating random values.
+
+    /// The RNG all strategies draw from (deterministic per test case).
+    pub type TestRng = rand_chacha::ChaCha8Rng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+        /// Generate one value.
+        fn sample_value(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample_value(rng)
+        }
+    }
+
+    use rand::Rng as _;
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample_value(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample_value(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    /// A strategy that always yields clones of one value (`Just` in proptest).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — the canonical strategy for a type.
+
+    use crate::strategy::{Strategy, TestRng};
+    use rand::Rng as _;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate one arbitrary value.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    macro_rules! impl_arbitrary_uniform {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> Self {
+                    rng.gen_range(<$t>::MIN..=<$t>::MAX)
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            // Finite, sign-symmetric, wide dynamic range.
+            let m: f64 = rng.gen_range(-1.0..1.0);
+            let e: i32 = rng.gen_range(-300..300);
+            m * 10f64.powi(e)
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Any<T> {
+        _marker: core::marker::PhantomData<T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: core::marker::PhantomData,
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies: `prop::collection::vec`.
+
+    use crate::strategy::{Strategy, TestRng};
+    use rand::Rng as _;
+
+    /// Size specifications accepted by [`vec`]: `a..b`, `a..=b`, or `n`.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        /// Inclusive upper bound.
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a random length in a size range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.sample_value(rng)).collect()
+        }
+    }
+
+    /// `prop::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod num {
+    //! Numeric strategies: `prop::num::f64::NORMAL` etc.
+
+    /// `f64` strategies.
+    pub mod f64 {
+        use crate::strategy::{Strategy, TestRng};
+        use rand::{Rng as _, RngCore as _};
+
+        /// Strategy yielding normal (finite, non-zero, non-subnormal) `f64`s
+        /// of either sign across the full exponent range.
+        #[derive(Debug, Clone, Copy, Default)]
+        pub struct Normal;
+
+        /// Normal `f64` values: both signs, full exponent range.
+        pub const NORMAL: Normal = Normal;
+
+        impl Strategy for Normal {
+            type Value = f64;
+            fn sample_value(&self, rng: &mut TestRng) -> f64 {
+                let sign = (rng.next_u64() & 1) << 63;
+                // Biased exponent in [1, 2046]: excludes zero/subnormal (0)
+                // and inf/NaN (2047).
+                let exponent = rng.gen_range(1u64..=2046) << 52;
+                let mantissa = rng.next_u64() & ((1u64 << 52) - 1);
+                f64::from_bits(sign | exponent | mantissa)
+            }
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies: `prop::sample::select`.
+
+    use crate::strategy::{Strategy, TestRng};
+    use rand::Rng as _;
+
+    /// Strategy choosing uniformly from a fixed list.
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample_value(&self, rng: &mut TestRng) -> T {
+            self.options[rng.gen_range(0..self.options.len())].clone()
+        }
+    }
+
+    /// Choose uniformly from `options` (must be non-empty).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+}
+
+pub mod test_runner {
+    //! Test-runner configuration and per-case RNG derivation.
+
+    use crate::strategy::TestRng;
+    use rand::SeedableRng as _;
+
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Run each property `cases` times.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    /// Derive the deterministic RNG for one test case. Mixing in the test
+    /// name keeps sibling properties' streams decorrelated.
+    pub fn case_rng(test_name: &str, case: u32) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng::seed_from_u64(h ^ ((case as u64) << 32 | 0x5eed))
+    }
+}
+
+/// Everything a property test needs, glob-imported.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Mirror of the `prop` module hierarchy from the real proptest prelude.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::num;
+        pub use crate::sample;
+    }
+}
+
+/// Assert a condition inside a property; failure panics with case context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `body` for `config.cases` deterministic
+/// random cases.
+#[macro_export]
+macro_rules! proptest {
+    // Entry: optional config header.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs ($cfg) $($rest)*);
+    };
+    (@funcs ($cfg:expr)) => {};
+    (@funcs ($cfg:expr) $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut proptest_case_rng =
+                    $crate::test_runner::case_rng(stringify!($name), case);
+                $crate::proptest!(@bind proptest_case_rng, $($params)*);
+                $body
+            }
+        }
+        $crate::proptest!(@funcs ($cfg) $($rest)*);
+    };
+    // Parameter munching: `name in strategy` separated by commas, with or
+    // without a trailing comma.
+    (@bind $rng:ident,) => {};
+    (@bind $rng:ident, $arg:ident in $strat:expr) => {
+        let $arg = $crate::strategy::Strategy::sample_value(&($strat), &mut $rng);
+    };
+    (@bind $rng:ident, $arg:ident in $strat:expr, $($rest:tt)*) => {
+        let $arg = $crate::strategy::Strategy::sample_value(&($strat), &mut $rng);
+        $crate::proptest!(@bind $rng, $($rest)*);
+    };
+    // Entry: no config header.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@funcs ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Range strategies stay in bounds.
+        #[test]
+        fn ranges_in_bounds(x in -5.0f64..5.0, n in 1usize..10, b in any::<bool>()) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+            prop_assert!(b || !b);
+        }
+
+        /// Vec strategies honor the size range, including degenerate `n..=n`.
+        #[test]
+        fn vec_sizes(v in prop::collection::vec(0u32..100, 3..7), w in prop::collection::vec(0.0f64..1.0, 4..=4)) {
+            prop_assert!((3..7).contains(&v.len()));
+            prop_assert_eq!(w.len(), 4);
+        }
+
+        /// NORMAL yields finite, non-zero, normal floats.
+        #[test]
+        fn normal_floats_are_normal(v in prop::num::f64::NORMAL) {
+            prop_assert!(v.is_finite());
+            prop_assert!(v.is_normal());
+            prop_assert_ne!(v, 0.0);
+        }
+
+        /// Select only ever yields listed options, and tuples compose.
+        #[test]
+        fn select_and_tuples(
+            pick in prop::sample::select(vec![2u32, 4, 8]),
+            pair in (0usize..3, -1.0f64..1.0)
+        ) {
+            prop_assert!([2u32, 4, 8].contains(&pick));
+            prop_assert!(pair.0 < 3);
+            prop_assert!((-1.0..1.0).contains(&pair.1));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy as _;
+        let s = 0.0f64..1.0;
+        let mut r1 = crate::test_runner::case_rng("t", 3);
+        let mut r2 = crate::test_runner::case_rng("t", 3);
+        assert_eq!(s.sample_value(&mut r1), s.sample_value(&mut r2));
+        let mut r3 = crate::test_runner::case_rng("t", 4);
+        assert_ne!(s.sample_value(&mut r1), s.sample_value(&mut r3));
+    }
+}

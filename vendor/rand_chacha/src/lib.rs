@@ -1,0 +1,159 @@
+//! Offline vendored ChaCha random number generators.
+//!
+//! Implements the genuine ChaCha block function (D. J. Bernstein) over the
+//! `RngCore`/`SeedableRng` traits of the vendored `rand` crate, providing
+//! the `ChaCha8Rng`/`ChaCha12Rng`/`ChaCha20Rng` names this workspace uses.
+//! Output streams are deterministic per seed but are not guaranteed
+//! bit-identical to the upstream `rand_chacha` crate.
+
+pub use rand::{RngCore, SeedableRng};
+
+/// Re-export mirroring `rand_chacha::rand_core` from the real crate.
+pub mod rand_core {
+    pub use rand::{RngCore, SeedableRng};
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// ChaCha sigma constant: "expand 32-byte k".
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+macro_rules! chacha_rng {
+    ($(#[$doc:meta])* $name:ident, $rounds:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            /// Key (8 words) + counter (2 words) + nonce (2 words).
+            key: [u32; 8],
+            counter: u64,
+            buf: [u32; 16],
+            /// Next unread word in `buf`; 16 means "buffer exhausted".
+            index: usize,
+        }
+
+        impl $name {
+            fn refill(&mut self) {
+                let mut state = [0u32; 16];
+                state[..4].copy_from_slice(&SIGMA);
+                state[4..12].copy_from_slice(&self.key);
+                state[12] = self.counter as u32;
+                state[13] = (self.counter >> 32) as u32;
+                state[14] = 0;
+                state[15] = 0;
+                let input = state;
+                for _ in 0..($rounds / 2) {
+                    // Column rounds.
+                    quarter_round(&mut state, 0, 4, 8, 12);
+                    quarter_round(&mut state, 1, 5, 9, 13);
+                    quarter_round(&mut state, 2, 6, 10, 14);
+                    quarter_round(&mut state, 3, 7, 11, 15);
+                    // Diagonal rounds.
+                    quarter_round(&mut state, 0, 5, 10, 15);
+                    quarter_round(&mut state, 1, 6, 11, 12);
+                    quarter_round(&mut state, 2, 7, 8, 13);
+                    quarter_round(&mut state, 3, 4, 9, 14);
+                }
+                for (out, inp) in state.iter_mut().zip(input.iter()) {
+                    *out = out.wrapping_add(*inp);
+                }
+                self.buf = state;
+                self.counter = self.counter.wrapping_add(1);
+                self.index = 0;
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                if self.index >= 16 {
+                    self.refill();
+                }
+                let w = self.buf[self.index];
+                self.index += 1;
+                w
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.next_u32() as u64;
+                let hi = self.next_u32() as u64;
+                lo | (hi << 32)
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                let mut key = [0u32; 8];
+                for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+                    *k = u32::from_le_bytes(chunk.try_into().unwrap());
+                }
+                Self { key, counter: 0, buf: [0; 16], index: 16 }
+            }
+        }
+    };
+}
+
+chacha_rng!(
+    /// ChaCha with 8 rounds: the fast statistical generator.
+    ChaCha8Rng,
+    8
+);
+chacha_rng!(
+    /// ChaCha with 12 rounds.
+    ChaCha12Rng,
+    12
+);
+chacha_rng!(
+    /// ChaCha with 20 rounds: the full-strength generator.
+    ChaCha20Rng,
+    20
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn chacha20_block_matches_rfc7539_vector() {
+        // RFC 7539 §2.3.2 test vector, adapted: zero nonce variant not in the
+        // RFC, so instead check the zero-key/zero-nonce ChaCha20 first block
+        // against the well-known reference value.
+        let mut rng = ChaCha20Rng::from_seed([0u8; 32]);
+        let first = rng.next_u32();
+        assert_eq!(
+            first, 0xade0b876,
+            "first word of ChaCha20 keystream for all-zero key"
+        );
+    }
+
+    #[test]
+    fn stream_is_statistically_plausible() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let n = 4096;
+        let ones: u32 = (0..n).map(|_| rng.next_u64().count_ones()).sum();
+        let expected = (n * 32) as f64;
+        assert!((ones as f64 - expected).abs() < 4.0 * (expected / 2.0).sqrt());
+    }
+}

@@ -1,0 +1,27 @@
+//! Offline vendored `serde` facade.
+//!
+//! The workspace decorates config and stats types with
+//! `#[derive(Serialize, Deserialize)]` so they can be exported once the real
+//! `serde` is available, but nothing in-tree actually serializes (there is no
+//! `serde_json` or similar in the dependency graph). This facade keeps those
+//! derives compiling offline: the derive macros are re-exported from a local
+//! proc-macro crate and expand to nothing, and the traits exist purely as
+//! names. Swapping in the real crates.io `serde` is a manifest-only change.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Mirror of `serde::de` far enough for `DeserializeOwned` imports.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}

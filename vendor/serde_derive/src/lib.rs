@@ -1,0 +1,18 @@
+//! Offline vendored `serde_derive`: the derive macros are accepted anywhere
+//! the real ones are, and expand to nothing. No trait impls are generated —
+//! nothing in this workspace takes `T: Serialize` bounds, the derives exist
+//! so the real serde can be swapped in as a manifest-only change later.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
