@@ -1,7 +1,7 @@
 //! Distributed vectors and sparse matrices over the simulated runtime.
 //!
 //! Data is distributed by contiguous row blocks
-//! ([`BlockDistribution`](resilient_runtime::BlockDistribution)). Vector dot
+//! ([`BlockDistribution`]). Vector dot
 //! products and norms are global collectives (the operations the RBSP
 //! experiments target); the sparse matrix-vector product communicates only
 //! with the ranks that own referenced columns (neighborhood communication).
@@ -63,13 +63,18 @@ impl DistVector {
         resilient_linalg::vector::dot(&self.local, &other.local)
     }
 
-    /// Global dot product (one allreduce).
+    /// Global dot product (one allreduce). Charges the `2n` FLOPs of the
+    /// local partial product; this is the *only* place vector reductions
+    /// charge arithmetic.
     pub fn dot(&self, comm: &mut Comm, other: &DistVector) -> Result<f64> {
         comm.charge_flops(2 * self.local.len());
         comm.global_dot(self.local_dot(other))
     }
 
-    /// Global 2-norm (one allreduce).
+    /// Global 2-norm (one allreduce). A norm is the same `2n` FLOPs as the
+    /// dot it delegates to, so it must **not** charge again on top of
+    /// [`DistVector::dot`] — pinned by the `norm_costs_exactly_one_dot`
+    /// test.
     pub fn norm(&self, comm: &mut Comm) -> Result<f64> {
         Ok(self.dot(comm, self)?.max(0.0).sqrt())
     }
@@ -229,6 +234,16 @@ impl DistCsr {
         self.flops
     }
 
+    /// This rank's contribution to the global ∞-norm: the maximum absolute
+    /// row sum over locally owned rows (rows are complete — owned plus ghost
+    /// columns — so an allreduce-Max of this value is the exact global
+    /// ∞-norm).
+    pub fn local_norm_inf(&self) -> f64 {
+        (0..self.local.nrows())
+            .map(|i| self.local.row(i).1.iter().map(|v| v.abs()).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+
     /// Exchange ghost values of `x` with the neighbours and return the full
     /// local input vector (owned entries followed by ghosts).
     fn assemble_input(&self, comm: &mut Comm, x: &DistVector) -> Result<Vec<f64>> {
@@ -357,6 +372,42 @@ mod tests {
             for (g, e) in got.iter().zip(&expected) {
                 assert!((g - e).abs() < 1e-12);
             }
+        }
+    }
+
+    #[test]
+    fn norm_costs_exactly_one_dot() {
+        // Audit regression: `norm` must charge the same virtual time as one
+        // `dot` (its 2n local FLOPs), never double-charge.
+        let rt = Runtime::new(RuntimeConfig::fast());
+        let result = rt.run(2, move |comm| {
+            let x = DistVector::from_fn(comm, 16, |i| i as f64);
+            let t0 = comm.now();
+            let _ = x.dot(comm, &x)?;
+            let t1 = comm.now();
+            let _ = x.norm(comm)?;
+            let t2 = comm.now();
+            Ok(((t1 - t0) - (t2 - t1)).abs())
+        });
+        for delta in result.unwrap_all() {
+            assert!(delta < 1e-12, "norm must cost exactly one dot: {delta}");
+        }
+    }
+
+    #[test]
+    fn local_norm_inf_matches_global() {
+        let rt = Runtime::new(RuntimeConfig::fast());
+        let result = rt.run(3, move |comm| {
+            let a = poisson2d(6, 5);
+            let da = DistCsr::from_global(comm, &a)?;
+            comm.allreduce_scalar(resilient_runtime::ReduceOp::Max, da.local_norm_inf())
+        });
+        let a = poisson2d(6, 5);
+        let serial: f64 = (0..a.nrows())
+            .map(|i| a.row(i).1.iter().map(|v| v.abs()).sum::<f64>())
+            .fold(0.0, f64::max);
+        for g in result.unwrap_all() {
+            assert_eq!(g, serial);
         }
     }
 

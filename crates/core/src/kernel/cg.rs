@@ -1,0 +1,469 @@
+//! The unified conjugate-gradient kernel: one solve shell (setup, policy
+//! lifecycle, stop handling, outcome assembly) parameterized by a
+//! [`CgStrategy`] that owns the recurrence and its reduction schedule.
+//!
+//! Three strategies reproduce the legacy silos:
+//!
+//! * [`PcgStep`] — the serial (preconditioned) recurrence with immediate
+//!   dots, tracking `r·z`;
+//! * [`FusedCgStep`] — the bulk-synchronous recurrence with **two blocking
+//!   reductions** per iteration, tracking `r·r` (the distributed classic);
+//! * [`PipelinedCgStep`] — the Ghysels–Vanroose recurrence with a **single
+//!   nonblocking fused reduction** posted before the SpMV and completed
+//!   after it.
+//!
+//! Policies hook each SpMV and iteration end. CG has no restart cycle to
+//! roll back, so a detection whose response is `Restart` or `Abort` stops
+//! the solve with `CorruptionDetected`; `RecordOnly` detections are counted
+//! and ignored.
+
+use resilient_runtime::Result;
+
+use super::policy::{PolicyStack, SolutionProbe, StackOutcome};
+use super::space::{KrylovSpace, SerialSpace};
+use super::{KernelOutcome, KernelReport, SolveProgress};
+use crate::solvers::common::{Preconditioner, SolveOptions, StopReason};
+
+/// What one CG iteration decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CgOutcome {
+    /// Iteration completed; keep going.
+    Continue,
+    /// Tolerance met (the strategy's own convergence point).
+    Converged,
+    /// `p·Ap ≤ 0` or a non-finite denominator: the recurrence broke down.
+    Breakdown,
+    /// The iteration produced NaN/Inf values.
+    Diverged,
+    /// A policy detected corruption (non-record-only response).
+    Detected,
+}
+
+/// A CG iteration engine: owns the recurrence vectors and the reduction
+/// schedule of one CG variant.
+pub trait CgStrategy<S: KrylovSpace> {
+    /// Set up the recurrence from the initial residual `r0 = b − A·x0`.
+    fn init(
+        &mut self,
+        space: &mut S,
+        b: &S::Vector,
+        r0: S::Vector,
+        st: &mut SolveProgress,
+    ) -> Result<()>;
+
+    /// Perform one iteration (including its convergence test, iteration
+    /// count and history updates, in the variant's legacy order).
+    fn step(
+        &mut self,
+        space: &mut S,
+        x: &mut S::Vector,
+        policies: &mut PolicyStack<'_, S>,
+        st: &mut SolveProgress,
+        b: &S::Vector,
+    ) -> Result<CgOutcome>;
+}
+
+/// A probe evaluating the true residual of the *current* iterate (CG
+/// updates `x` every iteration, so no trial correction is needed).
+struct CgProbe<'a, S: KrylovSpace> {
+    b: &'a S::Vector,
+    x: &'a S::Vector,
+    /// ‖b‖ computed once at solve start (floored at `f64::MIN_POSITIVE`).
+    bn: f64,
+}
+
+impl<'a, S: KrylovSpace> SolutionProbe<S> for CgProbe<'a, S> {
+    fn trial_true_relres(&mut self, space: &mut S) -> Result<f64> {
+        let ax = space.apply(self.x)?;
+        let r = space.residual(self.b, &ax);
+        let rn = space.norm(&r)?;
+        Ok(rn / self.bn)
+    }
+}
+
+/// Run the unified CG kernel.
+pub fn run_cg<S: KrylovSpace, T: CgStrategy<S>>(
+    space: &mut S,
+    b: &S::Vector,
+    x0: Option<S::Vector>,
+    opts: &SolveOptions,
+    strategy: &mut T,
+    policies: &mut PolicyStack<'_, S>,
+) -> Result<(KernelOutcome<S::Vector>, KernelReport)> {
+    let mut x = x0.unwrap_or_else(|| space.zeros_like(b));
+    let bn = space.norm(b)?.max(f64::MIN_POSITIVE);
+    let mut st = SolveProgress::new(opts.tol, opts.max_iters, bn);
+    let mut report = KernelReport::default();
+    policies.on_solve_start(space, b)?;
+
+    let ax = space.apply(&x)?;
+    let r0 = space.residual(b, &ax);
+    strategy.init(space, b, r0, &mut st)?;
+
+    let mut reason = StopReason::MaxIterations;
+    if st.relres <= opts.tol {
+        reason = StopReason::Converged;
+    } else {
+        while st.iterations < opts.max_iters {
+            match strategy.step(space, &mut x, policies, &mut st, b)? {
+                CgOutcome::Continue => {}
+                CgOutcome::Converged => {
+                    reason = StopReason::Converged;
+                    break;
+                }
+                CgOutcome::Breakdown => {
+                    reason = StopReason::Breakdown;
+                    break;
+                }
+                CgOutcome::Diverged => {
+                    reason = StopReason::Diverged;
+                    break;
+                }
+                CgOutcome::Detected => {
+                    reason = StopReason::CorruptionDetected;
+                    break;
+                }
+            }
+        }
+    }
+
+    report.policy_overhead = policies.overhead_report();
+    Ok((
+        KernelOutcome {
+            x,
+            iterations: st.iterations,
+            relative_residual: st.relres,
+            reason,
+            history: st.history,
+            flops: space.accumulated_flops(),
+        },
+        report,
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Serial preconditioned CG
+// ---------------------------------------------------------------------------
+
+/// The serial (preconditioned) CG recurrence with immediate dots, tracking
+/// `r·z`. Matches the legacy `solvers::cg::pcg` operation for operation,
+/// including its cost model (`A` + `10n` FLOPs per iteration, charged before
+/// the breakdown test).
+pub struct PcgStep<'m, M: Preconditioner + ?Sized> {
+    m: &'m M,
+    r: Vec<f64>,
+    z: Vec<f64>,
+    p: Vec<f64>,
+    rz: f64,
+}
+
+impl<'m, M: Preconditioner + ?Sized> PcgStep<'m, M> {
+    /// Bind the preconditioner.
+    pub fn new(m: &'m M) -> Self {
+        Self {
+            m,
+            r: Vec::new(),
+            z: Vec::new(),
+            p: Vec::new(),
+            rz: 0.0,
+        }
+    }
+}
+
+impl<'a, 'm, O, M> CgStrategy<SerialSpace<'a, O>> for PcgStep<'m, M>
+where
+    O: crate::solvers::common::Operator + ?Sized,
+    M: Preconditioner + ?Sized,
+{
+    fn init(
+        &mut self,
+        _space: &mut SerialSpace<'a, O>,
+        _b: &Vec<f64>,
+        r0: Vec<f64>,
+        st: &mut SolveProgress,
+    ) -> Result<()> {
+        self.r = r0;
+        self.z = self.m.apply(&self.r);
+        self.p = self.z.clone();
+        self.rz = resilient_linalg::vector::dot(&self.r, &self.z);
+        st.relres = resilient_linalg::vector::nrm2(&self.r) / st.bn;
+        st.history.push(st.relres);
+        Ok(())
+    }
+
+    fn step(
+        &mut self,
+        space: &mut SerialSpace<'a, O>,
+        x: &mut Vec<f64>,
+        policies: &mut PolicyStack<'_, SerialSpace<'a, O>>,
+        st: &mut SolveProgress,
+        b: &Vec<f64>,
+    ) -> Result<CgOutcome> {
+        let n = self.p.len();
+        match policies.before_spmv(space, &st.ctx(), &self.p)? {
+            StackOutcome::Act(_) => return Ok(CgOutcome::Detected),
+            StackOutcome::Recorded | StackOutcome::Continue => {}
+        }
+        let ap = space.apply(&self.p)?;
+        space.charge_flops(10 * n);
+        match policies.after_spmv(space, &st.ctx(), &self.p, &ap)? {
+            StackOutcome::Act(_) => return Ok(CgOutcome::Detected),
+            StackOutcome::Recorded | StackOutcome::Continue => {}
+        }
+        let pap = resilient_linalg::vector::dot(&self.p, &ap);
+        if pap <= 0.0 || !pap.is_finite() {
+            return Ok(if pap.is_finite() {
+                CgOutcome::Breakdown
+            } else {
+                CgOutcome::Diverged
+            });
+        }
+        let alpha = self.rz / pap;
+        resilient_linalg::vector::axpy(alpha, &self.p, x);
+        resilient_linalg::vector::axpy(-alpha, &ap, &mut self.r);
+        st.relres = resilient_linalg::vector::nrm2(&self.r) / st.bn;
+        st.iterations += 1;
+        st.history.push(st.relres);
+        if resilient_linalg::vector::has_non_finite(&self.r) {
+            return Ok(CgOutcome::Diverged);
+        }
+        if st.relres <= st.tol {
+            return Ok(CgOutcome::Converged);
+        }
+        self.z = self.m.apply(&self.r);
+        let rz_new = resilient_linalg::vector::dot(&self.r, &self.z);
+        let beta = rz_new / self.rz;
+        self.rz = rz_new;
+        space.xpby(&self.z, beta, &mut self.p);
+        let mut probe = CgProbe::<SerialSpace<'a, O>> { b, x, bn: st.bn };
+        match policies.on_iteration(space, &st.ctx(), &mut probe)? {
+            StackOutcome::Act(_) => return Ok(CgOutcome::Detected),
+            StackOutcome::Recorded | StackOutcome::Continue => {}
+        }
+        Ok(CgOutcome::Continue)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bulk-synchronous CG (two blocking reductions per iteration)
+// ---------------------------------------------------------------------------
+
+/// The unpreconditioned CG recurrence tracking `r·r` with two blocking
+/// global reductions per iteration — the structure whose latency
+/// sensitivity §II-B of the paper describes. Matches the legacy
+/// `rbsp::cg::dist_cg` operation for operation; also runs over serial
+/// spaces (where the reductions are free).
+#[derive(Debug, Default)]
+pub struct FusedCgStep<V> {
+    r: Option<V>,
+    p: Option<V>,
+    rr: f64,
+}
+
+impl<V> FusedCgStep<V> {
+    /// New strategy.
+    pub fn new() -> Self {
+        Self {
+            r: None,
+            p: None,
+            rr: 0.0,
+        }
+    }
+}
+
+impl<S: KrylovSpace> CgStrategy<S> for FusedCgStep<S::Vector> {
+    fn init(
+        &mut self,
+        space: &mut S,
+        _b: &S::Vector,
+        r0: S::Vector,
+        st: &mut SolveProgress,
+    ) -> Result<()> {
+        self.rr = space.dot(&r0, &r0)?;
+        self.p = Some(r0.clone());
+        self.r = Some(r0);
+        st.relres = self.rr.sqrt() / st.bn;
+        st.history.push(st.relres);
+        Ok(())
+    }
+
+    fn step(
+        &mut self,
+        space: &mut S,
+        x: &mut S::Vector,
+        policies: &mut PolicyStack<'_, S>,
+        st: &mut SolveProgress,
+        b: &S::Vector,
+    ) -> Result<CgOutcome> {
+        // Convergence is evaluated at the top of the loop (from the previous
+        // iteration's reduction), as in the legacy distributed solver.
+        st.relres = self.rr.sqrt() / st.bn;
+        if st.relres <= st.tol {
+            return Ok(CgOutcome::Converged);
+        }
+        space.advance_extra_work()?;
+        let p = self.p.as_mut().expect("initialized");
+        let r = self.r.as_mut().expect("initialized");
+        match policies.before_spmv(space, &st.ctx(), p)? {
+            StackOutcome::Act(_) => return Ok(CgOutcome::Detected),
+            StackOutcome::Recorded | StackOutcome::Continue => {}
+        }
+        let ap = space.apply(p)?;
+        match policies.after_spmv(space, &st.ctx(), p, &ap)? {
+            StackOutcome::Act(_) => return Ok(CgOutcome::Detected),
+            StackOutcome::Recorded | StackOutcome::Continue => {}
+        }
+        // Blocking reduction #1.
+        let pap = space.dot(p, &ap)?;
+        if pap <= 0.0 || !pap.is_finite() {
+            return Ok(CgOutcome::Breakdown);
+        }
+        let alpha = self.rr / pap;
+        space.axpy(alpha, p, x);
+        space.axpy(-alpha, &ap, r);
+        space.charge_flops(4 * space.local_len(r));
+        // Blocking reduction #2.
+        let rr_new = space.dot(r, r)?;
+        let beta = rr_new / self.rr;
+        self.rr = rr_new;
+        space.xpby(r, beta, p);
+        space.charge_flops(2 * space.local_len(p));
+        st.iterations += 1;
+        st.relres = self.rr.sqrt() / st.bn;
+        st.history.push(st.relres);
+        let mut probe = CgProbe::<S> { b, x, bn: st.bn };
+        match policies.on_iteration(space, &st.ctx(), &mut probe)? {
+            StackOutcome::Act(_) => return Ok(CgOutcome::Detected),
+            StackOutcome::Recorded | StackOutcome::Continue => {}
+        }
+        Ok(CgOutcome::Continue)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined CG (one nonblocking fused reduction per iteration)
+// ---------------------------------------------------------------------------
+
+/// Pipelined CG (Ghysels & Vanroose): algebraically equivalent to CG but
+/// with a single nonblocking fused reduction per iteration, posted before
+/// the SpMV and completed after it, so the reduction's latency hides behind
+/// the matrix-vector product. Matches the legacy `rbsp::cg::pipelined_cg`.
+#[derive(Debug, Default)]
+pub struct PipelinedCgStep<V> {
+    r: Option<V>,
+    w: Option<V>,
+    z: Option<V>,
+    s: Option<V>,
+    p: Option<V>,
+    gamma_old: f64,
+    alpha_old: f64,
+}
+
+impl<V> PipelinedCgStep<V> {
+    /// New strategy.
+    pub fn new() -> Self {
+        Self {
+            r: None,
+            w: None,
+            z: None,
+            s: None,
+            p: None,
+            gamma_old: 0.0,
+            alpha_old: 0.0,
+        }
+    }
+}
+
+impl<S: KrylovSpace> CgStrategy<S> for PipelinedCgStep<S::Vector> {
+    fn init(
+        &mut self,
+        space: &mut S,
+        b: &S::Vector,
+        r0: S::Vector,
+        st: &mut SolveProgress,
+    ) -> Result<()> {
+        self.w = Some(space.apply(&r0)?);
+        self.z = Some(space.zeros_like(b)); // tracks A s
+        self.s = Some(space.zeros_like(b)); // tracks A p
+        self.p = Some(space.zeros_like(b));
+        self.r = Some(r0);
+        st.relres = f64::INFINITY;
+        Ok(())
+    }
+
+    fn step(
+        &mut self,
+        space: &mut S,
+        x: &mut S::Vector,
+        policies: &mut PolicyStack<'_, S>,
+        st: &mut SolveProgress,
+        b: &S::Vector,
+    ) -> Result<CgOutcome> {
+        let r = self.r.as_mut().expect("initialized");
+        let w = self.w.as_mut().expect("initialized");
+        // Fused local partial reductions γ = (r, r), δ = (w, r), posted as a
+        // single nonblocking reduction ...
+        let pending = space.start_dots(&[(&*r, &*r), (&*w, &*r)])?;
+        // ... and overlapped with the SpMV q = A·w and any extra work.
+        space.advance_extra_work()?;
+        match policies.before_spmv(space, &st.ctx(), w)? {
+            StackOutcome::Act(_) => return Ok(CgOutcome::Detected),
+            StackOutcome::Recorded | StackOutcome::Continue => {}
+        }
+        let q = space.apply(w)?;
+        match policies.after_spmv(space, &st.ctx(), w, &q)? {
+            StackOutcome::Act(_) => return Ok(CgOutcome::Detected),
+            StackOutcome::Recorded | StackOutcome::Continue => {}
+        }
+        let reduced = space.finish_dots(pending)?;
+        let (gamma, delta) = (reduced[0], reduced[1]);
+
+        st.relres = gamma.max(0.0).sqrt() / st.bn;
+        if st.history.is_empty() {
+            st.history.push(st.relres);
+        }
+        if st.relres <= st.tol || !st.relres.is_finite() {
+            return Ok(if st.relres <= st.tol {
+                CgOutcome::Converged
+            } else {
+                CgOutcome::Diverged
+            });
+        }
+
+        let (alpha, beta);
+        if st.iterations > 0 {
+            beta = gamma / self.gamma_old;
+            alpha = gamma / (delta - beta * gamma / self.alpha_old);
+        } else {
+            beta = 0.0;
+            alpha = gamma / delta;
+        }
+        if !alpha.is_finite() || alpha == 0.0 {
+            return Ok(CgOutcome::Breakdown);
+        }
+
+        // Recurrence updates (all local): z ← q + βz, s ← w + βs,
+        // p ← r + βp, x ← x + αp, r ← r − αs, w ← w − αz.
+        let z = self.z.as_mut().expect("initialized");
+        let s = self.s.as_mut().expect("initialized");
+        let p = self.p.as_mut().expect("initialized");
+        space.xpby(&q, beta, z);
+        space.xpby(w, beta, s);
+        space.xpby(r, beta, p);
+        space.axpy(alpha, p, x);
+        space.axpy(-alpha, s, r);
+        space.axpy(-alpha, z, w);
+        space.charge_flops(12 * space.local_len(p));
+
+        self.gamma_old = gamma;
+        self.alpha_old = alpha;
+        st.iterations += 1;
+        st.history.push(st.relres);
+        let mut probe = CgProbe::<S> { b, x, bn: st.bn };
+        match policies.on_iteration(space, &st.ctx(), &mut probe)? {
+            StackOutcome::Act(_) => return Ok(CgOutcome::Detected),
+            StackOutcome::Recorded | StackOutcome::Continue => {}
+        }
+        Ok(CgOutcome::Continue)
+    }
+}

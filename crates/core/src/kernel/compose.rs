@@ -1,0 +1,391 @@
+//! Composed resilience scenarios — combinations the pre-kernel silos could
+//! not express.
+//!
+//! * [`pipelined_skeptical_gmres`] — **RBSP × SkP**: the p(1)-pipelined
+//!   GMRES (latency hiding via a nonblocking fused reduction) running under
+//!   the full skeptical SDC-detection stack, over the distributed runtime.
+//! * [`ft_gmres_abft`] — **SRP × ABFT**: FT-GMRES (reliable outer /
+//!   unreliable inner iterations) whose *outer* products are additionally
+//!   verified against Huang–Abraham checksums, so corruption of the
+//!   supposedly reliable tier is caught and rolled back instead of silently
+//!   absorbed as slower convergence.
+//!
+//! Both report per-policy overhead through [`PolicyOverhead`]; the
+//! distributed scenario additionally attributes the check arithmetic in the
+//! runtime's per-rank ledger (`RankStats::check_flops`), while the time cost
+//! of the checks is charged by the reductions that perform them.
+
+use resilient_linalg::checksum::ChecksummedCsr;
+use resilient_linalg::CsrMatrix;
+use resilient_runtime::{Comm, ReduceOp, Result};
+
+use super::gmres::{run_gmres, GmresFlavor, PipelinedOrtho};
+use super::policy::{
+    DetectionResponse, IterCtx, PolicyAction, PolicyOverhead, PolicyStack, ResiliencePolicy,
+};
+use super::skeptic::SkepticalPolicy;
+use super::space::{DistSpace, KrylovSpace, SerialSpace, SpmvFault};
+use crate::distributed::{DistCsr, DistVector};
+use crate::rbsp::{DistSolveOptions, DistSolveOutcome};
+use crate::skeptical::sdc_gmres::{SkepticalConfig, SkepticalReport};
+use crate::solvers::common::{Operator, SolveOutcome};
+use crate::srp::ft_gmres::{ft_gmres_with_policies, FtGmresConfig, FtGmresReport};
+
+// ---------------------------------------------------------------------------
+// ABFT SpMV policy
+// ---------------------------------------------------------------------------
+
+/// Verifies every operator product against the Huang–Abraham column-sum
+/// checksum of the clean matrix: for `w = A·v`, `Σ_i w_i` must equal
+/// `(eᵀA)·v`. An O(n) end-to-end check per SpMV that catches single-event
+/// upsets in the product regardless of where they struck.
+pub struct AbftSpmvPolicy {
+    encoded: ChecksummedCsr,
+    tol: f64,
+    response: DetectionResponse,
+    overhead: PolicyOverhead,
+}
+
+impl AbftSpmvPolicy {
+    /// Encode `a` (the *clean* matrix) for verification with relative
+    /// tolerance `tol`.
+    pub fn for_matrix(a: &CsrMatrix, tol: f64) -> Self {
+        Self {
+            encoded: ChecksummedCsr::encode(a.clone()),
+            tol,
+            response: DetectionResponse::Restart,
+            overhead: PolicyOverhead {
+                name: "abft-spmv",
+                ..PolicyOverhead::default()
+            },
+        }
+    }
+
+    /// Override the detection response (default: restart the cycle).
+    pub fn with_response(mut self, response: DetectionResponse) -> Self {
+        self.response = response;
+        self
+    }
+
+    /// Detections so far.
+    pub fn detections(&self) -> usize {
+        self.overhead.detections
+    }
+}
+
+impl<'a, O: Operator + ?Sized> ResiliencePolicy<SerialSpace<'a, O>> for AbftSpmvPolicy {
+    fn name(&self) -> &'static str {
+        "abft-spmv"
+    }
+
+    fn response(&self) -> DetectionResponse {
+        self.response
+    }
+
+    fn after_spmv(
+        &mut self,
+        space: &mut SerialSpace<'a, O>,
+        _ctx: &IterCtx,
+        v: &Vec<f64>,
+        w: &Vec<f64>,
+    ) -> Result<PolicyAction> {
+        self.overhead.checks_run += 1;
+        // Σw (n adds) + (eᵀA)·v (2n) + the scale estimate (n).
+        let cost = 4 * w.len();
+        self.overhead.check_flops += cost;
+        space.record_check_flops(cost);
+        if self.encoded.verify_product(v, w, self.tol) {
+            Ok(PolicyAction::Continue)
+        } else {
+            self.overhead.detections += 1;
+            Ok(PolicyAction::Detected)
+        }
+    }
+
+    fn overhead(&self) -> PolicyOverhead {
+        self.overhead.clone()
+    }
+
+    fn note_restart(&mut self) {
+        self.overhead.restarts += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 1: pipelined GMRES × skeptical SDC detection (RBSP × SkP)
+// ---------------------------------------------------------------------------
+
+/// Report of one composed pipelined-skeptical solve.
+#[derive(Debug, Clone, Default)]
+pub struct ComposedDistReport {
+    /// The skeptical policy's legacy-format report.
+    pub skeptical: SkepticalReport,
+    /// Per-policy overhead in stack order.
+    pub policies: Vec<PolicyOverhead>,
+    /// Bit flips actually injected by the space-level fault plan.
+    pub injections: usize,
+    /// Cycle restarts triggered by policy detections.
+    pub policy_restarts: usize,
+}
+
+/// p(1)-pipelined GMRES with the skeptical SDC-detection stack — latency
+/// hiding *and* corruption detection in one solve, which the rbsp/skeptical
+/// silos could not combine. `fault` optionally injects a single-event upset
+/// into a chosen SpMV product (see [`SpmvFault`]).
+pub fn pipelined_skeptical_gmres(
+    comm: &mut Comm,
+    a: &DistCsr,
+    b: &DistVector,
+    opts: &DistSolveOptions,
+    skeptic: &SkepticalConfig,
+    fault: Option<SpmvFault>,
+) -> Result<(DistSolveOutcome, ComposedDistReport)> {
+    // Pairwise orthogonality is an invariant of *explicitly orthogonalized*
+    // bases. The p(1) basis is recovered by linearity and legitimately
+    // drifts to ~1e-2 orthogonality on clean runs as the residual
+    // approaches the tolerance, so the orthogonality test carries no signal
+    // here and is disabled (a NaN inner product still trips it). The
+    // finiteness, norm-bound and residual-consistency checks — which remain
+    // valid invariants of the pipelined recurrence — keep their configured
+    // strictness and carry the SDC detection.
+    let mut skeptic = *skeptic;
+    skeptic.orthogonality_tol = f64::INFINITY;
+    let skeptic = &skeptic;
+    // Globally agreed ∞-norm bound for the norm-bound check.
+    let norm_a = comm.allreduce_scalar(ReduceOp::Max, a.local_norm_inf())?;
+    let mut space = DistSpace::new(comm, a)
+        .with_extra_work(opts.extra_work_per_iter)
+        .with_operator_norm(norm_a);
+    if let Some(f) = fault {
+        space = space.with_fault(f);
+    }
+    let mut skeptical = SkepticalPolicy::new(*skeptic);
+    let mut policies = PolicyStack::new(vec![&mut skeptical]);
+    let (outcome, report) = run_gmres(
+        &mut space,
+        b,
+        None,
+        &opts.solve_options(),
+        &mut PipelinedOrtho::new(),
+        &mut policies,
+        None,
+        &GmresFlavor::distributed(),
+    )?;
+    let injections = space.injections();
+    Ok((
+        outcome.into_dist_outcome(opts.tol),
+        ComposedDistReport {
+            skeptical: skeptical.report(),
+            policies: report.policy_overhead,
+            injections,
+            policy_restarts: report.policy_restarts,
+        },
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 2: FT-GMRES × ABFT-checked outer products (SRP × ABFT)
+// ---------------------------------------------------------------------------
+
+/// Report of one composed FT-GMRES + ABFT solve.
+#[derive(Debug, Clone, Default)]
+pub struct FtGmresAbftReport {
+    /// ABFT verification overhead and detections.
+    pub abft: PolicyOverhead,
+    /// Cycle restarts triggered by ABFT detections.
+    pub policy_restarts: usize,
+}
+
+/// FT-GMRES whose outer (reliable-tier) products are verified against the
+/// clean matrix's Huang–Abraham checksums. `op` is the operator actually
+/// applied by the outer iteration (wrap it in a fault injector for
+/// experiments); `clean` provides both the checksum encoding and the source
+/// for the unreliable inner solves, which corrupt at `cfg.fault_rate`
+/// exactly as plain FT-GMRES.
+pub fn ft_gmres_abft<O: Operator + ?Sized>(
+    op: &O,
+    clean: &CsrMatrix,
+    b: &[f64],
+    cfg: &FtGmresConfig,
+    abft_tol: f64,
+) -> (SolveOutcome, FtGmresReport, FtGmresAbftReport) {
+    let mut abft = AbftSpmvPolicy::for_matrix(clean, abft_tol);
+    let mut stack: PolicyStack<'_, SerialSpace<'_, O>> = PolicyStack::new(vec![&mut abft]);
+    let (out, report, restarts) = ft_gmres_with_policies(op, clean, b, cfg, &mut stack);
+    let abft_report = FtGmresAbftReport {
+        abft: abft.overhead.clone(),
+        policy_restarts: restarts,
+    };
+    (out, report, abft_report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skeptical::faulty::{FaultTarget, FaultyOperator, InjectionPlan};
+    use crate::skeptical::sdc_gmres::skeptical_gmres;
+    use crate::solvers::common::{true_relative_residual, SolveOptions};
+    use resilient_linalg::poisson2d;
+    use resilient_runtime::{Runtime, RuntimeConfig};
+
+    fn dist_opts() -> DistSolveOptions {
+        DistSolveOptions::default()
+            .with_tol(1e-9)
+            .with_max_iters(400)
+            .with_restart(30)
+    }
+
+    #[test]
+    fn pipelined_sdc_clean_run_has_no_false_positives() {
+        let rt = Runtime::new(RuntimeConfig::fast());
+        let results = rt
+            .run(4, move |comm| {
+                let a = poisson2d(9, 9);
+                let n = a.nrows();
+                let da = DistCsr::from_global(comm, &a)?;
+                let b = DistVector::from_fn(comm, n, |i| 1.0 + (i % 2) as f64);
+                let (out, report) = pipelined_skeptical_gmres(
+                    comm,
+                    &da,
+                    &b,
+                    &dist_opts(),
+                    &SkepticalConfig::default(),
+                    None,
+                )?;
+                Ok((
+                    out.converged,
+                    out.x.gather_global(comm)?,
+                    report.skeptical.detections,
+                    report.skeptical.local_checks_run,
+                    report.policies.len(),
+                ))
+            })
+            .unwrap_all();
+        let a = poisson2d(9, 9);
+        let b: Vec<f64> = (0..a.nrows()).map(|i| 1.0 + (i % 2) as f64).collect();
+        for (converged, x, detections, checks, n_policies) in results {
+            assert!(converged);
+            assert_eq!(detections, 0, "clean pipelined run must not false-positive");
+            assert!(checks > 0, "checks must actually run");
+            assert_eq!(n_policies, 1);
+            assert!(true_relative_residual(&a, &b, &x) < 1e-7);
+        }
+    }
+
+    #[test]
+    fn pipelined_sdc_detects_and_survives_injected_flip() {
+        let rt = Runtime::new(RuntimeConfig::fast());
+        let results = rt
+            .run(4, move |comm| {
+                let a = poisson2d(9, 9);
+                let n = a.nrows();
+                let da = DistCsr::from_global(comm, &a)?;
+                let b = DistVector::from_fn(comm, n, |i| 1.0 + (i % 2) as f64);
+                let fault = SpmvFault {
+                    rank: 1,
+                    at_application: 6,
+                    local_element: 3,
+                    bit: 62,
+                };
+                let (out, report) = pipelined_skeptical_gmres(
+                    comm,
+                    &da,
+                    &b,
+                    &dist_opts(),
+                    &SkepticalConfig::default(),
+                    Some(fault),
+                )?;
+                // Injection counts are per-rank; sum them so every rank can
+                // assert the flip actually happened somewhere.
+                let injections =
+                    comm.allreduce_scalar(ReduceOp::Sum, report.injections as f64)? as usize;
+                let detections = comm
+                    .allreduce_scalar(ReduceOp::Max, report.skeptical.detections as f64)?
+                    as usize;
+                Ok((
+                    out.converged,
+                    out.x.gather_global(comm)?,
+                    injections,
+                    detections,
+                    report.policy_restarts,
+                ))
+            })
+            .unwrap_all();
+        let a = poisson2d(9, 9);
+        let b: Vec<f64> = (0..a.nrows()).map(|i| 1.0 + (i % 2) as f64).collect();
+        for (converged, x, injections, detections, _restarts) in results {
+            assert_eq!(injections, 1, "the flip must have been injected");
+            assert!(detections >= 1, "the severe flip must be detected");
+            assert!(converged, "pipelined GMRES must survive the flip");
+            assert!(true_relative_residual(&a, &b, &x) < 1e-7);
+        }
+    }
+
+    #[test]
+    fn serial_and_pipelined_skeptics_agree_on_clean_checks() {
+        // The same SkepticalConfig drives both the serial preset and the
+        // composed pipelined scenario; a clean run must fire zero detections
+        // in both (policy reuse across dot strategies is the point).
+        let a = poisson2d(8, 8);
+        let b = vec![1.0; a.nrows()];
+        let (out, report) = skeptical_gmres(
+            &a,
+            &b,
+            None,
+            &SolveOptions::default().with_tol(1e-9).with_max_iters(400),
+            &SkepticalConfig::default(),
+        );
+        assert!(out.converged());
+        assert_eq!(report.detections, 0);
+    }
+
+    #[test]
+    fn ft_gmres_abft_detects_outer_corruption_and_converges() {
+        let a = poisson2d(8, 8);
+        let n = a.nrows();
+        let b = vec![1.0; n];
+        // Corrupt the *outer* (reliable-tier) SpMV — the blind spot plain
+        // FT-GMRES has, since only inner results are validated.
+        let plan = InjectionPlan {
+            at_application: 2,
+            target: FaultTarget::Element(n / 3),
+            bit: Some(61),
+        };
+        let faulty = FaultyOperator::new(&a, Some(plan), 9);
+        let cfg = FtGmresConfig {
+            outer: SolveOptions::default()
+                .with_tol(1e-8)
+                .with_max_iters(80)
+                .with_restart(20),
+            ..FtGmresConfig::default()
+        };
+        let (out, report, abft) = ft_gmres_abft(&faulty, &a, &b, &cfg, 1e-9);
+        assert!(
+            faulty.injection().is_some(),
+            "fault must have been injected"
+        );
+        assert!(abft.abft.detections >= 1, "ABFT must catch the outer flip");
+        assert!(
+            out.converged(),
+            "solve must still converge: {:?}",
+            out.reason
+        );
+        assert!(true_relative_residual(&a, &b, &out.x) < 1e-7);
+        assert!(report.inner_iterations > 0);
+    }
+
+    #[test]
+    fn ft_gmres_abft_clean_run_is_detection_free() {
+        let a = poisson2d(7, 7);
+        let b = vec![1.0; a.nrows()];
+        let cfg = FtGmresConfig {
+            outer: SolveOptions::default().with_tol(1e-8).with_max_iters(60),
+            ..FtGmresConfig::default()
+        };
+        let (out, _report, abft) = ft_gmres_abft(&a, &a, &b, &cfg, 1e-9);
+        assert!(out.converged());
+        assert_eq!(abft.abft.detections, 0, "no ABFT false positives");
+        assert!(abft.abft.checks_run > 0);
+        assert!(abft.abft.check_flops > 0);
+    }
+}

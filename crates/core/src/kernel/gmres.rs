@@ -1,0 +1,905 @@
+//! The unified GMRES-family kernel: one restarted Arnoldi/Givens iteration
+//! core parameterized by an orthogonalization (dot) strategy, an optional
+//! flexible right preconditioner and a resilience-policy stack.
+//!
+//! The three [`OrthoStrategy`] implementations reproduce, operation for
+//! operation, the arithmetic of the legacy silos they replaced:
+//!
+//! * [`MgsOrtho`] — modified Gram–Schmidt with immediate (blocking) dots:
+//!   the serial `gmres`/`fgmres`/`skeptical_gmres` inner loop;
+//! * [`CgsOrtho`] — classical Gram–Schmidt with one fused blocking
+//!   reduction for the projection coefficients and one for the norm: the
+//!   bulk-synchronous distributed GMRES;
+//! * [`PipelinedOrtho`] — the p(1) pipelining of Ghysels, Ashby, Meerbergen
+//!   & Vanroose: a single nonblocking fused reduction overlapped with the
+//!   *speculative* next product, basis and products recovered by linearity.
+//!
+//! Control-flow details in which the legacy solvers differed (where
+//! divergence is detected, whether a happy breakdown terminates the solve,
+//! whether the cycle-end residual is verified against the operator) are
+//! captured by [`GmresFlavor`] so each preset keeps its exact observable
+//! behaviour.
+
+use resilient_linalg::HessenbergLsq;
+use resilient_runtime::Result;
+
+use super::policy::{
+    DetectionResponse, FailureEvent, PolicyStack, RecoveryAction, SolutionProbe, StackOutcome,
+};
+use super::space::KrylovSpace;
+use super::{KernelOutcome, KernelReport, SolveProgress};
+use crate::solvers::common::{SolveOptions, StopReason};
+
+/// A possibly nonlinear, possibly unreliable right preconditioner
+/// `z ≈ A⁻¹·v` applied through a space (the flexible-GMRES inner solve).
+pub trait FlexibleRight<S: KrylovSpace> {
+    /// Apply the inner solver to `v`.
+    fn apply(&mut self, space: &mut S, v: &S::Vector) -> Result<S::Vector>;
+    /// Name for reporting.
+    fn name(&self) -> &'static str {
+        "flexible"
+    }
+}
+
+/// One restart cycle's worth of Krylov state.
+pub struct GmresCycle<V> {
+    /// Orthonormal basis v₀ … v_k.
+    pub basis: Vec<V>,
+    /// Flexibly preconditioned vectors z₀ … z_{k−1} (flexible mode only).
+    pub z_basis: Vec<V>,
+    /// Operator products A·v₀ … A·v_k (pipelined mode only).
+    pub products: Vec<V>,
+    /// The running Hessenberg least-squares factorization.
+    pub lsq: HessenbergLsq,
+    /// Cycle-initial residual norm β.
+    pub beta: f64,
+}
+
+impl<V> GmresCycle<V> {
+    /// Completed Arnoldi steps in this cycle.
+    pub fn steps(&self) -> usize {
+        self.lsq.len()
+    }
+}
+
+/// What one orthogonalization step did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The cycle was extended by one column.
+    Extended,
+    /// Happy breakdown: the column was consumed but the subspace is
+    /// invariant; the cycle is over.
+    Breakdown,
+    /// A record-only policy detection consumed the step without extending
+    /// (the legacy skeptical "observe but keep going" semantics).
+    Skipped,
+    /// A policy detected corruption and demands the given response
+    /// (`Restart` or `Abort`; `RecordOnly` never surfaces here).
+    Detected(DetectionResponse),
+}
+
+/// Orthogonalization/dot scheduling strategy for the GMRES kernel.
+pub trait OrthoStrategy<S: KrylovSpace> {
+    /// Called once per restart cycle after the basis is seeded with v₀
+    /// (pipelined strategies compute A·v₀ here).
+    fn begin_cycle(&mut self, _space: &mut S, _cycle: &mut GmresCycle<S::Vector>) -> Result<()> {
+        Ok(())
+    }
+
+    /// Perform one Arnoldi step: operator application, orthogonalization,
+    /// least-squares update, policy hooks.
+    #[allow(clippy::too_many_arguments)]
+    fn step(
+        &mut self,
+        space: &mut S,
+        cycle: &mut GmresCycle<S::Vector>,
+        policies: &mut PolicyStack<'_, S>,
+        st: &mut SolveProgress,
+        flexible: &mut Option<&mut dyn FlexibleRight<S>>,
+        b: &S::Vector,
+        x: &S::Vector,
+        report: &mut KernelReport,
+    ) -> Result<StepOutcome>;
+}
+
+/// Control-flow profile of a GMRES preset (where the legacy solvers place
+/// their divergence / breakdown / verification decisions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GmresFlavor {
+    /// Check `x` and the cycle-start residual for NaN/Inf and stop with
+    /// `Diverged` (the skeptical solver's guard).
+    pub check_start_divergence: bool,
+    /// Evaluate tolerance / iteration cap / finiteness at the cycle start
+    /// and stop there, with no cycle-end verification (the distributed
+    /// solvers' loop shape).
+    pub break_at_cycle_start: bool,
+    /// Stop with `Diverged` as soon as the recurrence residual goes
+    /// non-finite mid-cycle (the serial `gmres` guard).
+    pub diverge_mid_cycle: bool,
+    /// A happy breakdown ends the solve (serial) rather than just the cycle
+    /// (distributed, where the outer loop recomputes and restarts).
+    pub breakdown_is_terminal: bool,
+    /// Recompute the true residual after each cycle and use it for the
+    /// convergence decision (serial presets).
+    pub verify_cycle_end: bool,
+    /// Charge `2n·k` FLOPs for the cycle-end solution update (distributed
+    /// presets).
+    pub charge_solution_update: bool,
+}
+
+impl GmresFlavor {
+    /// The serial `gmres` profile.
+    pub fn serial() -> Self {
+        Self {
+            check_start_divergence: false,
+            break_at_cycle_start: false,
+            diverge_mid_cycle: true,
+            breakdown_is_terminal: true,
+            verify_cycle_end: true,
+            charge_solution_update: false,
+        }
+    }
+
+    /// The serial flexible-GMRES profile.
+    pub fn serial_flexible() -> Self {
+        Self {
+            diverge_mid_cycle: false,
+            ..Self::serial()
+        }
+    }
+
+    /// The serial skeptical-GMRES profile.
+    pub fn serial_skeptical() -> Self {
+        Self {
+            check_start_divergence: true,
+            diverge_mid_cycle: false,
+            ..Self::serial()
+        }
+    }
+
+    /// The distributed profile (both bulk-synchronous and pipelined).
+    pub fn distributed() -> Self {
+        Self {
+            check_start_divergence: false,
+            break_at_cycle_start: true,
+            diverge_mid_cycle: false,
+            breakdown_is_terminal: false,
+            verify_cycle_end: false,
+            charge_solution_update: true,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Probe
+// ---------------------------------------------------------------------------
+
+struct GmresProbe<'a, S: KrylovSpace> {
+    b: &'a S::Vector,
+    x: &'a S::Vector,
+    lsq: &'a HessenbergLsq,
+    correction_basis: &'a [S::Vector],
+    /// ‖b‖ computed once at solve start (floored at `f64::MIN_POSITIVE`);
+    /// reusing it saves an allreduce per probe in distributed spaces.
+    bn: f64,
+}
+
+impl<'a, S: KrylovSpace> SolutionProbe<S> for GmresProbe<'a, S> {
+    fn trial_true_relres(&mut self, space: &mut S) -> Result<f64> {
+        let mut xt = self.x.clone();
+        let y = self.lsq.solve();
+        for (j, yj) in y.iter().enumerate() {
+            space.axpy(*yj, &self.correction_basis[j], &mut xt);
+        }
+        let ax = space.apply(&xt)?;
+        let r = space.residual(self.b, &ax);
+        let rn = space.norm(&r)?;
+        Ok(rn / self.bn)
+    }
+}
+
+/// Post-extension policy hooks shared by every orthogonalization strategy:
+/// skipped entirely once the recurrence reports convergence (at rounding
+/// level the newest basis vector is noise and orthogonality tests would
+/// false-positive); a record-only orthogonality detection skips the
+/// residual check, as the legacy skeptical solver did.
+fn finish_extended_step<S: KrylovSpace>(
+    space: &mut S,
+    cycle: &GmresCycle<S::Vector>,
+    policies: &mut PolicyStack<'_, S>,
+    st: &SolveProgress,
+    b: &S::Vector,
+    x: &S::Vector,
+    use_z_basis: bool,
+) -> Result<StepOutcome> {
+    if st.relres <= st.tol {
+        return Ok(StepOutcome::Extended);
+    }
+    let len = cycle.basis.len();
+    let (new_v, prev_v) = (&cycle.basis[len - 1], cycle.basis.get(len.wrapping_sub(2)));
+    match policies.after_orthogonalization(space, &st.ctx(), new_v, prev_v)? {
+        StackOutcome::Act(r) => return Ok(StepOutcome::Detected(r)),
+        StackOutcome::Recorded => return Ok(StepOutcome::Extended),
+        StackOutcome::Continue => {}
+    }
+    let correction_basis: &[S::Vector] = if use_z_basis {
+        &cycle.z_basis
+    } else {
+        &cycle.basis
+    };
+    let mut probe = GmresProbe::<S> {
+        b,
+        x,
+        lsq: &cycle.lsq,
+        correction_basis,
+        bn: st.bn,
+    };
+    match policies.on_iteration(space, &st.ctx(), &mut probe)? {
+        StackOutcome::Act(r) => return Ok(StepOutcome::Detected(r)),
+        StackOutcome::Recorded | StackOutcome::Continue => {}
+    }
+    Ok(StepOutcome::Extended)
+}
+
+// ---------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------
+
+/// Modified Gram–Schmidt with immediate dots (the serial strategy).
+///
+/// `ortho_charge_extra` reproduces the legacy cost models: the plain solver
+/// charged `4n·(k+1)` per step, the flexible solver `4n·(k+2)`.
+pub struct MgsOrtho {
+    /// Extra basis-length units charged per step (0 for `gmres`, 1 for
+    /// `fgmres`).
+    pub ortho_charge_extra: usize,
+}
+
+impl MgsOrtho {
+    /// The plain-GMRES cost profile.
+    pub fn new() -> Self {
+        Self {
+            ortho_charge_extra: 0,
+        }
+    }
+
+    /// The flexible-GMRES cost profile.
+    pub fn flexible() -> Self {
+        Self {
+            ortho_charge_extra: 1,
+        }
+    }
+}
+
+impl Default for MgsOrtho {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: KrylovSpace> OrthoStrategy<S> for MgsOrtho {
+    fn step(
+        &mut self,
+        space: &mut S,
+        cycle: &mut GmresCycle<S::Vector>,
+        policies: &mut PolicyStack<'_, S>,
+        st: &mut SolveProgress,
+        flexible: &mut Option<&mut dyn FlexibleRight<S>>,
+        b: &S::Vector,
+        x: &S::Vector,
+        report: &mut KernelReport,
+    ) -> Result<StepOutcome> {
+        let vj = cycle.basis.last().expect("basis is never empty").clone();
+        let n = space.local_len(&vj);
+
+        // Flexible (inner, possibly unreliable) preconditioning with the
+        // outer skeptical validity check.
+        let input = if let Some(f) = flexible.as_mut() {
+            report.inner_applications += 1;
+            let z = f.apply(space, &vj)?;
+            if space.local_len(&z) != n || space.local_has_non_finite(&z) {
+                report.rejected_inner_results += 1;
+                vj.clone()
+            } else {
+                z
+            }
+        } else {
+            vj
+        };
+
+        match policies.before_spmv(space, &st.ctx(), &input)? {
+            StackOutcome::Act(r) => return Ok(StepOutcome::Detected(r)),
+            StackOutcome::Recorded | StackOutcome::Continue => {}
+        }
+        let mut w = space.apply(&input)?;
+        space.charge_flops(4 * n * (cycle.basis.len() + self.ortho_charge_extra));
+        match policies.after_spmv(space, &st.ctx(), &input, &w)? {
+            StackOutcome::Act(r) => return Ok(StepOutcome::Detected(r)),
+            StackOutcome::Recorded => return Ok(StepOutcome::Skipped),
+            StackOutcome::Continue => {}
+        }
+
+        // Modified Gram–Schmidt against the existing basis: each coefficient
+        // is computed against the already partially orthogonalized w.
+        let mut h = Vec::with_capacity(cycle.basis.len() + 1);
+        for i in 0..cycle.basis.len() {
+            let hij = space.dot(&cycle.basis[i], &w)?;
+            space.axpy(-hij, &cycle.basis[i], &mut w);
+            h.push(hij);
+        }
+        let h_next = space.norm(&w)?;
+        h.push(h_next);
+        let res_norm = cycle.lsq.push_column(&h);
+        st.iterations += 1;
+        st.cycle_step += 1;
+        st.relres = res_norm / st.bn;
+        st.history.push(st.relres);
+        if flexible.is_some() {
+            cycle.z_basis.push(input);
+        }
+        if h_next <= f64::EPSILON * cycle.beta.max(1.0) {
+            return Ok(StepOutcome::Breakdown);
+        }
+        space.scale(1.0 / h_next, &mut w);
+        cycle.basis.push(w);
+        finish_extended_step(space, cycle, policies, st, b, x, flexible.is_some())
+    }
+}
+
+/// Classical Gram–Schmidt with fused blocking reductions (the
+/// bulk-synchronous distributed strategy): one allreduce for all projection
+/// coefficients, one for the normalization.
+#[derive(Debug, Default)]
+pub struct CgsOrtho;
+
+impl CgsOrtho {
+    /// New strategy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl<S: KrylovSpace> OrthoStrategy<S> for CgsOrtho {
+    fn step(
+        &mut self,
+        space: &mut S,
+        cycle: &mut GmresCycle<S::Vector>,
+        policies: &mut PolicyStack<'_, S>,
+        st: &mut SolveProgress,
+        _flexible: &mut Option<&mut dyn FlexibleRight<S>>,
+        b: &S::Vector,
+        x: &S::Vector,
+        _report: &mut KernelReport,
+    ) -> Result<StepOutcome> {
+        space.advance_extra_work()?;
+        let vj = cycle.basis.last().expect("basis is never empty").clone();
+        let n = space.local_len(&vj);
+
+        match policies.before_spmv(space, &st.ctx(), &vj)? {
+            StackOutcome::Act(r) => return Ok(StepOutcome::Detected(r)),
+            StackOutcome::Recorded | StackOutcome::Continue => {}
+        }
+        let mut w = space.apply(&vj)?;
+        match policies.after_spmv(space, &st.ctx(), &vj, &w)? {
+            StackOutcome::Act(r) => return Ok(StepOutcome::Detected(r)),
+            StackOutcome::Recorded => return Ok(StepOutcome::Skipped),
+            StackOutcome::Continue => {}
+        }
+
+        // Projection coefficients: one fused blocking reduction.
+        let basis_refs: Vec<&S::Vector> = cycle.basis.iter().collect();
+        let h_proj = space.fused_dots(&basis_refs, &w)?;
+        for (hij, v) in h_proj.iter().zip(&cycle.basis) {
+            space.axpy(-hij, v, &mut w);
+        }
+        space.charge_flops(2 * n * cycle.basis.len());
+        // Normalization: second blocking reduction.
+        let h_next = space.norm(&w)?;
+        let mut h = h_proj;
+        h.push(h_next);
+        st.relres = cycle.lsq.push_column(&h) / st.bn;
+        st.iterations += 1;
+        st.cycle_step += 1;
+        st.history.push(st.relres);
+        if h_next <= f64::EPSILON * cycle.beta.max(1.0) {
+            return Ok(StepOutcome::Breakdown);
+        }
+        space.scale(1.0 / h_next, &mut w);
+        cycle.basis.push(w);
+        finish_extended_step(space, cycle, policies, st, b, x, false)
+    }
+}
+
+/// p(1)-pipelined orthogonalization: one nonblocking fused reduction per
+/// step, overlapped with the speculative product of the still-unnormalized
+/// vector; the orthonormal basis vector and its product are recovered by
+/// linearity.
+#[derive(Debug, Default)]
+pub struct PipelinedOrtho;
+
+impl PipelinedOrtho {
+    /// New strategy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl<S: KrylovSpace> OrthoStrategy<S> for PipelinedOrtho {
+    fn begin_cycle(&mut self, space: &mut S, cycle: &mut GmresCycle<S::Vector>) -> Result<()> {
+        let v0 = cycle.basis[0].clone();
+        let z0 = space.apply(&v0)?;
+        cycle.products.clear();
+        cycle.products.push(z0);
+        Ok(())
+    }
+
+    fn step(
+        &mut self,
+        space: &mut S,
+        cycle: &mut GmresCycle<S::Vector>,
+        policies: &mut PolicyStack<'_, S>,
+        st: &mut SolveProgress,
+        _flexible: &mut Option<&mut dyn FlexibleRight<S>>,
+        b: &S::Vector,
+        x: &S::Vector,
+        _report: &mut KernelReport,
+    ) -> Result<StepOutcome> {
+        let j = cycle.basis.len() - 1;
+        let zj = cycle.products[j].clone();
+        let n = space.local_len(&zj);
+
+        // Fused dots (v_i, z_j) for i = 0..=j plus (z_j, z_j), posted as a
+        // single nonblocking reduction ...
+        let mut pairs: Vec<(&S::Vector, &S::Vector)> =
+            cycle.basis.iter().map(|v| (v, &zj)).collect();
+        pairs.push((&zj, &zj));
+        let pending = space.start_dots(&pairs)?;
+        drop(pairs);
+        // (pairs dropped so the basis borrow ends before the cycle is
+        // mutated below.)
+        // ... and overlapped with the speculative next product A·z_j and
+        // any extra application work.
+        space.advance_extra_work()?;
+        match policies.before_spmv(space, &st.ctx(), &zj)? {
+            StackOutcome::Act(r) => return Ok(StepOutcome::Detected(r)),
+            StackOutcome::Recorded | StackOutcome::Continue => {}
+        }
+        let azj = space.apply(&zj)?;
+        let reduced = space.finish_dots(pending)?;
+        match policies.after_spmv(space, &st.ctx(), &zj, &azj)? {
+            StackOutcome::Act(r) => return Ok(StepOutcome::Detected(r)),
+            StackOutcome::Recorded => return Ok(StepOutcome::Skipped),
+            StackOutcome::Continue => {}
+        }
+        let (h_proj, zz) = reduced.split_at(cycle.basis.len());
+        let zz = zz[0];
+        // ‖z_j − Σ h_i v_i‖² = (z_j,z_j) − Σ h_i² by orthonormality of V.
+        let h_next_sq = zz - h_proj.iter().map(|h| h * h).sum::<f64>();
+        // NaN must take this branch too, hence no plain `<=` comparison.
+        if h_next_sq.is_nan() || h_next_sq <= f64::EPSILON * zz.max(1.0) {
+            // Breakdown (or roundoff made the pipelined norm unusable):
+            // close the cycle here; the outer loop recomputes the true
+            // residual and restarts if needed.
+            let mut h = h_proj.to_vec();
+            h.push(h_next_sq.max(0.0).sqrt());
+            st.relres = cycle.lsq.push_column(&h) / st.bn;
+            st.iterations += 1;
+            st.cycle_step += 1;
+            st.history.push(st.relres);
+            return Ok(StepOutcome::Breakdown);
+        }
+        let h_next = h_next_sq.sqrt();
+        // v_{j+1} = (z_j − Σ h_i v_i) / h_next, and by linearity
+        // A v_{j+1} = (A z_j − Σ h_i A v_i) / h_next.
+        let mut v_next = zj.clone();
+        let mut z_next = azj;
+        for (hij, (v, z)) in h_proj.iter().zip(cycle.basis.iter().zip(&cycle.products)) {
+            space.axpy(-hij, v, &mut v_next);
+            space.axpy(-hij, z, &mut z_next);
+        }
+        space.scale(1.0 / h_next, &mut v_next);
+        space.scale(1.0 / h_next, &mut z_next);
+        space.charge_flops(6 * n * cycle.basis.len());
+
+        let mut h = h_proj.to_vec();
+        h.push(h_next);
+        st.relres = cycle.lsq.push_column(&h) / st.bn;
+        st.iterations += 1;
+        st.cycle_step += 1;
+        st.history.push(st.relres);
+        cycle.basis.push(v_next);
+        cycle.products.push(z_next);
+        finish_extended_step(space, cycle, policies, st, b, x, false)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel
+// ---------------------------------------------------------------------------
+
+fn update_solution<S: KrylovSpace>(
+    space: &mut S,
+    x: &mut S::Vector,
+    cycle: &GmresCycle<S::Vector>,
+    flexible: bool,
+    charge: bool,
+) {
+    if cycle.steps() == 0 && !flexible {
+        return;
+    }
+    let basis: &[S::Vector] = if flexible {
+        &cycle.z_basis
+    } else {
+        &cycle.basis
+    };
+    if flexible && basis.is_empty() {
+        return;
+    }
+    let y = cycle.lsq.solve();
+    for (j, yj) in y.iter().enumerate() {
+        space.axpy(*yj, &basis[j], x);
+    }
+    if charge {
+        let n = space.local_len(x);
+        space.charge_flops(2 * n * y.len());
+    }
+}
+
+/// Run the unified restarted-GMRES kernel.
+///
+/// Returns the solve outcome plus the kernel report (flexible and policy
+/// statistics). `flexible` switches the kernel into FGMRES mode: the inner
+/// solver is applied to every basis vector and the solution correction uses
+/// the preconditioned basis.
+#[allow(clippy::too_many_arguments)]
+pub fn run_gmres<S: KrylovSpace, T: OrthoStrategy<S>>(
+    space: &mut S,
+    b: &S::Vector,
+    x0: Option<S::Vector>,
+    opts: &SolveOptions,
+    strategy: &mut T,
+    policies: &mut PolicyStack<'_, S>,
+    mut flexible: Option<&mut dyn FlexibleRight<S>>,
+    flavor: &GmresFlavor,
+) -> Result<(KernelOutcome<S::Vector>, KernelReport)> {
+    let mut x = x0.unwrap_or_else(|| space.zeros_like(b));
+    let bn = space.norm(b)?.max(f64::MIN_POSITIVE);
+    let restart = opts.restart.max(1);
+    let mut st = SolveProgress::new(opts.tol, opts.max_iters, bn);
+    let mut report = KernelReport::default();
+    let is_flexible = flexible.is_some();
+    policies.on_solve_start(space, b)?;
+
+    let reason;
+    // Backstop against a record-only detection that fires on every product:
+    // skipped steps make no progress, so cap them like policy restarts.
+    let mut skipped_steps = 0usize;
+    'outer: loop {
+        // --- Cycle start: (true) residual --------------------------------
+        let ax = space.apply(&x)?;
+        let r0 = space.residual(b, &ax);
+        let rnorm = space.norm(&r0)?;
+        st.relres = rnorm / bn;
+        if st.history.is_empty() {
+            st.history.push(st.relres);
+        }
+        if flavor.break_at_cycle_start {
+            if st.relres <= opts.tol {
+                reason = StopReason::Converged;
+                break 'outer;
+            }
+            if !st.relres.is_finite() {
+                if recover(policies, &mut st, &mut x, &mut report) {
+                    st.cycle += 1;
+                    continue 'outer;
+                }
+                reason = StopReason::Diverged;
+                break 'outer;
+            }
+            if st.iterations >= opts.max_iters {
+                reason = StopReason::MaxIterations;
+                break 'outer;
+            }
+        } else {
+            if st.relres <= opts.tol {
+                reason = StopReason::Converged;
+                break 'outer;
+            }
+            if flavor.check_start_divergence
+                && (space.local_has_non_finite(&x) || !st.relres.is_finite())
+            {
+                if recover(policies, &mut st, &mut x, &mut report) {
+                    st.cycle += 1;
+                    continue 'outer;
+                }
+                reason = StopReason::Diverged;
+                break 'outer;
+            }
+        }
+        policies.on_cycle_start(space, &st.ctx(), &x)?;
+
+        // --- Seed the cycle ----------------------------------------------
+        let mut v0 = r0;
+        if rnorm > 0.0 {
+            space.scale(1.0 / rnorm, &mut v0);
+        }
+        let mut cycle = GmresCycle {
+            basis: vec![v0],
+            z_basis: Vec::new(),
+            products: Vec::new(),
+            lsq: HessenbergLsq::new(restart, rnorm),
+            beta: rnorm,
+        };
+        strategy.begin_cycle(space, &mut cycle)?;
+        st.cycle_step = 0;
+
+        // --- Inner (Arnoldi) loop ----------------------------------------
+        let mut breakdown = false;
+        for _ in 0..restart {
+            if st.iterations >= opts.max_iters {
+                break;
+            }
+            match strategy.step(
+                space,
+                &mut cycle,
+                policies,
+                &mut st,
+                &mut flexible,
+                b,
+                &x,
+                &mut report,
+            )? {
+                StepOutcome::Extended => {
+                    if flavor.diverge_mid_cycle && !st.relres.is_finite() {
+                        update_solution(
+                            space,
+                            &mut x,
+                            &cycle,
+                            is_flexible,
+                            flavor.charge_solution_update,
+                        );
+                        if recover(policies, &mut st, &mut x, &mut report) {
+                            st.cycle += 1;
+                            continue 'outer;
+                        }
+                        reason = StopReason::Diverged;
+                        break 'outer;
+                    }
+                    if st.relres <= opts.tol {
+                        break;
+                    }
+                }
+                StepOutcome::Breakdown => {
+                    breakdown = true;
+                    break;
+                }
+                StepOutcome::Skipped => {
+                    skipped_steps += 1;
+                    if skipped_steps > opts.max_iters.max(restart) {
+                        update_solution(
+                            space,
+                            &mut x,
+                            &cycle,
+                            is_flexible,
+                            flavor.charge_solution_update,
+                        );
+                        let ax = space.apply(&x)?;
+                        let r = space.residual(b, &ax);
+                        st.relres = space.norm(&r)? / bn;
+                        reason = StopReason::CorruptionDetected;
+                        break 'outer;
+                    }
+                }
+                StepOutcome::Detected(DetectionResponse::Restart) => {
+                    report.policy_restarts += 1;
+                    if report.policy_restarts > opts.max_iters.max(1) {
+                        // A detection that fires on every retry would restart
+                        // forever without consuming iterations; treat the
+                        // persistent corruption as terminal instead.
+                        update_solution(
+                            space,
+                            &mut x,
+                            &cycle,
+                            is_flexible,
+                            flavor.charge_solution_update,
+                        );
+                        let ax = space.apply(&x)?;
+                        let r = space.residual(b, &ax);
+                        st.relres = space.norm(&r)? / bn;
+                        reason = StopReason::CorruptionDetected;
+                        break 'outer;
+                    }
+                    // Keep whatever progress preceded the corrupted step:
+                    // the cycle is discarded and the outer loop recomputes
+                    // the residual from x, which only changes at cycle
+                    // boundaries and is therefore uncorrupted.
+                    st.cycle += 1;
+                    continue 'outer;
+                }
+                StepOutcome::Detected(_) => {
+                    update_solution(
+                        space,
+                        &mut x,
+                        &cycle,
+                        is_flexible,
+                        flavor.charge_solution_update,
+                    );
+                    let ax = space.apply(&x)?;
+                    let r = space.residual(b, &ax);
+                    st.relres = space.norm(&r)? / bn;
+                    reason = StopReason::CorruptionDetected;
+                    break 'outer;
+                }
+            }
+        }
+
+        // --- Cycle end: solution update and stop decision ----------------
+        update_solution(
+            space,
+            &mut x,
+            &cycle,
+            is_flexible,
+            flavor.charge_solution_update,
+        );
+        if flavor.verify_cycle_end {
+            let ax = space.apply(&x)?;
+            let r = space.residual(b, &ax);
+            st.relres = space.norm(&r)? / bn;
+            if st.relres <= opts.tol {
+                reason = StopReason::Converged;
+                break 'outer;
+            }
+            if breakdown && flavor.breakdown_is_terminal {
+                reason = StopReason::Breakdown;
+                break 'outer;
+            }
+            if st.iterations >= opts.max_iters {
+                reason = StopReason::MaxIterations;
+                break 'outer;
+            }
+        } else {
+            if st.relres <= opts.tol {
+                reason = StopReason::Converged;
+                break 'outer;
+            }
+            if st.iterations >= opts.max_iters {
+                reason = StopReason::MaxIterations;
+                break 'outer;
+            }
+        }
+        st.cycle += 1;
+    }
+
+    report.policy_overhead = policies.overhead_report();
+    Ok((
+        KernelOutcome {
+            x,
+            iterations: st.iterations,
+            relative_residual: st.relres,
+            reason,
+            history: st.history,
+            flops: space.accumulated_flops(),
+        },
+        report,
+    ))
+}
+
+fn recover<S: KrylovSpace>(
+    policies: &mut PolicyStack<'_, S>,
+    st: &mut SolveProgress,
+    x: &mut S::Vector,
+    report: &mut KernelReport,
+) -> bool {
+    // Backstop against a recovery policy that restores forever without the
+    // solve making progress (well-behaved policies bound themselves).
+    if report.failure_recoveries >= st.max_iters.max(1) {
+        return false;
+    }
+    if policies.on_failure(&st.ctx(), FailureEvent::Divergence, x) == RecoveryAction::Restart {
+        report.failure_recoveries += 1;
+        true
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::policy::{IterCtx, PolicyAction, PolicyOverhead, ResiliencePolicy};
+    use crate::kernel::space::SerialSpace;
+    use resilient_linalg::poisson2d;
+
+    /// A policy that detects on every product — the pathological case a
+    /// stuck-at fault model or mismatched ABFT encoding produces.
+    struct AlwaysDetect {
+        response: DetectionResponse,
+        overhead: PolicyOverhead,
+    }
+
+    impl AlwaysDetect {
+        fn new(response: DetectionResponse) -> Self {
+            Self {
+                response,
+                overhead: PolicyOverhead {
+                    name: "always-detect",
+                    ..PolicyOverhead::default()
+                },
+            }
+        }
+    }
+
+    impl<S: KrylovSpace> ResiliencePolicy<S> for AlwaysDetect {
+        fn name(&self) -> &'static str {
+            "always-detect"
+        }
+        fn response(&self) -> DetectionResponse {
+            self.response
+        }
+        fn after_spmv(
+            &mut self,
+            _space: &mut S,
+            _ctx: &IterCtx,
+            _v: &S::Vector,
+            _w: &S::Vector,
+        ) -> Result<PolicyAction> {
+            self.overhead.detections += 1;
+            Ok(PolicyAction::Detected)
+        }
+        fn overhead(&self) -> PolicyOverhead {
+            self.overhead.clone()
+        }
+    }
+
+    #[test]
+    fn persistent_restart_detection_terminates() {
+        // Regression: a detection that fires on every retry must not restart
+        // the cycle forever — the kernel caps policy restarts at max_iters
+        // and stops with CorruptionDetected.
+        let a = poisson2d(6, 6);
+        let b = vec![1.0; a.nrows()];
+        let mut space = SerialSpace::new(&a);
+        let mut policy = AlwaysDetect::new(DetectionResponse::Restart);
+        let mut stack = PolicyStack::new(vec![&mut policy]);
+        let opts = SolveOptions::default().with_tol(1e-9).with_max_iters(25);
+        let (out, report) = run_gmres(
+            &mut space,
+            &b,
+            None,
+            &opts,
+            &mut MgsOrtho::new(),
+            &mut stack,
+            None,
+            &GmresFlavor::serial(),
+        )
+        .unwrap();
+        assert_eq!(out.reason, StopReason::CorruptionDetected);
+        assert_eq!(out.iterations, 0, "no step ever extended the basis");
+        assert!(report.policy_restarts > opts.max_iters);
+    }
+
+    #[test]
+    fn persistent_record_only_detection_terminates() {
+        // Same pathology through the record-only path: skipped steps make no
+        // progress, so the kernel must cap them rather than spin forever.
+        let a = poisson2d(6, 6);
+        let b = vec![1.0; a.nrows()];
+        let mut space = SerialSpace::new(&a);
+        let mut policy = AlwaysDetect::new(DetectionResponse::RecordOnly);
+        let mut stack = PolicyStack::new(vec![&mut policy]);
+        let opts = SolveOptions::default().with_tol(1e-9).with_max_iters(25);
+        let (out, _report) = run_gmres(
+            &mut space,
+            &b,
+            None,
+            &opts,
+            &mut MgsOrtho::new(),
+            &mut stack,
+            None,
+            &GmresFlavor::serial(),
+        )
+        .unwrap();
+        assert_eq!(out.reason, StopReason::CorruptionDetected);
+        assert_eq!(out.iterations, 0);
+    }
+}

@@ -1,0 +1,167 @@
+//! The unified Krylov kernel: one iteration core, composable execution
+//! spaces, dot strategies and resilience policies.
+//!
+//! The paper's central claim is that resilient programming models are
+//! *orthogonal strategies* an application composes. This module is the
+//! architecture that makes that true in code. It decomposes every Krylov
+//! solver in the suite into three independent axes:
+//!
+//! 1. **Space** ([`KrylovSpace`]) — where vectors live and what reductions
+//!    cost: serial slices ([`SerialSpace`]) or block-distributed vectors over
+//!    the simulated runtime ([`DistSpace`]).
+//! 2. **Dot strategy** — how inner products are scheduled:
+//!    modified Gram–Schmidt with immediate dots ([`MgsOrtho`]), classical
+//!    Gram–Schmidt with one fused blocking reduction ([`CgsOrtho`]), or the
+//!    p(1)-pipelined formulation that overlaps a single nonblocking
+//!    reduction with the next SpMV ([`PipelinedOrtho`]); for CG the analogous
+//!    [`PcgStep`], [`FusedCgStep`] and [`PipelinedCgStep`].
+//! 3. **Resilience policies** ([`ResiliencePolicy`], [`PolicyStack`]) —
+//!    skeptical invariant checks, ABFT checksum verification, iterate
+//!    rollback — attached through hooks (`before_spmv`, `after_spmv`,
+//!    `after_orthogonalization`, `on_iteration`, `on_failure`) that every
+//!    iteration engine honours.
+//!
+//! The five legacy entry points (`solvers::{cg,gmres,fgmres}`,
+//! `rbsp::{cg,gmres}`, `srp::ft_gmres`, `skeptical::sdc_gmres`) are thin
+//! presets over this kernel and preserve their public signatures, numerical
+//! behaviour and cost accounting. Combinations that were previously
+//! impossible — pipelined GMRES *with* SDC detection, FT-GMRES *with*
+//! ABFT-checked products — are presets too; see [`compose`].
+//!
+//! One intentional accounting deviation from the legacy silos: when a solve
+//! aborts on a detected corruption, the final verification residual is now
+//! charged to the solver (the legacy skeptical solver computed it for free).
+
+pub mod cg;
+pub mod compose;
+pub mod gmres;
+pub mod policy;
+pub mod skeptic;
+pub mod space;
+
+pub use cg::{run_cg, CgOutcome, CgStrategy, FusedCgStep, PcgStep, PipelinedCgStep};
+pub use compose::{ft_gmres_abft, pipelined_skeptical_gmres, AbftSpmvPolicy, FtGmresAbftReport};
+pub use gmres::{
+    run_gmres, CgsOrtho, FlexibleRight, GmresCycle, GmresFlavor, MgsOrtho, OrthoStrategy,
+    PipelinedOrtho, StepOutcome,
+};
+pub use policy::{
+    DetectionResponse, FailureEvent, IterCtx, IterateRollbackPolicy, NoopPolicy, PolicyAction,
+    PolicyOverhead, PolicyStack, RecoveryAction, ResiliencePolicy, SolutionProbe, StackOutcome,
+};
+pub use skeptic::SkepticalPolicy;
+pub use space::{DistSpace, KrylovSpace, PendingDots, SerialSpace, SpmvFault};
+
+use crate::solvers::common::{SolveOutcome, StopReason};
+use policy::IterCtx as Ctx;
+
+/// Result of a kernel-level solve, generic over the vector type of the
+/// space it ran in.
+#[derive(Debug, Clone)]
+pub struct KernelOutcome<V> {
+    /// Final iterate.
+    pub x: V,
+    /// Iterations performed (total, across restarts).
+    pub iterations: usize,
+    /// Final relative residual (true or recurrence estimate, matching the
+    /// preset's legacy semantics).
+    pub relative_residual: f64,
+    /// Why the solve stopped.
+    pub reason: StopReason,
+    /// Relative residual after each iteration.
+    pub history: Vec<f64>,
+    /// Solver FLOPs (serial spaces; distributed spaces account in virtual
+    /// time and report 0).
+    pub flops: usize,
+}
+
+impl KernelOutcome<Vec<f64>> {
+    /// Convert into the serial solvers' public outcome type.
+    pub fn into_solve_outcome(self) -> SolveOutcome {
+        SolveOutcome {
+            x: self.x,
+            iterations: self.iterations,
+            relative_residual: self.relative_residual,
+            reason: self.reason,
+            history: self.history,
+            flops: self.flops,
+        }
+    }
+}
+
+impl KernelOutcome<crate::distributed::DistVector> {
+    /// Convert into the distributed solvers' public outcome type.
+    pub fn into_dist_outcome(self, tol: f64) -> crate::rbsp::DistSolveOutcome {
+        crate::rbsp::DistSolveOutcome {
+            converged: self.relative_residual <= tol,
+            x: self.x,
+            iterations: self.iterations,
+            relative_residual: self.relative_residual,
+            history: self.history,
+        }
+    }
+}
+
+/// Mutable solve-progress state shared between the kernel and its iteration
+/// strategies.
+#[derive(Debug, Clone)]
+pub struct SolveProgress {
+    /// Iterations performed so far.
+    pub iterations: usize,
+    /// Steps completed in the current restart cycle.
+    pub cycle_step: usize,
+    /// Restart-cycle index.
+    pub cycle: usize,
+    /// Current relative residual.
+    pub relres: f64,
+    /// Solve tolerance.
+    pub tol: f64,
+    /// Iteration cap.
+    pub max_iters: usize,
+    /// ‖b‖ (floored at `f64::MIN_POSITIVE`).
+    pub bn: f64,
+    /// Relative residual history.
+    pub history: Vec<f64>,
+}
+
+impl SolveProgress {
+    fn new(tol: f64, max_iters: usize, bn: f64) -> Self {
+        Self {
+            iterations: 0,
+            cycle_step: 0,
+            cycle: 0,
+            relres: f64::INFINITY,
+            tol,
+            max_iters,
+            bn,
+            history: Vec::new(),
+        }
+    }
+
+    /// The read-only hook context for the current state.
+    pub fn ctx(&self) -> Ctx {
+        Ctx {
+            iteration: self.iterations,
+            cycle_step: self.cycle_step,
+            cycle: self.cycle,
+            relres: self.relres,
+            tol: self.tol,
+        }
+    }
+}
+
+/// Aggregate report of one kernel solve beyond the outcome: flexible
+/// preconditioning statistics and per-policy overhead.
+#[derive(Debug, Clone, Default)]
+pub struct KernelReport {
+    /// Flexible (inner) preconditioner applications.
+    pub inner_applications: usize,
+    /// Inner results rejected by the outer skeptical validity check.
+    pub rejected_inner_results: usize,
+    /// Cycle restarts caused by policy detections.
+    pub policy_restarts: usize,
+    /// Rollbacks performed by `on_failure` recovery policies.
+    pub failure_recoveries: usize,
+    /// Per-policy overhead, in stack order (filled when the solve returns).
+    pub policy_overhead: Vec<PolicyOverhead>,
+}

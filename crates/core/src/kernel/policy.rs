@@ -1,0 +1,474 @@
+//! Composable resilience policies.
+//!
+//! A [`ResiliencePolicy`] observes a Krylov solve through a fixed set of
+//! hooks — [`before_spmv`](ResiliencePolicy::before_spmv),
+//! [`after_spmv`](ResiliencePolicy::after_spmv),
+//! [`after_orthogonalization`](ResiliencePolicy::after_orthogonalization),
+//! [`on_iteration`](ResiliencePolicy::on_iteration) and
+//! [`on_failure`](ResiliencePolicy::on_failure) — and reports detections.
+//! Policies are stacked in a [`PolicyStack`]; the kernel consults the stack
+//! at each hook point and reacts to the *first* detection according to the
+//! detecting policy's [`DetectionResponse`]. Because every policy sees the
+//! same hooks regardless of which iteration engine (CG or GMRES, blocking or
+//! pipelined dots, serial or distributed) is running, resilience strategies
+//! that used to live in separate solver silos now compose freely: a
+//! pipelined GMRES can run skeptical SDC checks, an FT-GMRES outer iteration
+//! can verify its SpMVs with ABFT checksums, and each policy's overhead is
+//! accounted individually.
+
+use super::space::KrylovSpace;
+use resilient_runtime::Result;
+
+/// What a hook observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyAction {
+    /// Nothing suspicious.
+    Continue,
+    /// The policy detected corruption in the quantity it inspected.
+    Detected,
+}
+
+/// What the kernel should do when a policy detects corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectionResponse {
+    /// Record the detection but keep iterating (detection-coverage
+    /// measurements).
+    RecordOnly,
+    /// Discard the current Arnoldi cycle / iteration and restart from the
+    /// last consistent iterate (cheap local rollback).
+    Restart,
+    /// Stop the solve with
+    /// [`StopReason::CorruptionDetected`](crate::solvers::StopReason::CorruptionDetected).
+    Abort,
+}
+
+/// What a policy decided to do about a kernel-level failure event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryAction {
+    /// Let the kernel terminate as it would have without the policy.
+    Accept,
+    /// The policy repaired the iterate (e.g. restored a checkpoint into
+    /// `x`); the kernel should restart the current cycle from it.
+    Restart,
+}
+
+/// A kernel-level failure the policy stack is consulted about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureEvent {
+    /// The iteration produced NaN/Inf residuals.
+    Divergence,
+}
+
+/// Read-only per-iteration context passed to every hook.
+#[derive(Debug, Clone, Copy)]
+pub struct IterCtx {
+    /// Total iterations performed so far (across restarts).
+    pub iteration: usize,
+    /// Steps completed within the current restart cycle.
+    pub cycle_step: usize,
+    /// Restart-cycle index.
+    pub cycle: usize,
+    /// Current relative residual (recurrence estimate).
+    pub relres: f64,
+    /// Solve tolerance.
+    pub tol: f64,
+}
+
+/// Kernel state a policy may interrogate on demand (priced work it should
+/// not trigger every iteration).
+pub trait SolutionProbe<S: KrylovSpace> {
+    /// True relative residual ‖b − A·x_trial‖/‖b‖ of the *trial* solution
+    /// (current iterate plus the pending cycle correction). Charges one
+    /// operator application to the solver.
+    fn trial_true_relres(&mut self, space: &mut S) -> Result<f64>;
+}
+
+/// Per-policy overhead and detection accounting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PolicyOverhead {
+    /// Policy name.
+    pub name: &'static str,
+    /// Hook invocations that performed a check.
+    pub checks_run: usize,
+    /// Detections reported.
+    pub detections: usize,
+    /// Corrective cycle restarts this policy triggered.
+    pub restarts: usize,
+    /// FLOPs spent on this policy's checks.
+    pub check_flops: usize,
+}
+
+/// One composable resilience building block.
+///
+/// All hooks default to no-ops so a policy only implements the stages it
+/// cares about. Detection hooks return [`PolicyAction`]; the kernel pairs a
+/// `Detected` with the policy's [`response`](ResiliencePolicy::response).
+///
+/// Policies running over distributed spaces must derive their decisions from
+/// *global* quantities (`space.dot` / `space.norm`) so that every rank takes
+/// the same branch.
+#[allow(unused_variables)]
+pub trait ResiliencePolicy<S: KrylovSpace> {
+    /// Short identifier used in overhead reports.
+    fn name(&self) -> &'static str;
+
+    /// How the kernel should react when *this* policy detects.
+    fn response(&self) -> DetectionResponse {
+        DetectionResponse::Restart
+    }
+
+    /// Called once, before the first residual computation.
+    fn on_solve_start(&mut self, space: &mut S, b: &S::Vector) -> Result<()> {
+        Ok(())
+    }
+
+    /// Called at the start of every restart cycle with the current
+    /// (consistent) iterate — the natural persistence point for
+    /// rollback-style policies.
+    fn on_cycle_start(&mut self, space: &mut S, ctx: &IterCtx, x: &S::Vector) -> Result<()> {
+        Ok(())
+    }
+
+    /// Called with the operator input right before each SpMV.
+    fn before_spmv(&mut self, space: &mut S, ctx: &IterCtx, v: &S::Vector) -> Result<PolicyAction> {
+        Ok(PolicyAction::Continue)
+    }
+
+    /// Called with the raw operator output `w = A·v` right after each SpMV
+    /// (norm-bound, finiteness and checksum tests live here).
+    fn after_spmv(
+        &mut self,
+        space: &mut S,
+        ctx: &IterCtx,
+        v: &S::Vector,
+        w: &S::Vector,
+    ) -> Result<PolicyAction> {
+        Ok(PolicyAction::Continue)
+    }
+
+    /// Called after Gram–Schmidt with the newest basis vector and its
+    /// predecessor (orthogonality tests live here). CG-style iterations
+    /// without a stored basis never call it.
+    fn after_orthogonalization(
+        &mut self,
+        space: &mut S,
+        ctx: &IterCtx,
+        new_v: &S::Vector,
+        prev_v: Option<&S::Vector>,
+    ) -> Result<PolicyAction> {
+        Ok(PolicyAction::Continue)
+    }
+
+    /// Called at the end of every completed iteration; `probe` gives priced
+    /// access to the trial solution's true residual for consistency checks.
+    fn on_iteration(
+        &mut self,
+        space: &mut S,
+        ctx: &IterCtx,
+        probe: &mut dyn SolutionProbe<S>,
+    ) -> Result<PolicyAction> {
+        Ok(PolicyAction::Continue)
+    }
+
+    /// Consulted when the kernel is about to terminate on a failure event.
+    /// A policy that can repair `x` (e.g. from a persisted copy) returns
+    /// [`RecoveryAction::Restart`] to resume from it instead.
+    fn on_failure(
+        &mut self,
+        ctx: &IterCtx,
+        event: FailureEvent,
+        x: &mut S::Vector,
+    ) -> RecoveryAction {
+        RecoveryAction::Accept
+    }
+
+    /// This policy's accumulated overhead.
+    fn overhead(&self) -> PolicyOverhead;
+
+    /// Internal: bump the restart counter (called by the stack when this
+    /// policy's detection triggered a corrective restart).
+    fn note_restart(&mut self) {}
+}
+
+/// Outcome of running one hook across the whole stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackOutcome {
+    /// No policy objected.
+    Continue,
+    /// A record-only policy detected: noted, but the kernel should not
+    /// repair anything (though a pre-extension detection still skips the
+    /// corrupted product, matching the legacy record-only semantics).
+    Recorded,
+    /// A policy detected and demands the given response (`Restart` or
+    /// `Abort`).
+    Act(DetectionResponse),
+}
+
+impl StackOutcome {
+    fn from_action(action: PolicyAction, response: DetectionResponse) -> Self {
+        match (action, response) {
+            (PolicyAction::Continue, _) => StackOutcome::Continue,
+            (PolicyAction::Detected, DetectionResponse::RecordOnly) => StackOutcome::Recorded,
+            (PolicyAction::Detected, r) => StackOutcome::Act(r),
+        }
+    }
+}
+
+/// An ordered stack of resilience policies consulted by the kernel.
+///
+/// The stack borrows its policies mutably so presets can read their reports
+/// (detection counts, overhead) after the solve returns.
+pub struct PolicyStack<'p, S: KrylovSpace> {
+    policies: Vec<&'p mut dyn ResiliencePolicy<S>>,
+}
+
+impl<'p, S: KrylovSpace> Default for PolicyStack<'p, S> {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl<'p, S: KrylovSpace> PolicyStack<'p, S> {
+    /// A stack with no policies (hooks become zero-cost no-ops).
+    pub fn empty() -> Self {
+        Self {
+            policies: Vec::new(),
+        }
+    }
+
+    /// Build a stack from the given policies (consulted in order).
+    pub fn new(policies: Vec<&'p mut dyn ResiliencePolicy<S>>) -> Self {
+        Self { policies }
+    }
+
+    /// Push another policy onto the stack.
+    pub fn push(&mut self, policy: &'p mut dyn ResiliencePolicy<S>) {
+        self.policies.push(policy);
+    }
+
+    /// Number of stacked policies.
+    pub fn len(&self) -> usize {
+        self.policies.len()
+    }
+
+    /// Is the stack empty?
+    pub fn is_empty(&self) -> bool {
+        self.policies.is_empty()
+    }
+
+    /// Per-policy overhead report, in stack order.
+    pub fn overhead_report(&self) -> Vec<PolicyOverhead> {
+        self.policies.iter().map(|p| p.overhead()).collect()
+    }
+
+    /// Run the solve-start hook on every policy.
+    pub fn on_solve_start(&mut self, space: &mut S, b: &S::Vector) -> Result<()> {
+        for p in &mut self.policies {
+            p.on_solve_start(space, b)?;
+        }
+        Ok(())
+    }
+
+    /// Run the cycle-start hook on every policy.
+    pub fn on_cycle_start(&mut self, space: &mut S, ctx: &IterCtx, x: &S::Vector) -> Result<()> {
+        for p in &mut self.policies {
+            p.on_cycle_start(space, ctx, x)?;
+        }
+        Ok(())
+    }
+
+    /// Shared fold for the four detection hooks: run `hook` on every policy
+    /// in stack order, stop at the first actionable detection (noting a
+    /// restart on the detecting policy), and keep going past record-only
+    /// detections so later policies still observe the quantity.
+    fn run_detection_hook(
+        &mut self,
+        space: &mut S,
+        mut hook: impl FnMut(&mut dyn ResiliencePolicy<S>, &mut S) -> Result<PolicyAction>,
+    ) -> Result<StackOutcome> {
+        let mut recorded = false;
+        for p in &mut self.policies {
+            let out = StackOutcome::from_action(hook(&mut **p, space)?, p.response());
+            match out {
+                StackOutcome::Continue => {}
+                StackOutcome::Recorded => recorded = true,
+                StackOutcome::Act(r) => {
+                    if r == DetectionResponse::Restart {
+                        p.note_restart();
+                    }
+                    return Ok(out);
+                }
+            }
+        }
+        Ok(if recorded {
+            StackOutcome::Recorded
+        } else {
+            StackOutcome::Continue
+        })
+    }
+
+    /// Run the before-SpMV hook; stops at the first actionable detection
+    /// (record-only detections are noted and the remaining policies still
+    /// run).
+    pub fn before_spmv(
+        &mut self,
+        space: &mut S,
+        ctx: &IterCtx,
+        v: &S::Vector,
+    ) -> Result<StackOutcome> {
+        self.run_detection_hook(space, |p, space| p.before_spmv(space, ctx, v))
+    }
+
+    /// Run the after-SpMV hook; stops at the first actionable detection.
+    pub fn after_spmv(
+        &mut self,
+        space: &mut S,
+        ctx: &IterCtx,
+        v: &S::Vector,
+        w: &S::Vector,
+    ) -> Result<StackOutcome> {
+        self.run_detection_hook(space, |p, space| p.after_spmv(space, ctx, v, w))
+    }
+
+    /// Run the after-orthogonalization hook.
+    pub fn after_orthogonalization(
+        &mut self,
+        space: &mut S,
+        ctx: &IterCtx,
+        new_v: &S::Vector,
+        prev_v: Option<&S::Vector>,
+    ) -> Result<StackOutcome> {
+        self.run_detection_hook(space, |p, space| {
+            p.after_orthogonalization(space, ctx, new_v, prev_v)
+        })
+    }
+
+    /// Run the end-of-iteration hook.
+    pub fn on_iteration(
+        &mut self,
+        space: &mut S,
+        ctx: &IterCtx,
+        probe: &mut dyn SolutionProbe<S>,
+    ) -> Result<StackOutcome> {
+        self.run_detection_hook(space, |p, space| p.on_iteration(space, ctx, probe))
+    }
+
+    /// Consult the stack about a failure; the first policy that repairs the
+    /// iterate wins.
+    pub fn on_failure(
+        &mut self,
+        ctx: &IterCtx,
+        event: FailureEvent,
+        x: &mut S::Vector,
+    ) -> RecoveryAction {
+        for p in &mut self.policies {
+            if p.on_failure(ctx, event, x) == RecoveryAction::Restart {
+                return RecoveryAction::Restart;
+            }
+        }
+        RecoveryAction::Accept
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Building-block policies
+// ---------------------------------------------------------------------------
+
+/// A policy that observes every hook but never detects anything. Used by the
+/// property tests to prove the hook plumbing is semantically zero-cost: a
+/// solve with a [`NoopPolicy`] stack must be bit-identical to one with an
+/// empty stack.
+#[derive(Debug, Default)]
+pub struct NoopPolicy {
+    overhead: PolicyOverhead,
+}
+
+impl NoopPolicy {
+    /// A fresh no-op policy.
+    pub fn new() -> Self {
+        Self {
+            overhead: PolicyOverhead {
+                name: "noop",
+                ..PolicyOverhead::default()
+            },
+        }
+    }
+}
+
+impl<S: KrylovSpace> ResiliencePolicy<S> for NoopPolicy {
+    fn name(&self) -> &'static str {
+        "noop"
+    }
+    fn after_spmv(
+        &mut self,
+        _space: &mut S,
+        _ctx: &IterCtx,
+        _v: &S::Vector,
+        _w: &S::Vector,
+    ) -> Result<PolicyAction> {
+        self.overhead.checks_run += 1;
+        Ok(PolicyAction::Continue)
+    }
+    fn overhead(&self) -> PolicyOverhead {
+        self.overhead.clone()
+    }
+}
+
+/// An LFLR-flavoured rollback policy: keeps a copy of the iterate from the
+/// last cycle boundary and, when the kernel is about to terminate with a
+/// divergence, restores it and asks for a restart instead (bounded by
+/// `max_restores` so an unrecoverable solve still terminates).
+#[derive(Debug)]
+pub struct IterateRollbackPolicy<V> {
+    saved: Option<V>,
+    restores_left: usize,
+    overhead: PolicyOverhead,
+}
+
+impl<V> IterateRollbackPolicy<V> {
+    /// Roll back at most `max_restores` times.
+    pub fn new(max_restores: usize) -> Self {
+        Self {
+            saved: None,
+            restores_left: max_restores,
+            overhead: PolicyOverhead {
+                name: "iterate-rollback",
+                ..PolicyOverhead::default()
+            },
+        }
+    }
+
+    /// Number of rollbacks performed.
+    pub fn restores(&self) -> usize {
+        self.overhead.restarts
+    }
+}
+
+impl<S: KrylovSpace> ResiliencePolicy<S> for IterateRollbackPolicy<S::Vector> {
+    fn name(&self) -> &'static str {
+        "iterate-rollback"
+    }
+    fn on_cycle_start(&mut self, _space: &mut S, _ctx: &IterCtx, x: &S::Vector) -> Result<()> {
+        self.saved = Some(x.clone());
+        Ok(())
+    }
+    fn on_failure(
+        &mut self,
+        _ctx: &IterCtx,
+        _event: FailureEvent,
+        x: &mut S::Vector,
+    ) -> RecoveryAction {
+        match (&self.saved, self.restores_left) {
+            (Some(saved), n) if n > 0 => {
+                *x = saved.clone();
+                self.restores_left -= 1;
+                self.overhead.restarts += 1;
+                RecoveryAction::Restart
+            }
+            _ => RecoveryAction::Accept,
+        }
+    }
+    fn overhead(&self) -> PolicyOverhead {
+        self.overhead.clone()
+    }
+}

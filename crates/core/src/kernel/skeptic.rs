@@ -1,0 +1,173 @@
+//! The skeptical checks of §III-A as a composable [`ResiliencePolicy`].
+//!
+//! [`SkepticalPolicy`] reimplements the invariant tests of the legacy
+//! `skeptical_gmres` silo — finiteness/norm-bound on every product,
+//! orthogonality of the newest basis pair, periodic residual-consistency —
+//! generically over any [`KrylovSpace`], so the same checks now also guard
+//! pipelined/distributed solves (every decision quantity is a *global* norm
+//! or dot, keeping rank control flow symmetric).
+
+use super::policy::{
+    DetectionResponse, IterCtx, PolicyAction, PolicyOverhead, ResiliencePolicy, SolutionProbe,
+};
+use super::space::KrylovSpace;
+use crate::skeptical::sdc_gmres::{SkepticalConfig, SkepticalReport, SkepticalResponse};
+use resilient_runtime::Result;
+
+/// Skeptical invariant checks as a policy. Build from the legacy
+/// [`SkepticalConfig`]; after the solve, [`SkepticalPolicy::report`] returns
+/// the legacy [`SkepticalReport`].
+#[derive(Debug, Clone)]
+pub struct SkepticalPolicy {
+    cfg: SkepticalConfig,
+    report: SkepticalReport,
+    /// Operator ∞-norm estimate, captured at solve start from the space.
+    norm_a: f64,
+    /// Local vector length, captured at solve start (for check costing).
+    n: usize,
+}
+
+impl SkepticalPolicy {
+    /// Build the policy from a skeptical configuration.
+    pub fn new(cfg: SkepticalConfig) -> Self {
+        Self {
+            cfg,
+            report: SkepticalReport::default(),
+            norm_a: f64::INFINITY,
+            n: 0,
+        }
+    }
+
+    /// The accumulated legacy-format report.
+    pub fn report(&self) -> SkepticalReport {
+        self.report.clone()
+    }
+}
+
+impl<S: KrylovSpace> ResiliencePolicy<S> for SkepticalPolicy {
+    fn name(&self) -> &'static str {
+        "skeptical"
+    }
+
+    fn response(&self) -> DetectionResponse {
+        match self.cfg.response {
+            SkepticalResponse::RecordOnly => DetectionResponse::RecordOnly,
+            SkepticalResponse::Restart => DetectionResponse::Restart,
+            SkepticalResponse::Abort => DetectionResponse::Abort,
+        }
+    }
+
+    fn on_solve_start(&mut self, space: &mut S, b: &S::Vector) -> Result<()> {
+        self.norm_a = space.operator_norm_estimate();
+        self.n = space.local_len(b);
+        Ok(())
+    }
+
+    /// Finiteness / norm bound on the raw product: for `w = A·v`,
+    /// `‖w‖ ≤ factor·‖A‖∞·max(‖v‖, 1)`; a high-exponent-bit flip violates
+    /// this by many orders of magnitude.
+    fn after_spmv(
+        &mut self,
+        space: &mut S,
+        _ctx: &IterCtx,
+        v: &S::Vector,
+        w: &S::Vector,
+    ) -> Result<PolicyAction> {
+        if !self.cfg.local_checks {
+            return Ok(PolicyAction::Continue);
+        }
+        self.report.local_checks_run += 1;
+        let n = space.local_len(w);
+        self.report.check_flops += 4 * n;
+        space.record_check_flops(4 * n);
+        let wn = space.norm(w)?;
+        let suspicious = space.local_has_non_finite(w)
+            || !wn.is_finite()
+            || (self.norm_a.is_finite()
+                && wn > self.cfg.norm_bound_factor * self.norm_a * space.norm(v)?.max(1.0));
+        if suspicious {
+            self.report.detections += 1;
+            return Ok(PolicyAction::Detected);
+        }
+        Ok(PolicyAction::Continue)
+    }
+
+    /// Orthogonality of the newest basis pair (Gram–Schmidt should make
+    /// them orthogonal to machine precision).
+    fn after_orthogonalization(
+        &mut self,
+        space: &mut S,
+        _ctx: &IterCtx,
+        new_v: &S::Vector,
+        prev_v: Option<&S::Vector>,
+    ) -> Result<PolicyAction> {
+        if !self.cfg.local_checks {
+            return Ok(PolicyAction::Continue);
+        }
+        let prev = match prev_v {
+            Some(p) => p,
+            None => return Ok(PolicyAction::Continue),
+        };
+        self.report.local_checks_run += 1;
+        let n = space.local_len(new_v);
+        self.report.check_flops += 2 * n;
+        space.record_check_flops(2 * n);
+        let inner = space.dot(new_v, prev)?.abs();
+        // With an infinite tolerance (how presets disable the test for bases
+        // that are legitimately non-orthogonal, e.g. the p(1)-pipelined one)
+        // only the NaN test below can fire, so skip the two norm reductions.
+        let suspicious = if self.cfg.orthogonality_tol.is_finite() {
+            let scale = space.norm(new_v)? * space.norm(prev)?;
+            !inner.is_finite() || inner > self.cfg.orthogonality_tol * scale.max(f64::MIN_POSITIVE)
+        } else {
+            !inner.is_finite()
+        };
+        if suspicious {
+            self.report.detections += 1;
+            return Ok(PolicyAction::Detected);
+        }
+        Ok(PolicyAction::Continue)
+    }
+
+    /// Periodic residual-consistency check: the recurrence estimate is
+    /// compared against the explicitly computed true residual of the trial
+    /// solution. Corruption that slipped past the local checks makes the
+    /// recurrence lie *low*, so only a large one-sided discrepancy fires.
+    fn on_iteration(
+        &mut self,
+        space: &mut S,
+        ctx: &IterCtx,
+        probe: &mut dyn SolutionProbe<S>,
+    ) -> Result<PolicyAction> {
+        if self.cfg.residual_check_interval == 0
+            || ctx.iteration % self.cfg.residual_check_interval != 0
+        {
+            return Ok(PolicyAction::Continue);
+        }
+        self.report.residual_checks_run += 1;
+        let check_cost = space.flops_per_apply() + 4 * self.n;
+        self.report.check_flops += check_cost;
+        space.record_check_flops(check_cost);
+        let true_rr = probe.trial_true_relres(space)?;
+        let allowed = ctx.relres * (1.0 + self.cfg.residual_mismatch_tol) + 10.0 * ctx.tol;
+        if !true_rr.is_finite() || true_rr > allowed {
+            self.report.detections += 1;
+            return Ok(PolicyAction::Detected);
+        }
+        Ok(PolicyAction::Continue)
+    }
+
+    fn overhead(&self) -> PolicyOverhead {
+        PolicyOverhead {
+            name: "skeptical",
+            checks_run: self.report.local_checks_run + self.report.residual_checks_run,
+            detections: self.report.detections,
+            restarts: self.report.corrective_restarts,
+            check_flops: self.report.check_flops,
+        }
+    }
+
+    fn note_restart(&mut self) {
+        self.report.corrective_restarts += 1;
+    }
+}

@@ -1,0 +1,405 @@
+//! The execution spaces the unified Krylov kernel runs over.
+//!
+//! A [`KrylovSpace`] bundles everything an iteration needs from its
+//! environment: the bound linear operator, vector arithmetic, inner products
+//! (blocking *and* split/nonblocking, so pipelined dot strategies can overlap
+//! reductions with operator applications) and cost accounting. Two
+//! implementations are provided:
+//!
+//! * [`SerialSpace`] — plain `Vec<f64>` arithmetic over any
+//!   [`Operator`]; reductions complete immediately and FLOPs accumulate in a
+//!   local counter (the serial solvers' `flops` field).
+//! * [`DistSpace`] — [`DistVector`] arithmetic over a [`DistCsr`] and a
+//!   simulated [`Comm`]; reductions are real collectives, costs are charged
+//!   to virtual time, and an optional [`SpmvFault`] can corrupt a chosen
+//!   product (the unified replacement for ad-hoc fault wrappers in
+//!   distributed experiments).
+
+use resilient_runtime::{Comm, ReduceOp, Result};
+
+use crate::distributed::{DistCsr, DistVector};
+use crate::solvers::common::Operator;
+
+use resilient_faults::bitflip::flip_bit_f64;
+
+/// A pending (possibly nonblocking) fused reduction: opaque to the kernel,
+/// interpreted by the space that produced it.
+pub enum PendingDots {
+    /// Already-reduced values (serial spaces reduce immediately).
+    Ready(Vec<f64>),
+    /// An in-flight collective (distributed spaces).
+    InFlight(resilient_runtime::PendingCollective),
+}
+
+/// The execution environment of one Krylov solve: bound operator, vector
+/// arithmetic, reductions and cost accounting.
+///
+/// Implementations must make every *global* quantity (dots, norms) return
+/// bit-identical values on every rank so that policy decisions derived from
+/// them keep the ranks' control flow symmetric.
+pub trait KrylovSpace {
+    /// The vector type iterated on.
+    type Vector: Clone;
+
+    /// Apply the bound operator: `y = A·x`, charging its cost.
+    fn apply(&mut self, x: &Self::Vector) -> Result<Self::Vector>;
+    /// Cost of one operator application in FLOPs.
+    fn flops_per_apply(&self) -> usize;
+    /// Upper-bound estimate of the operator ∞-norm (infinity when unknown);
+    /// used by norm-bound policies.
+    fn operator_norm_estimate(&self) -> f64;
+
+    /// Global inner product (charges 2n in distributed spaces).
+    fn dot(&mut self, x: &Self::Vector, y: &Self::Vector) -> Result<f64>;
+    /// Global 2-norm.
+    fn norm(&mut self, x: &Self::Vector) -> Result<f64>;
+    /// Fused blocking reduction of `left[i]·right` for every `left[i]`.
+    fn fused_dots(&mut self, left: &[&Self::Vector], right: &Self::Vector) -> Result<Vec<f64>>;
+    /// Post a fused reduction of arbitrary pairs that may complete later;
+    /// operator applications issued before [`KrylovSpace::finish_dots`] are
+    /// overlapped with it (the pipelined dot strategies' primitive).
+    fn start_dots(&mut self, pairs: &[(&Self::Vector, &Self::Vector)]) -> Result<PendingDots>;
+    /// Complete a reduction started with [`KrylovSpace::start_dots`].
+    fn finish_dots(&mut self, pending: PendingDots) -> Result<Vec<f64>>;
+
+    /// `y ← y + alpha·x` (local, not charged — call sites charge explicitly
+    /// to preserve each preset's legacy cost model).
+    fn axpy(&mut self, alpha: f64, x: &Self::Vector, y: &mut Self::Vector);
+    /// `x ← alpha·x` (local, not charged).
+    fn scale(&mut self, alpha: f64, x: &mut Self::Vector);
+    /// `y ← x + beta·y` (local, not charged) — the CG direction update.
+    fn xpby(&mut self, x: &Self::Vector, beta: f64, y: &mut Self::Vector);
+    /// Residual helper `b − ax` (local, not charged).
+    fn residual(&self, b: &Self::Vector, ax: &Self::Vector) -> Self::Vector;
+    /// A zero vector with the shape of `v`.
+    fn zeros_like(&self, v: &Self::Vector) -> Self::Vector;
+    /// Locally stored length of `v` (the `n` of per-iteration flop formulas).
+    fn local_len(&self, v: &Self::Vector) -> usize;
+    /// Does the *locally stored* part of `v` contain NaN/Inf? Policies that
+    /// must stay rank-symmetric should prefer global norms.
+    fn local_has_non_finite(&self, v: &Self::Vector) -> bool;
+
+    /// Charge solver arithmetic (accumulates in the solve's FLOP count and,
+    /// in distributed spaces, advances virtual time).
+    fn charge_flops(&mut self, flops: usize);
+    /// Attribute resilience-check arithmetic to the check ledger. This never
+    /// advances time or the solver FLOP count: the space operations that
+    /// perform a check (dots, norms, applications) charge their own cost,
+    /// and the legacy skeptical accounting likewise kept check FLOPs out of
+    /// the solver ledger. Distributed spaces record the attribution in the
+    /// rank's [`resilient_runtime::RankStats::check_flops`].
+    fn record_check_flops(&mut self, flops: usize);
+    /// Advance any configured per-iteration extra application work
+    /// (latency-hiding experiments); no-op for serial spaces.
+    fn advance_extra_work(&mut self) -> Result<()>;
+    /// Solver FLOPs accumulated so far (serial spaces; distributed spaces
+    /// account in virtual time instead and return 0).
+    fn accumulated_flops(&self) -> usize;
+}
+
+// ---------------------------------------------------------------------------
+// Serial space
+// ---------------------------------------------------------------------------
+
+/// A [`KrylovSpace`] over plain `Vec<f64>` and a serial [`Operator`].
+pub struct SerialSpace<'a, O: Operator + ?Sized> {
+    op: &'a O,
+    flops: usize,
+}
+
+impl<'a, O: Operator + ?Sized> SerialSpace<'a, O> {
+    /// Bind the operator.
+    pub fn new(op: &'a O) -> Self {
+        Self { op, flops: 0 }
+    }
+
+    /// The bound operator.
+    pub fn operator(&self) -> &'a O {
+        self.op
+    }
+}
+
+impl<'a, O: Operator + ?Sized> KrylovSpace for SerialSpace<'a, O> {
+    type Vector = Vec<f64>;
+
+    fn apply(&mut self, x: &Self::Vector) -> Result<Self::Vector> {
+        self.flops += self.op.flops_per_apply();
+        Ok(self.op.apply(x))
+    }
+
+    fn flops_per_apply(&self) -> usize {
+        self.op.flops_per_apply()
+    }
+
+    fn operator_norm_estimate(&self) -> f64 {
+        self.op.norm_estimate()
+    }
+
+    fn dot(&mut self, x: &Self::Vector, y: &Self::Vector) -> Result<f64> {
+        Ok(resilient_linalg::vector::dot(x, y))
+    }
+
+    fn norm(&mut self, x: &Self::Vector) -> Result<f64> {
+        Ok(resilient_linalg::vector::nrm2(x))
+    }
+
+    fn fused_dots(&mut self, left: &[&Self::Vector], right: &Self::Vector) -> Result<Vec<f64>> {
+        Ok(left
+            .iter()
+            .map(|l| resilient_linalg::vector::dot(l, right))
+            .collect())
+    }
+
+    fn start_dots(&mut self, pairs: &[(&Self::Vector, &Self::Vector)]) -> Result<PendingDots> {
+        Ok(PendingDots::Ready(
+            pairs
+                .iter()
+                .map(|(x, y)| resilient_linalg::vector::dot(x, y))
+                .collect(),
+        ))
+    }
+
+    fn finish_dots(&mut self, pending: PendingDots) -> Result<Vec<f64>> {
+        match pending {
+            PendingDots::Ready(v) => Ok(v),
+            PendingDots::InFlight(_) => unreachable!("serial spaces reduce immediately"),
+        }
+    }
+
+    fn axpy(&mut self, alpha: f64, x: &Self::Vector, y: &mut Self::Vector) {
+        resilient_linalg::vector::axpy(alpha, x, y);
+    }
+
+    fn scale(&mut self, alpha: f64, x: &mut Self::Vector) {
+        resilient_linalg::vector::scale(alpha, x);
+    }
+
+    fn xpby(&mut self, x: &Self::Vector, beta: f64, y: &mut Self::Vector) {
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi = xi + beta * *yi;
+        }
+    }
+
+    fn residual(&self, b: &Self::Vector, ax: &Self::Vector) -> Self::Vector {
+        b.iter().zip(ax).map(|(bi, axi)| bi - axi).collect()
+    }
+
+    fn zeros_like(&self, v: &Self::Vector) -> Self::Vector {
+        vec![0.0; v.len()]
+    }
+
+    fn local_len(&self, v: &Self::Vector) -> usize {
+        v.len()
+    }
+
+    fn local_has_non_finite(&self, v: &Self::Vector) -> bool {
+        resilient_linalg::vector::has_non_finite(v)
+    }
+
+    fn charge_flops(&mut self, flops: usize) {
+        self.flops += flops;
+    }
+
+    fn record_check_flops(&mut self, _flops: usize) {
+        // Check overhead is reported per policy, not mixed into solver FLOPs
+        // (the legacy skeptical solver kept the two ledgers separate).
+    }
+
+    fn advance_extra_work(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    fn accumulated_flops(&self) -> usize {
+        self.flops
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Distributed space
+// ---------------------------------------------------------------------------
+
+/// A planned single-event upset in a distributed SpMV: on `rank`, flip `bit`
+/// of local element `local_element` of the product of application number
+/// `at_application` (0-based, counted per space).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpmvFault {
+    /// Rank whose product is corrupted.
+    pub rank: usize,
+    /// 0-based operator-application index at which to strike.
+    pub at_application: usize,
+    /// Local element of the output vector to corrupt (clamped to length).
+    pub local_element: usize,
+    /// Bit (0–63) of the IEEE-754 representation to flip.
+    pub bit: u32,
+}
+
+/// A [`KrylovSpace`] over block-distributed vectors, a [`DistCsr`] operator
+/// and a simulated communicator.
+pub struct DistSpace<'a, 'b> {
+    comm: &'a mut Comm,
+    a: &'b DistCsr,
+    extra_work_per_iter: f64,
+    operator_norm: f64,
+    fault: Option<SpmvFault>,
+    applications: usize,
+    injections: usize,
+}
+
+impl<'a, 'b> DistSpace<'a, 'b> {
+    /// Bind the communicator and operator.
+    pub fn new(comm: &'a mut Comm, a: &'b DistCsr) -> Self {
+        Self {
+            comm,
+            a,
+            extra_work_per_iter: 0.0,
+            operator_norm: f64::INFINITY,
+            fault: None,
+            applications: 0,
+            injections: 0,
+        }
+    }
+
+    /// Charge `seconds` of overlappable application work per iteration
+    /// (forwarded from [`DistSolveOptions::extra_work_per_iter`]).
+    ///
+    /// [`DistSolveOptions::extra_work_per_iter`]: crate::rbsp::DistSolveOptions
+    pub fn with_extra_work(mut self, seconds_per_iter: f64) -> Self {
+        self.extra_work_per_iter = seconds_per_iter;
+        self
+    }
+
+    /// Provide a (globally agreed) operator ∞-norm bound for norm-bound
+    /// policies; see [`DistCsr::local_norm_inf`].
+    pub fn with_operator_norm(mut self, norm: f64) -> Self {
+        self.operator_norm = norm;
+        self
+    }
+
+    /// Inject a single-event upset into one SpMV product (composed-scenario
+    /// experiments).
+    pub fn with_fault(mut self, fault: SpmvFault) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// Number of bit flips actually injected so far.
+    pub fn injections(&self) -> usize {
+        self.injections
+    }
+
+    /// The communicator (for preset code that needs collectives around the
+    /// solve itself).
+    pub fn comm(&mut self) -> &mut Comm {
+        self.comm
+    }
+}
+
+impl<'a, 'b> KrylovSpace for DistSpace<'a, 'b> {
+    type Vector = DistVector;
+
+    fn apply(&mut self, x: &Self::Vector) -> Result<Self::Vector> {
+        let mut y = self.a.apply(self.comm, x)?;
+        let app = self.applications;
+        self.applications += 1;
+        if let Some(f) = self.fault {
+            if f.at_application == app && f.rank == self.comm.rank() && !y.local.is_empty() {
+                let i = f.local_element.min(y.local.len() - 1);
+                y.local[i] = flip_bit_f64(y.local[i], f.bit);
+                self.injections += 1;
+            }
+        }
+        Ok(y)
+    }
+
+    fn flops_per_apply(&self) -> usize {
+        self.a.flops_per_apply()
+    }
+
+    fn operator_norm_estimate(&self) -> f64 {
+        self.operator_norm
+    }
+
+    fn dot(&mut self, x: &Self::Vector, y: &Self::Vector) -> Result<f64> {
+        x.dot(self.comm, y)
+    }
+
+    fn norm(&mut self, x: &Self::Vector) -> Result<f64> {
+        x.norm(self.comm)
+    }
+
+    fn fused_dots(&mut self, left: &[&Self::Vector], right: &Self::Vector) -> Result<Vec<f64>> {
+        let local: Vec<f64> = left.iter().map(|l| l.local_dot(right)).collect();
+        self.comm.charge_flops(2 * right.local_len() * left.len());
+        self.comm.allreduce(ReduceOp::Sum, &local)
+    }
+
+    fn start_dots(&mut self, pairs: &[(&Self::Vector, &Self::Vector)]) -> Result<PendingDots> {
+        let local: Vec<f64> = pairs.iter().map(|(x, y)| x.local_dot(y)).collect();
+        if let Some((x, _)) = pairs.first() {
+            self.comm.charge_flops(2 * x.local_len() * pairs.len());
+        }
+        Ok(PendingDots::InFlight(
+            self.comm.iallreduce(ReduceOp::Sum, &local)?,
+        ))
+    }
+
+    fn finish_dots(&mut self, pending: PendingDots) -> Result<Vec<f64>> {
+        match pending {
+            PendingDots::Ready(v) => Ok(v),
+            PendingDots::InFlight(p) => p.wait_vector(self.comm),
+        }
+    }
+
+    fn axpy(&mut self, alpha: f64, x: &Self::Vector, y: &mut Self::Vector) {
+        y.axpy(alpha, x);
+    }
+
+    fn scale(&mut self, alpha: f64, x: &mut Self::Vector) {
+        x.scale(alpha);
+    }
+
+    fn xpby(&mut self, x: &Self::Vector, beta: f64, y: &mut Self::Vector) {
+        for (yi, xi) in y.local.iter_mut().zip(&x.local) {
+            *yi = xi + beta * *yi;
+        }
+    }
+
+    fn residual(&self, b: &Self::Vector, ax: &Self::Vector) -> Self::Vector {
+        let mut r = b.clone();
+        r.axpy(-1.0, ax);
+        r
+    }
+
+    fn zeros_like(&self, v: &Self::Vector) -> Self::Vector {
+        let mut z = v.clone();
+        z.local.iter_mut().for_each(|x| *x = 0.0);
+        z
+    }
+
+    fn local_len(&self, v: &Self::Vector) -> usize {
+        v.local_len()
+    }
+
+    fn local_has_non_finite(&self, v: &Self::Vector) -> bool {
+        resilient_linalg::vector::has_non_finite(&v.local)
+    }
+
+    fn charge_flops(&mut self, flops: usize) {
+        self.comm.charge_flops(flops);
+    }
+
+    fn record_check_flops(&mut self, flops: usize) {
+        self.comm.record_check_flops(flops);
+    }
+
+    fn advance_extra_work(&mut self) -> Result<()> {
+        if self.extra_work_per_iter > 0.0 {
+            self.comm.advance(self.extra_work_per_iter);
+        }
+        Ok(())
+    }
+
+    fn accumulated_flops(&self) -> usize {
+        0
+    }
+}

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod distributed;
+pub mod kernel;
 pub mod lflr;
 pub mod models;
 pub mod rbsp;
@@ -52,6 +53,11 @@ pub mod srp;
 /// Convenient glob import of the most frequently used types.
 pub mod prelude {
     pub use crate::distributed::{DistCsr, DistVector};
+    pub use crate::kernel::{
+        ft_gmres_abft, pipelined_skeptical_gmres, AbftSpmvPolicy, DistSpace, KrylovSpace,
+        NoopPolicy, PolicyOverhead, PolicyStack, ResiliencePolicy, SerialSpace, SkepticalPolicy,
+        SpmvFault,
+    };
     pub use crate::lflr::{run_cpr, run_lflr, CprApp, CprConfig, CprReport, LflrApp, LflrReport};
     pub use crate::models::ProgrammingModel;
     pub use crate::rbsp::{

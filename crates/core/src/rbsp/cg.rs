@@ -1,156 +1,64 @@
 //! Distributed conjugate gradients: bulk-synchronous vs. pipelined.
+//!
+//! Both entry points are presets of the unified kernel
+//! ([`crate::kernel`]) over a [`DistSpace`]: the bulk-synchronous variant
+//! uses the [`FusedCgStep`] recurrence (two blocking all-reduces per
+//! iteration), the pipelined variant the [`PipelinedCgStep`] recurrence
+//! (one nonblocking fused all-reduce overlapped with the SpMV).
 
-use resilient_runtime::{Comm, ReduceOp, Result};
+use resilient_runtime::{Comm, Result};
 
 use super::{DistSolveOptions, DistSolveOutcome};
 use crate::distributed::{DistCsr, DistVector};
+use crate::kernel::{run_cg, DistSpace, FusedCgStep, PipelinedCgStep, PolicyStack};
 
 /// Classical distributed CG. Each iteration performs one SpMV (neighborhood
 /// communication) and **two blocking all-reduces** — the structure whose
 /// latency sensitivity §II-B describes.
+///
+/// Preset: unified kernel × [`FusedCgStep`] × empty policy stack over a
+/// [`DistSpace`].
 pub fn dist_cg(
     comm: &mut Comm,
     a: &DistCsr,
     b: &DistVector,
     opts: &DistSolveOptions,
 ) -> Result<DistSolveOutcome> {
-    let n = b.global_len();
-    let mut x = DistVector::zeros(comm, n);
-    let bn = b.norm(comm)?.max(f64::MIN_POSITIVE);
-
-    let ax = a.apply(comm, &x)?;
-    let mut r = b.clone();
-    r.axpy(-1.0, &ax);
-    let mut p = r.clone();
-    let mut rr = r.dot(comm, &r)?;
-    let mut history = vec![rr.sqrt() / bn];
-    let mut iterations = 0;
-
-    while iterations < opts.max_iters {
-        let relres = rr.sqrt() / bn;
-        if relres <= opts.tol {
-            break;
-        }
-        if opts.extra_work_per_iter > 0.0 {
-            comm.advance(opts.extra_work_per_iter);
-        }
-        let ap = a.apply(comm, &p)?;
-        // Blocking reduction #1.
-        let pap = p.dot(comm, &ap)?;
-        if pap <= 0.0 || !pap.is_finite() {
-            break;
-        }
-        let alpha = rr / pap;
-        x.axpy(alpha, &p);
-        r.axpy(-alpha, &ap);
-        comm.charge_flops(4 * r.local_len());
-        // Blocking reduction #2.
-        let rr_new = r.dot(comm, &r)?;
-        let beta = rr_new / rr;
-        rr = rr_new;
-        for i in 0..p.local.len() {
-            p.local[i] = r.local[i] + beta * p.local[i];
-        }
-        comm.charge_flops(2 * p.local_len());
-        iterations += 1;
-        history.push(rr.sqrt() / bn);
-    }
-    let relative_residual = rr.sqrt() / bn;
-    Ok(DistSolveOutcome {
-        x,
-        iterations,
-        relative_residual,
-        converged: relative_residual <= opts.tol,
-        history,
-    })
+    let mut space = DistSpace::new(comm, a).with_extra_work(opts.extra_work_per_iter);
+    let (outcome, _report) = run_cg(
+        &mut space,
+        b,
+        None,
+        &opts.solve_options(),
+        &mut FusedCgStep::new(),
+        &mut PolicyStack::empty(),
+    )?;
+    Ok(outcome.into_dist_outcome(opts.tol))
 }
 
 /// Pipelined CG (Ghysels & Vanroose): algebraically equivalent to CG but with
 /// a **single nonblocking fused all-reduce** per iteration, posted before the
 /// SpMV and completed after it, so the global reduction's latency is hidden
 /// behind the matrix-vector product and the extra per-iteration work.
+///
+/// Preset: unified kernel × [`PipelinedCgStep`] × empty policy stack over a
+/// [`DistSpace`].
 pub fn pipelined_cg(
     comm: &mut Comm,
     a: &DistCsr,
     b: &DistVector,
     opts: &DistSolveOptions,
 ) -> Result<DistSolveOutcome> {
-    let n = b.global_len();
-    let mut x = DistVector::zeros(comm, n);
-    let bn = b.norm(comm)?.max(f64::MIN_POSITIVE);
-
-    // r = b - A x ; w = A r
-    let ax = a.apply(comm, &x)?;
-    let mut r = b.clone();
-    r.axpy(-1.0, &ax);
-    let mut w = a.apply(comm, &r)?;
-
-    let mut z = DistVector::zeros(comm, n); // tracks A s
-    let mut s = DistVector::zeros(comm, n); // tracks A p
-    let mut p = DistVector::zeros(comm, n);
-    let mut gamma_old = 0.0;
-    let mut alpha_old = 0.0;
-    let mut history = Vec::new();
-    let mut iterations = 0;
-    let mut relres = f64::INFINITY;
-
-    while iterations < opts.max_iters {
-        // Fused local partial reductions: γ = (r, r), δ = (w, r).
-        let local = [r.local_dot(&r), w.local_dot(&r)];
-        comm.charge_flops(4 * r.local_len());
-        // Post the single nonblocking reduction ...
-        let pending = comm.iallreduce(ReduceOp::Sum, &local)?;
-        // ... and overlap it with the SpMV q = A w and the extra work.
-        if opts.extra_work_per_iter > 0.0 {
-            comm.advance(opts.extra_work_per_iter);
-        }
-        let q = a.apply(comm, &w)?;
-        let reduced = pending.wait_vector(comm)?;
-        let (gamma, delta) = (reduced[0], reduced[1]);
-
-        relres = gamma.max(0.0).sqrt() / bn;
-        if history.is_empty() {
-            history.push(relres);
-        }
-        if relres <= opts.tol || !relres.is_finite() {
-            break;
-        }
-
-        let (alpha, beta);
-        if iterations > 0 {
-            beta = gamma / gamma_old;
-            alpha = gamma / (delta - beta * gamma / alpha_old);
-        } else {
-            beta = 0.0;
-            alpha = gamma / delta;
-        }
-        if !alpha.is_finite() || alpha == 0.0 {
-            break;
-        }
-
-        // Recurrence updates (all local).
-        for i in 0..p.local.len() {
-            z.local[i] = q.local[i] + beta * z.local[i];
-            s.local[i] = w.local[i] + beta * s.local[i];
-            p.local[i] = r.local[i] + beta * p.local[i];
-            x.local[i] += alpha * p.local[i];
-            r.local[i] -= alpha * s.local[i];
-            w.local[i] -= alpha * z.local[i];
-        }
-        comm.charge_flops(12 * p.local_len());
-
-        gamma_old = gamma;
-        alpha_old = alpha;
-        iterations += 1;
-        history.push(relres);
-    }
-    Ok(DistSolveOutcome {
-        x,
-        iterations,
-        relative_residual: relres,
-        converged: relres <= opts.tol,
-        history,
-    })
+    let mut space = DistSpace::new(comm, a).with_extra_work(opts.extra_work_per_iter);
+    let (outcome, _report) = run_cg(
+        &mut space,
+        b,
+        None,
+        &opts.solve_options(),
+        &mut PipelinedCgStep::new(),
+        &mut PolicyStack::empty(),
+    )?;
+    Ok(outcome.into_dist_outcome(opts.tol))
 }
 
 #[cfg(test)]

@@ -1,97 +1,43 @@
 //! Distributed GMRES: bulk-synchronous vs. p(1)-pipelined.
+//!
+//! Both entry points are presets of the unified kernel
+//! ([`crate::kernel`]) over a [`DistSpace`]: the bulk-synchronous variant
+//! uses the [`CgsOrtho`] dot strategy (classical Gram–Schmidt, two blocking
+//! all-reduces per iteration), the pipelined variant the [`PipelinedOrtho`]
+//! strategy (one nonblocking fused all-reduce overlapped with the
+//! speculative next product).
 
-use resilient_linalg::HessenbergLsq;
-use resilient_runtime::{Comm, ReduceOp, Result};
+use resilient_runtime::{Comm, Result};
 
 use super::{DistSolveOptions, DistSolveOutcome};
 use crate::distributed::{DistCsr, DistVector};
+use crate::kernel::{run_gmres, CgsOrtho, DistSpace, GmresFlavor, PipelinedOrtho, PolicyStack};
 
 /// Classical distributed GMRES with classical Gram–Schmidt orthogonalisation:
 /// per iteration one SpMV, one **blocking** all-reduce for the projection
 /// coefficients and one **blocking** all-reduce for the normalisation — the
 /// two global synchronisation points per iteration that limit strong
 /// scaling.
+/// Preset: unified kernel × [`CgsOrtho`] × empty policy stack over a
+/// [`DistSpace`].
 pub fn dist_gmres(
     comm: &mut Comm,
     a: &DistCsr,
     b: &DistVector,
     opts: &DistSolveOptions,
 ) -> Result<DistSolveOutcome> {
-    let n = b.global_len();
-    let mut x = DistVector::zeros(comm, n);
-    let bn = b.norm(comm)?.max(f64::MIN_POSITIVE);
-    let restart = opts.restart.max(1);
-    let mut history = Vec::new();
-    let mut iterations = 0;
-    let mut relres;
-
-    loop {
-        let ax = a.apply(comm, &x)?;
-        let mut r = b.clone();
-        r.axpy(-1.0, &ax);
-        let beta = r.norm(comm)?;
-        relres = beta / bn;
-        if history.is_empty() {
-            history.push(relres);
-        }
-        if relres <= opts.tol || iterations >= opts.max_iters || !relres.is_finite() {
-            break;
-        }
-        let mut v0 = r.clone();
-        v0.scale(1.0 / beta);
-        let mut basis = vec![v0];
-        let mut lsq = HessenbergLsq::new(restart, beta);
-
-        for _ in 0..restart {
-            if iterations >= opts.max_iters {
-                break;
-            }
-            if opts.extra_work_per_iter > 0.0 {
-                comm.advance(opts.extra_work_per_iter);
-            }
-            let vj = basis.last().expect("nonempty").clone();
-            let mut w = a.apply(comm, &vj)?;
-            // Projection coefficients: one blocking allreduce of j+1 values.
-            let local: Vec<f64> = basis.iter().map(|v| v.local_dot(&w)).collect();
-            comm.charge_flops(2 * w.local_len() * basis.len());
-            let h_proj = comm.allreduce(ReduceOp::Sum, &local)?;
-            for (hij, v) in h_proj.iter().zip(&basis) {
-                w.axpy(-hij, v);
-            }
-            comm.charge_flops(2 * w.local_len() * basis.len());
-            // Normalisation: second blocking allreduce.
-            let h_next = w.norm(comm)?;
-            let mut h = h_proj;
-            h.push(h_next);
-            relres = lsq.push_column(&h) / bn;
-            iterations += 1;
-            history.push(relres);
-            if h_next <= f64::EPSILON * beta.max(1.0) {
-                break;
-            }
-            w.scale(1.0 / h_next);
-            basis.push(w);
-            if relres <= opts.tol {
-                break;
-            }
-        }
-        // x += V y
-        let y = lsq.solve();
-        for (j, yj) in y.iter().enumerate() {
-            x.axpy(*yj, &basis[j]);
-        }
-        comm.charge_flops(2 * x.local_len() * y.len());
-        if relres <= opts.tol || iterations >= opts.max_iters {
-            break;
-        }
-    }
-    Ok(DistSolveOutcome {
-        x,
-        iterations,
-        relative_residual: relres,
-        converged: relres <= opts.tol,
-        history,
-    })
+    let mut space = DistSpace::new(comm, a).with_extra_work(opts.extra_work_per_iter);
+    let (outcome, _report) = run_gmres(
+        &mut space,
+        b,
+        None,
+        &opts.solve_options(),
+        &mut CgsOrtho::new(),
+        &mut PolicyStack::empty(),
+        None,
+        &GmresFlavor::distributed(),
+    )?;
+    Ok(outcome.into_dist_outcome(opts.tol))
 }
 
 /// p(1)-pipelined GMRES (after Ghysels, Ashby, Meerbergen & Vanroose): the
@@ -101,116 +47,27 @@ pub fn dist_gmres(
 /// vector; the orthogonalised basis vector and its product are then
 /// recovered by linearity. One global synchronisation per iteration, fully
 /// overlapped.
+/// Preset: unified kernel × [`PipelinedOrtho`] × empty policy stack over a
+/// [`DistSpace`]. Composing the same strategy with an SDC-detection stack
+/// is [`crate::kernel::compose::pipelined_skeptical_gmres`].
 pub fn pipelined_gmres(
     comm: &mut Comm,
     a: &DistCsr,
     b: &DistVector,
     opts: &DistSolveOptions,
 ) -> Result<DistSolveOutcome> {
-    let n = b.global_len();
-    let mut x = DistVector::zeros(comm, n);
-    let bn = b.norm(comm)?.max(f64::MIN_POSITIVE);
-    let restart = opts.restart.max(1);
-    let mut history = Vec::new();
-    let mut iterations = 0;
-    let mut relres;
-
-    'outer: loop {
-        let ax = a.apply(comm, &x)?;
-        let mut r = b.clone();
-        r.axpy(-1.0, &ax);
-        let beta = r.norm(comm)?;
-        relres = beta / bn;
-        if history.is_empty() {
-            history.push(relres);
-        }
-        if relres <= opts.tol || iterations >= opts.max_iters || !relres.is_finite() {
-            break;
-        }
-        let mut v0 = r.clone();
-        v0.scale(1.0 / beta);
-        // basis[i] = v_i (orthonormal); products[i] = A v_i.
-        let z0 = a.apply(comm, &v0)?;
-        let mut basis = vec![v0];
-        let mut products = vec![z0];
-        let mut lsq = HessenbergLsq::new(restart, beta);
-
-        for _ in 0..restart {
-            if iterations >= opts.max_iters {
-                break;
-            }
-            let j = basis.len() - 1;
-            let zj = products[j].clone();
-            // Fused local dots: (v_i, z_j) for i = 0..=j, and (z_j, z_j).
-            let mut local: Vec<f64> = basis.iter().map(|v| v.local_dot(&zj)).collect();
-            local.push(zj.local_dot(&zj));
-            comm.charge_flops(2 * zj.local_len() * (basis.len() + 1));
-            // Post the single reduction ...
-            let pending = comm.iallreduce(ReduceOp::Sum, &local)?;
-            // ... and overlap it with the speculative next product A z_j and
-            // any extra application work.
-            if opts.extra_work_per_iter > 0.0 {
-                comm.advance(opts.extra_work_per_iter);
-            }
-            let azj = a.apply(comm, &zj)?;
-            let reduced = pending.wait_vector(comm)?;
-            let (h_proj, zz) = reduced.split_at(basis.len());
-            let zz = zz[0];
-            // ‖z_j − Σ h_i v_i‖² = (z_j,z_j) − Σ h_i² by orthonormality of V.
-            let h_next_sq = zz - h_proj.iter().map(|h| h * h).sum::<f64>();
-            // NaN must take this branch too, hence no plain `<=` comparison.
-            if h_next_sq.is_nan() || h_next_sq <= f64::EPSILON * zz.max(1.0) {
-                // Breakdown (or roundoff made the pipelined norm unusable):
-                // fall back to closing the cycle here; the outer loop
-                // recomputes the true residual and restarts if needed.
-                let mut h = h_proj.to_vec();
-                h.push(h_next_sq.max(0.0).sqrt());
-                relres = lsq.push_column(&h) / bn;
-                iterations += 1;
-                history.push(relres);
-                break;
-            }
-            let h_next = h_next_sq.sqrt();
-            // v_{j+1} = (z_j − Σ h_i v_i) / h_next, and by linearity
-            // A v_{j+1} = (A z_j − Σ h_i A v_i) / h_next.
-            let mut v_next = zj.clone();
-            let mut z_next = azj;
-            for (hij, (v, z)) in h_proj.iter().zip(basis.iter().zip(&products)) {
-                v_next.axpy(-hij, v);
-                z_next.axpy(-hij, z);
-            }
-            v_next.scale(1.0 / h_next);
-            z_next.scale(1.0 / h_next);
-            comm.charge_flops(6 * v_next.local_len() * basis.len());
-
-            let mut h = h_proj.to_vec();
-            h.push(h_next);
-            relres = lsq.push_column(&h) / bn;
-            iterations += 1;
-            history.push(relres);
-            basis.push(v_next);
-            products.push(z_next);
-            if relres <= opts.tol {
-                break;
-            }
-        }
-        // x += V y
-        let y = lsq.solve();
-        for (j, yj) in y.iter().enumerate() {
-            x.axpy(*yj, &basis[j]);
-        }
-        comm.charge_flops(2 * x.local_len() * y.len());
-        if relres <= opts.tol || iterations >= opts.max_iters {
-            break 'outer;
-        }
-    }
-    Ok(DistSolveOutcome {
-        x,
-        iterations,
-        relative_residual: relres,
-        converged: relres <= opts.tol,
-        history,
-    })
+    let mut space = DistSpace::new(comm, a).with_extra_work(opts.extra_work_per_iter);
+    let (outcome, _report) = run_gmres(
+        &mut space,
+        b,
+        None,
+        &opts.solve_options(),
+        &mut PipelinedOrtho::new(),
+        &mut PolicyStack::empty(),
+        None,
+        &GmresFlavor::distributed(),
+    )?;
+    Ok(outcome.into_dist_outcome(opts.tol))
 }
 
 #[cfg(test)]

@@ -79,4 +79,14 @@ impl DistSolveOptions {
         self.restart = restart;
         self
     }
+
+    /// The kernel-level options this carries (`extra_work_per_iter` travels
+    /// separately, via
+    /// [`DistSpace::with_extra_work`](crate::kernel::DistSpace::with_extra_work)).
+    pub fn solve_options(&self) -> crate::solvers::SolveOptions {
+        crate::solvers::SolveOptions::default()
+            .with_tol(self.tol)
+            .with_max_iters(self.max_iters)
+            .with_restart(self.restart)
+    }
 }

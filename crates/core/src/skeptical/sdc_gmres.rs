@@ -20,13 +20,8 @@
 //! current (still valid) iterate — cheap local recovery — or aborts,
 //! according to [`SkepticalResponse`].
 
-use resilient_faults::detection::orthogonality_check;
-use resilient_linalg::vector::{has_non_finite, nrm2};
-
-use crate::solvers::common::{
-    true_relative_residual, Operator, SolveOptions, SolveOutcome, StopReason,
-};
-use crate::solvers::gmres::ArnoldiProcess;
+use crate::kernel::{run_gmres, GmresFlavor, MgsOrtho, PolicyStack, SerialSpace, SkepticalPolicy};
+use crate::solvers::common::{Operator, SolveOptions, SolveOutcome};
 
 /// What to do when a skeptical check fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,7 +32,8 @@ pub enum SkepticalResponse {
     /// Discard the current Arnoldi cycle and restart from the current
     /// iterate (local rollback — the recommended response).
     Restart,
-    /// Stop the solve with [`StopReason::CorruptionDetected`].
+    /// Stop the solve with
+    /// [`StopReason::CorruptionDetected`](crate::solvers::StopReason::CorruptionDetected).
     Abort,
 }
 
@@ -103,6 +99,11 @@ pub struct SkepticalReport {
 
 /// GMRES with skeptical checks. Returns the solver outcome plus the
 /// skeptical report.
+///
+/// Preset: unified kernel × [`MgsOrtho`] × a single [`SkepticalPolicy`]
+/// over a [`SerialSpace`]. The same policy composes with any other dot
+/// strategy — see [`crate::kernel::compose::pipelined_skeptical_gmres`] for
+/// the pipelined/distributed combination.
 pub fn skeptical_gmres<O: Operator + ?Sized>(
     a: &O,
     b: &[f64],
@@ -110,219 +111,30 @@ pub fn skeptical_gmres<O: Operator + ?Sized>(
     opts: &SolveOptions,
     skeptic: &SkepticalConfig,
 ) -> (SolveOutcome, SkepticalReport) {
-    let n = a.dim();
-    assert_eq!(b.len(), n, "rhs dimension mismatch");
-    let mut x = x0.map(|v| v.to_vec()).unwrap_or_else(|| vec![0.0; n]);
-    let bn = nrm2(b).max(f64::MIN_POSITIVE);
-    let restart = opts.restart.max(1);
-    let norm_a = a.norm_estimate();
-    let mut history = Vec::new();
-    let mut total_iters = 0usize;
-    let mut flops = 0usize;
-    let mut report = SkepticalReport::default();
-
-    'outer: loop {
-        let ax = a.apply(&x);
-        flops += a.flops_per_apply();
-        let r0: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
-        let mut relres = nrm2(&r0) / bn;
-        if history.is_empty() {
-            history.push(relres);
-        }
-        if relres <= opts.tol {
-            return (
-                SolveOutcome {
-                    x,
-                    iterations: total_iters,
-                    relative_residual: relres,
-                    reason: StopReason::Converged,
-                    history,
-                    flops,
-                },
-                report,
-            );
-        }
-        if has_non_finite(&x) || !relres.is_finite() {
-            return (
-                SolveOutcome {
-                    x,
-                    iterations: total_iters,
-                    relative_residual: relres,
-                    reason: StopReason::Diverged,
-                    history,
-                    flops,
-                },
-                report,
-            );
-        }
-
-        let mut arnoldi = ArnoldiProcess::new(r0, restart);
-        let mut breakdown = false;
-
-        for _inner in 0..restart {
-            if total_iters >= opts.max_iters {
-                break;
-            }
-            let v = arnoldi.basis.last().expect("basis never empty").clone();
-            let w = a.apply(&v);
-            flops += a.flops_per_apply() + 4 * n * (arnoldi.steps() + 1);
-
-            // --- Skeptical local checks on the raw product -----------------
-            let mut detected = false;
-            if skeptic.local_checks {
-                report.local_checks_run += 1;
-                report.check_flops += 4 * n;
-                let wn = nrm2(&w);
-                if has_non_finite(&w)
-                    || (norm_a.is_finite()
-                        && wn > skeptic.norm_bound_factor * norm_a * nrm2(&v).max(1.0))
-                {
-                    detected = true;
-                }
-            }
-
-            let mut res_est = None;
-            if !detected {
-                res_est = arnoldi.extend(w);
-                total_iters += 1;
-                relres = arnoldi.residual_norm() / bn;
-                history.push(relres);
-
-                if relres <= opts.tol {
-                    // Converged according to the recurrence: stop checking.
-                    // Once the residual is at rounding level the newest basis
-                    // vector is dominated by roundoff and the orthogonality
-                    // test would false-positive; the cycle-final *true*
-                    // residual check below still guards against a lying
-                    // recurrence.
-                    break;
-                }
-
-                if skeptic.local_checks && arnoldi.basis.len() >= 2 {
-                    report.local_checks_run += 1;
-                    report.check_flops += 2 * n;
-                    let last = arnoldi.basis.len() - 1;
-                    if orthogonality_check(
-                        &arnoldi.basis[last],
-                        &arnoldi.basis[last - 1],
-                        skeptic.orthogonality_tol,
-                    )
-                    .is_suspicious()
-                    {
-                        detected = true;
-                    }
-                }
-
-                // --- Periodic residual-consistency check --------------------
-                if !detected
-                    && skeptic.residual_check_interval > 0
-                    && total_iters % skeptic.residual_check_interval == 0
-                {
-                    report.residual_checks_run += 1;
-                    report.check_flops += a.flops_per_apply() + 4 * n;
-                    let mut x_trial = x.clone();
-                    arnoldi.update_solution(&mut x_trial);
-                    let true_rr = true_relative_residual(a, b, &x_trial);
-                    flops += a.flops_per_apply();
-                    // Corruption makes the recurrence estimate lie *low*: the
-                    // Hessenberg data claims progress the true residual does
-                    // not show. Flag only a large one-sided discrepancy so
-                    // that ordinary rounding noise near the tolerance never
-                    // triggers a false positive.
-                    let allowed = relres * (1.0 + skeptic.residual_mismatch_tol) + 10.0 * opts.tol;
-                    if !true_rr.is_finite() || true_rr > allowed {
-                        detected = true;
-                    }
-                }
-            }
-
-            if detected {
-                report.detections += 1;
-                match skeptic.response {
-                    SkepticalResponse::RecordOnly => {
-                        // If the product itself was rejected before extending,
-                        // we still must extend to make progress.
-                        if res_est.is_none() && arnoldi.steps() == 0 {
-                            // re-apply cleanly not possible (operator may be
-                            // inherently faulty); extend with the possibly
-                            // corrupted vector to keep going.
-                        }
-                    }
-                    SkepticalResponse::Restart => {
-                        report.corrective_restarts += 1;
-                        // Keep whatever progress preceded the corrupted step:
-                        // the current cycle is discarded and the outer loop
-                        // recomputes the residual from x (which has only been
-                        // updated at cycle boundaries, so it is uncorrupted).
-                        continue 'outer;
-                    }
-                    SkepticalResponse::Abort => {
-                        arnoldi.update_solution(&mut x);
-                        let rr = true_relative_residual(a, b, &x);
-                        return (
-                            SolveOutcome {
-                                x,
-                                iterations: total_iters,
-                                relative_residual: rr,
-                                reason: StopReason::CorruptionDetected,
-                                history,
-                                flops,
-                            },
-                            report,
-                        );
-                    }
-                }
-            }
-
-            if res_est.is_none() && !detected {
-                breakdown = true;
-                break;
-            }
-            if relres <= opts.tol {
-                break;
-            }
-        }
-
-        arnoldi.update_solution(&mut x);
-        let true_relres = true_relative_residual(a, b, &x);
-        flops += a.flops_per_apply();
-        if true_relres <= opts.tol {
-            return (
-                SolveOutcome {
-                    x,
-                    iterations: total_iters,
-                    relative_residual: true_relres,
-                    reason: StopReason::Converged,
-                    history,
-                    flops,
-                },
-                report,
-            );
-        }
-        if breakdown || total_iters >= opts.max_iters {
-            return (
-                SolveOutcome {
-                    x,
-                    iterations: total_iters,
-                    relative_residual: true_relres,
-                    reason: if breakdown {
-                        StopReason::Breakdown
-                    } else {
-                        StopReason::MaxIterations
-                    },
-                    history,
-                    flops,
-                },
-                report,
-            );
-        }
-    }
+    assert_eq!(b.len(), a.dim(), "rhs dimension mismatch");
+    let mut space = SerialSpace::new(a);
+    let b = b.to_vec();
+    let mut policy = SkepticalPolicy::new(*skeptic);
+    let mut policies = PolicyStack::new(vec![&mut policy]);
+    let (outcome, _report) = run_gmres(
+        &mut space,
+        &b,
+        x0.map(|v| v.to_vec()),
+        opts,
+        &mut MgsOrtho::new(),
+        &mut policies,
+        None,
+        &GmresFlavor::serial_skeptical(),
+    )
+    .expect("serial spaces are infallible");
+    (outcome.into_solve_outcome(), policy.report())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::skeptical::faulty::{FaultTarget, FaultyOperator, InjectionPlan};
+    use crate::solvers::common::{true_relative_residual, StopReason};
     use resilient_linalg::poisson2d;
 
     fn opts() -> SolveOptions {

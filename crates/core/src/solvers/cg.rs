@@ -1,10 +1,12 @@
 //! The (preconditioned) conjugate gradient method for SPD systems.
+//!
+//! The solver entry point is a preset of the unified kernel
+//! ([`crate::kernel`]): serial space, [`PcgStep`] recurrence, empty policy
+//! stack.
 
-use resilient_linalg::vector::{axpy, dot, has_non_finite, nrm2};
+use crate::kernel::{run_cg, PcgStep, PolicyStack, SerialSpace};
 
-use super::common::{
-    IdentityPreconditioner, Operator, Preconditioner, SolveOptions, SolveOutcome, StopReason,
-};
+use super::common::{IdentityPreconditioner, Operator, Preconditioner, SolveOptions, SolveOutcome};
 
 /// Solve `A·x = b` with CG starting from `x0` (zero vector if `None`).
 pub fn cg<O: Operator + ?Sized>(
@@ -17,6 +19,9 @@ pub fn cg<O: Operator + ?Sized>(
 }
 
 /// Preconditioned conjugate gradients.
+///
+/// Preset: unified kernel × [`PcgStep`] × empty policy stack over a
+/// [`SerialSpace`].
 pub fn pcg<O: Operator + ?Sized, M: Preconditioner + ?Sized>(
     a: &O,
     m: &M,
@@ -24,98 +29,25 @@ pub fn pcg<O: Operator + ?Sized, M: Preconditioner + ?Sized>(
     x0: Option<&[f64]>,
     opts: &SolveOptions,
 ) -> SolveOutcome {
-    let n = a.dim();
-    assert_eq!(b.len(), n, "rhs dimension mismatch");
-    let mut x = x0.map(|v| v.to_vec()).unwrap_or_else(|| vec![0.0; n]);
-    let bn = nrm2(b).max(f64::MIN_POSITIVE);
-    let mut flops = 0usize;
-
-    // r = b - A x
-    let ax = a.apply(&x);
-    flops += a.flops_per_apply();
-    let mut r: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
-    let mut z = m.apply(&r);
-    let mut p = z.clone();
-    let mut rz = dot(&r, &z);
-    let mut history = Vec::new();
-    let mut relres = nrm2(&r) / bn;
-    history.push(relres);
-    if relres <= opts.tol {
-        return SolveOutcome {
-            x,
-            iterations: 0,
-            relative_residual: relres,
-            reason: StopReason::Converged,
-            history,
-            flops,
-        };
-    }
-
-    for k in 0..opts.max_iters {
-        let ap = a.apply(&p);
-        flops += a.flops_per_apply() + 10 * n;
-        let pap = dot(&p, &ap);
-        if pap <= 0.0 || !pap.is_finite() {
-            return SolveOutcome {
-                x,
-                iterations: k,
-                relative_residual: relres,
-                reason: if pap.is_finite() {
-                    StopReason::Breakdown
-                } else {
-                    StopReason::Diverged
-                },
-                history,
-                flops,
-            };
-        }
-        let alpha = rz / pap;
-        axpy(alpha, &p, &mut x);
-        axpy(-alpha, &ap, &mut r);
-        relres = nrm2(&r) / bn;
-        history.push(relres);
-        if has_non_finite(&r) {
-            return SolveOutcome {
-                x,
-                iterations: k + 1,
-                relative_residual: relres,
-                reason: StopReason::Diverged,
-                history,
-                flops,
-            };
-        }
-        if relres <= opts.tol {
-            return SolveOutcome {
-                x,
-                iterations: k + 1,
-                relative_residual: relres,
-                reason: StopReason::Converged,
-                history,
-                flops,
-            };
-        }
-        z = m.apply(&r);
-        let rz_new = dot(&r, &z);
-        let beta = rz_new / rz;
-        rz = rz_new;
-        for i in 0..n {
-            p[i] = z[i] + beta * p[i];
-        }
-    }
-    SolveOutcome {
-        x,
-        iterations: opts.max_iters,
-        relative_residual: relres,
-        reason: StopReason::MaxIterations,
-        history,
-        flops,
-    }
+    assert_eq!(b.len(), a.dim(), "rhs dimension mismatch");
+    let mut space = SerialSpace::new(a);
+    let b = b.to_vec();
+    let (outcome, _report) = run_cg(
+        &mut space,
+        &b,
+        x0.map(|v| v.to_vec()),
+        opts,
+        &mut PcgStep::new(m),
+        &mut PolicyStack::empty(),
+    )
+    .expect("serial spaces are infallible");
+    outcome.into_solve_outcome()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::solvers::common::{true_relative_residual, JacobiPreconditioner};
+    use crate::solvers::common::{true_relative_residual, JacobiPreconditioner, StopReason};
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
     use resilient_linalg::{poisson1d, poisson2d, random_vector, spd_random};

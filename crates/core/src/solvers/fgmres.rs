@@ -7,10 +7,10 @@
 //! returns, correct or corrupted, is treated as just another subspace vector
 //! by the outer iteration, which is what makes the combination robust.
 
-use resilient_linalg::vector::{dot, nrm2, scale};
-use resilient_linalg::HessenbergLsq;
+use crate::kernel::{run_gmres, FlexibleRight, GmresFlavor, MgsOrtho, PolicyStack, SerialSpace};
+use resilient_runtime::Result;
 
-use super::common::{Operator, SolveOptions, SolveOutcome, StopReason};
+use super::common::{Operator, SolveOptions, SolveOutcome};
 
 /// A possibly nonlinear, possibly *unreliable* preconditioner application
 /// `z ≈ A⁻¹·v` that may differ on every call. The flexible outer iteration
@@ -48,8 +48,30 @@ pub struct FgmresReport {
     pub rejected_inner_results: usize,
 }
 
+/// Adapter presenting a [`FlexiblePreconditioner`] to the unified kernel as
+/// a flexible right preconditioner over a serial space.
+struct FlexAdapter<'m, M: FlexiblePreconditioner + ?Sized>(&'m mut M);
+
+impl<'a, 'm, O, M> FlexibleRight<SerialSpace<'a, O>> for FlexAdapter<'m, M>
+where
+    O: Operator + ?Sized,
+    M: FlexiblePreconditioner + ?Sized,
+{
+    fn apply(&mut self, _space: &mut SerialSpace<'a, O>, v: &Vec<f64>) -> Result<Vec<f64>> {
+        Ok(self.0.apply(v))
+    }
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+}
+
 /// Flexible GMRES with restart, applying `m` as a (possibly varying,
 /// possibly unreliable) right preconditioner.
+///
+/// Preset: unified kernel × [`MgsOrtho`] in flexible mode × empty policy
+/// stack over a [`SerialSpace`]. The outer iteration skeptically validates
+/// every inner result and falls back to the unpreconditioned direction on
+/// garbage, so convergence degrades gracefully instead of being destroyed.
 pub fn fgmres<O: Operator + ?Sized, M: FlexiblePreconditioner + ?Sized>(
     a: &O,
     m: &mut M,
@@ -57,138 +79,46 @@ pub fn fgmres<O: Operator + ?Sized, M: FlexiblePreconditioner + ?Sized>(
     x0: Option<&[f64]>,
     opts: &SolveOptions,
 ) -> (SolveOutcome, FgmresReport) {
-    let n = a.dim();
-    assert_eq!(b.len(), n, "rhs dimension mismatch");
-    let mut x = x0.map(|v| v.to_vec()).unwrap_or_else(|| vec![0.0; n]);
-    let bn = nrm2(b).max(f64::MIN_POSITIVE);
-    let restart = opts.restart.max(1);
-    let mut history = Vec::new();
-    let mut total_iters = 0usize;
-    let mut flops = 0usize;
-    let mut report = FgmresReport::default();
+    fgmres_with_policies(a, m, b, x0, opts, &mut PolicyStack::empty()).0
+}
 
-    loop {
-        let ax = a.apply(&x);
-        flops += a.flops_per_apply();
-        let r0: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
-        let beta = nrm2(&r0);
-        let mut relres = beta / bn;
-        if history.is_empty() {
-            history.push(relres);
-        }
-        if relres <= opts.tol {
-            return (
-                SolveOutcome {
-                    x,
-                    iterations: total_iters,
-                    relative_residual: relres,
-                    reason: StopReason::Converged,
-                    history,
-                    flops,
-                },
-                report,
-            );
-        }
-
-        // Outer Arnoldi with flexible preconditioning: store both the
-        // orthonormal basis V and the preconditioned vectors Z.
-        let mut v0 = r0;
-        scale(1.0 / beta, &mut v0);
-        let mut v_basis = vec![v0];
-        let mut z_basis: Vec<Vec<f64>> = Vec::new();
-        let mut lsq = HessenbergLsq::new(restart, beta);
-        let mut breakdown = false;
-
-        for _ in 0..restart {
-            if total_iters >= opts.max_iters {
-                break;
-            }
-            let vj = v_basis.last().expect("basis never empty").clone();
-            // Inner (unreliable) solve. The outer iteration is the reliable
-            // part: it validates the result before using it.
-            let mut z = m.apply(&vj);
-            report.inner_applications += 1;
-            if z.len() != n || z.iter().any(|v| !v.is_finite()) {
-                // Skeptical outer iteration: discard garbage inner results and
-                // fall back to the unpreconditioned direction; the subspace
-                // still grows and convergence degrades gracefully instead of
-                // being destroyed.
-                report.rejected_inner_results += 1;
-                z = vj.clone();
-            }
-            let mut w = a.apply(&z);
-            flops += a.flops_per_apply() + 4 * n * (v_basis.len() + 1);
-            // Modified Gram–Schmidt.
-            let mut h = Vec::with_capacity(v_basis.len() + 1);
-            for v in &v_basis {
-                let hij = dot(v, &w);
-                for (wi, vi) in w.iter_mut().zip(v) {
-                    *wi -= hij * vi;
-                }
-                h.push(hij);
-            }
-            let h_next = nrm2(&w);
-            h.push(h_next);
-            let res_est = lsq.push_column(&h);
-            z_basis.push(z);
-            total_iters += 1;
-            relres = res_est / bn;
-            history.push(relres);
-            if h_next <= f64::EPSILON * beta.max(1.0) {
-                breakdown = true;
-                break;
-            }
-            scale(1.0 / h_next, &mut w);
-            v_basis.push(w);
-            if relres <= opts.tol {
-                break;
-            }
-        }
-
-        // x += Z_k · y_k
-        if !z_basis.is_empty() {
-            let y = lsq.solve();
-            for (j, yj) in y.iter().enumerate() {
-                for (xi, zi) in x.iter_mut().zip(&z_basis[j]) {
-                    *xi += yj * zi;
-                }
-            }
-        }
-        let ax = a.apply(&x);
-        flops += a.flops_per_apply();
-        let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
-        let true_relres = nrm2(&r) / bn;
-        if true_relres <= opts.tol {
-            return (
-                SolveOutcome {
-                    x,
-                    iterations: total_iters,
-                    relative_residual: true_relres,
-                    reason: StopReason::Converged,
-                    history,
-                    flops,
-                },
-                report,
-            );
-        }
-        if breakdown || total_iters >= opts.max_iters {
-            return (
-                SolveOutcome {
-                    x,
-                    iterations: total_iters,
-                    relative_residual: true_relres,
-                    reason: if breakdown {
-                        StopReason::Breakdown
-                    } else {
-                        StopReason::MaxIterations
-                    },
-                    history,
-                    flops,
-                },
-                report,
-            );
-        }
-    }
+/// Flexible GMRES with an explicit resilience-policy stack — the composable
+/// form used by `kernel::compose` presets (e.g. FT-GMRES with ABFT-checked
+/// outer products). Returns the outcome/report pair plus the number of
+/// policy-triggered cycle restarts.
+pub fn fgmres_with_policies<'a, O: Operator + ?Sized, M: FlexiblePreconditioner + ?Sized>(
+    a: &'a O,
+    m: &mut M,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    opts: &SolveOptions,
+    policies: &mut PolicyStack<'_, SerialSpace<'a, O>>,
+) -> ((SolveOutcome, FgmresReport), usize) {
+    assert_eq!(b.len(), a.dim(), "rhs dimension mismatch");
+    let mut space = SerialSpace::new(a);
+    let b = b.to_vec();
+    let mut adapter = FlexAdapter(m);
+    let (outcome, report) = run_gmres(
+        &mut space,
+        &b,
+        x0.map(|v| v.to_vec()),
+        opts,
+        &mut MgsOrtho::flexible(),
+        policies,
+        Some(&mut adapter),
+        &GmresFlavor::serial_flexible(),
+    )
+    .expect("serial spaces are infallible");
+    (
+        (
+            outcome.into_solve_outcome(),
+            FgmresReport {
+                inner_applications: report.inner_applications,
+                rejected_inner_results: report.rejected_inner_results,
+            },
+        ),
+        report.policy_restarts,
+    )
 }
 
 #[cfg(test)]

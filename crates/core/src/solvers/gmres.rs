@@ -1,9 +1,16 @@
 //! Restarted GMRES and the Arnoldi process.
+//!
+//! The solver entry point is a preset of the unified kernel
+//! ([`crate::kernel`]): serial space, modified-Gram–Schmidt dot strategy,
+//! empty policy stack. [`ArnoldiProcess`] remains available as a standalone
+//! building block for experiments that drive the recurrence directly.
 
 use resilient_linalg::vector::{dot, nrm2, scale};
 use resilient_linalg::HessenbergLsq;
 
-use super::common::{Operator, SolveOptions, SolveOutcome, StopReason};
+use crate::kernel::{run_gmres, GmresFlavor, MgsOrtho, PolicyStack, SerialSpace};
+
+use super::common::{Operator, SolveOptions, SolveOutcome};
 
 /// One Arnoldi/GMRES cycle's worth of basis vectors and machinery, exposed so
 /// the skeptical and pipelined variants can reuse it.
@@ -97,109 +104,36 @@ impl ArnoldiProcess {
 }
 
 /// Restarted GMRES(m): solve `A·x = b` with restart length `opts.restart`.
+///
+/// Preset: unified kernel × [`MgsOrtho`] × empty policy stack over a
+/// [`SerialSpace`].
 pub fn gmres<O: Operator + ?Sized>(
     a: &O,
     b: &[f64],
     x0: Option<&[f64]>,
     opts: &SolveOptions,
 ) -> SolveOutcome {
-    let n = a.dim();
-    assert_eq!(b.len(), n, "rhs dimension mismatch");
-    let mut x = x0.map(|v| v.to_vec()).unwrap_or_else(|| vec![0.0; n]);
-    let bn = nrm2(b).max(f64::MIN_POSITIVE);
-    let restart = opts.restart.max(1);
-    let mut history = Vec::new();
-    let mut total_iters = 0usize;
-    let mut flops = 0usize;
-
-    loop {
-        let ax = a.apply(&x);
-        flops += a.flops_per_apply();
-        let r0: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
-        let mut relres = nrm2(&r0) / bn;
-        if history.is_empty() {
-            history.push(relres);
-        }
-        if relres <= opts.tol {
-            return SolveOutcome {
-                x,
-                iterations: total_iters,
-                relative_residual: relres,
-                reason: StopReason::Converged,
-                history,
-                flops,
-            };
-        }
-        let mut arnoldi = ArnoldiProcess::new(r0, restart);
-        let mut breakdown = false;
-        for _ in 0..restart {
-            if total_iters >= opts.max_iters {
-                break;
-            }
-            let v = arnoldi.basis.last().expect("basis is never empty").clone();
-            let w = a.apply(&v);
-            flops += a.flops_per_apply() + 4 * n * (arnoldi.steps() + 1);
-            let res = arnoldi.extend(w);
-            total_iters += 1;
-            relres = arnoldi.residual_norm() / bn;
-            history.push(relres);
-            if !relres.is_finite() {
-                arnoldi.update_solution(&mut x);
-                return SolveOutcome {
-                    x,
-                    iterations: total_iters,
-                    relative_residual: relres,
-                    reason: StopReason::Diverged,
-                    history,
-                    flops,
-                };
-            }
-            if res.is_none() {
-                breakdown = true;
-                break;
-            }
-            if relres <= opts.tol {
-                break;
-            }
-        }
-        arnoldi.update_solution(&mut x);
-        let true_relres = {
-            let ax = a.apply(&x);
-            flops += a.flops_per_apply();
-            let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
-            nrm2(&r) / bn
-        };
-        if true_relres <= opts.tol || breakdown {
-            return SolveOutcome {
-                x,
-                iterations: total_iters,
-                relative_residual: true_relres,
-                reason: if true_relres <= opts.tol {
-                    StopReason::Converged
-                } else {
-                    StopReason::Breakdown
-                },
-                history,
-                flops,
-            };
-        }
-        if total_iters >= opts.max_iters {
-            return SolveOutcome {
-                x,
-                iterations: total_iters,
-                relative_residual: true_relres,
-                reason: StopReason::MaxIterations,
-                history,
-                flops,
-            };
-        }
-    }
+    assert_eq!(b.len(), a.dim(), "rhs dimension mismatch");
+    let mut space = SerialSpace::new(a);
+    let b = b.to_vec();
+    let (outcome, _report) = run_gmres(
+        &mut space,
+        &b,
+        x0.map(|v| v.to_vec()),
+        opts,
+        &mut MgsOrtho::new(),
+        &mut PolicyStack::empty(),
+        None,
+        &GmresFlavor::serial(),
+    )
+    .expect("serial spaces are infallible");
+    outcome.into_solve_outcome()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::solvers::common::true_relative_residual;
+    use crate::solvers::common::{true_relative_residual, StopReason};
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
     use resilient_linalg::{diag_dominant_random, poisson1d, poisson2d, random_vector};

@@ -17,8 +17,9 @@
 use resilient_faults::memory::{Reliability, ReliabilityModel};
 
 use super::reliability::{SrpCostLedger, UnreliableOperator};
+use crate::kernel::{PolicyStack, SerialSpace};
 use crate::solvers::common::{Operator, SolveOptions, SolveOutcome};
-use crate::solvers::fgmres::{fgmres, FgmresReport, FlexiblePreconditioner};
+use crate::solvers::fgmres::{fgmres_with_policies, FgmresReport, FlexiblePreconditioner};
 use crate::solvers::gmres::gmres;
 
 /// Configuration of the FT-GMRES inner/outer split.
@@ -91,17 +92,36 @@ pub fn ft_gmres<O: Operator + ?Sized>(
     b: &[f64],
     cfg: &FtGmresConfig,
 ) -> (SolveOutcome, FtGmresReport) {
+    let (out, report, _restarts) = ft_gmres_with_policies(a, a, b, cfg, &mut PolicyStack::empty());
+    (out, report)
+}
+
+/// FT-GMRES with an explicit resilience-policy stack guarding the *outer*
+/// (reliable-tier) iteration — the composable form behind
+/// [`crate::kernel::compose::ft_gmres_abft`]. `outer` is the operator the
+/// reliable outer iteration applies; the unreliable inner solves run
+/// against an [`UnreliableOperator`] view of `inner_source` (pass the same
+/// operator twice for the classic configuration). Returns the outcome, the
+/// FT-GMRES report and the number of policy-triggered outer-cycle restarts.
+pub fn ft_gmres_with_policies<'a, O: Operator + ?Sized, I: Operator + ?Sized>(
+    outer: &'a O,
+    inner_source: &I,
+    b: &[f64],
+    cfg: &FtGmresConfig,
+    policies: &mut PolicyStack<'_, SerialSpace<'a, O>>,
+) -> (SolveOutcome, FtGmresReport, usize) {
     let inner_opts = SolveOptions::default()
         .with_tol(cfg.inner_tol)
         .with_max_iters(cfg.inner_iters)
         .with_restart(cfg.inner_iters.max(1));
     let mut inner = UnreliableInner {
-        op: UnreliableOperator::new(a, cfg.fault_rate, cfg.seed),
+        op: UnreliableOperator::new(inner_source, cfg.fault_rate, cfg.seed),
         opts: inner_opts,
         ledger: SrpCostLedger::default(),
         inner_iterations: 0,
     };
-    let (out, outer_report) = fgmres(a, &mut inner, b, None, &cfg.outer);
+    let ((out, outer_report), restarts) =
+        fgmres_with_policies(outer, &mut inner, b, None, &cfg.outer, policies);
     let mut ledger = inner.ledger.clone();
     // The outer iteration's own arithmetic ran in reliable mode.
     ledger.charge(Reliability::Reliable, out.flops);
@@ -111,7 +131,7 @@ pub fn ft_gmres<O: Operator + ?Sized>(
         inner_iterations: inner.inner_iterations,
         ledger,
     };
-    (out, report)
+    (out, report, restarts)
 }
 
 /// The all-unreliable baseline: plain GMRES run directly against the

@@ -6,6 +6,9 @@ pub mod ft_gmres;
 pub mod reliability;
 pub mod tmr_solve;
 
-pub use ft_gmres::{ft_gmres, reliable_gmres, unreliable_gmres, FtGmresConfig, FtGmresReport};
+pub use ft_gmres::{
+    ft_gmres, ft_gmres_with_policies, reliable_gmres, unreliable_gmres, FtGmresConfig,
+    FtGmresReport,
+};
 pub use reliability::{SrpCostLedger, UnreliableOperator};
 pub use tmr_solve::{compare_tmr_strategies, tmr_apply, TmrApplyResult, TmrCostComparison};

@@ -101,7 +101,7 @@ impl HessenbergLsq {
         self.residual_norm()
     }
 
-    /// Current least-squares residual norm |g[k]|.
+    /// Current least-squares residual norm `|g[k]|`.
     pub fn residual_norm(&self) -> f64 {
         self.g[self.k].abs()
     }

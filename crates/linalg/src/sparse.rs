@@ -179,16 +179,25 @@ impl CsrMatrix {
     }
 
     /// y = A·x, writing into a caller-provided buffer.
+    ///
+    /// Rows are walked through one pair of slices per row (derived from
+    /// consecutive `row_ptr` entries) so the inner gather-multiply loop
+    /// carries no per-element indirection through `row_ptr` and the
+    /// compiler can unroll it. Per-row accumulation stays sequential, so
+    /// results are bit-identical to the naive formulation.
     pub fn spmv_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols, "spmv: dimension mismatch");
         assert_eq!(y.len(), self.nrows, "spmv: output dimension mismatch");
-        for (i, yi) in y.iter_mut().enumerate() {
-            let (cols, vals) = self.row(i);
+        let mut start = self.row_ptr[0];
+        for (yi, &end) in y.iter_mut().zip(&self.row_ptr[1..]) {
+            let cols = &self.col_idx[start..end];
+            let vals = &self.values[start..end];
             let mut sum = 0.0;
             for (&j, &v) in cols.iter().zip(vals) {
                 sum += v * x[j];
             }
             *yi = sum;
+            start = end;
         }
     }
 

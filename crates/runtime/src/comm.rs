@@ -78,6 +78,7 @@ pub struct Comm {
     pub(crate) collectives: u64,
     pub(crate) recoveries: u64,
     pub(crate) checkpoint_bytes: u64,
+    pub(crate) check_flops: u64,
 }
 
 impl Comm {
@@ -110,6 +111,7 @@ impl Comm {
             collectives: 0,
             recoveries: 0,
             checkpoint_bytes: 0,
+            check_flops: 0,
             world,
             world_rank: rank,
             incarnation,
@@ -224,6 +226,17 @@ impl Comm {
         self.advance(dt);
     }
 
+    /// Attribute `flops` floating-point operations to resilience checks
+    /// (invariant tests, checksums, redundant residual evaluations) in
+    /// [`RankStats::check_flops`]. This is an attribution ledger only — it
+    /// does **not** advance virtual time, because the operations that
+    /// perform the check (dots, norms, operator applications) charge their
+    /// own time through [`Comm::charge_flops`]; charging here too would
+    /// double-bill the check work.
+    pub fn record_check_flops(&mut self, flops: usize) {
+        self.check_flops += flops as u64;
+    }
+
     /// An explicit failure point: checks whether this rank is scheduled to
     /// die now and whether the job has been interrupted. Resilient drivers
     /// call this at step boundaries.
@@ -336,7 +349,8 @@ impl Comm {
     }
 
     /// Receive an `f64` vector from `source` (or [`ANY_SOURCE`]) with the
-    /// given tag (or [`ANY_TAG`]). Returns `(source_rank, data)`.
+    /// given tag (or [`ANY_TAG`](crate::message::ANY_TAG)). Returns
+    /// `(source_rank, data)`.
     pub fn recv_f64(&mut self, source: usize, tag: i32) -> Result<(usize, Vec<f64>)> {
         let (src, payload) = self.recv_payload(source, tag)?;
         Ok((src, payload.into_f64()?))
@@ -493,6 +507,7 @@ impl Comm {
             collectives: self.collectives,
             recoveries: self.recoveries,
             checkpoint_bytes: self.checkpoint_bytes,
+            check_flops: self.check_flops,
         }
     }
 }

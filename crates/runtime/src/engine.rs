@@ -183,7 +183,14 @@ impl CollectiveEngine {
     ) -> Result<CollectiveResult> {
         let mut slots = self.slots.lock();
         loop {
-            health.check(acked_generation)?;
+            // Completion wins over failure notification: if every participant
+            // posted, the collective logically completed and its result is
+            // delivered even when a failure was recorded concurrently — the
+            // *next* operation reports the failure instead. Checking health
+            // first would let real-time interleaving decide whether a rank
+            // sees the result or `Revoked`, so survivors of the same failure
+            // could disagree on which operation failed and deadlock in
+            // mismatched recovery collectives.
             if let Some(slot) = slots.get_mut(&key) {
                 if let Some(completion) = slot.completion {
                     let contributions: Vec<Vec<f64>> = slot
@@ -201,6 +208,7 @@ impl CollectiveEngine {
                     });
                 }
             }
+            health.check(acked_generation)?;
             self.signal.wait_for(&mut slots, Duration::from_millis(20));
         }
     }
@@ -317,6 +325,25 @@ mod tests {
         engine.interrupt();
         let res = waiter.join().unwrap();
         assert!(matches!(res, Err(RuntimeError::Revoked { .. })));
+    }
+
+    #[test]
+    fn completed_slot_wins_over_concurrent_failure() {
+        // Regression for a deadlock: if every participant posted before a
+        // failure was recorded, wait() must deliver the completed result —
+        // not Revoked — on every rank, so survivors stay in lockstep about
+        // *which* operation failed.
+        let engine = CollectiveEngine::new();
+        let health = HealthBoard::new(3, FailurePolicy::Shrink);
+        engine.post(key(5), 0, 2, vec![1.0], 0.0, 0.0).unwrap();
+        engine.post(key(5), 1, 2, vec![2.0], 0.0, 0.0).unwrap();
+        // A third rank (not part of this collective) dies after completion.
+        health.record_failure(2, 0, 1.0);
+        let r = engine.wait(key(5), &health, 0).unwrap();
+        assert_eq!(r.contributions, vec![vec![1.0], vec![2.0]]);
+        let r2 = engine.wait(key(5), &health, 0).unwrap();
+        assert_eq!(r2.contributions.len(), 2);
+        assert_eq!(engine.in_flight(), 0);
     }
 
     #[test]

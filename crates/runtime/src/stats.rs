@@ -29,6 +29,11 @@ pub struct RankStats {
     pub recoveries: u64,
     /// Bytes written to the stable store (checkpoints).
     pub checkpoint_bytes: u64,
+    /// FLOPs attributed to resilience checks (skeptical invariants, ABFT
+    /// verification, redundant residual evaluations). An attribution ledger:
+    /// the operations performing the checks charge their own virtual time;
+    /// this tracks how much of that arithmetic was resilience overhead.
+    pub check_flops: u64,
 }
 
 impl RankStats {
@@ -61,6 +66,8 @@ pub struct JobStats {
     pub failures: usize,
     /// Total recovery participations (sum over ranks).
     pub recoveries: u64,
+    /// Total FLOPs spent on resilience checks across ranks.
+    pub total_check_flops: u64,
 }
 
 impl JobStats {
@@ -85,6 +92,7 @@ impl JobStats {
             mean_comm_fraction,
             failures,
             recoveries: per_rank.iter().map(|s| s.recoveries).sum(),
+            total_check_flops: per_rank.iter().map(|s| s.check_flops).sum(),
         }
     }
 }
