@@ -1,24 +1,21 @@
-//! Composed scenario C1 — pipelined GMRES × skeptical SDC detection
-//! (RBSP × SkP).
+//! Composed scenario C3 — pipelined CG × skeptical SDC detection
+//! (RBSP × SkP over the CG recurrence), the first ROADMAP follow-on
+//! composition over the unified kernel.
 //!
-//! Before the unified kernel, latency hiding (rbsp silo) and corruption
-//! detection (skeptical silo) could not run in the same solve. This
-//! experiment runs the p(1)-pipelined GMRES under the skeptical policy
-//! stack on the simulated distributed runtime and reports, per scenario,
-//! convergence, detections, corrective restarts, the per-policy overhead
-//! (check FLOPs, also visible as `RankStats::check_flops` virtual time),
-//! the allreduce count and the wall-clock (virtual) time.
+//! Pipelined CG's whole point is its single nonblocking fused reduction per
+//! iteration; with the wants-dots negotiation the skeptical check dots ride
+//! that same reduction, so SDC detection adds **zero** collectives — the
+//! `allred/iter` column stays at one for the fused rows and jumps to three
+//! for the legacy unfused schedule. On detection the kernel rebuilds the CG
+//! recurrence from the current iterate (CG's analogue of discarding a
+//! corrupted Arnoldi cycle), so an injected exponent flip is survived, not
+//! silently absorbed as stagnation.
 //!
-//! The *fused* rows use the wants-dots negotiation: the skeptical check
-//! dots ride the strategy's single nonblocking reduction, so detection
-//! costs one allreduce per iteration. The *unfused* row forces the legacy
-//! schedule (three extra blocking allreduces per iteration) — the
-//! re-serialization the fusion exists to remove; compare its `allred/iter`
-//! and `time` columns against the fused clean run.
+//! Per scenario the table reports convergence, detections, recurrence
+//! rebuilds, per-policy check overhead, allreduce counts and virtual time.
 //!
 //! Pass `--smoke` for a CI-sized run.
 
-use resilience::kernel::compose::pipelined_skeptical_gmres;
 use resilience::prelude::*;
 use resilient_bench::{fmt_g, Table};
 use resilient_linalg::poisson2d;
@@ -37,47 +34,46 @@ fn main() {
 
     let opts = DistSolveOptions::default()
         .with_tol(1e-7)
-        .with_max_iters(if smoke { 120 } else { 400 })
-        .with_restart(30);
+        .with_max_iters(if smoke { 200 } else { 500 });
 
     let mut table = Table::new(
-        &format!("C1: pipelined GMRES x SDC detection, 2-D Poisson {nx}x{nx}, {ranks} ranks"),
+        &format!("C3: pipelined CG x SDC detection, 2-D Poisson {nx}x{nx}, {ranks} ranks"),
         &[
             "scenario",
             "converged",
             "iters",
             "relres",
             "detections",
-            "restarts",
+            "rebuilds",
             "check kflops",
             "allred/iter",
             "time (ms)",
         ],
     );
 
-    // Scenario rows: unchecked baseline, checked clean run (fused and legacy
-    // unfused check schedules), checked run with one injected exponent-bit
-    // flip in a mid-solve SpMV product.
+    // An exponent flip in a mid-solve SpMV product. (Element 0's top
+    // exponent bit is clear at this application, so the flip amplifies the
+    // value by ~2^512 — the detectable direction.)
     let fault = SpmvFault {
         rank: ranks - 1,
-        at_application: 5,
-        local_element: 2,
+        at_application: 4,
+        local_element: 0,
         bit: 62,
     };
     for (label, skeptic, fault) in [
-        ("pipelined, no checks", None, None),
+        ("pipelined CG, no checks", None, None),
         (
-            "pipelined + SDC, fused",
+            "pipelined CG + SDC, fused",
             Some(SkepticalConfig::default()),
             None,
         ),
         (
-            "pipelined + SDC, unfused (legacy)",
+            "pipelined CG + SDC, unfused (legacy)",
             Some(SkepticalConfig::default().unfused()),
             None,
         ),
         (
-            "pipelined + SDC, fused, bit-62 flip",
+            "pipelined CG + SDC, fused, bit-62 flip",
             Some(SkepticalConfig::default()),
             Some(fault),
         ),
@@ -92,18 +88,18 @@ fn main() {
                 let b = DistVector::from_fn(comm, n, |i| 1.0 + (i % 3) as f64);
                 let t0 = comm.now();
                 let c0 = comm.snapshot_stats().collectives;
-                let (out, detections, restarts, check_flops) = if let Some(skeptic) = skeptic {
+                let (out, detections, rebuilds, check_flops) = if let Some(skeptic) = skeptic {
                     let (out, report) =
-                        pipelined_skeptical_gmres(comm, &da, &b, &opts2, &skeptic, fault)?;
+                        pipelined_skeptical_cg(comm, &da, &b, &opts2, &skeptic, fault)?;
                     let per_policy: usize = report.policies.iter().map(|p| p.check_flops).sum();
                     (
                         out,
                         report.skeptical.detections,
-                        report.skeptical.corrective_restarts,
+                        report.policy_restarts,
                         per_policy,
                     )
                 } else {
-                    (pipelined_gmres(comm, &da, &b, &opts2)?, 0, 0, 0)
+                    (pipelined_cg(comm, &da, &b, &opts2)?, 0, 0, 0)
                 };
                 let elapsed = comm.now() - t0;
                 let collectives = comm.snapshot_stats().collectives - c0;
@@ -112,16 +108,16 @@ fn main() {
                     out.iterations,
                     out.relative_residual,
                     detections,
-                    restarts,
+                    rebuilds,
                     check_flops,
                     collectives,
                     elapsed,
                 ))
             })
             .unwrap_all();
-        // Rank 0's view; detections/restarts are identical on every rank by
-        // construction (all decisions derive from global reductions).
-        let (conv, iters, relres, detections, restarts, check_flops, collectives, elapsed) =
+        // Rank 0's view; decisions are identical on every rank by
+        // construction (they derive from global reductions).
+        let (conv, iters, relres, detections, rebuilds, check_flops, collectives, elapsed) =
             rows[0];
         table.row(vec![
             label.to_string(),
@@ -129,11 +125,11 @@ fn main() {
             iters.to_string(),
             fmt_g(relres),
             detections.to_string(),
-            restarts.to_string(),
+            rebuilds.to_string(),
             fmt_g(check_flops as f64 / 1e3),
             fmt_g(collectives as f64 / iters.max(1) as f64),
             fmt_g(elapsed * 1e3),
         ]);
     }
-    table.emit("composed_pipelined_sdc");
+    table.emit("composed_pipelined_cg_sdc");
 }

@@ -12,14 +12,24 @@
 //!   nonblocking fused reduction** posted before the SpMV and completed
 //!   after it.
 //!
-//! Policies hook each SpMV and iteration end. CG has no restart cycle to
-//! roll back, so a detection whose response is `Restart` or `Abort` stops
-//! the solve with `CorruptionDetected`; `RecordOnly` detections are counted
-//! and ignored.
+//! Policies hook each SpMV and iteration end. CG has no Arnoldi cycle to
+//! discard, so on a detection whose response is `Restart` the kernel
+//! rebuilds the recurrence from the current iterate (the residual recompute
+//! plus whatever the strategy's `init` applies — one extra operator
+//! application for the blocking recurrences, two for the pipelined one; a
+//! corrupted-but-finite iterate is just a worse initial guess), capped like
+//! the GMRES policy-restart backstop; `Abort` stops the solve with
+//! `CorruptionDetected`; `RecordOnly` detections are counted and ignored.
+//!
+//! The distributed strategies carry policy check dots in the reductions
+//! they already post (wants-dots negotiation): [`FusedCgStep`] appends them
+//! to its `p·Ap` reduction, [`PipelinedCgStep`] to its single nonblocking
+//! fused reduction — so skeptical SDC detection adds **zero** collectives
+//! per iteration.
 
 use resilient_runtime::Result;
 
-use super::policy::{PolicyStack, SolutionProbe, StackOutcome};
+use super::policy::{CheckVectors, DetectionResponse, PolicyStack, SolutionProbe, StackOutcome};
 use super::space::{KrylovSpace, SerialSpace};
 use super::{KernelOutcome, KernelReport, SolveProgress};
 use crate::solvers::common::{Preconditioner, SolveOptions, StopReason};
@@ -35,8 +45,9 @@ pub enum CgOutcome {
     Breakdown,
     /// The iteration produced NaN/Inf values.
     Diverged,
-    /// A policy detected corruption (non-record-only response).
-    Detected,
+    /// A policy detected corruption and demands the given response
+    /// (`Restart` or `Abort`; `RecordOnly` never surfaces here).
+    Detected(DetectionResponse),
 }
 
 /// A CG iteration engine: owns the recurrence vectors and the reduction
@@ -73,6 +84,10 @@ struct CgProbe<'a, S: KrylovSpace> {
 }
 
 impl<'a, S: KrylovSpace> SolutionProbe<S> for CgProbe<'a, S> {
+    fn local_len(&self, space: &S) -> usize {
+        space.local_len(self.x)
+    }
+
     fn trial_true_relres(&mut self, space: &mut S) -> Result<f64> {
         let ax = space.apply(self.x)?;
         let r = space.residual(self.b, &ax);
@@ -119,7 +134,33 @@ pub fn run_cg<S: KrylovSpace, T: CgStrategy<S>>(
                     reason = StopReason::Diverged;
                     break;
                 }
-                CgOutcome::Detected => {
+                CgOutcome::Detected(DetectionResponse::Restart) => {
+                    report.policy_restarts += 1;
+                    if report.policy_restarts > opts.max_iters.max(1) {
+                        // A detection firing on every retry would rebuild the
+                        // recurrence forever without consuming iterations;
+                        // treat persistent corruption as terminal (the GMRES
+                        // backstop).
+                        reason = StopReason::CorruptionDetected;
+                        break;
+                    }
+                    // CG has no Arnoldi cycle to discard: rebuild the
+                    // recurrence from the current iterate instead. A
+                    // corrupted-but-finite x is just a worse initial guess;
+                    // a non-finite one surfaces as Diverged/Breakdown on the
+                    // next step. Like the GMRES cycle-boundary residual,
+                    // these rebuild applications run outside the SpMV hooks
+                    // (and advance the space's application count), so only
+                    // the next iteration's checks guard them.
+                    let ax = space.apply(&x)?;
+                    let r0 = space.residual(b, &ax);
+                    strategy.init(space, b, r0, &mut st)?;
+                    if st.relres <= opts.tol {
+                        reason = StopReason::Converged;
+                        break;
+                    }
+                }
+                CgOutcome::Detected(_) => {
                     reason = StopReason::CorruptionDetected;
                     break;
                 }
@@ -201,13 +242,13 @@ where
     ) -> Result<CgOutcome> {
         let n = self.p.len();
         match policies.before_spmv(space, &st.ctx(), &self.p)? {
-            StackOutcome::Act(_) => return Ok(CgOutcome::Detected),
+            StackOutcome::Act(r) => return Ok(CgOutcome::Detected(r)),
             StackOutcome::Recorded | StackOutcome::Continue => {}
         }
         let ap = space.apply(&self.p)?;
         space.charge_flops(10 * n);
         match policies.after_spmv(space, &st.ctx(), &self.p, &ap)? {
-            StackOutcome::Act(_) => return Ok(CgOutcome::Detected),
+            StackOutcome::Act(r) => return Ok(CgOutcome::Detected(r)),
             StackOutcome::Recorded | StackOutcome::Continue => {}
         }
         let pap = resilient_linalg::vector::dot(&self.p, &ap);
@@ -237,7 +278,7 @@ where
         space.xpby(&self.z, beta, &mut self.p);
         let mut probe = CgProbe::<SerialSpace<'a, O>> { b, x, bn: st.bn };
         match policies.on_iteration(space, &st.ctx(), &mut probe)? {
-            StackOutcome::Act(_) => return Ok(CgOutcome::Detected),
+            StackOutcome::Act(r) => return Ok(CgOutcome::Detected(r)),
             StackOutcome::Recorded | StackOutcome::Continue => {}
         }
         Ok(CgOutcome::Continue)
@@ -305,16 +346,42 @@ impl<S: KrylovSpace> CgStrategy<S> for FusedCgStep<S::Vector> {
         let p = self.p.as_mut().expect("initialized");
         let r = self.r.as_mut().expect("initialized");
         match policies.before_spmv(space, &st.ctx(), p)? {
-            StackOutcome::Act(_) => return Ok(CgOutcome::Detected),
+            StackOutcome::Act(r) => return Ok(CgOutcome::Detected(r)),
             StackOutcome::Recorded | StackOutcome::Continue => {}
         }
         let ap = space.apply(p)?;
-        match policies.after_spmv(space, &st.ctx(), p, &ap)? {
-            StackOutcome::Act(_) => return Ok(CgOutcome::Detected),
-            StackOutcome::Recorded | StackOutcome::Continue => {}
-        }
-        // Blocking reduction #1.
-        let pap = space.dot(p, &ap)?;
+        // Blocking reduction #1, carrying any policy check dots (wants-dots
+        // negotiation). When checks are fused the after-SpMV hook runs
+        // after it so the policies decide from already-global scalars; with
+        // no requests the legacy hook-first order is kept, so a detection
+        // still skips the reduction.
+        let pap = {
+            let avail = CheckVectors {
+                spmv_input: Some(&*p),
+                spmv_product: Some(&ap),
+                basis_pair: None,
+            };
+            let mut check_pairs: Vec<(&S::Vector, &S::Vector)> = Vec::new();
+            let batch = policies.collect_check_dots(space, &st.ctx(), &avail, &mut check_pairs);
+            if batch.is_empty() {
+                // Legacy path, order and cost model untouched.
+                match policies.after_spmv(space, &st.ctx(), p, &ap)? {
+                    StackOutcome::Act(r) => return Ok(CgOutcome::Detected(r)),
+                    StackOutcome::Recorded | StackOutcome::Continue => {}
+                }
+                space.dot(p, &ap)?
+            } else {
+                let mut pairs: Vec<(&S::Vector, &S::Vector)> = vec![(&*p, &ap)];
+                pairs.extend(check_pairs);
+                let all = space.fused_pairs(&pairs, batch.len())?;
+                policies.consume_check_dots(&st.ctx(), &batch, &all[1..]);
+                match policies.after_spmv(space, &st.ctx(), p, &ap)? {
+                    StackOutcome::Act(r) => return Ok(CgOutcome::Detected(r)),
+                    StackOutcome::Recorded | StackOutcome::Continue => {}
+                }
+                all[0]
+            }
+        };
         if pap <= 0.0 || !pap.is_finite() {
             return Ok(CgOutcome::Breakdown);
         }
@@ -333,7 +400,7 @@ impl<S: KrylovSpace> CgStrategy<S> for FusedCgStep<S::Vector> {
         st.history.push(st.relres);
         let mut probe = CgProbe::<S> { b, x, bn: st.bn };
         match policies.on_iteration(space, &st.ctx(), &mut probe)? {
-            StackOutcome::Act(_) => return Ok(CgOutcome::Detected),
+            StackOutcome::Act(r) => return Ok(CgOutcome::Detected(r)),
             StackOutcome::Recorded | StackOutcome::Continue => {}
         }
         Ok(CgOutcome::Continue)
@@ -357,6 +424,10 @@ pub struct PipelinedCgStep<V> {
     p: Option<V>,
     gamma_old: f64,
     alpha_old: f64,
+    /// True until the first step after (re-)initialization: the recurrence
+    /// must take the iteration-0 branch (β = 0) again after a policy
+    /// restart rebuilt it from the current iterate.
+    fresh: bool,
 }
 
 impl<V> PipelinedCgStep<V> {
@@ -370,6 +441,7 @@ impl<V> PipelinedCgStep<V> {
             p: None,
             gamma_old: 0.0,
             alpha_old: 0.0,
+            fresh: true,
         }
     }
 }
@@ -387,6 +459,9 @@ impl<S: KrylovSpace> CgStrategy<S> for PipelinedCgStep<S::Vector> {
         self.s = Some(space.zeros_like(b)); // tracks A p
         self.p = Some(space.zeros_like(b));
         self.r = Some(r0);
+        self.gamma_old = 0.0;
+        self.alpha_old = 0.0;
+        self.fresh = true;
         st.relres = f64::INFINITY;
         Ok(())
     }
@@ -402,20 +477,40 @@ impl<S: KrylovSpace> CgStrategy<S> for PipelinedCgStep<S::Vector> {
         let r = self.r.as_mut().expect("initialized");
         let w = self.w.as_mut().expect("initialized");
         // Fused local partial reductions γ = (r, r), δ = (w, r), posted as a
-        // single nonblocking reduction ...
-        let pending = space.start_dots(&[(&*r, &*r), (&*w, &*r)])?;
+        // single nonblocking reduction that also carries any policy check
+        // dots (wants-dots negotiation; the recurrence maintains w = A·r,
+        // so (r, w) is the resolved input/product pair — fused check
+        // decisions lag the overlapped SpMV by one step) ...
+        let (pending, batch) = {
+            let mut pairs: Vec<(&S::Vector, &S::Vector)> = vec![(&*r, &*r), (&*w, &*r)];
+            let avail = CheckVectors {
+                spmv_input: Some(&*r),
+                spmv_product: Some(&*w),
+                basis_pair: None,
+            };
+            let batch = policies.collect_check_dots(space, &st.ctx(), &avail, &mut pairs);
+            (space.start_dots_tagged(&pairs, batch.len())?, batch)
+        };
         // ... and overlapped with the SpMV q = A·w and any extra work.
         space.advance_extra_work()?;
         match policies.before_spmv(space, &st.ctx(), w)? {
-            StackOutcome::Act(_) => return Ok(CgOutcome::Detected),
+            StackOutcome::Act(resp) => {
+                // Complete the posted reduction before abandoning the step
+                // (detections are rank-symmetric, so every rank drains it):
+                // an in-flight collective must be waited on, and the solve
+                // may continue after a Restart-response detection.
+                space.finish_dots(pending)?;
+                return Ok(CgOutcome::Detected(resp));
+            }
             StackOutcome::Recorded | StackOutcome::Continue => {}
         }
         let q = space.apply(w)?;
+        let reduced = space.finish_dots(pending)?;
+        policies.consume_check_dots(&st.ctx(), &batch, &reduced[2..]);
         match policies.after_spmv(space, &st.ctx(), w, &q)? {
-            StackOutcome::Act(_) => return Ok(CgOutcome::Detected),
+            StackOutcome::Act(r) => return Ok(CgOutcome::Detected(r)),
             StackOutcome::Recorded | StackOutcome::Continue => {}
         }
-        let reduced = space.finish_dots(pending)?;
         let (gamma, delta) = (reduced[0], reduced[1]);
 
         st.relres = gamma.max(0.0).sqrt() / st.bn;
@@ -431,7 +526,7 @@ impl<S: KrylovSpace> CgStrategy<S> for PipelinedCgStep<S::Vector> {
         }
 
         let (alpha, beta);
-        if st.iterations > 0 {
+        if !self.fresh {
             beta = gamma / self.gamma_old;
             alpha = gamma / (delta - beta * gamma / self.alpha_old);
         } else {
@@ -457,11 +552,12 @@ impl<S: KrylovSpace> CgStrategy<S> for PipelinedCgStep<S::Vector> {
 
         self.gamma_old = gamma;
         self.alpha_old = alpha;
+        self.fresh = false;
         st.iterations += 1;
         st.history.push(st.relres);
         let mut probe = CgProbe::<S> { b, x, bn: st.bn };
         match policies.on_iteration(space, &st.ctx(), &mut probe)? {
-            StackOutcome::Act(_) => return Ok(CgOutcome::Detected),
+            StackOutcome::Act(r) => return Ok(CgOutcome::Detected(r)),
             StackOutcome::Recorded | StackOutcome::Continue => {}
         }
         Ok(CgOutcome::Continue)

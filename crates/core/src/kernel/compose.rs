@@ -4,6 +4,11 @@
 //! * [`pipelined_skeptical_gmres`] — **RBSP × SkP**: the p(1)-pipelined
 //!   GMRES (latency hiding via a nonblocking fused reduction) running under
 //!   the full skeptical SDC-detection stack, over the distributed runtime.
+//!   With the wants-dots negotiation the checks ride the strategy's own
+//!   reduction: one allreduce per iteration, detection included.
+//! * [`pipelined_skeptical_cg`] — **RBSP × SkP** over the CG recurrence:
+//!   pipelined CG whose single fused reduction carries the skeptical check
+//!   dots, with recurrence-rebuild recovery on detection.
 //! * [`ft_gmres_abft`] — **SRP × ABFT**: FT-GMRES (reliable outer /
 //!   unreliable inner iterations) whose *outer* products are additionally
 //!   verified against Huang–Abraham checksums, so corruption of the
@@ -19,6 +24,7 @@ use resilient_linalg::checksum::ChecksummedCsr;
 use resilient_linalg::CsrMatrix;
 use resilient_runtime::{Comm, ReduceOp, Result};
 
+use super::cg::{run_cg, PipelinedCgStep};
 use super::gmres::{run_gmres, GmresFlavor, PipelinedOrtho};
 use super::policy::{
     DetectionResponse, IterCtx, PolicyAction, PolicyOverhead, PolicyStack, ResiliencePolicy,
@@ -184,6 +190,60 @@ pub fn pipelined_skeptical_gmres(
 }
 
 // ---------------------------------------------------------------------------
+// Scenario 1b: pipelined CG × skeptical SDC detection (RBSP × SkP)
+// ---------------------------------------------------------------------------
+
+/// Pipelined CG (Ghysels–Vanroose) with the skeptical SDC-detection stack —
+/// the first ROADMAP follow-on composition over the unified kernel.
+///
+/// The CG recurrence's single nonblocking fused reduction carries the
+/// skeptical check dots via the wants-dots negotiation, so SDC detection
+/// adds **zero** collectives per iteration: one reduction per step, checks
+/// included (the recurrence maintains `w = A·r`, so the fused norm-bound /
+/// finiteness decision lags the overlapped product by one step). On a
+/// `Restart`-response detection the kernel rebuilds the recurrence from the
+/// current iterate — CG's analogue of discarding a corrupted Arnoldi cycle.
+/// `fault` optionally injects a single-event upset into a chosen SpMV
+/// product (see [`SpmvFault`]).
+pub fn pipelined_skeptical_cg(
+    comm: &mut Comm,
+    a: &DistCsr,
+    b: &DistVector,
+    opts: &DistSolveOptions,
+    skeptic: &SkepticalConfig,
+    fault: Option<SpmvFault>,
+) -> Result<(DistSolveOutcome, ComposedDistReport)> {
+    // Globally agreed ∞-norm bound for the norm-bound check.
+    let norm_a = comm.allreduce_scalar(ReduceOp::Max, a.local_norm_inf())?;
+    let mut space = DistSpace::new(comm, a)
+        .with_extra_work(opts.extra_work_per_iter)
+        .with_operator_norm(norm_a);
+    if let Some(f) = fault {
+        space = space.with_fault(f);
+    }
+    let mut skeptical = SkepticalPolicy::new(*skeptic);
+    let mut policies = PolicyStack::new(vec![&mut skeptical]);
+    let (outcome, report) = run_cg(
+        &mut space,
+        b,
+        None,
+        &opts.solve_options(),
+        &mut PipelinedCgStep::new(),
+        &mut policies,
+    )?;
+    let injections = space.injections();
+    Ok((
+        outcome.into_dist_outcome(opts.tol),
+        ComposedDistReport {
+            skeptical: skeptical.report(),
+            policies: report.policy_overhead,
+            injections,
+            policy_restarts: report.policy_restarts,
+        },
+    ))
+}
+
+// ---------------------------------------------------------------------------
 // Scenario 2: FT-GMRES × ABFT-checked outer products (SRP × ABFT)
 // ---------------------------------------------------------------------------
 
@@ -317,6 +377,95 @@ mod tests {
             assert_eq!(injections, 1, "the flip must have been injected");
             assert!(detections >= 1, "the severe flip must be detected");
             assert!(converged, "pipelined GMRES must survive the flip");
+            assert!(true_relative_residual(&a, &b, &x) < 1e-7);
+        }
+    }
+
+    #[test]
+    fn pipelined_cg_sdc_clean_run_has_no_false_positives() {
+        let rt = Runtime::new(RuntimeConfig::fast());
+        let results = rt
+            .run(4, move |comm| {
+                let a = poisson2d(9, 9);
+                let n = a.nrows();
+                let da = DistCsr::from_global(comm, &a)?;
+                let b = DistVector::from_fn(comm, n, |i| 1.0 + (i % 2) as f64);
+                let (out, report) = pipelined_skeptical_cg(
+                    comm,
+                    &da,
+                    &b,
+                    &dist_opts(),
+                    &SkepticalConfig::default(),
+                    None,
+                )?;
+                Ok((
+                    out.converged,
+                    out.x.gather_global(comm)?,
+                    report.skeptical.detections,
+                    report.skeptical.local_checks_run,
+                    report.policies.len(),
+                ))
+            })
+            .unwrap_all();
+        let a = poisson2d(9, 9);
+        let b: Vec<f64> = (0..a.nrows()).map(|i| 1.0 + (i % 2) as f64).collect();
+        for (converged, x, detections, checks, n_policies) in results {
+            assert!(converged, "pipelined skeptical CG must converge");
+            assert_eq!(detections, 0, "clean pipelined CG must not false-positive");
+            assert!(checks > 0, "checks must actually run");
+            assert_eq!(n_policies, 1, "per-policy overhead must be reported");
+            assert!(true_relative_residual(&a, &b, &x) < 1e-7);
+        }
+    }
+
+    #[test]
+    fn pipelined_cg_sdc_detects_and_survives_injected_flip() {
+        let rt = Runtime::new(RuntimeConfig::fast());
+        let results = rt
+            .run(4, move |comm| {
+                let a = poisson2d(9, 9);
+                let n = a.nrows();
+                let da = DistCsr::from_global(comm, &a)?;
+                let b = DistVector::from_fn(comm, n, |i| 1.0 + (i % 2) as f64);
+                // This element's top exponent bit is clear at this
+                // application, so the flip amplifies it by ~2^512 (a flip
+                // striking a set exponent bit shrinks the value instead —
+                // an SDC below the norm-bound's detection floor).
+                let fault = SpmvFault {
+                    rank: 1,
+                    at_application: 4,
+                    local_element: 3,
+                    bit: 62,
+                };
+                let (out, report) = pipelined_skeptical_cg(
+                    comm,
+                    &da,
+                    &b,
+                    &dist_opts(),
+                    &SkepticalConfig::default(),
+                    Some(fault),
+                )?;
+                let injections =
+                    comm.allreduce_scalar(ReduceOp::Sum, report.injections as f64)? as usize;
+                let detections = comm
+                    .allreduce_scalar(ReduceOp::Max, report.skeptical.detections as f64)?
+                    as usize;
+                Ok((
+                    out.converged,
+                    out.x.gather_global(comm)?,
+                    injections,
+                    detections,
+                    report.policy_restarts,
+                ))
+            })
+            .unwrap_all();
+        let a = poisson2d(9, 9);
+        let b: Vec<f64> = (0..a.nrows()).map(|i| 1.0 + (i % 2) as f64).collect();
+        for (converged, x, injections, detections, restarts) in results {
+            assert_eq!(injections, 1, "the flip must have been injected");
+            assert!(detections >= 1, "the severe flip must be detected");
+            assert!(restarts >= 1, "detection must rebuild the recurrence");
+            assert!(converged, "pipelined CG must survive the flip");
             assert!(true_relative_residual(&a, &b, &x) < 1e-7);
         }
     }

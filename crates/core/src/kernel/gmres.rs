@@ -24,7 +24,8 @@ use resilient_linalg::HessenbergLsq;
 use resilient_runtime::Result;
 
 use super::policy::{
-    DetectionResponse, FailureEvent, PolicyStack, RecoveryAction, SolutionProbe, StackOutcome,
+    CheckVectors, DetectionResponse, FailureEvent, PolicyStack, RecoveryAction, SolutionProbe,
+    StackOutcome,
 };
 use super::space::KrylovSpace;
 use super::{KernelOutcome, KernelReport, SolveProgress};
@@ -185,6 +186,10 @@ struct GmresProbe<'a, S: KrylovSpace> {
 }
 
 impl<'a, S: KrylovSpace> SolutionProbe<S> for GmresProbe<'a, S> {
+    fn local_len(&self, space: &S) -> usize {
+        space.local_len(self.x)
+    }
+
     fn trial_true_relres(&mut self, space: &mut S) -> Result<f64> {
         let mut xt = self.x.clone();
         let y = self.lsq.solve();
@@ -380,15 +385,46 @@ impl<S: KrylovSpace> OrthoStrategy<S> for CgsOrtho {
             StackOutcome::Recorded | StackOutcome::Continue => {}
         }
         let mut w = space.apply(&vj)?;
-        match policies.after_spmv(space, &st.ctx(), &vj, &w)? {
-            StackOutcome::Act(r) => return Ok(StepOutcome::Detected(r)),
-            StackOutcome::Recorded => return Ok(StepOutcome::Skipped),
-            StackOutcome::Continue => {}
-        }
 
-        // Projection coefficients: one fused blocking reduction.
-        let basis_refs: Vec<&S::Vector> = cycle.basis.iter().collect();
-        let h_proj = space.fused_dots(&basis_refs, &w)?;
+        // Projection coefficients: one fused blocking reduction, carrying
+        // any policy check dots (wants-dots negotiation). When checks are
+        // fused the after-SpMV hook runs after the reduction so the
+        // policies can decide from the already-global scalars; with no
+        // requests the legacy hook-first order is kept, so a detection
+        // still skips the reduction.
+        let len = cycle.basis.len();
+        let h_proj = {
+            let avail = CheckVectors {
+                spmv_input: Some(&vj),
+                spmv_product: Some(&w),
+                basis_pair: (len >= 2).then(|| (&cycle.basis[len - 1], &cycle.basis[len - 2])),
+            };
+            let mut check_pairs: Vec<(&S::Vector, &S::Vector)> = Vec::new();
+            let batch = policies.collect_check_dots(space, &st.ctx(), &avail, &mut check_pairs);
+            if batch.is_empty() {
+                // Legacy path, order and cost model untouched.
+                match policies.after_spmv(space, &st.ctx(), &vj, &w)? {
+                    StackOutcome::Act(r) => return Ok(StepOutcome::Detected(r)),
+                    StackOutcome::Recorded => return Ok(StepOutcome::Skipped),
+                    StackOutcome::Continue => {}
+                }
+                let basis_refs: Vec<&S::Vector> = cycle.basis.iter().collect();
+                space.fused_dots(&basis_refs, &w)?
+            } else {
+                let mut pairs: Vec<(&S::Vector, &S::Vector)> =
+                    cycle.basis.iter().map(|v| (v, &w)).collect();
+                pairs.extend(check_pairs);
+                let all = space.fused_pairs(&pairs, batch.len())?;
+                drop(pairs);
+                policies.consume_check_dots(&st.ctx(), &batch, &all[len..]);
+                match policies.after_spmv(space, &st.ctx(), &vj, &w)? {
+                    StackOutcome::Act(r) => return Ok(StepOutcome::Detected(r)),
+                    StackOutcome::Recorded => return Ok(StepOutcome::Skipped),
+                    StackOutcome::Continue => {}
+                }
+                all[..len].to_vec()
+            }
+        };
         for (hij, v) in h_proj.iter().zip(&cycle.basis) {
             space.axpy(-hij, v, &mut w);
         }
@@ -449,29 +485,47 @@ impl<S: KrylovSpace> OrthoStrategy<S> for PipelinedOrtho {
         let n = space.local_len(&zj);
 
         // Fused dots (v_i, z_j) for i = 0..=j plus (z_j, z_j), posted as a
-        // single nonblocking reduction ...
-        let mut pairs: Vec<(&S::Vector, &S::Vector)> =
-            cycle.basis.iter().map(|v| (v, &zj)).collect();
-        pairs.push((&zj, &zj));
-        let pending = space.start_dots(&pairs)?;
-        drop(pairs);
-        // (pairs dropped so the basis borrow ends before the cycle is
-        // mutated below.)
+        // single nonblocking reduction that also carries any policy check
+        // dots (wants-dots negotiation). At post time the resolved SpMV is
+        // z_j = A·v_j and the newest formed basis pair is (v_j, v_{j−1}),
+        // so fused check decisions lag the hooks by one step — the cost of
+        // keeping detection off the p(1) critical path.
+        let solver_len = cycle.basis.len() + 1;
+        let (pending, batch) = {
+            let mut pairs: Vec<(&S::Vector, &S::Vector)> =
+                cycle.basis.iter().map(|v| (v, &zj)).collect();
+            pairs.push((&zj, &zj));
+            let avail = CheckVectors {
+                spmv_input: Some(&cycle.basis[j]),
+                spmv_product: Some(&zj),
+                basis_pair: (j >= 1).then(|| (&cycle.basis[j], &cycle.basis[j - 1])),
+            };
+            let batch = policies.collect_check_dots(space, &st.ctx(), &avail, &mut pairs);
+            (space.start_dots_tagged(&pairs, batch.len())?, batch)
+        };
         // ... and overlapped with the speculative next product A·z_j and
         // any extra application work.
         space.advance_extra_work()?;
         match policies.before_spmv(space, &st.ctx(), &zj)? {
-            StackOutcome::Act(r) => return Ok(StepOutcome::Detected(r)),
+            StackOutcome::Act(r) => {
+                // Complete the posted reduction before abandoning the step
+                // (detections are rank-symmetric, so every rank drains it):
+                // an in-flight collective must be waited on, and the solve
+                // continues after a Restart-response detection.
+                space.finish_dots(pending)?;
+                return Ok(StepOutcome::Detected(r));
+            }
             StackOutcome::Recorded | StackOutcome::Continue => {}
         }
         let azj = space.apply(&zj)?;
         let reduced = space.finish_dots(pending)?;
+        policies.consume_check_dots(&st.ctx(), &batch, &reduced[solver_len..]);
         match policies.after_spmv(space, &st.ctx(), &zj, &azj)? {
             StackOutcome::Act(r) => return Ok(StepOutcome::Detected(r)),
             StackOutcome::Recorded => return Ok(StepOutcome::Skipped),
             StackOutcome::Continue => {}
         }
-        let (h_proj, zz) = reduced.split_at(cycle.basis.len());
+        let (h_proj, zz) = reduced[..solver_len].split_at(cycle.basis.len());
         let zz = zz[0];
         // ‖z_j − Σ h_i v_i‖² = (z_j,z_j) − Σ h_i² by orthonormality of V.
         let h_next_sq = zz - h_proj.iter().map(|h| h * h).sum::<f64>();

@@ -40,14 +40,18 @@ pub mod skeptic;
 pub mod space;
 
 pub use cg::{run_cg, CgOutcome, CgStrategy, FusedCgStep, PcgStep, PipelinedCgStep};
-pub use compose::{ft_gmres_abft, pipelined_skeptical_gmres, AbftSpmvPolicy, FtGmresAbftReport};
+pub use compose::{
+    ft_gmres_abft, pipelined_skeptical_cg, pipelined_skeptical_gmres, AbftSpmvPolicy,
+    ComposedDistReport, FtGmresAbftReport,
+};
 pub use gmres::{
     run_gmres, CgsOrtho, FlexibleRight, GmresCycle, GmresFlavor, MgsOrtho, OrthoStrategy,
     PipelinedOrtho, StepOutcome,
 };
 pub use policy::{
-    DetectionResponse, FailureEvent, IterCtx, IterateRollbackPolicy, NoopPolicy, PolicyAction,
-    PolicyOverhead, PolicyStack, RecoveryAction, ResiliencePolicy, SolutionProbe, StackOutcome,
+    CheckDot, CheckDotBatch, CheckVectors, DetectionResponse, FailureEvent, IterCtx,
+    IterateRollbackPolicy, NoopPolicy, PolicyAction, PolicyOverhead, PolicyStack, RecoveryAction,
+    ResiliencePolicy, SolutionProbe, StackOutcome,
 };
 pub use skeptic::SkepticalPolicy;
 pub use space::{DistSpace, KrylovSpace, PendingDots, SerialSpace, SpmvFault};

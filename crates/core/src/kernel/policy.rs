@@ -81,6 +81,88 @@ pub trait SolutionProbe<S: KrylovSpace> {
     /// (current iterate plus the pending cycle correction). Charges one
     /// operator application to the solver.
     fn trial_true_relres(&mut self, space: &mut S) -> Result<f64>;
+
+    /// *Live* local length of the iterate. Policies must cost their checks
+    /// against this, not a length captured at solve start: a rank failure
+    /// that shrinks and rebuilds the communicator changes local vector
+    /// lengths mid-solve.
+    fn local_len(&self, space: &S) -> usize;
+}
+
+// ---------------------------------------------------------------------------
+// Wants-dots negotiation
+// ---------------------------------------------------------------------------
+
+/// A check inner product a policy asks the dot strategy to fuse into the
+/// reduction it already posts, identified by the *role* of its operands
+/// rather than by reference. The strategy resolves roles against the
+/// vectors it holds at its reduction point (see [`CheckVectors`]); requests
+/// it cannot resolve are dropped, and the policy learns what resolved from
+/// the `(CheckDot, value)` pairs handed back through
+/// [`ResiliencePolicy::consume_check_dots`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckDot {
+    /// `(v, v)` — squared norm of the SpMV input.
+    InputNormSq,
+    /// `(w, w)` — squared norm of the SpMV product.
+    ProductNormSq,
+    /// `(v_new, v_prev)` — inner product of the newest resolved basis pair.
+    BasisPairDot,
+    /// `(v_new, v_new)` — squared norm of the newer basis-pair vector.
+    NewBasisNormSq,
+    /// `(v_prev, v_prev)` — squared norm of the older basis-pair vector.
+    PrevBasisNormSq,
+}
+
+/// The iteration vectors a dot strategy offers for check-dot fusion at its
+/// reduction point.
+///
+/// Pipelined schedules post their reduction *before* the overlapped
+/// operator application, so the roles they can offer refer to the most
+/// recent **completed** SpMV and basis extension — one step behind the
+/// detection hooks. Decisions made from fused scalars therefore lag one
+/// iteration on pipelined strategies, which a corrective cycle restart
+/// still recovers (the iterate only changes at cycle boundaries in GMRES,
+/// and CG restarts rebuild the recurrence from the current iterate).
+pub struct CheckVectors<'v, V> {
+    /// Input of the most recent resolved SpMV.
+    pub spmv_input: Option<&'v V>,
+    /// Product of the most recent resolved SpMV.
+    pub spmv_product: Option<&'v V>,
+    /// Newest resolved basis pair, `(newer, older)`.
+    pub basis_pair: Option<(&'v V, &'v V)>,
+}
+
+fn resolve_check_dot<'v, V>(req: CheckDot, avail: &CheckVectors<'v, V>) -> Option<(&'v V, &'v V)> {
+    match req {
+        CheckDot::InputNormSq => avail.spmv_input.map(|v| (v, v)),
+        CheckDot::ProductNormSq => avail.spmv_product.map(|w| (w, w)),
+        CheckDot::BasisPairDot => avail.basis_pair,
+        CheckDot::NewBasisNormSq => avail.basis_pair.map(|(a, _)| (a, a)),
+        CheckDot::PrevBasisNormSq => avail.basis_pair.map(|(_, b)| (b, b)),
+    }
+}
+
+/// Bookkeeping for one negotiation round: which policy asked for which
+/// resolved pair, in the order the pairs were appended to the reduction.
+#[derive(Debug, Default)]
+pub struct CheckDotBatch {
+    /// `(policy index, request)` per appended pair.
+    entries: Vec<(usize, CheckDot)>,
+    /// Local vector length at the reduction point (live, for check costing).
+    local_n: usize,
+}
+
+impl CheckDotBatch {
+    /// Number of check pairs appended to the reduction.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Did no policy request a resolvable pair?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
 }
 
 /// Per-policy overhead and detection accounting.
@@ -128,6 +210,29 @@ pub trait ResiliencePolicy<S: KrylovSpace> {
     fn on_cycle_start(&mut self, space: &mut S, ctx: &IterCtx, x: &S::Vector) -> Result<()> {
         Ok(())
     }
+
+    /// Wants-dots negotiation: the check pairs this policy would like
+    /// reduced together with the strategy's next fused reduction. Called by
+    /// fusing dot strategies once per step, right before they post their
+    /// reduction; the reduced scalars for every request the strategy could
+    /// resolve arrive through
+    /// [`consume_check_dots`](ResiliencePolicy::consume_check_dots) *before*
+    /// the detection hooks run, so the hooks can decide from already-global
+    /// quantities instead of posting their own collectives.
+    ///
+    /// Immediate-dot strategies (`MgsOrtho`, `PcgStep`) have no fused
+    /// reduction and never call this; policies must keep a direct
+    /// (self-reducing) fallback path in their hooks for those schedules.
+    fn check_dots(&mut self, ctx: &IterCtx) -> Vec<CheckDot> {
+        Vec::new()
+    }
+
+    /// Receive the globally reduced scalars for the resolved requests of the
+    /// matching [`check_dots`](ResiliencePolicy::check_dots) call, in request
+    /// order. `local_n` is the live local vector length at the reduction
+    /// point (each fused pair cost `2·local_n` FLOPs, already attributed to
+    /// the space's check ledger by the tagged reduction).
+    fn consume_check_dots(&mut self, ctx: &IterCtx, local_n: usize, values: &[(CheckDot, f64)]) {}
 
     /// Called with the operator input right before each SpMV.
     fn before_spmv(&mut self, space: &mut S, ctx: &IterCtx, v: &S::Vector) -> Result<PolicyAction> {
@@ -275,6 +380,59 @@ impl<'p, S: KrylovSpace> PolicyStack<'p, S> {
             p.on_cycle_start(space, ctx, x)?;
         }
         Ok(())
+    }
+
+    /// Wants-dots negotiation, stack side: collect every policy's check-dot
+    /// requests, resolve them against the vectors the strategy offers, and
+    /// append the resolved pairs to `pairs` (the reduction the strategy is
+    /// about to post). The returned batch maps the appended tail back to the
+    /// requesting policies for [`PolicyStack::consume_check_dots`].
+    pub fn collect_check_dots<'v>(
+        &mut self,
+        space: &S,
+        ctx: &IterCtx,
+        avail: &CheckVectors<'v, S::Vector>,
+        pairs: &mut Vec<(&'v S::Vector, &'v S::Vector)>,
+    ) -> CheckDotBatch {
+        let mut entries = Vec::new();
+        for (i, p) in self.policies.iter_mut().enumerate() {
+            for req in p.check_dots(ctx) {
+                if let Some(pair) = resolve_check_dot(req, avail) {
+                    pairs.push(pair);
+                    entries.push((i, req));
+                }
+            }
+        }
+        let local_n = avail
+            .spmv_input
+            .or(avail.spmv_product)
+            .or_else(|| avail.basis_pair.map(|(a, _)| a))
+            .map(|v| space.local_len(v))
+            .unwrap_or(0);
+        CheckDotBatch { entries, local_n }
+    }
+
+    /// Hand the reduced scalars of a negotiation round back to the
+    /// requesting policies: `values` is the check tail of the strategy's
+    /// reduction, in the order [`PolicyStack::collect_check_dots`] appended
+    /// the pairs. Must run before the detection hooks of the same step.
+    pub fn consume_check_dots(&mut self, ctx: &IterCtx, batch: &CheckDotBatch, values: &[f64]) {
+        debug_assert_eq!(batch.entries.len(), values.len());
+        let mut start = 0;
+        while start < batch.entries.len() {
+            let policy = batch.entries[start].0;
+            let mut end = start + 1;
+            while end < batch.entries.len() && batch.entries[end].0 == policy {
+                end += 1;
+            }
+            let slice: Vec<(CheckDot, f64)> = batch.entries[start..end]
+                .iter()
+                .zip(&values[start..end])
+                .map(|((_, req), v)| (*req, *v))
+                .collect();
+            self.policies[policy].consume_check_dots(ctx, batch.local_n, &slice);
+            start = end;
+        }
     }
 
     /// Shared fold for the four detection hooks: run `hook` on every policy

@@ -6,13 +6,45 @@
 //! generically over any [`KrylovSpace`], so the same checks now also guard
 //! pipelined/distributed solves (every decision quantity is a *global* norm
 //! or dot, keeping rank control flow symmetric).
+//!
+//! ## Wants-dots fusion
+//!
+//! Detection that adds synchronization negates the latency-hiding it guards
+//! (Agullo et al.), so on strategies with a fused reduction the policy does
+//! not post its own collectives: it requests its check pairs through
+//! [`check_dots`](ResiliencePolicy::check_dots), receives the globally
+//! reduced scalars through
+//! [`consume_check_dots`](ResiliencePolicy::consume_check_dots) before the
+//! detection hooks run, and decides from those. On pipelined schedules the
+//! fused scalars refer to the most recent *completed* product/basis pair,
+//! so detection lags one step — still recovered by a corrective restart,
+//! since the iterate is only committed at cycle boundaries (GMRES) or can
+//! be re-seeded (CG). Immediate-dot strategies (`MgsOrtho`, `PcgStep`)
+//! never negotiate; there the policy keeps the legacy direct reductions,
+//! charging exactly the reductions that actually run.
 
 use super::policy::{
-    DetectionResponse, IterCtx, PolicyAction, PolicyOverhead, ResiliencePolicy, SolutionProbe,
+    CheckDot, DetectionResponse, IterCtx, PolicyAction, PolicyOverhead, ResiliencePolicy,
+    SolutionProbe,
 };
 use super::space::KrylovSpace;
 use crate::skeptical::sdc_gmres::{SkepticalConfig, SkepticalReport, SkepticalResponse};
 use resilient_runtime::Result;
+
+/// Globally reduced check scalars delivered by the current wants-dots round
+/// (cleared at each negotiation; `take`n by the detection hooks).
+#[derive(Debug, Clone, Default)]
+struct FusedCheckState {
+    /// True once a fusing strategy has negotiated with this policy; the
+    /// detection hooks then consume fused globals and never post their own
+    /// reductions.
+    active: bool,
+    product_norm_sq: Option<f64>,
+    input_norm_sq: Option<f64>,
+    basis_pair_dot: Option<f64>,
+    new_basis_norm_sq: Option<f64>,
+    prev_basis_norm_sq: Option<f64>,
+}
 
 /// Skeptical invariant checks as a policy. Build from the legacy
 /// [`SkepticalConfig`]; after the solve, [`SkepticalPolicy::report`] returns
@@ -23,8 +55,7 @@ pub struct SkepticalPolicy {
     report: SkepticalReport,
     /// Operator ∞-norm estimate, captured at solve start from the space.
     norm_a: f64,
-    /// Local vector length, captured at solve start (for check costing).
-    n: usize,
+    fused: FusedCheckState,
 }
 
 impl SkepticalPolicy {
@@ -34,7 +65,7 @@ impl SkepticalPolicy {
             cfg,
             report: SkepticalReport::default(),
             norm_a: f64::INFINITY,
-            n: 0,
+            fused: FusedCheckState::default(),
         }
     }
 
@@ -57,10 +88,50 @@ impl<S: KrylovSpace> ResiliencePolicy<S> for SkepticalPolicy {
         }
     }
 
-    fn on_solve_start(&mut self, space: &mut S, b: &S::Vector) -> Result<()> {
+    fn on_solve_start(&mut self, space: &mut S, _b: &S::Vector) -> Result<()> {
         self.norm_a = space.operator_norm_estimate();
-        self.n = space.local_len(b);
         Ok(())
+    }
+
+    fn check_dots(&mut self, _ctx: &IterCtx) -> Vec<CheckDot> {
+        if !self.cfg.fuse_checks {
+            return Vec::new();
+        }
+        self.fused = FusedCheckState {
+            active: true,
+            ..FusedCheckState::default()
+        };
+        if !self.cfg.local_checks {
+            return Vec::new();
+        }
+        let mut reqs = vec![CheckDot::ProductNormSq];
+        if self.norm_a.is_finite() {
+            // The norm-bound test needs ‖v‖; without a finite ‖A‖ estimate
+            // only the finiteness test can fire, so don't reduce it.
+            reqs.push(CheckDot::InputNormSq);
+        }
+        reqs.push(CheckDot::BasisPairDot);
+        if self.cfg.orthogonality_tol.is_finite() {
+            reqs.push(CheckDot::NewBasisNormSq);
+            reqs.push(CheckDot::PrevBasisNormSq);
+        }
+        reqs
+    }
+
+    fn consume_check_dots(&mut self, _ctx: &IterCtx, local_n: usize, values: &[(CheckDot, f64)]) {
+        // The tagged reduction already attributed these FLOPs in the space's
+        // check ledger; mirror them into the legacy-format report.
+        self.report.check_flops += 2 * local_n * values.len();
+        for (which, v) in values {
+            let slot = match which {
+                CheckDot::ProductNormSq => &mut self.fused.product_norm_sq,
+                CheckDot::InputNormSq => &mut self.fused.input_norm_sq,
+                CheckDot::BasisPairDot => &mut self.fused.basis_pair_dot,
+                CheckDot::NewBasisNormSq => &mut self.fused.new_basis_norm_sq,
+                CheckDot::PrevBasisNormSq => &mut self.fused.prev_basis_norm_sq,
+            };
+            *slot = Some(*v);
+        }
     }
 
     /// Finiteness / norm bound on the raw product: for `w = A·v`,
@@ -76,15 +147,48 @@ impl<S: KrylovSpace> ResiliencePolicy<S> for SkepticalPolicy {
         if !self.cfg.local_checks {
             return Ok(PolicyAction::Continue);
         }
-        self.report.local_checks_run += 1;
-        let n = space.local_len(w);
-        self.report.check_flops += 4 * n;
-        space.record_check_flops(4 * n);
-        let wn = space.norm(w)?;
-        let suspicious = space.local_has_non_finite(w)
-            || !wn.is_finite()
-            || (self.norm_a.is_finite()
-                && wn > self.cfg.norm_bound_factor * self.norm_a * space.norm(v)?.max(1.0));
+        let suspicious = if self.fused.active {
+            // Fused path: decide from the scalars that rode the strategy's
+            // reduction — zero collectives posted here. (`(w,w)` is a sum of
+            // squares, so a global NaN/Inf is the symmetric finiteness test.)
+            let wn2 = match self.fused.product_norm_sq.take() {
+                Some(wn2) => wn2,
+                None => return Ok(PolicyAction::Continue),
+            };
+            self.report.local_checks_run += 1;
+            let mut bad = !wn2.is_finite();
+            if !bad && self.norm_a.is_finite() {
+                let vn = self
+                    .fused
+                    .input_norm_sq
+                    .take()
+                    .map(|v2| v2.max(0.0).sqrt())
+                    .unwrap_or(1.0);
+                let wn = wn2.max(0.0).sqrt();
+                bad = wn > self.cfg.norm_bound_factor * self.norm_a * vn.max(1.0);
+            }
+            bad
+        } else {
+            // Direct path (immediate-dot strategies): post the reductions
+            // here, charging exactly the ones that run.
+            self.report.local_checks_run += 1;
+            let n = space.local_len(w);
+            self.report.check_flops += 2 * n;
+            space.record_check_flops(2 * n);
+            let wn = space.norm(w)?;
+            let mut bad = space.local_has_non_finite(w) || !wn.is_finite();
+            if !bad && self.norm_a.is_finite() {
+                // ‖v‖ is only reduced when the norm-bound test can fire.
+                // (When any rank holds a non-finite local value the *global*
+                // ‖w‖ is non-finite on every rank, so this branch stays
+                // rank-symmetric.)
+                self.report.check_flops += 2 * n;
+                space.record_check_flops(2 * n);
+                let vn = space.norm(v)?;
+                bad = wn > self.cfg.norm_bound_factor * self.norm_a * vn.max(1.0);
+            }
+            bad
+        };
         if suspicious {
             self.report.detections += 1;
             return Ok(PolicyAction::Detected);
@@ -104,23 +208,50 @@ impl<S: KrylovSpace> ResiliencePolicy<S> for SkepticalPolicy {
         if !self.cfg.local_checks {
             return Ok(PolicyAction::Continue);
         }
-        let prev = match prev_v {
-            Some(p) => p,
-            None => return Ok(PolicyAction::Continue),
-        };
-        self.report.local_checks_run += 1;
-        let n = space.local_len(new_v);
-        self.report.check_flops += 2 * n;
-        space.record_check_flops(2 * n);
-        let inner = space.dot(new_v, prev)?.abs();
-        // With an infinite tolerance (how presets disable the test for bases
-        // that are legitimately non-orthogonal, e.g. the p(1)-pipelined one)
-        // only the NaN test below can fire, so skip the two norm reductions.
-        let suspicious = if self.cfg.orthogonality_tol.is_finite() {
-            let scale = space.norm(new_v)? * space.norm(prev)?;
-            !inner.is_finite() || inner > self.cfg.orthogonality_tol * scale.max(f64::MIN_POSITIVE)
+        let suspicious = if self.fused.active {
+            // Fused path: the pair dot (and scale norms, when the tolerance
+            // is finite) rode the strategy's reduction; on pipelined
+            // schedules they refer to the pair formed by the previous step.
+            let inner = match self.fused.basis_pair_dot.take() {
+                Some(d) => d.abs(),
+                None => return Ok(PolicyAction::Continue),
+            };
+            self.report.local_checks_run += 1;
+            match (
+                self.cfg.orthogonality_tol.is_finite(),
+                self.fused.new_basis_norm_sq.take(),
+                self.fused.prev_basis_norm_sq.take(),
+            ) {
+                (true, Some(nn2), Some(pn2)) => {
+                    let scale = nn2.max(0.0).sqrt() * pn2.max(0.0).sqrt();
+                    !inner.is_finite()
+                        || inner > self.cfg.orthogonality_tol * scale.max(f64::MIN_POSITIVE)
+                }
+                _ => !inner.is_finite(),
+            }
         } else {
-            !inner.is_finite()
+            let prev = match prev_v {
+                Some(p) => p,
+                None => return Ok(PolicyAction::Continue),
+            };
+            self.report.local_checks_run += 1;
+            let n = space.local_len(new_v);
+            self.report.check_flops += 2 * n;
+            space.record_check_flops(2 * n);
+            let inner = space.dot(new_v, prev)?.abs();
+            // With an infinite tolerance (how presets disable the test for
+            // bases that are legitimately non-orthogonal, e.g. the
+            // p(1)-pipelined one) only the NaN test below can fire, so skip
+            // the two norm reductions — and their cost.
+            if self.cfg.orthogonality_tol.is_finite() {
+                self.report.check_flops += 4 * n;
+                space.record_check_flops(4 * n);
+                let scale = space.norm(new_v)? * space.norm(prev)?;
+                !inner.is_finite()
+                    || inner > self.cfg.orthogonality_tol * scale.max(f64::MIN_POSITIVE)
+            } else {
+                !inner.is_finite()
+            }
         };
         if suspicious {
             self.report.detections += 1;
@@ -145,7 +276,9 @@ impl<S: KrylovSpace> ResiliencePolicy<S> for SkepticalPolicy {
             return Ok(PolicyAction::Continue);
         }
         self.report.residual_checks_run += 1;
-        let check_cost = space.flops_per_apply() + 4 * self.n;
+        // Cost against the *live* local length: a shrink recovery rebuilds
+        // the communicator and changes local vector lengths mid-solve.
+        let check_cost = space.flops_per_apply() + 4 * probe.local_len(space);
         self.report.check_flops += check_cost;
         space.record_check_flops(check_cost);
         let true_rr = probe.trial_true_relres(space)?;
@@ -169,5 +302,167 @@ impl<S: KrylovSpace> ResiliencePolicy<S> for SkepticalPolicy {
 
     fn note_restart(&mut self) {
         self.report.corrective_restarts += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::space::SerialSpace;
+    use crate::solvers::common::Operator;
+    use resilient_linalg::{poisson2d, CsrMatrix};
+
+    type CsrSpace<'a> = SerialSpace<'a, CsrMatrix>;
+
+    fn ctx() -> IterCtx {
+        IterCtx {
+            iteration: 1,
+            cycle_step: 1,
+            cycle: 0,
+            relres: 1.0,
+            tol: 1e-9,
+        }
+    }
+
+    /// Satellite regression: the direct (unfused) after-SpMV check must
+    /// charge exactly the reductions that ran — `2n` when only ‖w‖ is
+    /// reduced (no finite ‖A‖ estimate), `4n` when ‖v‖ is reduced too.
+    #[test]
+    fn after_spmv_charges_exactly_what_ran() {
+        let a = poisson2d(6, 6);
+        let n = a.nrows();
+        let v = vec![1.0; n];
+        let w = a.apply(&v);
+        let mut space = SerialSpace::new(&a);
+
+        // Without a finite operator-norm estimate only ‖w‖ runs.
+        let mut p = SkepticalPolicy::new(SkepticalConfig::default());
+        assert!(!p.norm_a.is_finite());
+        let out = <SkepticalPolicy as ResiliencePolicy<CsrSpace<'_>>>::after_spmv(
+            &mut p,
+            &mut space,
+            &ctx(),
+            &v,
+            &w,
+        )
+        .unwrap();
+        assert_eq!(out, PolicyAction::Continue);
+        assert_eq!(p.report.check_flops, 2 * n);
+
+        // With a finite estimate the bound test reduces ‖v‖ as well.
+        let mut p = SkepticalPolicy::new(SkepticalConfig::default());
+        p.norm_a = 8.0;
+        <SkepticalPolicy as ResiliencePolicy<CsrSpace<'_>>>::after_spmv(
+            &mut p,
+            &mut space,
+            &ctx(),
+            &v,
+            &w,
+        )
+        .unwrap();
+        assert_eq!(p.report.check_flops, 4 * n);
+    }
+
+    /// Satellite regression: the finite-tolerance orthogonality path runs
+    /// one dot plus two norms (`6n`); the infinite-tolerance path only the
+    /// dot (`2n`).
+    #[test]
+    fn orthogonality_check_charges_by_tolerance() {
+        let a = poisson2d(6, 6);
+        let n = a.nrows();
+        let new_v: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        let prev_v: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).cos()).collect();
+        let mut space = SerialSpace::new(&a);
+
+        let mut finite = SkepticalPolicy::new(SkepticalConfig {
+            orthogonality_tol: 1e30, // finite but never fires on this pair
+            ..SkepticalConfig::default()
+        });
+        <SkepticalPolicy as ResiliencePolicy<CsrSpace<'_>>>::after_orthogonalization(
+            &mut finite,
+            &mut space,
+            &ctx(),
+            &new_v,
+            Some(&prev_v),
+        )
+        .unwrap();
+        assert_eq!(finite.report.check_flops, 6 * n);
+
+        let mut infinite = SkepticalPolicy::new(SkepticalConfig {
+            orthogonality_tol: f64::INFINITY,
+            ..SkepticalConfig::default()
+        });
+        <SkepticalPolicy as ResiliencePolicy<CsrSpace<'_>>>::after_orthogonalization(
+            &mut infinite,
+            &mut space,
+            &ctx(),
+            &new_v,
+            Some(&prev_v),
+        )
+        .unwrap();
+        assert_eq!(infinite.report.check_flops, 2 * n);
+    }
+
+    /// The fused after-SpMV decision consumes already-global scalars and
+    /// detects a norm-bound violation without touching the space.
+    #[test]
+    fn fused_norm_bound_detects_from_consumed_scalars() {
+        let a = poisson2d(6, 6);
+        let n = a.nrows();
+        let v = vec![1.0; n];
+        let mut space = SerialSpace::new(&a);
+        let mut p = SkepticalPolicy::new(SkepticalConfig::default());
+        p.norm_a = 8.0;
+
+        let reqs = <SkepticalPolicy as ResiliencePolicy<CsrSpace<'_>>>::check_dots(&mut p, &ctx());
+        assert!(reqs.contains(&CheckDot::ProductNormSq));
+        assert!(reqs.contains(&CheckDot::InputNormSq));
+        // A product norm far beyond factor·‖A‖·max(‖v‖,1) must trip it.
+        <SkepticalPolicy as ResiliencePolicy<CsrSpace<'_>>>::consume_check_dots(
+            &mut p,
+            &ctx(),
+            n,
+            &[
+                (CheckDot::ProductNormSq, 1.0e40),
+                (CheckDot::InputNormSq, 1.0),
+            ],
+        );
+        let out = <SkepticalPolicy as ResiliencePolicy<CsrSpace<'_>>>::after_spmv(
+            &mut p,
+            &mut space,
+            &ctx(),
+            &v,
+            &v,
+        )
+        .unwrap();
+        assert_eq!(out, PolicyAction::Detected);
+        // The fused pairs' cost was mirrored into the report (2n each).
+        assert_eq!(p.report.check_flops, 4 * n);
+
+        // Once consumed, a second hook invocation has nothing to check.
+        let out = <SkepticalPolicy as ResiliencePolicy<CsrSpace<'_>>>::after_spmv(
+            &mut p,
+            &mut space,
+            &ctx(),
+            &v,
+            &v,
+        )
+        .unwrap();
+        assert_eq!(out, PolicyAction::Continue);
+    }
+
+    /// `fuse_checks: false` keeps the policy on the direct path even when a
+    /// fusing strategy negotiates (the comparison-experiment escape hatch).
+    #[test]
+    fn unfused_config_declines_negotiation() {
+        let mut p = SkepticalPolicy::new(SkepticalConfig {
+            fuse_checks: false,
+            ..SkepticalConfig::default()
+        });
+        let reqs = <SkepticalPolicy as ResiliencePolicy<
+            SerialSpace<'_, resilient_linalg::CsrMatrix>,
+        >>::check_dots(&mut p, &ctx());
+        assert!(reqs.is_empty());
+        assert!(!p.fused.active);
     }
 }

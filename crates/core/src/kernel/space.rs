@@ -62,6 +62,38 @@ pub trait KrylovSpace {
     /// Complete a reduction started with [`KrylovSpace::start_dots`].
     fn finish_dots(&mut self, pending: PendingDots) -> Result<Vec<f64>>;
 
+    /// Fused *blocking* reduction of arbitrary pairs whose trailing
+    /// `check_tail` pairs are policy check dots (wants-dots fusion): the
+    /// reduction performs — and, in distributed spaces, time-charges — the
+    /// arithmetic of every pair, and additionally attributes the check
+    /// tail's `2n` FLOPs per pair to the check ledger.
+    fn fused_pairs(
+        &mut self,
+        pairs: &[(&Self::Vector, &Self::Vector)],
+        check_tail: usize,
+    ) -> Result<Vec<f64>> {
+        let pending = self.start_dots_tagged(pairs, check_tail)?;
+        self.finish_dots(pending)
+    }
+
+    /// [`KrylovSpace::start_dots`] with the trailing `check_tail` pairs
+    /// attributed to the check ledger (the reduction itself still charges
+    /// the arithmetic of every pair exactly as `start_dots` does).
+    fn start_dots_tagged(
+        &mut self,
+        pairs: &[(&Self::Vector, &Self::Vector)],
+        check_tail: usize,
+    ) -> Result<PendingDots> {
+        debug_assert!(check_tail <= pairs.len());
+        if check_tail > 0 {
+            if let Some((x, _)) = pairs.first() {
+                let n = self.local_len(x);
+                self.record_check_flops(2 * n * check_tail);
+            }
+        }
+        self.start_dots(pairs)
+    }
+
     /// `y ← y + alpha·x` (local, not charged — call sites charge explicitly
     /// to preserve each preset's legacy cost model).
     fn axpy(&mut self, alpha: f64, x: &Self::Vector, y: &mut Self::Vector);
@@ -223,7 +255,12 @@ impl<'a, O: Operator + ?Sized> KrylovSpace for SerialSpace<'a, O> {
 /// `at_application` (0-based, counted per space).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SpmvFault {
-    /// Rank whose product is corrupted.
+    /// *World* (launch-time) rank whose product is corrupted. Injection is
+    /// pinned to the pre-failure epoch: it matches the stable world rank —
+    /// not the current communicator rank, which shrink recovery renumbers —
+    /// and only the original incarnation of that rank ever strikes, so a
+    /// planned strike can never silently move to a different physical
+    /// process (or replay on a replacement) mid-experiment.
     pub rank: usize,
     /// 0-based operator-application index at which to strike.
     pub at_application: usize,
@@ -302,7 +339,11 @@ impl<'a, 'b> KrylovSpace for DistSpace<'a, 'b> {
         let app = self.applications;
         self.applications += 1;
         if let Some(f) = self.fault {
-            if f.at_application == app && f.rank == self.comm.rank() && !y.local.is_empty() {
+            if f.at_application == app
+                && f.rank == self.comm.world_rank()
+                && self.comm.incarnation() == 0
+                && !y.local.is_empty()
+            {
                 let i = f.local_element.min(y.local.len() - 1);
                 y.local[i] = flip_bit_f64(y.local[i], f.bit);
                 self.injections += 1;
@@ -348,6 +389,21 @@ impl<'a, 'b> KrylovSpace for DistSpace<'a, 'b> {
             PendingDots::Ready(v) => Ok(v),
             PendingDots::InFlight(p) => p.wait_vector(self.comm),
         }
+    }
+
+    fn fused_pairs(
+        &mut self,
+        pairs: &[(&Self::Vector, &Self::Vector)],
+        check_tail: usize,
+    ) -> Result<Vec<f64>> {
+        debug_assert!(check_tail <= pairs.len());
+        let local: Vec<f64> = pairs.iter().map(|(x, y)| x.local_dot(y)).collect();
+        if let Some((x, _)) = pairs.first() {
+            let n = x.local_len();
+            self.comm.charge_flops(2 * n * pairs.len());
+            self.comm.record_check_flops(2 * n * check_tail);
+        }
+        self.comm.allreduce(ReduceOp::Sum, &local)
     }
 
     fn axpy(&mut self, alpha: f64, x: &Self::Vector, y: &mut Self::Vector) {

@@ -54,9 +54,9 @@ pub mod srp;
 pub mod prelude {
     pub use crate::distributed::{DistCsr, DistVector};
     pub use crate::kernel::{
-        ft_gmres_abft, pipelined_skeptical_gmres, AbftSpmvPolicy, DistSpace, KrylovSpace,
-        NoopPolicy, PolicyOverhead, PolicyStack, ResiliencePolicy, SerialSpace, SkepticalPolicy,
-        SpmvFault,
+        ft_gmres_abft, pipelined_skeptical_cg, pipelined_skeptical_gmres, AbftSpmvPolicy,
+        DistSpace, KrylovSpace, NoopPolicy, PolicyOverhead, PolicyStack, ResiliencePolicy,
+        SerialSpace, SkepticalPolicy, SpmvFault,
     };
     pub use crate::lflr::{run_cpr, run_lflr, CprApp, CprConfig, CprReport, LflrApp, LflrReport};
     pub use crate::models::ProgrammingModel;

@@ -56,6 +56,14 @@ pub struct SkepticalConfig {
     pub orthogonality_tol: f64,
     /// Response on detection.
     pub response: SkepticalResponse,
+    /// Fuse the check reductions into the dot strategy's own fused
+    /// reduction via the wants-dots negotiation (the policy requests check
+    /// pairs, the strategy appends them to the reduction it already posts),
+    /// instead of posting up to three extra blocking allreduces per
+    /// iteration. Only strategies with a fused reduction negotiate;
+    /// immediate-dot (serial) schedules always use the direct checks.
+    /// Disable to force the legacy unfused schedule (comparison runs).
+    pub fuse_checks: bool,
 }
 
 impl Default for SkepticalConfig {
@@ -67,6 +75,7 @@ impl Default for SkepticalConfig {
             norm_bound_factor: 4.0,
             orthogonality_tol: 1e-8,
             response: SkepticalResponse::Restart,
+            fuse_checks: true,
         }
     }
 }
@@ -79,6 +88,14 @@ impl SkepticalConfig {
             residual_check_interval: 0,
             ..Self::default()
         }
+    }
+
+    /// The same checks on the legacy unfused schedule: every distributed
+    /// check posts its own blocking allreduce instead of riding the
+    /// strategy's fused reduction (comparison experiments).
+    pub fn unfused(mut self) -> Self {
+        self.fuse_checks = false;
+        self
     }
 }
 
