@@ -1,14 +1,19 @@
 //! Experiment E3 — latency-tolerant Krylov solvers (RBSP, §III-B): classic
 //! vs. pipelined CG and GMRES under sweeps of rank count and collective
-//! latency, with and without per-rank noise.
+//! latency, with and without per-rank noise — and, since preconditioning
+//! became a kernel axis, the same blocking-vs-pipelined comparison for the
+//! block-Jacobi preconditioned CG presets (`dist_pcg` vs `pipelined_pcg`):
+//! the preconditioner's local work is overlap-friendly, so latency hiding
+//! keeps paying off at production-like iteration counts.
 
 use resilience::prelude::*;
 use resilient_bench::{fmt_g, fmt_ratio, Table};
 use resilient_linalg::poisson2d;
 use resilient_runtime::{LatencyModel, NoiseConfig, Runtime, RuntimeConfig};
 
-/// Virtual solve times for (CG, pipelined CG, GMRES, pipelined GMRES).
-type SolveTimes = (f64, f64, f64, f64);
+/// Virtual solve times for (CG, pipelined CG, GMRES, pipelined GMRES,
+/// block-Jacobi PCG, block-Jacobi pipelined PCG).
+type SolveTimes = (f64, f64, f64, f64, f64, f64);
 
 fn solve_times(ranks: usize, alpha: f64, noise: bool) -> SolveTimes {
     let mut cfg = RuntimeConfig::fast().with_seed(11);
@@ -41,12 +46,26 @@ fn solve_times(ranks: usize, alpha: f64, noise: bool) -> SolveTimes {
         let t3 = comm.now();
         let pg = pipelined_gmres(comm, &da, &b, &opts)?;
         let t4 = comm.now();
+        let mut bj = BlockJacobi::new(&da);
+        let bc = dist_pcg(comm, &da, &b, &mut bj, &opts)?;
+        let t5 = comm.now();
+        let mut bj = BlockJacobi::new(&da);
+        let bp = pipelined_pcg(comm, &da, &b, &mut bj, &opts)?;
+        let t6 = comm.now();
         assert!(c.converged && p.converged && g.converged && pg.converged);
-        Ok((t1 - t0, t2 - t1, t3 - t2, t4 - t3))
+        assert!(bc.converged && bp.converged);
+        Ok((t1 - t0, t2 - t1, t3 - t2, t4 - t3, t5 - t4, t6 - t5))
     });
     let per_rank = result.unwrap_all();
     let max = |f: &dyn Fn(&SolveTimes) -> f64| per_rank.iter().map(f).fold(0.0f64, f64::max);
-    (max(&|r| r.0), max(&|r| r.1), max(&|r| r.2), max(&|r| r.3))
+    (
+        max(&|r| r.0),
+        max(&|r| r.1),
+        max(&|r| r.2),
+        max(&|r| r.3),
+        max(&|r| r.4),
+        max(&|r| r.5),
+    )
 }
 
 fn main() {
@@ -62,12 +81,15 @@ fn main() {
             "GMRES",
             "p(1)-GMRES",
             "GMRES speedup",
+            "PCG(bj)",
+            "p-PCG(bj)",
+            "PCG(bj) speedup",
         ],
     );
     for &ranks in &[4usize, 8, 16, 32] {
         for &alpha in &[2.0e-6, 1.0e-4, 5.0e-4] {
             for &noise in &[false, true] {
-                let (cg_t, pcg_t, g_t, pg_t) = solve_times(ranks, alpha, noise);
+                let (cg_t, pcg_t, g_t, pg_t, bj_t, bjp_t) = solve_times(ranks, alpha, noise);
                 table.row(vec![
                     ranks.to_string(),
                     format!("{alpha:.0e}"),
@@ -78,6 +100,9 @@ fn main() {
                     fmt_g(g_t),
                     fmt_g(pg_t),
                     fmt_ratio(g_t / pg_t.max(1e-12)),
+                    fmt_g(bj_t),
+                    fmt_g(bjp_t),
+                    fmt_ratio(bj_t / bjp_t.max(1e-12)),
                 ]);
             }
         }

@@ -4,13 +4,25 @@
 //!
 //! Three strategies reproduce the legacy silos:
 //!
-//! * [`PcgStep`] — the serial (preconditioned) recurrence with immediate
-//!   dots, tracking `r·z`;
+//! * [`PcgStep`] — the preconditioned recurrence with immediate dots,
+//!   tracking `r·z`, generic over any space (the serial preset's engine);
 //! * [`FusedCgStep`] — the bulk-synchronous recurrence with **two blocking
-//!   reductions** per iteration, tracking `r·r` (the distributed classic);
+//!   reductions** per iteration (the distributed classic);
 //! * [`PipelinedCgStep`] — the Ghysels–Vanroose recurrence with a **single
 //!   nonblocking fused reduction** posted before the SpMV and completed
 //!   after it.
+//!
+//! Each strategy optionally holds a [`SpacePreconditioner`] (the kernel's
+//! fourth axis). [`FusedCgStep`] and [`PipelinedCgStep`] then run the
+//! z-shifted recurrences — the fused variant reduces `r·z` and `r·r`
+//! together in its second reduction, the pipelined variant is the
+//! preconditioned pipelined CG of Ghysels & Vanroose with `‖r‖²` riding the
+//! same single reduction — so preconditioning changes **neither** variant's
+//! reductions-per-iteration count, and under [`IdentityPrecond`] both are
+//! bit-identical to the unpreconditioned recurrences.
+//!
+//! [`SpacePreconditioner`]: super::precond::SpacePreconditioner
+//! [`IdentityPrecond`]: super::precond::IdentityPrecond
 //!
 //! Policies hook each SpMV and iteration end. CG has no Arnoldi cycle to
 //! discard, so on a detection whose response is `Restart` the kernel
@@ -30,9 +42,10 @@
 use resilient_runtime::Result;
 
 use super::policy::{CheckVectors, DetectionResponse, PolicyStack, SolutionProbe, StackOutcome};
-use super::space::{KrylovSpace, SerialSpace};
+use super::precond::SpacePreconditioner;
+use super::space::KrylovSpace;
 use super::{KernelOutcome, KernelReport, SolveProgress};
-use crate::solvers::common::{Preconditioner, SolveOptions, StopReason};
+use crate::solvers::common::{SolveOptions, StopReason};
 
 /// What one CG iteration decided.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -183,75 +196,80 @@ pub fn run_cg<S: KrylovSpace, T: CgStrategy<S>>(
 }
 
 // ---------------------------------------------------------------------------
-// Serial preconditioned CG
+// Preconditioned CG with immediate dots
 // ---------------------------------------------------------------------------
 
-/// The serial (preconditioned) CG recurrence with immediate dots, tracking
-/// `r·z`. Matches the legacy `solvers::cg::pcg` operation for operation,
-/// including its cost model (`A` + `10n` FLOPs per iteration, charged before
-/// the breakdown test).
-pub struct PcgStep<'m, M: Preconditioner + ?Sized> {
-    m: &'m M,
-    r: Vec<f64>,
-    z: Vec<f64>,
-    p: Vec<f64>,
+/// The preconditioned CG recurrence with immediate (blocking) dots, tracking
+/// `r·z` — the MGS analogue of the CG family, now generic over any space.
+/// On [`SerialSpace`](super::space::SerialSpace) it matches the legacy
+/// `solvers::cg::pcg` operation for operation, including its cost model
+/// (`A` + `10n` FLOPs per iteration, charged before the breakdown test, with
+/// serial preconditioner applies uncharged via
+/// [`SerialPrecond`](super::precond::SerialPrecond)). On distributed spaces
+/// each of its three dots is a blocking collective; the fused/pipelined
+/// variants below are the latency-tolerant alternatives.
+pub struct PcgStep<'m, S: KrylovSpace> {
+    m: &'m mut dyn SpacePreconditioner<S>,
+    r: Option<S::Vector>,
+    z: Option<S::Vector>,
+    p: Option<S::Vector>,
     rz: f64,
 }
 
-impl<'m, M: Preconditioner + ?Sized> PcgStep<'m, M> {
+impl<'m, S: KrylovSpace> PcgStep<'m, S> {
     /// Bind the preconditioner.
-    pub fn new(m: &'m M) -> Self {
+    pub fn new(m: &'m mut dyn SpacePreconditioner<S>) -> Self {
         Self {
             m,
-            r: Vec::new(),
-            z: Vec::new(),
-            p: Vec::new(),
+            r: None,
+            z: None,
+            p: None,
             rz: 0.0,
         }
     }
 }
 
-impl<'a, 'm, O, M> CgStrategy<SerialSpace<'a, O>> for PcgStep<'m, M>
-where
-    O: crate::solvers::common::Operator + ?Sized,
-    M: Preconditioner + ?Sized,
-{
+impl<'m, S: KrylovSpace> CgStrategy<S> for PcgStep<'m, S> {
     fn init(
         &mut self,
-        _space: &mut SerialSpace<'a, O>,
-        _b: &Vec<f64>,
-        r0: Vec<f64>,
+        space: &mut S,
+        _b: &S::Vector,
+        r0: S::Vector,
         st: &mut SolveProgress,
     ) -> Result<()> {
-        self.r = r0;
-        self.z = self.m.apply(&self.r);
-        self.p = self.z.clone();
-        self.rz = resilient_linalg::vector::dot(&self.r, &self.z);
-        st.relres = resilient_linalg::vector::nrm2(&self.r) / st.bn;
+        let mut z = space.zeros_like(&r0);
+        self.m.apply_into(space, &r0, &mut z)?;
+        self.p = Some(z.clone());
+        self.rz = space.dot(&r0, &z)?;
+        st.relres = space.norm(&r0)? / st.bn;
         st.history.push(st.relres);
+        self.z = Some(z);
+        self.r = Some(r0);
         Ok(())
     }
 
     fn step(
         &mut self,
-        space: &mut SerialSpace<'a, O>,
-        x: &mut Vec<f64>,
-        policies: &mut PolicyStack<'_, SerialSpace<'a, O>>,
+        space: &mut S,
+        x: &mut S::Vector,
+        policies: &mut PolicyStack<'_, S>,
         st: &mut SolveProgress,
-        b: &Vec<f64>,
+        b: &S::Vector,
     ) -> Result<CgOutcome> {
-        let n = self.p.len();
-        match policies.before_spmv(space, &st.ctx(), &self.p)? {
-            StackOutcome::Act(r) => return Ok(CgOutcome::Detected(r)),
+        let p = self.p.as_mut().expect("initialized");
+        let r = self.r.as_mut().expect("initialized");
+        let n = space.local_len(p);
+        match policies.before_spmv(space, &st.ctx(), p)? {
+            StackOutcome::Act(resp) => return Ok(CgOutcome::Detected(resp)),
             StackOutcome::Recorded | StackOutcome::Continue => {}
         }
-        let ap = space.apply(&self.p)?;
+        let ap = space.apply(p)?;
         space.charge_flops(10 * n);
-        match policies.after_spmv(space, &st.ctx(), &self.p, &ap)? {
-            StackOutcome::Act(r) => return Ok(CgOutcome::Detected(r)),
+        match policies.after_spmv(space, &st.ctx(), p, &ap)? {
+            StackOutcome::Act(resp) => return Ok(CgOutcome::Detected(resp)),
             StackOutcome::Recorded | StackOutcome::Continue => {}
         }
-        let pap = resilient_linalg::vector::dot(&self.p, &ap);
+        let pap = space.dot(p, &ap)?;
         if pap <= 0.0 || !pap.is_finite() {
             return Ok(if pap.is_finite() {
                 CgOutcome::Breakdown
@@ -260,25 +278,28 @@ where
             });
         }
         let alpha = self.rz / pap;
-        resilient_linalg::vector::axpy(alpha, &self.p, x);
-        resilient_linalg::vector::axpy(-alpha, &ap, &mut self.r);
-        st.relres = resilient_linalg::vector::nrm2(&self.r) / st.bn;
+        space.axpy(alpha, p, x);
+        space.axpy(-alpha, &ap, r);
+        st.relres = space.norm(r)? / st.bn;
         st.iterations += 1;
         st.history.push(st.relres);
-        if resilient_linalg::vector::has_non_finite(&self.r) {
+        // The global norm is non-finite on every rank whenever any rank's
+        // local part is, so this divergence decision stays rank-symmetric.
+        if !st.relres.is_finite() || space.local_has_non_finite(r) {
             return Ok(CgOutcome::Diverged);
         }
         if st.relres <= st.tol {
             return Ok(CgOutcome::Converged);
         }
-        self.z = self.m.apply(&self.r);
-        let rz_new = resilient_linalg::vector::dot(&self.r, &self.z);
+        let z = self.z.as_mut().expect("initialized");
+        self.m.apply_into(space, r, z)?;
+        let rz_new = space.dot(r, z)?;
         let beta = rz_new / self.rz;
         self.rz = rz_new;
-        space.xpby(&self.z, beta, &mut self.p);
-        let mut probe = CgProbe::<SerialSpace<'a, O>> { b, x, bn: st.bn };
+        space.xpby(z, beta, p);
+        let mut probe = CgProbe::<S> { b, x, bn: st.bn };
         match policies.on_iteration(space, &st.ctx(), &mut probe)? {
-            StackOutcome::Act(r) => return Ok(CgOutcome::Detected(r)),
+            StackOutcome::Act(resp) => return Ok(CgOutcome::Detected(resp)),
             StackOutcome::Recorded | StackOutcome::Continue => {}
         }
         Ok(CgOutcome::Continue)
@@ -289,30 +310,54 @@ where
 // Bulk-synchronous CG (two blocking reductions per iteration)
 // ---------------------------------------------------------------------------
 
-/// The unpreconditioned CG recurrence tracking `r·r` with two blocking
-/// global reductions per iteration — the structure whose latency
-/// sensitivity §II-B of the paper describes. Matches the legacy
-/// `rbsp::cg::dist_cg` operation for operation; also runs over serial
-/// spaces (where the reductions are free).
-#[derive(Debug, Default)]
-pub struct FusedCgStep<V> {
-    r: Option<V>,
-    p: Option<V>,
+/// The CG recurrence with two blocking global reductions per iteration —
+/// the structure whose latency sensitivity §II-B of the paper describes.
+/// Unpreconditioned ([`FusedCgStep::new`]) it tracks `r·r` and matches the
+/// legacy `rbsp::cg::dist_cg` operation for operation; with a
+/// preconditioner ([`FusedCgStep::preconditioned`]) it runs the z-shifted
+/// recurrence, fusing `r·z` and `r·r` into the *same* second reduction so
+/// preconditioning leaves the two-allreduce-per-iteration schedule intact.
+/// Also runs over serial spaces (where the reductions are free).
+pub struct FusedCgStep<'m, S: KrylovSpace> {
+    m: Option<&'m mut dyn SpacePreconditioner<S>>,
+    r: Option<S::Vector>,
+    z: Option<S::Vector>,
+    p: Option<S::Vector>,
+    /// `r·z` (identical to `r·r` unpreconditioned) — drives α and β.
+    rz: f64,
+    /// `r·r` — drives the convergence test.
     rr: f64,
 }
 
-impl<V> FusedCgStep<V> {
-    /// New strategy.
+impl<'m, S: KrylovSpace> FusedCgStep<'m, S> {
+    /// The unpreconditioned recurrence.
     pub fn new() -> Self {
         Self {
+            m: None,
             r: None,
+            z: None,
             p: None,
+            rz: 0.0,
             rr: 0.0,
+        }
+    }
+
+    /// The z-shifted (preconditioned) recurrence.
+    pub fn preconditioned(m: &'m mut dyn SpacePreconditioner<S>) -> Self {
+        Self {
+            m: Some(m),
+            ..Self::new()
         }
     }
 }
 
-impl<S: KrylovSpace> CgStrategy<S> for FusedCgStep<S::Vector> {
+impl<'m, S: KrylovSpace> Default for FusedCgStep<'m, S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'m, S: KrylovSpace> CgStrategy<S> for FusedCgStep<'m, S> {
     fn init(
         &mut self,
         space: &mut S,
@@ -320,8 +365,24 @@ impl<S: KrylovSpace> CgStrategy<S> for FusedCgStep<S::Vector> {
         r0: S::Vector,
         st: &mut SolveProgress,
     ) -> Result<()> {
-        self.rr = space.dot(&r0, &r0)?;
-        self.p = Some(r0.clone());
+        match self.m.as_mut() {
+            None => {
+                self.rr = space.dot(&r0, &r0)?;
+                self.rz = self.rr;
+                self.p = Some(r0.clone());
+            }
+            Some(m) => {
+                let mut z = space.zeros_like(&r0);
+                m.apply_into(space, &r0, &mut z)?;
+                // One fused reduction for r·z and r·r: preconditioned init
+                // posts the same single collective as the legacy init.
+                let vals = space.fused_pairs(&[(&r0, &z), (&r0, &r0)], 0)?;
+                self.rz = vals[0];
+                self.rr = vals[1];
+                self.p = Some(z.clone());
+                self.z = Some(z);
+            }
+        }
         self.r = Some(r0);
         st.relres = self.rr.sqrt() / st.bn;
         st.history.push(st.relres);
@@ -346,7 +407,7 @@ impl<S: KrylovSpace> CgStrategy<S> for FusedCgStep<S::Vector> {
         let p = self.p.as_mut().expect("initialized");
         let r = self.r.as_mut().expect("initialized");
         match policies.before_spmv(space, &st.ctx(), p)? {
-            StackOutcome::Act(r) => return Ok(CgOutcome::Detected(r)),
+            StackOutcome::Act(resp) => return Ok(CgOutcome::Detected(resp)),
             StackOutcome::Recorded | StackOutcome::Continue => {}
         }
         let ap = space.apply(p)?;
@@ -366,17 +427,18 @@ impl<S: KrylovSpace> CgStrategy<S> for FusedCgStep<S::Vector> {
             if batch.is_empty() {
                 // Legacy path, order and cost model untouched.
                 match policies.after_spmv(space, &st.ctx(), p, &ap)? {
-                    StackOutcome::Act(r) => return Ok(CgOutcome::Detected(r)),
+                    StackOutcome::Act(resp) => return Ok(CgOutcome::Detected(resp)),
                     StackOutcome::Recorded | StackOutcome::Continue => {}
                 }
                 space.dot(p, &ap)?
             } else {
                 let mut pairs: Vec<(&S::Vector, &S::Vector)> = vec![(&*p, &ap)];
-                pairs.extend(check_pairs);
+                pairs.append(&mut check_pairs);
                 let all = space.fused_pairs(&pairs, batch.len())?;
+                drop(pairs);
                 policies.consume_check_dots(&st.ctx(), &batch, &all[1..]);
                 match policies.after_spmv(space, &st.ctx(), p, &ap)? {
-                    StackOutcome::Act(r) => return Ok(CgOutcome::Detected(r)),
+                    StackOutcome::Act(resp) => return Ok(CgOutcome::Detected(resp)),
                     StackOutcome::Recorded | StackOutcome::Continue => {}
                 }
                 all[0]
@@ -385,22 +447,40 @@ impl<S: KrylovSpace> CgStrategy<S> for FusedCgStep<S::Vector> {
         if pap <= 0.0 || !pap.is_finite() {
             return Ok(CgOutcome::Breakdown);
         }
-        let alpha = self.rr / pap;
+        let alpha = self.rz / pap;
         space.axpy(alpha, p, x);
         space.axpy(-alpha, &ap, r);
         space.charge_flops(4 * space.local_len(r));
-        // Blocking reduction #2.
-        let rr_new = space.dot(r, r)?;
-        let beta = rr_new / self.rr;
+        // Blocking reduction #2: `r·r` alone unpreconditioned; `r·z` fused
+        // with `r·r` in the same collective when a preconditioner is bound.
+        let (rz_new, rr_new) = match self.m.as_mut() {
+            None => {
+                let rr = space.dot(r, r)?;
+                (rr, rr)
+            }
+            Some(m) => {
+                let z = self.z.as_mut().expect("preconditioned state");
+                m.apply_into(space, r, z)?;
+                let vals = space.fused_pairs(&[(&*r, &*z), (&*r, &*r)], 0)?;
+                (vals[0], vals[1])
+            }
+        };
+        let beta = rz_new / self.rz;
+        self.rz = rz_new;
         self.rr = rr_new;
-        space.xpby(r, beta, p);
+        if self.m.is_some() {
+            let z = self.z.as_ref().expect("preconditioned state");
+            space.xpby(z, beta, p);
+        } else {
+            space.xpby(r, beta, p);
+        }
         space.charge_flops(2 * space.local_len(p));
         st.iterations += 1;
         st.relres = self.rr.sqrt() / st.bn;
         st.history.push(st.relres);
         let mut probe = CgProbe::<S> { b, x, bn: st.bn };
         match policies.on_iteration(space, &st.ctx(), &mut probe)? {
-            StackOutcome::Act(r) => return Ok(CgOutcome::Detected(r)),
+            StackOutcome::Act(resp) => return Ok(CgOutcome::Detected(resp)),
             StackOutcome::Recorded | StackOutcome::Continue => {}
         }
         Ok(CgOutcome::Continue)
@@ -414,14 +494,29 @@ impl<S: KrylovSpace> CgStrategy<S> for FusedCgStep<S::Vector> {
 /// Pipelined CG (Ghysels & Vanroose): algebraically equivalent to CG but
 /// with a single nonblocking fused reduction per iteration, posted before
 /// the SpMV and completed after it, so the reduction's latency hides behind
-/// the matrix-vector product. Matches the legacy `rbsp::cg::pipelined_cg`.
-#[derive(Debug, Default)]
-pub struct PipelinedCgStep<V> {
-    r: Option<V>,
-    w: Option<V>,
-    z: Option<V>,
-    s: Option<V>,
-    p: Option<V>,
+/// the matrix-vector product. Unpreconditioned it matches the legacy
+/// `rbsp::cg::pipelined_cg`; with a preconditioner it is the preconditioned
+/// pipelined CG of the same paper — the recurrence additionally maintains
+/// `u = M⁻¹r` and `q = M⁻¹s`, the preconditioner apply joins the SpMV in
+/// the overlap region, and `‖r‖²` rides the same single reduction (as a
+/// third pair) so the one-allreduce-per-iteration schedule is unchanged.
+pub struct PipelinedCgStep<'m, S: KrylovSpace> {
+    m: Option<&'m mut dyn SpacePreconditioner<S>>,
+    r: Option<S::Vector>,
+    /// `u = M⁻¹·r` (preconditioned only).
+    u: Option<S::Vector>,
+    /// `w = A·u` (unpreconditioned: `A·r`).
+    w: Option<S::Vector>,
+    /// Buffer for `M⁻¹·w`, the overlap-region preconditioner apply.
+    mw: Option<S::Vector>,
+    /// Tracks the operator image of the search-direction chain (`A·q` /
+    /// `A·s`-shifted quantity of the recurrence).
+    z: Option<S::Vector>,
+    /// `q = M⁻¹·s` (preconditioned only).
+    q: Option<S::Vector>,
+    /// Tracks `A·p`.
+    s: Option<S::Vector>,
+    p: Option<S::Vector>,
     gamma_old: f64,
     alpha_old: f64,
     /// True until the first step after (re-)initialization: the recurrence
@@ -430,13 +525,17 @@ pub struct PipelinedCgStep<V> {
     fresh: bool,
 }
 
-impl<V> PipelinedCgStep<V> {
-    /// New strategy.
+impl<'m, S: KrylovSpace> PipelinedCgStep<'m, S> {
+    /// The unpreconditioned recurrence.
     pub fn new() -> Self {
         Self {
+            m: None,
             r: None,
+            u: None,
             w: None,
+            mw: None,
             z: None,
+            q: None,
             s: None,
             p: None,
             gamma_old: 0.0,
@@ -444,9 +543,23 @@ impl<V> PipelinedCgStep<V> {
             fresh: true,
         }
     }
+
+    /// The preconditioned pipelined recurrence.
+    pub fn preconditioned(m: &'m mut dyn SpacePreconditioner<S>) -> Self {
+        Self {
+            m: Some(m),
+            ..Self::new()
+        }
+    }
 }
 
-impl<S: KrylovSpace> CgStrategy<S> for PipelinedCgStep<S::Vector> {
+impl<'m, S: KrylovSpace> Default for PipelinedCgStep<'m, S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'m, S: KrylovSpace> CgStrategy<S> for PipelinedCgStep<'m, S> {
     fn init(
         &mut self,
         space: &mut S,
@@ -454,8 +567,20 @@ impl<S: KrylovSpace> CgStrategy<S> for PipelinedCgStep<S::Vector> {
         r0: S::Vector,
         st: &mut SolveProgress,
     ) -> Result<()> {
-        self.w = Some(space.apply(&r0)?);
-        self.z = Some(space.zeros_like(b)); // tracks A s
+        match self.m.as_mut() {
+            None => {
+                self.w = Some(space.apply(&r0)?);
+            }
+            Some(m) => {
+                let mut u = space.zeros_like(&r0);
+                m.apply_into(space, &r0, &mut u)?;
+                self.w = Some(space.apply(&u)?);
+                self.u = Some(u);
+                self.mw = Some(space.zeros_like(b));
+                self.q = Some(space.zeros_like(b)); // tracks M⁻¹ s
+            }
+        }
+        self.z = Some(space.zeros_like(b)); // tracks the A·(M⁻¹)s chain
         self.s = Some(space.zeros_like(b)); // tracks A p
         self.p = Some(space.zeros_like(b));
         self.r = Some(r0);
@@ -474,26 +599,49 @@ impl<S: KrylovSpace> CgStrategy<S> for PipelinedCgStep<S::Vector> {
         st: &mut SolveProgress,
         b: &S::Vector,
     ) -> Result<CgOutcome> {
-        let r = self.r.as_mut().expect("initialized");
-        let w = self.w.as_mut().expect("initialized");
-        // Fused local partial reductions γ = (r, r), δ = (w, r), posted as a
-        // single nonblocking reduction that also carries any policy check
-        // dots (wants-dots negotiation; the recurrence maintains w = A·r,
-        // so (r, w) is the resolved input/product pair — fused check
-        // decisions lag the overlapped SpMV by one step) ...
+        let preconditioned = self.m.is_some();
+        // Number of solver pairs in the fused reduction: γ and δ, plus ‖r‖²
+        // when preconditioned (γ = (r, M⁻¹r) is the M-norm, not the
+        // convergence residual).
+        let solver_len = if preconditioned { 3 } else { 2 };
+        // Fused local partial reductions γ = (r, u), δ = (w, u) (with
+        // u = r unpreconditioned), posted as a single nonblocking reduction
+        // that also carries any policy check dots (wants-dots negotiation;
+        // the recurrence maintains w = A·u, so (u, w) is the resolved
+        // input/product pair — fused check decisions lag the overlapped
+        // SpMV by one step) ...
         let (pending, batch) = {
-            let mut pairs: Vec<(&S::Vector, &S::Vector)> = vec![(&*r, &*r), (&*w, &*r)];
+            let r = self.r.as_ref().expect("initialized");
+            let w = self.w.as_ref().expect("initialized");
+            let dual = self.u.as_ref().unwrap_or(r);
+            let mut pairs: Vec<(&S::Vector, &S::Vector)> = vec![(r, dual), (w, dual)];
+            if preconditioned {
+                pairs.push((r, r));
+            }
             let avail = CheckVectors {
-                spmv_input: Some(&*r),
-                spmv_product: Some(&*w),
+                spmv_input: Some(dual),
+                spmv_product: Some(w),
                 basis_pair: None,
             };
             let batch = policies.collect_check_dots(space, &st.ctx(), &avail, &mut pairs);
             (space.start_dots_tagged(&pairs, batch.len())?, batch)
         };
-        // ... and overlapped with the SpMV q = A·w and any extra work.
+        // ... and overlapped with the preconditioner apply `mw = M⁻¹·w`,
+        // the SpMV `aw = A·(M⁻¹)w` and any extra work.
         space.advance_extra_work()?;
-        match policies.before_spmv(space, &st.ctx(), w)? {
+        if let Some(m) = self.m.as_mut() {
+            let w = self.w.as_ref().expect("initialized");
+            let mw = self.mw.as_mut().expect("preconditioned state");
+            m.apply_into(space, w, mw)?;
+        }
+        // The vector actually fed to A this step (mw is not mutated again
+        // until the recurrence updates): hooks and the SpMV must see the
+        // same input, so there is exactly one binding.
+        let input = match self.mw.as_ref() {
+            Some(mw) => mw,
+            None => self.w.as_ref().expect("initialized"),
+        };
+        match policies.before_spmv(space, &st.ctx(), input)? {
             StackOutcome::Act(resp) => {
                 // Complete the posted reduction before abandoning the step
                 // (detections are rank-symmetric, so every rank drains it):
@@ -504,16 +652,17 @@ impl<S: KrylovSpace> CgStrategy<S> for PipelinedCgStep<S::Vector> {
             }
             StackOutcome::Recorded | StackOutcome::Continue => {}
         }
-        let q = space.apply(w)?;
+        let aw = space.apply(input)?;
         let reduced = space.finish_dots(pending)?;
-        policies.consume_check_dots(&st.ctx(), &batch, &reduced[2..]);
-        match policies.after_spmv(space, &st.ctx(), w, &q)? {
-            StackOutcome::Act(r) => return Ok(CgOutcome::Detected(r)),
+        policies.consume_check_dots(&st.ctx(), &batch, &reduced[solver_len..]);
+        match policies.after_spmv(space, &st.ctx(), input, &aw)? {
+            StackOutcome::Act(resp) => return Ok(CgOutcome::Detected(resp)),
             StackOutcome::Recorded | StackOutcome::Continue => {}
         }
         let (gamma, delta) = (reduced[0], reduced[1]);
+        let rr = if preconditioned { reduced[2] } else { gamma };
 
-        st.relres = gamma.max(0.0).sqrt() / st.bn;
+        st.relres = rr.max(0.0).sqrt() / st.bn;
         if st.history.is_empty() {
             st.history.push(st.relres);
         }
@@ -537,18 +686,35 @@ impl<S: KrylovSpace> CgStrategy<S> for PipelinedCgStep<S::Vector> {
             return Ok(CgOutcome::Breakdown);
         }
 
-        // Recurrence updates (all local): z ← q + βz, s ← w + βs,
-        // p ← r + βp, x ← x + αp, r ← r − αs, w ← w − αz.
+        // Recurrence updates (all local): z ← aw + βz, s ← w + βs,
+        // p ← u + βp, x ← x + αp, r ← r − αs, u ← u − αq, w ← w − αz —
+        // plus q ← mw + βq maintaining q = M⁻¹s when preconditioned.
+        let r = self.r.as_mut().expect("initialized");
+        let w = self.w.as_mut().expect("initialized");
         let z = self.z.as_mut().expect("initialized");
         let s = self.s.as_mut().expect("initialized");
         let p = self.p.as_mut().expect("initialized");
-        space.xpby(&q, beta, z);
-        space.xpby(w, beta, s);
-        space.xpby(r, beta, p);
-        space.axpy(alpha, p, x);
-        space.axpy(-alpha, s, r);
-        space.axpy(-alpha, z, w);
-        space.charge_flops(12 * space.local_len(p));
+        space.xpby(&aw, beta, z);
+        if preconditioned {
+            let u = self.u.as_mut().expect("preconditioned state");
+            let q = self.q.as_mut().expect("preconditioned state");
+            let mw = self.mw.as_ref().expect("preconditioned state");
+            space.xpby(mw, beta, q);
+            space.xpby(w, beta, s);
+            space.xpby(u, beta, p);
+            space.axpy(alpha, p, x);
+            space.axpy(-alpha, s, r);
+            space.axpy(-alpha, q, u);
+            space.axpy(-alpha, z, w);
+            space.charge_flops(16 * space.local_len(p));
+        } else {
+            space.xpby(w, beta, s);
+            space.xpby(r, beta, p);
+            space.axpy(alpha, p, x);
+            space.axpy(-alpha, s, r);
+            space.axpy(-alpha, z, w);
+            space.charge_flops(12 * space.local_len(p));
+        }
 
         self.gamma_old = gamma;
         self.alpha_old = alpha;
@@ -557,7 +723,7 @@ impl<S: KrylovSpace> CgStrategy<S> for PipelinedCgStep<S::Vector> {
         st.history.push(st.relres);
         let mut probe = CgProbe::<S> { b, x, bn: st.bn };
         match policies.on_iteration(space, &st.ctx(), &mut probe)? {
-            StackOutcome::Act(r) => return Ok(CgOutcome::Detected(r)),
+            StackOutcome::Act(resp) => return Ok(CgOutcome::Detected(resp)),
             StackOutcome::Recorded | StackOutcome::Continue => {}
         }
         Ok(CgOutcome::Continue)

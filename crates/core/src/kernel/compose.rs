@@ -9,6 +9,11 @@
 //! * [`pipelined_skeptical_cg`] — **RBSP × SkP** over the CG recurrence:
 //!   pipelined CG whose single fused reduction carries the skeptical check
 //!   dots, with recurrence-rebuild recovery on detection.
+//! * [`pipelined_skeptical_pcg`] / [`pipelined_skeptical_pgmres`] —
+//!   **RBSP × preconditioning × SkP**: the same compositions over the
+//!   *preconditioned* pipelined recurrences (block-Jacobi or any other
+//!   [`SpacePreconditioner`]), so fault scenarios run at production-like
+//!   iteration counts with detection still off the critical path.
 //! * [`ft_gmres_abft`] — **SRP × ABFT**: FT-GMRES (reliable outer /
 //!   unreliable inner iterations) whose *outer* products are additionally
 //!   verified against Huang–Abraham checksums, so corruption of the
@@ -27,8 +32,10 @@ use resilient_runtime::{Comm, ReduceOp, Result};
 use super::cg::{run_cg, PipelinedCgStep};
 use super::gmres::{run_gmres, GmresFlavor, PipelinedOrtho};
 use super::policy::{
-    DetectionResponse, IterCtx, PolicyAction, PolicyOverhead, PolicyStack, ResiliencePolicy,
+    CheckDot, CheckOperand, DetectionResponse, IterCtx, PolicyAction, PolicyOverhead, PolicyStack,
+    ResiliencePolicy,
 };
+use super::precond::{RightPrecond, SpacePreconditioner};
 use super::skeptic::SkepticalPolicy;
 use super::space::{DistSpace, KrylovSpace, SerialSpace, SpmvFault};
 use crate::distributed::{DistCsr, DistVector};
@@ -45,11 +52,33 @@ use crate::srp::ft_gmres::{ft_gmres_with_policies, FtGmresConfig, FtGmresReport}
 /// checksum of the clean matrix: for `w = A·v`, `Σ_i w_i` must equal
 /// `(eᵀA)·v`. An O(n) end-to-end check per SpMV that catches single-event
 /// upsets in the product regardless of where they struck.
+///
+/// Both sides of the identity are inner products — `Σ_i w_i = (e, w)` and
+/// `(eᵀA)·v = (c, v)` with policy-owned vectors `e` (all ones) and `c` (the
+/// column sums) — so on strategies with a fused reduction the policy rides
+/// the wants-dots negotiation: it supplies the two pairs through
+/// [`ResiliencePolicy::check_pairs`], receives the reduced scalars before
+/// its hook runs, and `after_spmv` only computes the O(n) tolerance scale.
+/// Immediate-dot strategies (`MgsOrtho`, `PcgStep`) never negotiate and
+/// keep the legacy direct verification. On pipelined schedules the fused
+/// scalars refer to the most recent *completed* product (the usual one-step
+/// wants-dots lag), and the tolerance scale uses the hook's current input —
+/// adjacent Krylov vectors of comparable magnitude.
 pub struct AbftSpmvPolicy {
     encoded: ChecksummedCsr,
+    /// The all-ones vector `e`, the policy-owned left operand of `(e, w)`.
+    ones: Vec<f64>,
     tol: f64,
     response: DetectionResponse,
     overhead: PolicyOverhead,
+    /// Participate in wants-dots fusion (default); disable for comparison
+    /// runs pinning the direct schedule.
+    fuse_checks: bool,
+    /// True once a fusing strategy negotiated this round.
+    fused_round: bool,
+    /// Reduced `(Σw, (eᵀA)·v)` of the current round, consumed by the hook.
+    pending: Option<(f64, f64)>,
+    fused_decisions: usize,
 }
 
 impl AbftSpmvPolicy {
@@ -57,6 +86,7 @@ impl AbftSpmvPolicy {
     /// tolerance `tol`.
     pub fn for_matrix(a: &CsrMatrix, tol: f64) -> Self {
         Self {
+            ones: vec![1.0; a.nrows()],
             encoded: ChecksummedCsr::encode(a.clone()),
             tol,
             response: DetectionResponse::Restart,
@@ -64,6 +94,10 @@ impl AbftSpmvPolicy {
                 name: "abft-spmv",
                 ..PolicyOverhead::default()
             },
+            fuse_checks: true,
+            fused_round: false,
+            pending: None,
+            fused_decisions: 0,
         }
     }
 
@@ -73,9 +107,26 @@ impl AbftSpmvPolicy {
         self
     }
 
+    /// Decline the wants-dots negotiation and verify directly in the hook
+    /// even on fusing strategies (comparison experiments).
+    pub fn unfused(mut self) -> Self {
+        self.fuse_checks = false;
+        self
+    }
+
     /// Detections so far.
     pub fn detections(&self) -> usize {
         self.overhead.detections
+    }
+
+    /// Checks decided from scalars that rode a strategy's fused reduction.
+    pub fn fused_decisions(&self) -> usize {
+        self.fused_decisions
+    }
+
+    /// Total hook invocations that performed a check (fused or direct).
+    pub fn checks_run(&self) -> usize {
+        self.overhead.checks_run
     }
 }
 
@@ -88,6 +139,36 @@ impl<'a, O: Operator + ?Sized> ResiliencePolicy<SerialSpace<'a, O>> for AbftSpmv
         self.response
     }
 
+    fn check_pairs<'v>(&'v mut self, _ctx: &IterCtx) -> Vec<(&'v Vec<f64>, CheckOperand)> {
+        if !self.fuse_checks {
+            return Vec::new();
+        }
+        self.fused_round = true;
+        self.pending = None;
+        vec![
+            (&self.ones, CheckOperand::SpmvProduct),
+            (&self.encoded.col_sums, CheckOperand::SpmvInput),
+        ]
+    }
+
+    fn consume_check_dots(&mut self, _ctx: &IterCtx, local_n: usize, values: &[(CheckDot, f64)]) {
+        // The tagged reduction already attributed the pairs' 2n FLOPs each
+        // in the space's check ledger; mirror them into this policy's.
+        self.overhead.check_flops += 2 * local_n * values.len();
+        let mut sum_w = None;
+        let mut expected = None;
+        for (which, value) in values {
+            match which {
+                CheckDot::PolicyPair(0) => sum_w = Some(*value),
+                CheckDot::PolicyPair(1) => expected = Some(*value),
+                _ => {}
+            }
+        }
+        if let (Some(s), Some(e)) = (sum_w, expected) {
+            self.pending = Some((s, e));
+        }
+    }
+
     fn after_spmv(
         &mut self,
         space: &mut SerialSpace<'a, O>,
@@ -95,12 +176,29 @@ impl<'a, O: Operator + ?Sized> ResiliencePolicy<SerialSpace<'a, O>> for AbftSpmv
         v: &Vec<f64>,
         w: &Vec<f64>,
     ) -> Result<PolicyAction> {
-        self.overhead.checks_run += 1;
-        // Σw (n adds) + (eᵀA)·v (2n) + the scale estimate (n).
-        let cost = 4 * w.len();
-        self.overhead.check_flops += cost;
-        space.record_check_flops(cost);
-        if self.encoded.verify_product(v, w, self.tol) {
+        let clean = if self.fused_round {
+            match self.pending.take() {
+                Some((sum_w, expected)) => {
+                    // Fused path: both reductions rode the strategy's own;
+                    // only the O(n) tolerance scale is computed here —
+                    // the same threshold `verify_product` applies, via the
+                    // shared helper.
+                    self.overhead.checks_run += 1;
+                    self.fused_decisions += 1;
+                    let cost = w.len();
+                    self.overhead.check_flops += cost;
+                    space.record_check_flops(cost);
+                    (sum_w - expected).abs() <= self.tol * self.encoded.product_tolerance_scale(v)
+                }
+                // The strategy could not resolve the pairs this round
+                // (defensive; every fusing strategy offers input and
+                // product) — fall back to the direct verification.
+                None => self.verify_direct(space, v, w),
+            }
+        } else {
+            self.verify_direct(space, v, w)
+        };
+        if clean {
             Ok(PolicyAction::Continue)
         } else {
             self.overhead.detections += 1;
@@ -114,6 +212,23 @@ impl<'a, O: Operator + ?Sized> ResiliencePolicy<SerialSpace<'a, O>> for AbftSpmv
 
     fn note_restart(&mut self) {
         self.overhead.restarts += 1;
+    }
+}
+
+impl AbftSpmvPolicy {
+    /// The legacy direct verification: recompute both checksum sides in the
+    /// hook, charging Σw (n adds) + `(eᵀA)·v` (2n) + the scale estimate (n).
+    fn verify_direct<'a, O: Operator + ?Sized>(
+        &mut self,
+        space: &mut SerialSpace<'a, O>,
+        v: &[f64],
+        w: &[f64],
+    ) -> bool {
+        self.overhead.checks_run += 1;
+        let cost = 4 * w.len();
+        self.overhead.check_flops += cost;
+        space.record_check_flops(cost);
+        self.encoded.verify_product(v, w, self.tol)
     }
 }
 
@@ -230,6 +345,109 @@ pub fn pipelined_skeptical_cg(
         &opts.solve_options(),
         &mut PipelinedCgStep::new(),
         &mut policies,
+    )?;
+    let injections = space.injections();
+    Ok((
+        outcome.into_dist_outcome(opts.tol),
+        ComposedDistReport {
+            skeptical: skeptical.report(),
+            policies: report.policy_overhead,
+            injections,
+            policy_restarts: report.policy_restarts,
+        },
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 1c: preconditioned pipelined solvers × skeptical SDC detection
+// (RBSP × preconditioning × SkP)
+// ---------------------------------------------------------------------------
+
+/// Preconditioned pipelined CG under the skeptical SDC stack — all three
+/// latency levers at once: one nonblocking fused reduction per iteration,
+/// carrying γ, δ, ‖r‖² *and* the skeptical check dots, overlapped with both
+/// the SpMV and the (collective-free) preconditioner apply. With
+/// [`BlockJacobi`](super::precond::BlockJacobi) this runs an
+/// ill-conditioned problem at production-like iteration counts while SDC
+/// detection still adds zero collectives.
+pub fn pipelined_skeptical_pcg<'a, 'b>(
+    comm: &'a mut Comm,
+    a: &'b DistCsr,
+    b: &DistVector,
+    m: &mut dyn SpacePreconditioner<DistSpace<'a, 'b>>,
+    opts: &DistSolveOptions,
+    skeptic: &SkepticalConfig,
+    fault: Option<SpmvFault>,
+) -> Result<(DistSolveOutcome, ComposedDistReport)> {
+    // Globally agreed ∞-norm bound for the norm-bound check; the check pair
+    // the policy sees is the true (A-input, A-product) pair — the
+    // preconditioned recurrence resolves `spmv_input` to `u = M⁻¹r` — so
+    // the invariant ‖A·u‖ ≤ c·‖A‖·‖u‖ is unchanged by preconditioning.
+    let norm_a = comm.allreduce_scalar(ReduceOp::Max, a.local_norm_inf())?;
+    let mut space = DistSpace::new(comm, a)
+        .with_extra_work(opts.extra_work_per_iter)
+        .with_operator_norm(norm_a);
+    if let Some(f) = fault {
+        space = space.with_fault(f);
+    }
+    let mut skeptical = SkepticalPolicy::new(*skeptic);
+    let mut policies = PolicyStack::new(vec![&mut skeptical]);
+    let (outcome, report) = run_cg(
+        &mut space,
+        b,
+        None,
+        &opts.solve_options(),
+        &mut PipelinedCgStep::preconditioned(m),
+        &mut policies,
+    )?;
+    let injections = space.injections();
+    Ok((
+        outcome.into_dist_outcome(opts.tol),
+        ComposedDistReport {
+            skeptical: skeptical.report(),
+            policies: report.policy_overhead,
+            injections,
+            policy_restarts: report.policy_restarts,
+        },
+    ))
+}
+
+/// Right-preconditioned p(1)-pipelined GMRES under the skeptical SDC stack:
+/// the pipelined Arnoldi runs on `A·M⁻¹`, the preconditioned correction
+/// basis is maintained by linearity, and the skeptical check dots ride the
+/// strategy's single reduction. The pairwise-orthogonality test is disabled
+/// exactly as in [`pipelined_skeptical_gmres`] (the p(1) basis is recovered
+/// by linearity and drifts legitimately).
+pub fn pipelined_skeptical_pgmres<'a, 'b>(
+    comm: &'a mut Comm,
+    a: &'b DistCsr,
+    b: &DistVector,
+    m: &mut dyn SpacePreconditioner<DistSpace<'a, 'b>>,
+    opts: &DistSolveOptions,
+    skeptic: &SkepticalConfig,
+    fault: Option<SpmvFault>,
+) -> Result<(DistSolveOutcome, ComposedDistReport)> {
+    let mut skeptic = *skeptic;
+    skeptic.orthogonality_tol = f64::INFINITY;
+    let norm_a = comm.allreduce_scalar(ReduceOp::Max, a.local_norm_inf())?;
+    let mut space = DistSpace::new(comm, a)
+        .with_extra_work(opts.extra_work_per_iter)
+        .with_operator_norm(norm_a);
+    if let Some(f) = fault {
+        space = space.with_fault(f);
+    }
+    let mut skeptical = SkepticalPolicy::new(skeptic);
+    let mut policies = PolicyStack::new(vec![&mut skeptical]);
+    let mut right = RightPrecond(m);
+    let (outcome, report) = run_gmres(
+        &mut space,
+        b,
+        None,
+        &opts.solve_options(),
+        &mut PipelinedOrtho::new(),
+        &mut policies,
+        Some(&mut right),
+        &GmresFlavor::distributed(),
     )?;
     let injections = space.injections();
     Ok((
@@ -467,6 +685,99 @@ mod tests {
             assert!(restarts >= 1, "detection must rebuild the recurrence");
             assert!(converged, "pipelined CG must survive the flip");
             assert!(true_relative_residual(&a, &b, &x) < 1e-7);
+        }
+    }
+
+    #[test]
+    fn preconditioned_pipelined_skeptics_survive_flips_at_real_iteration_counts() {
+        // The composed RBSP × preconditioning × SkP scenarios: block-Jacobi
+        // collapses the iteration count on an ill-conditioned problem, the
+        // skeptical stack still rides the single fused reduction, and an
+        // injected exponent flip is detected and survived.
+        use super::super::precond::BlockJacobi;
+        use resilient_linalg::anisotropic2d;
+        let rt = Runtime::new(RuntimeConfig::fast());
+        let results = rt
+            .run(4, move |comm| {
+                let a = anisotropic2d(12, 12, 0.1, 100.0, 3);
+                let da = DistCsr::from_global(comm, &a)?;
+                let b = DistVector::from_fn(comm, a.nrows(), |i| 1.0 + (i % 4) as f64);
+                let opts = DistSolveOptions::default()
+                    .with_tol(1e-8)
+                    .with_max_iters(2000)
+                    .with_restart(40);
+                let fault = SpmvFault {
+                    rank: 1,
+                    at_application: 3,
+                    local_element: 2,
+                    bit: 62,
+                };
+                // Clean baselines: no false positives at block-Jacobi
+                // iteration counts.
+                let mut bj = BlockJacobi::new(&da);
+                let (cg_clean, cg_clean_rep) = pipelined_skeptical_pcg(
+                    comm,
+                    &da,
+                    &b,
+                    &mut bj,
+                    &opts,
+                    &SkepticalConfig::default(),
+                    None,
+                )?;
+                let mut bj = BlockJacobi::new(&da);
+                let (gm_clean, gm_clean_rep) = pipelined_skeptical_pgmres(
+                    comm,
+                    &da,
+                    &b,
+                    &mut bj,
+                    &opts,
+                    &SkepticalConfig::default(),
+                    None,
+                )?;
+                // Unpreconditioned iteration count for comparison.
+                let plain = crate::rbsp::cg::pipelined_cg(comm, &da, &b, &opts)?;
+                // Faulted runs.
+                let mut bj = BlockJacobi::new(&da);
+                let (cg_hit, cg_hit_rep) = pipelined_skeptical_pcg(
+                    comm,
+                    &da,
+                    &b,
+                    &mut bj,
+                    &opts,
+                    &SkepticalConfig::default(),
+                    Some(fault),
+                )?;
+                let injections =
+                    comm.allreduce_scalar(ReduceOp::Sum, cg_hit_rep.injections as f64)? as usize;
+                let detections = comm
+                    .allreduce_scalar(ReduceOp::Max, cg_hit_rep.skeptical.detections as f64)?
+                    as usize;
+                Ok((
+                    (cg_clean.converged, cg_clean.iterations, cg_clean_rep),
+                    (gm_clean.converged, gm_clean.iterations, gm_clean_rep),
+                    plain.iterations,
+                    (cg_hit.converged, injections, detections),
+                    cg_hit.x.gather_global(comm)?,
+                ))
+            })
+            .unwrap_all();
+        let a = anisotropic2d(12, 12, 0.1, 100.0, 3);
+        let b: Vec<f64> = (0..a.nrows()).map(|i| 1.0 + (i % 4) as f64).collect();
+        for (cg_clean, gm_clean, plain_iters, cg_hit, x) in results {
+            assert!(cg_clean.0, "clean preconditioned skeptical CG converges");
+            assert!(gm_clean.0, "clean preconditioned skeptical GMRES converges");
+            assert_eq!(cg_clean.2.skeptical.detections, 0, "no false positives");
+            assert_eq!(gm_clean.2.skeptical.detections, 0, "no false positives");
+            assert!(
+                cg_clean.1 * 5 < plain_iters,
+                "block-Jacobi must collapse iterations ({} vs {plain_iters})",
+                cg_clean.1
+            );
+            let (converged, injections, detections) = cg_hit;
+            assert_eq!(injections, 1, "the flip must have been injected");
+            assert!(detections >= 1, "the flip must be detected");
+            assert!(converged, "the solve must survive the flip");
+            assert!(true_relative_residual(&a, &b, &x) < 1e-6);
         }
     }
 

@@ -82,8 +82,14 @@ pub enum StepOutcome {
 /// Orthogonalization/dot scheduling strategy for the GMRES kernel.
 pub trait OrthoStrategy<S: KrylovSpace> {
     /// Called once per restart cycle after the basis is seeded with v₀
-    /// (pipelined strategies compute A·v₀ here).
-    fn begin_cycle(&mut self, _space: &mut S, _cycle: &mut GmresCycle<S::Vector>) -> Result<()> {
+    /// (pipelined strategies compute the product of v₀ here, applying the
+    /// flexible right preconditioner first when one is bound).
+    fn begin_cycle(
+        &mut self,
+        _space: &mut S,
+        _cycle: &mut GmresCycle<S::Vector>,
+        _flexible: &mut Option<&mut dyn FlexibleRight<S>>,
+    ) -> Result<()> {
         Ok(())
     }
 
@@ -354,6 +360,15 @@ impl<S: KrylovSpace> OrthoStrategy<S> for MgsOrtho {
 /// Classical Gram–Schmidt with fused blocking reductions (the
 /// bulk-synchronous distributed strategy): one allreduce for all projection
 /// coefficients, one for the normalization.
+///
+/// With a flexible right preconditioner bound, the strategy iterates on
+/// `A·M⁻¹` and stores the preconditioned vectors in the cycle's `z_basis`
+/// for the solution correction — right-preconditioned distributed GMRES.
+/// Unlike the serial flexible profile there is no validity-rejection of the
+/// preconditioned vector: a rejection decision from rank-local data would
+/// desynchronize rank control flow, so the distributed slot is reserved for
+/// deterministic total operators (see
+/// [`RightPrecond`](super::precond::RightPrecond)).
 #[derive(Debug, Default)]
 pub struct CgsOrtho;
 
@@ -371,20 +386,28 @@ impl<S: KrylovSpace> OrthoStrategy<S> for CgsOrtho {
         cycle: &mut GmresCycle<S::Vector>,
         policies: &mut PolicyStack<'_, S>,
         st: &mut SolveProgress,
-        _flexible: &mut Option<&mut dyn FlexibleRight<S>>,
+        flexible: &mut Option<&mut dyn FlexibleRight<S>>,
         b: &S::Vector,
         x: &S::Vector,
-        _report: &mut KernelReport,
+        report: &mut KernelReport,
     ) -> Result<StepOutcome> {
         space.advance_extra_work()?;
         let vj = cycle.basis.last().expect("basis is never empty").clone();
         let n = space.local_len(&vj);
 
-        match policies.before_spmv(space, &st.ctx(), &vj)? {
+        // Right preconditioning: the operator input is M⁻¹·v_j.
+        let input = if let Some(f) = flexible.as_mut() {
+            report.inner_applications += 1;
+            f.apply(space, &vj)?
+        } else {
+            vj
+        };
+
+        match policies.before_spmv(space, &st.ctx(), &input)? {
             StackOutcome::Act(r) => return Ok(StepOutcome::Detected(r)),
             StackOutcome::Recorded | StackOutcome::Continue => {}
         }
-        let mut w = space.apply(&vj)?;
+        let mut w = space.apply(&input)?;
 
         // Projection coefficients: one fused blocking reduction, carrying
         // any policy check dots (wants-dots negotiation). When checks are
@@ -395,7 +418,7 @@ impl<S: KrylovSpace> OrthoStrategy<S> for CgsOrtho {
         let len = cycle.basis.len();
         let h_proj = {
             let avail = CheckVectors {
-                spmv_input: Some(&vj),
+                spmv_input: Some(&input),
                 spmv_product: Some(&w),
                 basis_pair: (len >= 2).then(|| (&cycle.basis[len - 1], &cycle.basis[len - 2])),
             };
@@ -403,7 +426,7 @@ impl<S: KrylovSpace> OrthoStrategy<S> for CgsOrtho {
             let batch = policies.collect_check_dots(space, &st.ctx(), &avail, &mut check_pairs);
             if batch.is_empty() {
                 // Legacy path, order and cost model untouched.
-                match policies.after_spmv(space, &st.ctx(), &vj, &w)? {
+                match policies.after_spmv(space, &st.ctx(), &input, &w)? {
                     StackOutcome::Act(r) => return Ok(StepOutcome::Detected(r)),
                     StackOutcome::Recorded => return Ok(StepOutcome::Skipped),
                     StackOutcome::Continue => {}
@@ -413,11 +436,11 @@ impl<S: KrylovSpace> OrthoStrategy<S> for CgsOrtho {
             } else {
                 let mut pairs: Vec<(&S::Vector, &S::Vector)> =
                     cycle.basis.iter().map(|v| (v, &w)).collect();
-                pairs.extend(check_pairs);
+                pairs.append(&mut check_pairs);
                 let all = space.fused_pairs(&pairs, batch.len())?;
                 drop(pairs);
                 policies.consume_check_dots(&st.ctx(), &batch, &all[len..]);
-                match policies.after_spmv(space, &st.ctx(), &vj, &w)? {
+                match policies.after_spmv(space, &st.ctx(), &input, &w)? {
                     StackOutcome::Act(r) => return Ok(StepOutcome::Detected(r)),
                     StackOutcome::Recorded => return Ok(StepOutcome::Skipped),
                     StackOutcome::Continue => {}
@@ -437,12 +460,15 @@ impl<S: KrylovSpace> OrthoStrategy<S> for CgsOrtho {
         st.iterations += 1;
         st.cycle_step += 1;
         st.history.push(st.relres);
+        if flexible.is_some() {
+            cycle.z_basis.push(input);
+        }
         if h_next <= f64::EPSILON * cycle.beta.max(1.0) {
             return Ok(StepOutcome::Breakdown);
         }
         space.scale(1.0 / h_next, &mut w);
         cycle.basis.push(w);
-        finish_extended_step(space, cycle, policies, st, b, x, false)
+        finish_extended_step(space, cycle, policies, st, b, x, flexible.is_some())
     }
 }
 
@@ -450,6 +476,17 @@ impl<S: KrylovSpace> OrthoStrategy<S> for CgsOrtho {
 /// step, overlapped with the speculative product of the still-unnormalized
 /// vector; the orthonormal basis vector and its product are recovered by
 /// linearity.
+///
+/// With a flexible right preconditioner bound, the strategy pipelines the
+/// composite operator `A·M⁻¹` and additionally maintains the preconditioned
+/// basis `u_j = M⁻¹·v_j` in the cycle's `z_basis` **by the same linearity
+/// recovery** — the `M⁻¹` apply needed for the next speculative product also
+/// extends the correction basis, so right preconditioning costs exactly one
+/// preconditioner apply per iteration and still posts a single reduction.
+/// This relies on `M⁻¹` being a *fixed linear operator* (true for
+/// [`RightPrecond`](super::precond::RightPrecond) over any
+/// [`SpacePreconditioner`](super::precond::SpacePreconditioner)); genuinely
+/// nonlinear inner solves belong to the MGS flexible profile.
 #[derive(Debug, Default)]
 pub struct PipelinedOrtho;
 
@@ -461,9 +498,23 @@ impl PipelinedOrtho {
 }
 
 impl<S: KrylovSpace> OrthoStrategy<S> for PipelinedOrtho {
-    fn begin_cycle(&mut self, space: &mut S, cycle: &mut GmresCycle<S::Vector>) -> Result<()> {
+    fn begin_cycle(
+        &mut self,
+        space: &mut S,
+        cycle: &mut GmresCycle<S::Vector>,
+        flexible: &mut Option<&mut dyn FlexibleRight<S>>,
+    ) -> Result<()> {
         let v0 = cycle.basis[0].clone();
-        let z0 = space.apply(&v0)?;
+        let z0 = match flexible.as_mut() {
+            Some(f) => {
+                let u0 = f.apply(space, &v0)?;
+                let z0 = space.apply(&u0)?;
+                cycle.z_basis.clear();
+                cycle.z_basis.push(u0);
+                z0
+            }
+            None => space.apply(&v0)?,
+        };
         cycle.products.clear();
         cycle.products.push(z0);
         Ok(())
@@ -475,19 +526,21 @@ impl<S: KrylovSpace> OrthoStrategy<S> for PipelinedOrtho {
         cycle: &mut GmresCycle<S::Vector>,
         policies: &mut PolicyStack<'_, S>,
         st: &mut SolveProgress,
-        _flexible: &mut Option<&mut dyn FlexibleRight<S>>,
+        flexible: &mut Option<&mut dyn FlexibleRight<S>>,
         b: &S::Vector,
         x: &S::Vector,
-        _report: &mut KernelReport,
+        report: &mut KernelReport,
     ) -> Result<StepOutcome> {
         let j = cycle.basis.len() - 1;
         let zj = cycle.products[j].clone();
         let n = space.local_len(&zj);
+        let is_flexible = flexible.is_some();
 
         // Fused dots (v_i, z_j) for i = 0..=j plus (z_j, z_j), posted as a
         // single nonblocking reduction that also carries any policy check
         // dots (wants-dots negotiation). At post time the resolved SpMV is
-        // z_j = A·v_j and the newest formed basis pair is (v_j, v_{j−1}),
+        // z_j = A·v_j (right-preconditioned: A·u_j with u_j = M⁻¹·v_j, the
+        // z_basis entry) and the newest formed basis pair is (v_j, v_{j−1}),
         // so fused check decisions lag the hooks by one step — the cost of
         // keeping detection off the p(1) critical path.
         let solver_len = cycle.basis.len() + 1;
@@ -496,17 +549,30 @@ impl<S: KrylovSpace> OrthoStrategy<S> for PipelinedOrtho {
                 cycle.basis.iter().map(|v| (v, &zj)).collect();
             pairs.push((&zj, &zj));
             let avail = CheckVectors {
-                spmv_input: Some(&cycle.basis[j]),
+                spmv_input: Some(if is_flexible {
+                    &cycle.z_basis[j]
+                } else {
+                    &cycle.basis[j]
+                }),
                 spmv_product: Some(&zj),
                 basis_pair: (j >= 1).then(|| (&cycle.basis[j], &cycle.basis[j - 1])),
             };
             let batch = policies.collect_check_dots(space, &st.ctx(), &avail, &mut pairs);
             (space.start_dots_tagged(&pairs, batch.len())?, batch)
         };
-        // ... and overlapped with the speculative next product A·z_j and
-        // any extra application work.
+        // ... and overlapped with the preconditioner apply m_j = M⁻¹·z_j
+        // (right-preconditioned mode), the speculative next product
+        // A·(M⁻¹)z_j and any extra application work.
         space.advance_extra_work()?;
-        match policies.before_spmv(space, &st.ctx(), &zj)? {
+        let mj = match flexible.as_mut() {
+            Some(f) => {
+                report.inner_applications += 1;
+                Some(f.apply(space, &zj)?)
+            }
+            None => None,
+        };
+        let spec_input: &S::Vector = mj.as_ref().unwrap_or(&zj);
+        match policies.before_spmv(space, &st.ctx(), spec_input)? {
             StackOutcome::Act(r) => {
                 // Complete the posted reduction before abandoning the step
                 // (detections are rank-symmetric, so every rank drains it):
@@ -517,10 +583,10 @@ impl<S: KrylovSpace> OrthoStrategy<S> for PipelinedOrtho {
             }
             StackOutcome::Recorded | StackOutcome::Continue => {}
         }
-        let azj = space.apply(&zj)?;
+        let azj = space.apply(spec_input)?;
         let reduced = space.finish_dots(pending)?;
         policies.consume_check_dots(&st.ctx(), &batch, &reduced[solver_len..]);
-        match policies.after_spmv(space, &st.ctx(), &zj, &azj)? {
+        match policies.after_spmv(space, &st.ctx(), spec_input, &azj)? {
             StackOutcome::Act(r) => return Ok(StepOutcome::Detected(r)),
             StackOutcome::Recorded => return Ok(StepOutcome::Skipped),
             StackOutcome::Continue => {}
@@ -544,7 +610,9 @@ impl<S: KrylovSpace> OrthoStrategy<S> for PipelinedOrtho {
         }
         let h_next = h_next_sq.sqrt();
         // v_{j+1} = (z_j − Σ h_i v_i) / h_next, and by linearity
-        // A v_{j+1} = (A z_j − Σ h_i A v_i) / h_next.
+        // A v_{j+1} = (A z_j − Σ h_i A v_i) / h_next — and, preconditioned,
+        // M⁻¹ v_{j+1} = (M⁻¹ z_j − Σ h_i u_i) / h_next with the already
+        // computed m_j = M⁻¹ z_j.
         let mut v_next = zj.clone();
         let mut z_next = azj;
         for (hij, (v, z)) in h_proj.iter().zip(cycle.basis.iter().zip(&cycle.products)) {
@@ -553,7 +621,16 @@ impl<S: KrylovSpace> OrthoStrategy<S> for PipelinedOrtho {
         }
         space.scale(1.0 / h_next, &mut v_next);
         space.scale(1.0 / h_next, &mut z_next);
-        space.charge_flops(6 * n * cycle.basis.len());
+        if let Some(mut u_next) = mj {
+            for (hij, u) in h_proj.iter().zip(&cycle.z_basis) {
+                space.axpy(-hij, u, &mut u_next);
+            }
+            space.scale(1.0 / h_next, &mut u_next);
+            cycle.z_basis.push(u_next);
+            space.charge_flops(8 * n * cycle.basis.len());
+        } else {
+            space.charge_flops(6 * n * cycle.basis.len());
+        }
 
         let mut h = h_proj.to_vec();
         h.push(h_next);
@@ -563,7 +640,7 @@ impl<S: KrylovSpace> OrthoStrategy<S> for PipelinedOrtho {
         st.history.push(st.relres);
         cycle.basis.push(v_next);
         cycle.products.push(z_next);
-        finish_extended_step(space, cycle, policies, st, b, x, false)
+        finish_extended_step(space, cycle, policies, st, b, x, is_flexible)
     }
 }
 
@@ -684,7 +761,7 @@ pub fn run_gmres<S: KrylovSpace, T: OrthoStrategy<S>>(
             lsq: HessenbergLsq::new(restart, rnorm),
             beta: rnorm,
         };
-        strategy.begin_cycle(space, &mut cycle)?;
+        strategy.begin_cycle(space, &mut cycle, &mut flexible)?;
         st.cycle_step = 0;
 
         // --- Inner (Arnoldi) loop ----------------------------------------

@@ -20,6 +20,13 @@
 //!    rollback — attached through hooks (`before_spmv`, `after_spmv`,
 //!    `after_orthogonalization`, `on_iteration`, `on_failure`) that every
 //!    iteration engine honours.
+//! 4. **Preconditioner** ([`SpacePreconditioner`]) — applied through the
+//!    space so its cost is charged like any other kernel arithmetic:
+//!    [`IdentityPrecond`] (bit-identical to no preconditioning), serial
+//!    adapters, and the collective-free distributed [`BlockJacobi`]. CG
+//!    strategies hold it directly (`PcgStep`, and the preconditioned
+//!    variants of `FusedCgStep`/`PipelinedCgStep`); GMRES strategies take
+//!    it through the flexible right-preconditioning slot ([`RightPrecond`]).
 //!
 //! The five legacy entry points (`solvers::{cg,gmres,fgmres}`,
 //! `rbsp::{cg,gmres}`, `srp::ft_gmres`, `skeptical::sdc_gmres`) are thin
@@ -36,23 +43,25 @@ pub mod cg;
 pub mod compose;
 pub mod gmres;
 pub mod policy;
+pub mod precond;
 pub mod skeptic;
 pub mod space;
 
 pub use cg::{run_cg, CgOutcome, CgStrategy, FusedCgStep, PcgStep, PipelinedCgStep};
 pub use compose::{
-    ft_gmres_abft, pipelined_skeptical_cg, pipelined_skeptical_gmres, AbftSpmvPolicy,
-    ComposedDistReport, FtGmresAbftReport,
+    ft_gmres_abft, pipelined_skeptical_cg, pipelined_skeptical_gmres, pipelined_skeptical_pcg,
+    pipelined_skeptical_pgmres, AbftSpmvPolicy, ComposedDistReport, FtGmresAbftReport,
 };
 pub use gmres::{
     run_gmres, CgsOrtho, FlexibleRight, GmresCycle, GmresFlavor, MgsOrtho, OrthoStrategy,
     PipelinedOrtho, StepOutcome,
 };
 pub use policy::{
-    CheckDot, CheckDotBatch, CheckVectors, DetectionResponse, FailureEvent, IterCtx,
+    CheckDot, CheckDotBatch, CheckOperand, CheckVectors, DetectionResponse, FailureEvent, IterCtx,
     IterateRollbackPolicy, NoopPolicy, PolicyAction, PolicyOverhead, PolicyStack, RecoveryAction,
     ResiliencePolicy, SolutionProbe, StackOutcome,
 };
+pub use precond::{BlockJacobi, IdentityPrecond, RightPrecond, SerialPrecond, SpacePreconditioner};
 pub use skeptic::SkepticalPolicy;
 pub use space::{DistSpace, KrylovSpace, PendingDots, SerialSpace, SpmvFault};
 

@@ -112,6 +112,23 @@ pub enum CheckDot {
     NewBasisNormSq,
     /// `(v_prev, v_prev)` — squared norm of the older basis-pair vector.
     PrevBasisNormSq,
+    /// The `k`-th pair the policy supplied through
+    /// [`ResiliencePolicy::check_pairs`] this round (a policy-owned left
+    /// vector dotted against a strategy operand) — never requested through
+    /// [`ResiliencePolicy::check_dots`], only handed back through
+    /// [`ResiliencePolicy::consume_check_dots`].
+    PolicyPair(u8),
+}
+
+/// The strategy-side operand a policy-supplied check pair
+/// ([`ResiliencePolicy::check_pairs`]) is dotted against, resolved from the
+/// [`CheckVectors`] the strategy offers at its reduction point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckOperand {
+    /// The input of the most recent resolved SpMV.
+    SpmvInput,
+    /// The product of the most recent resolved SpMV.
+    SpmvProduct,
 }
 
 /// The iteration vectors a dot strategy offers for check-dot fusion at its
@@ -140,6 +157,9 @@ fn resolve_check_dot<'v, V>(req: CheckDot, avail: &CheckVectors<'v, V>) -> Optio
         CheckDot::BasisPairDot => avail.basis_pair,
         CheckDot::NewBasisNormSq => avail.basis_pair.map(|(a, _)| (a, a)),
         CheckDot::PrevBasisNormSq => avail.basis_pair.map(|(_, b)| (b, b)),
+        // Policy-supplied pairs carry their own left vector; they are
+        // resolved in `collect_check_dots`, never through a role request.
+        CheckDot::PolicyPair(_) => None,
     }
 }
 
@@ -224,6 +244,21 @@ pub trait ResiliencePolicy<S: KrylovSpace> {
     /// reduction and never call this; policies must keep a direct
     /// (self-reducing) fallback path in their hooks for those schedules.
     fn check_dots(&mut self, ctx: &IterCtx) -> Vec<CheckDot> {
+        Vec::new()
+    }
+
+    /// Wants-dots negotiation, policy-vector form: check pairs whose *left*
+    /// vector the policy owns (an ABFT checksum vector, an all-ones vector)
+    /// and whose right operand is resolved from the strategy's
+    /// [`CheckVectors`]. Resolved pairs ride the strategy's reduction like
+    /// role-based requests; the reduced scalars come back through
+    /// [`consume_check_dots`](ResiliencePolicy::consume_check_dots) tagged
+    /// [`CheckDot::PolicyPair`] with the index into the returned list.
+    /// Called in the same round as
+    /// [`check_dots`](ResiliencePolicy::check_dots), with the same
+    /// immediate-dot caveat: strategies without a fused reduction never
+    /// negotiate, so a direct fallback path must remain.
+    fn check_pairs<'v>(&'v mut self, ctx: &IterCtx) -> Vec<(&'v S::Vector, CheckOperand)> {
         Vec::new()
     }
 
@@ -383,12 +418,20 @@ impl<'p, S: KrylovSpace> PolicyStack<'p, S> {
     }
 
     /// Wants-dots negotiation, stack side: collect every policy's check-dot
-    /// requests, resolve them against the vectors the strategy offers, and
-    /// append the resolved pairs to `pairs` (the reduction the strategy is
-    /// about to post). The returned batch maps the appended tail back to the
+    /// requests (role-based `check_dots` and policy-vector `check_pairs`),
+    /// resolve them against the vectors the strategy offers, and append the
+    /// resolved pairs to `pairs` (the reduction the strategy is about to
+    /// post). The returned batch maps the appended tail back to the
     /// requesting policies for [`PolicyStack::consume_check_dots`].
+    ///
+    /// The `'v` bound ties the borrow of the stack to the pairs vector:
+    /// policy-supplied left vectors are borrowed from the policies
+    /// themselves, so the stack stays borrowed until the strategy has
+    /// consumed `pairs` (posting its reduction) — which every fusing
+    /// strategy does before calling
+    /// [`PolicyStack::consume_check_dots`].
     pub fn collect_check_dots<'v>(
-        &mut self,
+        &'v mut self,
         space: &S,
         ctx: &IterCtx,
         avail: &CheckVectors<'v, S::Vector>,
@@ -400,6 +443,16 @@ impl<'p, S: KrylovSpace> PolicyStack<'p, S> {
                 if let Some(pair) = resolve_check_dot(req, avail) {
                     pairs.push(pair);
                     entries.push((i, req));
+                }
+            }
+            for (k, (left, operand)) in p.check_pairs(ctx).into_iter().enumerate() {
+                let right = match operand {
+                    CheckOperand::SpmvInput => avail.spmv_input,
+                    CheckOperand::SpmvProduct => avail.spmv_product,
+                };
+                if let Some(right) = right {
+                    pairs.push((left, right));
+                    entries.push((i, CheckDot::PolicyPair(k as u8)));
                 }
             }
         }

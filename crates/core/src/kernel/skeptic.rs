@@ -129,6 +129,8 @@ impl<S: KrylovSpace> ResiliencePolicy<S> for SkepticalPolicy {
                 CheckDot::BasisPairDot => &mut self.fused.basis_pair_dot,
                 CheckDot::NewBasisNormSq => &mut self.fused.new_basis_norm_sq,
                 CheckDot::PrevBasisNormSq => &mut self.fused.prev_basis_norm_sq,
+                // This policy never supplies its own pairs.
+                CheckDot::PolicyPair(_) => continue,
             };
             *slot = Some(*v);
         }

@@ -54,15 +54,16 @@ pub mod srp;
 pub mod prelude {
     pub use crate::distributed::{DistCsr, DistVector};
     pub use crate::kernel::{
-        ft_gmres_abft, pipelined_skeptical_cg, pipelined_skeptical_gmres, AbftSpmvPolicy,
-        DistSpace, KrylovSpace, NoopPolicy, PolicyOverhead, PolicyStack, ResiliencePolicy,
-        SerialSpace, SkepticalPolicy, SpmvFault,
+        ft_gmres_abft, pipelined_skeptical_cg, pipelined_skeptical_gmres, pipelined_skeptical_pcg,
+        pipelined_skeptical_pgmres, AbftSpmvPolicy, BlockJacobi, DistSpace, IdentityPrecond,
+        KrylovSpace, NoopPolicy, PolicyOverhead, PolicyStack, ResiliencePolicy, RightPrecond,
+        SerialPrecond, SerialSpace, SkepticalPolicy, SpacePreconditioner, SpmvFault,
     };
     pub use crate::lflr::{run_cpr, run_lflr, CprApp, CprConfig, CprReport, LflrApp, LflrReport};
     pub use crate::models::ProgrammingModel;
     pub use crate::rbsp::{
-        cg::{dist_cg, pipelined_cg},
-        gmres::{dist_gmres, pipelined_gmres},
+        cg::{dist_cg, dist_pcg, pipelined_cg, pipelined_pcg},
+        gmres::{dist_gmres, dist_pgmres, pipelined_gmres, pipelined_pgmres},
         DistSolveOptions, DistSolveOutcome,
     };
     pub use crate::skeptical::{

@@ -10,7 +10,9 @@ use resilient_runtime::{Comm, Result};
 
 use super::{DistSolveOptions, DistSolveOutcome};
 use crate::distributed::{DistCsr, DistVector};
-use crate::kernel::{run_cg, DistSpace, FusedCgStep, PipelinedCgStep, PolicyStack};
+use crate::kernel::{
+    run_cg, DistSpace, FusedCgStep, PipelinedCgStep, PolicyStack, SpacePreconditioner,
+};
 
 /// Classical distributed CG. Each iteration performs one SpMV (neighborhood
 /// communication) and **two blocking all-reduces** — the structure whose
@@ -56,6 +58,63 @@ pub fn pipelined_cg(
         None,
         &opts.solve_options(),
         &mut PipelinedCgStep::new(),
+        &mut PolicyStack::empty(),
+    )?;
+    Ok(outcome.into_dist_outcome(opts.tol))
+}
+
+/// Preconditioned distributed CG: the z-shifted [`FusedCgStep`] recurrence
+/// with `r·z` and `r·r` fused into its second reduction, so the schedule
+/// stays at **two blocking all-reduces per iteration** — preconditioning
+/// (e.g. [`BlockJacobi`](crate::kernel::BlockJacobi), whose applies are
+/// purely local) adds zero collectives. Under
+/// [`IdentityPrecond`](crate::kernel::IdentityPrecond) the solve is
+/// bit-identical to [`dist_cg`].
+///
+/// Preset: unified kernel × preconditioned [`FusedCgStep`] × empty policy
+/// stack over a [`DistSpace`].
+pub fn dist_pcg<'a, 'b>(
+    comm: &'a mut Comm,
+    a: &'b DistCsr,
+    b: &DistVector,
+    m: &mut dyn SpacePreconditioner<DistSpace<'a, 'b>>,
+    opts: &DistSolveOptions,
+) -> Result<DistSolveOutcome> {
+    let mut space = DistSpace::new(comm, a).with_extra_work(opts.extra_work_per_iter);
+    let (outcome, _report) = run_cg(
+        &mut space,
+        b,
+        None,
+        &opts.solve_options(),
+        &mut FusedCgStep::preconditioned(m),
+        &mut PolicyStack::empty(),
+    )?;
+    Ok(outcome.into_dist_outcome(opts.tol))
+}
+
+/// Preconditioned pipelined CG (Ghysels & Vanroose): the preconditioner
+/// apply joins the SpMV in the overlap region of the **single nonblocking
+/// fused all-reduce** (which additionally carries ‖r‖², keeping the
+/// convergence test on the true residual). Under
+/// [`IdentityPrecond`](crate::kernel::IdentityPrecond) the solve is
+/// bit-identical to [`pipelined_cg`].
+///
+/// Preset: unified kernel × preconditioned [`PipelinedCgStep`] × empty
+/// policy stack over a [`DistSpace`].
+pub fn pipelined_pcg<'a, 'b>(
+    comm: &'a mut Comm,
+    a: &'b DistCsr,
+    b: &DistVector,
+    m: &mut dyn SpacePreconditioner<DistSpace<'a, 'b>>,
+    opts: &DistSolveOptions,
+) -> Result<DistSolveOutcome> {
+    let mut space = DistSpace::new(comm, a).with_extra_work(opts.extra_work_per_iter);
+    let (outcome, _report) = run_cg(
+        &mut space,
+        b,
+        None,
+        &opts.solve_options(),
+        &mut PipelinedCgStep::preconditioned(m),
         &mut PolicyStack::empty(),
     )?;
     Ok(outcome.into_dist_outcome(opts.tol))

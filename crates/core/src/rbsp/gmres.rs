@@ -11,7 +11,10 @@ use resilient_runtime::{Comm, Result};
 
 use super::{DistSolveOptions, DistSolveOutcome};
 use crate::distributed::{DistCsr, DistVector};
-use crate::kernel::{run_gmres, CgsOrtho, DistSpace, GmresFlavor, PipelinedOrtho, PolicyStack};
+use crate::kernel::{
+    run_gmres, CgsOrtho, DistSpace, GmresFlavor, PipelinedOrtho, PolicyStack, RightPrecond,
+    SpacePreconditioner,
+};
 
 /// Classical distributed GMRES with classical Gram–Schmidt orthogonalisation:
 /// per iteration one SpMV, one **blocking** all-reduce for the projection
@@ -65,6 +68,69 @@ pub fn pipelined_gmres(
         &mut PipelinedOrtho::new(),
         &mut PolicyStack::empty(),
         None,
+        &GmresFlavor::distributed(),
+    )?;
+    Ok(outcome.into_dist_outcome(opts.tol))
+}
+
+/// Right-preconditioned distributed GMRES: classical Gram–Schmidt over the
+/// composite operator `A·M⁻¹`, with the solution corrected through the
+/// preconditioned basis. The schedule keeps the two blocking all-reduces of
+/// [`dist_gmres`] — a collective-free preconditioner such as
+/// [`BlockJacobi`](crate::kernel::BlockJacobi) adds zero synchronization.
+/// Under [`IdentityPrecond`](crate::kernel::IdentityPrecond) the solve is
+/// bit-identical to [`dist_gmres`].
+///
+/// Preset: unified kernel × [`CgsOrtho`] × [`RightPrecond`] × empty policy
+/// stack over a [`DistSpace`].
+pub fn dist_pgmres<'a, 'b>(
+    comm: &'a mut Comm,
+    a: &'b DistCsr,
+    b: &DistVector,
+    m: &mut dyn SpacePreconditioner<DistSpace<'a, 'b>>,
+    opts: &DistSolveOptions,
+) -> Result<DistSolveOutcome> {
+    let mut space = DistSpace::new(comm, a).with_extra_work(opts.extra_work_per_iter);
+    let mut right = RightPrecond(m);
+    let (outcome, _report) = run_gmres(
+        &mut space,
+        b,
+        None,
+        &opts.solve_options(),
+        &mut CgsOrtho::new(),
+        &mut PolicyStack::empty(),
+        Some(&mut right),
+        &GmresFlavor::distributed(),
+    )?;
+    Ok(outcome.into_dist_outcome(opts.tol))
+}
+
+/// Right-preconditioned p(1)-pipelined GMRES: the pipelined Arnoldi runs on
+/// `A·M⁻¹`, the preconditioner apply joins the speculative product in the
+/// overlap region, and the preconditioned correction basis is maintained by
+/// linearity — still **one nonblocking all-reduce per iteration**, fully
+/// overlapped. Under [`IdentityPrecond`](crate::kernel::IdentityPrecond)
+/// the solve is bit-identical to [`pipelined_gmres`].
+///
+/// Preset: unified kernel × [`PipelinedOrtho`] × [`RightPrecond`] × empty
+/// policy stack over a [`DistSpace`].
+pub fn pipelined_pgmres<'a, 'b>(
+    comm: &'a mut Comm,
+    a: &'b DistCsr,
+    b: &DistVector,
+    m: &mut dyn SpacePreconditioner<DistSpace<'a, 'b>>,
+    opts: &DistSolveOptions,
+) -> Result<DistSolveOutcome> {
+    let mut space = DistSpace::new(comm, a).with_extra_work(opts.extra_work_per_iter);
+    let mut right = RightPrecond(m);
+    let (outcome, _report) = run_gmres(
+        &mut space,
+        b,
+        None,
+        &opts.solve_options(),
+        &mut PipelinedOrtho::new(),
+        &mut PolicyStack::empty(),
+        Some(&mut right),
         &GmresFlavor::distributed(),
     )?;
     Ok(outcome.into_dist_outcome(opts.tol))

@@ -4,7 +4,7 @@
 //! ([`crate::kernel`]): serial space, [`PcgStep`] recurrence, empty policy
 //! stack.
 
-use crate::kernel::{run_cg, PcgStep, PolicyStack, SerialSpace};
+use crate::kernel::{run_cg, PcgStep, PolicyStack, SerialPrecond, SerialSpace};
 
 use super::common::{IdentityPreconditioner, Operator, Preconditioner, SolveOptions, SolveOutcome};
 
@@ -32,12 +32,13 @@ pub fn pcg<O: Operator + ?Sized, M: Preconditioner + ?Sized>(
     assert_eq!(b.len(), a.dim(), "rhs dimension mismatch");
     let mut space = SerialSpace::new(a);
     let b = b.to_vec();
+    let mut sm = SerialPrecond(m);
     let (outcome, _report) = run_cg(
         &mut space,
         &b,
         x0.map(|v| v.to_vec()),
         opts,
-        &mut PcgStep::new(m),
+        &mut PcgStep::new(&mut sm),
         &mut PolicyStack::empty(),
     )
     .expect("serial spaces are infallible");

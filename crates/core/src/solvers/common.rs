@@ -65,6 +65,14 @@ impl Operator for DenseMatrix {
 pub trait Preconditioner {
     /// Apply the preconditioner.
     fn apply(&self, r: &[f64]) -> Vec<f64>;
+
+    /// Allocation-free apply: write `M⁻¹·r` into `out`, reusing its
+    /// capacity. The kernel hot loops call this with a buffer that lives
+    /// across iterations, so implementations should override the default
+    /// (which falls back to the allocating [`Preconditioner::apply`]).
+    fn apply_into(&self, r: &[f64], out: &mut Vec<f64>) {
+        *out = self.apply(r);
+    }
 }
 
 /// The identity preconditioner (no preconditioning).
@@ -74,6 +82,11 @@ pub struct IdentityPreconditioner;
 impl Preconditioner for IdentityPreconditioner {
     fn apply(&self, r: &[f64]) -> Vec<f64> {
         r.to_vec()
+    }
+
+    fn apply_into(&self, r: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(r);
     }
 }
 
@@ -99,6 +112,11 @@ impl JacobiPreconditioner {
 impl Preconditioner for JacobiPreconditioner {
     fn apply(&self, r: &[f64]) -> Vec<f64> {
         r.iter().zip(&self.inv_diag).map(|(x, d)| x * d).collect()
+    }
+
+    fn apply_into(&self, r: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(r.iter().zip(&self.inv_diag).map(|(x, d)| x * d));
     }
 }
 
@@ -222,6 +240,27 @@ mod tests {
         assert_eq!(m.apply(&[2.0, 4.0, 6.0]), vec![1.0, 2.0, 3.0]);
         let id = IdentityPreconditioner;
         assert_eq!(id.apply(&[1.0, 2.0]), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn apply_into_matches_apply_and_reuses_the_buffer() {
+        struct DefaultOnly;
+        impl Preconditioner for DefaultOnly {
+            fn apply(&self, r: &[f64]) -> Vec<f64> {
+                r.iter().map(|x| 2.0 * x).collect()
+            }
+        }
+        let a = poisson1d(3);
+        let r = [2.0, 4.0, 6.0];
+        // A stale, differently-sized buffer must be fully overwritten.
+        let mut buf = vec![9.0; 7];
+        JacobiPreconditioner::from_matrix(&a).apply_into(&r, &mut buf);
+        assert_eq!(buf, vec![1.0, 2.0, 3.0]);
+        IdentityPreconditioner.apply_into(&r, &mut buf);
+        assert_eq!(buf, vec![2.0, 4.0, 6.0]);
+        // The default implementation falls back to `apply`.
+        DefaultOnly.apply_into(&r, &mut buf);
+        assert_eq!(buf, vec![4.0, 8.0, 12.0]);
     }
 
     #[test]

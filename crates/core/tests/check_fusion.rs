@@ -19,6 +19,7 @@
 //! its launch-time world rank, so shrink-recovery renumbering cannot move
 //! the strike to a different physical process.
 
+use resilience::kernel::{run_cg, run_gmres, CgsOrtho, FusedCgStep, GmresFlavor, MgsOrtho};
 use resilience::prelude::*;
 use resilient_linalg::poisson2d;
 use resilient_runtime::{
@@ -273,6 +274,150 @@ fn fusion_hides_check_latency() {
             "fused skeptical CG must hide check latency: fused={cg_fused}, unfused={cg_unfused}"
         );
     }
+}
+
+// ---------------------------------------------------------------------------
+// ABFT Σw fusion (policy-supplied check pairs)
+// ---------------------------------------------------------------------------
+
+/// Run serial CGS-GMRES (a fused-reduction strategy) over `op` with an ABFT
+/// policy encoding `clean`; returns (outcome, detections, fused decisions,
+/// direct checks = checks − fused).
+fn abft_cgs_gmres(
+    op: &dyn Operator,
+    clean: &resilient_linalg::CsrMatrix,
+    fused: bool,
+) -> (SolveOutcome, usize, usize, usize) {
+    let b = vec![1.0; clean.nrows()];
+    let mut abft = AbftSpmvPolicy::for_matrix(clean, 1e-9);
+    if !fused {
+        abft = abft.unfused();
+    }
+    let mut space = SerialSpace::new(op);
+    let mut stack = PolicyStack::new(vec![&mut abft]);
+    let (out, _report) = run_gmres(
+        &mut space,
+        &b,
+        None,
+        &SolveOptions::default().with_tol(1e-8).with_max_iters(300),
+        &mut CgsOrtho::new(),
+        &mut stack,
+        None,
+        &GmresFlavor::serial(),
+    )
+    .unwrap();
+    let checks = abft.checks_run();
+    (
+        out.into_solve_outcome(),
+        abft.detections(),
+        abft.fused_decisions(),
+        checks - abft.fused_decisions(),
+    )
+}
+
+/// On a fused-reduction strategy the ABFT Σw check rides the strategy's own
+/// reduction (both checksum sides are policy-supplied pairs); the fused
+/// decision must catch an injected flip exactly like the direct path, and
+/// clean runs must agree decision-for-decision.
+#[test]
+fn abft_check_rides_the_fused_reduction_on_cgs_gmres() {
+    let a = poisson2d(8, 8);
+    // Clean run: every check decided from fused scalars, zero detections.
+    let (out, detections, fused_decisions, direct) = abft_cgs_gmres(&a, &a, true);
+    assert!(out.converged());
+    assert_eq!(detections, 0, "clean run must not false-positive");
+    assert!(fused_decisions > 0, "checks must ride the fused reduction");
+    assert_eq!(direct, 0, "no direct reductions on a fusing strategy");
+
+    // Direct (unfused) comparison run: same convergence, zero detections,
+    // all checks on the legacy path.
+    let (out_u, det_u, fused_u, direct_u) = abft_cgs_gmres(&a, &a, false);
+    assert!(out_u.converged());
+    assert_eq!(det_u, 0);
+    assert_eq!(fused_u, 0, "unfused() must decline the negotiation");
+    assert!(direct_u > 0);
+    assert_eq!(out.iterations, out_u.iterations);
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&out.x), bits(&out_u.x), "fused/unfused iterate parity");
+
+    // Faulty run: a high-exponent flip in one product must be detected
+    // through the fused scalars and survived.
+    let plan = InjectionPlan {
+        at_application: 3,
+        target: FaultTarget::Element(10),
+        bit: Some(61),
+    };
+    let faulty = FaultyOperator::new(&a, Some(plan), 7);
+    let (out_f, det_f, fused_f, _) = abft_cgs_gmres(&faulty, &a, true);
+    assert!(
+        faulty.injection().is_some(),
+        "fault must have been injected"
+    );
+    assert!(det_f >= 1, "fused ABFT must catch the flip");
+    assert!(fused_f > 0);
+    assert!(out_f.converged(), "solve must survive: {:?}", out_f.reason);
+}
+
+/// The same fusion over the CG family: serial `FusedCgStep` carries the
+/// ABFT pairs in its `p·Ap` reduction, detection triggers the kernel's
+/// recurrence rebuild, and the solve survives.
+#[test]
+fn abft_check_rides_the_fused_cg_reduction() {
+    let a = poisson2d(8, 8);
+    let b = vec![1.0; a.nrows()];
+    let plan = InjectionPlan {
+        at_application: 4,
+        target: FaultTarget::Element(5),
+        bit: Some(61),
+    };
+    let faulty = FaultyOperator::new(&a, Some(plan), 3);
+    let mut abft = AbftSpmvPolicy::for_matrix(&a, 1e-9);
+    let mut space = SerialSpace::new(&faulty);
+    let mut stack = PolicyStack::new(vec![&mut abft]);
+    let (out, report) = run_cg(
+        &mut space,
+        &b,
+        None,
+        &SolveOptions::default().with_tol(1e-9).with_max_iters(400),
+        &mut FusedCgStep::new(),
+        &mut stack,
+    )
+    .unwrap();
+    assert!(faulty.injection().is_some());
+    assert!(abft.detections() >= 1, "fused ABFT must catch the flip");
+    assert!(abft.fused_decisions() > 0);
+    assert!(report.policy_restarts >= 1, "detection must rebuild");
+    assert_eq!(out.reason, StopReason::Converged);
+}
+
+/// Immediate-dot strategies never negotiate: with MGS the policy must stay
+/// on the direct path even though fusion is enabled.
+#[test]
+fn abft_keeps_direct_path_on_immediate_dot_strategies() {
+    let a = poisson2d(7, 7);
+    let b = vec![1.0; a.nrows()];
+    let mut abft = AbftSpmvPolicy::for_matrix(&a, 1e-9);
+    let mut space = SerialSpace::new(&a);
+    let mut stack = PolicyStack::new(vec![&mut abft]);
+    let (out, _report) = run_gmres(
+        &mut space,
+        &b,
+        None,
+        &SolveOptions::default().with_tol(1e-8).with_max_iters(300),
+        &mut MgsOrtho::new(),
+        &mut stack,
+        None,
+        &GmresFlavor::serial(),
+    )
+    .unwrap();
+    assert_eq!(out.reason, StopReason::Converged);
+    assert_eq!(abft.detections(), 0);
+    assert_eq!(
+        abft.fused_decisions(),
+        0,
+        "MGS has no fused reduction to ride"
+    );
+    assert!(abft.checks_run() > 0, "direct checks must run");
 }
 
 /// Satellite regression: a planned SpMV fault targets the launch-time

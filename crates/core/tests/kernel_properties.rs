@@ -16,7 +16,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use resilience::kernel::{
     run_cg, run_gmres, FusedCgStep, GmresFlavor, MgsOrtho, NoopPolicy, PcgStep, PipelinedOrtho,
-    PolicyStack, SerialSpace,
+    PolicyStack, SerialPrecond, SerialSpace,
 };
 use resilience::prelude::*;
 use resilient_linalg::{diag_dominant_random, random_vector, spd_random, CsrMatrix};
@@ -207,14 +207,16 @@ proptest! {
         let m = IdentityPreconditioner;
         let bare = {
             let mut space = SerialSpace::new(&a);
-            run_cg(&mut space, &b, None, &opts, &mut PcgStep::new(&m), &mut PolicyStack::empty())
+            let mut sm = SerialPrecond(&m);
+            run_cg(&mut space, &b, None, &opts, &mut PcgStep::new(&mut sm), &mut PolicyStack::empty())
                 .unwrap().0
         };
         let hooked = {
             let mut space = SerialSpace::new(&a);
             let mut noop = NoopPolicy::new();
             let mut stack = PolicyStack::new(vec![&mut noop]);
-            run_cg(&mut space, &b, None, &opts, &mut PcgStep::new(&m), &mut stack)
+            let mut sm = SerialPrecond(&m);
+            run_cg(&mut space, &b, None, &opts, &mut PcgStep::new(&mut sm), &mut stack)
                 .unwrap().0
         };
         prop_assert_eq!(bare.iterations, hooked.iterations);

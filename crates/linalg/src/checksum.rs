@@ -156,6 +156,9 @@ pub struct ChecksummedCsr {
     pub matrix: CsrMatrix,
     /// Column-sum vector `eᵀA` (length = ncols).
     pub col_sums: Vec<f64>,
+    /// Frobenius norm of the matrix, cached at encode time (a constant of
+    /// the tolerance scale — recomputing it per check would cost O(nnz)).
+    fro: f64,
 }
 
 impl ChecksummedCsr {
@@ -168,7 +171,23 @@ impl ChecksummedCsr {
                 col_sums[j] += v;
             }
         }
-        Self { matrix, col_sums }
+        let fro = matrix.norm_fro();
+        Self {
+            matrix,
+            col_sums,
+            fro,
+        }
+    }
+
+    /// The tolerance scale every product verification compares against:
+    /// `‖A‖_F·max(|x|, 1)·n`, an O(n) evaluation thanks to the cached
+    /// Frobenius norm. Exposed so external verifiers that obtain the two
+    /// checksum sides elsewhere (e.g. fused into a solver reduction) apply
+    /// *exactly* the same threshold as [`ChecksummedCsr::verify_product`].
+    pub fn product_tolerance_scale(&self, x: &[f64]) -> f64 {
+        self.fro.max(1.0)
+            * x.iter().fold(1.0f64, |m, v| m.max(v.abs()))
+            * self.matrix.nrows() as f64
     }
 
     /// Compute `y = A·x` and verify the aggregate checksum
@@ -176,12 +195,7 @@ impl ChecksummedCsr {
     /// passed.
     pub fn spmv_checked(&self, x: &[f64], tol: f64) -> (Vec<f64>, bool) {
         let y = self.matrix.spmv(x);
-        let sum_y: f64 = y.iter().sum();
-        let expected: f64 = self.col_sums.iter().zip(x).map(|(a, b)| a * b).sum();
-        let scale = self.matrix.norm_fro().max(1.0)
-            * x.iter().fold(1.0f64, |m, v| m.max(v.abs()))
-            * self.matrix.nrows() as f64;
-        let ok = (sum_y - expected).abs() <= tol * scale;
+        let ok = self.verify_product(x, &y, tol);
         (y, ok)
     }
 
@@ -190,10 +204,7 @@ impl ChecksummedCsr {
     pub fn verify_product(&self, x: &[f64], y: &[f64], tol: f64) -> bool {
         let sum_y: f64 = y.iter().sum();
         let expected: f64 = self.col_sums.iter().zip(x).map(|(a, b)| a * b).sum();
-        let scale = self.matrix.norm_fro().max(1.0)
-            * x.iter().fold(1.0f64, |m, v| m.max(v.abs()))
-            * self.matrix.nrows() as f64;
-        (sum_y - expected).abs() <= tol * scale
+        (sum_y - expected).abs() <= tol * self.product_tolerance_scale(x)
     }
 }
 

@@ -212,6 +212,122 @@ impl DenseMatrix {
     }
 }
 
+/// A dense LU factorization with partial pivoting, `P·A = L·U`, stored
+/// packed (unit-diagonal `L` below, `U` on and above the diagonal).
+///
+/// Built once, then applied repeatedly through the allocation-free
+/// [`LuFactors::solve_into`] — the shape a block-Jacobi preconditioner
+/// needs: factor the local diagonal block at setup, back-substitute every
+/// iteration.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    lu: DenseMatrix,
+    /// Row swapped with row `k` at elimination step `k`.
+    pivots: Vec<usize>,
+    n: usize,
+}
+
+impl LuFactors {
+    /// Factor a square matrix. A pivot column whose remaining entries are
+    /// all exactly zero is replaced by a unit pivot (the corresponding
+    /// solution component passes through unscaled), so the factorization is
+    /// always defined — the same always-defined convention the Jacobi
+    /// preconditioner uses for zero diagonal entries.
+    ///
+    /// # Panics
+    /// Panics if `a` is not square.
+    pub fn factor(a: &DenseMatrix) -> Self {
+        assert_eq!(a.nrows(), a.ncols(), "LU requires a square matrix");
+        let n = a.nrows();
+        let mut lu = a.clone();
+        let mut pivots = vec![0usize; n];
+        for (k, pivot_slot) in pivots.iter_mut().enumerate() {
+            // Partial pivoting: largest |entry| in column k, rows k..n.
+            let mut piv = k;
+            let mut best = lu.get(k, k).abs();
+            for i in k + 1..n {
+                let v = lu.get(i, k).abs();
+                if v > best {
+                    best = v;
+                    piv = i;
+                }
+            }
+            *pivot_slot = piv;
+            if piv != k {
+                for j in 0..n {
+                    let tmp = lu.get(k, j);
+                    lu.set(k, j, lu.get(piv, j));
+                    lu.set(piv, j, tmp);
+                }
+            }
+            let mut pivot = lu.get(k, k);
+            if pivot == 0.0 {
+                // Structurally singular column: unit pivot, zero multipliers.
+                pivot = 1.0;
+                lu.set(k, k, pivot);
+            }
+            for i in k + 1..n {
+                let m = lu.get(i, k) / pivot;
+                lu.set(i, k, m);
+                if m != 0.0 {
+                    for j in k + 1..n {
+                        lu.add_to(i, j, -m * lu.get(k, j));
+                    }
+                }
+            }
+        }
+        Self { lu, pivots, n }
+    }
+
+    /// Order of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// FLOPs of one [`LuFactors::solve_into`] (two triangular solves,
+    /// `n²` multiply–adds).
+    pub fn flops_per_solve(&self) -> usize {
+        2 * self.n * self.n
+    }
+
+    /// Solve `A·x = b` in place of `x` (allocation-free): apply the row
+    /// permutation, forward-substitute `L`, back-substitute `U`.
+    ///
+    /// # Panics
+    /// Panics if `b` or `x` is shorter than the factored dimension.
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) {
+        let n = self.n;
+        assert!(b.len() >= n && x.len() >= n, "LU solve: length mismatch");
+        x[..n].copy_from_slice(&b[..n]);
+        for (k, &piv) in self.pivots.iter().enumerate() {
+            if piv != k {
+                x.swap(k, piv);
+            }
+        }
+        for i in 1..n {
+            let mut s = x[i];
+            for (j, &xj) in x[..i].iter().enumerate() {
+                s -= self.lu.get(i, j) * xj;
+            }
+            x[i] = s;
+        }
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for (j, &xj) in x[i + 1..n].iter().enumerate() {
+                s -= self.lu.get(i, i + 1 + j) * xj;
+            }
+            x[i] = s / self.lu.get(i, i);
+        }
+    }
+
+    /// Allocating convenience wrapper around [`LuFactors::solve_into`].
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = vec![0.0; self.n];
+        self.solve_into(b, &mut x);
+        x
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,6 +400,53 @@ mod tests {
         let r = DenseMatrix::from_rows(&[vec![2.0, 1.0], vec![0.0, 4.0]]);
         let x = r.solve_upper_triangular(&[4.0, 8.0], 2);
         assert_eq!(x, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn lu_solves_random_systems() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for n in [1usize, 2, 5, 17] {
+            // Diagonal boost keeps the random matrix comfortably nonsingular.
+            let mut a = DenseMatrix::random(n, n, &mut rng);
+            for i in 0..n {
+                a.add_to(i, i, n as f64);
+            }
+            let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin() + 1.0).collect();
+            let b = a.gemv(&x_true);
+            let lu = LuFactors::factor(&a);
+            assert_eq!(lu.dim(), n);
+            assert_eq!(lu.flops_per_solve(), 2 * n * n);
+            let x = lu.solve(&b);
+            for (got, want) in x.iter().zip(&x_true) {
+                assert!((got - want).abs() < 1e-10, "n={n}: {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn lu_solve_into_is_allocation_shaped() {
+        // solve_into writes into a caller buffer longer than n and leaves
+        // the tail untouched.
+        let a = DenseMatrix::from_rows(&[vec![4.0, 1.0], vec![2.0, 3.0]]);
+        let lu = LuFactors::factor(&a);
+        let mut x = vec![7.0; 4];
+        lu.solve_into(&[6.0, 8.0], &mut x);
+        assert!(
+            (a.gemv(&x[..2]).iter().zip([6.0, 8.0])).all(|(got, want)| (got - want).abs() < 1e-12)
+        );
+        assert_eq!(&x[2..], &[7.0, 7.0]);
+    }
+
+    #[test]
+    fn lu_zero_pivot_column_degrades_to_identity_row() {
+        // A zero matrix factors to unit pivots: solve returns b unchanged.
+        let a = DenseMatrix::zeros(3, 3);
+        let lu = LuFactors::factor(&a);
+        assert_eq!(lu.solve(&[1.0, -2.0, 3.0]), vec![1.0, -2.0, 3.0]);
+        // Empty blocks (a rank owning zero rows) are fine too.
+        let empty = LuFactors::factor(&DenseMatrix::zeros(0, 0));
+        assert_eq!(empty.dim(), 0);
+        empty.solve_into(&[], &mut []);
     }
 
     #[test]

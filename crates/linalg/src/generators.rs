@@ -89,6 +89,61 @@ pub fn poisson3d(nx: usize, ny: usize, nz: usize) -> CsrMatrix {
     coo.to_csr()
 }
 
+/// Anisotropic, jumpy-coefficient 2-D diffusion matrix on an `nx × ny` grid
+/// (5-point stencil, Dirichlet boundary): the discretization of
+/// `−∇·(κ(x)·diag(eps_x, 1)·∇u)` with strong coupling along grid lines
+/// (the `j` direction, contiguous under block-row distribution), weak
+/// coupling `eps_x` across lines, and the scalar coefficient `κ` jumping
+/// by `jump` between alternating horizontal bands of `band` lines.
+///
+/// Symmetric positive definite, but — unlike [`poisson2d`] — genuinely
+/// ill-conditioned for small `eps_x` / large `jump`: the model problem the
+/// preconditioning experiments use, where unpreconditioned Krylov iteration
+/// counts explode while the strong couplings and the coefficient jumps both
+/// live *inside* each rank's diagonal block, so block-Jacobi recovers them.
+///
+/// Edge coefficients use the geometric mean of the two adjacent cell
+/// coefficients (symmetric by construction); each row's diagonal is the sum
+/// of all four incident edge coefficients, boundary edges included, which
+/// keeps the matrix SPD.
+pub fn anisotropic2d(nx: usize, ny: usize, eps_x: f64, jump: f64, band: usize) -> CsrMatrix {
+    assert!(eps_x > 0.0 && jump > 0.0 && band > 0);
+    let n = nx * ny;
+    let idx = |i: usize, j: usize| i * ny + j;
+    // Cell coefficient: bands of `band` grid lines alternate κ = 1 / κ = jump.
+    let kappa = |i: usize| if (i / band) % 2 == 0 { 1.0 } else { jump };
+    let edge = |ka: f64, kb: f64| (ka * kb).sqrt();
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..nx {
+        for j in 0..ny {
+            let row = idx(i, j);
+            let k = kappa(i);
+            let mut diag = 0.0;
+            // i-direction (across lines): weak coupling eps_x.
+            let up = if i > 0 { edge(k, kappa(i - 1)) } else { k };
+            diag += eps_x * up;
+            if i > 0 {
+                coo.push(row, idx(i - 1, j), -eps_x * up);
+            }
+            let down = if i + 1 < nx { edge(k, kappa(i + 1)) } else { k };
+            diag += eps_x * down;
+            if i + 1 < nx {
+                coo.push(row, idx(i + 1, j), -eps_x * down);
+            }
+            // j-direction (along a line): full-strength coupling.
+            diag += 2.0 * k;
+            if j > 0 {
+                coo.push(row, idx(i, j - 1), -k);
+            }
+            if j + 1 < ny {
+                coo.push(row, idx(i, j + 1), -k);
+            }
+            coo.push(row, row, diag);
+        }
+    }
+    coo.to_csr()
+}
+
 /// Random sparse, strictly diagonally dominant (hence non-singular) matrix
 /// of order `n` with roughly `nnz_per_row` off-diagonal entries per row.
 /// Not symmetric — used to exercise GMRES on a non-SPD problem.
@@ -191,6 +246,26 @@ mod tests {
                 assert!(quad > 0.0, "xᵀAx must be positive for SPD A");
             }
         }
+    }
+
+    #[test]
+    fn anisotropic2d_is_symmetric_positive_definite() {
+        let a = anisotropic2d(8, 6, 0.05, 1000.0, 2);
+        assert_eq!(a.nrows(), 48);
+        assert_eq!(a.to_dense(), a.transpose().to_dense());
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        for _ in 0..5 {
+            let x = random_vector(a.nrows(), &mut rng);
+            if nrm2(&x) < 1e-12 {
+                continue;
+            }
+            assert!(dot(&x, &a.spmv(&x)) > 0.0, "xᵀAx must be positive");
+        }
+        // The coefficient jump must actually show up in the diagonal.
+        let d = a.diagonal();
+        let dmax = d.iter().fold(0.0f64, |m, v| m.max(*v));
+        let dmin = d.iter().fold(f64::INFINITY, |m, v| m.min(*v));
+        assert!(dmax / dmin > 100.0, "jump missing: {dmax} / {dmin}");
     }
 
     #[test]

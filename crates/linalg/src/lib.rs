@@ -17,9 +17,10 @@ pub mod sparse;
 pub mod vector;
 
 pub use checksum::{checksummed_gemm, ChecksumVerdict, ChecksummedCsr, ChecksummedMatrix};
-pub use dense::DenseMatrix;
+pub use dense::{DenseMatrix, LuFactors};
 pub use generators::{
-    diag_dominant_random, ones, poisson1d, poisson2d, poisson3d, random_vector, spd_random,
+    anisotropic2d, diag_dominant_random, ones, poisson1d, poisson2d, poisson3d, random_vector,
+    spd_random,
 };
 pub use givens::{Givens, HessenbergLsq};
 pub use sparse::{CooMatrix, CsrMatrix};
