@@ -1,0 +1,195 @@
+//! Experiment K1 — surviving process failure mid-Krylov (LFLR × kernel):
+//! mid-solve resume from persisted per-rank state vs. restart-from-zero,
+//! across failure times and rank counts.
+//!
+//! A rank is killed partway through a distributed block-Jacobi
+//! preconditioned solve running under the `kernel::lflr` protocol: the
+//! `IterateRollbackPolicy` persists the iterate through `Comm::persist` on
+//! a cadence, the replacement rank proposes the newest snapshot recoverable
+//! from the dead incarnation's inherited partition at the recovery
+//! rendezvous, survivors roll back in lockstep to the agreed step, and the
+//! solve re-enters `run_cg`/`run_gmres` warm-started from the snapshot with
+//! the block-Jacobi factors rebuilt locally (zero extra collectives). The
+//! baseline pays the same failure, rendezvous and replacement cost but
+//! restarts the solve from iteration zero with no persistence overhead —
+//! the columns show the trade: a small checkpoint-bandwidth tax on the
+//! clean path buys back the entire re-execution cost, growing with how
+//! late the failure strikes.
+//!
+//! One caveat on reproducibility, faithful to ULFM: clean-run columns are
+//! byte-deterministic, but a *survivor* observes a peer's death at its
+//! next health check, whose position in the survivor's virtual timeline
+//! depends on real thread scheduling — so the failure-mode columns can
+//! vary between a small set of values (one persist-cadence point of
+//! agreed-step wobble). The asserted claims hold across the whole set.
+//!
+//! Pass `--smoke` for a CI-sized run.
+
+use resilience::kernel::{lflr_pipelined_pcg, lflr_pipelined_pgmres, KrylovLflrConfig};
+use resilience::prelude::*;
+use resilient_bench::{fmt_g, fmt_ratio, Table};
+use resilient_linalg::poisson2d;
+use resilient_runtime::{
+    Comm, FailureConfig, FailurePolicy, LatencyModel, Result, Runtime, RuntimeConfig,
+};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Solver {
+    PipelinedPcg,
+    PipelinedPgmres,
+}
+
+impl Solver {
+    fn name(self) -> &'static str {
+        match self {
+            Solver::PipelinedPcg => "pipelined BJ-PCG",
+            Solver::PipelinedPgmres => "pipelined BJ-PGMRES",
+        }
+    }
+}
+
+fn base_config() -> RuntimeConfig {
+    let mut cfg = RuntimeConfig::fast().with_seed(23);
+    cfg.latency = LatencyModel {
+        alpha: 5.0e-6,
+        beta: 1e-9,
+        gamma: 1e-9,
+    };
+    cfg.checkpoint_seconds_per_byte = 2.0e-8;
+    cfg.replacement_cost = 0.05;
+    cfg
+}
+
+fn solve_opts() -> DistSolveOptions {
+    // The restart length is also the GMRES presets' persistence
+    // granularity: snapshots are labelled with the cycle-base step, the
+    // only iterate GMRES commits.
+    let mut o = DistSolveOptions::default()
+        .with_tol(1e-8)
+        .with_max_iters(2000)
+        .with_restart(10);
+    // Application work each iteration overlaps (a nonlinear residual, say):
+    // spreads the solve's virtual time across the iteration stream so
+    // "failure at 60% of the solve" is meaningful.
+    o.extra_work_per_iter = 5.0e-3;
+    o
+}
+
+/// One job: returns (makespan, failures seen, max resumed_from,
+/// snapshots on rank 0, all converged).
+fn run_once(
+    solver: Solver,
+    n: usize,
+    ranks: usize,
+    lflr: KrylovLflrConfig,
+    failures: Vec<(usize, f64)>,
+) -> (f64, usize, usize, usize, bool) {
+    let mut cfg = base_config();
+    if !failures.is_empty() {
+        cfg = cfg.with_failures(FailureConfig::scheduled(
+            FailurePolicy::ReplaceRank,
+            failures,
+        ));
+    }
+    let rt = Runtime::new(cfg);
+    let run = move |comm: &mut Comm| -> Result<(bool, usize, usize)> {
+        let a = poisson2d(n, n);
+        let b: Vec<f64> = (0..a.nrows()).map(|i| 1.0 + (i % 5) as f64).collect();
+        let (out, report) = match solver {
+            Solver::PipelinedPcg => lflr_pipelined_pcg(comm, &a, &b, &solve_opts(), &lflr)?,
+            Solver::PipelinedPgmres => lflr_pipelined_pgmres(comm, &a, &b, &solve_opts(), &lflr)?,
+        };
+        Ok((
+            out.converged,
+            report.resumed_from,
+            report.snapshots_persisted,
+        ))
+    };
+    let r = rt.run(ranks, run);
+    assert!(r.all_ok(), "{} failed: {:?}", solver.name(), r.errors);
+    let failures_seen = r.failures.len();
+    let makespan = r.job.makespan;
+    let results = r.unwrap_all();
+    let converged = results.iter().all(|(c, _, _)| *c);
+    let resumed = results.iter().map(|(_, s, _)| *s).max().unwrap_or(0);
+    let snapshots = results.first().map(|(_, _, s)| *s).unwrap_or(0);
+    (makespan, failures_seen, resumed, snapshots, converged)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n = if smoke { 32 } else { 40 };
+    let rank_counts: &[usize] = if smoke { &[2, 4] } else { &[2, 4, 8] };
+    let fractions: &[f64] = if smoke { &[0.6] } else { &[0.3, 0.6, 0.85] };
+    let lflr = KrylovLflrConfig::default().with_persist_every(3);
+
+    let mut table = Table::new(
+        "K1: rank killed mid-Krylov — mid-solve resume (persisted rollback) vs restart-from-zero (virtual s)",
+        &[
+            "solver",
+            "ranks",
+            "fail@",
+            "clean",
+            "resume",
+            "restart",
+            "resume ovh",
+            "restart ovh",
+            "resumed@it",
+            "snaps",
+        ],
+    );
+
+    for &solver in &[Solver::PipelinedPcg, Solver::PipelinedPgmres] {
+        for &ranks in rank_counts {
+            let (clean, _, _, _, ok) = run_once(solver, n, ranks, lflr, vec![]);
+            assert!(ok, "clean run must converge");
+            for &frac in fractions {
+                let fail = vec![(ranks / 2, frac * clean)];
+                let (resume, f1, resumed_at, snaps, ok1) =
+                    run_once(solver, n, ranks, lflr, fail.clone());
+                let (restart, f2, _, _, ok2) =
+                    run_once(solver, n, ranks, lflr.restart_from_zero(), fail);
+                assert_eq!(f1, 1, "the failure must be injected");
+                assert_eq!(f2, 1, "the failure must be injected");
+                assert!(ok1, "resumed solve must converge");
+                assert!(ok2, "restarted solve must converge");
+                // The headline claim, machine-checked where the iteration
+                // stream dominates the one-time factorization charge (at 2
+                // ranks the per-rank LU setup swallows early failure times,
+                // and a failure landing inside setup predates the first
+                // snapshot — restart-from-scratch is then the correct and
+                // honest outcome).
+                if ranks >= 4 && frac >= 0.5 {
+                    assert!(
+                        resumed_at > 0,
+                        "the resumed solve must re-enter mid-stream (failure at {frac} of clean)"
+                    );
+                    assert!(
+                        resume < restart,
+                        "mid-solve resume ({resume:.4}s) must beat restart-from-zero \
+                         ({restart:.4}s) at {ranks} ranks, failure at {frac}"
+                    );
+                }
+                table.row(vec![
+                    solver.name().to_string(),
+                    ranks.to_string(),
+                    format!("{:.0}%", frac * 100.0),
+                    fmt_g(clean),
+                    fmt_g(resume),
+                    fmt_g(restart),
+                    fmt_ratio(resume / clean),
+                    fmt_ratio(restart / clean),
+                    resumed_at.to_string(),
+                    snaps.to_string(),
+                ]);
+            }
+        }
+    }
+    table.emit("k1_krylov_lflr");
+
+    // The headline claim, machine-checked on every run: late failures are
+    // where mid-solve resume pays — compare the latest-failure rows.
+    println!(
+        "\nmid-solve resume re-enters at the persisted step; restart-from-zero re-executes the full prefix."
+    );
+}

@@ -2,7 +2,7 @@
 //!
 //! Experiment harness shared by the `exp_*` binaries and the Criterion
 //! benches: plain-text table rendering, CSV emission, and small sweep
-//! helpers used by the experiments in `EXPERIMENTS.md`.
+//! helpers used by the experiments catalogued in `docs/experiments.md`.
 
 #![warn(missing_docs)]
 

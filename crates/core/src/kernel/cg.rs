@@ -24,14 +24,20 @@
 //! [`SpacePreconditioner`]: super::precond::SpacePreconditioner
 //! [`IdentityPrecond`]: super::precond::IdentityPrecond
 //!
-//! Policies hook each SpMV and iteration end. CG has no Arnoldi cycle to
-//! discard, so on a detection whose response is `Restart` the kernel
-//! rebuilds the recurrence from the current iterate (the residual recompute
-//! plus whatever the strategy's `init` applies — one extra operator
-//! application for the blocking recurrences, two for the pipelined one; a
-//! corrupted-but-finite iterate is just a worse initial guess), capped like
-//! the GMRES policy-restart backstop; `Abort` stops the solve with
-//! `CorruptionDetected`; `RecordOnly` detections are counted and ignored.
+//! Policies hook each SpMV and iteration end, and every recurrence
+//! (re)build is reported as a cycle start (`on_cycle_start` with the
+//! consistent iterate — the persistence point of rollback policies). CG
+//! has no Arnoldi cycle to discard, so on a detection whose response is
+//! `Restart` the kernel rebuilds the recurrence from the current iterate
+//! (the residual recompute plus whatever the strategy's `init` applies —
+//! one extra operator application for the blocking recurrences, two for
+//! the pipelined one; a corrupted-but-finite iterate is just a worse
+//! initial guess), capped like the GMRES policy-restart backstop; `Abort`
+//! stops the solve with `CorruptionDetected`; `RecordOnly` detections are
+//! counted and ignored. A `Diverged` outcome consults the stack's
+//! `on_failure` hook before terminating — a rollback policy that restores
+//! a consistent iterate turns divergence into a recurrence rebuild, capped
+//! the same way as in GMRES.
 //!
 //! The distributed strategies carry policy check dots in the reductions
 //! they already post (wants-dots negotiation): [`FusedCgStep`] appends them
@@ -41,7 +47,10 @@
 
 use resilient_runtime::Result;
 
-use super::policy::{CheckVectors, DetectionResponse, PolicyStack, SolutionProbe, StackOutcome};
+use super::policy::{
+    CheckVectors, DetectionResponse, FailureEvent, PolicyStack, RecoveryAction, SolutionProbe,
+    StackOutcome,
+};
 use super::precond::SpacePreconditioner;
 use super::space::KrylovSpace;
 use super::{KernelOutcome, KernelReport, SolveProgress};
@@ -94,11 +103,21 @@ struct CgProbe<'a, S: KrylovSpace> {
     x: &'a S::Vector,
     /// ‖b‖ computed once at solve start (floored at `f64::MIN_POSITIVE`).
     bn: f64,
+    /// Iteration `x` corresponds to (CG commits every iteration).
+    iteration: usize,
 }
 
 impl<'a, S: KrylovSpace> SolutionProbe<S> for CgProbe<'a, S> {
     fn local_len(&self, space: &S) -> usize {
         space.local_len(self.x)
+    }
+
+    fn iterate(&self) -> &S::Vector {
+        self.x
+    }
+
+    fn iterate_step(&self) -> usize {
+        self.iteration
     }
 
     fn trial_true_relres(&mut self, space: &mut S) -> Result<f64> {
@@ -127,6 +146,10 @@ pub fn run_cg<S: KrylovSpace, T: CgStrategy<S>>(
     let ax = space.apply(&x)?;
     let r0 = space.residual(b, &ax);
     strategy.init(space, b, r0, &mut st)?;
+    // CG has no Arnoldi cycles; every recurrence (re)build is its cycle
+    // boundary, and the iterate is consistent here — the natural
+    // persistence point for rollback-style policies.
+    policies.on_cycle_start(space, &st.ctx(), &x)?;
 
     let mut reason = StopReason::MaxIterations;
     if st.relres <= opts.tol {
@@ -144,6 +167,26 @@ pub fn run_cg<S: KrylovSpace, T: CgStrategy<S>>(
                     break;
                 }
                 CgOutcome::Diverged => {
+                    // Consult the stack before terminating: a rollback
+                    // policy may restore a consistent iterate, in which
+                    // case the recurrence is rebuilt from it (the GMRES
+                    // `recover` path, capped the same way so a policy that
+                    // restores forever cannot livelock the kernel).
+                    if report.failure_recoveries < opts.max_iters.max(1)
+                        && policies.on_failure(&st.ctx(), FailureEvent::Divergence, &mut x)
+                            == RecoveryAction::Restart
+                    {
+                        report.failure_recoveries += 1;
+                        let ax = space.apply(&x)?;
+                        let r0 = space.residual(b, &ax);
+                        strategy.init(space, b, r0, &mut st)?;
+                        policies.on_cycle_start(space, &st.ctx(), &x)?;
+                        if st.relres <= opts.tol {
+                            reason = StopReason::Converged;
+                            break;
+                        }
+                        continue;
+                    }
                     reason = StopReason::Diverged;
                     break;
                 }
@@ -168,6 +211,7 @@ pub fn run_cg<S: KrylovSpace, T: CgStrategy<S>>(
                     let ax = space.apply(&x)?;
                     let r0 = space.residual(b, &ax);
                     strategy.init(space, b, r0, &mut st)?;
+                    policies.on_cycle_start(space, &st.ctx(), &x)?;
                     if st.relres <= opts.tol {
                         reason = StopReason::Converged;
                         break;
@@ -297,7 +341,12 @@ impl<'m, S: KrylovSpace> CgStrategy<S> for PcgStep<'m, S> {
         let beta = rz_new / self.rz;
         self.rz = rz_new;
         space.xpby(z, beta, p);
-        let mut probe = CgProbe::<S> { b, x, bn: st.bn };
+        let mut probe = CgProbe::<S> {
+            b,
+            x,
+            bn: st.bn,
+            iteration: st.iterations,
+        };
         match policies.on_iteration(space, &st.ctx(), &mut probe)? {
             StackOutcome::Act(resp) => return Ok(CgOutcome::Detected(resp)),
             StackOutcome::Recorded | StackOutcome::Continue => {}
@@ -478,7 +527,12 @@ impl<'m, S: KrylovSpace> CgStrategy<S> for FusedCgStep<'m, S> {
         st.iterations += 1;
         st.relres = self.rr.sqrt() / st.bn;
         st.history.push(st.relres);
-        let mut probe = CgProbe::<S> { b, x, bn: st.bn };
+        let mut probe = CgProbe::<S> {
+            b,
+            x,
+            bn: st.bn,
+            iteration: st.iterations,
+        };
         match policies.on_iteration(space, &st.ctx(), &mut probe)? {
             StackOutcome::Act(resp) => return Ok(CgOutcome::Detected(resp)),
             StackOutcome::Recorded | StackOutcome::Continue => {}
@@ -721,7 +775,12 @@ impl<'m, S: KrylovSpace> CgStrategy<S> for PipelinedCgStep<'m, S> {
         self.fresh = false;
         st.iterations += 1;
         st.history.push(st.relres);
-        let mut probe = CgProbe::<S> { b, x, bn: st.bn };
+        let mut probe = CgProbe::<S> {
+            b,
+            x,
+            bn: st.bn,
+            iteration: st.iterations,
+        };
         match policies.on_iteration(space, &st.ctx(), &mut probe)? {
             StackOutcome::Act(resp) => return Ok(CgOutcome::Detected(resp)),
             StackOutcome::Recorded | StackOutcome::Continue => {}

@@ -189,11 +189,22 @@ struct GmresProbe<'a, S: KrylovSpace> {
     /// ‖b‖ computed once at solve start (floored at `f64::MIN_POSITIVE`);
     /// reusing it saves an allreduce per probe in distributed spaces.
     bn: f64,
+    /// Iteration `x` corresponds to: the cycle base — GMRES only commits
+    /// the iterate at cycle boundaries.
+    base_iteration: usize,
 }
 
 impl<'a, S: KrylovSpace> SolutionProbe<S> for GmresProbe<'a, S> {
     fn local_len(&self, space: &S) -> usize {
         space.local_len(self.x)
+    }
+
+    fn iterate(&self) -> &S::Vector {
+        self.x
+    }
+
+    fn iterate_step(&self) -> usize {
+        self.base_iteration
     }
 
     fn trial_true_relres(&mut self, space: &mut S) -> Result<f64> {
@@ -244,6 +255,7 @@ fn finish_extended_step<S: KrylovSpace>(
         lsq: &cycle.lsq,
         correction_basis,
         bn: st.bn,
+        base_iteration: st.iterations - st.cycle_step,
     };
     match policies.on_iteration(space, &st.ctx(), &mut probe)? {
         StackOutcome::Act(r) => return Ok(StepOutcome::Detected(r)),

@@ -33,7 +33,11 @@
 //! presets over this kernel and preserve their public signatures, numerical
 //! behaviour and cost accounting. Combinations that were previously
 //! impossible — pipelined GMRES *with* SDC detection, FT-GMRES *with*
-//! ABFT-checked products — are presets too; see [`compose`].
+//! ABFT-checked products — are presets too; see [`compose`]. The [`lflr`]
+//! module layers the paper's local-failure-local-recovery protocol over
+//! the same axes: [`IterateRollbackPolicy`] persists per-rank snapshots
+//! through `Comm::persist`, and the [`lflr`] presets resume a distributed
+//! preconditioned solve mid-stream after a rank is killed and replaced.
 //!
 //! One intentional accounting deviation from the legacy silos: when a solve
 //! aborts on a detected corruption, the final verification residual is now
@@ -42,6 +46,7 @@
 pub mod cg;
 pub mod compose;
 pub mod gmres;
+pub mod lflr;
 pub mod policy;
 pub mod precond;
 pub mod skeptic;
@@ -56,10 +61,14 @@ pub use gmres::{
     run_gmres, CgsOrtho, FlexibleRight, GmresCycle, GmresFlavor, MgsOrtho, OrthoStrategy,
     PipelinedOrtho, StepOutcome,
 };
+pub use lflr::{
+    lflr_dist_pcg, lflr_dist_pgmres, lflr_pipelined_pcg, lflr_pipelined_pgmres, KrylovLflrConfig,
+    KrylovLflrReport,
+};
 pub use policy::{
-    CheckDot, CheckDotBatch, CheckOperand, CheckVectors, DetectionResponse, FailureEvent, IterCtx,
-    IterateRollbackPolicy, NoopPolicy, PolicyAction, PolicyOverhead, PolicyStack, RecoveryAction,
-    ResiliencePolicy, SolutionProbe, StackOutcome,
+    snapshot_key, CheckDot, CheckDotBatch, CheckOperand, CheckVectors, DetectionResponse,
+    FailureEvent, IterCtx, IterateRollbackPolicy, NoopPolicy, PolicyAction, PolicyOverhead,
+    PolicyStack, RecoveryAction, ResiliencePolicy, SolutionProbe, StackOutcome, SNAPSHOT_META_KEY,
 };
 pub use precond::{BlockJacobi, IdentityPrecond, RightPrecond, SerialPrecond, SpacePreconditioner};
 pub use skeptic::SkepticalPolicy;

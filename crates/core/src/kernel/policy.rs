@@ -15,6 +15,78 @@
 //! pipelined GMRES can run skeptical SDC checks, an FT-GMRES outer iteration
 //! can verify its SpMVs with ABFT checksums, and each policy's overhead is
 //! accounted individually.
+//!
+//! # Example
+//!
+//! A policy is one `impl` with only the hooks it cares about — here a
+//! minimal product-norm monitor stacked onto a serial GMRES solve:
+//!
+//! ```
+//! use resilience::kernel::{
+//!     run_gmres, GmresFlavor, IterCtx, KrylovSpace, MgsOrtho, PolicyAction, PolicyOverhead,
+//!     PolicyStack, ResiliencePolicy, SerialSpace,
+//! };
+//! use resilience::solvers::SolveOptions;
+//! use resilient_linalg::poisson2d;
+//! use resilient_runtime::Result;
+//!
+//! #[derive(Default)]
+//! struct NormMonitor {
+//!     overhead: PolicyOverhead,
+//! }
+//!
+//! impl<S: KrylovSpace> ResiliencePolicy<S> for NormMonitor {
+//!     fn name(&self) -> &'static str {
+//!         "norm-monitor"
+//!     }
+//!     fn after_spmv(
+//!         &mut self,
+//!         space: &mut S,
+//!         _ctx: &IterCtx,
+//!         _v: &S::Vector,
+//!         w: &S::Vector,
+//!     ) -> Result<PolicyAction> {
+//!         self.overhead.checks_run += 1;
+//!         // A real policy would test an invariant of `w` here (through
+//!         // *global* quantities, so every rank takes the same branch).
+//!         let _ = space.local_len(w);
+//!         Ok(PolicyAction::Continue)
+//!     }
+//!     fn overhead(&self) -> PolicyOverhead {
+//!         PolicyOverhead {
+//!             name: "norm-monitor",
+//!             ..self.overhead.clone()
+//!         }
+//!     }
+//! }
+//!
+//! let a = poisson2d(6, 6);
+//! let b = vec![1.0; a.nrows()];
+//! let mut monitor = NormMonitor::default();
+//! let mut stack = PolicyStack::new(vec![&mut monitor]);
+//! let mut space = SerialSpace::new(&a);
+//! let (out, report) = run_gmres(
+//!     &mut space,
+//!     &b,
+//!     None,
+//!     &SolveOptions::default().with_tol(1e-9),
+//!     &mut MgsOrtho::new(),
+//!     &mut stack,
+//!     None,
+//!     &GmresFlavor::serial(),
+//! )
+//! .unwrap();
+//! assert!(out.relative_residual <= 1e-9);
+//! let overhead = &report.policy_overhead[0];
+//! assert_eq!(overhead.name, "norm-monitor");
+//! assert!(overhead.checks_run > 0, "the hook observed every product");
+//! ```
+//!
+//! The building blocks below ([`NoopPolicy`], [`IterateRollbackPolicy`])
+//! follow the same shape; [`IterateRollbackPolicy::with_persistence`]
+//! additionally writes its snapshots through the space's persistent store,
+//! which is what the process-failure recovery presets in
+//! [`kernel::lflr`](crate::kernel::lflr) build on.
 
 use super::space::KrylovSpace;
 use resilient_runtime::Result;
@@ -87,6 +159,20 @@ pub trait SolutionProbe<S: KrylovSpace> {
     /// that shrinks and rebuilds the communicator changes local vector
     /// lengths mid-solve.
     fn local_len(&self, space: &S) -> usize;
+
+    /// The current *committed* iterate (GMRES: the cycle-base iterate, which
+    /// only changes at cycle boundaries; CG: the per-iteration iterate).
+    /// Free to read — this is what persisting policies snapshot on their
+    /// cadence.
+    fn iterate(&self) -> &S::Vector;
+
+    /// The kernel iteration [`iterate`](SolutionProbe::iterate) actually
+    /// corresponds to: the current iteration for CG, the cycle-base
+    /// iteration for GMRES (whose committed iterate embodies no mid-cycle
+    /// progress). Persisting policies must label snapshots with *this* step
+    /// — labelling a cycle-base iterate with the current step would make a
+    /// resumed solve claim progress it does not hold.
+    fn iterate_step(&self) -> usize;
 }
 
 // ---------------------------------------------------------------------------
@@ -198,6 +284,10 @@ pub struct PolicyOverhead {
     pub restarts: usize,
     /// FLOPs spent on this policy's checks.
     pub check_flops: usize,
+    /// Bytes this policy wrote to the persistent store (LFLR snapshots);
+    /// the writes' virtual time is charged at the runtime's checkpoint
+    /// bandwidth by the store itself.
+    pub persist_bytes: usize,
 }
 
 /// One composable resilience building block.
@@ -625,15 +715,67 @@ impl<S: KrylovSpace> ResiliencePolicy<S> for NoopPolicy {
     }
 }
 
+/// Key under which a persisting [`IterateRollbackPolicy`] records the step
+/// of its newest snapshot (read back by recovery drivers and replacement
+/// ranks when agreeing on a resume point).
+pub const SNAPSHOT_META_KEY: &str = "klflr/last";
+
+/// Persistent-store key of the iterate snapshot taken at global step `step`.
+pub fn snapshot_key(step: usize) -> String {
+    format!("klflr/x@{step}")
+}
+
+/// Persistence schedule of an [`IterateRollbackPolicy`] that writes its
+/// snapshots through the space's persistent store (process-failure
+/// recovery) instead of keeping them in rank memory only.
+#[derive(Debug, Clone)]
+struct PersistSchedule {
+    /// Snapshot cadence in kernel iterations.
+    every: usize,
+    /// Snapshots retained per rank (older ones are pruned with
+    /// [`KrylovSpace::unpersist`]); see
+    /// [`IterateRollbackPolicy::with_persistence`] for the window bound.
+    keep_last: usize,
+    /// Global step offset: a resumed solve counts kernel iterations from 0,
+    /// but snapshot keys are global so survivors and replacements agree.
+    base_step: usize,
+    /// Steps currently retained (the prune ring), oldest first.
+    persisted: Vec<usize>,
+    /// Newest persisted step (spans resumes: seeded with the resume point).
+    last_step: Option<usize>,
+    /// Total snapshots written by this instance (monotone; the prune ring
+    /// above shrinks and cannot count).
+    writes: usize,
+}
+
 /// An LFLR-flavoured rollback policy: keeps a copy of the iterate from the
 /// last cycle boundary and, when the kernel is about to terminate with a
 /// divergence, restores it and asks for a restart instead (bounded by
 /// `max_restores` so an unrecoverable solve still terminates).
+///
+/// With [`with_persistence`](IterateRollbackPolicy::with_persistence) the
+/// policy additionally writes its snapshots through the space's persistent
+/// store ([`KrylovSpace::persist_vector`], backed by `Comm::persist` in
+/// distributed spaces) on a configurable iteration cadence — the substrate
+/// of mid-solve process-failure recovery: a replacement rank inherits the
+/// dead incarnation's partition, proposes the newest step recoverable from
+/// it at the recovery rendezvous, and every rank restores the agreed
+/// snapshot as the warm start of the resumed solve (see
+/// [`kernel::lflr`](crate::kernel::lflr)).
 #[derive(Debug)]
 pub struct IterateRollbackPolicy<V> {
     saved: Option<V>,
+    /// Kernel iteration `saved` corresponds to. The kernel's iteration
+    /// counter keeps running across rollbacks, so after a restore the next
+    /// cycle start carries an iterate older than `ctx.iteration` claims —
+    /// this is the honest label for it.
+    saved_step: usize,
+    /// Set by a rollback: the next cycle start's iterate is the restored
+    /// one, not a freshly committed one.
+    rolled_back: bool,
     restores_left: usize,
     overhead: PolicyOverhead,
+    persist: Option<PersistSchedule>,
 }
 
 impl<V> IterateRollbackPolicy<V> {
@@ -641,17 +783,115 @@ impl<V> IterateRollbackPolicy<V> {
     pub fn new(max_restores: usize) -> Self {
         Self {
             saved: None,
+            saved_step: 0,
+            rolled_back: false,
             restores_left: max_restores,
             overhead: PolicyOverhead {
                 name: "iterate-rollback",
                 ..PolicyOverhead::default()
             },
+            persist: None,
         }
+    }
+
+    /// Also persist snapshots through the space's persistent store, at most
+    /// every `every` iterations, retaining the newest `keep_last` per rank.
+    ///
+    /// `keep_last` must cover the worst-case distance between the agreed
+    /// rollback step and a survivor's newest snapshot. Persist points are
+    /// deterministic in the iteration count, so all ranks write the *same*
+    /// step sequence; the collectives every strategy posts each iteration
+    /// bound the iteration skew between ranks to one, and a rank can die
+    /// after its peers persisted a boundary it never reached — together at
+    /// most **two** persist points of lag, so `keep_last = 3` is the proven
+    /// floor. The default presets use 4, keeping one extra point of slack
+    /// for schedules that interleave cycle-boundary and cadence snapshots
+    /// (pinned by `crates/core/tests/krylov_lflr.rs`).
+    pub fn with_persistence(mut self, every: usize, keep_last: usize) -> Self {
+        self.persist = Some(PersistSchedule {
+            every: every.max(1),
+            keep_last: keep_last.max(1),
+            base_step: 0,
+            persisted: Vec::new(),
+            last_step: None,
+            writes: 0,
+        });
+        self
+    }
+
+    /// Mark this instance as driving a solve resumed at global step `step`:
+    /// snapshot keys continue the pre-failure numbering, and the cadence
+    /// counts from the resume point.
+    pub fn resuming_from(mut self, step: usize) -> Self {
+        if let Some(p) = self.persist.as_mut() {
+            p.base_step = step;
+            p.last_step = Some(step);
+        }
+        self
     }
 
     /// Number of rollbacks performed.
     pub fn restores(&self) -> usize {
         self.overhead.restarts
+    }
+
+    /// Snapshots written to the persistent store by this instance (total
+    /// writes — pruning does not shrink this count).
+    pub fn snapshots_persisted(&self) -> usize {
+        self.persist.as_ref().map_or(0, |p| p.writes)
+    }
+
+    /// Newest step persisted (or inherited via
+    /// [`resuming_from`](IterateRollbackPolicy::resuming_from)), if any.
+    pub fn last_persisted(&self) -> Option<usize> {
+        self.persist.as_ref().and_then(|p| p.last_step)
+    }
+}
+
+impl<V> IterateRollbackPolicy<V> {
+    /// Persist `x` as the snapshot of global step `base + iteration` if the
+    /// cadence says one is due, pruning the oldest beyond the window.
+    /// `iteration` must be the iteration `x` actually corresponds to (see
+    /// [`SolutionProbe::iterate_step`]); `refresh` additionally re-writes a
+    /// snapshot whose step equals the newest (the resume-point rewrite at a
+    /// recurrence rebuild — never used on the per-iteration path, where the
+    /// committed step can legitimately sit still mid-cycle).
+    fn persist_if_due<S>(
+        &mut self,
+        space: &mut S,
+        iteration: usize,
+        x: &S::Vector,
+        refresh: bool,
+    ) -> Result<()>
+    where
+        S: KrylovSpace<Vector = V>,
+    {
+        let Some(p) = self.persist.as_mut() else {
+            return Ok(());
+        };
+        let step = p.base_step + iteration;
+        let due = match p.last_step {
+            None => true,
+            // `refresh` lets the resume-point snapshot (seeded into
+            // `last_step`) be re-written rather than skipped, keeping the
+            // store self-consistent with the restored iterate.
+            Some(last) => (refresh && step == last) || step >= last + p.every,
+        };
+        if !due {
+            return Ok(());
+        }
+        self.overhead.persist_bytes += space.persist_vector(&snapshot_key(step), x)?;
+        space.persist_scalar(SNAPSHOT_META_KEY, step as f64)?;
+        p.writes += 1;
+        if p.persisted.last() != Some(&step) {
+            p.persisted.push(step);
+        }
+        p.last_step = Some(step);
+        while p.persisted.len() > p.keep_last {
+            let old = p.persisted.remove(0);
+            space.unpersist(&snapshot_key(old));
+        }
+        Ok(())
     }
 }
 
@@ -659,9 +899,36 @@ impl<S: KrylovSpace> ResiliencePolicy<S> for IterateRollbackPolicy<S::Vector> {
     fn name(&self) -> &'static str {
         "iterate-rollback"
     }
-    fn on_cycle_start(&mut self, _space: &mut S, _ctx: &IterCtx, x: &S::Vector) -> Result<()> {
+    fn on_cycle_start(&mut self, space: &mut S, ctx: &IterCtx, x: &S::Vector) -> Result<()> {
+        // A cycle start right after a rollback carries the *restored*
+        // iterate: the kernel's iteration counter kept running, so
+        // `ctx.iteration` would over-label it — keep the step the saved
+        // copy was captured at. Otherwise the iterate corresponds exactly
+        // to the current iteration.
+        let step = if self.rolled_back {
+            self.rolled_back = false;
+            self.saved_step
+        } else {
+            ctx.iteration
+        };
         self.saved = Some(x.clone());
-        Ok(())
+        self.saved_step = step;
+        // Refresh so a resumed solve re-writes the snapshot it was
+        // warm-started from.
+        self.persist_if_due(space, step, x, true)
+    }
+    fn on_iteration(
+        &mut self,
+        space: &mut S,
+        _ctx: &IterCtx,
+        probe: &mut dyn SolutionProbe<S>,
+    ) -> Result<PolicyAction> {
+        // Label the snapshot with the step the committed iterate embodies —
+        // for GMRES that is the cycle base (mid-cycle progress is not
+        // snapshotable), for CG the current iteration — and only when it
+        // advanced a full cadence past the newest snapshot.
+        self.persist_if_due(space, probe.iterate_step(), probe.iterate(), false)?;
+        Ok(PolicyAction::Continue)
     }
     fn on_failure(
         &mut self,
@@ -674,6 +941,7 @@ impl<S: KrylovSpace> ResiliencePolicy<S> for IterateRollbackPolicy<S::Vector> {
                 *x = saved.clone();
                 self.restores_left -= 1;
                 self.overhead.restarts += 1;
+                self.rolled_back = true;
                 RecoveryAction::Restart
             }
             _ => RecoveryAction::Accept,

@@ -26,6 +26,38 @@
 //!   GMRES kernel's flexible right-preconditioning slot
 //!   ([`FlexibleRight`]), which is how `CgsOrtho`/`PipelinedOrtho` presets
 //!   are right-preconditioned.
+//!
+//! # Example
+//!
+//! Any `SpacePreconditioner` drops into any CG strategy — here the legacy
+//! Jacobi preconditioner, adapted to the serial space, drives the unified
+//! kernel directly (this is exactly what the `solvers::pcg` preset does):
+//!
+//! ```
+//! use resilience::kernel::{run_cg, PcgStep, PolicyStack, SerialPrecond, SerialSpace};
+//! use resilience::solvers::{JacobiPreconditioner, SolveOptions, StopReason};
+//! use resilient_linalg::poisson2d;
+//!
+//! let a = poisson2d(8, 8);
+//! let b = vec![1.0; a.nrows()];
+//! let jacobi = JacobiPreconditioner::from_matrix(&a);
+//! let mut m = SerialPrecond(&jacobi);
+//! let mut space = SerialSpace::new(&a);
+//! let (out, _report) = run_cg(
+//!     &mut space,
+//!     &b,
+//!     None,
+//!     &SolveOptions::default().with_tol(1e-8).with_max_iters(200),
+//!     &mut PcgStep::new(&mut m),
+//!     &mut PolicyStack::empty(),
+//! )
+//! .unwrap();
+//! assert_eq!(out.reason, StopReason::Converged);
+//! assert!(out.relative_residual <= 1e-8);
+//! ```
+//!
+//! Distributed solves swap in [`BlockJacobi`] the same way — see the
+//! `rbsp::dist_pcg` preset and `crates/core/tests/preconditioning.rs`.
 
 use resilient_linalg::LuFactors;
 use resilient_runtime::Result;

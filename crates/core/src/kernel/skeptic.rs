@@ -299,6 +299,7 @@ impl<S: KrylovSpace> ResiliencePolicy<S> for SkepticalPolicy {
             detections: self.report.detections,
             restarts: self.report.corrective_restarts,
             check_flops: self.report.check_flops,
+            persist_bytes: 0,
         }
     }
 

@@ -111,6 +111,32 @@ pub trait KrylovSpace {
     /// must stay rank-symmetric should prefer global norms.
     fn local_has_non_finite(&self, v: &Self::Vector) -> bool;
 
+    // -- persistent state (LFLR substrate) ---------------------------------
+
+    /// Persist the locally stored part of `v` in this rank's persistent
+    /// partition (the LFLR substrate — survives the rank's failure and is
+    /// inherited by its replacement). Returns the bytes written so the
+    /// caller can report checkpoint traffic. Spaces without a persistent
+    /// store (serial) are a no-op returning 0; distributed spaces write
+    /// through [`Comm::persist`](resilient_runtime::Comm::persist), which
+    /// charges virtual time at the configured checkpoint bandwidth.
+    fn persist_vector(&mut self, _key: &str, _v: &Self::Vector) -> Result<usize> {
+        Ok(0)
+    }
+
+    /// Persist one scalar (step counters, epoch metadata) in this rank's
+    /// persistent partition. No-op in spaces without a persistent store.
+    /// Restoring is a recovery-driver concern, done directly on the
+    /// communicator (see `kernel::lflr`), so the space only writes.
+    fn persist_scalar(&mut self, _key: &str, _value: f64) -> Result<()> {
+        Ok(())
+    }
+
+    /// Remove `key` from this rank's persistent partition (no-op if absent
+    /// or the space has no store) — how persisting policies prune their
+    /// snapshot history to a bounded window.
+    fn unpersist(&mut self, _key: &str) {}
+
     /// Charge solver arithmetic (accumulates in the solve's FLOP count and,
     /// in distributed spaces, advances virtual time).
     fn charge_flops(&mut self, flops: usize);
@@ -438,6 +464,25 @@ impl<'a, 'b> KrylovSpace for DistSpace<'a, 'b> {
 
     fn local_has_non_finite(&self, v: &Self::Vector) -> bool {
         resilient_linalg::vector::has_non_finite(&v.local)
+    }
+
+    fn persist_vector(&mut self, key: &str, v: &Self::Vector) -> Result<usize> {
+        let bytes = v.local_len() * std::mem::size_of::<f64>();
+        // `Comm::persist` charges the write at the configured checkpoint
+        // bandwidth; the store traffic (one pass over the local part) is
+        // additionally *attributed* to the check ledger, like every other
+        // resilience overhead, without advancing time a second time.
+        self.comm.persist(key, v.local.clone())?;
+        self.comm.record_check_flops(v.local_len());
+        Ok(bytes)
+    }
+
+    fn persist_scalar(&mut self, key: &str, value: f64) -> Result<()> {
+        self.comm.persist(key, value)
+    }
+
+    fn unpersist(&mut self, key: &str) {
+        self.comm.unpersist(key);
     }
 
     fn charge_flops(&mut self, flops: usize) {

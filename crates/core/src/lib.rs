@@ -54,10 +54,12 @@ pub mod srp;
 pub mod prelude {
     pub use crate::distributed::{DistCsr, DistVector};
     pub use crate::kernel::{
-        ft_gmres_abft, pipelined_skeptical_cg, pipelined_skeptical_gmres, pipelined_skeptical_pcg,
+        ft_gmres_abft, lflr_dist_pcg, lflr_dist_pgmres, lflr_pipelined_pcg, lflr_pipelined_pgmres,
+        pipelined_skeptical_cg, pipelined_skeptical_gmres, pipelined_skeptical_pcg,
         pipelined_skeptical_pgmres, AbftSpmvPolicy, BlockJacobi, DistSpace, IdentityPrecond,
-        KrylovSpace, NoopPolicy, PolicyOverhead, PolicyStack, ResiliencePolicy, RightPrecond,
-        SerialPrecond, SerialSpace, SkepticalPolicy, SpacePreconditioner, SpmvFault,
+        IterateRollbackPolicy, KrylovLflrConfig, KrylovLflrReport, KrylovSpace, NoopPolicy,
+        PolicyOverhead, PolicyStack, ResiliencePolicy, RightPrecond, SerialPrecond, SerialSpace,
+        SkepticalPolicy, SpacePreconditioner, SpmvFault,
     };
     pub use crate::lflr::{run_cpr, run_lflr, CprApp, CprConfig, CprReport, LflrApp, LflrReport};
     pub use crate::models::ProgrammingModel;
