@@ -1,0 +1,62 @@
+//! Backend-boundary bench: wall-clock cost of the collective path on the
+//! two `CommBackend` implementations.
+//!
+//! Pins the per-iteration overhead a solver pays for each backend: the
+//! virtual-time simulator's scheduler hop vs. the real-threads backend's
+//! rendezvous (barrier + fixed-order fold) with zero emulated latency. Both
+//! jobs run the identical 100-allreduce loop, so the measured time is pure
+//! backend overhead, comparable across the two columns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use resilient_runtime::{ReduceOp, Runtime, RuntimeConfig, ThreadConfig, ThreadRuntime};
+use std::time::Duration;
+
+const ALLREDUCES: usize = 100;
+
+fn simulator_allreduces(ranks: usize) -> f64 {
+    let rt = Runtime::new(RuntimeConfig::fast());
+    let r = rt.run(ranks, move |comm| {
+        let mut acc = 0.0;
+        for _ in 0..ALLREDUCES {
+            acc += comm.allreduce_scalar(ReduceOp::Sum, 1.0)?;
+        }
+        Ok(acc)
+    });
+    r.job.makespan
+}
+
+fn threaded_allreduces(ranks: usize) -> f64 {
+    let rt = ThreadRuntime::new(ThreadConfig::fast());
+    let r = rt.run(ranks, move |comm| {
+        let mut acc = 0.0;
+        for _ in 0..ALLREDUCES {
+            acc += comm.allreduce_scalar(ReduceOp::Sum, 1.0)?;
+        }
+        Ok(acc)
+    });
+    r.job.makespan
+}
+
+fn bench_backend_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend_overhead");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10);
+    for &ranks in &[2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("simulator_allreduce_x100", ranks),
+            &ranks,
+            |b, &r| b.iter(|| std::hint::black_box(simulator_allreduces(r))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("threaded_allreduce_x100", ranks),
+            &ranks,
+            |b, &r| b.iter(|| std::hint::black_box(threaded_allreduces(r))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backend_overhead);
+criterion_main!(benches);

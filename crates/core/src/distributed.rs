@@ -1,4 +1,5 @@
-//! Distributed vectors and sparse matrices over the simulated runtime.
+//! Distributed vectors and sparse matrices over any [`CommBackend`]
+//! (virtual-time simulator or real-threads).
 //!
 //! Data is distributed by contiguous row blocks
 //! ([`BlockDistribution`]). Vector dot
@@ -9,7 +10,7 @@
 use std::collections::BTreeMap;
 
 use resilient_linalg::{CooMatrix, CsrMatrix};
-use resilient_runtime::{BlockDistribution, Comm, Result};
+use resilient_runtime::{BlockDistribution, CommBackend, Result};
 
 /// Tag space used by the SpMV ghost exchange.
 const GHOST_TAG: i32 = 1 << 18;
@@ -26,7 +27,7 @@ pub struct DistVector {
 impl DistVector {
     /// Create this rank's part of a global vector of length `n`, filled by
     /// `f(global_index)`.
-    pub fn from_fn(comm: &Comm, n: usize, f: impl Fn(usize) -> f64) -> Self {
+    pub fn from_fn<C: CommBackend>(comm: &C, n: usize, f: impl Fn(usize) -> f64) -> Self {
         let dist = BlockDistribution::new(n, comm.size());
         let rank = comm.rank();
         let local = dist.range(rank).map(f).collect();
@@ -34,12 +35,12 @@ impl DistVector {
     }
 
     /// This rank's part of a globally replicated slice.
-    pub fn from_global(comm: &Comm, global: &[f64]) -> Self {
+    pub fn from_global<C: CommBackend>(comm: &C, global: &[f64]) -> Self {
         Self::from_fn(comm, global.len(), |i| global[i])
     }
 
     /// A distributed zero vector of global length `n`.
-    pub fn zeros(comm: &Comm, n: usize) -> Self {
+    pub fn zeros<C: CommBackend>(comm: &C, n: usize) -> Self {
         Self::from_fn(comm, n, |_| 0.0)
     }
 
@@ -66,7 +67,7 @@ impl DistVector {
     /// Global dot product (one allreduce). Charges the `2n` FLOPs of the
     /// local partial product; this is the *only* place vector reductions
     /// charge arithmetic.
-    pub fn dot(&self, comm: &mut Comm, other: &DistVector) -> Result<f64> {
+    pub fn dot<C: CommBackend>(&self, comm: &mut C, other: &DistVector) -> Result<f64> {
         comm.charge_flops(2 * self.local.len());
         comm.global_dot(self.local_dot(other))
     }
@@ -75,7 +76,7 @@ impl DistVector {
     /// dot it delegates to, so it must **not** charge again on top of
     /// [`DistVector::dot`] — pinned by the `norm_costs_exactly_one_dot`
     /// test.
-    pub fn norm(&self, comm: &mut Comm) -> Result<f64> {
+    pub fn norm<C: CommBackend>(&self, comm: &mut C) -> Result<f64> {
         Ok(self.dot(comm, self)?.max(0.0).sqrt())
     }
 
@@ -91,7 +92,7 @@ impl DistVector {
 
     /// Gather the full global vector on every rank (one allgather); intended
     /// for verification and small problems.
-    pub fn gather_global(&self, comm: &mut Comm) -> Result<Vec<f64>> {
+    pub fn gather_global<C: CommBackend>(&self, comm: &mut C) -> Result<Vec<f64>> {
         let parts = comm.allgather(&self.local)?;
         Ok(parts.into_iter().flatten().collect())
     }
@@ -123,7 +124,7 @@ impl DistCsr {
     /// Build the local part of `global` for this rank and negotiate the
     /// ghost-exchange pattern with the other ranks (collective call: every
     /// rank must call it with the same matrix).
-    pub fn from_global(comm: &mut Comm, global: &CsrMatrix) -> Result<Self> {
+    pub fn from_global<C: CommBackend>(comm: &mut C, global: &CsrMatrix) -> Result<Self> {
         let n = global.nrows();
         assert_eq!(global.ncols(), n, "distributed matrices must be square");
         let dist = BlockDistribution::new(n, comm.size());
@@ -263,7 +264,7 @@ impl DistCsr {
 
     /// Exchange ghost values of `x` with the neighbours and return the full
     /// local input vector (owned entries followed by ghosts).
-    fn assemble_input(&self, comm: &mut Comm, x: &DistVector) -> Result<Vec<f64>> {
+    fn assemble_input<C: CommBackend>(&self, comm: &mut C, x: &DistVector) -> Result<Vec<f64>> {
         let mut full = Vec::with_capacity(self.n_local + self.ghost_globals.len());
         full.extend_from_slice(&x.local);
         full.resize(self.n_local + self.ghost_globals.len(), 0.0);
@@ -285,7 +286,7 @@ impl DistCsr {
 
     /// Distributed SpMV: `y = A·x`, with ghost exchange and virtual-time
     /// accounting for the local arithmetic.
-    pub fn apply(&self, comm: &mut Comm, x: &DistVector) -> Result<DistVector> {
+    pub fn apply<C: CommBackend>(&self, comm: &mut C, x: &DistVector) -> Result<DistVector> {
         assert_eq!(
             x.global_len(),
             self.global_dim(),

@@ -27,7 +27,7 @@
 
 use resilient_linalg::checksum::ChecksummedCsr;
 use resilient_linalg::CsrMatrix;
-use resilient_runtime::{Comm, ReduceOp, Result};
+use resilient_runtime::{CommBackend, ReduceOp, Result};
 
 use super::cg::{run_cg, PipelinedCgStep};
 use super::gmres::{run_gmres, GmresFlavor, PipelinedOrtho};
@@ -253,8 +253,8 @@ pub struct ComposedDistReport {
 /// hiding *and* corruption detection in one solve, which the rbsp/skeptical
 /// silos could not combine. `fault` optionally injects a single-event upset
 /// into a chosen SpMV product (see [`SpmvFault`]).
-pub fn pipelined_skeptical_gmres(
-    comm: &mut Comm,
+pub fn pipelined_skeptical_gmres<C: CommBackend>(
+    comm: &mut C,
     a: &DistCsr,
     b: &DistVector,
     opts: &DistSolveOptions,
@@ -320,8 +320,8 @@ pub fn pipelined_skeptical_gmres(
 /// current iterate — CG's analogue of discarding a corrupted Arnoldi cycle.
 /// `fault` optionally injects a single-event upset into a chosen SpMV
 /// product (see [`SpmvFault`]).
-pub fn pipelined_skeptical_cg(
-    comm: &mut Comm,
+pub fn pipelined_skeptical_cg<C: CommBackend>(
+    comm: &mut C,
     a: &DistCsr,
     b: &DistVector,
     opts: &DistSolveOptions,
@@ -370,11 +370,11 @@ pub fn pipelined_skeptical_cg(
 /// [`BlockJacobi`](super::precond::BlockJacobi) this runs an
 /// ill-conditioned problem at production-like iteration counts while SDC
 /// detection still adds zero collectives.
-pub fn pipelined_skeptical_pcg<'a, 'b>(
-    comm: &'a mut Comm,
+pub fn pipelined_skeptical_pcg<'a, 'b, C: CommBackend>(
+    comm: &'a mut C,
     a: &'b DistCsr,
     b: &DistVector,
-    m: &mut dyn SpacePreconditioner<DistSpace<'a, 'b>>,
+    m: &mut dyn SpacePreconditioner<DistSpace<'a, 'b, C>>,
     opts: &DistSolveOptions,
     skeptic: &SkepticalConfig,
     fault: Option<SpmvFault>,
@@ -418,11 +418,11 @@ pub fn pipelined_skeptical_pcg<'a, 'b>(
 /// strategy's single reduction. The pairwise-orthogonality test is disabled
 /// exactly as in [`pipelined_skeptical_gmres`] (the p(1) basis is recovered
 /// by linearity and drifts legitimately).
-pub fn pipelined_skeptical_pgmres<'a, 'b>(
-    comm: &'a mut Comm,
+pub fn pipelined_skeptical_pgmres<'a, 'b, C: CommBackend>(
+    comm: &'a mut C,
     a: &'b DistCsr,
     b: &DistVector,
-    m: &mut dyn SpacePreconditioner<DistSpace<'a, 'b>>,
+    m: &mut dyn SpacePreconditioner<DistSpace<'a, 'b, C>>,
     opts: &DistSolveOptions,
     skeptic: &SkepticalConfig,
     fault: Option<SpmvFault>,

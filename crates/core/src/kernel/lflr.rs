@@ -46,7 +46,7 @@
 //! restart-from-zero baseline ([`KrylovLflrConfig::restart_from_zero`]).
 
 use resilient_linalg::CsrMatrix;
-use resilient_runtime::{Comm, ReduceOp, Result};
+use resilient_runtime::{CommBackend, ReduceOp, Result};
 
 use super::cg::{run_cg, FusedCgStep, PipelinedCgStep};
 use super::gmres::{run_gmres, CgsOrtho, GmresFlavor, PipelinedOrtho};
@@ -152,7 +152,7 @@ enum LflrKrylov {
 /// The newest step this rank holds a restorable snapshot for in its
 /// (possibly inherited) persistent partition — what it proposes at the
 /// recovery rendezvous.
-fn newest_snapshot_step(comm: &mut Comm) -> Option<usize> {
+fn newest_snapshot_step<C: CommBackend>(comm: &mut C) -> Option<usize> {
     let me = comm.rank();
     if !comm.persisted(me, SNAPSHOT_META_KEY) {
         return None;
@@ -169,8 +169,8 @@ fn newest_snapshot_step(comm: &mut Comm) -> Option<usize> {
 
 /// Restore this rank's local part of the snapshot at `step`, shaped like
 /// `like`; `None` when absent or from a different distribution.
-fn restore_local_snapshot(
-    comm: &mut Comm,
+fn restore_local_snapshot<C: CommBackend>(
+    comm: &mut C,
     step: usize,
     like: &DistVector,
 ) -> Result<Option<DistVector>> {
@@ -191,7 +191,11 @@ fn restore_local_snapshot(
 /// Join the post-failure rendezvous, proposing this rank's newest snapshot
 /// (or 0 — "I can only start over" — in restart-from-zero mode or with an
 /// empty store), and return the agreed resume step.
-fn rejoin(comm: &mut Comm, cfg: &KrylovLflrConfig, report: &mut KrylovLflrReport) -> Result<usize> {
+fn rejoin<C: CommBackend>(
+    comm: &mut C,
+    cfg: &KrylovLflrConfig,
+    report: &mut KrylovLflrReport,
+) -> Result<usize> {
     let proposal = if cfg.resume {
         newest_snapshot_step(comm).unwrap_or(0)
     } else {
@@ -213,8 +217,8 @@ fn rejoin(comm: &mut Comm, cfg: &KrylovLflrConfig, report: &mut KrylovLflrReport
 /// persisting rollback policy, warm-start from the agreed snapshot, and run
 /// the kernel.
 #[allow(clippy::too_many_arguments)]
-fn attempt(
-    comm: &mut Comm,
+fn attempt<C: CommBackend>(
+    comm: &mut C,
     a_global: &CsrMatrix,
     b_global: &[f64],
     opts: &DistSolveOptions,
@@ -314,8 +318,8 @@ fn attempt(
 /// Drive one distributed solve to completion under the LFLR protocol. Call
 /// from inside an SPMD closure launched with the
 /// [`ReplaceRank`](resilient_runtime::FailurePolicy::ReplaceRank) policy.
-fn run_krylov_lflr(
-    comm: &mut Comm,
+fn run_krylov_lflr<C: CommBackend>(
+    comm: &mut C,
     a_global: &CsrMatrix,
     b_global: &[f64],
     opts: &DistSolveOptions,
@@ -331,7 +335,7 @@ fn run_krylov_lflr(
     // recoveries guard keeps a replacement that already recovered — e.g. a
     // second solve on the same communicator — from posting a rendezvous
     // nobody else will join.)
-    if comm.is_replacement() && comm.snapshot_stats().recoveries == 0 {
+    if comm.is_replacement() && comm.recoveries() == 0 {
         resume = Some(rejoin(comm, cfg, &mut report)?);
     }
 
@@ -381,8 +385,8 @@ fn run_krylov_lflr(
 /// ([`rbsp::dist_pcg`](crate::rbsp::cg::dist_pcg)) that survives process
 /// failure mid-solve: per-rank snapshots through `Comm::persist`, agreed
 /// rollback, replacement-rank resume.
-pub fn lflr_dist_pcg(
-    comm: &mut Comm,
+pub fn lflr_dist_pcg<C: CommBackend>(
+    comm: &mut C,
     a_global: &CsrMatrix,
     b_global: &[f64],
     opts: &DistSolveOptions,
@@ -395,8 +399,8 @@ pub fn lflr_dist_pcg(
 /// ([`rbsp::pipelined_pcg`](crate::rbsp::cg::pipelined_pcg)) under the
 /// process-failure recovery protocol — latency hiding, preconditioning and
 /// mid-solve failure survival composed.
-pub fn lflr_pipelined_pcg(
-    comm: &mut Comm,
+pub fn lflr_pipelined_pcg<C: CommBackend>(
+    comm: &mut C,
     a_global: &CsrMatrix,
     b_global: &[f64],
     opts: &DistSolveOptions,
@@ -417,8 +421,8 @@ pub fn lflr_pipelined_pcg(
 /// process-failure recovery protocol: the restart iterate is the persisted
 /// unit of progress, so a resumed solve re-enters at the last snapshotted
 /// cycle boundary.
-pub fn lflr_dist_pgmres(
-    comm: &mut Comm,
+pub fn lflr_dist_pgmres<C: CommBackend>(
+    comm: &mut C,
     a_global: &CsrMatrix,
     b_global: &[f64],
     opts: &DistSolveOptions,
@@ -430,8 +434,8 @@ pub fn lflr_dist_pgmres(
 /// Right-preconditioned p(1)-pipelined GMRES
 /// ([`rbsp::pipelined_pgmres`](crate::rbsp::gmres::pipelined_pgmres)) under
 /// the process-failure recovery protocol.
-pub fn lflr_pipelined_pgmres(
-    comm: &mut Comm,
+pub fn lflr_pipelined_pgmres<C: CommBackend>(
+    comm: &mut C,
     a_global: &CsrMatrix,
     b_global: &[f64],
     opts: &DistSolveOptions,

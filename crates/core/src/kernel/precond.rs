@@ -198,14 +198,16 @@ impl BlockJacobi {
     }
 }
 
-impl<'a, 'b> SpacePreconditioner<DistSpace<'a, 'b>> for BlockJacobi {
+impl<'a, 'b, C: resilient_runtime::CommBackend> SpacePreconditioner<DistSpace<'a, 'b, C>>
+    for BlockJacobi
+{
     fn name(&self) -> &'static str {
         "block-jacobi"
     }
 
     fn apply_into(
         &mut self,
-        space: &mut DistSpace<'a, 'b>,
+        space: &mut DistSpace<'a, 'b, C>,
         r: &DistVector,
         z: &mut DistVector,
     ) -> Result<()> {
@@ -305,7 +307,8 @@ mod tests {
                 .zip(&r.local)
                 .map(|(a, b)| (a - b).abs())
                 .fold(0.0f64, f64::max);
-            Ok((err, elapsed, bj.flops_per_apply()))
+            let flops = SpacePreconditioner::<DistSpace<'_, '_>>::flops_per_apply(&bj);
+            Ok((err, elapsed, flops))
         });
         for (err, elapsed, flops) in result.unwrap_all() {
             assert!(err < 1e-9, "local block solve error {err}");

@@ -9,13 +9,15 @@
 //! * [`SerialSpace`] — plain `Vec<f64>` arithmetic over any
 //!   [`Operator`]; reductions complete immediately and FLOPs accumulate in a
 //!   local counter (the serial solvers' `flops` field).
-//! * [`DistSpace`] — [`DistVector`] arithmetic over a [`DistCsr`] and a
-//!   simulated [`Comm`]; reductions are real collectives, costs are charged
-//!   to virtual time, and an optional [`SpmvFault`] can corrupt a chosen
+//! * [`DistSpace`] — [`DistVector`] arithmetic over a [`DistCsr`] and any
+//!   [`CommBackend`] communicator (the virtual-time simulator's [`Comm`] by
+//!   default, or the real-threads [`ThreadComm`] via the [`ThreadSpace`]
+//!   alias); reductions are real collectives, costs are charged to the
+//!   backend's clock, and an optional [`SpmvFault`] can corrupt a chosen
 //!   product (the unified replacement for ad-hoc fault wrappers in
 //!   distributed experiments).
 
-use resilient_runtime::{Comm, ReduceOp, Result};
+use resilient_runtime::{Comm, CommBackend, ReduceOp, Result, Stored, ThreadComm};
 
 use crate::distributed::{DistCsr, DistVector};
 use crate::solvers::common::Operator;
@@ -23,12 +25,14 @@ use crate::solvers::common::Operator;
 use resilient_faults::bitflip::flip_bit_f64;
 
 /// A pending (possibly nonblocking) fused reduction: opaque to the kernel,
-/// interpreted by the space that produced it.
-pub enum PendingDots {
+/// interpreted by the space that produced it. Parameterised on the backend's
+/// pending-collective handle; the default is the simulator's, so existing
+/// concrete uses keep compiling unchanged.
+pub enum PendingDots<P = resilient_runtime::PendingCollective> {
     /// Already-reduced values (serial spaces reduce immediately).
     Ready(Vec<f64>),
     /// An in-flight collective (distributed spaces).
-    InFlight(resilient_runtime::PendingCollective),
+    InFlight(P),
 }
 
 /// The execution environment of one Krylov solve: bound operator, vector
@@ -40,6 +44,9 @@ pub enum PendingDots {
 pub trait KrylovSpace {
     /// The vector type iterated on.
     type Vector: Clone;
+    /// The backend's in-flight collective handle, carried inside
+    /// [`PendingDots`]. Serial spaces never produce one and use the default.
+    type Pending;
 
     /// Apply the bound operator: `y = A·x`, charging its cost.
     fn apply(&mut self, x: &Self::Vector) -> Result<Self::Vector>;
@@ -58,9 +65,12 @@ pub trait KrylovSpace {
     /// Post a fused reduction of arbitrary pairs that may complete later;
     /// operator applications issued before [`KrylovSpace::finish_dots`] are
     /// overlapped with it (the pipelined dot strategies' primitive).
-    fn start_dots(&mut self, pairs: &[(&Self::Vector, &Self::Vector)]) -> Result<PendingDots>;
+    fn start_dots(
+        &mut self,
+        pairs: &[(&Self::Vector, &Self::Vector)],
+    ) -> Result<PendingDots<Self::Pending>>;
     /// Complete a reduction started with [`KrylovSpace::start_dots`].
-    fn finish_dots(&mut self, pending: PendingDots) -> Result<Vec<f64>>;
+    fn finish_dots(&mut self, pending: PendingDots<Self::Pending>) -> Result<Vec<f64>>;
 
     /// Fused *blocking* reduction of arbitrary pairs whose trailing
     /// `check_tail` pairs are policy check dots (wants-dots fusion): the
@@ -83,7 +93,7 @@ pub trait KrylovSpace {
         &mut self,
         pairs: &[(&Self::Vector, &Self::Vector)],
         check_tail: usize,
-    ) -> Result<PendingDots> {
+    ) -> Result<PendingDots<Self::Pending>> {
         debug_assert!(check_tail <= pairs.len());
         if check_tail > 0 {
             if let Some((x, _)) = pairs.first() {
@@ -179,6 +189,7 @@ impl<'a, O: Operator + ?Sized> SerialSpace<'a, O> {
 
 impl<'a, O: Operator + ?Sized> KrylovSpace for SerialSpace<'a, O> {
     type Vector = Vec<f64>;
+    type Pending = resilient_runtime::PendingCollective;
 
     fn apply(&mut self, x: &Self::Vector) -> Result<Self::Vector> {
         self.flops += self.op.flops_per_apply();
@@ -208,7 +219,10 @@ impl<'a, O: Operator + ?Sized> KrylovSpace for SerialSpace<'a, O> {
             .collect())
     }
 
-    fn start_dots(&mut self, pairs: &[(&Self::Vector, &Self::Vector)]) -> Result<PendingDots> {
+    fn start_dots(
+        &mut self,
+        pairs: &[(&Self::Vector, &Self::Vector)],
+    ) -> Result<PendingDots<Self::Pending>> {
         Ok(PendingDots::Ready(
             pairs
                 .iter()
@@ -217,7 +231,7 @@ impl<'a, O: Operator + ?Sized> KrylovSpace for SerialSpace<'a, O> {
         ))
     }
 
-    fn finish_dots(&mut self, pending: PendingDots) -> Result<Vec<f64>> {
+    fn finish_dots(&mut self, pending: PendingDots<Self::Pending>) -> Result<Vec<f64>> {
         match pending {
             PendingDots::Ready(v) => Ok(v),
             PendingDots::InFlight(_) => unreachable!("serial spaces reduce immediately"),
@@ -297,9 +311,12 @@ pub struct SpmvFault {
 }
 
 /// A [`KrylovSpace`] over block-distributed vectors, a [`DistCsr`] operator
-/// and a simulated communicator.
-pub struct DistSpace<'a, 'b> {
-    comm: &'a mut Comm,
+/// and any [`CommBackend`] communicator. The default backend is the
+/// virtual-time simulator's [`Comm`], so existing concrete uses keep
+/// compiling (and behaving) exactly as before; instantiate with
+/// [`ThreadComm`] (alias [`ThreadSpace`]) for real-threads wall-clock runs.
+pub struct DistSpace<'a, 'b, C: CommBackend = Comm> {
+    comm: &'a mut C,
     a: &'b DistCsr,
     extra_work_per_iter: f64,
     operator_norm: f64,
@@ -308,9 +325,13 @@ pub struct DistSpace<'a, 'b> {
     injections: usize,
 }
 
-impl<'a, 'b> DistSpace<'a, 'b> {
+/// [`DistSpace`] over the real-threads backend: same kernels, wall-clock
+/// time, real `catch_unwind` rank death.
+pub type ThreadSpace<'a, 'b> = DistSpace<'a, 'b, ThreadComm>;
+
+impl<'a, 'b, C: CommBackend> DistSpace<'a, 'b, C> {
     /// Bind the communicator and operator.
-    pub fn new(comm: &'a mut Comm, a: &'b DistCsr) -> Self {
+    pub fn new(comm: &'a mut C, a: &'b DistCsr) -> Self {
         Self {
             comm,
             a,
@@ -352,13 +373,14 @@ impl<'a, 'b> DistSpace<'a, 'b> {
 
     /// The communicator (for preset code that needs collectives around the
     /// solve itself).
-    pub fn comm(&mut self) -> &mut Comm {
+    pub fn comm(&mut self) -> &mut C {
         self.comm
     }
 }
 
-impl<'a, 'b> KrylovSpace for DistSpace<'a, 'b> {
+impl<'a, 'b, C: CommBackend> KrylovSpace for DistSpace<'a, 'b, C> {
     type Vector = DistVector;
+    type Pending = C::Pending;
 
     fn apply(&mut self, x: &Self::Vector) -> Result<Self::Vector> {
         let mut y = self.a.apply(self.comm, x)?;
@@ -400,7 +422,10 @@ impl<'a, 'b> KrylovSpace for DistSpace<'a, 'b> {
         self.comm.allreduce(ReduceOp::Sum, &local)
     }
 
-    fn start_dots(&mut self, pairs: &[(&Self::Vector, &Self::Vector)]) -> Result<PendingDots> {
+    fn start_dots(
+        &mut self,
+        pairs: &[(&Self::Vector, &Self::Vector)],
+    ) -> Result<PendingDots<Self::Pending>> {
         let local: Vec<f64> = pairs.iter().map(|(x, y)| x.local_dot(y)).collect();
         if let Some((x, _)) = pairs.first() {
             self.comm.charge_flops(2 * x.local_len() * pairs.len());
@@ -410,10 +435,10 @@ impl<'a, 'b> KrylovSpace for DistSpace<'a, 'b> {
         ))
     }
 
-    fn finish_dots(&mut self, pending: PendingDots) -> Result<Vec<f64>> {
+    fn finish_dots(&mut self, pending: PendingDots<Self::Pending>) -> Result<Vec<f64>> {
         match pending {
             PendingDots::Ready(v) => Ok(v),
-            PendingDots::InFlight(p) => p.wait_vector(self.comm),
+            PendingDots::InFlight(p) => self.comm.wait_vector(p),
         }
     }
 
@@ -472,13 +497,13 @@ impl<'a, 'b> KrylovSpace for DistSpace<'a, 'b> {
         // bandwidth; the store traffic (one pass over the local part) is
         // additionally *attributed* to the check ledger, like every other
         // resilience overhead, without advancing time a second time.
-        self.comm.persist(key, v.local.clone())?;
+        self.comm.persist(key, Stored::F64(v.local.clone()))?;
         self.comm.record_check_flops(v.local_len());
         Ok(bytes)
     }
 
     fn persist_scalar(&mut self, key: &str, value: f64) -> Result<()> {
-        self.comm.persist(key, value)
+        self.comm.persist(key, Stored::Scalar(value))
     }
 
     fn unpersist(&mut self, key: &str) {

@@ -6,7 +6,7 @@
 //! iteration), the pipelined variant the [`PipelinedCgStep`] recurrence
 //! (one nonblocking fused all-reduce overlapped with the SpMV).
 
-use resilient_runtime::{Comm, Result};
+use resilient_runtime::{CommBackend, Result};
 
 use super::{DistSolveOptions, DistSolveOutcome};
 use crate::distributed::{DistCsr, DistVector};
@@ -20,8 +20,8 @@ use crate::kernel::{
 ///
 /// Preset: unified kernel × [`FusedCgStep`] × empty policy stack over a
 /// [`DistSpace`].
-pub fn dist_cg(
-    comm: &mut Comm,
+pub fn dist_cg<C: CommBackend>(
+    comm: &mut C,
     a: &DistCsr,
     b: &DistVector,
     opts: &DistSolveOptions,
@@ -45,8 +45,8 @@ pub fn dist_cg(
 ///
 /// Preset: unified kernel × [`PipelinedCgStep`] × empty policy stack over a
 /// [`DistSpace`].
-pub fn pipelined_cg(
-    comm: &mut Comm,
+pub fn pipelined_cg<C: CommBackend>(
+    comm: &mut C,
     a: &DistCsr,
     b: &DistVector,
     opts: &DistSolveOptions,
@@ -73,11 +73,11 @@ pub fn pipelined_cg(
 ///
 /// Preset: unified kernel × preconditioned [`FusedCgStep`] × empty policy
 /// stack over a [`DistSpace`].
-pub fn dist_pcg<'a, 'b>(
-    comm: &'a mut Comm,
+pub fn dist_pcg<'a, 'b, C: CommBackend>(
+    comm: &'a mut C,
     a: &'b DistCsr,
     b: &DistVector,
-    m: &mut dyn SpacePreconditioner<DistSpace<'a, 'b>>,
+    m: &mut dyn SpacePreconditioner<DistSpace<'a, 'b, C>>,
     opts: &DistSolveOptions,
 ) -> Result<DistSolveOutcome> {
     let mut space = DistSpace::new(comm, a).with_extra_work(opts.extra_work_per_iter);
@@ -101,11 +101,11 @@ pub fn dist_pcg<'a, 'b>(
 ///
 /// Preset: unified kernel × preconditioned [`PipelinedCgStep`] × empty
 /// policy stack over a [`DistSpace`].
-pub fn pipelined_pcg<'a, 'b>(
-    comm: &'a mut Comm,
+pub fn pipelined_pcg<'a, 'b, C: CommBackend>(
+    comm: &'a mut C,
     a: &'b DistCsr,
     b: &DistVector,
-    m: &mut dyn SpacePreconditioner<DistSpace<'a, 'b>>,
+    m: &mut dyn SpacePreconditioner<DistSpace<'a, 'b, C>>,
     opts: &DistSolveOptions,
 ) -> Result<DistSolveOutcome> {
     let mut space = DistSpace::new(comm, a).with_extra_work(opts.extra_work_per_iter);

@@ -7,7 +7,7 @@
 //! strategy (one nonblocking fused all-reduce overlapped with the
 //! speculative next product).
 
-use resilient_runtime::{Comm, Result};
+use resilient_runtime::{CommBackend, Result};
 
 use super::{DistSolveOptions, DistSolveOutcome};
 use crate::distributed::{DistCsr, DistVector};
@@ -23,8 +23,8 @@ use crate::kernel::{
 /// scaling.
 /// Preset: unified kernel × [`CgsOrtho`] × empty policy stack over a
 /// [`DistSpace`].
-pub fn dist_gmres(
-    comm: &mut Comm,
+pub fn dist_gmres<C: CommBackend>(
+    comm: &mut C,
     a: &DistCsr,
     b: &DistVector,
     opts: &DistSolveOptions,
@@ -53,8 +53,8 @@ pub fn dist_gmres(
 /// Preset: unified kernel × [`PipelinedOrtho`] × empty policy stack over a
 /// [`DistSpace`]. Composing the same strategy with an SDC-detection stack
 /// is [`crate::kernel::compose::pipelined_skeptical_gmres`].
-pub fn pipelined_gmres(
-    comm: &mut Comm,
+pub fn pipelined_gmres<C: CommBackend>(
+    comm: &mut C,
     a: &DistCsr,
     b: &DistVector,
     opts: &DistSolveOptions,
@@ -83,11 +83,11 @@ pub fn pipelined_gmres(
 ///
 /// Preset: unified kernel × [`CgsOrtho`] × [`RightPrecond`] × empty policy
 /// stack over a [`DistSpace`].
-pub fn dist_pgmres<'a, 'b>(
-    comm: &'a mut Comm,
+pub fn dist_pgmres<'a, 'b, C: CommBackend>(
+    comm: &'a mut C,
     a: &'b DistCsr,
     b: &DistVector,
-    m: &mut dyn SpacePreconditioner<DistSpace<'a, 'b>>,
+    m: &mut dyn SpacePreconditioner<DistSpace<'a, 'b, C>>,
     opts: &DistSolveOptions,
 ) -> Result<DistSolveOutcome> {
     let mut space = DistSpace::new(comm, a).with_extra_work(opts.extra_work_per_iter);
@@ -114,11 +114,11 @@ pub fn dist_pgmres<'a, 'b>(
 ///
 /// Preset: unified kernel × [`PipelinedOrtho`] × [`RightPrecond`] × empty
 /// policy stack over a [`DistSpace`].
-pub fn pipelined_pgmres<'a, 'b>(
-    comm: &'a mut Comm,
+pub fn pipelined_pgmres<'a, 'b, C: CommBackend>(
+    comm: &'a mut C,
     a: &'b DistCsr,
     b: &DistVector,
-    m: &mut dyn SpacePreconditioner<DistSpace<'a, 'b>>,
+    m: &mut dyn SpacePreconditioner<DistSpace<'a, 'b, C>>,
     opts: &DistSolveOptions,
 ) -> Result<DistSolveOutcome> {
     let mut space = DistSpace::new(comm, a).with_extra_work(opts.extra_work_per_iter);

@@ -12,7 +12,9 @@
 //!   cost model used by Selective Reliability Programming;
 //! * [`tmr`] — triple modular redundancy execution and voting;
 //! * [`detection`] — cheap "skeptical" validity checks (finiteness, norm
-//!   bounds, orthogonality, conservation, relative jumps).
+//!   bounds, orthogonality, conservation, relative jumps);
+//! * [`thread_death`] — deterministic rank-death plans for the real-threads
+//!   backend, delivered as `catch_unwind`-isolated panics.
 
 #![warn(missing_docs)]
 
@@ -21,6 +23,7 @@ pub mod detection;
 pub mod injector;
 pub mod memory;
 pub mod process;
+pub mod thread_death;
 pub mod tmr;
 
 pub use bitflip::{
@@ -33,4 +36,5 @@ pub use detection::{
 pub use injector::{CampaignStats, FaultInjector, InjectionRecord, SdcOutcome};
 pub use memory::{Reliability, ReliabilityModel, UnreliableRegion};
 pub use process::{FaultClock, FaultProcess};
+pub use thread_death::{KillTrigger, ThreadDeathPlan};
 pub use tmr::{tmr_execute, tmr_vote_vectors, TmrOutcome, TmrStats};

@@ -1,0 +1,186 @@
+//! Process-death injection for the real-threads backend.
+//!
+//! The virtual-time simulator injects fail-stop process failures from a
+//! schedule carried in its own configuration
+//! (`FailureConfig::scheduled`). The real-threads backend instead asks an
+//! externally supplied [`DeathInjector`] at every failure point; this module
+//! provides the standard implementation: a deterministic per-rank plan of
+//! *kill triggers*, each pinned to a world rank's original incarnation so a
+//! planned death can never replay on the replacement thread.
+//!
+//! Triggers come in two flavours:
+//!
+//! * [`KillTrigger::AtCollective`] — die when the rank has completed the
+//!   given number of collectives. This is the deterministic progress axis
+//!   (the threaded analogue of "die at virtual time *t*"): it hits the same
+//!   algorithmic location on every run regardless of host scheduling, which
+//!   is what kill-mid-solve tests and the backend-parity experiments need.
+//! * [`KillTrigger::AfterSeconds`] — die at the first failure point after
+//!   the given wall-clock time, for asynchronous-failure campaigns where
+//!   the strike location is *supposed* to be scheduling-dependent
+//!   (Heroux's faults-are-asynchronous premise).
+
+use std::sync::Mutex;
+
+use resilient_runtime::{DeathContext, DeathInjector};
+
+/// When a planned rank death fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KillTrigger {
+    /// Die once the rank's completed-collective count reaches this value
+    /// (deterministic across runs).
+    AtCollective(u64),
+    /// Die at the first failure point after this many wall-clock seconds
+    /// since job start (scheduling-dependent, deliberately).
+    AfterSeconds(f64),
+}
+
+/// A deterministic plan of rank deaths for a [`ThreadRuntime`] job: at most
+/// one kill per world rank, always pinned to incarnation 0.
+///
+/// [`ThreadRuntime`]: resilient_runtime::ThreadRuntime
+///
+/// ```
+/// use resilient_faults::thread_death::ThreadDeathPlan;
+/// use resilient_runtime::{ThreadConfig, ThreadRuntime};
+/// use std::sync::Arc;
+///
+/// // Rank 1 dies (for real — a panic unwind) at its 5th collective.
+/// let plan = Arc::new(ThreadDeathPlan::new().kill_at_collective(1, 5));
+/// let runtime = ThreadRuntime::new(ThreadConfig::fast()).with_injector(plan);
+/// ```
+#[derive(Debug, Default)]
+pub struct ThreadDeathPlan {
+    /// `(world_rank, trigger)` pairs; each fires at most once.
+    kills: Mutex<Vec<(usize, KillTrigger, bool)>>,
+}
+
+impl ThreadDeathPlan {
+    /// An empty plan (no rank ever dies).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Plan `rank`'s death at its `nth` completed collective.
+    pub fn kill_at_collective(self, rank: usize, nth: u64) -> Self {
+        self.kills.lock().expect("death plan lock poisoned").push((
+            rank,
+            KillTrigger::AtCollective(nth),
+            false,
+        ));
+        self
+    }
+
+    /// Plan `rank`'s death at the first failure point after `seconds` of
+    /// wall-clock time.
+    pub fn kill_after_seconds(self, rank: usize, seconds: f64) -> Self {
+        self.kills.lock().expect("death plan lock poisoned").push((
+            rank,
+            KillTrigger::AfterSeconds(seconds),
+            false,
+        ));
+        self
+    }
+
+    /// Number of kills that have fired so far.
+    pub fn fired(&self) -> usize {
+        self.kills
+            .lock()
+            .expect("death plan lock poisoned")
+            .iter()
+            .filter(|(_, _, fired)| *fired)
+            .count()
+    }
+}
+
+impl DeathInjector for ThreadDeathPlan {
+    fn should_die(&self, ctx: &DeathContext) -> bool {
+        // Only original incarnations die: a replacement inheriting the rank
+        // must never replay its predecessor's planned death.
+        if ctx.incarnation != 0 {
+            return false;
+        }
+        let mut kills = self.kills.lock().expect("death plan lock poisoned");
+        for (rank, trigger, fired) in kills.iter_mut() {
+            if *fired || *rank != ctx.world_rank {
+                continue;
+            }
+            let due = match *trigger {
+                KillTrigger::AtCollective(nth) => ctx.collectives >= nth,
+                KillTrigger::AfterSeconds(seconds) => ctx.elapsed >= seconds,
+            };
+            if due {
+                *fired = true;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resilient_runtime::{ReduceOp, ThreadConfig, ThreadRuntime};
+    use std::sync::Arc;
+
+    #[test]
+    fn kill_fires_once_and_only_on_incarnation_zero() {
+        let plan = Arc::new(ThreadDeathPlan::new().kill_at_collective(1, 2));
+        let rt = ThreadRuntime::new(ThreadConfig::fast()).with_injector(plan.clone() as _);
+        let r = rt.run(2, |comm| {
+            let mut step = if comm.is_replacement() {
+                comm.recovery_rendezvous(f64::INFINITY)?.agreed as usize
+            } else {
+                0
+            };
+            while step < 6 {
+                match comm.allreduce_scalar(ReduceOp::Sum, 1.0) {
+                    Ok(_) => step += 1,
+                    Err(e) if e.is_failure() => {
+                        step = comm.recovery_rendezvous(step as f64)?.agreed as usize;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            Ok(comm.incarnation())
+        });
+        assert!(r.all_ok(), "errors: {:?}", r.errors);
+        assert_eq!(r.failures.len(), 1, "the plan fires exactly once");
+        assert_eq!(plan.fired(), 1);
+        let incs = r.unwrap_all();
+        assert_eq!(incs[1], 1, "rank 1 finishes as its replacement");
+    }
+
+    #[test]
+    fn empty_plan_never_kills() {
+        let plan = Arc::new(ThreadDeathPlan::new());
+        let rt = ThreadRuntime::new(ThreadConfig::fast()).with_injector(plan);
+        let r = rt.run(3, |comm| comm.allreduce_scalar(ReduceOp::Sum, 1.0));
+        assert!(r.all_ok());
+        assert!(r.failures.is_empty());
+    }
+
+    #[test]
+    fn wall_clock_trigger_fires_after_deadline() {
+        let plan = Arc::new(ThreadDeathPlan::new().kill_after_seconds(0, 0.0));
+        let rt = ThreadRuntime::new(ThreadConfig::fast()).with_injector(plan.clone() as _);
+        let r = rt.run(2, |comm| {
+            let mut done = 0;
+            while done < 4 {
+                match comm.barrier() {
+                    Ok(()) => done += 1,
+                    Err(e) if e.is_failure() => {
+                        comm.recovery_rendezvous(0.0)?;
+                        done = 0;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            Ok(())
+        });
+        assert!(r.all_ok(), "errors: {:?}", r.errors);
+        assert_eq!(r.failures.len(), 1);
+        assert_eq!(r.failures[0].rank, 0);
+    }
+}

@@ -1,9 +1,10 @@
 //! Per-rank virtual clocks.
 //!
-//! The runtime does not measure wall-clock time for its performance model
-//! (wall time on an oversubscribed test machine tells us nothing about a
-//! million-rank machine). Instead every rank owns a [`VirtualClock`] whose
-//! value advances when the application *charges* work to it:
+//! The *simulator* backend does not measure wall-clock time for its
+//! performance model (wall time on an oversubscribed test machine tells us
+//! nothing about a million-rank machine). Instead every simulated rank owns
+//! a [`VirtualClock`] whose value advances when the application *charges*
+//! work to it:
 //!
 //! * explicit compute cost via [`VirtualClock::advance`], usually through
 //!   [`Comm::advance`](crate::comm::Comm::advance) or
@@ -15,7 +16,11 @@
 //!   [`NoiseModel`](crate::noise::NoiseModel).
 //!
 //! Virtual time is the quantity reported by all latency-tolerance and
-//! recovery experiments (E3, E4, E8, E9 in DESIGN.md).
+//! recovery experiments (E3, E4, E8, E9 in DESIGN.md). It is no longer the
+//! *only* timeline in the repo: the real-threads backend
+//! ([`threads`](crate::threads)) measures the same algorithms under
+//! wall-clock time, and `exp_backend_parity` checks the virtual-time
+//! predictions against those measurements.
 
 /// A monotonically non-decreasing virtual clock, measured in seconds.
 #[derive(Debug, Clone, Default)]

@@ -16,7 +16,7 @@ use crate::world::World;
 
 /// Upper bound on replacement incarnations per rank, as a safety net against
 /// pathological failure configurations.
-const MAX_INCARNATIONS: u64 = 256;
+pub(crate) const MAX_INCARNATIONS: u64 = 256;
 
 /// Result of running one SPMD job.
 #[derive(Debug)]
@@ -271,7 +271,7 @@ where
 /// Install a process-wide panic hook (once) that silences the expected
 /// [`RankKilled`] unwinds so injected failures do not spam stderr, while
 /// delegating every other panic to the previous hook.
-fn install_panic_hook() {
+pub(crate) fn install_panic_hook() {
     use std::sync::Once;
     static HOOK: Once = Once::new();
     HOOK.call_once(|| {

@@ -18,11 +18,21 @@
 //!   a bandwidth cost model and an abort-the-whole-job failure policy, so
 //!   CPR can be compared quantitatively against LFLR.
 //!
-//! Ranks are OS threads; messages travel over in-process mailboxes. The
-//! performance model is *virtual*: computation is charged explicitly
-//! ([`Comm::advance`], [`Comm::charge_flops`]) and communication costs come
-//! from the configured [`LatencyModel`], so results do not depend on the
-//! host machine's core count.
+//! Ranks are OS threads; messages travel over in-process mailboxes. Two
+//! execution backends implement the [`CommBackend`] surface the kernels
+//! consume:
+//!
+//! * The **virtual-time simulator** ([`Comm`] under [`Runtime`]) charges
+//!   computation explicitly ([`Comm::advance`], [`Comm::charge_flops`]) and
+//!   prices communication through the configured [`LatencyModel`], so
+//!   results do not depend on the host machine's core count.
+//! * The **real-threads backend** ([`ThreadComm`] under [`ThreadRuntime`],
+//!   module [`threads`]) runs the same SPMD code under wall-clock time with
+//!   real rendezvous collectives and panic-based fault injection, turning
+//!   the simulator's predicted speedups into measured ones.
+//!
+//! Both backends fold reductions in a deterministic ascending-rank order,
+//! so failure-free solver iterates are bit-identical across backends.
 //!
 //! ## Quick start
 //!
@@ -41,6 +51,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod clock;
 pub mod collective;
 pub mod comm;
@@ -57,10 +68,12 @@ pub mod noise;
 pub mod nonblocking;
 pub mod persistent;
 pub mod stats;
+pub mod threads;
 pub mod topology;
 pub mod ulfm;
 pub mod world;
 
+pub use backend::CommBackend;
 pub use clock::VirtualClock;
 pub use collective::ReduceOp;
 pub use comm::{Comm, RankKilled};
@@ -74,5 +87,8 @@ pub use message::{ANY_SOURCE, ANY_TAG};
 pub use nonblocking::{CollectiveOutcome, PendingCollective};
 pub use persistent::{PersistentStore, StableStore, Stored};
 pub use stats::{JobStats, RankStats};
+pub use threads::{
+    DeathContext, DeathInjector, ThreadComm, ThreadConfig, ThreadPending, ThreadRuntime,
+};
 pub use topology::{BlockDistribution, CartTopology};
 pub use ulfm::{RecoveryInfo, ShrinkInfo};
