@@ -1,0 +1,133 @@
+//! Device-op layer throughput: scalar vs SIMD backends on the level-1
+//! kernels and CSR vs SELL-C-σ on SpMV, across cache-resident and
+//! memory-bound sizes.
+//!
+//! The interesting comparisons: `dot` (SIMD wins while data fits in
+//! cache, converges to the memory wall at 1M), `dot_pairs` (the fused
+//! multi-dot reads shared vectors once, so it beats separate dots even
+//! when bandwidth-bound), and SELL vs CSR SpMV (gather-vectorisable
+//! layout on ragged rows).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use resilient_linalg::{poisson2d, scalar_ops, simd_ops, LocalOps, SellMatrix};
+use std::time::Duration;
+
+const SIZES: [usize; 3] = [1_000, 100_000, 1_000_000];
+
+fn vectors(n: usize) -> (Vec<f64>, Vec<f64>) {
+    let x: Vec<f64> = (0..n).map(|i| 1.0 + (i % 17) as f64 * 0.25).collect();
+    let y: Vec<f64> = (0..n).map(|i| 0.5 - (i % 13) as f64 * 0.125).collect();
+    (x, y)
+}
+
+fn backends() -> [(&'static str, &'static dyn LocalOps); 2] {
+    [("scalar", scalar_ops()), ("simd", simd_ops())]
+}
+
+fn bench_level1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_ops/dot");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(10);
+    for &n in &SIZES {
+        let (x, y) = vectors(n);
+        for (name, ops) in backends() {
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| std::hint::black_box(ops.dot(&x, &y)))
+            });
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("local_ops/dot_pairs3");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(10);
+    for &n in &SIZES {
+        // The pipelined-CG shape: three dots over two shared vectors.
+        let (r, u) = vectors(n);
+        let w = r.clone();
+        for (name, ops) in backends() {
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                let pairs: [(&[f64], &[f64]); 3] = [(&r, &u), (&w, &u), (&r, &r)];
+                let mut out = [0.0; 3];
+                b.iter(|| {
+                    ops.dot_pairs(&pairs, &mut out);
+                    std::hint::black_box(out[2])
+                })
+            });
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("local_ops/axpy");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(10);
+    for &n in &SIZES {
+        let (x, y) = vectors(n);
+        for (name, ops) in backends() {
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                let mut yb = y.clone();
+                b.iter(|| {
+                    ops.axpy(1.0000001, &x, &mut yb);
+                    std::hint::black_box(yb[n / 2])
+                })
+            });
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("local_ops/nrm2");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(10);
+    for &n in &SIZES {
+        let (x, _) = vectors(n);
+        for (name, ops) in backends() {
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| std::hint::black_box(ops.nrm2(&x)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_spmv_layouts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_ops/spmv");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(10);
+    for &side in &[32usize, 180, 512] {
+        let a = poisson2d(side, side);
+        let sell = SellMatrix::from_csr(&a, resilient_linalg::SELL_DEFAULT_SIGMA);
+        let n = a.nrows();
+        let x: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
+        let mut y = vec![0.0; n];
+        for (name, ops) in backends() {
+            let csr_id = format!("csr/{name}");
+            group.bench_with_input(BenchmarkId::new(&csr_id, n), &n, |b, _| {
+                b.iter(|| {
+                    ops.spmv_csr(&a, &x, &mut y);
+                    std::hint::black_box(y[n / 2])
+                })
+            });
+            let sell_id = format!("sell/{name}");
+            group.bench_with_input(BenchmarkId::new(&sell_id, n), &n, |b, _| {
+                b.iter(|| {
+                    ops.spmv_sell(&sell, &x, &mut y);
+                    std::hint::black_box(y[n / 2])
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_level1, bench_spmv_layouts);
+criterion_main!(benches);

@@ -1,0 +1,207 @@
+//! Experiment E10 — device-op kernel speed: measured wall-clock throughput
+//! of the node-local op layer, scalar vs SIMD backend and CSR vs SELL-C-σ
+//! SpMV layout, across cache-resident and memory-bound sizes.
+//!
+//! What the numbers mean (and why they are honest):
+//!
+//! * In cache (n ≈ 1e3–1e5) the AVX `dot` beats the scalar 4-accumulator
+//!   reference by ~1.5× on this class of hardware — that is the headline
+//!   this experiment asserts (in full mode, when AVX2 is present).
+//! * At n = 1e6 every level-1 op is memory-bandwidth-bound: one f64 FMA
+//!   per 16 bytes streamed leaves any instruction-level speedup under
+//!   ~1.1×. The experiment records that number rather than hiding it.
+//! * The *fused* `dot_pairs` is the legitimate memory-bound win: the
+//!   pipelined-CG triple (r·u, w·u, r·r) reads two long vectors once
+//!   instead of three times, so it beats three separate dots even at 1M.
+//!
+//! Output: a table plus one `JSON:` line per measurement (hand-rolled —
+//! the workspace carries no JSON dependency) for downstream scraping.
+//! Pass `--smoke` for a CI-sized run (small sizes, no speedup assertions —
+//! CI machines have unknown caches and neighbours).
+
+use resilient_bench::{fmt_g, fmt_ratio, Table};
+use resilient_linalg::{auto_ops, poisson2d, scalar_ops, simd_ops, LocalOps, SellMatrix};
+use std::time::Instant;
+
+/// Best-of-`reps` average seconds per call of `f` (called `inner` times
+/// per sample). Best-of filters scheduler noise without discarding the
+/// cost of real cache misses.
+fn time_best<F: FnMut()>(reps: usize, inner: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for _ in 0..inner {
+            f();
+        }
+        best = best.min(t0.elapsed().as_secs_f64() / inner as f64);
+    }
+    best
+}
+
+fn vectors(n: usize) -> (Vec<f64>, Vec<f64>) {
+    let x: Vec<f64> = (0..n).map(|i| 1.0 + (i % 17) as f64 * 0.25).collect();
+    let y: Vec<f64> = (0..n).map(|i| 0.5 - (i % 13) as f64 * 0.125).collect();
+    (x, y)
+}
+
+/// One `JSON:` line per measurement; keys are fixed, values numeric.
+fn emit_json(op: &str, n: usize, scalar_s: f64, simd_s: f64) {
+    println!(
+        "JSON: {{\"experiment\":\"kernel_speed\",\"op\":\"{}\",\"n\":{},\"scalar_s\":{:.3e},\"simd_s\":{:.3e},\"speedup\":{:.3}}}",
+        op,
+        n,
+        scalar_s,
+        simd_s,
+        scalar_s / simd_s
+    );
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sizes: &[usize] = if smoke {
+        &[1_000, 100_000]
+    } else {
+        &[1_000, 100_000, 1_000_000]
+    };
+    let (reps, inner_base) = if smoke {
+        (3, 2_000_000)
+    } else {
+        (7, 20_000_000)
+    };
+    let backends: [(&str, &'static dyn LocalOps); 2] =
+        [("scalar", scalar_ops()), ("simd", simd_ops())];
+    let simd_is_real = backends[1].1.name() != backends[0].1.name();
+    println!(
+        "backends: scalar={}, simd={}, auto selects {}{}",
+        backends[0].1.name(),
+        backends[1].1.name(),
+        auto_ops().name(),
+        if simd_is_real {
+            ""
+        } else {
+            " (no AVX2: SIMD backend fell back to scalar)"
+        }
+    );
+
+    let mut table = Table::new(
+        "E10: device-op kernel speed (measured wall clock, best-of-reps)",
+        &["op", "n", "scalar s/call", "simd s/call", "speedup"],
+    );
+
+    let mut dot_speedup_at_100k = 1.0;
+    let mut fused_ratio_largest = 1.0;
+    for &n in sizes {
+        let inner = (inner_base / n).max(1);
+        let (x, y) = vectors(n);
+
+        // dot: the in-cache SIMD headline and the memory-wall record.
+        let mut times = [0.0f64; 2];
+        for (i, (_, ops)) in backends.iter().enumerate() {
+            times[i] = time_best(reps, inner, || {
+                std::hint::black_box(ops.dot(&x, &y));
+            });
+        }
+        let speedup = times[0] / times[1];
+        if n == 100_000 {
+            dot_speedup_at_100k = speedup;
+        }
+        table.row(vec![
+            "dot".into(),
+            n.to_string(),
+            fmt_g(times[0]),
+            fmt_g(times[1]),
+            fmt_ratio(speedup),
+        ]);
+        emit_json("dot", n, times[0], times[1]);
+
+        // axpy: streaming write — memory-bound at every large size.
+        let mut yb = y.clone();
+        for (i, (_, ops)) in backends.iter().enumerate() {
+            times[i] = time_best(reps, inner, || {
+                ops.axpy(1.0000001, &x, &mut yb);
+                std::hint::black_box(yb[n / 2]);
+            });
+        }
+        table.row(vec![
+            "axpy".into(),
+            n.to_string(),
+            fmt_g(times[0]),
+            fmt_g(times[1]),
+            fmt_ratio(times[0] / times[1]),
+        ]);
+        emit_json("axpy", n, times[0], times[1]);
+
+        // Fused triple-dot vs three separate dots, on the SIMD backend:
+        // the pipelined-CG reduction shape. This is a bandwidth win, so it
+        // *grows* with n instead of dying at the memory wall.
+        let ops = backends[1].1;
+        let w = x.clone();
+        let pairs: [(&[f64], &[f64]); 3] = [(&x, &y), (&w, &y), (&x, &x)];
+        let mut out = [0.0f64; 3];
+        let fused = time_best(reps, inner, || {
+            ops.dot_pairs(&pairs, &mut out);
+            std::hint::black_box(out[2]);
+        });
+        let separate = time_best(reps, inner, || {
+            out[0] = ops.dot(&x, &y);
+            out[1] = ops.dot(&w, &y);
+            out[2] = ops.dot(&x, &x);
+            std::hint::black_box(out[2]);
+        });
+        fused_ratio_largest = separate / fused;
+        table.row(vec![
+            "dot_pairs3 (vs 3 dots)".into(),
+            n.to_string(),
+            fmt_g(separate),
+            fmt_g(fused),
+            fmt_ratio(separate / fused),
+        ]);
+        emit_json("dot_pairs3", n, separate, fused);
+    }
+
+    // SpMV: CSR (sequential by spec) vs SELL-C-σ (gather-vectorisable).
+    let spmv_sides: &[usize] = if smoke { &[32, 120] } else { &[32, 180, 512] };
+    for &side in spmv_sides {
+        let a = poisson2d(side, side);
+        let sell = SellMatrix::from_csr(&a, resilient_linalg::SELL_DEFAULT_SIGMA);
+        let n = a.nrows();
+        let x: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
+        let mut yv = vec![0.0; n];
+        let inner = (inner_base / (5 * n)).max(1);
+        let csr_scalar = time_best(reps, inner, || {
+            scalar_ops().spmv_csr(&a, &x, &mut yv);
+            std::hint::black_box(yv[n / 2]);
+        });
+        let sell_simd = time_best(reps, inner, || {
+            simd_ops().spmv_sell(&sell, &x, &mut yv);
+            std::hint::black_box(yv[n / 2]);
+        });
+        table.row(vec![
+            "spmv csr(scalar) vs sell(simd)".into(),
+            n.to_string(),
+            fmt_g(csr_scalar),
+            fmt_g(sell_simd),
+            fmt_ratio(csr_scalar / sell_simd),
+        ]);
+        emit_json("spmv_csr_vs_sell", n, csr_scalar, sell_simd);
+    }
+
+    table.emit("kernel_speed");
+
+    if !smoke && simd_is_real {
+        // The honest headline: SIMD pays in cache; the fused reduction
+        // pays everywhere. Thresholds leave slack under co-tenancy.
+        assert!(
+            dot_speedup_at_100k >= 1.25,
+            "in-cache SIMD dot speedup regressed: {dot_speedup_at_100k:.2}x < 1.25x"
+        );
+        assert!(
+            fused_ratio_largest >= 1.15,
+            "fused dot_pairs lost its bandwidth win: {fused_ratio_largest:.2}x < 1.15x"
+        );
+        println!(
+            "headline: simd dot {:.2}x in cache (n=1e5); fused triple-dot {:.2}x at n=1e6",
+            dot_speedup_at_100k, fused_ratio_largest
+        );
+    }
+}

@@ -9,7 +9,8 @@
 
 use std::collections::BTreeMap;
 
-use resilient_linalg::{CooMatrix, CsrMatrix};
+use resilient_linalg::ops::LocalOps;
+use resilient_linalg::{CooMatrix, CsrMatrix, SellMatrix};
 use resilient_runtime::{BlockDistribution, CommBackend, Result};
 
 /// Tag space used by the SpMV ghost exchange.
@@ -118,6 +119,10 @@ pub struct DistCsr {
     recv_lists: Vec<Vec<usize>>,
     /// FLOPs per local SpMV.
     flops: usize,
+    /// Optional SELL-C-σ copy of `local`; when present, SpMV runs through
+    /// it (bit-identical results, SIMD-friendly layout). The CSR original
+    /// is kept: block extraction, ABFT row access and norm bounds read it.
+    sell: Option<SellMatrix>,
 }
 
 impl DistCsr {
@@ -207,7 +212,25 @@ impl DistCsr {
             send_lists,
             recv_lists,
             flops,
+            sell: None,
         })
+    }
+
+    /// Store the local rows in SELL-C-σ as well and run every SpMV through
+    /// that layout. Purely local (each rank repacks its own rows); results
+    /// are bit-identical to the CSR path, so ranks need not agree on it.
+    pub fn with_sell_layout(mut self, sigma: usize) -> Self {
+        self.sell = Some(SellMatrix::from_csr(&self.local, sigma));
+        self
+    }
+
+    /// Name of the active local SpMV layout (`"csr"` or `"sell"`).
+    pub fn layout(&self) -> &'static str {
+        if self.sell.is_some() {
+            "sell"
+        } else {
+            "csr"
+        }
     }
 
     /// Number of locally owned rows.
@@ -262,10 +285,18 @@ impl DistCsr {
             .fold(0.0, f64::max)
     }
 
-    /// Exchange ghost values of `x` with the neighbours and return the full
-    /// local input vector (owned entries followed by ghosts).
-    fn assemble_input<C: CommBackend>(&self, comm: &mut C, x: &DistVector) -> Result<Vec<f64>> {
-        let mut full = Vec::with_capacity(self.n_local + self.ghost_globals.len());
+    /// Exchange ghost values of `x` with the neighbours and assemble the
+    /// full local input vector (owned entries followed by ghosts) into the
+    /// caller's buffer — the hot path reuses one buffer across iterations
+    /// instead of allocating per SpMV.
+    fn assemble_input_into<C: CommBackend>(
+        &self,
+        comm: &mut C,
+        x: &DistVector,
+        full: &mut Vec<f64>,
+    ) -> Result<()> {
+        full.clear();
+        full.reserve(self.n_local + self.ghost_globals.len());
         full.extend_from_slice(&x.local);
         full.resize(self.n_local + self.ghost_globals.len(), 0.0);
         // Post all sends, then receive (tagged by sender to match order).
@@ -281,20 +312,39 @@ impl DistCsr {
                 full[self.n_local + pos] = v;
             }
         }
-        Ok(full)
+        Ok(())
     }
 
     /// Distributed SpMV: `y = A·x`, with ghost exchange and virtual-time
     /// accounting for the local arithmetic.
     pub fn apply<C: CommBackend>(&self, comm: &mut C, x: &DistVector) -> Result<DistVector> {
+        self.apply_with(comm, x, resilient_linalg::scalar_ops(), &mut Vec::new())
+    }
+
+    /// [`DistCsr::apply`] through an explicit [`LocalOps`] backend and a
+    /// reusable ghost-assembly buffer (the allocation-free form
+    /// [`DistSpace`](crate::kernel::DistSpace) drives every iteration).
+    /// Runs the SELL-C-σ layout when one was built
+    /// ([`DistCsr::with_sell_layout`]); bit-identical either way.
+    pub fn apply_with<C: CommBackend>(
+        &self,
+        comm: &mut C,
+        x: &DistVector,
+        ops: &dyn LocalOps,
+        scratch: &mut Vec<f64>,
+    ) -> Result<DistVector> {
         assert_eq!(
             x.global_len(),
             self.global_dim(),
             "spmv: dimension mismatch"
         );
-        let full = self.assemble_input(comm, x)?;
+        self.assemble_input_into(comm, x, scratch)?;
         comm.charge_flops(self.flops);
-        let y_local = self.local.spmv(&full);
+        let mut y_local = vec![0.0; self.local.nrows()];
+        match &self.sell {
+            Some(sell) => ops.spmv_sell(sell, scratch, &mut y_local),
+            None => ops.spmv_csr(&self.local, scratch, &mut y_local),
+        }
         Ok(DistVector {
             local: y_local,
             dist: self.dist,

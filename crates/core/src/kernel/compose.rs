@@ -275,6 +275,7 @@ pub fn pipelined_skeptical_gmres<C: CommBackend>(
     // Globally agreed ∞-norm bound for the norm-bound check.
     let norm_a = comm.allreduce_scalar(ReduceOp::Max, a.local_norm_inf())?;
     let mut space = DistSpace::new(comm, a)
+        .with_ops(opts.local_ops())
         .with_extra_work(opts.extra_work_per_iter)
         .with_operator_norm(norm_a);
     if let Some(f) = fault {
@@ -331,6 +332,7 @@ pub fn pipelined_skeptical_cg<C: CommBackend>(
     // Globally agreed ∞-norm bound for the norm-bound check.
     let norm_a = comm.allreduce_scalar(ReduceOp::Max, a.local_norm_inf())?;
     let mut space = DistSpace::new(comm, a)
+        .with_ops(opts.local_ops())
         .with_extra_work(opts.extra_work_per_iter)
         .with_operator_norm(norm_a);
     if let Some(f) = fault {
@@ -385,6 +387,7 @@ pub fn pipelined_skeptical_pcg<'a, 'b, C: CommBackend>(
     // the invariant ‖A·u‖ ≤ c·‖A‖·‖u‖ is unchanged by preconditioning.
     let norm_a = comm.allreduce_scalar(ReduceOp::Max, a.local_norm_inf())?;
     let mut space = DistSpace::new(comm, a)
+        .with_ops(opts.local_ops())
         .with_extra_work(opts.extra_work_per_iter)
         .with_operator_norm(norm_a);
     if let Some(f) = fault {
@@ -431,6 +434,7 @@ pub fn pipelined_skeptical_pgmres<'a, 'b, C: CommBackend>(
     skeptic.orthogonality_tol = f64::INFINITY;
     let norm_a = comm.allreduce_scalar(ReduceOp::Max, a.local_norm_inf())?;
     let mut space = DistSpace::new(comm, a)
+        .with_ops(opts.local_ops())
         .with_extra_work(opts.extra_work_per_iter)
         .with_operator_norm(norm_a);
     if let Some(f) = fault {

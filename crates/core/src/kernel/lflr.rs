@@ -259,7 +259,9 @@ fn attempt<C: CommBackend>(
     let sopts = opts
         .solve_options()
         .with_max_iters(opts.max_iters.saturating_sub(resume_step).max(1));
-    let mut space = DistSpace::new(comm, &da).with_extra_work(opts.extra_work_per_iter);
+    let mut space = DistSpace::new(comm, &da)
+        .with_ops(opts.local_ops())
+        .with_extra_work(opts.extra_work_per_iter);
     let mut policies = PolicyStack::new(vec![&mut rollback]);
     let result = match solver {
         LflrKrylov::FusedPcg => run_cg(

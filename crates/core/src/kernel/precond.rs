@@ -225,7 +225,10 @@ impl<'a, 'b, C: resilient_runtime::CommBackend> SpacePreconditioner<DistSpace<'a
             self.lu.dim(),
             "block-Jacobi output buffer built for a different distribution"
         );
-        self.lu.solve_into(&r.local, &mut z.local);
+        // Through the space's device-op backend (bit-identical to
+        // `solve_into`; pinned by the linalg parity proptests), so the
+        // whole preconditioned hot path runs on one backend choice.
+        self.lu.solve_with(space.ops(), &r.local, &mut z.local);
         space.charge_flops(self.lu.flops_per_solve() + std::mem::take(&mut self.setup_flops));
         Ok(())
     }

@@ -17,6 +17,7 @@
 //!   product (the unified replacement for ad-hoc fault wrappers in
 //!   distributed experiments).
 
+use resilient_linalg::ops::{auto_ops, LocalOps};
 use resilient_runtime::{Comm, CommBackend, ReduceOp, Result, Stored, ThreadComm};
 
 use crate::distributed::{DistCsr, DistVector};
@@ -47,6 +48,16 @@ pub trait KrylovSpace {
     /// The backend's in-flight collective handle, carried inside
     /// [`PendingDots`]. Serial spaces never produce one and use the default.
     type Pending;
+
+    /// The node-local compute backend this space performs its arithmetic
+    /// with (see [`resilient_linalg::ops`]): preconditioners and other
+    /// kernel-side code that does local arithmetic *outside* the space's
+    /// own methods must route it through this handle so one backend choice
+    /// governs the whole solve. Defaults to the process-wide
+    /// [`auto_ops`] selection.
+    fn ops(&self) -> &'static dyn LocalOps {
+        auto_ops()
+    }
 
     /// Apply the bound operator: `y = A·x`, charging its cost.
     fn apply(&mut self, x: &Self::Vector) -> Result<Self::Vector>;
@@ -173,12 +184,26 @@ pub trait KrylovSpace {
 pub struct SerialSpace<'a, O: Operator + ?Sized> {
     op: &'a O,
     flops: usize,
+    ops: &'static dyn LocalOps,
 }
 
 impl<'a, O: Operator + ?Sized> SerialSpace<'a, O> {
-    /// Bind the operator.
+    /// Bind the operator (local arithmetic through the [`auto_ops`]
+    /// backend).
     pub fn new(op: &'a O) -> Self {
-        Self { op, flops: 0 }
+        Self {
+            op,
+            flops: 0,
+            ops: auto_ops(),
+        }
+    }
+
+    /// Select the node-local compute backend (scalar reference, SIMD, …);
+    /// every backend is bit-compatible, so this changes speed, never
+    /// results.
+    pub fn with_ops(mut self, ops: &'static dyn LocalOps) -> Self {
+        self.ops = ops;
+        self
     }
 
     /// The bound operator.
@@ -190,6 +215,10 @@ impl<'a, O: Operator + ?Sized> SerialSpace<'a, O> {
 impl<'a, O: Operator + ?Sized> KrylovSpace for SerialSpace<'a, O> {
     type Vector = Vec<f64>;
     type Pending = resilient_runtime::PendingCollective;
+
+    fn ops(&self) -> &'static dyn LocalOps {
+        self.ops
+    }
 
     fn apply(&mut self, x: &Self::Vector) -> Result<Self::Vector> {
         self.flops += self.op.flops_per_apply();
@@ -205,30 +234,34 @@ impl<'a, O: Operator + ?Sized> KrylovSpace for SerialSpace<'a, O> {
     }
 
     fn dot(&mut self, x: &Self::Vector, y: &Self::Vector) -> Result<f64> {
-        Ok(resilient_linalg::vector::dot(x, y))
+        Ok(self.ops.dot(x, y))
     }
 
     fn norm(&mut self, x: &Self::Vector) -> Result<f64> {
-        Ok(resilient_linalg::vector::nrm2(x))
+        Ok(self.ops.nrm2(x))
     }
 
     fn fused_dots(&mut self, left: &[&Self::Vector], right: &Self::Vector) -> Result<Vec<f64>> {
-        Ok(left
+        let pairs: Vec<(&[f64], &[f64])> = left
             .iter()
-            .map(|l| resilient_linalg::vector::dot(l, right))
-            .collect())
+            .map(|l| (l.as_slice(), right.as_slice()))
+            .collect();
+        let mut out = vec![0.0; pairs.len()];
+        self.ops.dot_pairs(&pairs, &mut out);
+        Ok(out)
     }
 
     fn start_dots(
         &mut self,
         pairs: &[(&Self::Vector, &Self::Vector)],
     ) -> Result<PendingDots<Self::Pending>> {
-        Ok(PendingDots::Ready(
-            pairs
-                .iter()
-                .map(|(x, y)| resilient_linalg::vector::dot(x, y))
-                .collect(),
-        ))
+        let slices: Vec<(&[f64], &[f64])> = pairs
+            .iter()
+            .map(|(x, y)| (x.as_slice(), y.as_slice()))
+            .collect();
+        let mut out = vec![0.0; slices.len()];
+        self.ops.dot_pairs(&slices, &mut out);
+        Ok(PendingDots::Ready(out))
     }
 
     fn finish_dots(&mut self, pending: PendingDots<Self::Pending>) -> Result<Vec<f64>> {
@@ -239,21 +272,22 @@ impl<'a, O: Operator + ?Sized> KrylovSpace for SerialSpace<'a, O> {
     }
 
     fn axpy(&mut self, alpha: f64, x: &Self::Vector, y: &mut Self::Vector) {
-        resilient_linalg::vector::axpy(alpha, x, y);
+        self.ops.axpy(alpha, x, y);
     }
 
     fn scale(&mut self, alpha: f64, x: &mut Self::Vector) {
-        resilient_linalg::vector::scale(alpha, x);
+        self.ops.scale(alpha, x);
     }
 
     fn xpby(&mut self, x: &Self::Vector, beta: f64, y: &mut Self::Vector) {
-        for (yi, xi) in y.iter_mut().zip(x) {
-            *yi = xi + beta * *yi;
-        }
+        self.ops.xpby(x, beta, y);
     }
 
     fn residual(&self, b: &Self::Vector, ax: &Self::Vector) -> Self::Vector {
-        b.iter().zip(ax).map(|(bi, axi)| bi - axi).collect()
+        // 1·b + (−1)·ax ≡ b − ax bitwise (1·v = v, (−1)·v = −v exactly).
+        let mut r = vec![0.0; b.len()];
+        self.ops.waxpby_into(1.0, b, -1.0, ax, &mut r);
+        r
     }
 
     fn zeros_like(&self, v: &Self::Vector) -> Self::Vector {
@@ -323,6 +357,10 @@ pub struct DistSpace<'a, 'b, C: CommBackend = Comm> {
     fault: Option<SpmvFault>,
     applications: usize,
     injections: usize,
+    ops: &'static dyn LocalOps,
+    /// Reused ghost-assembly buffer: the SpMV input (owned + ghost
+    /// entries) is assembled here instead of allocating per application.
+    spmv_scratch: Vec<f64>,
 }
 
 /// [`DistSpace`] over the real-threads backend: same kernels, wall-clock
@@ -330,7 +368,8 @@ pub struct DistSpace<'a, 'b, C: CommBackend = Comm> {
 pub type ThreadSpace<'a, 'b> = DistSpace<'a, 'b, ThreadComm>;
 
 impl<'a, 'b, C: CommBackend> DistSpace<'a, 'b, C> {
-    /// Bind the communicator and operator.
+    /// Bind the communicator and operator (local arithmetic through the
+    /// [`auto_ops`] backend).
     pub fn new(comm: &'a mut C, a: &'b DistCsr) -> Self {
         Self {
             comm,
@@ -340,7 +379,18 @@ impl<'a, 'b, C: CommBackend> DistSpace<'a, 'b, C> {
             fault: None,
             applications: 0,
             injections: 0,
+            ops: auto_ops(),
+            spmv_scratch: Vec::new(),
         }
+    }
+
+    /// Select the node-local compute backend (scalar reference, SIMD, …);
+    /// every backend is bit-compatible, so this changes speed, never
+    /// results — rank symmetry is unaffected even if ranks chose
+    /// different backends.
+    pub fn with_ops(mut self, ops: &'static dyn LocalOps) -> Self {
+        self.ops = ops;
+        self
     }
 
     /// Charge `seconds` of overlappable application work per iteration
@@ -382,8 +432,14 @@ impl<'a, 'b, C: CommBackend> KrylovSpace for DistSpace<'a, 'b, C> {
     type Vector = DistVector;
     type Pending = C::Pending;
 
+    fn ops(&self) -> &'static dyn LocalOps {
+        self.ops
+    }
+
     fn apply(&mut self, x: &Self::Vector) -> Result<Self::Vector> {
-        let mut y = self.a.apply(self.comm, x)?;
+        let mut y = self
+            .a
+            .apply_with(self.comm, x, self.ops, &mut self.spmv_scratch)?;
         let app = self.applications;
         self.applications += 1;
         if let Some(f) = self.fault {
@@ -409,15 +465,23 @@ impl<'a, 'b, C: CommBackend> KrylovSpace for DistSpace<'a, 'b, C> {
     }
 
     fn dot(&mut self, x: &Self::Vector, y: &Self::Vector) -> Result<f64> {
-        x.dot(self.comm, y)
+        // Same charge-then-reduce shape as `DistVector::dot`, with the
+        // local partial product under the selected backend.
+        self.comm.charge_flops(2 * x.local_len());
+        self.comm.global_dot(self.ops.dot(&x.local, &y.local))
     }
 
     fn norm(&mut self, x: &Self::Vector) -> Result<f64> {
-        x.norm(self.comm)
+        Ok(self.dot(x, x)?.max(0.0).sqrt())
     }
 
     fn fused_dots(&mut self, left: &[&Self::Vector], right: &Self::Vector) -> Result<Vec<f64>> {
-        let local: Vec<f64> = left.iter().map(|l| l.local_dot(right)).collect();
+        let pairs: Vec<(&[f64], &[f64])> = left
+            .iter()
+            .map(|l| (l.local.as_slice(), right.local.as_slice()))
+            .collect();
+        let mut local = vec![0.0; pairs.len()];
+        self.ops.dot_pairs(&pairs, &mut local);
         self.comm.charge_flops(2 * right.local_len() * left.len());
         self.comm.allreduce(ReduceOp::Sum, &local)
     }
@@ -426,7 +490,12 @@ impl<'a, 'b, C: CommBackend> KrylovSpace for DistSpace<'a, 'b, C> {
         &mut self,
         pairs: &[(&Self::Vector, &Self::Vector)],
     ) -> Result<PendingDots<Self::Pending>> {
-        let local: Vec<f64> = pairs.iter().map(|(x, y)| x.local_dot(y)).collect();
+        let slices: Vec<(&[f64], &[f64])> = pairs
+            .iter()
+            .map(|(x, y)| (x.local.as_slice(), y.local.as_slice()))
+            .collect();
+        let mut local = vec![0.0; slices.len()];
+        self.ops.dot_pairs(&slices, &mut local);
         if let Some((x, _)) = pairs.first() {
             self.comm.charge_flops(2 * x.local_len() * pairs.len());
         }
@@ -448,7 +517,12 @@ impl<'a, 'b, C: CommBackend> KrylovSpace for DistSpace<'a, 'b, C> {
         check_tail: usize,
     ) -> Result<Vec<f64>> {
         debug_assert!(check_tail <= pairs.len());
-        let local: Vec<f64> = pairs.iter().map(|(x, y)| x.local_dot(y)).collect();
+        let slices: Vec<(&[f64], &[f64])> = pairs
+            .iter()
+            .map(|(x, y)| (x.local.as_slice(), y.local.as_slice()))
+            .collect();
+        let mut local = vec![0.0; slices.len()];
+        self.ops.dot_pairs(&slices, &mut local);
         if let Some((x, _)) = pairs.first() {
             let n = x.local_len();
             self.comm.charge_flops(2 * n * pairs.len());
@@ -458,22 +532,20 @@ impl<'a, 'b, C: CommBackend> KrylovSpace for DistSpace<'a, 'b, C> {
     }
 
     fn axpy(&mut self, alpha: f64, x: &Self::Vector, y: &mut Self::Vector) {
-        y.axpy(alpha, x);
+        self.ops.axpy(alpha, &x.local, &mut y.local);
     }
 
     fn scale(&mut self, alpha: f64, x: &mut Self::Vector) {
-        x.scale(alpha);
+        self.ops.scale(alpha, &mut x.local);
     }
 
     fn xpby(&mut self, x: &Self::Vector, beta: f64, y: &mut Self::Vector) {
-        for (yi, xi) in y.local.iter_mut().zip(&x.local) {
-            *yi = xi + beta * *yi;
-        }
+        self.ops.xpby(&x.local, beta, &mut y.local);
     }
 
     fn residual(&self, b: &Self::Vector, ax: &Self::Vector) -> Self::Vector {
         let mut r = b.clone();
-        r.axpy(-1.0, ax);
+        self.ops.axpy(-1.0, &ax.local, &mut r.local);
         r
     }
 

@@ -26,7 +26,9 @@ pub fn dist_cg<C: CommBackend>(
     b: &DistVector,
     opts: &DistSolveOptions,
 ) -> Result<DistSolveOutcome> {
-    let mut space = DistSpace::new(comm, a).with_extra_work(opts.extra_work_per_iter);
+    let mut space = DistSpace::new(comm, a)
+        .with_ops(opts.local_ops())
+        .with_extra_work(opts.extra_work_per_iter);
     let (outcome, _report) = run_cg(
         &mut space,
         b,
@@ -51,7 +53,9 @@ pub fn pipelined_cg<C: CommBackend>(
     b: &DistVector,
     opts: &DistSolveOptions,
 ) -> Result<DistSolveOutcome> {
-    let mut space = DistSpace::new(comm, a).with_extra_work(opts.extra_work_per_iter);
+    let mut space = DistSpace::new(comm, a)
+        .with_ops(opts.local_ops())
+        .with_extra_work(opts.extra_work_per_iter);
     let (outcome, _report) = run_cg(
         &mut space,
         b,
@@ -80,7 +84,9 @@ pub fn dist_pcg<'a, 'b, C: CommBackend>(
     m: &mut dyn SpacePreconditioner<DistSpace<'a, 'b, C>>,
     opts: &DistSolveOptions,
 ) -> Result<DistSolveOutcome> {
-    let mut space = DistSpace::new(comm, a).with_extra_work(opts.extra_work_per_iter);
+    let mut space = DistSpace::new(comm, a)
+        .with_ops(opts.local_ops())
+        .with_extra_work(opts.extra_work_per_iter);
     let (outcome, _report) = run_cg(
         &mut space,
         b,
@@ -108,7 +114,9 @@ pub fn pipelined_pcg<'a, 'b, C: CommBackend>(
     m: &mut dyn SpacePreconditioner<DistSpace<'a, 'b, C>>,
     opts: &DistSolveOptions,
 ) -> Result<DistSolveOutcome> {
-    let mut space = DistSpace::new(comm, a).with_extra_work(opts.extra_work_per_iter);
+    let mut space = DistSpace::new(comm, a)
+        .with_ops(opts.local_ops())
+        .with_extra_work(opts.extra_work_per_iter);
     let (outcome, _report) = run_cg(
         &mut space,
         b,

@@ -29,7 +29,9 @@ pub fn dist_gmres<C: CommBackend>(
     b: &DistVector,
     opts: &DistSolveOptions,
 ) -> Result<DistSolveOutcome> {
-    let mut space = DistSpace::new(comm, a).with_extra_work(opts.extra_work_per_iter);
+    let mut space = DistSpace::new(comm, a)
+        .with_ops(opts.local_ops())
+        .with_extra_work(opts.extra_work_per_iter);
     let (outcome, _report) = run_gmres(
         &mut space,
         b,
@@ -59,7 +61,9 @@ pub fn pipelined_gmres<C: CommBackend>(
     b: &DistVector,
     opts: &DistSolveOptions,
 ) -> Result<DistSolveOutcome> {
-    let mut space = DistSpace::new(comm, a).with_extra_work(opts.extra_work_per_iter);
+    let mut space = DistSpace::new(comm, a)
+        .with_ops(opts.local_ops())
+        .with_extra_work(opts.extra_work_per_iter);
     let (outcome, _report) = run_gmres(
         &mut space,
         b,
@@ -90,7 +94,9 @@ pub fn dist_pgmres<'a, 'b, C: CommBackend>(
     m: &mut dyn SpacePreconditioner<DistSpace<'a, 'b, C>>,
     opts: &DistSolveOptions,
 ) -> Result<DistSolveOutcome> {
-    let mut space = DistSpace::new(comm, a).with_extra_work(opts.extra_work_per_iter);
+    let mut space = DistSpace::new(comm, a)
+        .with_ops(opts.local_ops())
+        .with_extra_work(opts.extra_work_per_iter);
     let mut right = RightPrecond(m);
     let (outcome, _report) = run_gmres(
         &mut space,
@@ -121,7 +127,9 @@ pub fn pipelined_pgmres<'a, 'b, C: CommBackend>(
     m: &mut dyn SpacePreconditioner<DistSpace<'a, 'b, C>>,
     opts: &DistSolveOptions,
 ) -> Result<DistSolveOutcome> {
-    let mut space = DistSpace::new(comm, a).with_extra_work(opts.extra_work_per_iter);
+    let mut space = DistSpace::new(comm, a)
+        .with_ops(opts.local_ops())
+        .with_extra_work(opts.extra_work_per_iter);
     let mut right = RightPrecond(m);
     let (outcome, _report) = run_gmres(
         &mut space,

@@ -50,6 +50,12 @@ pub struct DistSolveOptions {
     /// the solver's own arithmetic; models the application work (e.g. a
     /// nonlinear residual evaluation) that latency hiding can overlap.
     pub extra_work_per_iter: f64,
+    /// Run node-local arithmetic on the portable scalar backend instead of
+    /// the default [`resilient_linalg::auto_ops`] selection. Results are
+    /// bit-identical either way; this is a speed/debugging knob (the
+    /// scalar-fallback CI job forces it process-wide via
+    /// `RESILIENT_FORCE_SCALAR`).
+    pub force_scalar_ops: bool,
 }
 
 impl Default for DistSolveOptions {
@@ -59,6 +65,7 @@ impl Default for DistSolveOptions {
             max_iters: 500,
             restart: 30,
             extra_work_per_iter: 0.0,
+            force_scalar_ops: false,
         }
     }
 }
@@ -78,6 +85,22 @@ impl DistSolveOptions {
     pub fn with_restart(mut self, restart: usize) -> Self {
         self.restart = restart;
         self
+    }
+
+    /// Builder-style scalar-backend selection (see
+    /// [`DistSolveOptions::force_scalar_ops`]).
+    pub fn with_scalar_ops(mut self) -> Self {
+        self.force_scalar_ops = true;
+        self
+    }
+
+    /// The node-local compute backend the presets hand their spaces.
+    pub fn local_ops(&self) -> &'static dyn resilient_linalg::LocalOps {
+        if self.force_scalar_ops {
+            resilient_linalg::scalar_ops()
+        } else {
+            resilient_linalg::auto_ops()
+        }
     }
 
     /// The kernel-level options this carries (`extra_work_per_iter` travels

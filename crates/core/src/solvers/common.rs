@@ -1,7 +1,7 @@
 //! Shared solver abstractions: linear operators, preconditioners, options
 //! and outcomes.
 
-use resilient_linalg::{CsrMatrix, DenseMatrix};
+use resilient_linalg::{CsrMatrix, DenseMatrix, SellMatrix};
 
 /// A linear operator `y = A·x` on `R^n`.
 ///
@@ -41,6 +41,32 @@ impl Operator for CsrMatrix {
         (0..self.nrows())
             .map(|i| self.row(i).1.iter().map(|v| v.abs()).sum::<f64>())
             .fold(0.0, f64::max)
+    }
+}
+
+impl Operator for SellMatrix {
+    fn dim(&self) -> usize {
+        self.nrows()
+    }
+    fn apply(&self, x: &[f64]) -> Vec<f64> {
+        self.spmv(x)
+    }
+    fn flops_per_apply(&self) -> usize {
+        self.spmv_flops()
+    }
+    fn norm_estimate(&self) -> f64 {
+        // Same ∞-norm bound as the CSR impl; row order doesn't matter for
+        // a max of row sums, so compute it directly on the sorted layout.
+        let mut worst = 0.0f64;
+        for (p, &len) in self.lens().iter().enumerate() {
+            let base = self.chunk_ptr()[p / resilient_linalg::SELL_C];
+            let lane = p % resilient_linalg::SELL_C;
+            let sum: f64 = (0..len as usize)
+                .map(|step| self.vals()[base + step * resilient_linalg::SELL_C + lane].abs())
+                .sum();
+            worst = worst.max(sum);
+        }
+        worst
     }
 }
 

@@ -4,6 +4,8 @@
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 
+use crate::ops::LocalOps;
+
 /// A dense column-major matrix of `f64`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DenseMatrix {
@@ -225,6 +227,12 @@ pub struct LuFactors {
     /// Row swapped with row `k` at elimination step `k`.
     pivots: Vec<usize>,
     n: usize,
+    /// `U` packed row-major (row `i` = `u_rows[u_off[i]..u_off[i+1]]`,
+    /// diagonal first): back substitution walks rows, and walking rows of
+    /// the column-major `lu` strides by `n` per element — this copy makes
+    /// the hot preconditioner path read contiguously.
+    u_rows: Vec<f64>,
+    u_off: Vec<usize>,
 }
 
 impl LuFactors {
@@ -276,7 +284,22 @@ impl LuFactors {
                 }
             }
         }
-        Self { lu, pivots, n }
+        let mut u_off = Vec::with_capacity(n + 1);
+        let mut u_rows = Vec::with_capacity(n * (n + 1) / 2);
+        u_off.push(0);
+        for i in 0..n {
+            for j in i..n {
+                u_rows.push(lu.get(i, j));
+            }
+            u_off.push(u_rows.len());
+        }
+        Self {
+            lu,
+            pivots,
+            n,
+            u_rows,
+            u_off,
+        }
     }
 
     /// Order of the factored matrix.
@@ -325,6 +348,44 @@ impl LuFactors {
         let mut x = vec![0.0; self.n];
         self.solve_into(b, &mut x);
         x
+    }
+
+    /// [`LuFactors::solve_into`] routed through a [`LocalOps`] backend —
+    /// the form the block-Jacobi preconditioner applies every iteration.
+    ///
+    /// Bit-identical to [`LuFactors::solve_into`] (pinned by the parity
+    /// proptests): the forward substitution is re-expressed
+    /// column-oriented — each finalized `x[j]` is eliminated from all
+    /// later rows at once via `ops.axpy` over the **contiguous**
+    /// column-major `L` column, which applies the same updates to each
+    /// `x[i]` in the same ascending-`j` order as the row-oriented loop —
+    /// and the back substitution keeps its order-sensitive sequential
+    /// recurrence ([`LocalOps::msub_seq`]) but reads `U` from the packed
+    /// row-major copy instead of striding across columns.
+    ///
+    /// # Panics
+    /// Panics if `b` or `x` is shorter than the factored dimension.
+    pub fn solve_with(&self, ops: &dyn LocalOps, b: &[f64], x: &mut [f64]) {
+        let n = self.n;
+        assert!(b.len() >= n && x.len() >= n, "LU solve: length mismatch");
+        x[..n].copy_from_slice(&b[..n]);
+        for (k, &piv) in self.pivots.iter().enumerate() {
+            if piv != k {
+                x.swap(k, piv);
+            }
+        }
+        let xs = &mut x[..n];
+        for j in 0..n {
+            let (head, tail) = xs.split_at_mut(j + 1);
+            // y += (-x_j)·L[j+1.., j]; (-x_j)·l ≡ -(l·x_j) bitwise, so this
+            // is the row loop's `s -= l·x_j` for every remaining row.
+            ops.axpy(-head[j], &self.lu.col(j)[j + 1..n], tail);
+        }
+        for i in (0..n).rev() {
+            let row = &self.u_rows[self.u_off[i]..self.u_off[i + 1]];
+            let (head, tail) = xs.split_at_mut(i + 1);
+            head[i] = ops.msub_seq(head[i], &row[1..], tail) / row[0];
+        }
     }
 }
 

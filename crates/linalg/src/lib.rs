@@ -13,6 +13,8 @@ pub mod checksum;
 pub mod dense;
 pub mod generators;
 pub mod givens;
+pub mod ops;
+pub mod sell;
 pub mod sparse;
 pub mod vector;
 
@@ -23,4 +25,6 @@ pub use generators::{
     spd_random,
 };
 pub use givens::{Givens, HessenbergLsq};
+pub use ops::{auto_ops, scalar_ops, simd_ops, LocalOps, ScalarOps};
+pub use sell::{SellMatrix, SELL_C, SELL_DEFAULT_SIGMA};
 pub use sparse::{CooMatrix, CsrMatrix};

@@ -1,0 +1,624 @@
+//! The device-op layer: node-local kernels behind a pluggable backend.
+//!
+//! Every piece of node-local arithmetic a Krylov iteration performs — dots
+//! (single and fused), axpy-family updates, scaling, local SpMV, the
+//! triangular-solve primitives of a block-Jacobi apply — is expressed
+//! against the [`LocalOps`] trait. The execution spaces of the core crate
+//! hold a `&'static dyn LocalOps` and route all hot-loop arithmetic
+//! through it, which gives the codebase one seam where a faster (or
+//! offloaded) implementation can be swapped in without touching solver
+//! logic — the same boundary cubecl draws between linalg kernels and its
+//! CUDA/HIP/wgpu runtimes.
+//!
+//! Two backends ship today:
+//!
+//! * [`scalar_ops`] — the original portable kernels of [`crate::vector`],
+//!   [`crate::sparse`] and [`crate::sell`]; the bit-compat reference.
+//! * [`simd_ops`] — explicit AVX/AVX2 kernels (x86-64 with runtime feature
+//!   detection; any other machine silently gets the scalar backend).
+//!
+//! # The lane width is part of the algorithm, not the backend
+//!
+//! [`crate::vector::dot`] reduces through **four independent accumulator
+//! chains** (`acc[j] += x[4k+j]·y[4k+j]`, combined as
+//! `(acc0+acc1)+(acc2+acc3)` plus a sequential tail). That reassociation
+//! is the published spec of every global reduction in the suite: rank
+//! symmetry, the parity tests, and the rollback/SDC experiments all pin
+//! their results to it. A backend is therefore **required** to reproduce
+//! it bit-for-bit — which is why the SIMD backend uses exactly one 4-lane
+//! `f64` register as its accumulator (lane *j* is chain *j*), performs no
+//! FMA contraction (fused rounding differs from mul-then-add), and why an
+//! 8-lane AVX-512 variant would be a *different algorithm*, not a faster
+//! backend. Order-sensitive primitives ([`LocalOps::msub_seq`], the CSR
+//! row accumulation) are specified sequential and must stay sequential in
+//! every backend.
+//!
+//! Backend selection: [`auto_ops`] picks the SIMD backend when the CPU
+//! supports it, unless the `RESILIENT_FORCE_SCALAR` environment variable
+//! is set to `1`/`true` (the scalar-fallback CI job sets it).
+
+use std::sync::OnceLock;
+
+use crate::sell::SellMatrix;
+use crate::sparse::CsrMatrix;
+use crate::vector;
+
+/// Node-local compute backend: the device-op surface the execution spaces
+/// call through. All methods are **bit-exact across backends** (see the
+/// module docs for the reassociation spec that makes this possible).
+///
+/// Implementations must be stateless (`Sync`, shared as `&'static`): any
+/// device handles or scratch live behind interior mechanisms of the
+/// backend, not in the solver.
+pub trait LocalOps: Sync {
+    /// Backend identifier for reports and experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Dot product `x·y` through the 4-chain reassociation spec.
+    fn dot(&self, x: &[f64], y: &[f64]) -> f64;
+
+    /// Fused multi-dot: `out[i] = pairs[i].0 · pairs[i].1`, each pair
+    /// reduced through its own 4-chain spec (bit-identical to calling
+    /// [`LocalOps::dot`] per pair). Backends may — and the SIMD backend
+    /// does — walk all pairs in one pass so shared vectors are read from
+    /// memory once: the fused reductions of the pipelined strategies
+    /// (`(r,u),(w,u),(r,r)`) and the CGS orthogonalization (`(v_i, w)` for
+    /// the whole basis) share operands heavily, which is where large-`n`
+    /// bandwidth is actually saved.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != pairs.len()` or any pair's slices differ in
+    /// length.
+    fn dot_pairs(&self, pairs: &[(&[f64], &[f64])], out: &mut [f64]);
+
+    /// Euclidean norm `‖x‖₂ = √(x·x)`.
+    fn nrm2(&self, x: &[f64]) -> f64 {
+        self.dot(x, x).sqrt()
+    }
+
+    /// `y ← y + a·x`.
+    fn axpy(&self, a: f64, x: &[f64], y: &mut [f64]);
+
+    /// `x ← a·x`.
+    fn scale(&self, a: f64, x: &mut [f64]);
+
+    /// `y ← x + b·y` (the CG direction update).
+    fn xpby(&self, x: &[f64], b: f64, y: &mut [f64]);
+
+    /// `w ← a·x + b·y`, writing into a caller-owned buffer.
+    fn waxpby_into(&self, a: f64, x: &[f64], b: f64, y: &[f64], w: &mut [f64]);
+
+    /// Strictly sequential multiply-subtract fold:
+    /// `s − u[0]·x[0] − u[1]·x[1] − …`, returning the final value.
+    ///
+    /// This is the inner recurrence of triangular back-substitution, whose
+    /// per-element update order is observable in the last bit — so unlike
+    /// the reductions above it is **specified sequential** and no backend
+    /// may reassociate it.
+    fn msub_seq(&self, s: f64, u: &[f64], x: &[f64]) -> f64 {
+        debug_assert_eq!(u.len(), x.len());
+        let mut s = s;
+        for (uk, xk) in u.iter().zip(x) {
+            s -= uk * xk;
+        }
+        s
+    }
+
+    /// Local CSR SpMV `y = A·x`. Per-row accumulation is sequential in
+    /// entry order (part of the spec); CSR's serial data dependences leave
+    /// SIMD backends nothing to vectorize without reassociating, which is
+    /// exactly what the SELL-C-σ layout exists to fix.
+    fn spmv_csr(&self, a: &CsrMatrix, x: &[f64], y: &mut [f64]);
+
+    /// Local SELL-C-σ SpMV `y = A·x`, bit-identical to
+    /// [`LocalOps::spmv_csr`] on the equivalent matrix: rows keep their
+    /// CSR-order sequential accumulation, and padding slots are masked
+    /// out of the accumulator rather than added as zeros.
+    fn spmv_sell(&self, a: &SellMatrix, x: &[f64], y: &mut [f64]);
+}
+
+// ---------------------------------------------------------------------------
+// Scalar backend
+// ---------------------------------------------------------------------------
+
+/// The portable reference backend: delegates to the original kernels in
+/// [`crate::vector`] / [`crate::sparse`] / [`crate::sell`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScalarOps;
+
+impl LocalOps for ScalarOps {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn dot(&self, x: &[f64], y: &[f64]) -> f64 {
+        vector::dot(x, y)
+    }
+
+    fn dot_pairs(&self, pairs: &[(&[f64], &[f64])], out: &mut [f64]) {
+        assert_eq!(pairs.len(), out.len(), "dot_pairs: output length mismatch");
+        for (o, (x, y)) in out.iter_mut().zip(pairs) {
+            *o = vector::dot(x, y);
+        }
+    }
+
+    fn nrm2(&self, x: &[f64]) -> f64 {
+        vector::nrm2(x)
+    }
+
+    fn axpy(&self, a: f64, x: &[f64], y: &mut [f64]) {
+        vector::axpy(a, x, y);
+    }
+
+    fn scale(&self, a: f64, x: &mut [f64]) {
+        vector::scale(a, x);
+    }
+
+    fn xpby(&self, x: &[f64], b: f64, y: &mut [f64]) {
+        vector::xpby(x, b, y);
+    }
+
+    fn waxpby_into(&self, a: f64, x: &[f64], b: f64, y: &[f64], w: &mut [f64]) {
+        vector::waxpby_into(a, x, b, y, w);
+    }
+
+    fn spmv_csr(&self, a: &CsrMatrix, x: &[f64], y: &mut [f64]) {
+        a.spmv_into(x, y);
+    }
+
+    fn spmv_sell(&self, a: &SellMatrix, x: &[f64], y: &mut [f64]) {
+        a.spmv_into(x, y);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SIMD backend (x86-64 AVX/AVX2)
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! Explicit AVX/AVX2 kernels. Every kernel mirrors the scalar spec
+    //! lane for lane: one 4-lane accumulator register *is* the 4 chains of
+    //! `vector::dot`, element-wise ops are trivially lane-exact, and no
+    //! kernel uses FMA (contracted rounding would break bit parity).
+
+    use std::arch::x86_64::*;
+
+    use super::{LocalOps, ScalarOps};
+    use crate::sell::{SellMatrix, SELL_C};
+    use crate::sparse::CsrMatrix;
+
+    /// How far ahead (in elements) the streaming kernels prefetch. 64
+    /// elements = 512 B = 8 cache lines: far enough to cover DRAM latency
+    /// at one 32-B step per cycle, near enough not to thrash L1.
+    const PF: usize = 64;
+
+    /// The AVX/AVX2 backend. Constructed only behind a runtime
+    /// `is_x86_feature_detected!` check (see [`super::simd_ops`]), which is
+    /// what makes the `unsafe` target-feature calls inside sound.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub(super) struct SimdOps;
+
+    pub(super) fn available() -> bool {
+        is_x86_feature_detected!("avx") && is_x86_feature_detected!("avx2")
+    }
+
+    #[target_feature(enable = "avx")]
+    unsafe fn dot_avx(x: &[f64], y: &[f64]) -> f64 {
+        let n = x.len();
+        let split = n - n % 4;
+        let xp = x.as_ptr();
+        let yp = y.as_ptr();
+        let mut acc = _mm256_setzero_pd();
+        let mut i = 0;
+        while i < split {
+            // Prefetch may point past the end: that is fine for the
+            // hardware (prefetch never faults) and the pointers are formed
+            // with `wrapping_add`, which has no in-bounds requirement.
+            _mm_prefetch::<_MM_HINT_T0>(xp.wrapping_add(i + PF) as *const i8);
+            _mm_prefetch::<_MM_HINT_T0>(yp.wrapping_add(i + PF) as *const i8);
+            let prod = _mm256_mul_pd(_mm256_loadu_pd(xp.add(i)), _mm256_loadu_pd(yp.add(i)));
+            acc = _mm256_add_pd(acc, prod);
+            i += 4;
+        }
+        let mut lanes = [0.0f64; 4];
+        _mm256_storeu_pd(lanes.as_mut_ptr(), acc);
+        let tail: f64 = x[split..].iter().zip(&y[split..]).map(|(a, b)| a * b).sum();
+        (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail
+    }
+
+    /// Fused multi-dot over up to `GROUP` pairs per memory pass: one
+    /// accumulator register per pair, all pairs advanced together so a
+    /// vector shared between pairs is loaded once per 4 elements instead
+    /// of once per pair.
+    const GROUP: usize = 8;
+
+    #[target_feature(enable = "avx")]
+    unsafe fn dot_pairs_avx(pairs: &[(&[f64], &[f64])], out: &mut [f64]) {
+        for (group, outs) in pairs.chunks(GROUP).zip(out.chunks_mut(GROUP)) {
+            let n = group[0].0.len();
+            let split = n - n % 4;
+            let g = group.len();
+            let mut acc = [_mm256_setzero_pd(); GROUP];
+            let mut i = 0;
+            while i < split {
+                for (t, (x, y)) in group.iter().enumerate() {
+                    let xv = _mm256_loadu_pd(x.as_ptr().add(i));
+                    let yv = _mm256_loadu_pd(y.as_ptr().add(i));
+                    acc[t] = _mm256_add_pd(acc[t], _mm256_mul_pd(xv, yv));
+                }
+                i += 4;
+            }
+            for (t, o) in outs.iter_mut().enumerate().take(g) {
+                let mut lanes = [0.0f64; 4];
+                _mm256_storeu_pd(lanes.as_mut_ptr(), acc[t]);
+                let (x, y) = group[t];
+                let tail: f64 = x[split..].iter().zip(&y[split..]).map(|(a, b)| a * b).sum();
+                *o = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail;
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx")]
+    unsafe fn axpy_avx(a: f64, x: &[f64], y: &mut [f64]) {
+        let n = x.len();
+        let split = n - n % 4;
+        let av = _mm256_set1_pd(a);
+        let xp = x.as_ptr();
+        let yp = y.as_mut_ptr();
+        let mut i = 0;
+        while i < split {
+            let sum = _mm256_add_pd(
+                _mm256_loadu_pd(yp.add(i)),
+                _mm256_mul_pd(av, _mm256_loadu_pd(xp.add(i))),
+            );
+            _mm256_storeu_pd(yp.add(i), sum);
+            i += 4;
+        }
+        for k in split..n {
+            y[k] += a * x[k];
+        }
+    }
+
+    #[target_feature(enable = "avx")]
+    unsafe fn scale_avx(a: f64, x: &mut [f64]) {
+        let n = x.len();
+        let split = n - n % 4;
+        let av = _mm256_set1_pd(a);
+        let xp = x.as_mut_ptr();
+        let mut i = 0;
+        while i < split {
+            _mm256_storeu_pd(xp.add(i), _mm256_mul_pd(_mm256_loadu_pd(xp.add(i)), av));
+            i += 4;
+        }
+        for xk in &mut x[split..n] {
+            *xk *= a;
+        }
+    }
+
+    #[target_feature(enable = "avx")]
+    unsafe fn xpby_avx(x: &[f64], b: f64, y: &mut [f64]) {
+        let n = x.len();
+        let split = n - n % 4;
+        let bv = _mm256_set1_pd(b);
+        let xp = x.as_ptr();
+        let yp = y.as_mut_ptr();
+        let mut i = 0;
+        while i < split {
+            let sum = _mm256_add_pd(
+                _mm256_loadu_pd(xp.add(i)),
+                _mm256_mul_pd(bv, _mm256_loadu_pd(yp.add(i))),
+            );
+            _mm256_storeu_pd(yp.add(i), sum);
+            i += 4;
+        }
+        for k in split..n {
+            y[k] = x[k] + b * y[k];
+        }
+    }
+
+    #[target_feature(enable = "avx")]
+    unsafe fn waxpby_avx(a: f64, x: &[f64], b: f64, y: &[f64], w: &mut [f64]) {
+        let n = x.len();
+        let split = n - n % 4;
+        let av = _mm256_set1_pd(a);
+        let bv = _mm256_set1_pd(b);
+        let xp = x.as_ptr();
+        let yp = y.as_ptr();
+        let wp = w.as_mut_ptr();
+        let mut i = 0;
+        while i < split {
+            let sum = _mm256_add_pd(
+                _mm256_mul_pd(av, _mm256_loadu_pd(xp.add(i))),
+                _mm256_mul_pd(bv, _mm256_loadu_pd(yp.add(i))),
+            );
+            _mm256_storeu_pd(wp.add(i), sum);
+            i += 4;
+        }
+        for k in split..n {
+            w[k] = a * x[k] + b * y[k];
+        }
+    }
+
+    /// SELL-C-4 SpMV: per chunk, one gather + one contiguous value load
+    /// per step feeds a 4-lane accumulator; lanes whose row has ended are
+    /// kept out of the accumulator with a blend — computing the padding
+    /// (0.0 · gathered `x[0]`) would already NaN-poison short rows
+    /// whenever `x[0]` is non-finite — so each lane performs exactly the
+    /// scalar kernel's sequential sum.
+    #[target_feature(enable = "avx2")]
+    unsafe fn spmv_sell_avx2(a: &SellMatrix, x: &[f64], y: &mut [f64]) {
+        let chunk_ptr = a.chunk_ptr();
+        let cols = a.cols();
+        let vals = a.vals();
+        let perm = a.perm();
+        let lens = a.lens();
+        let nrows = a.nrows();
+        for k in 0..chunk_ptr.len() - 1 {
+            let base = chunk_ptr[k];
+            let width = (chunk_ptr[k + 1] - base) / SELL_C;
+            let p0 = k * SELL_C;
+            let len4 = _mm256_set_epi64x(
+                lens[p0 + 3] as i64,
+                lens[p0 + 2] as i64,
+                lens[p0 + 1] as i64,
+                lens[p0] as i64,
+            );
+            let mut acc = _mm256_setzero_pd();
+            for step in 0..width {
+                let slot = base + step * SELL_C;
+                let active =
+                    _mm256_castsi256_pd(_mm256_cmpgt_epi64(len4, _mm256_set1_epi64x(step as i64)));
+                let idx = _mm_loadu_si128(cols.as_ptr().add(slot) as *const __m128i);
+                // Masked gather: inactive lanes never touch memory, so the
+                // padding column 0 is never even read.
+                let xg =
+                    _mm256_mask_i32gather_pd::<8>(_mm256_setzero_pd(), x.as_ptr(), idx, active);
+                let prod = _mm256_mul_pd(_mm256_loadu_pd(vals.as_ptr().add(slot)), xg);
+                acc = _mm256_blendv_pd(acc, _mm256_add_pd(acc, prod), active);
+            }
+            let mut lanes = [0.0f64; 4];
+            _mm256_storeu_pd(lanes.as_mut_ptr(), acc);
+            for (lane, &sum) in lanes.iter().enumerate() {
+                let p = p0 + lane;
+                if p < nrows {
+                    y[perm[p] as usize] = sum;
+                }
+            }
+        }
+    }
+
+    impl LocalOps for SimdOps {
+        fn name(&self) -> &'static str {
+            "simd"
+        }
+
+        fn dot(&self, x: &[f64], y: &[f64]) -> f64 {
+            assert_eq!(x.len(), y.len(), "dot: length mismatch");
+            // SAFETY: `simd_ops` hands this type out only when AVX+AVX2
+            // were detected at runtime; pointer accesses stay in bounds of
+            // the equal-length slices.
+            unsafe { dot_avx(x, y) }
+        }
+
+        fn dot_pairs(&self, pairs: &[(&[f64], &[f64])], out: &mut [f64]) {
+            assert_eq!(pairs.len(), out.len(), "dot_pairs: output length mismatch");
+            if pairs.is_empty() {
+                return;
+            }
+            let n = pairs[0].0.len();
+            assert!(
+                pairs.iter().all(|(x, y)| x.len() == n && y.len() == n),
+                "dot_pairs: length mismatch"
+            );
+            // SAFETY: feature-gated as above; all slices verified equal
+            // length just above.
+            unsafe { dot_pairs_avx(pairs, out) }
+        }
+
+        fn axpy(&self, a: f64, x: &[f64], y: &mut [f64]) {
+            assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+            // SAFETY: feature-gated; equal lengths checked.
+            unsafe { axpy_avx(a, x, y) }
+        }
+
+        fn scale(&self, a: f64, x: &mut [f64]) {
+            // SAFETY: feature-gated; single-slice bounds.
+            unsafe { scale_avx(a, x) }
+        }
+
+        fn xpby(&self, x: &[f64], b: f64, y: &mut [f64]) {
+            assert_eq!(x.len(), y.len(), "xpby: length mismatch");
+            // SAFETY: feature-gated; equal lengths checked.
+            unsafe { xpby_avx(x, b, y) }
+        }
+
+        fn waxpby_into(&self, a: f64, x: &[f64], b: f64, y: &[f64], w: &mut [f64]) {
+            assert_eq!(x.len(), y.len(), "waxpby: length mismatch");
+            assert_eq!(x.len(), w.len(), "waxpby: output length mismatch");
+            // SAFETY: feature-gated; equal lengths checked.
+            unsafe { waxpby_avx(a, x, b, y, w) }
+        }
+
+        fn spmv_csr(&self, a: &CsrMatrix, x: &[f64], y: &mut [f64]) {
+            // Sequential by spec — same code as the scalar backend.
+            ScalarOps.spmv_csr(a, x, y);
+        }
+
+        fn spmv_sell(&self, a: &SellMatrix, x: &[f64], y: &mut [f64]) {
+            assert_eq!(x.len(), a.ncols(), "spmv: dimension mismatch");
+            assert_eq!(y.len(), a.nrows(), "spmv: output dimension mismatch");
+            // SAFETY: feature-gated; slot accesses are bounded by the
+            // layout invariants (`chunk_ptr` brackets the padded arrays,
+            // column indices were validated < ncols at construction).
+            unsafe { spmv_sell_avx2(a, x, y) }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backend selection
+// ---------------------------------------------------------------------------
+
+/// The portable scalar backend (always available; the bit-compat
+/// reference).
+pub fn scalar_ops() -> &'static dyn LocalOps {
+    &ScalarOps
+}
+
+/// The SIMD backend if this machine supports it (x86-64 with AVX and
+/// AVX2), otherwise the scalar backend — callers never need to care.
+pub fn simd_ops() -> &'static dyn LocalOps {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if x86::available() {
+            return &x86::SimdOps;
+        }
+    }
+    scalar_ops()
+}
+
+/// The default backend: [`simd_ops`] unless the `RESILIENT_FORCE_SCALAR`
+/// environment variable is set to `1`/`true` (checked once per process).
+pub fn auto_ops() -> &'static dyn LocalOps {
+    static CHOICE: OnceLock<&'static dyn LocalOps> = OnceLock::new();
+    *CHOICE.get_or_init(|| {
+        let forced = std::env::var("RESILIENT_FORCE_SCALAR")
+            .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+            .unwrap_or(false);
+        if forced {
+            scalar_ops()
+        } else {
+            simd_ops()
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vecs(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+        let f = |i: usize, s: u64| ((i as f64 + s as f64 * 0.13) * 0.71).sin() * 3.0;
+        (
+            (0..n).map(|i| f(i, seed)).collect(),
+            (0..n).map(|i| f(i, seed + 7)).collect(),
+        )
+    }
+
+    #[test]
+    fn backends_agree_bitwise_on_level1() {
+        let simd = simd_ops();
+        let scalar = scalar_ops();
+        for n in [0usize, 1, 3, 4, 5, 16, 37, 1023] {
+            let (x, y) = vecs(n, n as u64);
+            assert_eq!(
+                scalar.dot(&x, &y).to_bits(),
+                simd.dot(&x, &y).to_bits(),
+                "dot n={n}"
+            );
+            assert_eq!(scalar.nrm2(&x).to_bits(), simd.nrm2(&x).to_bits());
+
+            let (mut ys, mut yv) = (y.clone(), y.clone());
+            scalar.axpy(1.7, &x, &mut ys);
+            simd.axpy(1.7, &x, &mut yv);
+            assert_eq!(ys, yv, "axpy n={n}");
+
+            let (mut ys, mut yv) = (y.clone(), y.clone());
+            scalar.xpby(&x, -0.3, &mut ys);
+            simd.xpby(&x, -0.3, &mut yv);
+            assert_eq!(ys, yv, "xpby n={n}");
+
+            let (mut ws, mut wv) = (vec![0.0; n], vec![0.0; n]);
+            scalar.waxpby_into(2.5, &x, -1.0, &y, &mut ws);
+            simd.waxpby_into(2.5, &x, -1.0, &y, &mut wv);
+            assert_eq!(ws, wv, "waxpby n={n}");
+
+            let (mut xs, mut xv) = (x.clone(), x.clone());
+            scalar.scale(-0.125, &mut xs);
+            simd.scale(-0.125, &mut xv);
+            assert_eq!(xs, xv, "scale n={n}");
+        }
+    }
+
+    #[test]
+    fn dot_pairs_matches_separate_dots_across_backends() {
+        for backend in [scalar_ops(), simd_ops()] {
+            for k in [0usize, 1, 2, 3, 7, 8, 9, 19] {
+                let n = 101;
+                let data: Vec<(Vec<f64>, Vec<f64>)> = (0..k).map(|t| vecs(n, t as u64)).collect();
+                let pairs: Vec<(&[f64], &[f64])> = data
+                    .iter()
+                    .map(|(x, y)| (x.as_slice(), y.as_slice()))
+                    .collect();
+                let mut out = vec![0.0; k];
+                backend.dot_pairs(&pairs, &mut out);
+                for (t, (x, y)) in data.iter().enumerate() {
+                    assert_eq!(
+                        out[t].to_bits(),
+                        vector::dot(x, y).to_bits(),
+                        "{} k={k} t={t}",
+                        backend.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sell_spmv_matches_csr_on_both_backends() {
+        let a = crate::generators::poisson2d(13, 11);
+        let n = a.nrows();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).cos()).collect();
+        let want = a.spmv(&x);
+        let s = SellMatrix::from_csr(&a, 32);
+        for backend in [scalar_ops(), simd_ops()] {
+            let mut y = vec![0.0; n];
+            backend.spmv_sell(&s, &x, &mut y);
+            assert_eq!(
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                y.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{}",
+                backend.name()
+            );
+            let mut yc = vec![0.0; n];
+            backend.spmv_csr(&a, &x, &mut yc);
+            assert_eq!(yc, want);
+        }
+    }
+
+    #[test]
+    fn msub_seq_matches_open_coded_fold() {
+        let (u, x) = vecs(17, 3);
+        let mut want = 2.5f64;
+        for (uk, xk) in u.iter().zip(&x) {
+            want -= uk * xk;
+        }
+        for backend in [scalar_ops(), simd_ops()] {
+            assert_eq!(backend.msub_seq(2.5, &u, &x).to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn auto_ops_is_stable_and_named() {
+        let a = auto_ops();
+        let b = auto_ops();
+        assert!(std::ptr::eq(a, b));
+        assert!(a.name() == "simd" || a.name() == "scalar");
+    }
+
+    #[test]
+    fn special_values_propagate_identically() {
+        // ±0, infinities and NaN flow through both backends the same way
+        // (same ops in the same order ⇒ same IEEE results).
+        let x = vec![1.0, -0.0, f64::INFINITY, 2.0, -3.0, 0.0, 5.0];
+        let y = vec![0.0, -0.0, 2.0, f64::NEG_INFINITY, 1.0, -0.0, 0.5];
+        let scalar = scalar_ops();
+        let simd = simd_ops();
+        assert_eq!(scalar.dot(&x, &y).to_bits(), simd.dot(&x, &y).to_bits());
+        let xn = vec![f64::NAN, 1.0, 2.0, 3.0, 4.0];
+        let yn = vec![1.0; 5];
+        let (a, b) = (scalar.dot(&xn, &yn), simd.dot(&xn, &yn));
+        assert!(a.is_nan() && b.is_nan());
+    }
+}

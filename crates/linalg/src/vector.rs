@@ -35,9 +35,21 @@ pub fn nrm2(x: &[f64]) -> f64 {
 }
 
 /// Infinity norm ‖x‖∞.
+///
+/// NaN-propagating: any NaN entry makes the result NaN. (IEEE `max`
+/// silently prefers the non-NaN operand, so a `fold(0.0, f64::max)` would
+/// report a finite norm for a corrupted vector — exactly the wrong
+/// behavior under the skeptical finiteness checks that sit downstream.)
 #[inline]
 pub fn norm_inf(x: &[f64]) -> f64 {
-    x.iter().fold(0.0, |m, v| m.max(v.abs()))
+    x.iter().fold(0.0, |m, v| {
+        let a = v.abs();
+        if a.is_nan() || m.is_nan() {
+            f64::NAN
+        } else {
+            m.max(a)
+        }
+    })
 }
 
 /// One norm ‖x‖₁.
@@ -55,11 +67,38 @@ pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
     }
 }
 
-/// w ← a·x + b·y (write into a fresh vector).
+/// w ← a·x + b·y, writing into a caller-owned buffer (the hot-loop form;
+/// one residual per iteration adds up).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn waxpby_into(a: f64, x: &[f64], b: f64, y: &[f64], w: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "waxpby: length mismatch");
+    assert_eq!(x.len(), w.len(), "waxpby: output length mismatch");
+    for (wi, (xi, yi)) in w.iter_mut().zip(x.iter().zip(y)) {
+        *wi = a * xi + b * yi;
+    }
+}
+
+/// w ← a·x + b·y (thin allocating wrapper around [`waxpby_into`]).
 #[inline]
 pub fn waxpby(a: f64, x: &[f64], b: f64, y: &[f64]) -> Vec<f64> {
-    assert_eq!(x.len(), y.len(), "waxpby: length mismatch");
-    x.iter().zip(y).map(|(xi, yi)| a * xi + b * yi).collect()
+    let mut w = vec![0.0; x.len()];
+    waxpby_into(a, x, b, y, &mut w);
+    w
+}
+
+/// y ← x + b·y (the CG direction update `p ← z + β·p`).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn xpby(x: &[f64], b: f64, y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "xpby: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = xi + b * *yi;
+    }
 }
 
 /// x ← a·x.
@@ -128,9 +167,27 @@ mod tests {
         assert_eq!(y, vec![12.0, 24.0]);
         let w = waxpby(1.0, &x, -1.0, &[1.0, 1.0]);
         assert_eq!(w, vec![0.0, 1.0]);
+        let mut w2 = vec![9.0, 9.0];
+        waxpby_into(1.0, &x, -1.0, &[1.0, 1.0], &mut w2);
+        assert_eq!(w2, w);
         let mut z = vec![3.0, -6.0];
         scale(0.5, &mut z);
         assert_eq!(z, vec![1.5, -3.0]);
+        let mut p = vec![2.0, 4.0];
+        xpby(&[1.0, 1.0], 0.5, &mut p);
+        assert_eq!(p, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn norm_inf_propagates_nan() {
+        assert!(norm_inf(&[1.0, f64::NAN, 3.0]).is_nan());
+        // NaN anywhere — including positions after larger finite entries,
+        // where a max-fold would have already locked in the finite value.
+        assert!(norm_inf(&[5.0, 1.0, f64::NAN]).is_nan());
+        assert!(norm_inf(&[f64::NAN]).is_nan());
+        assert_eq!(norm_inf(&[]), 0.0);
+        assert_eq!(norm_inf(&[-2.0, 1.0]), 2.0);
+        assert_eq!(norm_inf(&[f64::NEG_INFINITY]), f64::INFINITY);
     }
 
     #[test]

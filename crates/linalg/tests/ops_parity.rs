@@ -1,0 +1,201 @@
+//! Bit-parity pins for the device-op layer.
+//!
+//! The SIMD backend is *specified* to be bit-identical to the scalar
+//! reference (the 4-lane reassociation of `vector::dot` is part of the
+//! algorithm, not an implementation detail), and the SELL-C-σ layout is
+//! specified to be a lossless permutation of CSR whose SpMV performs the
+//! same per-row left-to-right accumulation. These properties are what let
+//! the solver crates swap backends and layouts freely without perturbing
+//! convergence histories; this suite pins them with `to_bits` equality on
+//! random inputs, including non-finite specials.
+//!
+//! On machines without AVX2 `simd_ops()` falls back to the scalar backend
+//! and the cross-backend assertions hold trivially — the suite still
+//! exercises the SELL and `solve_with` pins.
+
+use proptest::prelude::*;
+use resilient_linalg::{
+    scalar_ops, simd_ops, CooMatrix, CsrMatrix, DenseMatrix, LuFactors, SellMatrix,
+};
+
+fn any_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, len..=len)
+}
+
+/// Sprinkle ±∞ into a finite vector according to per-element tags:
+/// bit-parity must hold through non-finite arithmetic too (a NaN or ∞
+/// produced by identical operation order has identical bits).
+fn with_specials(finite: &[f64], tags: &[u8]) -> Vec<f64> {
+    finite
+        .iter()
+        .zip(tags)
+        .map(|(&v, &t)| match t {
+            8 => f64::INFINITY,
+            9 => f64::NEG_INFINITY,
+            _ => v,
+        })
+        .collect()
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Random square CSR matrix with controllable shape irregularity.
+fn ragged_csr(n: usize, entries: &[(usize, usize, f64)]) -> CsrMatrix {
+    let mut coo = CooMatrix::new(n, n);
+    for &(i, j, v) in entries {
+        coo.push(i % n, j % n, v);
+    }
+    coo.to_csr()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every level-1 op is `to_bits`-identical across backends, at lengths
+    /// that cover empty, sub-lane, exact-lane and ragged-tail cases.
+    #[test]
+    fn level1_ops_bitwise_identical(
+        len in 0usize..130,
+        x0 in any_vec(130),
+        y0 in any_vec(130),
+        a in -1e3f64..1e3,
+        b in -1e3f64..1e3,
+    ) {
+        let (s, v) = (scalar_ops(), simd_ops());
+        let x = &x0[..len];
+        let y = &y0[..len];
+
+        prop_assert_eq!(s.dot(x, y).to_bits(), v.dot(x, y).to_bits());
+        prop_assert_eq!(s.nrm2(x).to_bits(), v.nrm2(x).to_bits());
+        prop_assert_eq!(
+            s.msub_seq(a, x, y).to_bits(),
+            v.msub_seq(a, x, y).to_bits()
+        );
+
+        let mut ys = y.to_vec();
+        let mut yv = y.to_vec();
+        s.axpy(a, x, &mut ys);
+        v.axpy(a, x, &mut yv);
+        prop_assert_eq!(bits(&ys), bits(&yv));
+
+        let mut xs = x.to_vec();
+        let mut xv = x.to_vec();
+        s.scale(a, &mut xs);
+        v.scale(a, &mut xv);
+        prop_assert_eq!(bits(&xs), bits(&xv));
+
+        let mut ys = y.to_vec();
+        let mut yv = y.to_vec();
+        s.xpby(x, b, &mut ys);
+        v.xpby(x, b, &mut yv);
+        prop_assert_eq!(bits(&ys), bits(&yv));
+
+        let mut ws = vec![0.0; len];
+        let mut wv = vec![0.0; len];
+        s.waxpby_into(a, x, b, y, &mut ws);
+        v.waxpby_into(a, x, b, y, &mut wv);
+        prop_assert_eq!(bits(&ws), bits(&wv));
+    }
+
+    /// The fused multi-dot used by the pipelined kernels matches both the
+    /// scalar backend and k separate dots, bitwise.
+    #[test]
+    fn dot_pairs_bitwise_identical(
+        len in 0usize..90,
+        k in 0usize..12,
+        xs in prop::collection::vec(any_vec(90), 12),
+        ys in prop::collection::vec(any_vec(90), 12),
+    ) {
+        let pairs: Vec<(&[f64], &[f64])> = (0..k)
+            .map(|i| (&xs[i][..len], &ys[i][..len]))
+            .collect();
+        let mut out_s = vec![0.0; k];
+        let mut out_v = vec![0.0; k];
+        scalar_ops().dot_pairs(&pairs, &mut out_s);
+        simd_ops().dot_pairs(&pairs, &mut out_v);
+        prop_assert_eq!(bits(&out_s), bits(&out_v));
+        for i in 0..k {
+            prop_assert_eq!(out_s[i].to_bits(), scalar_ops().dot(pairs[i].0, pairs[i].1).to_bits());
+        }
+    }
+
+    /// Non-finite inputs propagate identically through both backends: a NaN
+    /// or ±∞ produced by the same operation order has the same bits.
+    #[test]
+    fn specials_propagate_bitwise(
+        len in 0usize..70,
+        xf in any_vec(70),
+        yf in any_vec(70),
+        xtags in prop::collection::vec(0u8..10, 70..=70),
+        ytags in prop::collection::vec(0u8..10, 70..=70),
+        a in prop::sample::select(vec![0.0f64, f64::INFINITY, -3.5, 2.0]),
+    ) {
+        let (s, v) = (scalar_ops(), simd_ops());
+        let x0 = with_specials(&xf, &xtags);
+        let y0 = with_specials(&yf, &ytags);
+        let x = &x0[..len];
+        let y = &y0[..len];
+        prop_assert_eq!(s.dot(x, y).to_bits(), v.dot(x, y).to_bits());
+        let mut ys = y.to_vec();
+        let mut yv = y.to_vec();
+        s.axpy(a, x, &mut ys);
+        v.axpy(a, x, &mut yv);
+        prop_assert_eq!(bits(&ys), bits(&yv));
+    }
+
+    /// SELL-C-σ is a lossless re-layout: `from_csr ∘ to_csr` is the
+    /// identity, and its SpMV is bit-identical to CSR's on both backends.
+    #[test]
+    fn sell_round_trip_and_spmv_parity(
+        n in 1usize..24,
+        entries in prop::collection::vec((0usize..24, 0usize..24, -10.0f64..10.0), 0..160),
+        sigma in prop::sample::select(vec![1usize, 4, 8, 256]),
+        x0 in any_vec(24),
+    ) {
+        let a = ragged_csr(n, &entries);
+        let sell = SellMatrix::from_csr(&a, sigma);
+        let back = sell.to_csr();
+        prop_assert_eq!(back.to_dense(), a.to_dense());
+        prop_assert_eq!(back.nnz(), a.nnz());
+
+        let x = &x0[..n];
+        let reference = a.spmv(x);
+        for ops in [scalar_ops(), simd_ops()] {
+            let mut y_sell = vec![0.0; n];
+            ops.spmv_sell(&sell, x, &mut y_sell);
+            prop_assert_eq!(bits(&y_sell), bits(&reference));
+            let mut y_csr = vec![0.0; n];
+            ops.spmv_csr(&a, x, &mut y_csr);
+            prop_assert_eq!(bits(&y_csr), bits(&reference));
+        }
+    }
+
+    /// `LuFactors::solve_with` (op-layer triangular solves, either backend)
+    /// is bit-identical to the legacy `solve_into` reference.
+    #[test]
+    fn lu_solve_with_matches_solve_into(
+        n in 1usize..12,
+        raw in prop::collection::vec(-5.0f64..5.0, 144),
+        b0 in any_vec(12),
+    ) {
+        let mut m = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                m.set(i, j, raw[i * 12 + j]);
+            }
+            // Diagonal dominance keeps the factorisation well-conditioned.
+            m.add_to(i, i, 25.0 * if raw[i * 12 + i] < 0.0 { -1.0 } else { 1.0 });
+        }
+        let lu = LuFactors::factor(&m);
+        let b = &b0[..n];
+        let mut x_ref = vec![0.0; n];
+        lu.solve_into(b, &mut x_ref);
+        for ops in [scalar_ops(), simd_ops()] {
+            let mut x = vec![0.0; n];
+            lu.solve_with(ops, b, &mut x);
+            prop_assert_eq!(bits(&x), bits(&x_ref));
+        }
+    }
+}
