@@ -1,0 +1,583 @@
+//! A hand-rolled Rust lexer: just enough of the language's lexical grammar
+//! to walk real source reliably — nested block comments, strings in every
+//! flavour (raw, byte, raw-byte), char literals vs. lifetimes, numbers with
+//! exponents and range-ambiguous dots — without pulling in `syn`. The
+//! workspace vendors every external dependency; the analyzer stays
+//! dependency-free so it can never be the thing that rots.
+//!
+//! The token stream deliberately **keeps comments**: the rule engine reads
+//! `// SAFETY:` obligations, per-site `lint:allow` waivers and the fixture
+//! `// analysis-as:` directive out of them.
+
+/// Token class. The analyzer needs lexical classes, not a grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `my_rank`, `r#type`, …).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (distinct from char literals).
+    Lifetime,
+    /// Numeric literal (`3`, `0x1b3`, `1.0e-3`, `4usize`).
+    Num,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte literal (`'x'`, `'\n'`, `b'a'`).
+    Char,
+    /// `// …` comment, doc comments included; text keeps the slashes.
+    LineComment,
+    /// `/* … */` comment (nesting handled); text keeps the delimiters.
+    BlockComment,
+    /// A single punctuation character (`::` is two `:` tokens).
+    Punct,
+}
+
+/// One token with its 1-based source line (the line it **starts** on).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Lexical class.
+    pub kind: TokKind,
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// Source text. For [`TokKind::Lifetime`] the leading `'` is stripped.
+    pub text: String,
+}
+
+impl Tok {
+    /// Is this a (line or block) comment?
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// Kind-and-text equality shorthand used all over the rules.
+    pub fn is(&self, kind: TokKind, text: &str) -> bool {
+        self.kind == kind && self.text == text
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Tokenize `src`. The lexer never fails: malformed tails (an unterminated
+/// string, say) are swallowed into the last token, which is the right
+/// behaviour for an analyzer that must keep going.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n {
+            if chars[i + 1] == '/' {
+                let start = i;
+                while i < n && chars[i] != '\n' {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::LineComment,
+                    line,
+                    text: chars[start..i].iter().collect(),
+                });
+                continue;
+            }
+            if chars[i + 1] == '*' {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < n && depth > 0 {
+                    if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if chars[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::BlockComment,
+                    line: start_line,
+                    text: chars[start..i].iter().collect(),
+                });
+                continue;
+            }
+        }
+        // Raw strings / byte strings / raw identifiers, before plain idents:
+        // r"…", r#"…"#, br"…", b"…", b'…', r#ident.
+        if c == 'r' || c == 'b' {
+            if let Some((tok, next, lines)) = lex_prefixed_literal(&chars, i, line) {
+                i = next;
+                line += lines;
+                toks.push(tok);
+                continue;
+            }
+        }
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                line,
+                text: chars[start..i].iter().collect(),
+            });
+            continue;
+        }
+        if c == '"' {
+            let start = i;
+            let start_line = line;
+            i += 1;
+            while i < n {
+                match chars[i] {
+                    '\\' => i += 2,
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {
+                        if chars[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            let end = i.min(n);
+            toks.push(Tok {
+                kind: TokKind::Str,
+                line: start_line,
+                text: chars[start..end].iter().collect(),
+            });
+            continue;
+        }
+        if c == '\'' {
+            let (tok, next) = lex_quote(&chars, i, line);
+            i = next;
+            toks.push(tok);
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut seen_base = false;
+            let mut seen_dot = false;
+            i += 1;
+            while i < n {
+                let d = chars[i];
+                if d == '_' || d.is_ascii_alphanumeric() {
+                    if d == 'x' || d == 'X' || d == 'o' || d == 'O' {
+                        seen_base = true;
+                    }
+                    i += 1;
+                } else if d == '.'
+                    && !seen_dot
+                    && !seen_base
+                    && i + 1 < n
+                    && chars[i + 1].is_ascii_digit()
+                {
+                    // `1.5` but not the range `0..n` or a method call `1.0.to_bits()`.
+                    seen_dot = true;
+                    i += 1;
+                } else if (d == '+' || d == '-') && !seen_base && matches!(chars[i - 1], 'e' | 'E')
+                {
+                    // Exponent sign: `1e-3`.
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Num,
+                line,
+                text: chars[start..i].iter().collect(),
+            });
+            continue;
+        }
+        toks.push(Tok {
+            kind: TokKind::Punct,
+            line,
+            text: c.to_string(),
+        });
+        i += 1;
+    }
+    toks
+}
+
+/// Lex the literals that start with `r` or `b`: raw strings (`r"…"`,
+/// `r##"…"##`), byte strings (`b"…"`, `br"…"`), byte chars (`b'a'`) and raw
+/// identifiers (`r#type`). Returns `(token, next_index, newlines_consumed)`,
+/// or `None` when the `r`/`b` is just the start of an ordinary identifier.
+fn lex_prefixed_literal(chars: &[char], i: usize, line: u32) -> Option<(Tok, usize, u32)> {
+    let n = chars.len();
+    let mut j = i + 1;
+    let mut raw = chars[i] == 'r';
+    if chars[i] == 'b' && j < n {
+        if chars[j] == '\'' {
+            // b'x' byte char: reuse the quote lexer, then re-tag.
+            let (tok, next) = lex_quote(chars, j, line);
+            return Some((
+                Tok {
+                    kind: TokKind::Char,
+                    line,
+                    text: format!("b{}", tok.text),
+                },
+                next,
+                0,
+            ));
+        }
+        if chars[j] == 'r' {
+            raw = true;
+            j += 1;
+        } else if chars[j] != '"' {
+            return None;
+        }
+    }
+    if raw {
+        // Count hashes; then expect `"` (raw string) or ident (raw ident).
+        let mut hashes = 0usize;
+        while j < n && chars[j] == '#' {
+            hashes += 1;
+            j += 1;
+        }
+        if j < n && chars[j] == '"' {
+            j += 1;
+            let mut lines = 0u32;
+            while j < n {
+                if chars[j] == '"' {
+                    let mut k = 0usize;
+                    while k < hashes && j + 1 + k < n && chars[j + 1 + k] == '#' {
+                        k += 1;
+                    }
+                    if k == hashes {
+                        j += 1 + hashes;
+                        break;
+                    }
+                }
+                if chars[j] == '\n' {
+                    lines += 1;
+                }
+                j += 1;
+            }
+            return Some((
+                Tok {
+                    kind: TokKind::Str,
+                    line,
+                    text: chars[i..j.min(n)].iter().collect(),
+                },
+                j,
+                lines,
+            ));
+        }
+        if hashes == 1 && j < n && is_ident_start(chars[j]) {
+            // Raw identifier r#type: token text keeps the ident only.
+            let start = j;
+            while j < n && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            return Some((
+                Tok {
+                    kind: TokKind::Ident,
+                    line,
+                    text: chars[start..j].iter().collect(),
+                },
+                j,
+                0,
+            ));
+        }
+        return None;
+    }
+    // b"…" byte string.
+    if j < n && chars[j] == '"' {
+        j += 1;
+        let mut lines = 0u32;
+        while j < n {
+            match chars[j] {
+                '\\' => j += 2,
+                '"' => {
+                    j += 1;
+                    break;
+                }
+                c => {
+                    if c == '\n' {
+                        lines += 1;
+                    }
+                    j += 1;
+                }
+            }
+        }
+        return Some((
+            Tok {
+                kind: TokKind::Str,
+                line,
+                text: chars[i..j.min(n)].iter().collect(),
+            },
+            j,
+            lines,
+        ));
+    }
+    None
+}
+
+/// Disambiguate `'` between a char literal and a lifetime:
+/// `'\n'`/`'x'`/`'_'` are chars, `'a`/`'static`/`'_` (no closing quote) are
+/// lifetimes.
+fn lex_quote(chars: &[char], i: usize, line: u32) -> (Tok, usize) {
+    let n = chars.len();
+    if i + 1 >= n {
+        return (
+            Tok {
+                kind: TokKind::Punct,
+                line,
+                text: "'".into(),
+            },
+            i + 1,
+        );
+    }
+    let c0 = chars[i + 1];
+    if c0 == '\\' {
+        // Escaped char literal: scan to the closing quote.
+        let mut j = i + 2;
+        while j < n {
+            if chars[j] == '\\' {
+                j += 2;
+            } else if chars[j] == '\'' {
+                j += 1;
+                break;
+            } else {
+                j += 1;
+            }
+        }
+        return (
+            Tok {
+                kind: TokKind::Char,
+                line,
+                text: chars[i..j.min(n)].iter().collect(),
+            },
+            j,
+        );
+    }
+    if is_ident_start(c0) {
+        let mut j = i + 1;
+        while j < n && is_ident_continue(chars[j]) {
+            j += 1;
+        }
+        if j < n && chars[j] == '\'' {
+            // 'x' — a char literal.
+            return (
+                Tok {
+                    kind: TokKind::Char,
+                    line,
+                    text: chars[i..=j].iter().collect(),
+                },
+                j + 1,
+            );
+        }
+        // 'lifetime — no closing quote.
+        return (
+            Tok {
+                kind: TokKind::Lifetime,
+                line,
+                text: chars[i + 1..j].iter().collect(),
+            },
+            j,
+        );
+    }
+    // Something like ' ' or '('.
+    if i + 2 < n && chars[i + 2] == '\'' {
+        return (
+            Tok {
+                kind: TokKind::Char,
+                line,
+                text: chars[i..i + 3].iter().collect(),
+            },
+            i + 3,
+        );
+    }
+    (
+        Tok {
+            kind: TokKind::Punct,
+            line,
+            text: "'".into(),
+        },
+        i + 1,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_keywords_and_puncts() {
+        let t = kinds("fn foo(x: &mut u8) -> u8 { x }");
+        assert_eq!(t[0], (TokKind::Ident, "fn".into()));
+        assert_eq!(t[1], (TokKind::Ident, "foo".into()));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Punct && s == "&"));
+    }
+
+    #[test]
+    fn line_comments_keep_text_and_lines() {
+        let toks = lex("let a = 1; // SAFETY: fine\nlet b = 2;");
+        let c = toks
+            .iter()
+            .find(|t| t.kind == TokKind::LineComment)
+            .unwrap();
+        assert!(c.text.contains("SAFETY: fine"));
+        assert_eq!(c.line, 1);
+        let b = toks.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("/* outer /* inner */ still comment */ fn x() {}");
+        assert_eq!(toks[0].kind, TokKind::BlockComment);
+        assert!(toks[0].text.contains("inner"));
+        assert_eq!(toks[1].text, "fn");
+    }
+
+    #[test]
+    fn block_comment_advances_line_numbers() {
+        let toks = lex("/* a\nb\nc */ fn x() {}");
+        let f = toks.iter().find(|t| t.text == "fn").unwrap();
+        assert_eq!(f.line, 3);
+    }
+
+    #[test]
+    fn strings_with_escapes_and_embedded_slashes() {
+        let toks = lex(r#"let s = "no // comment \" here"; fn f() {}"#);
+        assert!(toks.iter().all(|t| t.kind != TokKind::LineComment));
+        let s = toks.iter().find(|t| t.kind == TokKind::Str).unwrap();
+        assert!(s.text.contains("no // comment"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = lex(r###"let s = r#"quote " inside"#; let t = 1;"###);
+        let s = toks.iter().find(|t| t.kind == TokKind::Str).unwrap();
+        assert!(s.text.contains("quote"));
+        assert!(toks.iter().any(|t| t.text == "t"));
+    }
+
+    #[test]
+    fn multiline_raw_string_counts_lines() {
+        let toks = lex("let s = r\"a\nb\"; fn f() {}");
+        let f = toks.iter().find(|t| t.text == "fn").unwrap();
+        assert_eq!(f.line, 2);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = lex(r#"let a = b"bytes"; let c = b'x';"#);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text.starts_with("b\"")));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Char && t.text == "b'x'"));
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lifetimes.iter().all(|t| t.text == "a"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Char && t.text == "'x'"));
+    }
+
+    #[test]
+    fn static_lifetime_and_escaped_char() {
+        let toks = lex(r"let s: &'static str = x; let c = '\''; let d = '\\';");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "static"));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn underscore_char_and_anonymous_lifetime() {
+        let toks = lex("let c = '_'; fn f(x: &'_ str) {}");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Char && t.text == "'_'"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "_"));
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let toks = lex("let r#type = 1;");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "type"));
+    }
+
+    #[test]
+    fn numbers_exponents_and_ranges() {
+        let toks = lex("let a = 1.5e-3; for i in 0..n { x[i] = 0x1b3 + 4usize; }");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, ["1.5e-3", "0", "0x1b3", "4usize"]);
+        // The range dots survive as puncts.
+        assert!(toks.iter().filter(|t| t.is(TokKind::Punct, ".")).count() >= 2);
+    }
+
+    #[test]
+    fn float_method_call_does_not_eat_the_dot() {
+        let toks = lex("let b = 1.0.to_bits();");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Num && t.text == "1.0"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "to_bits"));
+    }
+
+    #[test]
+    fn unicode_in_comments_and_strings() {
+        let toks = lex("// ‖b‖ and √ε are fine\nlet x = \"π ≈ 3\"; fn f() {}");
+        assert!(toks.iter().any(|t| t.text == "fn"));
+        assert_eq!(toks[0].kind, TokKind::LineComment);
+    }
+
+    #[test]
+    fn unterminated_string_is_swallowed() {
+        let toks = lex("let s = \"oops");
+        assert!(toks.iter().any(|t| t.kind == TokKind::Str));
+    }
+}

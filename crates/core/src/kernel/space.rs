@@ -246,6 +246,8 @@ impl<'a, O: Operator + ?Sized> KrylovSpace for SerialSpace<'a, O> {
             .iter()
             .map(|l| (l.as_slice(), right.as_slice()))
             .collect();
+        // lint:allow(hot-loop-alloc): O(#pairs) result buffer the trait returns
+        // by value — not an O(n) vector buffer (those live in scratch).
         let mut out = vec![0.0; pairs.len()];
         self.ops.dot_pairs(&pairs, &mut out);
         Ok(out)
@@ -259,6 +261,8 @@ impl<'a, O: Operator + ?Sized> KrylovSpace for SerialSpace<'a, O> {
             .iter()
             .map(|(x, y)| (x.as_slice(), y.as_slice()))
             .collect();
+        // lint:allow(hot-loop-alloc): O(#pairs) result buffer the trait returns
+        // by value — not an O(n) vector buffer (those live in scratch).
         let mut out = vec![0.0; slices.len()];
         self.ops.dot_pairs(&slices, &mut out);
         Ok(PendingDots::Ready(out))
@@ -480,6 +484,8 @@ impl<'a, 'b, C: CommBackend> KrylovSpace for DistSpace<'a, 'b, C> {
             .iter()
             .map(|l| (l.local.as_slice(), right.local.as_slice()))
             .collect();
+        // lint:allow(hot-loop-alloc): O(#pairs) partials buffer handed to the
+        // allreduce — not an O(n) vector buffer (those live in scratch).
         let mut local = vec![0.0; pairs.len()];
         self.ops.dot_pairs(&pairs, &mut local);
         self.comm.charge_flops(2 * right.local_len() * left.len());
@@ -494,6 +500,8 @@ impl<'a, 'b, C: CommBackend> KrylovSpace for DistSpace<'a, 'b, C> {
             .iter()
             .map(|(x, y)| (x.local.as_slice(), y.local.as_slice()))
             .collect();
+        // lint:allow(hot-loop-alloc): O(#pairs) partials buffer handed to the
+        // iallreduce — not an O(n) vector buffer (those live in scratch).
         let mut local = vec![0.0; slices.len()];
         self.ops.dot_pairs(&slices, &mut local);
         if let Some((x, _)) = pairs.first() {
@@ -521,6 +529,8 @@ impl<'a, 'b, C: CommBackend> KrylovSpace for DistSpace<'a, 'b, C> {
             .iter()
             .map(|(x, y)| (x.local.as_slice(), y.local.as_slice()))
             .collect();
+        // lint:allow(hot-loop-alloc): O(#pairs) partials buffer handed to the
+        // allreduce — not an O(n) vector buffer (those live in scratch).
         let mut local = vec![0.0; slices.len()];
         self.ops.dot_pairs(&slices, &mut local);
         if let Some((x, _)) = pairs.first() {

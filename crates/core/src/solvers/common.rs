@@ -229,11 +229,15 @@ impl SolveOutcome {
 pub fn true_relative_residual<O: Operator + ?Sized>(a: &O, b: &[f64], x: &[f64]) -> f64 {
     let ax = a.apply(x);
     let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
+    // lint:allow(charged-arithmetic): offline acceptance check run once after
+    // the solve, outside any space/ledger — deliberately uncharged.
+    let rn = resilient_linalg::vector::nrm2(&r);
+    // lint:allow(charged-arithmetic): same offline acceptance check.
     let bn = resilient_linalg::vector::nrm2(b);
     if bn == 0.0 {
-        resilient_linalg::vector::nrm2(&r)
+        rn
     } else {
-        resilient_linalg::vector::nrm2(&r) / bn
+        rn / bn
     }
 }
 

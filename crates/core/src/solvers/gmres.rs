@@ -5,6 +5,9 @@
 //! empty policy stack. [`ArnoldiProcess`] remains available as a standalone
 //! building block for experiments that drive the recurrence directly.
 
+// lint:allow(charged-arithmetic): [`ArnoldiProcess`] below is a standalone
+// serial building block driven directly by experiments, outside any
+// space/ledger; the solver preset itself charges through `SerialSpace`.
 use resilient_linalg::vector::{dot, nrm2, scale};
 use resilient_linalg::HessenbergLsq;
 

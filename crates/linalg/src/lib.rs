@@ -8,6 +8,7 @@
 //! checksum encodings used by the skeptical-programming kernels.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod checksum;
 pub mod dense;

@@ -175,7 +175,8 @@ impl LocalOps for ScalarOps {
 // SIMD backend (x86-64 AVX/AVX2)
 // ---------------------------------------------------------------------------
 
-#[cfg(target_arch = "x86_64")]
+// Miri has no AVX support; under it the suite runs the scalar backend only.
+#[cfg(all(target_arch = "x86_64", not(miri)))]
 mod x86 {
     //! Explicit AVX/AVX2 kernels. Every kernel mirrors the scalar spec
     //! lane for lane: one 4-lane accumulator register *is* the 4 chains of
@@ -203,28 +204,36 @@ mod x86 {
         is_x86_feature_detected!("avx") && is_x86_feature_detected!("avx2")
     }
 
+    // SAFETY: contract — AVX must be available (the `LocalOps` impl below
+    // is only reachable through `simd_ops`' runtime detection) and `x`/`y`
+    // must have equal length.
     #[target_feature(enable = "avx")]
     unsafe fn dot_avx(x: &[f64], y: &[f64]) -> f64 {
-        let n = x.len();
-        let split = n - n % 4;
-        let xp = x.as_ptr();
-        let yp = y.as_ptr();
-        let mut acc = _mm256_setzero_pd();
-        let mut i = 0;
-        while i < split {
-            // Prefetch may point past the end: that is fine for the
-            // hardware (prefetch never faults) and the pointers are formed
-            // with `wrapping_add`, which has no in-bounds requirement.
-            _mm_prefetch::<_MM_HINT_T0>(xp.wrapping_add(i + PF) as *const i8);
-            _mm_prefetch::<_MM_HINT_T0>(yp.wrapping_add(i + PF) as *const i8);
-            let prod = _mm256_mul_pd(_mm256_loadu_pd(xp.add(i)), _mm256_loadu_pd(yp.add(i)));
-            acc = _mm256_add_pd(acc, prod);
-            i += 4;
+        // SAFETY: `split <= n`, so every 4-wide load at `i < split` is in
+        // bounds of both slices; the prefetch pointers are formed with
+        // `wrapping_add` and never dereferenced.
+        unsafe {
+            let n = x.len();
+            let split = n - n % 4;
+            let xp = x.as_ptr();
+            let yp = y.as_ptr();
+            let mut acc = _mm256_setzero_pd();
+            let mut i = 0;
+            while i < split {
+                // Prefetch may point past the end: that is fine for the
+                // hardware (prefetch never faults) and the pointers are formed
+                // with `wrapping_add`, which has no in-bounds requirement.
+                _mm_prefetch::<_MM_HINT_T0>(xp.wrapping_add(i + PF) as *const i8);
+                _mm_prefetch::<_MM_HINT_T0>(yp.wrapping_add(i + PF) as *const i8);
+                let prod = _mm256_mul_pd(_mm256_loadu_pd(xp.add(i)), _mm256_loadu_pd(yp.add(i)));
+                acc = _mm256_add_pd(acc, prod);
+                i += 4;
+            }
+            let mut lanes = [0.0f64; 4];
+            _mm256_storeu_pd(lanes.as_mut_ptr(), acc);
+            let tail: f64 = x[split..].iter().zip(&y[split..]).map(|(a, b)| a * b).sum();
+            (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail
         }
-        let mut lanes = [0.0f64; 4];
-        _mm256_storeu_pd(lanes.as_mut_ptr(), acc);
-        let tail: f64 = x[split..].iter().zip(&y[split..]).map(|(a, b)| a * b).sum();
-        (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail
     }
 
     /// Fused multi-dot over up to `GROUP` pairs per memory pass: one
@@ -233,110 +242,139 @@ mod x86 {
     /// of once per pair.
     const GROUP: usize = 8;
 
+    // SAFETY: contract — AVX must be available (runtime-detected by
+    // `simd_ops`) and every pair's slices must share one common length.
     #[target_feature(enable = "avx")]
     unsafe fn dot_pairs_avx(pairs: &[(&[f64], &[f64])], out: &mut [f64]) {
-        for (group, outs) in pairs.chunks(GROUP).zip(out.chunks_mut(GROUP)) {
-            let n = group[0].0.len();
-            let split = n - n % 4;
-            let g = group.len();
-            let mut acc = [_mm256_setzero_pd(); GROUP];
-            let mut i = 0;
-            while i < split {
-                for (t, (x, y)) in group.iter().enumerate() {
-                    let xv = _mm256_loadu_pd(x.as_ptr().add(i));
-                    let yv = _mm256_loadu_pd(y.as_ptr().add(i));
-                    acc[t] = _mm256_add_pd(acc[t], _mm256_mul_pd(xv, yv));
+        // SAFETY: all slices have length `n` (caller-checked), so the
+        // 4-wide loads at `i < split <= n` are in bounds for every pair.
+        unsafe {
+            for (group, outs) in pairs.chunks(GROUP).zip(out.chunks_mut(GROUP)) {
+                let n = group[0].0.len();
+                let split = n - n % 4;
+                let g = group.len();
+                let mut acc = [_mm256_setzero_pd(); GROUP];
+                let mut i = 0;
+                while i < split {
+                    for (t, (x, y)) in group.iter().enumerate() {
+                        let xv = _mm256_loadu_pd(x.as_ptr().add(i));
+                        let yv = _mm256_loadu_pd(y.as_ptr().add(i));
+                        acc[t] = _mm256_add_pd(acc[t], _mm256_mul_pd(xv, yv));
+                    }
+                    i += 4;
                 }
-                i += 4;
-            }
-            for (t, o) in outs.iter_mut().enumerate().take(g) {
-                let mut lanes = [0.0f64; 4];
-                _mm256_storeu_pd(lanes.as_mut_ptr(), acc[t]);
-                let (x, y) = group[t];
-                let tail: f64 = x[split..].iter().zip(&y[split..]).map(|(a, b)| a * b).sum();
-                *o = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail;
+                for (t, o) in outs.iter_mut().enumerate().take(g) {
+                    let mut lanes = [0.0f64; 4];
+                    _mm256_storeu_pd(lanes.as_mut_ptr(), acc[t]);
+                    let (x, y) = group[t];
+                    let tail: f64 = x[split..].iter().zip(&y[split..]).map(|(a, b)| a * b).sum();
+                    *o = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail;
+                }
             }
         }
     }
 
+    // SAFETY: contract — AVX must be available (runtime-detected by
+    // `simd_ops`) and `x`/`y` must have equal length.
     #[target_feature(enable = "avx")]
     unsafe fn axpy_avx(a: f64, x: &[f64], y: &mut [f64]) {
-        let n = x.len();
-        let split = n - n % 4;
-        let av = _mm256_set1_pd(a);
-        let xp = x.as_ptr();
-        let yp = y.as_mut_ptr();
-        let mut i = 0;
-        while i < split {
-            let sum = _mm256_add_pd(
-                _mm256_loadu_pd(yp.add(i)),
-                _mm256_mul_pd(av, _mm256_loadu_pd(xp.add(i))),
-            );
-            _mm256_storeu_pd(yp.add(i), sum);
-            i += 4;
-        }
-        for k in split..n {
-            y[k] += a * x[k];
+        // SAFETY: loads/stores at `i < split <= n` are in bounds of both
+        // equal-length slices; the scalar tail uses checked indexing.
+        unsafe {
+            let n = x.len();
+            let split = n - n % 4;
+            let av = _mm256_set1_pd(a);
+            let xp = x.as_ptr();
+            let yp = y.as_mut_ptr();
+            let mut i = 0;
+            while i < split {
+                let sum = _mm256_add_pd(
+                    _mm256_loadu_pd(yp.add(i)),
+                    _mm256_mul_pd(av, _mm256_loadu_pd(xp.add(i))),
+                );
+                _mm256_storeu_pd(yp.add(i), sum);
+                i += 4;
+            }
+            for k in split..n {
+                y[k] += a * x[k];
+            }
         }
     }
 
+    // SAFETY: contract — AVX must be available (runtime-detected by
+    // `simd_ops`); works on a single slice, so no length precondition.
     #[target_feature(enable = "avx")]
     unsafe fn scale_avx(a: f64, x: &mut [f64]) {
-        let n = x.len();
-        let split = n - n % 4;
-        let av = _mm256_set1_pd(a);
-        let xp = x.as_mut_ptr();
-        let mut i = 0;
-        while i < split {
-            _mm256_storeu_pd(xp.add(i), _mm256_mul_pd(_mm256_loadu_pd(xp.add(i)), av));
-            i += 4;
-        }
-        for xk in &mut x[split..n] {
-            *xk *= a;
+        // SAFETY: loads/stores at `i < split <= n` are in bounds of `x`.
+        unsafe {
+            let n = x.len();
+            let split = n - n % 4;
+            let av = _mm256_set1_pd(a);
+            let xp = x.as_mut_ptr();
+            let mut i = 0;
+            while i < split {
+                _mm256_storeu_pd(xp.add(i), _mm256_mul_pd(_mm256_loadu_pd(xp.add(i)), av));
+                i += 4;
+            }
+            for xk in &mut x[split..n] {
+                *xk *= a;
+            }
         }
     }
 
+    // SAFETY: contract — AVX must be available (runtime-detected by
+    // `simd_ops`) and `x`/`y` must have equal length.
     #[target_feature(enable = "avx")]
     unsafe fn xpby_avx(x: &[f64], b: f64, y: &mut [f64]) {
-        let n = x.len();
-        let split = n - n % 4;
-        let bv = _mm256_set1_pd(b);
-        let xp = x.as_ptr();
-        let yp = y.as_mut_ptr();
-        let mut i = 0;
-        while i < split {
-            let sum = _mm256_add_pd(
-                _mm256_loadu_pd(xp.add(i)),
-                _mm256_mul_pd(bv, _mm256_loadu_pd(yp.add(i))),
-            );
-            _mm256_storeu_pd(yp.add(i), sum);
-            i += 4;
-        }
-        for k in split..n {
-            y[k] = x[k] + b * y[k];
+        // SAFETY: loads/stores at `i < split <= n` are in bounds of both
+        // equal-length slices.
+        unsafe {
+            let n = x.len();
+            let split = n - n % 4;
+            let bv = _mm256_set1_pd(b);
+            let xp = x.as_ptr();
+            let yp = y.as_mut_ptr();
+            let mut i = 0;
+            while i < split {
+                let sum = _mm256_add_pd(
+                    _mm256_loadu_pd(xp.add(i)),
+                    _mm256_mul_pd(bv, _mm256_loadu_pd(yp.add(i))),
+                );
+                _mm256_storeu_pd(yp.add(i), sum);
+                i += 4;
+            }
+            for k in split..n {
+                y[k] = x[k] + b * y[k];
+            }
         }
     }
 
+    // SAFETY: contract — AVX must be available (runtime-detected by
+    // `simd_ops`) and `x`/`y`/`w` must all have equal length.
     #[target_feature(enable = "avx")]
     unsafe fn waxpby_avx(a: f64, x: &[f64], b: f64, y: &[f64], w: &mut [f64]) {
-        let n = x.len();
-        let split = n - n % 4;
-        let av = _mm256_set1_pd(a);
-        let bv = _mm256_set1_pd(b);
-        let xp = x.as_ptr();
-        let yp = y.as_ptr();
-        let wp = w.as_mut_ptr();
-        let mut i = 0;
-        while i < split {
-            let sum = _mm256_add_pd(
-                _mm256_mul_pd(av, _mm256_loadu_pd(xp.add(i))),
-                _mm256_mul_pd(bv, _mm256_loadu_pd(yp.add(i))),
-            );
-            _mm256_storeu_pd(wp.add(i), sum);
-            i += 4;
-        }
-        for k in split..n {
-            w[k] = a * x[k] + b * y[k];
+        // SAFETY: loads/stores at `i < split <= n` are in bounds of all
+        // three equal-length slices.
+        unsafe {
+            let n = x.len();
+            let split = n - n % 4;
+            let av = _mm256_set1_pd(a);
+            let bv = _mm256_set1_pd(b);
+            let xp = x.as_ptr();
+            let yp = y.as_ptr();
+            let wp = w.as_mut_ptr();
+            let mut i = 0;
+            while i < split {
+                let sum = _mm256_add_pd(
+                    _mm256_mul_pd(av, _mm256_loadu_pd(xp.add(i))),
+                    _mm256_mul_pd(bv, _mm256_loadu_pd(yp.add(i))),
+                );
+                _mm256_storeu_pd(wp.add(i), sum);
+                i += 4;
+            }
+            for k in split..n {
+                w[k] = a * x[k] + b * y[k];
+            }
         }
     }
 
@@ -346,43 +384,53 @@ mod x86 {
     /// (0.0 · gathered `x[0]`) would already NaN-poison short rows
     /// whenever `x[0]` is non-finite — so each lane performs exactly the
     /// scalar kernel's sequential sum.
+    // SAFETY: contract — AVX2 must be available (runtime-detected by
+    // `simd_ops`); `x.len() == a.ncols()` and `y.len() == a.nrows()`.
     #[target_feature(enable = "avx2")]
     unsafe fn spmv_sell_avx2(a: &SellMatrix, x: &[f64], y: &mut [f64]) {
-        let chunk_ptr = a.chunk_ptr();
-        let cols = a.cols();
-        let vals = a.vals();
-        let perm = a.perm();
-        let lens = a.lens();
-        let nrows = a.nrows();
-        for k in 0..chunk_ptr.len() - 1 {
-            let base = chunk_ptr[k];
-            let width = (chunk_ptr[k + 1] - base) / SELL_C;
-            let p0 = k * SELL_C;
-            let len4 = _mm256_set_epi64x(
-                lens[p0 + 3] as i64,
-                lens[p0 + 2] as i64,
-                lens[p0 + 1] as i64,
-                lens[p0] as i64,
-            );
-            let mut acc = _mm256_setzero_pd();
-            for step in 0..width {
-                let slot = base + step * SELL_C;
-                let active =
-                    _mm256_castsi256_pd(_mm256_cmpgt_epi64(len4, _mm256_set1_epi64x(step as i64)));
-                let idx = _mm_loadu_si128(cols.as_ptr().add(slot) as *const __m128i);
-                // Masked gather: inactive lanes never touch memory, so the
-                // padding column 0 is never even read.
-                let xg =
-                    _mm256_mask_i32gather_pd::<8>(_mm256_setzero_pd(), x.as_ptr(), idx, active);
-                let prod = _mm256_mul_pd(_mm256_loadu_pd(vals.as_ptr().add(slot)), xg);
-                acc = _mm256_blendv_pd(acc, _mm256_add_pd(acc, prod), active);
-            }
-            let mut lanes = [0.0f64; 4];
-            _mm256_storeu_pd(lanes.as_mut_ptr(), acc);
-            for (lane, &sum) in lanes.iter().enumerate() {
-                let p = p0 + lane;
-                if p < nrows {
-                    y[perm[p] as usize] = sum;
+        // SAFETY: `chunk_ptr` brackets the padded `cols`/`vals` arrays, so
+        // every `slot` access is in bounds; the masked gather only reads
+        // `x[idx]` for active lanes whose column indices were validated
+        // `< ncols` at construction.
+        unsafe {
+            let chunk_ptr = a.chunk_ptr();
+            let cols = a.cols();
+            let vals = a.vals();
+            let perm = a.perm();
+            let lens = a.lens();
+            let nrows = a.nrows();
+            for k in 0..chunk_ptr.len() - 1 {
+                let base = chunk_ptr[k];
+                let width = (chunk_ptr[k + 1] - base) / SELL_C;
+                let p0 = k * SELL_C;
+                let len4 = _mm256_set_epi64x(
+                    lens[p0 + 3] as i64,
+                    lens[p0 + 2] as i64,
+                    lens[p0 + 1] as i64,
+                    lens[p0] as i64,
+                );
+                let mut acc = _mm256_setzero_pd();
+                for step in 0..width {
+                    let slot = base + step * SELL_C;
+                    let active = _mm256_castsi256_pd(_mm256_cmpgt_epi64(
+                        len4,
+                        _mm256_set1_epi64x(step as i64),
+                    ));
+                    let idx = _mm_loadu_si128(cols.as_ptr().add(slot) as *const __m128i);
+                    // Masked gather: inactive lanes never touch memory, so the
+                    // padding column 0 is never even read.
+                    let xg =
+                        _mm256_mask_i32gather_pd::<8>(_mm256_setzero_pd(), x.as_ptr(), idx, active);
+                    let prod = _mm256_mul_pd(_mm256_loadu_pd(vals.as_ptr().add(slot)), xg);
+                    acc = _mm256_blendv_pd(acc, _mm256_add_pd(acc, prod), active);
+                }
+                let mut lanes = [0.0f64; 4];
+                _mm256_storeu_pd(lanes.as_mut_ptr(), acc);
+                for (lane, &sum) in lanes.iter().enumerate() {
+                    let p = p0 + lane;
+                    if p < nrows {
+                        y[perm[p] as usize] = sum;
+                    }
                 }
             }
         }
@@ -469,7 +517,7 @@ pub fn scalar_ops() -> &'static dyn LocalOps {
 /// The SIMD backend if this machine supports it (x86-64 with AVX and
 /// AVX2), otherwise the scalar backend — callers never need to care.
 pub fn simd_ops() -> &'static dyn LocalOps {
-    #[cfg(target_arch = "x86_64")]
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
     {
         if x86::available() {
             return &x86::SimdOps;

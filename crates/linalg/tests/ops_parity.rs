@@ -51,7 +51,7 @@ fn ragged_csr(n: usize, entries: &[(usize, usize, f64)]) -> CsrMatrix {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+    #![proptest_config(ProptestConfig::with_cases(if cfg!(miri) { 4 } else { 96 }))]
 
     /// Every level-1 op is `to_bits`-identical across backends, at lengths
     /// that cover empty, sub-lane, exact-lane and ragged-tail cases.

@@ -10,7 +10,7 @@ fn small_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(ProptestConfig::with_cases(if cfg!(miri) { 4 } else { 64 }))]
 
     /// Givens rotations preserve the Euclidean norm of the pair they act on.
     #[test]
