@@ -436,6 +436,14 @@ const LOCALOPS_METHODS: &[&str] = &[
     "spmv_sell",
     "spmv_into",
     "nrm2",
+    // Blocked (multi-RHS) kernels: same contract — only the charging
+    // boundary may call them raw.
+    "spmm_csr",
+    "spmm_sell",
+    "dot_blocks",
+    "axpy_blocks",
+    "xpby_blocks",
+    "waxpby_blocks",
 ];
 
 /// Backend constructors: wired through solver/space options only.

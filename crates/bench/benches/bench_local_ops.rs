@@ -62,6 +62,29 @@ fn bench_level1(c: &mut Criterion) {
     }
     group.finish();
 
+    let mut group = c.benchmark_group("local_ops/dot_blocks");
+    group
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+        .sample_size(10);
+    for &k in &[1usize, 4, 8] {
+        // The block fused-CG shape: the (r·z, r·r) pair batch over k
+        // columns of 100k rows each — one call per batched reduction.
+        let n = 100_000;
+        let (r, z) = vectors(k * n);
+        for (name, ops) in backends() {
+            group.bench_with_input(BenchmarkId::new(name, k), &k, |b, _| {
+                let pairs: [(&[f64], &[f64]); 2] = [(&r, &z), (&r, &r)];
+                let mut out = vec![0.0; 2 * k];
+                b.iter(|| {
+                    ops.dot_blocks(k, &pairs, &mut out);
+                    std::hint::black_box(out[k - 1])
+                })
+            });
+        }
+    }
+    group.finish();
+
     let mut group = c.benchmark_group("local_ops/axpy");
     group
         .warm_up_time(Duration::from_millis(300))

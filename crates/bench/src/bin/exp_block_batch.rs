@@ -1,0 +1,255 @@
+//! Experiment E11 — block multi-RHS batching economics: one SpMM sweep and
+//! one allreduce serving the whole batch, measured against k sequential
+//! single-RHS solves, cold vs warm preconditioner-setup cache.
+//!
+//! Three claims, all in the simulator's deterministic virtual time:
+//!
+//! * **Collectives do not scale with k.** The batched payload keeps the
+//!   allreduce schedule at the single-RHS count (fused: 2/iter,
+//!   pipelined: 1/iter) for k ∈ {1, 8} alike — asserted exactly.
+//! * **Batching amortises latency.** At k = 8 the block solve pays one
+//!   latency-α per collective where the sequential baseline pays eight,
+//!   so aggregate throughput grows near-linearly in k once latency
+//!   dominates.
+//! * **The setup cache retires the refactorization.** Warm-cache block
+//!   solves skip the per-solve block-Jacobi LU entirely; the headline
+//!   assert pins warm batched throughput ≥ 2× the k-sequential cold
+//!   baseline at k = 8 on ≥ 2 ranks.
+//!
+//! Output: a table plus one `JSON:` line per cell (hand-rolled — the
+//! workspace carries no JSON dependency). Pass `--json` to emit a single
+//! machine-readable JSON array instead (the format checked in as
+//! `BENCH_block_batch.json`), `--smoke` for a CI-sized grid. The headline
+//! asserts run in every mode: virtual time is deterministic, so they are
+//! safe on loaded CI machines.
+
+use resilience::prelude::*;
+use resilient_bench::{fmt_g, fmt_ratio, Table};
+use resilient_linalg::poisson2d;
+use resilient_runtime::{LatencyModel, Runtime, RuntimeConfig};
+
+/// The latency regime of `exp_latency`'s pipelining story: collective
+/// latency is the scarce resource, arithmetic is cheap but not free.
+fn config() -> RuntimeConfig {
+    let mut cfg = RuntimeConfig::fast();
+    cfg.latency = LatencyModel {
+        alpha: 5.0e-4,
+        beta: 0.0,
+        gamma: 0.0,
+    };
+    cfg.seconds_per_flop = 1.0e-9;
+    cfg
+}
+
+/// Distinct right-hand sides so the columns are genuinely independent
+/// solves (no zero columns: every lane must stay active until tolerance).
+fn rhs(c: usize, i: usize) -> f64 {
+    ((i * (c + 1)) as f64 * 0.13).sin() + 1.0 + c as f64
+}
+
+/// Virtual seconds for (k sequential cold solves, block solve cold cache,
+/// block solve warm cache) at one grid cell, plus the block iteration count.
+fn measure(pipelined: bool, ranks: usize, k: usize, nx: usize) -> (f64, f64, f64, usize) {
+    let rt = Runtime::new(config());
+    let per_rank = rt
+        .run(ranks, move |comm| {
+            let a = poisson2d(nx, nx);
+            let n = a.nrows();
+            let da = DistCsr::from_global(comm, &a)?;
+            let bk = DistMultiVector::from_fn(comm, n, k, rhs);
+            let opts = DistSolveOptions::default()
+                .with_tol(1e-8)
+                .with_max_iters(400);
+
+            // Baseline: k sequential single-RHS solves, each paying its own
+            // allreduce schedule and its own block-Jacobi factorization.
+            let t0 = comm.now();
+            for c in 0..k {
+                let bc = bk.column(c);
+                let mut m = BlockJacobi::new(&da);
+                let out = if pipelined {
+                    pipelined_pcg(comm, &da, &bc, &mut m, &opts)?
+                } else {
+                    dist_pcg(comm, &da, &bc, &mut m, &opts)?
+                };
+                assert!(out.converged, "sequential solve {c} must converge");
+            }
+            let t1 = comm.now();
+
+            // Block solve, cold cache: one SpMM sweep and one batched
+            // allreduce payload per reduction, but the LU is still paid.
+            let mut cache = SetupCache::new();
+            let mut m = cache.block_jacobi(&da);
+            let cold = if pipelined {
+                pipelined_block_pcg(comm, &da, &bk, &mut m, &opts)?
+            } else {
+                dist_block_pcg(comm, &da, &bk, &mut m, &opts)?
+            };
+            let t2 = comm.now();
+
+            // Block solve, warm cache: the fingerprint hit hands back the
+            // memoized factors, so setup flops drop to zero.
+            let mut m = cache.block_jacobi(&da);
+            let warm = if pipelined {
+                pipelined_block_pcg(comm, &da, &bk, &mut m, &opts)?
+            } else {
+                dist_block_pcg(comm, &da, &bk, &mut m, &opts)?
+            };
+            let t3 = comm.now();
+
+            assert!(cold.all_converged() && warm.all_converged());
+            assert_eq!(
+                (cache.hits(), cache.misses()),
+                (1, 1),
+                "second block solve must hit the setup cache"
+            );
+            Ok((t1 - t0, t2 - t1, t3 - t2, warm.iterations))
+        })
+        .unwrap_all();
+    // Virtual clocks agree at the final barrier; take the slowest rank.
+    let max = |i: usize| {
+        per_rank
+            .iter()
+            .map(|t| [t.0, t.1, t.2][i])
+            .fold(0.0f64, f64::max)
+    };
+    (max(0), max(1), max(2), per_rank[0].3)
+}
+
+/// Exact allreduces per iteration of a pinned (tol = 1e-30) block solve:
+/// collective counts of a 12- and a 5-iteration run, divided out.
+fn allreduces_per_iter(pipelined: bool, ranks: usize, k: usize) -> u64 {
+    let count = |max_iters: usize| -> u64 {
+        let rt = Runtime::new(RuntimeConfig::fast());
+        rt.run(ranks, move |comm| {
+            let a = poisson2d(8, 8);
+            let n = a.nrows();
+            let da = DistCsr::from_global(comm, &a)?;
+            let bk = DistMultiVector::from_fn(comm, n, k, rhs);
+            let opts = DistSolveOptions::default()
+                .with_tol(1e-30)
+                .with_max_iters(max_iters);
+            let mut m = BlockJacobi::new(&da);
+            let before = comm.snapshot_stats().collectives;
+            let out = if pipelined {
+                pipelined_block_pcg(comm, &da, &bk, &mut m, &opts)?
+            } else {
+                dist_block_pcg(comm, &da, &bk, &mut m, &opts)?
+            };
+            assert_eq!(out.iterations, max_iters, "pinned run must not converge");
+            Ok(comm.snapshot_stats().collectives - before)
+        })
+        .unwrap_all()[0]
+    };
+    let (short, long) = (count(5), count(12));
+    assert_eq!(
+        (long - short) % 7,
+        0,
+        "collective count must be linear in iterations"
+    );
+    (long - short) / 7
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let json = std::env::args().any(|a| a == "--json");
+    let (rank_grid, k_grid, nx): (&[usize], &[usize], usize) = if smoke {
+        (&[1, 2], &[1, 8], 10)
+    } else {
+        (&[1, 2, 4, 8], &[1, 2, 4, 8], 16)
+    };
+    let mut records: Vec<String> = Vec::new();
+
+    // Claim 1: the allreduce schedule is independent of k — exactly.
+    let mut table_coll = Table::new(
+        "E11a: allreduces per block-CG iteration (pinned runs, 4 ranks)",
+        &["mode", "k", "allreduces/iter"],
+    );
+    let coll_ranks = if smoke { 2 } else { 4 };
+    for (mode, pipelined, expected) in [("fused", false, 2u64), ("pipelined", true, 1u64)] {
+        let per_k: Vec<u64> = [1usize, 8]
+            .iter()
+            .map(|&k| {
+                let per_iter = allreduces_per_iter(pipelined, coll_ranks, k);
+                table_coll.row(vec![mode.into(), k.to_string(), per_iter.to_string()]);
+                records.push(format!(
+                    "{{\"experiment\":\"block_batch\",\"metric\":\"allreduces_per_iter\",\"mode\":\"{mode}\",\"ranks\":{coll_ranks},\"k\":{k},\"value\":{per_iter}}}"
+                ));
+                per_iter
+            })
+            .collect();
+        assert_eq!(
+            per_k[0], per_k[1],
+            "{mode}: k=8 allreduces/iter must equal the k=1 count"
+        );
+        assert_eq!(per_k[0], expected, "{mode}: allreduces/iter regressed");
+    }
+
+    // Claims 2 and 3: batching amortises latency, the cache retires setup.
+    let mut table = Table::new(
+        "E11b: batched multi-RHS throughput vs k sequential solves (virtual time)",
+        &[
+            "mode",
+            "ranks",
+            "k",
+            "seq cold s",
+            "block cold s",
+            "block warm s",
+            "warm speedup",
+        ],
+    );
+    let mut headline = f64::NAN;
+    for (mode, pipelined) in [("fused", false), ("pipelined", true)] {
+        for &ranks in rank_grid {
+            for &k in k_grid {
+                let (seq_cold, block_cold, block_warm, iters) = measure(pipelined, ranks, k, nx);
+                let speedup = seq_cold / block_warm;
+                if !pipelined && ranks == 2 && k == 8 {
+                    headline = speedup;
+                }
+                table.row(vec![
+                    mode.into(),
+                    ranks.to_string(),
+                    k.to_string(),
+                    fmt_g(seq_cold),
+                    fmt_g(block_cold),
+                    fmt_g(block_warm),
+                    fmt_ratio(speedup),
+                ]);
+                records.push(format!(
+                    "{{\"experiment\":\"block_batch\",\"metric\":\"throughput\",\"mode\":\"{mode}\",\"ranks\":{ranks},\"k\":{k},\"iters\":{iters},\"seq_cold_s\":{seq_cold:.6e},\"block_cold_s\":{block_cold:.6e},\"block_warm_s\":{block_warm:.6e},\"warm_speedup\":{speedup:.3}}}"
+                ));
+                // Batch-width-1 sanity: the block path must not be slower
+                // than its own single-RHS twin by more than bookkeeping.
+                if k == 1 {
+                    assert!(
+                        block_warm <= seq_cold,
+                        "{mode} k=1 at {ranks} ranks: warm block solve slower than dist solve"
+                    );
+                }
+            }
+        }
+    }
+
+    // Headline assert (acceptance criterion): warm-cache batched throughput
+    // beats the k-sequential cold baseline ≥ 2× at k = 8 on ≥ 2 ranks. Both
+    // grids include that cell, so this holds in smoke mode too.
+    assert!(
+        headline >= 2.0,
+        "headline regressed: warm k=8 block speedup {headline:.2}x < 2x on 2 ranks"
+    );
+
+    if json {
+        println!("[\n{}\n]", records.join(",\n"));
+    } else {
+        table_coll.emit("block_batch_collectives");
+        table.emit("block_batch");
+        for r in &records {
+            println!("JSON: {r}");
+        }
+        println!(
+            "headline: warm-cache k=8 block solve {:.1}x faster than 8 sequential cold solves (2 ranks, fused)",
+            headline
+        );
+    }
+}

@@ -16,7 +16,9 @@
 //!
 //! Output: a table plus one `JSON:` line per measurement (hand-rolled —
 //! the workspace carries no JSON dependency) for downstream scraping.
-//! Pass `--smoke` for a CI-sized run (small sizes, no speedup assertions —
+//! Pass `--json` to emit a single machine-readable JSON array instead
+//! (the stable bench-trajectory format; speedup assertions still apply),
+//! `--smoke` for a CI-sized run (small sizes, no speedup assertions —
 //! CI machines have unknown caches and neighbours).
 
 use resilient_bench::{fmt_g, fmt_ratio, Table};
@@ -44,20 +46,35 @@ fn vectors(n: usize) -> (Vec<f64>, Vec<f64>) {
     (x, y)
 }
 
-/// One `JSON:` line per measurement; keys are fixed, values numeric.
-fn emit_json(op: &str, n: usize, scalar_s: f64, simd_s: f64) {
-    println!(
-        "JSON: {{\"experiment\":\"kernel_speed\",\"op\":\"{}\",\"n\":{},\"scalar_s\":{:.3e},\"simd_s\":{:.3e},\"speedup\":{:.3}}}",
+/// One record per measurement; keys are fixed, values numeric. In the
+/// default mode each record is printed as a `JSON:` line as it is taken;
+/// under `--json` they are collected into one JSON array document.
+fn emit_json(
+    records: &mut Vec<String>,
+    json: bool,
+    op: &str,
+    n: usize,
+    scalar_s: f64,
+    simd_s: f64,
+) {
+    let record = format!(
+        "{{\"experiment\":\"kernel_speed\",\"op\":\"{}\",\"n\":{},\"scalar_s\":{:.3e},\"simd_s\":{:.3e},\"speedup\":{:.3}}}",
         op,
         n,
         scalar_s,
         simd_s,
         scalar_s / simd_s
     );
+    if !json {
+        println!("JSON: {record}");
+    }
+    records.push(record);
 }
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let json = std::env::args().any(|a| a == "--json");
+    let mut records: Vec<String> = Vec::new();
     let sizes: &[usize] = if smoke {
         &[1_000, 100_000]
     } else {
@@ -71,17 +88,19 @@ fn main() {
     let backends: [(&str, &'static dyn LocalOps); 2] =
         [("scalar", scalar_ops()), ("simd", simd_ops())];
     let simd_is_real = backends[1].1.name() != backends[0].1.name();
-    println!(
-        "backends: scalar={}, simd={}, auto selects {}{}",
-        backends[0].1.name(),
-        backends[1].1.name(),
-        auto_ops().name(),
-        if simd_is_real {
-            ""
-        } else {
-            " (no AVX2: SIMD backend fell back to scalar)"
-        }
-    );
+    if !json {
+        println!(
+            "backends: scalar={}, simd={}, auto selects {}{}",
+            backends[0].1.name(),
+            backends[1].1.name(),
+            auto_ops().name(),
+            if simd_is_real {
+                ""
+            } else {
+                " (no AVX2: SIMD backend fell back to scalar)"
+            }
+        );
+    }
 
     let mut table = Table::new(
         "E10: device-op kernel speed (measured wall clock, best-of-reps)",
@@ -112,7 +131,7 @@ fn main() {
             fmt_g(times[1]),
             fmt_ratio(speedup),
         ]);
-        emit_json("dot", n, times[0], times[1]);
+        emit_json(&mut records, json, "dot", n, times[0], times[1]);
 
         // axpy: streaming write — memory-bound at every large size.
         let mut yb = y.clone();
@@ -129,7 +148,7 @@ fn main() {
             fmt_g(times[1]),
             fmt_ratio(times[0] / times[1]),
         ]);
-        emit_json("axpy", n, times[0], times[1]);
+        emit_json(&mut records, json, "axpy", n, times[0], times[1]);
 
         // Fused triple-dot vs three separate dots, on the SIMD backend:
         // the pipelined-CG reduction shape. This is a bandwidth win, so it
@@ -156,7 +175,7 @@ fn main() {
             fmt_g(fused),
             fmt_ratio(separate / fused),
         ]);
-        emit_json("dot_pairs3", n, separate, fused);
+        emit_json(&mut records, json, "dot_pairs3", n, separate, fused);
     }
 
     // SpMV: CSR (sequential by spec) vs SELL-C-σ (gather-vectorisable).
@@ -183,10 +202,21 @@ fn main() {
             fmt_g(sell_simd),
             fmt_ratio(csr_scalar / sell_simd),
         ]);
-        emit_json("spmv_csr_vs_sell", n, csr_scalar, sell_simd);
+        emit_json(
+            &mut records,
+            json,
+            "spmv_csr_vs_sell",
+            n,
+            csr_scalar,
+            sell_simd,
+        );
     }
 
-    table.emit("kernel_speed");
+    if json {
+        println!("[\n{}\n]", records.join(",\n"));
+    } else {
+        table.emit("kernel_speed");
+    }
 
     if !smoke && simd_is_real {
         // The honest headline: SIMD pays in cache; the fused reduction
@@ -199,9 +229,11 @@ fn main() {
             fused_ratio_largest >= 1.15,
             "fused dot_pairs lost its bandwidth win: {fused_ratio_largest:.2}x < 1.15x"
         );
-        println!(
-            "headline: simd dot {:.2}x in cache (n=1e5); fused triple-dot {:.2}x at n=1e6",
-            dot_speedup_at_100k, fused_ratio_largest
-        );
+        if !json {
+            println!(
+                "headline: simd dot {:.2}x in cache (n=1e5); fused triple-dot {:.2}x at n=1e6",
+                dot_speedup_at_100k, fused_ratio_largest
+            );
+        }
     }
 }

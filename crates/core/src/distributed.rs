@@ -16,6 +16,19 @@ use resilient_runtime::{BlockDistribution, CommBackend, Result};
 /// Tag space used by the SpMV ghost exchange.
 const GHOST_TAG: i32 = 1 << 18;
 
+/// Sort scope σ used when [`DistCsr::from_global`] auto-selects the
+/// SELL-C-σ layout (matches the `exp_kernel_speed` sweet spot).
+pub const DEFAULT_SELL_SIGMA: usize = 256;
+
+/// One FNV-1a step (64-bit) over an 8-byte word.
+fn fnv1a(h: &mut u64, v: u64) {
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    for b in v.to_le_bytes() {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(FNV_PRIME);
+    }
+}
+
 /// A block-row distributed vector.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DistVector {
@@ -99,6 +112,118 @@ impl DistVector {
     }
 }
 
+/// A block of `k` block-row distributed vectors sharing one distribution:
+/// the multi-RHS surface of the batched solve path.
+///
+/// Local storage is packed column-major — column `c` occupies
+/// `local[c * n_local..(c + 1) * n_local]` — exactly the layout the blocked
+/// [`LocalOps`] kernels (`spmm_*`, `dot_blocks`, `*_blocks`) are specified
+/// over, so the multi-vector can be handed to them without copies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistMultiVector {
+    /// Locally owned entries, packed column-major (`k` columns of length
+    /// `local_rows`).
+    pub local: Vec<f64>,
+    k: usize,
+    dist: BlockDistribution,
+    rank: usize,
+}
+
+impl DistMultiVector {
+    /// Create this rank's part of `k` global vectors of length `n`, filled
+    /// by `f(column, global_index)`.
+    pub fn from_fn<C: CommBackend>(
+        comm: &C,
+        n: usize,
+        k: usize,
+        f: impl Fn(usize, usize) -> f64,
+    ) -> Self {
+        let dist = BlockDistribution::new(n, comm.size());
+        let rank = comm.rank();
+        let mut local = Vec::with_capacity(k * dist.range(rank).len());
+        for c in 0..k {
+            local.extend(dist.range(rank).map(|i| f(c, i)));
+        }
+        Self {
+            local,
+            k,
+            dist,
+            rank,
+        }
+    }
+
+    /// A distributed zero multi-vector: `k` columns of global length `n`.
+    pub fn zeros<C: CommBackend>(comm: &C, n: usize, k: usize) -> Self {
+        Self::from_fn(comm, n, k, |_, _| 0.0)
+    }
+
+    /// Pack `k` single vectors (which must share one distribution) into a
+    /// multi-vector.
+    pub fn from_columns(cols: &[DistVector]) -> Self {
+        assert!(!cols.is_empty(), "from_columns: empty column set");
+        let dist = cols[0].dist;
+        let rank = cols[0].rank;
+        let n_local = cols[0].local.len();
+        let mut local = Vec::with_capacity(cols.len() * n_local);
+        for c in cols {
+            assert_eq!(c.local.len(), n_local, "from_columns: ragged columns");
+            local.extend_from_slice(&c.local);
+        }
+        Self {
+            local,
+            k: cols.len(),
+            dist,
+            rank,
+        }
+    }
+
+    /// Number of columns (right-hand sides) in the block.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Global length of each column.
+    pub fn global_len(&self) -> usize {
+        self.dist.n
+    }
+
+    /// Locally owned length of each column.
+    pub fn local_rows(&self) -> usize {
+        self.local.len().checked_div(self.k).unwrap_or(0)
+    }
+
+    /// The shared block distribution.
+    pub fn distribution(&self) -> BlockDistribution {
+        self.dist
+    }
+
+    /// Column `c`'s locally owned entries.
+    pub fn col(&self, c: usize) -> &[f64] {
+        let n = self.local_rows();
+        &self.local[c * n..(c + 1) * n]
+    }
+
+    /// Mutable view of column `c`'s locally owned entries.
+    pub fn col_mut(&mut self, c: usize) -> &mut [f64] {
+        let n = self.local_rows();
+        &mut self.local[c * n..(c + 1) * n]
+    }
+
+    /// Extract column `c` as a standalone [`DistVector`].
+    pub fn column(&self, c: usize) -> DistVector {
+        DistVector {
+            local: self.col(c).to_vec(),
+            dist: self.dist,
+            rank: self.rank,
+        }
+    }
+
+    /// Overwrite column `c` from a single vector of the same distribution.
+    pub fn set_column(&mut self, c: usize, v: &DistVector) {
+        self.col_mut(c).copy_from_slice(&v.local);
+    }
+}
+
 /// A block-row distributed CSR matrix with precomputed ghost-exchange lists.
 #[derive(Debug, Clone)]
 pub struct DistCsr {
@@ -167,6 +292,21 @@ impl DistCsr {
         }
         let local = coo.to_csr();
         let flops = local.spmv_flops();
+        // Layout auto-selection (purely local, per rank): SELL-C-σ wins
+        // when rows are near-uniform — its per-chunk padding is then ~free
+        // and the SIMD sweep gets contiguous value loads — and loses on
+        // wildly ragged rows, where padding wastes bandwidth. Measure the
+        // local row-length dispersion and pick SELL when the squared
+        // coefficient of variation is small; tiny blocks stay CSR (the
+        // chunk machinery has fixed overhead). Results are bit-identical
+        // either way, so ranks need not agree on the choice.
+        // `with_sell_layout(σ)` / `with_csr_layout()` remain the manual
+        // overrides.
+        let sell = if Self::prefers_sell(&local) {
+            Some(SellMatrix::from_csr(&local, DEFAULT_SELL_SIGMA))
+        } else {
+            None
+        };
 
         // Tell every rank which global indices we need (allgather of index
         // lists encoded as f64; exact for indices < 2^53).
@@ -212,8 +352,28 @@ impl DistCsr {
             send_lists,
             recv_lists,
             flops,
-            sell: None,
+            sell,
         })
+    }
+
+    /// The row-length-variance heuristic behind layout auto-selection.
+    fn prefers_sell(local: &CsrMatrix) -> bool {
+        let nr = local.nrows();
+        if nr < 64 {
+            return false;
+        }
+        let mean = local.nnz() as f64 / nr as f64;
+        if mean <= 0.0 {
+            return false;
+        }
+        let var = (0..nr)
+            .map(|i| {
+                let d = local.row(i).0.len() as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / nr as f64;
+        var / (mean * mean) <= 0.25
     }
 
     /// Store the local rows in SELL-C-σ as well and run every SpMV through
@@ -222,6 +382,35 @@ impl DistCsr {
     pub fn with_sell_layout(mut self, sigma: usize) -> Self {
         self.sell = Some(SellMatrix::from_csr(&self.local, sigma));
         self
+    }
+
+    /// Force the CSR path, discarding any (auto- or manually-selected)
+    /// SELL copy. The manual override mirror of [`DistCsr::with_sell_layout`].
+    pub fn with_csr_layout(mut self) -> Self {
+        self.sell = None;
+        self
+    }
+
+    /// A per-rank checksum over this rank's local structure **and** values
+    /// (FNV-1a over dimensions, column indices and value bit patterns).
+    /// Two `DistCsr`s built from the same global matrix on the same
+    /// communicator size hash equal on every rank; any structural or
+    /// numerical change — or a different row partition — changes it. The
+    /// [`SetupCache`](crate::kernel::SetupCache) keys preconditioner setup
+    /// off this.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        fnv1a(&mut h, self.dist.n as u64);
+        fnv1a(&mut h, self.n_local as u64);
+        for i in 0..self.local.nrows() {
+            let (cols, vals) = self.local.row(i);
+            fnv1a(&mut h, cols.len() as u64);
+            for (&j, &v) in cols.iter().zip(vals) {
+                fnv1a(&mut h, j as u64);
+                fnv1a(&mut h, v.to_bits());
+            }
+        }
+        h
     }
 
     /// Name of the active local SpMV layout (`"csr"` or `"sell"`).
@@ -347,6 +536,73 @@ impl DistCsr {
         }
         Ok(DistVector {
             local: y_local,
+            dist: self.dist,
+            rank: comm.rank(),
+        })
+    }
+
+    /// Batched distributed SpMM: `Y = A·X` over all `k` columns of a
+    /// [`DistMultiVector`] with **one** ghost exchange per neighbour (each
+    /// message carries all `k` columns' boundary values) and one local
+    /// matrix sweep feeding all `k` outputs. Each output column is
+    /// bit-identical to [`DistCsr::apply_with`] on that column alone.
+    ///
+    /// `active` is the number of columns still charged for arithmetic:
+    /// converged columns in a masked block solve stop paying FLOPs but keep
+    /// their slot in the sweep (and in every collective), so the charge is
+    /// `flops_per_apply × active`, not `× k`.
+    pub fn apply_block_with<C: CommBackend>(
+        &self,
+        comm: &mut C,
+        x: &DistMultiVector,
+        ops: &dyn LocalOps,
+        scratch: &mut Vec<f64>,
+        active: usize,
+    ) -> Result<DistMultiVector> {
+        assert_eq!(
+            x.global_len(),
+            self.global_dim(),
+            "spmm: dimension mismatch"
+        );
+        let k = x.k();
+        let stride = self.n_local + self.ghost_globals.len();
+        scratch.clear();
+        scratch.resize(k * stride, 0.0);
+        for c in 0..k {
+            scratch[c * stride..c * stride + self.n_local].copy_from_slice(x.col(c));
+        }
+        // One message per neighbour for the whole block: the payload packs
+        // the send-list values column-major, k × |send_list| long.
+        let my_rank = comm.rank();
+        for (idx, &peer) in self.neighbors.iter().enumerate() {
+            let list = &self.send_lists[idx];
+            let mut payload = Vec::with_capacity(k * list.len());
+            for c in 0..k {
+                let col = x.col(c);
+                payload.extend(list.iter().map(|&i| col[i]));
+            }
+            comm.send_f64(peer, GHOST_TAG + my_rank as i32, &payload)?;
+        }
+        for (idx, &peer) in self.neighbors.iter().enumerate() {
+            let (_, data) = comm.recv_f64(peer, GHOST_TAG + peer as i32)?;
+            let list = &self.recv_lists[idx];
+            debug_assert_eq!(data.len(), k * list.len());
+            for c in 0..k {
+                let chunk = &data[c * list.len()..(c + 1) * list.len()];
+                for (&pos, &v) in list.iter().zip(chunk) {
+                    scratch[c * stride + self.n_local + pos] = v;
+                }
+            }
+        }
+        comm.charge_flops(self.flops * active);
+        let mut y_local = vec![0.0; k * self.n_local];
+        match &self.sell {
+            Some(sell) => ops.spmm_sell(sell, k, scratch, &mut y_local),
+            None => ops.spmm_csr(&self.local, k, scratch, &mut y_local),
+        }
+        Ok(DistMultiVector {
+            local: y_local,
+            k,
             dist: self.dist,
             rank: comm.rank(),
         })
@@ -512,6 +768,119 @@ mod tests {
                     assert_eq!(got, expected, "block[{li}][{lj}]");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn apply_block_columns_match_single_rhs_apply_bitwise() {
+        let rt = Runtime::new(RuntimeConfig::fast());
+        for ranks in [1usize, 3, 5] {
+            let result = rt.run(ranks, move |comm| {
+                let a = poisson2d(7, 6);
+                let n = a.nrows();
+                let da = DistCsr::from_global(comm, &a)?;
+                let k = 4;
+                let xb =
+                    DistMultiVector::from_fn(comm, n, k, |c, i| ((i + 3 * c) as f64 * 0.29).sin());
+                let ops = resilient_linalg::scalar_ops();
+                let yb = da.apply_block_with(comm, &xb, ops, &mut Vec::new(), k)?;
+                let mut singles = Vec::new();
+                for c in 0..k {
+                    let y = da.apply_with(comm, &xb.column(c), ops, &mut Vec::new())?;
+                    singles.push(y.local);
+                }
+                Ok((yb, singles))
+            });
+            for (yb, singles) in result.unwrap_all() {
+                for (c, want) in singles.iter().enumerate() {
+                    let bits = |v: &[f64]| v.iter().map(|e| e.to_bits()).collect::<Vec<_>>();
+                    assert_eq!(bits(yb.col(c)), bits(want), "ranks={ranks} c={c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multivector_roundtrips_columns() {
+        let rt = Runtime::new(RuntimeConfig::fast());
+        let result = rt.run(3, move |comm| {
+            let cols: Vec<DistVector> = (0..3)
+                .map(|c| DistVector::from_fn(comm, 14, |i| (c * 100 + i) as f64))
+                .collect();
+            let mut mv = DistMultiVector::from_columns(&cols);
+            assert_eq!(mv.k(), 3);
+            for (c, want) in cols.iter().enumerate() {
+                assert_eq!(&mv.column(c), want);
+            }
+            let replacement = DistVector::from_fn(comm, 14, |i| -(i as f64));
+            mv.set_column(1, &replacement);
+            Ok(mv.column(1) == replacement)
+        });
+        assert!(result.unwrap_all().into_iter().all(|ok| ok));
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_value_sensitive() {
+        let rt = Runtime::new(RuntimeConfig::fast());
+        let result = rt.run(3, move |comm| {
+            let a = poisson2d(6, 6);
+            let da1 = DistCsr::from_global(comm, &a)?;
+            let da2 = DistCsr::from_global(comm, &a)?;
+            // Same structure, diagonal nudged: the hash is per-rank (each
+            // rank hashes its own rows), so perturb a value in every
+            // rank's block.
+            let mut coo = CooMatrix::new(a.nrows(), a.ncols());
+            for i in 0..a.nrows() {
+                let (cols, vals) = a.row(i);
+                for (&j, &v) in cols.iter().zip(vals) {
+                    coo.push(i, j, if i == j { v + 1e-9 } else { v });
+                }
+            }
+            let da3 = DistCsr::from_global(comm, &coo.to_csr())?;
+            Ok((da1.fingerprint(), da2.fingerprint(), da3.fingerprint()))
+        });
+        for (f1, f2, f3) in result.unwrap_all() {
+            assert_eq!(f1, f2, "same matrix must hash equal");
+            assert_ne!(f1, f3, "a value change must change the hash");
+        }
+    }
+
+    #[test]
+    fn layout_auto_selection_is_bit_identical_to_forced_layouts() {
+        // Poisson rows are near-uniform, so big-enough local blocks
+        // auto-select SELL; the override must still force either layout and
+        // all three must agree bitwise.
+        let rt = Runtime::new(RuntimeConfig::fast());
+        let result = rt.run(2, move |comm| {
+            let a = poisson2d(16, 16);
+            let n = a.nrows();
+            let auto = DistCsr::from_global(comm, &a)?;
+            let forced_sell = DistCsr::from_global(comm, &a)?.with_sell_layout(DEFAULT_SELL_SIGMA);
+            let forced_csr = DistCsr::from_global(comm, &a)?.with_csr_layout();
+            assert_eq!(auto.layout(), "sell", "near-uniform rows select SELL");
+            assert_eq!(forced_csr.layout(), "csr");
+            let x = DistVector::from_fn(comm, n, |i| (i as f64 * 0.17).cos());
+            let ya = auto.apply(comm, &x)?;
+            let ys = forced_sell.apply(comm, &x)?;
+            let yc = forced_csr.apply(comm, &x)?;
+            Ok((ya.local, ys.local, yc.local))
+        });
+        for (ya, ys, yc) in result.unwrap_all() {
+            let bits = |v: &[f64]| v.iter().map(|e| e.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&ya), bits(&ys));
+            assert_eq!(bits(&ya), bits(&yc));
+        }
+    }
+
+    #[test]
+    fn tiny_blocks_stay_csr() {
+        let rt = Runtime::new(RuntimeConfig::fast());
+        let result = rt.run(2, move |comm| {
+            let a = poisson1d(23);
+            Ok(DistCsr::from_global(comm, &a)?.layout())
+        });
+        for layout in result.unwrap_all() {
+            assert_eq!(layout, "csr", "sub-64-row blocks keep the CSR path");
         }
     }
 

@@ -1,0 +1,876 @@
+//! Block (multi-RHS) preconditioned conjugate gradients: one operator
+//! sweep and **one** collective per reduction point serve every right-hand
+//! side in the batch, so the per-iteration collective count is independent
+//! of the batch width `k`.
+//!
+//! The paper's cost model makes allreduce latency the scaling wall of the
+//! recurrence (§II-B); the "millions of users" workload it motivates solves
+//! *many* right-hand sides against few operators. This kernel amortizes
+//! the wall over the batch: [`run_block_cg`] is the batched twin of
+//! [`run_cg`](super::run_cg), with [`BlockCgMode::Fused`] mirroring
+//! [`FusedCgStep::preconditioned`](super::FusedCgStep) (two blocking
+//! batched reductions per iteration) and [`BlockCgMode::Pipelined`]
+//! mirroring [`PipelinedCgStep::preconditioned`](super::PipelinedCgStep)
+//! (one nonblocking batched reduction posted before the overlapped
+//! preconditioner + SpMM).
+//!
+//! **Lane width is part of the spec.** Every column runs exactly the
+//! single-RHS recurrence — backends only amortize memory traffic and
+//! collective latency, never reassociate across columns — so at `k = 1`
+//! the solve is bit-identical (iterates, residual history, collective
+//! schedule, virtual-time charges) to the corresponding single-RHS preset.
+//!
+//! **Convergence masking.** Columns converge (or break down)
+//! independently. A finished column *freezes*: its iterate, recurrence
+//! vectors and preconditioner applies stop — it no longer charges
+//! arithmetic — but its slots stay in every reduction payload, so every
+//! rank posts identical collectives in identical order (the repo's
+//! collective-symmetry rule). Frozen slots carry stale-but-deterministic
+//! partials: the freeze decision is made from globally reduced scalars,
+//! hence rank-symmetric.
+//!
+//! **Policy integration.** The same [`PolicyStack`] hooks run at the same
+//! points as in the single-RHS kernel. Hooks operate on single vectors, so
+//! the block kernel presents *guard* views of column 0 (bitwise the whole
+//! story at `k = 1`); `on_failure` recovery likewise restores through the
+//! column-0 guard. Check dots ride the batched reductions (wants-dots
+//! fusion), so detection still adds zero collectives per iteration. One
+//! deviation from the single-RHS fused step: the block kernel *always*
+//! fuses its first reduction, so with no check requests the `after_spmv`
+//! hook runs after the reduction instead of before it (indistinguishable
+//! unless a policy both requests no dots and acts in `after_spmv`).
+//!
+//! Single-event-upset injection ([`SpmvFault`](super::SpmvFault)) targets
+//! the single-vector apply path and does not fire inside blocked applies.
+
+use resilient_runtime::{CommBackend, Result};
+
+use super::policy::{
+    CheckVectors, DetectionResponse, FailureEvent, PolicyStack, RecoveryAction, SolutionProbe,
+    StackOutcome,
+};
+use super::precond::SpacePreconditioner;
+use super::space::{DistSpace, KrylovSpace};
+use super::{KernelReport, SolveProgress};
+use crate::distributed::{DistMultiVector, DistVector};
+use crate::solvers::common::{SolveOptions, StopReason};
+
+/// Which reduction schedule the block kernel runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockCgMode {
+    /// Two blocking batched reductions per iteration — the batched
+    /// [`FusedCgStep::preconditioned`](super::FusedCgStep) recurrence.
+    Fused,
+    /// One nonblocking batched reduction per iteration, posted before the
+    /// preconditioner applies and SpMM it overlaps — the batched
+    /// [`PipelinedCgStep::preconditioned`](super::PipelinedCgStep)
+    /// recurrence (Ghysels & Vanroose).
+    Pipelined,
+}
+
+/// Result of one block solve: the final block iterate plus per-column
+/// convergence data.
+#[derive(Debug, Clone)]
+pub struct BlockOutcome {
+    /// Final block iterate (all `k` columns).
+    pub x: DistMultiVector,
+    /// Iterations the solve performed (the batch advances in lockstep).
+    pub iterations: usize,
+    /// Iteration at which each column froze (converged or broke down);
+    /// columns still active at the end report the total iteration count.
+    pub column_iterations: Vec<usize>,
+    /// Final relative residual of each column (recurrence estimate).
+    pub relative_residuals: Vec<f64>,
+    /// Did each column meet the tolerance?
+    pub converged: Vec<bool>,
+    /// Why the solve as a whole stopped.
+    pub reason: StopReason,
+    /// Per-column relative-residual history (entries stop at the freeze).
+    pub histories: Vec<Vec<f64>>,
+}
+
+impl BlockOutcome {
+    /// Convert into the distributed solvers' public block outcome type.
+    pub fn into_block_solve_outcome(self) -> crate::rbsp::BlockSolveOutcome {
+        crate::rbsp::BlockSolveOutcome {
+            x: self.x,
+            iterations: self.iterations,
+            column_iterations: self.column_iterations,
+            relative_residuals: self.relative_residuals,
+            converged: self.converged,
+            histories: self.histories,
+        }
+    }
+}
+
+/// What one block iteration decided (internal; the shell maps it to the
+/// same arms as the single-RHS kernel).
+enum BlockStep {
+    Continue,
+    /// Every column is frozen: Converged if all met the tolerance,
+    /// Breakdown otherwise.
+    AllFrozen,
+    /// A still-active column produced a non-finite residual (pipelined
+    /// mode, mirroring the single-RHS `Diverged` return).
+    Diverged,
+    Detected(DetectionResponse),
+}
+
+/// Per-column solve status. Columns never unfreeze.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Lane {
+    Active,
+    Converged,
+    /// The column's recurrence broke down (`p·Ap ≤ 0`, non-finite α);
+    /// frozen with `converged = false`.
+    Broken,
+}
+
+/// The recurrence vectors and scalars of one block solve. Fused mode uses
+/// `r`, `z = M⁻¹r`, `p` and the per-column `rz`/`rr`; pipelined mode
+/// additionally maintains `u = M⁻¹r`, `w = A·u`, `mw = M⁻¹w`, `q = M⁻¹s`
+/// and `s` (tracking `A·p`), with `z` tracking the `A·(M⁻¹s)` chain.
+struct BlockState {
+    r: DistMultiVector,
+    z: DistMultiVector,
+    p: DistMultiVector,
+    u: Option<DistMultiVector>,
+    w: Option<DistMultiVector>,
+    mw: Option<DistMultiVector>,
+    q: Option<DistMultiVector>,
+    s: Option<DistMultiVector>,
+    /// `r·z` per column (fused mode) — drives α and β.
+    rz: Vec<f64>,
+    /// `r·r` per column (fused mode) — drives the convergence test.
+    rr: Vec<f64>,
+    gamma_old: Vec<f64>,
+    alpha_old: Vec<f64>,
+    /// True until the first completed step after a (re-)initialization:
+    /// every column takes the β = 0 branch again after a rebuild.
+    fresh: bool,
+}
+
+/// A zero multi-vector with the shape and distribution of `proto`.
+fn zeroed(proto: &DistMultiVector) -> DistMultiVector {
+    let mut z = proto.clone();
+    z.local.iter_mut().for_each(|v| *v = 0.0);
+    z
+}
+
+/// The block analogue of the kernel's `CgProbe`: evaluates the true
+/// residual of the guard column (column 0) of the current block iterate.
+struct BlockProbe<'g> {
+    b: &'g DistVector,
+    x: &'g DistVector,
+    bn: f64,
+    iteration: usize,
+}
+
+impl<'g, 'a, 'b, C: CommBackend> SolutionProbe<DistSpace<'a, 'b, C>> for BlockProbe<'g> {
+    fn local_len(&self, space: &DistSpace<'a, 'b, C>) -> usize {
+        space.local_len(self.x)
+    }
+
+    fn iterate(&self) -> &DistVector {
+        self.x
+    }
+
+    fn iterate_step(&self) -> usize {
+        self.iteration
+    }
+
+    fn trial_true_relres(&mut self, space: &mut DistSpace<'a, 'b, C>) -> Result<f64> {
+        let ax = space.apply(self.x)?;
+        let r = space.residual(self.b, &ax);
+        let rn = space.norm(&r)?;
+        Ok(rn / self.bn)
+    }
+}
+
+/// The driver: the space, the preconditioner, per-column bookkeeping and
+/// every reusable scratch buffer of the solve (guards, preconditioner
+/// single-vector views, reduction partials, per-column coefficient
+/// arrays). The recurrence vectors live in [`BlockState`] so the borrow
+/// checker can split them from the driver.
+struct BlockCg<'s, 'a, 'b, 'm, C: CommBackend> {
+    space: &'s mut DistSpace<'a, 'b, C>,
+    m: &'m mut dyn SpacePreconditioner<DistSpace<'a, 'b, C>>,
+    k: usize,
+    /// ‖b_c‖ per column, floored at `f64::MIN_POSITIVE`.
+    bn: Vec<f64>,
+    lanes: Vec<Lane>,
+    relres: Vec<f64>,
+    col_iters: Vec<usize>,
+    histories: Vec<Vec<f64>>,
+    /// Local-partials buffer handed to the batched reductions.
+    partials: Vec<f64>,
+    alphas: Vec<f64>,
+    neg_alphas: Vec<f64>,
+    betas: Vec<f64>,
+    /// Preconditioner single-vector views: `rc` in, `zc` out.
+    rc: DistVector,
+    zc: DistVector,
+    /// Guard views of column 0 for the policy hooks (SpMV input/product).
+    in_g: DistVector,
+    out_g: DistVector,
+    /// Guard views of column 0 of `x` and `b` for probes and recovery.
+    xg: DistVector,
+    bg: DistVector,
+}
+
+impl<'s, 'a, 'b, 'm, C: CommBackend> BlockCg<'s, 'a, 'b, 'm, C> {
+    fn active_count(&self) -> usize {
+        self.lanes.iter().filter(|&&l| l == Lane::Active).count()
+    }
+
+    fn freeze(&mut self, c: usize, to: Lane, at_iter: usize) {
+        self.lanes[c] = to;
+        self.col_iters[c] = at_iter;
+    }
+
+    /// Worst relative residual over the active columns (over all columns
+    /// once everything froze) — the scalar the hook context reports. At
+    /// `k = 1` this is exactly the single column's residual, NaN included.
+    fn worst_relres(&self) -> f64 {
+        let mut worst = f64::NEG_INFINITY;
+        let mut any = false;
+        for c in 0..self.k {
+            if self.lanes[c] == Lane::Active {
+                any = true;
+                if self.relres[c].is_nan() {
+                    return f64::NAN;
+                }
+                worst = worst.max(self.relres[c]);
+            }
+        }
+        if !any {
+            worst = self.relres.iter().fold(f64::NEG_INFINITY, |a, &v| a.max(v));
+        }
+        worst
+    }
+
+    /// The stop reason once every column is frozen.
+    fn frozen_reason(&self) -> StopReason {
+        if self.lanes.iter().all(|&l| l == Lane::Converged) {
+            StopReason::Converged
+        } else {
+            StopReason::Breakdown
+        }
+    }
+
+    /// `z[c] ← M⁻¹·r[c]` for every **active** column, through the
+    /// single-vector scratch views (each apply charges exactly like the
+    /// single-RHS preconditioner path; frozen columns skip theirs).
+    fn precond_active_into(&mut self, r: &DistMultiVector, z: &mut DistMultiVector) -> Result<()> {
+        for c in 0..self.k {
+            if self.lanes[c] != Lane::Active {
+                continue;
+            }
+            self.rc.local.copy_from_slice(r.col(c));
+            self.m.apply_into(self.space, &self.rc, &mut self.zc)?;
+            z.col_mut(c).copy_from_slice(&self.zc.local);
+        }
+        Ok(())
+    }
+
+    /// (Re)build the recurrence from the current iterate — the block twin
+    /// of the shell's `apply + residual + strategy.init` sequence. Frozen
+    /// columns get consistent residuals recomputed (they sit in reduction
+    /// payloads) but skip preconditioner applies and stay frozen.
+    fn build_state(
+        &mut self,
+        mode: BlockCgMode,
+        st: &mut SolveProgress,
+        x: &DistMultiVector,
+        b: &DistMultiVector,
+    ) -> Result<BlockState> {
+        let k = self.k;
+        let active = self.active_count();
+        let ax = self.space.apply_block(x, active)?;
+        let mut r = b.clone();
+        for c in 0..k {
+            self.space.axpy_col(-1.0, &ax, &mut r, c);
+        }
+        match mode {
+            BlockCgMode::Fused => {
+                let mut z = zeroed(b);
+                self.precond_active_into(&r, &mut z)?;
+                // One batched reduction for every column's r·z and r·r —
+                // the same single collective as the single-RHS init.
+                let vals = self.space.block_dots(
+                    k,
+                    &[(&r, &z), (&r, &r)],
+                    &[],
+                    active,
+                    &mut self.partials,
+                )?;
+                let rz = vals[..k].to_vec();
+                let rr = vals[k..2 * k].to_vec();
+                let p = z.clone();
+                for (c, &rr_c) in rr.iter().enumerate() {
+                    if self.lanes[c] == Lane::Active {
+                        self.relres[c] = rr_c.sqrt() / self.bn[c];
+                        self.histories[c].push(self.relres[c]);
+                    }
+                }
+                st.relres = self.worst_relres();
+                Ok(BlockState {
+                    r,
+                    z,
+                    p,
+                    u: None,
+                    w: None,
+                    mw: None,
+                    q: None,
+                    s: None,
+                    rz,
+                    rr,
+                    gamma_old: vec![0.0; k],
+                    alpha_old: vec![0.0; k],
+                    fresh: true,
+                })
+            }
+            BlockCgMode::Pipelined => {
+                let mut u = zeroed(b);
+                self.precond_active_into(&r, &mut u)?;
+                let w = self.space.apply_block(&u, active)?;
+                let zeros = zeroed(b);
+                for c in 0..k {
+                    if self.lanes[c] == Lane::Active {
+                        self.relres[c] = f64::INFINITY;
+                    }
+                }
+                st.relres = self.worst_relres();
+                Ok(BlockState {
+                    r,
+                    z: zeros.clone(),
+                    p: zeros.clone(),
+                    u: Some(u),
+                    w: Some(w),
+                    mw: Some(zeros.clone()),
+                    q: Some(zeros),
+                    s: Some(zeroed(b)),
+                    rz: Vec::new(),
+                    rr: Vec::new(),
+                    gamma_old: vec![0.0; k],
+                    alpha_old: vec![0.0; k],
+                    fresh: true,
+                })
+            }
+        }
+    }
+
+    /// One fused-mode iteration: batched reduction #1 carries every
+    /// column's `p·Ap` plus the policy check tail, batched reduction #2
+    /// every column's `r·z` and `r·r` — two collectives regardless of `k`.
+    fn step_fused(
+        &mut self,
+        st: &mut SolveProgress,
+        state: &mut BlockState,
+        x: &mut DistMultiVector,
+        policies: &mut PolicyStack<'_, DistSpace<'a, 'b, C>>,
+    ) -> Result<BlockStep> {
+        let k = self.k;
+        // Convergence is evaluated at the top of the loop from the
+        // previous iteration's reduction, per column.
+        for c in 0..k {
+            if self.lanes[c] == Lane::Active {
+                self.relres[c] = state.rr[c].sqrt() / self.bn[c];
+                if self.relres[c] <= st.tol {
+                    self.freeze(c, Lane::Converged, st.iterations);
+                }
+            }
+        }
+        st.relres = self.worst_relres();
+        let active = self.active_count();
+        if active == 0 {
+            return Ok(BlockStep::AllFrozen);
+        }
+        self.space.advance_extra_work()?;
+        self.in_g.local.copy_from_slice(state.p.col(0));
+        match policies.before_spmv(self.space, &st.ctx(), &self.in_g)? {
+            StackOutcome::Act(resp) => return Ok(BlockStep::Detected(resp)),
+            StackOutcome::Recorded | StackOutcome::Continue => {}
+        }
+        let ap = self.space.apply_block(&state.p, active)?;
+        self.out_g.local.copy_from_slice(ap.col(0));
+        // Batched reduction #1, always fused: [p·Ap per column] + the
+        // policy check tail in one collective.
+        let vals = {
+            let avail = CheckVectors {
+                spmv_input: Some(&self.in_g),
+                spmv_product: Some(&self.out_g),
+                basis_pair: None,
+            };
+            let mut check_pairs: Vec<(&DistVector, &DistVector)> = Vec::new();
+            let batch =
+                policies.collect_check_dots(self.space, &st.ctx(), &avail, &mut check_pairs);
+            let vals = self.space.block_dots(
+                k,
+                &[(&state.p, &ap)],
+                &check_pairs,
+                active,
+                &mut self.partials,
+            )?;
+            drop(check_pairs);
+            policies.consume_check_dots(&st.ctx(), &batch, &vals[k..]);
+            vals
+        };
+        match policies.after_spmv(self.space, &st.ctx(), &self.in_g, &self.out_g)? {
+            StackOutcome::Act(resp) => return Ok(BlockStep::Detected(resp)),
+            StackOutcome::Recorded | StackOutcome::Continue => {}
+        }
+        // α per column; a non-positive or non-finite p·Ap freezes the
+        // column (the masked form of the k = 1 whole-solve Breakdown).
+        for (c, &pap) in vals.iter().enumerate().take(k) {
+            if self.lanes[c] != Lane::Active {
+                continue;
+            }
+            if pap <= 0.0 || !pap.is_finite() {
+                self.freeze(c, Lane::Broken, st.iterations);
+            } else {
+                self.alphas[c] = state.rz[c] / pap;
+            }
+        }
+        let active = self.active_count();
+        if active == 0 {
+            // Every remaining column broke before the update: stop without
+            // touching x or the counters, like the single-RHS step.
+            return Ok(BlockStep::AllFrozen);
+        }
+        let n = state.r.local_rows();
+        if active == k {
+            // No column frozen yet: one blocked pass per update.
+            for c in 0..k {
+                self.neg_alphas[c] = -self.alphas[c];
+            }
+            self.space.axpy_block(&self.alphas, &state.p, x);
+            self.space.axpy_block(&self.neg_alphas, &ap, &mut state.r);
+        } else {
+            for c in 0..k {
+                if self.lanes[c] != Lane::Active {
+                    continue;
+                }
+                self.space.axpy_col(self.alphas[c], &state.p, x, c);
+                self.space.axpy_col(-self.alphas[c], &ap, &mut state.r, c);
+            }
+        }
+        self.space.charge_flops(4 * n * active);
+        // Batched reduction #2: z ← M⁻¹r on the active columns, then every
+        // column's r·z and r·r in one collective.
+        self.precond_active_into(&state.r, &mut state.z)?;
+        let vals2 = self.space.block_dots(
+            k,
+            &[(&state.r, &state.z), (&state.r, &state.r)],
+            &[],
+            active,
+            &mut self.partials,
+        )?;
+        for c in 0..k {
+            if self.lanes[c] != Lane::Active {
+                continue;
+            }
+            let rz_new = vals2[c];
+            self.betas[c] = rz_new / state.rz[c];
+            state.rz[c] = rz_new;
+            state.rr[c] = vals2[k + c];
+        }
+        if active == k {
+            self.space.xpby_block(&state.z, &self.betas, &mut state.p);
+        } else {
+            for c in 0..k {
+                if self.lanes[c] != Lane::Active {
+                    continue;
+                }
+                self.space
+                    .xpby_col(&state.z, self.betas[c], &mut state.p, c);
+            }
+        }
+        self.space.charge_flops(2 * n * active);
+        st.iterations += 1;
+        for c in 0..k {
+            if self.lanes[c] != Lane::Active {
+                continue;
+            }
+            self.relres[c] = state.rr[c].sqrt() / self.bn[c];
+            self.histories[c].push(self.relres[c]);
+        }
+        st.relres = self.worst_relres();
+        self.xg.local.copy_from_slice(x.col(0));
+        let mut probe = BlockProbe {
+            b: &self.bg,
+            x: &self.xg,
+            bn: self.bn[0],
+            iteration: st.iterations,
+        };
+        match policies.on_iteration(self.space, &st.ctx(), &mut probe)? {
+            StackOutcome::Act(resp) => return Ok(BlockStep::Detected(resp)),
+            StackOutcome::Recorded | StackOutcome::Continue => {}
+        }
+        Ok(BlockStep::Continue)
+    }
+
+    /// One pipelined-mode iteration: a single nonblocking batched
+    /// reduction — [γ per column, δ per column, ‖r‖² per column] + the
+    /// check tail — posted before the preconditioner applies and the SpMM
+    /// it overlaps.
+    fn step_pipelined(
+        &mut self,
+        st: &mut SolveProgress,
+        state: &mut BlockState,
+        x: &mut DistMultiVector,
+        policies: &mut PolicyStack<'_, DistSpace<'a, 'b, C>>,
+    ) -> Result<BlockStep> {
+        let k = self.k;
+        let active = self.active_count();
+        let (pending, batch) = {
+            let r = &state.r;
+            let u = state.u.as_ref().expect("pipelined state");
+            let w = state.w.as_ref().expect("pipelined state");
+            // The resolved input/product pair lags the overlapped SpMV by
+            // one step, exactly like the single-RHS pipelined strategy.
+            self.in_g.local.copy_from_slice(u.col(0));
+            self.out_g.local.copy_from_slice(w.col(0));
+            let avail = CheckVectors {
+                spmv_input: Some(&self.in_g),
+                spmv_product: Some(&self.out_g),
+                basis_pair: None,
+            };
+            let mut check_pairs: Vec<(&DistVector, &DistVector)> = Vec::new();
+            let batch =
+                policies.collect_check_dots(self.space, &st.ctx(), &avail, &mut check_pairs);
+            let pending = self.space.start_block_dots(
+                k,
+                &[(r, u), (w, u), (r, r)],
+                &check_pairs,
+                active,
+                &mut self.partials,
+            )?;
+            (pending, batch)
+        };
+        // ... overlapped with the extra work, the per-active-column
+        // preconditioner applies mw = M⁻¹w and the blocked SpMM.
+        self.space.advance_extra_work()?;
+        {
+            let w = state.w.as_ref().expect("pipelined state");
+            let mw = state.mw.as_mut().expect("pipelined state");
+            for c in 0..self.k {
+                if self.lanes[c] != Lane::Active {
+                    continue;
+                }
+                self.rc.local.copy_from_slice(w.col(c));
+                self.m.apply_into(self.space, &self.rc, &mut self.zc)?;
+                mw.col_mut(c).copy_from_slice(&self.zc.local);
+            }
+        }
+        let aw = {
+            let mw = state.mw.as_ref().expect("pipelined state");
+            self.in_g.local.copy_from_slice(mw.col(0));
+            match policies.before_spmv(self.space, &st.ctx(), &self.in_g)? {
+                StackOutcome::Act(resp) => {
+                    // Complete the posted reduction before abandoning the
+                    // step: every rank drains the in-flight collective.
+                    self.space.finish_dots(pending)?;
+                    return Ok(BlockStep::Detected(resp));
+                }
+                StackOutcome::Recorded | StackOutcome::Continue => {}
+            }
+            self.space.apply_block(mw, active)?
+        };
+        let reduced = self.space.finish_dots(pending)?;
+        policies.consume_check_dots(&st.ctx(), &batch, &reduced[3 * k..]);
+        self.out_g.local.copy_from_slice(aw.col(0));
+        match policies.after_spmv(self.space, &st.ctx(), &self.in_g, &self.out_g)? {
+            StackOutcome::Act(resp) => return Ok(BlockStep::Detected(resp)),
+            StackOutcome::Recorded | StackOutcome::Continue => {}
+        }
+        // Convergence per column from the one reduction (history gets its
+        // first entry here, like the single-RHS pipelined step).
+        for c in 0..k {
+            if self.lanes[c] != Lane::Active {
+                continue;
+            }
+            let rr = reduced[2 * k + c];
+            self.relres[c] = rr.max(0.0).sqrt() / self.bn[c];
+            if self.histories[c].is_empty() {
+                self.histories[c].push(self.relres[c]);
+            }
+            if self.relres[c] <= st.tol {
+                self.freeze(c, Lane::Converged, st.iterations);
+            }
+        }
+        st.relres = self.worst_relres();
+        for c in 0..k {
+            if self.lanes[c] == Lane::Active && !self.relres[c].is_finite() {
+                // A non-finite residual on a live column is whole-solve
+                // divergence, consulted by the shell's recovery arm.
+                return Ok(BlockStep::Diverged);
+            }
+        }
+        if self.active_count() == 0 {
+            return Ok(BlockStep::AllFrozen);
+        }
+        // β, α per column; a non-finite or zero α freezes the column.
+        for c in 0..k {
+            if self.lanes[c] != Lane::Active {
+                continue;
+            }
+            let gamma = reduced[c];
+            let delta = reduced[k + c];
+            let (alpha, beta);
+            if !state.fresh {
+                beta = gamma / state.gamma_old[c];
+                alpha = gamma / (delta - beta * gamma / state.alpha_old[c]);
+            } else {
+                beta = 0.0;
+                alpha = gamma / delta;
+            }
+            if !alpha.is_finite() || alpha == 0.0 {
+                self.freeze(c, Lane::Broken, st.iterations);
+            } else {
+                self.alphas[c] = alpha;
+                self.betas[c] = beta;
+            }
+        }
+        let active = self.active_count();
+        if active == 0 {
+            return Ok(BlockStep::AllFrozen);
+        }
+        // Recurrence updates in the single-RHS order per column:
+        // z ← aw + βz, q ← mw + βq, s ← w + βs, p ← u + βp,
+        // x += αp, r −= αs, u −= αq, w −= αz.
+        {
+            let u = state.u.as_mut().expect("pipelined state");
+            let w = state.w.as_mut().expect("pipelined state");
+            let mw = state.mw.as_ref().expect("pipelined state");
+            let q = state.q.as_mut().expect("pipelined state");
+            let s = state.s.as_mut().expect("pipelined state");
+            if active == k {
+                for c in 0..k {
+                    self.neg_alphas[c] = -self.alphas[c];
+                }
+                self.space.xpby_block(&aw, &self.betas, &mut state.z);
+                self.space.xpby_block(mw, &self.betas, q);
+                self.space.xpby_block(w, &self.betas, s);
+                self.space.xpby_block(u, &self.betas, &mut state.p);
+                self.space.axpy_block(&self.alphas, &state.p, x);
+                self.space.axpy_block(&self.neg_alphas, s, &mut state.r);
+                self.space.axpy_block(&self.neg_alphas, q, u);
+                self.space.axpy_block(&self.neg_alphas, &state.z, w);
+            } else {
+                for c in 0..k {
+                    if self.lanes[c] != Lane::Active {
+                        continue;
+                    }
+                    let (a, bta) = (self.alphas[c], self.betas[c]);
+                    self.space.xpby_col(&aw, bta, &mut state.z, c);
+                    self.space.xpby_col(mw, bta, q, c);
+                    self.space.xpby_col(w, bta, s, c);
+                    self.space.xpby_col(u, bta, &mut state.p, c);
+                    self.space.axpy_col(a, &state.p, x, c);
+                    self.space.axpy_col(-a, s, &mut state.r, c);
+                    self.space.axpy_col(-a, q, u, c);
+                    self.space.axpy_col(-a, &state.z, w, c);
+                }
+            }
+        }
+        let n = state.r.local_rows();
+        self.space.charge_flops(16 * n * active);
+        for (c, &gamma) in reduced.iter().enumerate().take(k) {
+            if self.lanes[c] != Lane::Active {
+                continue;
+            }
+            state.gamma_old[c] = gamma;
+            state.alpha_old[c] = self.alphas[c];
+        }
+        state.fresh = false;
+        st.iterations += 1;
+        for c in 0..k {
+            if self.lanes[c] == Lane::Active {
+                self.histories[c].push(self.relres[c]);
+            }
+        }
+        self.xg.local.copy_from_slice(x.col(0));
+        let mut probe = BlockProbe {
+            b: &self.bg,
+            x: &self.xg,
+            bn: self.bn[0],
+            iteration: st.iterations,
+        };
+        match policies.on_iteration(self.space, &st.ctx(), &mut probe)? {
+            StackOutcome::Act(resp) => return Ok(BlockStep::Detected(resp)),
+            StackOutcome::Recorded | StackOutcome::Continue => {}
+        }
+        Ok(BlockStep::Continue)
+    }
+}
+
+/// Run the block preconditioned-CG kernel on `k = b.k()` right-hand sides
+/// at once. At `k = 1` the solve is bit-identical to
+/// [`run_cg`](super::run_cg) with the corresponding preconditioned
+/// strategy; at any `k` the collective count per iteration is that of the
+/// single-RHS solve. See the [module docs](self) for the masking,
+/// symmetry and policy-guard contracts.
+pub fn run_block_cg<'a, 'b, C: CommBackend>(
+    space: &mut DistSpace<'a, 'b, C>,
+    b: &DistMultiVector,
+    x0: Option<DistMultiVector>,
+    opts: &SolveOptions,
+    mode: BlockCgMode,
+    m: &mut dyn SpacePreconditioner<DistSpace<'a, 'b, C>>,
+    policies: &mut PolicyStack<'_, DistSpace<'a, 'b, C>>,
+) -> Result<(BlockOutcome, KernelReport)> {
+    let k = b.k();
+    assert!(k > 0, "run_block_cg: empty right-hand-side block");
+    let mut x = x0.unwrap_or_else(|| zeroed(b));
+    assert_eq!(x.k(), k, "run_block_cg: x0 and b column counts differ");
+    assert_eq!(
+        x.local_rows(),
+        b.local_rows(),
+        "run_block_cg: x0 and b distributions differ"
+    );
+    let mut drv = BlockCg {
+        space,
+        m,
+        k,
+        bn: Vec::new(),
+        lanes: vec![Lane::Active; k],
+        relres: vec![f64::INFINITY; k],
+        col_iters: vec![0; k],
+        histories: vec![Vec::new(); k],
+        partials: Vec::new(),
+        alphas: vec![0.0; k],
+        neg_alphas: vec![0.0; k],
+        betas: vec![0.0; k],
+        rc: b.column(0),
+        zc: b.column(0),
+        in_g: b.column(0),
+        out_g: b.column(0),
+        xg: b.column(0),
+        bg: b.column(0),
+    };
+    // ‖b_c‖ for every column in one collective (k = 1: bitwise the
+    // single-RHS `space.norm(b)`), floored exactly like the shell's bn.
+    let bnv = drv
+        .space
+        .block_dots(k, &[(b, b)], &[], k, &mut drv.partials)?;
+    drv.bn = bnv
+        .iter()
+        .map(|&v| v.max(0.0).sqrt().max(f64::MIN_POSITIVE))
+        .collect();
+    let mut st = SolveProgress::new(opts.tol, opts.max_iters, drv.bn[0]);
+    let mut report = KernelReport::default();
+    policies.on_solve_start(drv.space, &drv.bg)?;
+
+    let mut state = drv.build_state(mode, &mut st, &x, b)?;
+    drv.xg.local.copy_from_slice(x.col(0));
+    policies.on_cycle_start(drv.space, &st.ctx(), &drv.xg)?;
+
+    let mut reason = StopReason::MaxIterations;
+    // Fused init computed per-column residuals; freeze columns already at
+    // the tolerance (the shell's pre-loop convergence check).
+    for c in 0..k {
+        if drv.lanes[c] == Lane::Active && drv.relres[c] <= opts.tol {
+            drv.freeze(c, Lane::Converged, st.iterations);
+        }
+    }
+    if drv.active_count() == 0 {
+        reason = drv.frozen_reason();
+    } else {
+        while st.iterations < opts.max_iters {
+            let out = match mode {
+                BlockCgMode::Fused => drv.step_fused(&mut st, &mut state, &mut x, policies)?,
+                BlockCgMode::Pipelined => {
+                    drv.step_pipelined(&mut st, &mut state, &mut x, policies)?
+                }
+            };
+            match out {
+                BlockStep::Continue => {}
+                BlockStep::AllFrozen => {
+                    reason = drv.frozen_reason();
+                    break;
+                }
+                BlockStep::Diverged => {
+                    // Consult the stack before terminating; recovery
+                    // restores through the column-0 guard and rebuilds the
+                    // whole recurrence, capped like the single-RHS shell.
+                    let recover = report.failure_recoveries < opts.max_iters.max(1) && {
+                        drv.xg.local.copy_from_slice(x.col(0));
+                        let restart =
+                            policies.on_failure(&st.ctx(), FailureEvent::Divergence, &mut drv.xg)
+                                == RecoveryAction::Restart;
+                        if restart {
+                            x.col_mut(0).copy_from_slice(&drv.xg.local);
+                        }
+                        restart
+                    };
+                    if recover {
+                        report.failure_recoveries += 1;
+                        state = drv.build_state(mode, &mut st, &x, b)?;
+                        drv.xg.local.copy_from_slice(x.col(0));
+                        policies.on_cycle_start(drv.space, &st.ctx(), &drv.xg)?;
+                        for c in 0..k {
+                            if drv.lanes[c] == Lane::Active && drv.relres[c] <= opts.tol {
+                                drv.freeze(c, Lane::Converged, st.iterations);
+                            }
+                        }
+                        if drv.active_count() == 0 {
+                            reason = drv.frozen_reason();
+                            break;
+                        }
+                        continue;
+                    }
+                    reason = StopReason::Diverged;
+                    break;
+                }
+                BlockStep::Detected(DetectionResponse::Restart) => {
+                    report.policy_restarts += 1;
+                    if report.policy_restarts > opts.max_iters.max(1) {
+                        // Persistent corruption rebuilding forever without
+                        // consuming iterations is terminal (the backstop).
+                        reason = StopReason::CorruptionDetected;
+                        break;
+                    }
+                    state = drv.build_state(mode, &mut st, &x, b)?;
+                    drv.xg.local.copy_from_slice(x.col(0));
+                    policies.on_cycle_start(drv.space, &st.ctx(), &drv.xg)?;
+                    for c in 0..k {
+                        if drv.lanes[c] == Lane::Active && drv.relres[c] <= opts.tol {
+                            drv.freeze(c, Lane::Converged, st.iterations);
+                        }
+                    }
+                    if drv.active_count() == 0 {
+                        reason = drv.frozen_reason();
+                        break;
+                    }
+                }
+                BlockStep::Detected(_) => {
+                    reason = StopReason::CorruptionDetected;
+                    break;
+                }
+            }
+        }
+    }
+
+    report.policy_overhead = policies.overhead_report();
+    for c in 0..k {
+        if drv.lanes[c] == Lane::Active {
+            drv.col_iters[c] = st.iterations;
+        }
+    }
+    // Per-column convergence mirrors `into_dist_outcome`: the final
+    // residual against the tolerance, whatever the stop reason.
+    let converged: Vec<bool> = (0..k).map(|c| drv.relres[c] <= opts.tol).collect();
+    Ok((
+        BlockOutcome {
+            x,
+            iterations: st.iterations,
+            column_iterations: drv.col_iters,
+            relative_residuals: drv.relres,
+            converged,
+            reason,
+            histories: drv.histories,
+        },
+        report,
+    ))
+}

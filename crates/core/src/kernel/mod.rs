@@ -43,6 +43,8 @@
 //! aborts on a detected corruption, the final verification residual is now
 //! charged to the solver (the legacy skeptical solver computed it for free).
 
+pub mod block;
+pub mod cache;
 pub mod cg;
 pub mod compose;
 pub mod gmres;
@@ -52,6 +54,8 @@ pub mod precond;
 pub mod skeptic;
 pub mod space;
 
+pub use block::{run_block_cg, BlockCgMode, BlockOutcome};
+pub use cache::SetupCache;
 pub use cg::{run_cg, CgOutcome, CgStrategy, FusedCgStep, PcgStep, PipelinedCgStep};
 pub use compose::{
     ft_gmres_abft, pipelined_skeptical_cg, pipelined_skeptical_gmres, pipelined_skeptical_pcg,

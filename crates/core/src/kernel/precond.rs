@@ -187,6 +187,21 @@ impl BlockJacobi {
         }
     }
 
+    /// Rebuild from already-computed factors (a [`SetupCache`] hit): no
+    /// factorization runs and **no setup FLOPs are charged** — the cached
+    /// factors were paid for by the solve that produced them.
+    ///
+    /// [`SetupCache`]: crate::kernel::SetupCache
+    pub fn from_factors(lu: LuFactors) -> Self {
+        Self { lu, setup_flops: 0 }
+    }
+
+    /// The local LU factors (what a [`SetupCache`](crate::kernel::SetupCache)
+    /// memoizes).
+    pub fn factors(&self) -> &LuFactors {
+        &self.lu
+    }
+
     /// Rows of the factored local block.
     pub fn local_rows(&self) -> usize {
         self.lu.dim()

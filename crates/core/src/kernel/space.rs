@@ -430,6 +430,156 @@ impl<'a, 'b, C: CommBackend> DistSpace<'a, 'b, C> {
     pub fn comm(&mut self) -> &mut C {
         self.comm
     }
+
+    // -- batched multi-RHS entry points ------------------------------------
+    //
+    // The block-CG kernel's surface: one operator sweep and one collective
+    // serve every column of a `DistMultiVector`, so the per-iteration
+    // collective count is independent of the batch width k. `active` is the
+    // number of not-yet-converged columns still paying for arithmetic —
+    // converged columns keep their slots in every payload (collective
+    // symmetry) but stop being charged.
+
+    /// Batched operator application `Y = A·X`: one ghost exchange per
+    /// neighbour and one matrix sweep feed all `k` columns; charges
+    /// `flops_per_apply × active`.
+    pub fn apply_block(
+        &mut self,
+        x: &crate::distributed::DistMultiVector,
+        active: usize,
+    ) -> Result<crate::distributed::DistMultiVector> {
+        self.a
+            .apply_block_with(self.comm, x, self.ops, &mut self.spmv_scratch, active)
+    }
+
+    /// Batched blocking reduction: per multivector pair, all `k` per-column
+    /// dot partials, then the `checks` tail (policy check dots riding the
+    /// same collective), in **one** allreduce. Charges `2n·active` per
+    /// multivector pair and attributes `2n` per check pair to the check
+    /// ledger. `partials` is the caller's reusable local-partials buffer.
+    pub fn block_dots(
+        &mut self,
+        k: usize,
+        blocks: &[(
+            &crate::distributed::DistMultiVector,
+            &crate::distributed::DistMultiVector,
+        )],
+        checks: &[(&DistVector, &DistVector)],
+        active: usize,
+        partials: &mut Vec<f64>,
+    ) -> Result<Vec<f64>> {
+        self.block_partials(k, blocks, checks, active, partials);
+        self.comm.allreduce(ReduceOp::Sum, partials)
+    }
+
+    /// The nonblocking form of [`DistSpace::block_dots`]: posts the fused
+    /// reduction so a subsequent [`DistSpace::apply_block`] overlaps it (the
+    /// pipelined block kernel's primitive); complete it with
+    /// [`KrylovSpace::finish_dots`].
+    pub fn start_block_dots(
+        &mut self,
+        k: usize,
+        blocks: &[(
+            &crate::distributed::DistMultiVector,
+            &crate::distributed::DistMultiVector,
+        )],
+        checks: &[(&DistVector, &DistVector)],
+        active: usize,
+        partials: &mut Vec<f64>,
+    ) -> Result<PendingDots<C::Pending>> {
+        self.block_partials(k, blocks, checks, active, partials);
+        Ok(PendingDots::InFlight(
+            self.comm.iallreduce(ReduceOp::Sum, partials)?,
+        ))
+    }
+
+    /// Shared local-partials assembly + cost accounting of the two batched
+    /// reductions above.
+    fn block_partials(
+        &mut self,
+        k: usize,
+        blocks: &[(
+            &crate::distributed::DistMultiVector,
+            &crate::distributed::DistMultiVector,
+        )],
+        checks: &[(&DistVector, &DistVector)],
+        active: usize,
+        partials: &mut Vec<f64>,
+    ) {
+        partials.clear();
+        partials.resize(k * blocks.len() + checks.len(), 0.0);
+        let mut n = 0;
+        for (t, (x, y)) in blocks.iter().enumerate() {
+            n = x.local_rows();
+            self.ops.dot_blocks(
+                k,
+                &[(x.local.as_slice(), y.local.as_slice())],
+                &mut partials[t * k..(t + 1) * k],
+            );
+        }
+        let base = k * blocks.len();
+        for (t, (x, y)) in checks.iter().enumerate() {
+            let mut one = [0.0];
+            self.ops
+                .dot_pairs(&[(x.local.as_slice(), y.local.as_slice())], &mut one);
+            partials[base + t] = one[0];
+            n = x.local_len();
+        }
+        // Mirror `fused_pairs`: every reduced pair's arithmetic is charged
+        // (solver pairs at the masked `active` width, checks at full
+        // width), and the check tail is *additionally* attributed to the
+        // check ledger.
+        self.comm
+            .charge_flops(2 * n * (active * blocks.len() + checks.len()));
+        self.comm.record_check_flops(2 * n * checks.len());
+    }
+
+    /// Blocked direction update `y[c] ← y[c] + alphas[c]·x[c]` for every
+    /// column at once (local, not charged — the kernel charges per active
+    /// column, like the single-RHS presets).
+    pub fn axpy_block(
+        &mut self,
+        alphas: &[f64],
+        x: &crate::distributed::DistMultiVector,
+        y: &mut crate::distributed::DistMultiVector,
+    ) {
+        self.ops.axpy_blocks(alphas, &x.local, &mut y.local);
+    }
+
+    /// Blocked CG direction update `y[c] ← x[c] + betas[c]·y[c]` (local,
+    /// not charged).
+    pub fn xpby_block(
+        &mut self,
+        x: &crate::distributed::DistMultiVector,
+        betas: &[f64],
+        y: &mut crate::distributed::DistMultiVector,
+    ) {
+        self.ops.xpby_blocks(&x.local, betas, &mut y.local);
+    }
+
+    /// Single-column `y[c] ← y[c] + alpha·x[c]` — the masked path once some
+    /// columns have converged and must stop changing (local, not charged).
+    pub fn axpy_col(
+        &mut self,
+        alpha: f64,
+        x: &crate::distributed::DistMultiVector,
+        y: &mut crate::distributed::DistMultiVector,
+        c: usize,
+    ) {
+        self.ops.axpy(alpha, x.col(c), y.col_mut(c));
+    }
+
+    /// Single-column `y[c] ← x[c] + beta·y[c]` (masked path; local, not
+    /// charged).
+    pub fn xpby_col(
+        &mut self,
+        x: &crate::distributed::DistMultiVector,
+        beta: f64,
+        y: &mut crate::distributed::DistMultiVector,
+        c: usize,
+    ) {
+        self.ops.xpby(x.col(c), beta, y.col_mut(c));
+    }
 }
 
 impl<'a, 'b, C: CommBackend> KrylovSpace for DistSpace<'a, 'b, C> {

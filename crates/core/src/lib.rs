@@ -52,21 +52,22 @@ pub mod srp;
 
 /// Convenient glob import of the most frequently used types.
 pub mod prelude {
-    pub use crate::distributed::{DistCsr, DistVector};
+    pub use crate::distributed::{DistCsr, DistMultiVector, DistVector};
     pub use crate::kernel::{
         ft_gmres_abft, lflr_dist_pcg, lflr_dist_pgmres, lflr_pipelined_pcg, lflr_pipelined_pgmres,
         pipelined_skeptical_cg, pipelined_skeptical_gmres, pipelined_skeptical_pcg,
-        pipelined_skeptical_pgmres, AbftSpmvPolicy, BlockJacobi, DistSpace, IdentityPrecond,
-        IterateRollbackPolicy, KrylovLflrConfig, KrylovLflrReport, KrylovSpace, NoopPolicy,
-        PolicyOverhead, PolicyStack, ResiliencePolicy, RightPrecond, SerialPrecond, SerialSpace,
-        SkepticalPolicy, SpacePreconditioner, SpmvFault,
+        pipelined_skeptical_pgmres, run_block_cg, AbftSpmvPolicy, BlockCgMode, BlockJacobi,
+        BlockOutcome, DistSpace, IdentityPrecond, IterateRollbackPolicy, KrylovLflrConfig,
+        KrylovLflrReport, KrylovSpace, NoopPolicy, PolicyOverhead, PolicyStack, ResiliencePolicy,
+        RightPrecond, SerialPrecond, SerialSpace, SetupCache, SkepticalPolicy, SpacePreconditioner,
+        SpmvFault,
     };
     pub use crate::lflr::{run_cpr, run_lflr, CprApp, CprConfig, CprReport, LflrApp, LflrReport};
     pub use crate::models::ProgrammingModel;
     pub use crate::rbsp::{
-        cg::{dist_cg, dist_pcg, pipelined_cg, pipelined_pcg},
+        cg::{dist_block_pcg, dist_cg, dist_pcg, pipelined_block_pcg, pipelined_cg, pipelined_pcg},
         gmres::{dist_gmres, dist_pgmres, pipelined_gmres, pipelined_pgmres},
-        DistSolveOptions, DistSolveOutcome,
+        BlockSolveOutcome, DistSolveOptions, DistSolveOutcome,
     };
     pub use crate::skeptical::{
         skeptical_gmres, FaultTarget, FaultyOperator, InjectionPlan, SkepticalConfig,

@@ -8,10 +8,11 @@
 
 use resilient_runtime::{CommBackend, Result};
 
-use super::{DistSolveOptions, DistSolveOutcome};
-use crate::distributed::{DistCsr, DistVector};
+use super::{BlockSolveOutcome, DistSolveOptions, DistSolveOutcome};
+use crate::distributed::{DistCsr, DistMultiVector, DistVector};
 use crate::kernel::{
-    run_cg, DistSpace, FusedCgStep, PipelinedCgStep, PolicyStack, SpacePreconditioner,
+    run_block_cg, run_cg, BlockCgMode, DistSpace, FusedCgStep, PipelinedCgStep, PolicyStack,
+    SpacePreconditioner,
 };
 
 /// Classical distributed CG. Each iteration performs one SpMV (neighborhood
@@ -126,6 +127,68 @@ pub fn pipelined_pcg<'a, 'b, C: CommBackend>(
         &mut PolicyStack::empty(),
     )?;
     Ok(outcome.into_dist_outcome(opts.tol))
+}
+
+/// Block (multi-RHS) preconditioned distributed CG: all `k = b.k()`
+/// right-hand sides advance in lockstep, with **one** SpMM sweep and the
+/// same **two blocking all-reduces per iteration** as [`dist_pcg`] —
+/// batched payloads make the collective count independent of `k`. At
+/// `k = 1` the solve is bit-identical to [`dist_pcg`]. Converged columns
+/// freeze (no further arithmetic charges) but keep their payload slots, so
+/// the collective schedule stays rank-symmetric.
+///
+/// Preset: block kernel ([`run_block_cg`], [`BlockCgMode::Fused`]) × empty
+/// policy stack over a [`DistSpace`].
+pub fn dist_block_pcg<'a, 'b, C: CommBackend>(
+    comm: &'a mut C,
+    a: &'b DistCsr,
+    b: &DistMultiVector,
+    m: &mut dyn SpacePreconditioner<DistSpace<'a, 'b, C>>,
+    opts: &DistSolveOptions,
+) -> Result<BlockSolveOutcome> {
+    let mut space = DistSpace::new(comm, a)
+        .with_ops(opts.local_ops())
+        .with_extra_work(opts.extra_work_per_iter);
+    let (outcome, _report) = run_block_cg(
+        &mut space,
+        b,
+        None,
+        &opts.solve_options(),
+        BlockCgMode::Fused,
+        m,
+        &mut PolicyStack::empty(),
+    )?;
+    Ok(outcome.into_block_solve_outcome())
+}
+
+/// Block (multi-RHS) preconditioned pipelined CG: the batched twin of
+/// [`pipelined_pcg`] — a **single nonblocking all-reduce** per iteration
+/// carries every column's recurrence scalars and overlaps the
+/// preconditioner applies and the SpMM sweep. At `k = 1` the solve is
+/// bit-identical to [`pipelined_pcg`].
+///
+/// Preset: block kernel ([`run_block_cg`], [`BlockCgMode::Pipelined`]) ×
+/// empty policy stack over a [`DistSpace`].
+pub fn pipelined_block_pcg<'a, 'b, C: CommBackend>(
+    comm: &'a mut C,
+    a: &'b DistCsr,
+    b: &DistMultiVector,
+    m: &mut dyn SpacePreconditioner<DistSpace<'a, 'b, C>>,
+    opts: &DistSolveOptions,
+) -> Result<BlockSolveOutcome> {
+    let mut space = DistSpace::new(comm, a)
+        .with_ops(opts.local_ops())
+        .with_extra_work(opts.extra_work_per_iter);
+    let (outcome, _report) = run_block_cg(
+        &mut space,
+        b,
+        None,
+        &opts.solve_options(),
+        BlockCgMode::Pipelined,
+        m,
+        &mut PolicyStack::empty(),
+    )?;
+    Ok(outcome.into_block_solve_outcome())
 }
 
 #[cfg(test)]

@@ -20,7 +20,7 @@
 pub mod cg;
 pub mod gmres;
 
-use crate::distributed::DistVector;
+use crate::distributed::{DistMultiVector, DistVector};
 
 /// Outcome of a distributed solve (per rank; the solution is distributed).
 #[derive(Debug, Clone)]
@@ -35,6 +35,55 @@ pub struct DistSolveOutcome {
     pub converged: bool,
     /// Relative residual history.
     pub history: Vec<f64>,
+}
+
+/// Outcome of a batched multi-RHS solve ([`cg::dist_block_pcg`],
+/// [`cg::pipelined_block_pcg`]): the block iterate plus per-column
+/// convergence data. Columns converge independently (masking), so each has
+/// its own iteration count, residual and history.
+#[derive(Debug, Clone)]
+pub struct BlockSolveOutcome {
+    /// This rank's part of the block solution (all `k` columns).
+    pub x: DistMultiVector,
+    /// Iterations the batch performed (columns advance in lockstep).
+    pub iterations: usize,
+    /// Iteration at which each column converged (or froze on breakdown);
+    /// columns that never froze report the total count.
+    pub column_iterations: Vec<usize>,
+    /// Final relative residual of each column (recurrence estimate).
+    pub relative_residuals: Vec<f64>,
+    /// Whether each column met the tolerance.
+    pub converged: Vec<bool>,
+    /// Per-column relative-residual history.
+    pub histories: Vec<Vec<f64>>,
+}
+
+impl BlockSolveOutcome {
+    /// Did every column meet the tolerance?
+    pub fn all_converged(&self) -> bool {
+        self.converged.iter().all(|&c| c)
+    }
+
+    /// Split into `k` single-RHS outcomes (consuming the block).
+    pub fn into_columns(self) -> Vec<DistSolveOutcome> {
+        let x = self.x;
+        self.column_iterations
+            .into_iter()
+            .zip(self.relative_residuals)
+            .zip(self.converged)
+            .zip(self.histories)
+            .enumerate()
+            .map(
+                |(c, (((iterations, relative_residual), converged), history))| DistSolveOutcome {
+                    x: x.column(c),
+                    iterations,
+                    relative_residual,
+                    converged,
+                    history,
+                },
+            )
+            .collect()
+    }
 }
 
 /// Options shared by the distributed solvers.

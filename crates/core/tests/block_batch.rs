@@ -1,0 +1,347 @@
+//! Integration pins for the block multi-RHS CG kernel
+//! ([`run_block_cg`](resilience::kernel::run_block_cg) via the
+//! [`dist_block_pcg`] / [`pipelined_block_pcg`] presets).
+//!
+//! Four pins:
+//!
+//! 1. **k = 1 degeneracy** — a one-column block solve is *bitwise*
+//!    identical to the corresponding single-RHS preset ([`dist_pcg`] /
+//!    [`pipelined_pcg`]): same iterates, same iteration count, same
+//!    residual history, and the same exact collective count.
+//! 2. **Columns are single-RHS recurrences** — each column of a k-RHS
+//!    block solve is bitwise identical to solving that RHS alone, at every
+//!    rank count 1–8. Batching amortises traffic; it never reassociates
+//!    across columns ("lane width is part of the spec").
+//! 3. **Collective count is independent of k** — the batched payload makes
+//!    the allreduce schedule a function of the iteration count only: two
+//!    blocking allreduces per fused iteration, one nonblocking per
+//!    pipelined iteration, for k ∈ {1, 2, 4, 8} alike.
+//! 4. **Setup cache** — a [`SetupCache`]-provided block-Jacobi solves
+//!    bit-identically to a freshly factored one, and the warm solve is
+//!    strictly cheaper in virtual time (the LU setup flops are skipped).
+
+use resilience::prelude::*;
+use resilient_linalg::poisson2d;
+use resilient_runtime::{Runtime, RuntimeConfig};
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Distinct right-hand sides per column; column 3 (when present) is all
+/// zeros so it converges before the first iteration and exercises the
+/// pre-loop freeze path.
+fn rhs(c: usize, i: usize) -> f64 {
+    if c == 3 {
+        0.0
+    } else {
+        ((i * (c + 1)) as f64 * 0.13).sin() + 1.0 + c as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 1. k = 1 is bitwise identical to the single-RHS presets
+// ---------------------------------------------------------------------------
+
+/// (single x, block x, single iters, block col-0 iters, single history,
+/// block col-0 history, single collectives, block collectives)
+type K1Parity = (
+    Vec<f64>,
+    Vec<f64>,
+    usize,
+    usize,
+    Vec<f64>,
+    Vec<f64>,
+    u64,
+    u64,
+);
+
+fn k1_parity(ranks: usize, pipelined: bool) -> Vec<K1Parity> {
+    let rt = Runtime::new(RuntimeConfig::fast());
+    rt.run(ranks, move |comm| {
+        let a = poisson2d(10, 10);
+        let n = a.nrows();
+        let da = DistCsr::from_global(comm, &a)?;
+        let b1 = DistVector::from_fn(comm, n, |i| rhs(0, i));
+        let bk = DistMultiVector::from_columns(std::slice::from_ref(&b1));
+        let opts = DistSolveOptions::default()
+            .with_tol(1e-9)
+            .with_max_iters(300);
+
+        let mut m = BlockJacobi::new(&da);
+        let before = comm.snapshot_stats().collectives;
+        let single = if pipelined {
+            pipelined_pcg(comm, &da, &b1, &mut m, &opts)?
+        } else {
+            dist_pcg(comm, &da, &b1, &mut m, &opts)?
+        };
+        let single_coll = comm.snapshot_stats().collectives - before;
+
+        let mut m = BlockJacobi::new(&da);
+        let before = comm.snapshot_stats().collectives;
+        let block = if pipelined {
+            pipelined_block_pcg(comm, &da, &bk, &mut m, &opts)?
+        } else {
+            dist_block_pcg(comm, &da, &bk, &mut m, &opts)?
+        };
+        let block_coll = comm.snapshot_stats().collectives - before;
+
+        assert!(single.converged, "single-RHS solve must converge");
+        assert!(block.all_converged(), "block solve must converge");
+        assert_eq!(
+            single.relative_residual.to_bits(),
+            block.relative_residuals[0].to_bits(),
+            "final relres must match bitwise"
+        );
+        Ok((
+            single.x.gather_global(comm)?,
+            block.x.column(0).gather_global(comm)?,
+            single.iterations,
+            block.column_iterations[0],
+            single.history,
+            block.histories[0].clone(),
+            single_coll,
+            block_coll,
+        ))
+    })
+    .unwrap_all()
+}
+
+#[test]
+fn fused_block_at_k1_is_bitwise_identical_to_dist_pcg() {
+    for ranks in [1, 3, 4] {
+        for (sx, bx, si, bi, sh, bh, sc, bc) in k1_parity(ranks, false) {
+            assert_eq!(bits(&sx), bits(&bx), "x bits diverged at {ranks} ranks");
+            assert_eq!(si, bi, "iteration counts diverged at {ranks} ranks");
+            assert_eq!(bits(&sh), bits(&bh), "histories diverged at {ranks} ranks");
+            assert_eq!(sc, bc, "collective counts diverged at {ranks} ranks");
+        }
+    }
+}
+
+#[test]
+fn pipelined_block_at_k1_is_bitwise_identical_to_pipelined_pcg() {
+    for ranks in [1, 3, 4] {
+        for (sx, bx, si, bi, sh, bh, sc, bc) in k1_parity(ranks, true) {
+            assert_eq!(bits(&sx), bits(&bx), "x bits diverged at {ranks} ranks");
+            assert_eq!(si, bi, "iteration counts diverged at {ranks} ranks");
+            assert_eq!(bits(&sh), bits(&bh), "histories diverged at {ranks} ranks");
+            assert_eq!(sc, bc, "collective counts diverged at {ranks} ranks");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Every column matches its own sequential single-RHS solve, 1–8 ranks
+// ---------------------------------------------------------------------------
+
+fn columns_match_sequential(ranks: usize, pipelined: bool) {
+    const K: usize = 4;
+    let rt = Runtime::new(RuntimeConfig::fast());
+    let results = rt.run(ranks, move |comm| {
+        let a = poisson2d(9, 9);
+        let n = a.nrows();
+        let da = DistCsr::from_global(comm, &a)?;
+        let bk = DistMultiVector::from_fn(comm, n, K, rhs);
+        let opts = DistSolveOptions::default()
+            .with_tol(1e-8)
+            .with_max_iters(300);
+
+        let mut m = BlockJacobi::new(&da);
+        let block = if pipelined {
+            pipelined_block_pcg(comm, &da, &bk, &mut m, &opts)?
+        } else {
+            dist_block_pcg(comm, &da, &bk, &mut m, &opts)?
+        };
+        assert!(block.all_converged(), "block solve must converge");
+        assert_eq!(
+            block.iterations,
+            *block.column_iterations.iter().max().unwrap(),
+            "batch runs until the slowest column freezes"
+        );
+
+        let mut cols = Vec::new();
+        for (c, out) in block.into_columns().into_iter().enumerate() {
+            let bc = DistVector::from_fn(comm, n, |i| rhs(c, i));
+            let mut m = BlockJacobi::new(&da);
+            let solo = if pipelined {
+                pipelined_pcg(comm, &da, &bc, &mut m, &opts)?
+            } else {
+                dist_pcg(comm, &da, &bc, &mut m, &opts)?
+            };
+            assert!(solo.converged, "sequential solve {c} must converge");
+            cols.push((
+                c,
+                out.x.gather_global(comm)?,
+                solo.x.gather_global(comm)?,
+                out.iterations,
+                solo.iterations,
+                out.history,
+                solo.history,
+            ));
+        }
+        Ok(cols)
+    });
+    for cols in results.unwrap_all() {
+        for (c, bx, sx, bi, si, bh, sh) in cols {
+            assert_eq!(
+                bits(&bx),
+                bits(&sx),
+                "column {c} x bits diverged at {ranks} ranks"
+            );
+            assert_eq!(
+                bi, si,
+                "column {c} iteration count diverged at {ranks} ranks"
+            );
+            assert_eq!(
+                bits(&bh),
+                bits(&sh),
+                "column {c} history diverged at {ranks} ranks"
+            );
+        }
+    }
+}
+
+#[test]
+fn fused_block_columns_match_sequential_solves_across_ranks() {
+    for ranks in 1..=8 {
+        columns_match_sequential(ranks, false);
+    }
+}
+
+#[test]
+fn pipelined_block_columns_match_sequential_solves_across_ranks() {
+    for ranks in 1..=8 {
+        columns_match_sequential(ranks, true);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Collective count per iteration is independent of k
+// ---------------------------------------------------------------------------
+
+/// Run a pinned (non-converging) block solve and return the exact number of
+/// collectives it issued together with its iteration count.
+fn block_collectives(pipelined: bool, k: usize, max_iters: usize) -> (u64, usize) {
+    let rt = Runtime::new(RuntimeConfig::fast());
+    let results = rt.run(4, move |comm| {
+        let a = poisson2d(8, 8);
+        let n = a.nrows();
+        let da = DistCsr::from_global(comm, &a)?;
+        // No zero column here: pinned runs must keep every lane active.
+        let bk = DistMultiVector::from_fn(comm, n, k, |c, i| rhs(c.min(2), i));
+        let opts = DistSolveOptions::default()
+            .with_tol(1e-30)
+            .with_max_iters(max_iters);
+        let mut m = BlockJacobi::new(&da);
+        let before = comm.snapshot_stats().collectives;
+        let out = if pipelined {
+            pipelined_block_pcg(comm, &da, &bk, &mut m, &opts)?
+        } else {
+            dist_block_pcg(comm, &da, &bk, &mut m, &opts)?
+        };
+        let after = comm.snapshot_stats().collectives;
+        Ok((after - before, out.iterations))
+    });
+    let mut out = results.unwrap_all();
+    let first = out.remove(0);
+    for other in out {
+        assert_eq!(first, other, "ranks disagree on collective counts");
+    }
+    first
+}
+
+#[test]
+fn fused_allreduce_count_is_independent_of_k() {
+    let mut totals = Vec::new();
+    for k in [1, 2, 4, 8] {
+        let (c_short, i_short) = block_collectives(false, k, 5);
+        let (c_long, i_long) = block_collectives(false, k, 12);
+        assert_eq!((i_short, i_long), (5, 12), "pinned runs must not converge");
+        // Two blocking allreduces per iteration, whatever the batch width.
+        assert_eq!(
+            c_long - c_short,
+            2 * 7,
+            "fused per-iteration count at k={k}"
+        );
+        totals.push((c_short, c_long));
+    }
+    // The whole schedule — init norm and first fused reduction included —
+    // is identical across batch widths, not just the per-iteration slope.
+    assert!(
+        totals.iter().all(|&t| t == totals[0]),
+        "total collective schedule must be independent of k: {totals:?}"
+    );
+}
+
+#[test]
+fn pipelined_allreduce_count_is_independent_of_k() {
+    let mut totals = Vec::new();
+    for k in [1, 2, 4, 8] {
+        let (c_short, i_short) = block_collectives(true, k, 5);
+        let (c_long, i_long) = block_collectives(true, k, 12);
+        assert_eq!((i_short, i_long), (5, 12), "pinned runs must not converge");
+        // One nonblocking allreduce per iteration, whatever the batch width.
+        assert_eq!(
+            c_long - c_short,
+            7,
+            "pipelined per-iteration count at k={k}"
+        );
+        totals.push((c_short, c_long));
+    }
+    assert!(
+        totals.iter().all(|&t| t == totals[0]),
+        "total collective schedule must be independent of k: {totals:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// 4. Setup cache: warm solves are bit-identical and strictly cheaper
+// ---------------------------------------------------------------------------
+
+#[test]
+fn cached_setup_solves_bit_identically_and_skips_the_factorization_cost() {
+    let mut cfg = RuntimeConfig::fast();
+    cfg.seconds_per_flop = 1.0e-9;
+    let rt = Runtime::new(cfg);
+    let results = rt.run(2, move |comm| {
+        let a = poisson2d(12, 12);
+        let n = a.nrows();
+        let da = DistCsr::from_global(comm, &a)?;
+        let bk = DistMultiVector::from_fn(comm, n, 2, rhs);
+        let opts = DistSolveOptions::default()
+            .with_tol(1e-8)
+            .with_max_iters(300);
+
+        let mut cache = SetupCache::new();
+        let t0 = comm.now();
+        let mut m = cache.block_jacobi(&da);
+        let cold = dist_block_pcg(comm, &da, &bk, &mut m, &opts)?;
+        let t1 = comm.now();
+        let mut m = cache.block_jacobi(&da);
+        let warm = dist_block_pcg(comm, &da, &bk, &mut m, &opts)?;
+        let t2 = comm.now();
+
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1, "one operator, one cache entry");
+        assert!(cold.all_converged() && warm.all_converged());
+        Ok((
+            cold.x.column(0).gather_global(comm)?,
+            warm.x.column(0).gather_global(comm)?,
+            cold.x.column(1).gather_global(comm)?,
+            warm.x.column(1).gather_global(comm)?,
+            t1 - t0,
+            t2 - t1,
+        ))
+    });
+    for (c0, w0, c1, w1, cold_time, warm_time) in results.unwrap_all() {
+        assert_eq!(bits(&c0), bits(&w0), "warm solve must be bit-identical");
+        assert_eq!(bits(&c1), bits(&w1), "warm solve must be bit-identical");
+        // The solves are identical except that the warm one never charges
+        // the LU factorization flops, so it is strictly faster.
+        assert!(
+            warm_time < cold_time,
+            "cache hit must skip setup cost: cold={cold_time}, warm={warm_time}"
+        );
+    }
+}

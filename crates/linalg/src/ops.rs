@@ -39,7 +39,7 @@
 
 use std::sync::OnceLock;
 
-use crate::sell::SellMatrix;
+use crate::sell::{SellMatrix, SELL_C};
 use crate::sparse::CsrMatrix;
 use crate::vector;
 
@@ -115,6 +115,178 @@ pub trait LocalOps: Sync {
     /// CSR-order sequential accumulation, and padding slots are masked
     /// out of the accumulator rather than added as zeros.
     fn spmv_sell(&self, a: &SellMatrix, x: &[f64], y: &mut [f64]);
+
+    // -- blocked (multi-RHS) kernels ---------------------------------------
+    //
+    // Multi-vectors are packed column-major: `k` columns of equal length,
+    // column `c` occupying `v[c*n..(c+1)*n]`. Every blocked kernel is
+    // **specified** as k independent single-RHS runs — column `c` of the
+    // output must be bit-identical to calling the single-RHS kernel on
+    // column `c` alone — so backends may only amortize *memory traffic*
+    // (one matrix sweep, one pass over shared operands), never reassociate
+    // across columns. The default implementations below are that spec,
+    // literally: they loop the single-RHS methods, so parity holds by
+    // construction for any backend that does not override them.
+
+    /// Blocked CSR SpMM: `y[c] = A·x[c]` for each of the `k` column-major
+    /// columns (`x.len() == k·ncols`, `y.len() == k·nrows`). One matrix
+    /// sweep feeds all `k` output columns; per-row accumulation stays
+    /// sequential in entry order per column (the [`LocalOps::spmv_csr`]
+    /// spec).
+    fn spmm_csr(&self, a: &CsrMatrix, k: usize, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), k * a.ncols(), "spmm: input dimension mismatch");
+        assert_eq!(y.len(), k * a.nrows(), "spmm: output dimension mismatch");
+        let (nr, nc) = (a.nrows(), a.ncols());
+        for c in 0..k {
+            self.spmv_csr(a, &x[c * nc..(c + 1) * nc], &mut y[c * nr..(c + 1) * nr]);
+        }
+    }
+
+    /// Blocked SELL-C-σ SpMM, bit-identical to [`LocalOps::spmm_csr`] on
+    /// the equivalent matrix (column `c` is exactly one
+    /// [`LocalOps::spmv_sell`] run).
+    fn spmm_sell(&self, a: &SellMatrix, k: usize, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), k * a.ncols(), "spmm: input dimension mismatch");
+        assert_eq!(y.len(), k * a.nrows(), "spmm: output dimension mismatch");
+        let (nr, nc) = (a.nrows(), a.ncols());
+        for c in 0..k {
+            self.spmv_sell(a, &x[c * nc..(c + 1) * nc], &mut y[c * nr..(c + 1) * nr]);
+        }
+    }
+
+    /// Blocked fused multi-dot: for each of the `m = pairs.len()`
+    /// multi-vector pairs and each of the `k` columns,
+    /// `out[i*k + c] = pairs[i].0[col c] · pairs[i].1[col c]` — k×m dot
+    /// partials in one call, each reduced through its own 4-chain spec
+    /// (bit-identical to [`LocalOps::dot`] per column). This is the local
+    /// half of the block-Krylov batched reduction: one call produces every
+    /// recurrence scalar of a k-RHS iteration.
+    fn dot_blocks(&self, k: usize, pairs: &[(&[f64], &[f64])], out: &mut [f64]) {
+        assert_eq!(
+            out.len(),
+            k * pairs.len(),
+            "dot_blocks: output length mismatch"
+        );
+        if k == 0 {
+            return;
+        }
+        for ((x, y), o) in pairs.iter().zip(out.chunks_exact_mut(k)) {
+            assert_eq!(x.len(), y.len(), "dot_blocks: length mismatch");
+            assert_eq!(x.len() % k, 0, "dot_blocks: ragged multi-vector");
+            let n = x.len() / k;
+            for (c, oc) in o.iter_mut().enumerate() {
+                *oc = self.dot(&x[c * n..(c + 1) * n], &y[c * n..(c + 1) * n]);
+            }
+        }
+    }
+
+    /// Blocked axpy with per-column coefficients:
+    /// `y[c] ← y[c] + alphas[c]·x[c]` for each of the `k = alphas.len()`
+    /// columns.
+    fn axpy_blocks(&self, alphas: &[f64], x: &[f64], y: &mut [f64]) {
+        let k = alphas.len();
+        assert_eq!(x.len(), y.len(), "axpy_blocks: length mismatch");
+        if k == 0 {
+            return;
+        }
+        assert_eq!(x.len() % k, 0, "axpy_blocks: ragged multi-vector");
+        let n = x.len() / k;
+        for (c, &a) in alphas.iter().enumerate() {
+            self.axpy(a, &x[c * n..(c + 1) * n], &mut y[c * n..(c + 1) * n]);
+        }
+    }
+
+    /// Blocked xpby with per-column coefficients:
+    /// `y[c] ← x[c] + betas[c]·y[c]` (the block-CG direction update).
+    fn xpby_blocks(&self, x: &[f64], betas: &[f64], y: &mut [f64]) {
+        let k = betas.len();
+        assert_eq!(x.len(), y.len(), "xpby_blocks: length mismatch");
+        if k == 0 {
+            return;
+        }
+        assert_eq!(x.len() % k, 0, "xpby_blocks: ragged multi-vector");
+        let n = x.len() / k;
+        for (c, &b) in betas.iter().enumerate() {
+            self.xpby(&x[c * n..(c + 1) * n], b, &mut y[c * n..(c + 1) * n]);
+        }
+    }
+
+    /// Blocked waxpby with per-column coefficients:
+    /// `w[c] ← a[c]·x[c] + b[c]·y[c]`, into a caller-owned multi-vector.
+    fn waxpby_blocks(&self, a: &[f64], x: &[f64], b: &[f64], y: &[f64], w: &mut [f64]) {
+        let k = a.len();
+        assert_eq!(b.len(), k, "waxpby_blocks: coefficient length mismatch");
+        assert_eq!(x.len(), y.len(), "waxpby_blocks: length mismatch");
+        assert_eq!(x.len(), w.len(), "waxpby_blocks: output length mismatch");
+        if k == 0 {
+            return;
+        }
+        assert_eq!(x.len() % k, 0, "waxpby_blocks: ragged multi-vector");
+        let n = x.len() / k;
+        for c in 0..k {
+            self.waxpby_into(
+                a[c],
+                &x[c * n..(c + 1) * n],
+                b[c],
+                &y[c * n..(c + 1) * n],
+                &mut w[c * n..(c + 1) * n],
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Blocked one-sweep kernels (sequential spec, shared by both backends)
+// ---------------------------------------------------------------------------
+
+/// One-sweep blocked CSR SpMM: each matrix row is read once and feeds all
+/// `k` output columns (the row's entries stay in L1 across the column
+/// loop), so matrix memory traffic is paid once instead of `k` times. Per
+/// column the accumulation is the sequential entry-order sum of the
+/// single-RHS spec — column `c` is bit-identical to `spmv_into` on column
+/// `c` alone.
+fn spmm_csr_sweep(a: &CsrMatrix, k: usize, x: &[f64], y: &mut [f64]) {
+    let (nr, nc) = (a.nrows(), a.ncols());
+    for i in 0..nr {
+        let (cols, vals) = a.row(i);
+        for c in 0..k {
+            let xc = &x[c * nc..(c + 1) * nc];
+            let mut sum = 0.0;
+            for (&j, &v) in cols.iter().zip(vals) {
+                sum += v * xc[j];
+            }
+            y[c * nr + i] = sum;
+        }
+    }
+}
+
+/// One-sweep blocked SELL-C-σ SpMM: each chunk's packed values and column
+/// indices are read once per chunk and feed all `k` columns; per column
+/// and lane the accumulation is exactly the scalar single-RHS SELL kernel.
+fn spmm_sell_sweep(a: &SellMatrix, k: usize, x: &[f64], y: &mut [f64]) {
+    let chunk_ptr = a.chunk_ptr();
+    let cols = a.cols();
+    let vals = a.vals();
+    let perm = a.perm();
+    let lens = a.lens();
+    let (nr, nc) = (a.nrows(), a.ncols());
+    for (ch, &base) in chunk_ptr[..chunk_ptr.len() - 1].iter().enumerate() {
+        for c in 0..k {
+            let xc = &x[c * nc..(c + 1) * nc];
+            for lane in 0..SELL_C {
+                let p = ch * SELL_C + lane;
+                if p >= nr {
+                    break;
+                }
+                let mut sum = 0.0;
+                for step in 0..lens[p] as usize {
+                    let slot = base + step * SELL_C + lane;
+                    sum += vals[slot] * xc[cols[slot] as usize];
+                }
+                y[c * nr + perm[p] as usize] = sum;
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -168,6 +340,18 @@ impl LocalOps for ScalarOps {
 
     fn spmv_sell(&self, a: &SellMatrix, x: &[f64], y: &mut [f64]) {
         a.spmv_into(x, y);
+    }
+
+    fn spmm_csr(&self, a: &CsrMatrix, k: usize, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), k * a.ncols(), "spmm: input dimension mismatch");
+        assert_eq!(y.len(), k * a.nrows(), "spmm: output dimension mismatch");
+        spmm_csr_sweep(a, k, x, y);
+    }
+
+    fn spmm_sell(&self, a: &SellMatrix, k: usize, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), k * a.ncols(), "spmm: input dimension mismatch");
+        assert_eq!(y.len(), k * a.nrows(), "spmm: output dimension mismatch");
+        spmm_sell_sweep(a, k, x, y);
     }
 }
 
@@ -242,34 +426,59 @@ mod x86 {
     /// of once per pair.
     const GROUP: usize = 8;
 
+    /// One group of at most [`GROUP`] pairs, all sharing one slice length:
+    /// the fixed-width inner kernel both [`dot_pairs_avx`] and the blocked
+    /// `dot_blocks` drive. Arithmetic per pair is exactly [`dot_avx`]'s
+    /// 4-chain accumulator, so grouping changes memory traffic only.
+    // SAFETY: contract — AVX must be available (runtime-detected by
+    // `simd_ops`), `group` is non-empty with at most `GROUP` entries, and
+    // every slice in it shares one common length.
+    #[target_feature(enable = "avx")]
+    unsafe fn dot_group_avx(group: &[(&[f64], &[f64])], outs: &mut [f64]) {
+        // SAFETY: all slices have length `n` (caller-checked), so the
+        // 4-wide loads at `i < split <= n` are in bounds for every pair.
+        unsafe {
+            let n = group[0].0.len();
+            let split = n - n % 4;
+            let mut acc = [_mm256_setzero_pd(); GROUP];
+            let mut i = 0;
+            while i < split {
+                for (t, (x, y)) in group.iter().enumerate() {
+                    let xv = _mm256_loadu_pd(x.as_ptr().add(i));
+                    let yv = _mm256_loadu_pd(y.as_ptr().add(i));
+                    acc[t] = _mm256_add_pd(acc[t], _mm256_mul_pd(xv, yv));
+                }
+                i += 4;
+            }
+            for (t, o) in outs.iter_mut().enumerate().take(group.len()) {
+                let mut lanes = [0.0f64; 4];
+                _mm256_storeu_pd(lanes.as_mut_ptr(), acc[t]);
+                let (x, y) = group[t];
+                let tail: f64 = x[split..].iter().zip(&y[split..]).map(|(a, b)| a * b).sum();
+                *o = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail;
+            }
+        }
+    }
+
     // SAFETY: contract — AVX must be available (runtime-detected by
     // `simd_ops`) and every pair's slices must share one common length.
     #[target_feature(enable = "avx")]
     unsafe fn dot_pairs_avx(pairs: &[(&[f64], &[f64])], out: &mut [f64]) {
-        // SAFETY: all slices have length `n` (caller-checked), so the
-        // 4-wide loads at `i < split <= n` are in bounds for every pair.
+        // Grouping math hoisted out of the walk: the count of full
+        // GROUP-wide groups is computed once per call, full groups run the
+        // inner kernel at its fixed width, and the remainder is handled
+        // once at the end — no per-group chunk-length re-derivation.
+        // SAFETY: sub-slices are bounded by `pairs.len() == out.len()`
+        // (caller-checked); the inner kernel's preconditions are inherited.
         unsafe {
-            for (group, outs) in pairs.chunks(GROUP).zip(out.chunks_mut(GROUP)) {
-                let n = group[0].0.len();
-                let split = n - n % 4;
-                let g = group.len();
-                let mut acc = [_mm256_setzero_pd(); GROUP];
-                let mut i = 0;
-                while i < split {
-                    for (t, (x, y)) in group.iter().enumerate() {
-                        let xv = _mm256_loadu_pd(x.as_ptr().add(i));
-                        let yv = _mm256_loadu_pd(y.as_ptr().add(i));
-                        acc[t] = _mm256_add_pd(acc[t], _mm256_mul_pd(xv, yv));
-                    }
-                    i += 4;
-                }
-                for (t, o) in outs.iter_mut().enumerate().take(g) {
-                    let mut lanes = [0.0f64; 4];
-                    _mm256_storeu_pd(lanes.as_mut_ptr(), acc[t]);
-                    let (x, y) = group[t];
-                    let tail: f64 = x[split..].iter().zip(&y[split..]).map(|(a, b)| a * b).sum();
-                    *o = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail;
-                }
+            let full = pairs.len() / GROUP;
+            for g in 0..full {
+                let lo = g * GROUP;
+                dot_group_avx(&pairs[lo..lo + GROUP], &mut out[lo..lo + GROUP]);
+            }
+            let rem = full * GROUP;
+            if rem < pairs.len() {
+                dot_group_avx(&pairs[rem..], &mut out[rem..]);
             }
         }
     }
@@ -436,6 +645,85 @@ mod x86 {
         }
     }
 
+    /// How many output columns one blocked SELL sweep carries per chunk
+    /// visit: enough to amortize the per-step index/value loads without
+    /// spilling the 4 accumulator registers the group needs.
+    const SPMM_COLS: usize = 4;
+
+    /// Blocked SELL-C-4 SpMM: one true matrix sweep (chunks outermost)
+    /// amortizes the `cols`/`vals` loads over up to [`SPMM_COLS`] output
+    /// columns at a time; each column's accumulator runs exactly
+    /// [`spmv_sell_avx2`]'s masked lane arithmetic, so every column is
+    /// bit-identical to a standalone single-RHS sweep.
+    // SAFETY: contract — AVX2 must be available (runtime-detected by
+    // `simd_ops`); `x.len() == k * a.ncols()` and `y.len() == k * a.nrows()`.
+    #[target_feature(enable = "avx2")]
+    unsafe fn spmm_sell_avx2(a: &SellMatrix, k: usize, x: &[f64], y: &mut [f64]) {
+        // SAFETY: `chunk_ptr` brackets the padded `cols`/`vals` arrays, so
+        // every `slot` access is in bounds; the masked gather reads
+        // `xc[idx]` only for active lanes whose column indices were
+        // validated `< ncols` at construction, and each column's base
+        // pointer `x.as_ptr().add(c * ncols)` stays inside the
+        // `k * ncols`-long input (caller-checked).
+        unsafe {
+            let chunk_ptr = a.chunk_ptr();
+            let cols = a.cols();
+            let vals = a.vals();
+            let perm = a.perm();
+            let lens = a.lens();
+            let nrows = a.nrows();
+            let ncols = a.ncols();
+            for ch in 0..chunk_ptr.len() - 1 {
+                let base = chunk_ptr[ch];
+                let width = (chunk_ptr[ch + 1] - base) / SELL_C;
+                let p0 = ch * SELL_C;
+                let len4 = _mm256_set_epi64x(
+                    lens[p0 + 3] as i64,
+                    lens[p0 + 2] as i64,
+                    lens[p0 + 1] as i64,
+                    lens[p0] as i64,
+                );
+                let mut c0 = 0;
+                while c0 < k {
+                    let g = SPMM_COLS.min(k - c0);
+                    let mut acc = [_mm256_setzero_pd(); SPMM_COLS];
+                    for step in 0..width {
+                        let slot = base + step * SELL_C;
+                        let active = _mm256_castsi256_pd(_mm256_cmpgt_epi64(
+                            len4,
+                            _mm256_set1_epi64x(step as i64),
+                        ));
+                        let idx = _mm_loadu_si128(cols.as_ptr().add(slot) as *const __m128i);
+                        let av = _mm256_loadu_pd(vals.as_ptr().add(slot));
+                        for (t, a_t) in acc.iter_mut().enumerate().take(g) {
+                            // Masked gather: inactive lanes never touch
+                            // memory, so padding column 0 is never read.
+                            let xg = _mm256_mask_i32gather_pd::<8>(
+                                _mm256_setzero_pd(),
+                                x.as_ptr().add((c0 + t) * ncols),
+                                idx,
+                                active,
+                            );
+                            let prod = _mm256_mul_pd(av, xg);
+                            *a_t = _mm256_blendv_pd(*a_t, _mm256_add_pd(*a_t, prod), active);
+                        }
+                    }
+                    for (t, a_t) in acc.iter().enumerate().take(g) {
+                        let mut lanes = [0.0f64; 4];
+                        _mm256_storeu_pd(lanes.as_mut_ptr(), *a_t);
+                        for (lane, &sum) in lanes.iter().enumerate() {
+                            let p = p0 + lane;
+                            if p < nrows {
+                                y[(c0 + t) * nrows + perm[p] as usize] = sum;
+                            }
+                        }
+                    }
+                    c0 += g;
+                }
+            }
+        }
+    }
+
     impl LocalOps for SimdOps {
         fn name(&self) -> &'static str {
             "simd"
@@ -500,6 +788,106 @@ mod x86 {
             // layout invariants (`chunk_ptr` brackets the padded arrays,
             // column indices were validated < ncols at construction).
             unsafe { spmv_sell_avx2(a, x, y) }
+        }
+
+        fn spmm_csr(&self, a: &CsrMatrix, k: usize, x: &[f64], y: &mut [f64]) {
+            // Sequential by spec — same one-sweep code as the scalar
+            // backend (CSR row accumulation has no SIMD reassociation
+            // budget under the bit-parity contract).
+            ScalarOps.spmm_csr(a, k, x, y);
+        }
+
+        fn spmm_sell(&self, a: &SellMatrix, k: usize, x: &[f64], y: &mut [f64]) {
+            assert_eq!(x.len(), k * a.ncols(), "spmm: input dimension mismatch");
+            assert_eq!(y.len(), k * a.nrows(), "spmm: output dimension mismatch");
+            // SAFETY: feature-gated; dimensions checked just above, and
+            // slot accesses are bounded by the layout invariants.
+            unsafe { spmm_sell_avx2(a, k, x, y) }
+        }
+
+        fn dot_blocks(&self, k: usize, pairs: &[(&[f64], &[f64])], out: &mut [f64]) {
+            assert_eq!(
+                out.len(),
+                k * pairs.len(),
+                "dot_blocks: output length mismatch"
+            );
+            if k == 0 {
+                return;
+            }
+            for ((x, y), outs) in pairs.iter().zip(out.chunks_exact_mut(k)) {
+                assert_eq!(x.len(), y.len(), "dot_blocks: length mismatch");
+                assert_eq!(x.len() % k, 0, "dot_blocks: ragged multi-vector");
+                let n = x.len() / k;
+                // Feed the column sub-slices through the same fixed-width
+                // group kernel `dot_pairs` uses, GROUP columns at a time.
+                let mut buf: [(&[f64], &[f64]); GROUP] = [(&[][..], &[][..]); GROUP];
+                let mut c = 0;
+                while c < k {
+                    let g = GROUP.min(k - c);
+                    for (t, slot) in buf.iter_mut().enumerate().take(g) {
+                        let lo = (c + t) * n;
+                        *slot = (&x[lo..lo + n], &y[lo..lo + n]);
+                    }
+                    // SAFETY: feature-gated; every slice in `buf[..g]` has
+                    // length `n` by construction and `g <= GROUP`.
+                    unsafe { dot_group_avx(&buf[..g], &mut outs[c..c + g]) }
+                    c += g;
+                }
+            }
+        }
+
+        fn axpy_blocks(&self, alphas: &[f64], x: &[f64], y: &mut [f64]) {
+            let k = alphas.len();
+            assert_eq!(x.len(), y.len(), "axpy_blocks: length mismatch");
+            if k == 0 {
+                return;
+            }
+            assert_eq!(x.len() % k, 0, "axpy_blocks: ragged multi-vector");
+            let n = x.len() / k;
+            for (c, &a) in alphas.iter().enumerate() {
+                // SAFETY: feature-gated; the column sub-slices have equal
+                // length `n` by construction.
+                unsafe { axpy_avx(a, &x[c * n..(c + 1) * n], &mut y[c * n..(c + 1) * n]) }
+            }
+        }
+
+        fn xpby_blocks(&self, x: &[f64], betas: &[f64], y: &mut [f64]) {
+            let k = betas.len();
+            assert_eq!(x.len(), y.len(), "xpby_blocks: length mismatch");
+            if k == 0 {
+                return;
+            }
+            assert_eq!(x.len() % k, 0, "xpby_blocks: ragged multi-vector");
+            let n = x.len() / k;
+            for (c, &b) in betas.iter().enumerate() {
+                // SAFETY: feature-gated; equal-length column sub-slices.
+                unsafe { xpby_avx(&x[c * n..(c + 1) * n], b, &mut y[c * n..(c + 1) * n]) }
+            }
+        }
+
+        fn waxpby_blocks(&self, a: &[f64], x: &[f64], b: &[f64], y: &[f64], w: &mut [f64]) {
+            let k = a.len();
+            assert_eq!(b.len(), k, "waxpby_blocks: coefficient length mismatch");
+            assert_eq!(x.len(), y.len(), "waxpby_blocks: length mismatch");
+            assert_eq!(x.len(), w.len(), "waxpby_blocks: output length mismatch");
+            if k == 0 {
+                return;
+            }
+            assert_eq!(x.len() % k, 0, "waxpby_blocks: ragged multi-vector");
+            let n = x.len() / k;
+            for c in 0..k {
+                let lo = c * n;
+                // SAFETY: feature-gated; equal-length column sub-slices.
+                unsafe {
+                    waxpby_avx(
+                        a[c],
+                        &x[lo..lo + n],
+                        b[c],
+                        &y[lo..lo + n],
+                        &mut w[lo..lo + n],
+                    )
+                }
+            }
         }
     }
 }
@@ -632,6 +1020,148 @@ mod tests {
             let mut yc = vec![0.0; n];
             backend.spmv_csr(&a, &x, &mut yc);
             assert_eq!(yc, want);
+        }
+    }
+
+    /// Build a packed column-major multi-vector: k columns of length n,
+    /// column c at `v[c*n..(c+1)*n]`, seeded per column.
+    fn multivec(n: usize, k: usize, seed: u64) -> Vec<f64> {
+        (0..k).flat_map(|c| vecs(n, seed + c as u64).0).collect()
+    }
+
+    #[test]
+    fn spmm_columns_match_independent_spmv_runs() {
+        let a = crate::generators::poisson2d(9, 7);
+        let n = a.nrows();
+        let s = SellMatrix::from_csr(&a, 32);
+        for backend in [scalar_ops(), simd_ops()] {
+            for k in [0usize, 1, 2, 3, 4, 5, 8, 9] {
+                let x = multivec(n, k, 11);
+                let mut yc = vec![0.0; k * n];
+                let mut ys = vec![0.0; k * n];
+                backend.spmm_csr(&a, k, &x, &mut yc);
+                backend.spmm_sell(&s, k, &x, &mut ys);
+                for c in 0..k {
+                    let mut want = vec![0.0; n];
+                    backend.spmv_csr(&a, &x[c * n..(c + 1) * n], &mut want);
+                    let bits = |v: &[f64]| v.iter().map(|e| e.to_bits()).collect::<Vec<_>>();
+                    assert_eq!(
+                        bits(&yc[c * n..(c + 1) * n]),
+                        bits(&want),
+                        "{} spmm_csr k={k} c={c}",
+                        backend.name()
+                    );
+                    let mut want_sell = vec![0.0; n];
+                    backend.spmv_sell(&s, &x[c * n..(c + 1) * n], &mut want_sell);
+                    assert_eq!(
+                        bits(&ys[c * n..(c + 1) * n]),
+                        bits(&want_sell),
+                        "{} spmm_sell k={k} c={c}",
+                        backend.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_agrees_bitwise_across_backends() {
+        let a = crate::generators::poisson2d(11, 5);
+        let n = a.nrows();
+        let s = SellMatrix::from_csr(&a, 16);
+        for k in [1usize, 2, 4, 7, 8] {
+            let x = multivec(n, k, 5);
+            let (mut ys, mut yv) = (vec![0.0; k * n], vec![0.0; k * n]);
+            scalar_ops().spmm_csr(&a, k, &x, &mut ys);
+            simd_ops().spmm_csr(&a, k, &x, &mut yv);
+            assert_eq!(ys, yv, "spmm_csr k={k}");
+            let (mut ys, mut yv) = (vec![0.0; k * n], vec![0.0; k * n]);
+            scalar_ops().spmm_sell(&s, k, &x, &mut ys);
+            simd_ops().spmm_sell(&s, k, &x, &mut yv);
+            let bits = |v: &[f64]| v.iter().map(|e| e.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&ys), bits(&yv), "spmm_sell k={k}");
+        }
+    }
+
+    #[test]
+    fn dot_blocks_matches_per_column_dots() {
+        for backend in [scalar_ops(), simd_ops()] {
+            for k in [0usize, 1, 2, 3, 4, 5, 8, 9] {
+                for m in [0usize, 1, 2, 3] {
+                    let n = 37;
+                    let data: Vec<(Vec<f64>, Vec<f64>)> = (0..m)
+                        .map(|t| (multivec(n, k, t as u64), multivec(n, k, 40 + t as u64)))
+                        .collect();
+                    let pairs: Vec<(&[f64], &[f64])> = data
+                        .iter()
+                        .map(|(x, y)| (x.as_slice(), y.as_slice()))
+                        .collect();
+                    let mut out = vec![0.0; k * m];
+                    backend.dot_blocks(k, &pairs, &mut out);
+                    for (t, (x, y)) in data.iter().enumerate() {
+                        for c in 0..k {
+                            let want = vector::dot(&x[c * n..(c + 1) * n], &y[c * n..(c + 1) * n]);
+                            assert_eq!(
+                                out[t * k + c].to_bits(),
+                                want.to_bits(),
+                                "{} k={k} m={m} t={t} c={c}",
+                                backend.name()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_updates_match_per_column_single_rhs() {
+        for backend in [scalar_ops(), simd_ops()] {
+            for k in [0usize, 1, 2, 3, 5, 8] {
+                let n = 29;
+                let x = multivec(n, k, 7);
+                let y = multivec(n, k, 19);
+                let alphas: Vec<f64> = (0..k).map(|c| 0.3 * c as f64 - 1.1).collect();
+                let betas: Vec<f64> = (0..k).map(|c| -0.7 + 0.2 * c as f64).collect();
+
+                let mut got = y.clone();
+                backend.axpy_blocks(&alphas, &x, &mut got);
+                let mut want = y.clone();
+                for c in 0..k {
+                    backend.axpy(
+                        alphas[c],
+                        &x[c * n..(c + 1) * n],
+                        &mut want[c * n..(c + 1) * n],
+                    );
+                }
+                assert_eq!(got, want, "{} axpy_blocks k={k}", backend.name());
+
+                let mut got = y.clone();
+                backend.xpby_blocks(&x, &betas, &mut got);
+                let mut want = y.clone();
+                for c in 0..k {
+                    backend.xpby(
+                        &x[c * n..(c + 1) * n],
+                        betas[c],
+                        &mut want[c * n..(c + 1) * n],
+                    );
+                }
+                assert_eq!(got, want, "{} xpby_blocks k={k}", backend.name());
+
+                let mut got = vec![0.0; k * n];
+                backend.waxpby_blocks(&alphas, &x, &betas, &y, &mut got);
+                let mut want = vec![0.0; k * n];
+                for c in 0..k {
+                    backend.waxpby_into(
+                        alphas[c],
+                        &x[c * n..(c + 1) * n],
+                        betas[c],
+                        &y[c * n..(c + 1) * n],
+                        &mut want[c * n..(c + 1) * n],
+                    );
+                }
+                assert_eq!(got, want, "{} waxpby_blocks k={k}", backend.name());
+            }
         }
     }
 
