@@ -337,6 +337,12 @@ impl<'m, S: KrylovSpace> CgStrategy<S> for PcgStep<'m, S> {
         }
         let z = self.z.as_mut().expect("initialized");
         self.m.apply_into(space, r, z)?;
+        // No reduction is in flight here (immediate-dot schedule), so a
+        // guard policy may post its own blocking collective.
+        match policies.after_precond(space, &st.ctx(), r, z)? {
+            StackOutcome::Act(resp) => return Ok(CgOutcome::Detected(resp)),
+            StackOutcome::Recorded | StackOutcome::Continue => {}
+        }
         let rz_new = space.dot(r, z)?;
         let beta = rz_new / self.rz;
         self.rz = rz_new;
@@ -510,6 +516,14 @@ impl<'m, S: KrylovSpace> CgStrategy<S> for FusedCgStep<'m, S> {
             Some(m) => {
                 let z = self.z.as_mut().expect("preconditioned state");
                 m.apply_into(space, r, z)?;
+                // Between the two blocking reductions: nothing in flight,
+                // so a guard policy may post its own collective. A Restart
+                // detection returns before β/p are updated — the rebuilt
+                // recurrence recomputes z from the committed iterate.
+                match policies.after_precond(space, &st.ctx(), r, z)? {
+                    StackOutcome::Act(resp) => return Ok(CgOutcome::Detected(resp)),
+                    StackOutcome::Recorded | StackOutcome::Continue => {}
+                }
                 let vals = space.fused_pairs(&[(&*r, &*z), (&*r, &*r)], 0)?;
                 (vals[0], vals[1])
             }
@@ -712,6 +726,19 @@ impl<'m, S: KrylovSpace> CgStrategy<S> for PipelinedCgStep<'m, S> {
         match policies.after_spmv(space, &st.ctx(), input, &aw)? {
             StackOutcome::Act(resp) => return Ok(CgOutcome::Detected(resp)),
             StackOutcome::Recorded | StackOutcome::Continue => {}
+        }
+        // Guard the overlap-region preconditioner apply `mw = M⁻¹·w` *after*
+        // the fused reduction completed (the hook contract lets a guard
+        // policy post its own blocking collective) and *before* mw enters
+        // the recurrence: a Restart detection returns with x and r
+        // untouched this step.
+        if preconditioned {
+            let w = self.w.as_ref().expect("initialized");
+            let mw = self.mw.as_ref().expect("preconditioned state");
+            match policies.after_precond(space, &st.ctx(), w, mw)? {
+                StackOutcome::Act(resp) => return Ok(CgOutcome::Detected(resp)),
+                StackOutcome::Recorded | StackOutcome::Continue => {}
+            }
         }
         let (gamma, delta) = (reduced[0], reduced[1]);
         let rr = if preconditioned { reduced[2] } else { gamma };

@@ -329,6 +329,17 @@ impl<S: KrylovSpace> OrthoStrategy<S> for MgsOrtho {
         } else {
             vj
         };
+        // Guard the inner/preconditioner apply (immediate-dot schedule:
+        // nothing in flight, a guard policy may post its own collective).
+        // A rejected inner result already fell back to v_j, which passes
+        // any consistency check trivially.
+        if flexible.is_some() {
+            let vj_ref = cycle.basis.last().expect("basis is never empty");
+            match policies.after_precond(space, &st.ctx(), vj_ref, &input)? {
+                StackOutcome::Act(r) => return Ok(StepOutcome::Detected(r)),
+                StackOutcome::Recorded | StackOutcome::Continue => {}
+            }
+        }
 
         match policies.before_spmv(space, &st.ctx(), &input)? {
             StackOutcome::Act(r) => return Ok(StepOutcome::Detected(r)),
@@ -414,6 +425,17 @@ impl<S: KrylovSpace> OrthoStrategy<S> for CgsOrtho {
         } else {
             vj
         };
+        // Guard the right-preconditioner apply before its output enters the
+        // Arnoldi step. No reduction is in flight yet, so a guard policy may
+        // post its own blocking collective; the preconditioned-or-not branch
+        // is a solve-wide constant, so rank control flow stays symmetric.
+        if flexible.is_some() {
+            let vj_ref = cycle.basis.last().expect("basis is never empty");
+            match policies.after_precond(space, &st.ctx(), vj_ref, &input)? {
+                StackOutcome::Act(r) => return Ok(StepOutcome::Detected(r)),
+                StackOutcome::Recorded | StackOutcome::Continue => {}
+            }
+        }
 
         match policies.before_spmv(space, &st.ctx(), &input)? {
             StackOutcome::Act(r) => return Ok(StepOutcome::Detected(r)),
@@ -602,6 +624,18 @@ impl<S: KrylovSpace> OrthoStrategy<S> for PipelinedOrtho {
             StackOutcome::Act(r) => return Ok(StepOutcome::Detected(r)),
             StackOutcome::Recorded => return Ok(StepOutcome::Skipped),
             StackOutcome::Continue => {}
+        }
+        // Guard the overlap-region preconditioner apply m_j = M⁻¹·z_j
+        // *after* the fused reduction completed (a guard policy may post
+        // its own blocking collective here) and *before* m_j extends the
+        // preconditioned basis by linearity: a Restart detection discards
+        // the cycle with x — which only changes at cycle boundaries —
+        // untouched.
+        if let Some(mj) = mj.as_ref() {
+            match policies.after_precond(space, &st.ctx(), &zj, mj)? {
+                StackOutcome::Act(r) => return Ok(StepOutcome::Detected(r)),
+                StackOutcome::Recorded | StackOutcome::Continue => {}
+            }
         }
         let (h_proj, zz) = reduced[..solver_len].split_at(cycle.basis.len());
         let zz = zz[0];
@@ -902,8 +936,21 @@ pub fn run_gmres<S: KrylovSpace, T: OrthoStrategy<S>>(
             }
         } else {
             if st.relres <= opts.tol {
-                reason = StopReason::Converged;
-                break 'outer;
+                // The distributed profiles reach this point on the
+                // *recurrence* estimate, and the pipelined zz-recurrence can
+                // collapse to zero through roundoff while the iterate is
+                // nowhere near convergence (found fault-free by the
+                // campaign oracle). Verify the claim with a charged true
+                // residual before reporting success; a refuted claim falls
+                // through — to an honest MaxIterations, or to a restart
+                // whose cycle-start residual governs as usual.
+                let ax = space.apply(&x)?;
+                let r = space.residual(b, &ax);
+                st.relres = space.norm(&r)? / bn;
+                if st.relres <= opts.tol {
+                    reason = StopReason::Converged;
+                    break 'outer;
+                }
             }
             if st.iterations >= opts.max_iters {
                 reason = StopReason::MaxIterations;

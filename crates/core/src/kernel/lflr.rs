@@ -191,25 +191,45 @@ fn restore_local_snapshot<C: CommBackend>(
 /// Join the post-failure rendezvous, proposing this rank's newest snapshot
 /// (or 0 — "I can only start over" — in restart-from-zero mode or with an
 /// empty store), and return the agreed resume step.
+///
+/// The rendezvous itself can be interrupted by a *further* failure — a
+/// rank dying while the agreement for the previous death is still in
+/// flight (the fault campaign's rendezvous-death family). The interrupted
+/// survivors and the replacement must then simply rendezvous again for
+/// the newer failure generation; letting the error escape instead makes
+/// this rank abandon the job while its peers block in a collective that
+/// can never complete — a deadlock, the one outcome the protocol exists
+/// to prevent. Retries are bounded by the same `max_recoveries` give-up
+/// knob as completed recoveries.
 fn rejoin<C: CommBackend>(
     comm: &mut C,
     cfg: &KrylovLflrConfig,
     report: &mut KrylovLflrReport,
 ) -> Result<usize> {
-    let proposal = if cfg.resume {
-        newest_snapshot_step(comm).unwrap_or(0)
-    } else {
-        0
-    };
-    let info = comm.recovery_rendezvous(proposal as f64)?;
-    report.recoveries += 1;
-    let agreed = if info.agreed.is_finite() {
-        info.agreed.max(0.0) as usize
-    } else {
-        0
-    };
-    report.resumed_from = agreed;
-    Ok(agreed)
+    let mut interrupted = 0usize;
+    loop {
+        let proposal = if cfg.resume {
+            newest_snapshot_step(comm).unwrap_or(0)
+        } else {
+            0
+        };
+        let info = match comm.recovery_rendezvous(proposal as f64) {
+            Ok(info) => info,
+            Err(e) if e.is_failure() && report.recoveries + interrupted < cfg.max_recoveries => {
+                interrupted += 1;
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        report.recoveries += 1;
+        let agreed = if info.agreed.is_finite() {
+            info.agreed.max(0.0) as usize
+        } else {
+            0
+        };
+        report.resumed_from = agreed;
+        return Ok(agreed);
+    }
 }
 
 /// One solve attempt in the current communication epoch: (re)build the

@@ -48,6 +48,7 @@ pub mod cache;
 pub mod cg;
 pub mod compose;
 pub mod gmres;
+pub mod guard;
 pub mod lflr;
 pub mod policy;
 pub mod precond;
@@ -65,6 +66,7 @@ pub use gmres::{
     run_gmres, CgsOrtho, FlexibleRight, GmresCycle, GmresFlavor, MgsOrtho, OrthoStrategy,
     PipelinedOrtho, StepOutcome,
 };
+pub use guard::PrecondGuardPolicy;
 pub use lflr::{
     lflr_dist_pcg, lflr_dist_pgmres, lflr_pipelined_pcg, lflr_pipelined_pgmres, KrylovLflrConfig,
     KrylovLflrReport,

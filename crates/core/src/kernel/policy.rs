@@ -376,6 +376,26 @@ pub trait ResiliencePolicy<S: KrylovSpace> {
         Ok(PolicyAction::Continue)
     }
 
+    /// Called with the preconditioner input `r` and its freshly computed
+    /// output `z = M⁻¹·r` after each in-iteration preconditioner apply
+    /// (finiteness/consistency guards over the historically unguarded
+    /// block-Jacobi path live here). Strategies call it at a point where
+    /// **no** fused reduction is in flight, so a policy may post its own
+    /// blocking collective; on pipelined schedules that point is after the
+    /// overlapped reduction completes, before the preconditioned vector is
+    /// consumed by the recurrence. Setup-phase applies (CG init, GMRES
+    /// cycle start) are not hooked — corruption there lands in the first
+    /// iteration's guarded quantities.
+    fn after_precond(
+        &mut self,
+        space: &mut S,
+        ctx: &IterCtx,
+        r: &S::Vector,
+        z: &S::Vector,
+    ) -> Result<PolicyAction> {
+        Ok(PolicyAction::Continue)
+    }
+
     /// Called after Gram–Schmidt with the newest basis vector and its
     /// predecessor (orthogonality tests live here). CG-style iterations
     /// without a stored basis never call it.
@@ -629,6 +649,18 @@ impl<'p, S: KrylovSpace> PolicyStack<'p, S> {
         w: &S::Vector,
     ) -> Result<StackOutcome> {
         self.run_detection_hook(space, |p, space| p.after_spmv(space, ctx, v, w))
+    }
+
+    /// Run the after-preconditioner-apply hook; stops at the first
+    /// actionable detection.
+    pub fn after_precond(
+        &mut self,
+        space: &mut S,
+        ctx: &IterCtx,
+        r: &S::Vector,
+        z: &S::Vector,
+    ) -> Result<StackOutcome> {
+        self.run_detection_hook(space, |p, space| p.after_precond(space, ctx, r, z))
     }
 
     /// Run the after-orthogonalization hook.

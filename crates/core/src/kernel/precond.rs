@@ -245,6 +245,10 @@ impl<'a, 'b, C: resilient_runtime::CommBackend> SpacePreconditioner<DistSpace<'a
         // whole preconditioned hot path runs on one backend choice.
         self.lu.solve_with(space.ops(), &r.local, &mut z.local);
         space.charge_flops(self.lu.flops_per_solve() + std::mem::take(&mut self.setup_flops));
+        // Campaign strike point: the freshly computed output is the
+        // upset surface for precond-apply fault families (a no-op counter
+        // when no plan is installed).
+        space.strike_precond_output(z);
         Ok(())
     }
 

@@ -24,6 +24,7 @@ use crate::distributed::{DistCsr, DistVector};
 use crate::solvers::common::Operator;
 
 use resilient_faults::bitflip::flip_bit_f64;
+use resilient_faults::campaign::StrikePlan;
 
 /// A pending (possibly nonblocking) fused reduction: opaque to the kernel,
 /// interpreted by the space that produced it. Parameterised on the backend's
@@ -361,6 +362,15 @@ pub struct DistSpace<'a, 'b, C: CommBackend = Comm> {
     fault: Option<SpmvFault>,
     applications: usize,
     injections: usize,
+    /// Campaign multi-strike plan against the SpMV output (fires after the
+    /// legacy single-fault path, which stays bit-identical).
+    spmv_plan: Option<StrikePlan>,
+    /// Campaign multi-strike plan against the preconditioner-apply output
+    /// (fired by [`DistSpace::strike_precond_output`]).
+    precond_plan: Option<StrikePlan>,
+    /// Preconditioner applications observed so far (the `at` ordinal of
+    /// `precond_plan` strikes).
+    precond_applications: u64,
     ops: &'static dyn LocalOps,
     /// Reused ghost-assembly buffer: the SpMV input (owned + ghost
     /// entries) is assembled here instead of allocating per application.
@@ -383,6 +393,9 @@ impl<'a, 'b, C: CommBackend> DistSpace<'a, 'b, C> {
             fault: None,
             applications: 0,
             injections: 0,
+            spmv_plan: None,
+            precond_plan: None,
+            precond_applications: 0,
             ops: auto_ops(),
             spmv_scratch: Vec::new(),
         }
@@ -420,9 +433,64 @@ impl<'a, 'b, C: CommBackend> DistSpace<'a, 'b, C> {
         self
     }
 
+    /// Install a campaign multi-strike plan against SpMV products. Strikes
+    /// are matched on the stable *world* rank, the pinned incarnation, and
+    /// the per-space application ordinal — so a plan composes with shrink
+    /// renumbering and replacement ranks, unlike ad-hoc wrappers.
+    pub fn with_spmv_plan(mut self, plan: StrikePlan) -> Self {
+        self.spmv_plan = Some(plan);
+        self
+    }
+
+    /// Install a campaign multi-strike plan against preconditioner-apply
+    /// outputs; preconditioners report their outputs through
+    /// [`DistSpace::strike_precond_output`].
+    pub fn with_precond_plan(mut self, plan: StrikePlan) -> Self {
+        self.precond_plan = Some(plan);
+        self
+    }
+
+    /// Preconditioner strike point: every faultable preconditioner (see
+    /// `BlockJacobi::apply_into`) routes its freshly computed local output
+    /// through here, which counts the application and fires any due
+    /// campaign strikes into it. Without a plan this only counts.
+    pub fn strike_precond_output(&mut self, z: &mut DistVector) {
+        let at = self.precond_applications;
+        self.precond_applications += 1;
+        if let Some(plan) = self.precond_plan.as_mut() {
+            self.injections += plan.strike_slice(
+                self.comm.world_rank(),
+                self.comm.incarnation(),
+                at,
+                &mut z.local,
+            );
+        }
+    }
+
     /// Number of bit flips actually injected so far.
     pub fn injections(&self) -> usize {
         self.injections
+    }
+
+    /// Remove any installed strike plans (fired-strike counts are kept).
+    /// The campaign driver disarms the space before its final charged
+    /// verification so a strike that never came due cannot corrupt the
+    /// verdict on the solve itself.
+    pub fn disarm_plans(&mut self) {
+        self.spmv_plan = None;
+        self.precond_plan = None;
+        self.fault = None;
+    }
+
+    /// SpMV applications observed so far (the campaign driver reads this
+    /// off a clean run to scale its strike windows).
+    pub fn applications(&self) -> usize {
+        self.applications
+    }
+
+    /// Preconditioner applications observed so far.
+    pub fn precond_applications(&self) -> u64 {
+        self.precond_applications
     }
 
     /// The communicator (for preset code that needs collectives around the
@@ -606,6 +674,14 @@ impl<'a, 'b, C: CommBackend> KrylovSpace for DistSpace<'a, 'b, C> {
                 y.local[i] = flip_bit_f64(y.local[i], f.bit);
                 self.injections += 1;
             }
+        }
+        if let Some(plan) = self.spmv_plan.as_mut() {
+            self.injections += plan.strike_slice(
+                self.comm.world_rank(),
+                self.comm.incarnation(),
+                app as u64,
+                &mut y.local,
+            );
         }
         Ok(y)
     }

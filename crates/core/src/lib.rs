@@ -41,7 +41,9 @@
 
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod distributed;
+pub mod diversity;
 pub mod kernel;
 pub mod lflr;
 pub mod models;
@@ -52,15 +54,20 @@ pub mod srp;
 
 /// Convenient glob import of the most frequently used types.
 pub mod prelude {
+    pub use crate::campaign::{
+        campaign_case, clean_baseline, run_kernel_preset, run_schedule, CampaignConfig,
+        CampaignPreset, CaseOutcome, CaseReport, CleanBaseline, ContractViolation,
+    };
     pub use crate::distributed::{DistCsr, DistMultiVector, DistVector};
+    pub use crate::diversity::{diversity_vote, DiversityMember, DiversityReport};
     pub use crate::kernel::{
         ft_gmres_abft, lflr_dist_pcg, lflr_dist_pgmres, lflr_pipelined_pcg, lflr_pipelined_pgmres,
         pipelined_skeptical_cg, pipelined_skeptical_gmres, pipelined_skeptical_pcg,
         pipelined_skeptical_pgmres, run_block_cg, AbftSpmvPolicy, BlockCgMode, BlockJacobi,
         BlockOutcome, DistSpace, IdentityPrecond, IterateRollbackPolicy, KrylovLflrConfig,
-        KrylovLflrReport, KrylovSpace, NoopPolicy, PolicyOverhead, PolicyStack, ResiliencePolicy,
-        RightPrecond, SerialPrecond, SerialSpace, SetupCache, SkepticalPolicy, SpacePreconditioner,
-        SpmvFault,
+        KrylovLflrReport, KrylovSpace, NoopPolicy, PolicyOverhead, PolicyStack, PrecondGuardPolicy,
+        ResiliencePolicy, RightPrecond, SerialPrecond, SerialSpace, SetupCache, SkepticalPolicy,
+        SpacePreconditioner, SpmvFault,
     };
     pub use crate::lflr::{run_cpr, run_lflr, CprApp, CprConfig, CprReport, LflrApp, LflrReport};
     pub use crate::models::ProgrammingModel;

@@ -14,11 +14,15 @@
 //! * [`detection`] — cheap "skeptical" validity checks (finiteness, norm
 //!   bounds, orthogonality, conservation, relative jumps);
 //! * [`thread_death`] — deterministic rank-death plans for the real-threads
-//!   backend, delivered as `catch_unwind`-isolated panics.
+//!   backend, delivered as `catch_unwind`-isolated panics;
+//! * [`campaign`] — adversarial multi-event fault schedules (composable
+//!   strike plans with per-event incarnation pinning, rank-death event
+//!   lists, a seeded family taxonomy, and a greedy schedule minimizer).
 
 #![warn(missing_docs)]
 
 pub mod bitflip;
+pub mod campaign;
 pub mod detection;
 pub mod injector;
 pub mod memory;
@@ -29,6 +33,7 @@ pub mod tmr;
 pub use bitflip::{
     classify_flip, flip_bit_f64, flip_random_bit_f64, flip_random_element, FlipSeverity,
 };
+pub use campaign::{DeathEvent, FaultFamily, FaultSchedule, ScheduleParams, Strike, StrikePlan};
 pub use detection::{
     conservation_check, orthogonality_check, Detection, Detector, FiniteDetector,
     NormBoundDetector, RelativeJumpDetector,

@@ -35,8 +35,11 @@ pub enum KillTrigger {
     AfterSeconds(f64),
 }
 
-/// A deterministic plan of rank deaths for a [`ThreadRuntime`] job: at most
-/// one kill per world rank, always pinned to incarnation 0.
+/// A deterministic plan of rank deaths for a [`ThreadRuntime`] job. Each
+/// entry is pinned to a world rank *and an incarnation* — the plain
+/// builders pin incarnation 0 (a planned death never replays on the
+/// replacement thread), while campaign schedules can pin later
+/// incarnations to kill a replacement mid-recovery.
 ///
 /// [`ThreadRuntime`]: resilient_runtime::ThreadRuntime
 ///
@@ -51,8 +54,9 @@ pub enum KillTrigger {
 /// ```
 #[derive(Debug, Default)]
 pub struct ThreadDeathPlan {
-    /// `(world_rank, trigger)` pairs; each fires at most once.
-    kills: Mutex<Vec<(usize, KillTrigger, bool)>>,
+    /// `(world_rank, incarnation, trigger, fired)` entries; each fires at
+    /// most once, only on the pinned incarnation.
+    kills: Mutex<Vec<(usize, u64, KillTrigger, bool)>>,
 }
 
 impl ThreadDeathPlan {
@@ -61,10 +65,22 @@ impl ThreadDeathPlan {
         Self::default()
     }
 
-    /// Plan `rank`'s death at its `nth` completed collective.
+    /// Plan `rank`'s death at its `nth` completed collective (original
+    /// incarnation only).
     pub fn kill_at_collective(self, rank: usize, nth: u64) -> Self {
+        self.kill_incarnation_at_collective(rank, 0, nth)
+    }
+
+    /// Plan the death of `rank`'s `incarnation`-th process at its `nth`
+    /// completed collective. Incarnation 0 is the original thread;
+    /// incarnation 1 the first replacement — pinning 1 kills the
+    /// replacement *during* its recovery re-execution, the compound
+    /// failure single-kill plans cannot express. Collective counts are
+    /// per-lifetime (a replacement starts again from zero).
+    pub fn kill_incarnation_at_collective(self, rank: usize, incarnation: u64, nth: u64) -> Self {
         self.kills.lock().expect("death plan lock poisoned").push((
             rank,
+            incarnation,
             KillTrigger::AtCollective(nth),
             false,
         ));
@@ -72,10 +88,11 @@ impl ThreadDeathPlan {
     }
 
     /// Plan `rank`'s death at the first failure point after `seconds` of
-    /// wall-clock time.
+    /// wall-clock time (original incarnation only).
     pub fn kill_after_seconds(self, rank: usize, seconds: f64) -> Self {
         self.kills.lock().expect("death plan lock poisoned").push((
             rank,
+            0,
             KillTrigger::AfterSeconds(seconds),
             false,
         ));
@@ -88,21 +105,19 @@ impl ThreadDeathPlan {
             .lock()
             .expect("death plan lock poisoned")
             .iter()
-            .filter(|(_, _, fired)| *fired)
+            .filter(|(_, _, _, fired)| *fired)
             .count()
     }
 }
 
 impl DeathInjector for ThreadDeathPlan {
     fn should_die(&self, ctx: &DeathContext) -> bool {
-        // Only original incarnations die: a replacement inheriting the rank
-        // must never replay its predecessor's planned death.
-        if ctx.incarnation != 0 {
-            return false;
-        }
         let mut kills = self.kills.lock().expect("death plan lock poisoned");
-        for (rank, trigger, fired) in kills.iter_mut() {
-            if *fired || *rank != ctx.world_rank {
+        for (rank, incarnation, trigger, fired) in kills.iter_mut() {
+            // Each entry is pinned to one incarnation: an entry for the
+            // original thread can never replay on its replacement, and a
+            // campaign entry for incarnation 1 waits for the replacement.
+            if *fired || *rank != ctx.world_rank || *incarnation != ctx.incarnation {
                 continue;
             }
             let due = match *trigger {
@@ -150,6 +165,41 @@ mod tests {
         assert_eq!(plan.fired(), 1);
         let incs = r.unwrap_all();
         assert_eq!(incs[1], 1, "rank 1 finishes as its replacement");
+    }
+
+    #[test]
+    fn incarnation_pinned_kill_waits_for_the_replacement() {
+        // Rank 1's original dies at its 2nd collective; its *replacement*
+        // (incarnation 1) dies again at its own 2nd collective. The second
+        // replacement (incarnation 2) finishes the job.
+        let plan = Arc::new(
+            ThreadDeathPlan::new()
+                .kill_at_collective(1, 2)
+                .kill_incarnation_at_collective(1, 1, 2),
+        );
+        let rt = ThreadRuntime::new(ThreadConfig::fast()).with_injector(plan.clone() as _);
+        let r = rt.run(2, |comm| {
+            let mut step = if comm.is_replacement() {
+                comm.recovery_rendezvous(f64::INFINITY)?.agreed as usize
+            } else {
+                0
+            };
+            while step < 8 {
+                match comm.allreduce_scalar(ReduceOp::Sum, 1.0) {
+                    Ok(_) => step += 1,
+                    Err(e) if e.is_failure() => {
+                        step = comm.recovery_rendezvous(step as f64)?.agreed as usize;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            Ok(comm.incarnation())
+        });
+        assert!(r.all_ok(), "errors: {:?}", r.errors);
+        assert_eq!(r.failures.len(), 2, "both pinned kills fire");
+        assert_eq!(plan.fired(), 2);
+        let incs = r.unwrap_all();
+        assert_eq!(incs[1], 2, "rank 1 finishes as its second replacement");
     }
 
     #[test]
